@@ -1,0 +1,85 @@
+//! Criterion microbenchmarks of the numeric-plane kernels: the real
+//! arithmetic behind the accuracy experiments.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use llmnpu_quant::outlier::{extract_outliers, ShadowLinear};
+use llmnpu_quant::per_group::GroupedLinear;
+use llmnpu_quant::per_tensor::{max_min_scale, QuantizedLinear, QuantizedMatrix};
+use llmnpu_tensor::{gemm, Tensor};
+
+fn ramp(rows: usize, cols: usize, amp: f32) -> Tensor<f32> {
+    Tensor::from_vec(
+        (0..rows * cols)
+            .map(|i| amp * (((i * 37 + 11) % 127) as f32 / 127.0 - 0.5))
+            .collect(),
+        [rows, cols],
+    )
+    .unwrap()
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    let a_f = ramp(32, 256, 1.0);
+    let b_f = ramp(256, 256, 1.0);
+    group.bench_function("f32_32x256x256", |b| {
+        b.iter(|| gemm::matmul_f32(black_box(&a_f), black_box(&b_f)).unwrap())
+    });
+    let a_i = QuantizedMatrix::quantize(&a_f);
+    let b_i = QuantizedMatrix::quantize(&b_f);
+    group.bench_function("i8_32x256x256", |b| {
+        b.iter(|| gemm::matmul_i8(black_box(a_i.data()), black_box(b_i.data())).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_quantized_linears(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantized_linear");
+    let w = ramp(256, 256, 0.5);
+    let mut xv = ramp(8, 256, 0.05).into_vec();
+    xv[3] = 12.0; // one outlier channel
+    let x = Tensor::from_vec(xv, [8, 256]).unwrap();
+    let scale = max_min_scale(&[0.05_f32, -0.05]);
+
+    let per_tensor = QuantizedLinear::new(&w, scale);
+    group.bench_function("per_tensor_forward", |b| {
+        b.iter(|| per_tensor.forward(black_box(&x)).unwrap())
+    });
+
+    let grouped = GroupedLinear::new(&w, 32).unwrap();
+    group.bench_function("per_group_forward(g=32)", |b| {
+        b.iter(|| grouped.forward(black_box(&x)).unwrap())
+    });
+
+    let shadow = ShadowLinear::new(&w, scale);
+    group.bench_function("shadow_forward", |b| {
+        b.iter(|| shadow.forward(black_box(&x)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_outlier_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("outlier");
+    let mut xv = ramp(64, 1024, 0.05).into_vec();
+    for i in 0..6 {
+        xv[i * 997 + 13] = 20.0;
+    }
+    let x = Tensor::from_vec(xv, [64, 1024]).unwrap();
+    group.bench_function("extract_64x1024_6ch", |b| {
+        b.iter_batched(
+            || x.clone(),
+            |x| extract_outliers(black_box(&x), 0.01),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_quantized_linears,
+    bench_outlier_extraction
+);
+criterion_main!(benches);

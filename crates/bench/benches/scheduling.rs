@@ -1,0 +1,65 @@
+//! Criterion benchmarks of the timing-plane machinery: DAG construction
+//! and the three scheduling policies. The paper claims the online
+//! scheduler has "microsecond-level performance overhead" per decision —
+//! `schedule/out_of_order` divided by the task count checks that claim.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use llmnpu_graph::chunk::ChunkPlan;
+use llmnpu_graph::dag::{build_prefill_dag, DagConfig, PrefillDag};
+use llmnpu_model::config::ModelConfig;
+use llmnpu_sched::{schedule, Policy};
+use llmnpu_soc::latency::LatencyModel;
+use llmnpu_soc::spec::SocSpec;
+use llmnpu_soc::Processor;
+
+fn qwen_dag(prompt: usize) -> PrefillDag {
+    let cfg = ModelConfig::qwen15_18b();
+    let lat = LatencyModel::new(&SocSpec::snapdragon_8gen3());
+    let dag_cfg = DagConfig {
+        plan: ChunkPlan::new(prompt, 256).unwrap(),
+        float_processor: Processor::Cpu,
+        shadow_fraction: 0.15,
+        outlier_channels: 10,
+        shape_optimized: true,
+        npu_group_size: None,
+    };
+    build_prefill_dag(&cfg, &dag_cfg, &lat).unwrap()
+}
+
+fn bench_dag_build(c: &mut Criterion) {
+    let cfg = ModelConfig::qwen15_18b();
+    let lat = LatencyModel::new(&SocSpec::snapdragon_8gen3());
+    c.bench_function("dag_build_qwen_1024", |b| {
+        b.iter(|| {
+            let dag_cfg = DagConfig {
+                plan: ChunkPlan::new(1024, 256).unwrap(),
+                float_processor: Processor::Cpu,
+                shadow_fraction: 0.15,
+                outlier_channels: 10,
+                shape_optimized: true,
+                npu_group_size: None,
+            };
+            build_prefill_dag(black_box(&cfg), &dag_cfg, &lat).unwrap()
+        })
+    });
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let dag = qwen_dag(1024);
+    let mut group = c.benchmark_group("schedule");
+    group.bench_function("serial", |b| {
+        b.iter(|| schedule(black_box(&dag), Policy::Serial).unwrap())
+    });
+    group.bench_function("fifo_queues", |b| {
+        b.iter(|| schedule(black_box(&dag), Policy::FifoQueues).unwrap())
+    });
+    group.bench_function("out_of_order", |b| {
+        b.iter(|| schedule(black_box(&dag), Policy::OutOfOrder).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dag_build, bench_policies);
+criterion_main!(benches);

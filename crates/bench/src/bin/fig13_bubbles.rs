@@ -1,0 +1,87 @@
+//! Figure 13: execution-bubble comparison between naive overlapping and
+//! out-of-order subgraph execution.
+//!
+//! Paper reference: naive overlapping leaves a 37% bubble rate on the
+//! NPU's critical path; out-of-order dispatch collapses it to 0.7%, and
+//! the ablation (Figure 19) attributes an 18–44% prefill improvement to
+//! this.
+
+use llmnpu_bench::{header, seed_from_args, ExperimentRecord};
+use llmnpu_graph::chunk::ChunkPlan;
+use llmnpu_graph::dag::{build_prefill_dag, DagConfig};
+use llmnpu_model::config::ModelConfig;
+use llmnpu_sched::{schedule, Policy};
+use llmnpu_soc::latency::LatencyModel;
+use llmnpu_soc::spec::SocSpec;
+use llmnpu_soc::Processor;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    model: &'static str,
+    prompt_len: usize,
+    policy: &'static str,
+    makespan_ms: f64,
+    npu_bubble_rate_pct: f64,
+    improvement_over_fifo_pct: f64,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed = seed_from_args();
+    let lat = LatencyModel::new(&SocSpec::snapdragon_8gen3());
+    let mut rows = Vec::new();
+
+    for model in [ModelConfig::qwen15_18b(), ModelConfig::gemma_2b()] {
+        for prompt in [512usize, 1024, 2048] {
+            let dag_cfg = DagConfig {
+                plan: ChunkPlan::new(prompt, 256)?,
+                float_processor: Processor::Cpu,
+                shadow_fraction: 0.15,
+                outlier_channels: 10,
+                shape_optimized: true,
+                npu_group_size: None,
+            };
+            let dag = build_prefill_dag(&model, &dag_cfg, &lat)?;
+            let fifo = schedule(&dag, Policy::FifoQueues)?;
+            let ooo = schedule(&dag, Policy::OutOfOrder)?;
+
+            header(&format!("Figure 13: {} @ {prompt} tokens", model.name));
+            println!(
+                "{:<16} {:>12} {:>14} {:>14}",
+                "policy", "makespan ms", "NPU bubbles", "vs naive"
+            );
+            for (policy, outcome) in [("naive-overlap", &fifo), ("out-of-order", &ooo)] {
+                let improvement =
+                    (1.0 - outcome.makespan_ms / fifo.makespan_ms) * 100.0;
+                println!(
+                    "{:<16} {:>12.0} {:>13.1}% {:>13.1}%",
+                    policy,
+                    outcome.makespan_ms,
+                    outcome.npu_bubble_rate * 100.0,
+                    improvement
+                );
+                rows.push(Row {
+                    model: model.name,
+                    prompt_len: prompt,
+                    policy,
+                    makespan_ms: outcome.makespan_ms,
+                    npu_bubble_rate_pct: outcome.npu_bubble_rate * 100.0,
+                    improvement_over_fifo_pct: improvement,
+                });
+            }
+        }
+    }
+    println!(
+        "\nPaper: 37% bubbles under naive overlapping vs 0.7% under OOE; the\n\
+         makespan improvement lands in Figure 19's 18-44% OOE band."
+    );
+    let path = ExperimentRecord {
+        id: "fig13_bubbles",
+        description: "NPU bubble rates: naive overlap vs out-of-order (Figure 13)",
+        seed,
+        rows,
+    }
+    .save()?;
+    println!("saved {}", path.display());
+    Ok(())
+}

@@ -1,0 +1,150 @@
+//! §5 "Future hardware design implications" — a what-if study of the
+//! three NPU hardware changes the paper calls for, measured against the
+//! shipping-hardware llm.npu baseline (Qwen1.5-1.8B, prompt 1024):
+//!
+//! 1. **Dynamic shape-aware optimization** — hardware/runtime that
+//!    reconfigures for new input shapes without the multi-second
+//!    build/optimize cycle. Evaluated as: what does the *naive* engine
+//!    look like once rebuilds are free, and does chunking still matter?
+//! 2. **Increased data cache size** — a weight cache large enough for
+//!    LLM layers raises sustained INT8 throughput.
+//! 3. **Mixed-precision operands** — FP16×INT8 compute units would let
+//!    attention run on the NPU instead of shuttling to the CPU.
+
+use llmnpu_bench::{header, seed_from_args, ExperimentRecord};
+use llmnpu_core::baselines::{Engine, NaiveNpu};
+use llmnpu_core::engine::{EngineConfig, LlmNpuEngine};
+use llmnpu_graph::chunk::ChunkPlan;
+use llmnpu_graph::dag::{build_prefill_dag, DagConfig};
+use llmnpu_model::config::ModelConfig;
+use llmnpu_sched::{schedule, Policy};
+use llmnpu_soc::latency::LatencyModel;
+use llmnpu_soc::spec::SocSpec;
+use llmnpu_soc::Processor;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    scenario: String,
+    prefill_tokens_per_s: f64,
+    speedup_vs_baseline: f64,
+}
+
+const PROMPT: usize = 1024;
+
+fn llmnpu_speed(soc: &SocSpec) -> f64 {
+    let engine = LlmNpuEngine::new(EngineConfig::llmnpu(
+        ModelConfig::qwen15_18b(),
+        soc.clone(),
+    ))
+    .expect("engine");
+    engine.prefill(PROMPT).expect("prefill").tokens_per_s
+}
+
+/// llm.npu with float stages *on the NPU* — only sensible once
+/// mixed-precision units exist, so it bypasses the engine's validation
+/// and drives the graph/scheduler directly.
+fn llmnpu_npu_float_speed(soc: &SocSpec) -> f64 {
+    let lat = LatencyModel::new(soc);
+    let dag_cfg = DagConfig {
+        plan: ChunkPlan::new(PROMPT, 256).expect("plan"),
+        float_processor: Processor::Npu,
+        shadow_fraction: 0.15,
+        outlier_channels: 10,
+        shape_optimized: true,
+        npu_group_size: None,
+    };
+    let dag = build_prefill_dag(&ModelConfig::qwen15_18b(), &dag_cfg, &lat).expect("dag");
+    let outcome = schedule(&dag, Policy::OutOfOrder).expect("schedule");
+    PROMPT as f64 / (outcome.makespan_ms / 1e3)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed = seed_from_args();
+    let base_soc = SocSpec::snapdragon_8gen3();
+    let baseline = llmnpu_speed(&base_soc);
+    let mut rows = Vec::new();
+    let mut push = |scenario: String, speed: f64| {
+        println!(
+            "{:<52} {:>10.0} {:>9.2}x",
+            scenario,
+            speed,
+            speed / baseline
+        );
+        rows.push(Row {
+            scenario,
+            prefill_tokens_per_s: speed,
+            speedup_vs_baseline: speed / baseline,
+        });
+    };
+
+    header("§5 hardware what-ifs (Qwen1.5-1.8B, prompt 1024, 8gen3 base)");
+    println!("{:<52} {:>10} {:>10}", "scenario", "tok/s", "vs base");
+    push("llm.npu on shipping hardware (baseline)".into(), baseline);
+
+    // (1) Dynamic shape-aware optimization: rebuilds become free.
+    let naive = NaiveNpu::new(ModelConfig::qwen15_18b(), base_soc.clone());
+    let naive_report = naive.prefill(PROMPT)?;
+    push(
+        "naive engine, shipping hw (rebuild per prompt)".into(),
+        naive_report.tokens_per_s,
+    );
+    let rebuild = naive.rebuild_ms(PROMPT);
+    let naive_no_rebuild_ms = naive_report.latency_ms - rebuild;
+    push(
+        "naive engine + dynamic-shape hw (free rebuilds)".into(),
+        PROMPT as f64 / (naive_no_rebuild_ms / 1e3),
+    );
+
+    // (2) Increased data cache: sustained INT8 throughput rises ~30%.
+    let mut big_cache = base_soc.clone();
+    big_cache.npu.gemm_ceiling *= 1.3;
+    big_cache.table3_anchors = false; // no longer the measured silicon
+    push(
+        "llm.npu + 1.3x NPU data cache (higher ceiling)".into(),
+        llmnpu_speed(&big_cache),
+    );
+
+    // (3) Mixed-precision operands: NPU FP16 at 1/4 of INT8 instead of
+    // 1/650 — attention and norms can stay on the NPU.
+    let mut mixed = base_soc.clone();
+    mixed.npu_fp16_factor = 0.25;
+    mixed.table3_anchors = false;
+    push(
+        "llm.npu + mixed-precision units, float on NPU".into(),
+        llmnpu_npu_float_speed(&mixed),
+    );
+    push(
+        "llm.npu + mixed-precision units, float on CPU".into(),
+        llmnpu_speed(&mixed),
+    );
+
+    // All three together.
+    let mut future = base_soc.clone();
+    future.npu.gemm_ceiling *= 1.3;
+    future.npu_fp16_factor = 0.25;
+    future.table3_anchors = false;
+    push(
+        "all three combined (float on NPU)".into(),
+        llmnpu_npu_float_speed(&future),
+    );
+
+    println!(
+        "\nReadings: free rebuilds alone do NOT make the naive port win —\n\
+         chunking/OOE still matter. A bigger weight cache lifts the NPU\n\
+         ceiling directly. Mixed-precision units at 1/4 INT8 rate are NOT\n\
+         enough to justify consolidating float ops onto the NPU: serializing\n\
+         everything on one processor forfeits the CPU/NPU overlap that OOE\n\
+         exploits — supporting the paper's §5 position that INT8 NPU compute\n\
+         plus CPU/GPU float assist will stay the right architecture."
+    );
+    let path = ExperimentRecord {
+        id: "sec5_future_hw",
+        description: "What-if study of the paper's §5 hardware implications",
+        seed,
+        rows,
+    }
+    .save()?;
+    println!("saved {}", path.display());
+    Ok(())
+}

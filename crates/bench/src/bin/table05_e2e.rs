@@ -1,0 +1,111 @@
+//! Table 5: end-to-end latency (prefill + decode) across five datasets ×
+//! five models × all applicable engines, on the Redmi K70 Pro.
+//!
+//! Paper reference (Qwen1.5-1.8B on LongBench 2wikimqa): MLC 45.6 s,
+//! llama.cpp 26.7 s, MNN 10.6 s, ours 1.7 s; geometric-mean speedups at
+//! the bottom of each dataset block (e.g. 34.7x over MLC, 21.8x over
+//! llama.cpp, 4.8x over MNN, 1.7x over TFLite for 2wikimqa).
+
+use llmnpu_bench::{header, seed_from_args, ExperimentRecord};
+use llmnpu_core::baselines::{applicable_baselines, Engine, LlmNpuAsEngine};
+use llmnpu_model::config::ModelConfig;
+use llmnpu_soc::spec::SocSpec;
+use llmnpu_workloads::suites::Suite;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    dataset: &'static str,
+    model: &'static str,
+    engine: String,
+    total_s: f64,
+    prefill_s: f64,
+    decode_s: f64,
+    speedup_vs_ours: f64,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed = seed_from_args();
+    let soc = SocSpec::snapdragon_8gen3();
+    let mut rows = Vec::new();
+
+    for suite in Suite::all_e2e() {
+        header(&format!(
+            "Table 5: {} (prompt {}..{}, output {}..{})",
+            suite.name,
+            suite.prompt_range.0,
+            suite.prompt_range.1,
+            suite.output_range.0,
+            suite.output_range.1
+        ));
+        let sample = suite.midpoint();
+
+        // Per-engine geometric mean of speedups across models.
+        let mut geo: std::collections::BTreeMap<String, (f64, usize)> =
+            std::collections::BTreeMap::new();
+
+        for model in ModelConfig::all_evaluated() {
+            let ours = LlmNpuAsEngine::with_defaults(model.clone(), soc.clone())?;
+            let our_r = ours.e2e(&sample)?;
+            println!("\n  {}:", model.name);
+            println!(
+                "    {:<20} {:>9} {:>10} {:>9} {:>9}",
+                "engine", "total s", "prefill s", "decode s", "speedup"
+            );
+            println!(
+                "    {:<20} {:>9.2} {:>10.2} {:>9.2} {:>9}",
+                ours.name(),
+                our_r.total_ms() / 1e3,
+                our_r.prefill_ms / 1e3,
+                our_r.decode_ms / 1e3,
+                "-"
+            );
+            rows.push(Row {
+                dataset: suite.name,
+                model: model.name,
+                engine: ours.name().to_owned(),
+                total_s: our_r.total_ms() / 1e3,
+                prefill_s: our_r.prefill_ms / 1e3,
+                decode_s: our_r.decode_ms / 1e3,
+                speedup_vs_ours: 1.0,
+            });
+            for engine in applicable_baselines(&model, &soc) {
+                let r = engine.e2e(&sample)?;
+                let speedup = r.total_ms() / our_r.total_ms();
+                println!(
+                    "    {:<20} {:>9.2} {:>10.2} {:>9.2} {:>8.1}x",
+                    engine.name(),
+                    r.total_ms() / 1e3,
+                    r.prefill_ms / 1e3,
+                    r.decode_ms / 1e3,
+                    speedup
+                );
+                let entry = geo.entry(engine.name().to_owned()).or_insert((0.0, 0));
+                entry.0 += speedup.ln();
+                entry.1 += 1;
+                rows.push(Row {
+                    dataset: suite.name,
+                    model: model.name,
+                    engine: engine.name().to_owned(),
+                    total_s: r.total_ms() / 1e3,
+                    prefill_s: r.prefill_ms / 1e3,
+                    decode_s: r.decode_ms / 1e3,
+                    speedup_vs_ours: speedup,
+                });
+            }
+        }
+        println!("\n  geometric-mean speedup of ours over each baseline:");
+        for (name, (log_sum, n)) in geo {
+            println!("    {:<20} {:>6.1}x", name, (log_sum / n as f64).exp());
+        }
+    }
+    let path = ExperimentRecord {
+        id: "table05_e2e",
+        description: "End-to-end latency across datasets/models/engines (Table 5)",
+        seed,
+        rows,
+    }
+    .save()?;
+    println!("\nsaved {}", path.display());
+    Ok(())
+}

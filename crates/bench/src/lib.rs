@@ -1,0 +1,100 @@
+//! Shared helpers for the experiment binaries.
+//!
+//! Every binary under `src/bin/` regenerates one table or figure from the
+//! paper: it prints an aligned text table with a `paper=` reference column
+//! where the paper states a number, and writes a JSON record to
+//! `target/experiments/<id>.json` for downstream analysis.
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// Where experiment JSON records are written.
+#[must_use]
+pub fn experiments_dir() -> PathBuf {
+    PathBuf::from("target/experiments")
+}
+
+/// One experiment's machine-readable output.
+#[derive(Debug, Serialize)]
+pub struct ExperimentRecord<T: Serialize> {
+    /// Experiment id, e.g. `"fig14_prefill_speed"`.
+    pub id: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// Seed used for any stochastic generation.
+    pub seed: u64,
+    /// The result rows.
+    pub rows: T,
+}
+
+impl<T: Serialize> ExperimentRecord<T> {
+    /// Writes the record to `target/experiments/<id>.json`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the directory or file cannot be written.
+    pub fn save(&self) -> std::io::Result<PathBuf> {
+        let dir = experiments_dir();
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::Other, e))?;
+        fs::write(&path, json)?;
+        Ok(path)
+    }
+}
+
+/// Default experiment seed (override with `--seed N`).
+#[must_use]
+pub fn seed_from_args() -> u64 {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--seed" {
+            if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                return v;
+            }
+        }
+    }
+    42
+}
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Formats a ratio as `"12.3x"`.
+#[must_use]
+pub fn ratio(ours: f64, theirs: f64) -> String {
+    if ours <= 0.0 {
+        return "-".to_owned();
+    }
+    format!("{:.1}x", theirs / ours)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_round_trips_to_disk() {
+        let rec = ExperimentRecord {
+            id: "unit_test_record",
+            description: "test",
+            seed: 1,
+            rows: vec![1, 2, 3],
+        };
+        let path = rec.save().unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("unit_test_record"));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn ratio_formats() {
+        assert_eq!(ratio(2.0, 10.0), "5.0x");
+        assert_eq!(ratio(0.0, 10.0), "-");
+    }
+}

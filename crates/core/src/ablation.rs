@@ -1,0 +1,198 @@
+//! The Figure 19 ablation ladder.
+//!
+//! Five rungs, each adding one of llm.npu's techniques on top of the
+//! previous configuration:
+//!
+//! 1. **CPU** — llama.cpp on the mobile CPU.
+//! 2. **Naive** — direct NPU offload: monolithic per-prompt graph
+//!    (rebuilt every inference), per-group MatMul, no overlap. Slower
+//!    than the CPU (§2.3 / Figure 19's 2.55–2.68× delay).
+//! 3. **+Chunk** — pre-built chunk-sharing graphs remove the rebuild and
+//!    enable pipelined (FIFO) CPU/NPU overlap; still per-group.
+//! 4. **+Outlier** — shadow outlier execution replaces per-group with
+//!    NPU-native per-tensor MatMul (the big jump: ~4–9×).
+//! 5. **+OOE** — out-of-order subgraph scheduling removes the remaining
+//!    NPU bubbles (18–44%).
+
+use llmnpu_graph::chunk::ChunkPlan;
+use llmnpu_graph::dag::{build_prefill_dag, DagConfig};
+use llmnpu_model::config::ModelConfig;
+use llmnpu_sched::{schedule, Policy};
+use llmnpu_soc::latency::LatencyModel;
+use llmnpu_soc::spec::SocSpec;
+use llmnpu_soc::Processor;
+
+use crate::baselines::{AnalyticEngine, BaselineKind, Engine, NaiveNpu};
+use crate::report::PrefillReport;
+use crate::Result;
+
+/// One rung of the ablation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AblationStep {
+    /// llama.cpp-CPU reference.
+    Cpu,
+    /// Direct NPU port (rebuild + per-group + serial).
+    Naive,
+    /// + chunk-sharing graphs (pre-built, FIFO overlap).
+    Chunk,
+    /// + shadow outlier execution (per-tensor NPU MatMul).
+    Outlier,
+    /// + out-of-order scheduling (= full llm.npu).
+    OutOfOrder,
+}
+
+impl AblationStep {
+    /// All rungs in Figure 19's order.
+    pub const LADDER: [AblationStep; 5] = [
+        AblationStep::Cpu,
+        AblationStep::Naive,
+        AblationStep::Chunk,
+        AblationStep::Outlier,
+        AblationStep::OutOfOrder,
+    ];
+
+    /// Bar label as in Figure 19.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            AblationStep::Cpu => "CPU",
+            AblationStep::Naive => "Naive",
+            AblationStep::Chunk => "Naive + Chunk",
+            AblationStep::Outlier => "Naive + Chunk + Outlier",
+            AblationStep::OutOfOrder => "Naive + Chunk + Outlier + OOE",
+        }
+    }
+}
+
+/// Runs one ablation rung for a model/device/prompt.
+///
+/// # Errors
+///
+/// Returns an error on invalid configuration or scheduling failure.
+pub fn run_step(
+    step: AblationStep,
+    model: &ModelConfig,
+    soc: &SocSpec,
+    prompt_len: usize,
+) -> Result<PrefillReport> {
+    match step {
+        AblationStep::Cpu => {
+            AnalyticEngine::new(BaselineKind::LlamaCppCpu, model.clone(), soc.clone())
+                .prefill(prompt_len)
+        }
+        AblationStep::Naive => {
+            NaiveNpu::new(model.clone(), soc.clone()).prefill(prompt_len)
+        }
+        AblationStep::Chunk | AblationStep::Outlier | AblationStep::OutOfOrder => {
+            let (group, shadow, shape_opt) = match step {
+                AblationStep::Chunk => (Some(NaiveNpu::GROUP_SIZE), 0.0, false),
+                _ => (None, 0.15, true),
+            };
+            let policy = if step == AblationStep::OutOfOrder {
+                Policy::OutOfOrder
+            } else {
+                Policy::FifoQueues
+            };
+            let lat = LatencyModel::new(soc);
+            let dag_cfg = DagConfig {
+                plan: ChunkPlan::new(prompt_len, 256)?,
+                float_processor: Processor::Cpu,
+                shadow_fraction: shadow,
+                outlier_channels: 10,
+                shape_optimized: shape_opt,
+                npu_group_size: group,
+            };
+            let dag = build_prefill_dag(model, &dag_cfg, &lat)?;
+            let outcome = schedule(&dag, policy)?;
+            let energy = outcome.timeline.energy(soc);
+            Ok(PrefillReport::new(
+                prompt_len,
+                outcome.makespan_ms,
+                energy,
+                outcome.npu_bubble_rate,
+                Some(outcome.timeline),
+            ))
+        }
+    }
+}
+
+/// Runs the full ladder, returning `(step, prefill tokens/s)` pairs.
+///
+/// # Errors
+///
+/// Returns an error if any rung fails.
+pub fn run_ladder(
+    model: &ModelConfig,
+    soc: &SocSpec,
+    prompt_len: usize,
+) -> Result<Vec<(AblationStep, f64)>> {
+    AblationStep::LADDER
+        .iter()
+        .map(|&step| {
+            run_step(step, model, soc, prompt_len).map(|r| (step, r.tokens_per_s))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ladder(model: ModelConfig) -> Vec<(AblationStep, f64)> {
+        run_ladder(&model, &SocSpec::snapdragon_8gen3(), 512).unwrap()
+    }
+
+    #[test]
+    fn ladder_shape_matches_figure19_qwen() {
+        // Figure 19 (Qwen1.5-1.8B, prompt 512): CPU 65 → Naive 25 →
+        // +Chunk 37 → +Outlier 395 → +OOE 569 tokens/s. We require the
+        // qualitative shape: naive < cpu < chunk-rung… actually chunk can
+        // sit near cpu; the defining features are (a) naive is the slowest,
+        // (b) outlier is the big jump, (c) OOE adds 15%+.
+        let l = ladder(ModelConfig::qwen15_18b());
+        let speed: Vec<f64> = l.iter().map(|(_, s)| *s).collect();
+        let (cpu, naive, chunk, outlier, ooe) =
+            (speed[0], speed[1], speed[2], speed[3], speed[4]);
+        assert!(naive < cpu, "naive {naive:.0} should lose to cpu {cpu:.0}");
+        assert!(chunk > naive, "chunk {chunk:.0} should beat naive {naive:.0}");
+        assert!(
+            outlier > 3.0 * chunk,
+            "outlier {outlier:.0} should be the big jump over {chunk:.0}"
+        );
+        assert!(
+            ooe > outlier * 1.1,
+            "ooe {ooe:.0} should add ≥10% over {outlier:.0}"
+        );
+    }
+
+    #[test]
+    fn ladder_absolute_speeds_near_paper_qwen() {
+        // Loose absolute bands around Figure 19's Qwen bars.
+        let l = ladder(ModelConfig::qwen15_18b());
+        let speed: Vec<f64> = l.iter().map(|(_, s)| *s).collect();
+        assert!((30.0..130.0).contains(&speed[0]), "cpu {:.0}", speed[0]);
+        assert!((8.0..60.0).contains(&speed[1]), "naive {:.0}", speed[1]);
+        assert!((15.0..120.0).contains(&speed[2]), "chunk {:.0}", speed[2]);
+        assert!((200.0..1100.0).contains(&speed[3]), "outlier {:.0}", speed[3]);
+        assert!((300.0..1500.0).contains(&speed[4]), "ooe {:.0}", speed[4]);
+    }
+
+    #[test]
+    fn ladder_works_for_llama7b() {
+        // Figure 19 also reports LLaMA-2-7B: CPU 13 → … → 186 tokens/s.
+        let l = ladder(ModelConfig::llama2_7b());
+        let speed: Vec<f64> = l.iter().map(|(_, s)| *s).collect();
+        assert!(speed[1] < speed[0]);
+        assert!(speed[4] > 5.0 * speed[0], "ooe {:.0} vs cpu {:.0}", speed[4], speed[0]);
+    }
+
+    #[test]
+    fn labels_match_figure() {
+        assert_eq!(AblationStep::Cpu.label(), "CPU");
+        assert_eq!(
+            AblationStep::OutOfOrder.label(),
+            "Naive + Chunk + Outlier + OOE"
+        );
+        assert_eq!(AblationStep::LADDER.len(), 5);
+    }
+}

@@ -1,0 +1,187 @@
+//! Decode-stage simulation.
+//!
+//! llm.npu is "compatible with any decoding engine and utilizes the MLLM
+//! CPU backend for decoding stage as easy implementation" (§4). Decoding
+//! is memory-bound — each generated token streams every weight byte
+//! through the decode processor once — so the interesting structure is
+//! not FLOPs but the per-token timeline: weight streaming, attention over
+//! the growing KV cache, and the sampling step. This module produces that
+//! timeline so end-to-end energy and the GPU-vs-CPU decode comparison
+//! (Figure 18b) come from the same discrete-event machinery as prefill.
+
+use llmnpu_model::config::ModelConfig;
+use llmnpu_soc::des::Simulator;
+use llmnpu_soc::latency::LatencyModel;
+use llmnpu_soc::spec::SocSpec;
+use llmnpu_soc::{DataType, Joules, Millis, Processor};
+
+use crate::Result;
+
+/// Outcome of a simulated decode phase.
+#[derive(Debug, Clone)]
+pub struct DecodeReport {
+    /// Tokens generated.
+    pub tokens: usize,
+    /// Total decode latency.
+    pub latency_ms: Millis,
+    /// Decode throughput.
+    pub tokens_per_s: f64,
+    /// Energy over the decode window.
+    pub energy_j: Joules,
+    /// Per-token completion times (monotonically increasing).
+    pub token_times_ms: Vec<Millis>,
+}
+
+/// Decode simulator for one model/device/backend combination.
+#[derive(Debug, Clone)]
+pub struct DecodeSim {
+    model: ModelConfig,
+    soc: SocSpec,
+    lat: LatencyModel,
+    processor: Processor,
+}
+
+impl DecodeSim {
+    /// Creates a decode simulator on the given backend processor.
+    #[must_use]
+    pub fn new(model: ModelConfig, soc: SocSpec, processor: Processor) -> Self {
+        let lat = LatencyModel::new(&soc);
+        DecodeSim {
+            model,
+            soc,
+            lat,
+            processor,
+        }
+    }
+
+    /// Latency of generating the `n`-th new token when the context already
+    /// holds `context_len` tokens.
+    ///
+    /// Components: weight streaming (memory-bound), attention over the
+    /// KV cache, and per-layer dispatch.
+    #[must_use]
+    pub fn token_ms(&self, context_len: usize) -> Millis {
+        let ps = self.soc.proc(self.processor);
+        let weight_ms = self.model.weight_bytes_int8() as f64 / (ps.mem_bw_gbps * 1e6);
+        let attention_ms = self.lat.attention_ms(
+            self.processor,
+            DataType::Fp16,
+            1,
+            context_len.max(1),
+            self.model.q_dim(),
+        ) * self.model.layers as f64;
+        let dispatch = ps.dispatch_overhead_ms * self.model.layers as f64 * 9.0;
+        weight_ms + attention_ms + dispatch
+    }
+
+    /// Simulates decoding `tokens` new tokens after a `prompt_len` prefill.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the simulator rejects a task (cannot happen for
+    /// valid inputs; kept for API uniformity).
+    pub fn run(&self, prompt_len: usize, tokens: usize) -> Result<DecodeReport> {
+        let mut sim = Simulator::new();
+        let mut token_times = Vec::with_capacity(tokens);
+        for i in 0..tokens {
+            let context = prompt_len + i;
+            let end = sim.run(
+                format!("decode-{i}"),
+                self.processor,
+                0.0,
+                self.token_ms(context),
+            )?;
+            token_times.push(end);
+        }
+        let timeline = sim.into_timeline();
+        let latency_ms = timeline.makespan();
+        let energy_j = timeline.energy(&self.soc);
+        Ok(DecodeReport {
+            tokens,
+            latency_ms,
+            tokens_per_s: if latency_ms > 0.0 {
+                tokens as f64 / (latency_ms / 1e3)
+            } else {
+                0.0
+            },
+            energy_j,
+            token_times_ms: token_times,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim(p: Processor) -> DecodeSim {
+        DecodeSim::new(
+            ModelConfig::qwen15_18b(),
+            SocSpec::snapdragon_8gen3(),
+            p,
+        )
+    }
+
+    #[test]
+    fn decode_speed_matches_table5_band() {
+        // Table 5 decode: ~12–16 tok/s for Qwen on the CPU backend.
+        let report = sim(Processor::Cpu).run(700, 16).unwrap();
+        assert!(
+            (8.0..25.0).contains(&report.tokens_per_s),
+            "decode {:.1} tok/s",
+            report.tokens_per_s
+        );
+        assert_eq!(report.tokens, 16);
+        assert_eq!(report.token_times_ms.len(), 16);
+    }
+
+    #[test]
+    fn token_times_are_monotone_and_slow_down_with_context() {
+        let s = sim(Processor::Cpu);
+        let report = s.run(100, 8).unwrap();
+        for w in report.token_times_ms.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        // Longer context → costlier attention per token.
+        assert!(s.token_ms(4000) > s.token_ms(100));
+    }
+
+    #[test]
+    fn gpu_decode_is_faster_than_cpu() {
+        // Figure 18(b)'s premise.
+        let cpu = sim(Processor::Cpu).run(1500, 4).unwrap();
+        let gpu = sim(Processor::Gpu).run(1500, 4).unwrap();
+        assert!(gpu.latency_ms < cpu.latency_ms);
+    }
+
+    #[test]
+    fn decode_is_memory_bound() {
+        // Weight streaming dominates: more than half of per-token latency
+        // at short contexts.
+        let s = sim(Processor::Cpu);
+        let ps = SocSpec::snapdragon_8gen3();
+        let weight_ms = ModelConfig::qwen15_18b().weight_bytes_int8() as f64
+            / (ps.cpu.mem_bw_gbps * 1e6);
+        assert!(weight_ms > 0.5 * s.token_ms(64));
+    }
+
+    #[test]
+    fn bigger_models_decode_slower() {
+        let small = sim(Processor::Cpu).token_ms(500);
+        let big = DecodeSim::new(
+            ModelConfig::llama2_7b(),
+            SocSpec::snapdragon_8gen3(),
+            Processor::Cpu,
+        )
+        .token_ms(500);
+        assert!(big > 2.5 * small);
+    }
+
+    #[test]
+    fn zero_tokens_is_empty_report() {
+        let report = sim(Processor::Cpu).run(100, 0).unwrap();
+        assert_eq!(report.latency_ms, 0.0);
+        assert_eq!(report.tokens_per_s, 0.0);
+        assert!(report.token_times_ms.is_empty());
+    }
+}

@@ -1,0 +1,98 @@
+use std::fmt;
+
+/// Error type for engine operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A graph-construction step failed.
+    Graph(llmnpu_graph::Error),
+    /// A scheduling step failed.
+    Sched(llmnpu_sched::Error),
+    /// A simulator step failed.
+    Soc(llmnpu_soc::Error),
+    /// A model step failed.
+    Model(llmnpu_model::Error),
+    /// The engine does not support the requested model.
+    Unsupported {
+        /// Engine name.
+        engine: &'static str,
+        /// Model name.
+        model: &'static str,
+    },
+    /// A configuration value was invalid.
+    InvalidConfig {
+        /// Description of the constraint that failed.
+        what: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Graph(e) => write!(f, "graph error: {e}"),
+            Error::Sched(e) => write!(f, "scheduling error: {e}"),
+            Error::Soc(e) => write!(f, "simulator error: {e}"),
+            Error::Model(e) => write!(f, "model error: {e}"),
+            Error::Unsupported { engine, model } => {
+                write!(f, "{engine} does not support {model}")
+            }
+            Error::InvalidConfig { what } => write!(f, "invalid engine config: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Graph(e) => Some(e),
+            Error::Sched(e) => Some(e),
+            Error::Soc(e) => Some(e),
+            Error::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<llmnpu_graph::Error> for Error {
+    fn from(e: llmnpu_graph::Error) -> Self {
+        Error::Graph(e)
+    }
+}
+
+impl From<llmnpu_sched::Error> for Error {
+    fn from(e: llmnpu_sched::Error) -> Self {
+        Error::Sched(e)
+    }
+}
+
+impl From<llmnpu_soc::Error> for Error {
+    fn from(e: llmnpu_soc::Error) -> Self {
+        Error::Soc(e)
+    }
+}
+
+impl From<llmnpu_model::Error> for Error {
+    fn from(e: llmnpu_model::Error) -> Self {
+        Error::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = Error::Unsupported {
+            engine: "TFLite",
+            model: "Mistral-7B",
+        };
+        assert!(e.to_string().contains("TFLite"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

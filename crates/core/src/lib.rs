@@ -1,0 +1,37 @@
+//! The llm.npu engine and its baselines.
+//!
+//! This crate is the paper's primary contribution assembled from the
+//! substrates:
+//!
+//! * [`engine`] — [`engine::LlmNpuEngine`]: preparation (chunk-sharing
+//!   graph build/optimize, chunk-length selection, outlier-layer pruning)
+//!   and execution (chunk split → shadow outliers → out-of-order subgraph
+//!   scheduling → decode), with latency, energy, and memory reporting,
+//! * [`baselines`] — the five comparison engines of §4.1 (llama.cpp-CPU,
+//!   MNN-CPU, TFLite-GPU, MLC-LLM-GPU, PowerInfer-v2-NPU) plus the naive
+//!   direct-NPU port of §2.3, all behind one [`baselines::Engine`] trait,
+//! * [`ablation`] — the Figure 19 ladder (CPU → Naive → +Chunk →
+//!   +Outlier → +OOE),
+//! * [`memory`] — the Figure 17 footprint comparison.
+//!
+//! Latency/energy numbers come from the calibrated SoC simulator
+//! (`llmnpu-soc`); accuracy numbers come from the numeric plane
+//! (`llmnpu-model` + `llmnpu-workloads`). See `DESIGN.md` for the full
+//! substitution table.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+
+pub mod ablation;
+pub mod baselines;
+pub mod decode;
+pub mod engine;
+pub mod memory;
+pub mod report;
+
+pub use error::Error;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;

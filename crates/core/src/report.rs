@@ -1,0 +1,149 @@
+//! Result records shared by all engines and experiments.
+
+use llmnpu_soc::des::Timeline;
+use llmnpu_soc::{Joules, Millis};
+
+/// Outcome of one prefill.
+#[derive(Debug, Clone)]
+pub struct PrefillReport {
+    /// Prompt length in tokens.
+    pub prompt_len: usize,
+    /// End-to-end prefill latency.
+    pub latency_ms: Millis,
+    /// Energy consumed over the prefill window.
+    pub energy_j: Joules,
+    /// Prefill throughput (prompt tokens / latency).
+    pub tokens_per_s: f64,
+    /// NPU stall fraction over the makespan (0 for CPU/GPU-only engines).
+    pub npu_bubble_rate: f64,
+    /// The execution trace (None for closed-form analytic engines).
+    pub timeline: Option<Timeline>,
+}
+
+impl PrefillReport {
+    /// Builds a report from latency/energy, deriving throughput.
+    #[must_use]
+    pub fn new(
+        prompt_len: usize,
+        latency_ms: Millis,
+        energy_j: Joules,
+        npu_bubble_rate: f64,
+        timeline: Option<Timeline>,
+    ) -> Self {
+        let tokens_per_s = if latency_ms > 0.0 {
+            prompt_len as f64 / (latency_ms / 1e3)
+        } else {
+            0.0
+        };
+        PrefillReport {
+            prompt_len,
+            latency_ms,
+            energy_j,
+            tokens_per_s,
+            npu_bubble_rate,
+            timeline,
+        }
+    }
+}
+
+/// Outcome of one end-to-end request (prefill + decode).
+#[derive(Debug, Clone)]
+pub struct E2eReport {
+    /// Prompt length in tokens.
+    pub prompt_len: usize,
+    /// Output length in tokens.
+    pub output_len: usize,
+    /// Prefill latency.
+    pub prefill_ms: Millis,
+    /// Total decode latency.
+    pub decode_ms: Millis,
+    /// Prefill energy.
+    pub prefill_energy_j: Joules,
+}
+
+impl E2eReport {
+    /// Total request latency.
+    #[must_use]
+    pub fn total_ms(&self) -> Millis {
+        self.prefill_ms + self.decode_ms
+    }
+
+    /// Prefill share of total latency (Figure 1's metric).
+    #[must_use]
+    pub fn prefill_fraction(&self) -> f64 {
+        let total = self.total_ms();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.prefill_ms / total
+        }
+    }
+}
+
+/// Memory footprint of an engine configuration (Figure 17).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MemoryReport {
+    /// INT8 model weights.
+    pub weight_bytes: u64,
+    /// Activation buffers (per-op for QNN-style engines).
+    pub activation_bytes: u64,
+    /// KV-cache bytes at the reported prompt length.
+    pub kv_bytes: u64,
+    /// Resident float weights for shadow outlier execution (ours only).
+    pub shadow_bytes: u64,
+}
+
+impl MemoryReport {
+    /// Total bytes.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.weight_bytes + self.activation_bytes + self.kv_bytes + self.shadow_bytes
+    }
+
+    /// Total in GiB.
+    #[must_use]
+    pub fn total_gib(&self) -> f64 {
+        self.total() as f64 / (1u64 << 30) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefill_report_derives_throughput() {
+        let r = PrefillReport::new(1024, 1000.0, 3.0, 0.1, None);
+        assert!((r.tokens_per_s - 1024.0).abs() < 1e-9);
+        let z = PrefillReport::new(10, 0.0, 0.0, 0.0, None);
+        assert_eq!(z.tokens_per_s, 0.0);
+    }
+
+    #[test]
+    fn e2e_fractions() {
+        let r = E2eReport {
+            prompt_len: 100,
+            output_len: 4,
+            prefill_ms: 900.0,
+            decode_ms: 100.0,
+            prefill_energy_j: 1.0,
+        };
+        assert_eq!(r.total_ms(), 1000.0);
+        assert!((r.prefill_fraction() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_totals() {
+        let m = MemoryReport {
+            weight_bytes: 1 << 30,
+            activation_bytes: 1 << 29,
+            kv_bytes: 1 << 28,
+            shadow_bytes: 1 << 20,
+        };
+        assert_eq!(
+            m.total(),
+            (1 << 30) + (1 << 29) + (1 << 28) + (1 << 20)
+        );
+        assert!(m.total_gib() > 1.7 && m.total_gib() < 1.8);
+    }
+}

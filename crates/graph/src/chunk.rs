@@ -1,0 +1,121 @@
+//! Fixed-length chunk planning (§3.2).
+//!
+//! Variable-length prompts are split into fixed-size chunks so the NPU can
+//! reuse pre-built, pre-optimized compute graphs. The last chunk is padded
+//! up to the chunk length — the padding waste that Figure 8 trades against
+//! NPU utilization when choosing the chunk length (256 on the Xiaomi 14).
+
+use crate::{Error, Result};
+
+/// The chunk decomposition of one prompt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkPlan {
+    /// Prompt length in tokens.
+    pub prompt_len: usize,
+    /// Fixed chunk length.
+    pub chunk_len: usize,
+    /// Number of chunks (ceil division).
+    pub chunks: usize,
+    /// Padding tokens wasted in the last chunk.
+    pub padding: usize,
+}
+
+impl ChunkPlan {
+    /// Plans a prompt into fixed-size chunks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidPlan`] if either length is zero.
+    pub fn new(prompt_len: usize, chunk_len: usize) -> Result<Self> {
+        if prompt_len == 0 || chunk_len == 0 {
+            return Err(Error::InvalidPlan {
+                what: format!(
+                    "prompt_len {prompt_len} and chunk_len {chunk_len} must be non-zero"
+                ),
+            });
+        }
+        let chunks = prompt_len.div_ceil(chunk_len);
+        let padding = chunks * chunk_len - prompt_len;
+        Ok(ChunkPlan {
+            prompt_len,
+            chunk_len,
+            chunks,
+            padding,
+        })
+    }
+
+    /// Key/value length visible to chunk `i`'s attention — all tokens of
+    /// chunks `0..=i` (the chunk-level causal dependency).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.chunks`.
+    #[must_use]
+    pub fn kv_len(&self, i: usize) -> usize {
+        assert!(i < self.chunks, "chunk {i} out of range");
+        (i + 1) * self.chunk_len
+    }
+
+    /// Fraction of computed tokens that are padding.
+    #[must_use]
+    pub fn padding_fraction(&self) -> f64 {
+        self.padding as f64 / (self.chunks * self.chunk_len) as f64
+    }
+
+    /// Total tokens actually computed (prompt + padding).
+    #[must_use]
+    pub fn computed_tokens(&self) -> usize {
+        self.chunks * self.chunk_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_division_has_no_padding() {
+        let p = ChunkPlan::new(1024, 256).unwrap();
+        assert_eq!(p.chunks, 4);
+        assert_eq!(p.padding, 0);
+        assert_eq!(p.padding_fraction(), 0.0);
+        assert_eq!(p.computed_tokens(), 1024);
+    }
+
+    #[test]
+    fn remainder_pads_last_chunk() {
+        let p = ChunkPlan::new(700, 256).unwrap();
+        assert_eq!(p.chunks, 3);
+        assert_eq!(p.padding, 768 - 700);
+        assert!((p.padding_fraction() - 68.0 / 768.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn short_prompt_wastes_most_of_one_chunk() {
+        // §4.2: "a shorter prompt can lead to a padding problem".
+        let p = ChunkPlan::new(64, 256).unwrap();
+        assert_eq!(p.chunks, 1);
+        assert_eq!(p.padding, 192);
+        assert!(p.padding_fraction() > 0.7);
+    }
+
+    #[test]
+    fn kv_len_grows_causally() {
+        let p = ChunkPlan::new(1024, 256).unwrap();
+        assert_eq!(p.kv_len(0), 256);
+        assert_eq!(p.kv_len(3), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn kv_len_bounds_checked() {
+        let p = ChunkPlan::new(512, 256).unwrap();
+        let _ = p.kv_len(2);
+    }
+
+    #[test]
+    fn zero_lengths_rejected() {
+        assert!(ChunkPlan::new(0, 256).is_err());
+        assert!(ChunkPlan::new(256, 0).is_err());
+    }
+}

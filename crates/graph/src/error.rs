@@ -1,0 +1,63 @@
+use std::fmt;
+
+/// Error type for graph construction.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A chunk/prompt parameter was invalid.
+    InvalidPlan {
+        /// Description of the constraint that failed.
+        what: String,
+    },
+    /// The underlying model configuration was invalid.
+    Model(llmnpu_model::Error),
+    /// A DAG invariant was violated.
+    InvalidDag {
+        /// Description of the violation.
+        what: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidPlan { what } => write!(f, "invalid chunk plan: {what}"),
+            Error::Model(e) => write!(f, "model error: {e}"),
+            Error::InvalidDag { what } => write!(f, "invalid dag: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<llmnpu_model::Error> for Error {
+    fn from(e: llmnpu_model::Error) -> Self {
+        Error::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = Error::InvalidPlan {
+            what: "zero chunk".to_owned(),
+        };
+        assert!(e.to_string().contains("zero chunk"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

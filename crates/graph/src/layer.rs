@@ -1,0 +1,377 @@
+//! Per-layer subgraph decomposition.
+//!
+//! Each decoder layer becomes **six subgraphs** alternating between float
+//! processors and the NPU, following Figure 5's dtype boundaries:
+//!
+//! 1. `AttnPre`  (CPU/GPU, float): pre-attention norm + quantize  — *static*
+//! 2. `QkvLinear` (NPU, INT8): fused Q/K/V projections              — *static*
+//! 3. `Attention` (CPU/GPU, float): RoPE + scores + softmax + A·V  — **dynamic**
+//! 4. `OProj`    (NPU, INT8): output projection                     — *static*
+//! 5. `FfnPre`   (CPU/GPU, float): residual + norm + quantize       — *static*
+//! 6. `Ffn`      (NPU, INT8): gate/up/down projections              — *static*
+//!
+//! Static subgraphs depend only on the chunk length and are shared across
+//! chunks in the chunk-sharing graph (§3.2); the attention subgraph
+//! depends on the chunk's position (its KV length) and must exist per
+//! chunk. With Qwen1.5-1.8B's 24 layers this is 144 subgraphs per chunk,
+//! 120 of them shareable — the paper's exact numbers.
+
+use llmnpu_model::config::ModelConfig;
+use llmnpu_soc::latency::LatencyModel;
+use llmnpu_soc::{DataType, Millis, Processor};
+
+use crate::op::{Op, OpKind};
+
+/// Which of the six per-layer stages a subgraph implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Pre-attention norm + quantize (float).
+    AttnPre,
+    /// Q/K/V linear projections (INT8, NPU).
+    QkvLinear,
+    /// RoPE + attention + softmax (float) — the dynamic stage.
+    Attention,
+    /// Output projection (INT8, NPU).
+    OProj,
+    /// Residual + FFN norm + quantize (float).
+    FfnPre,
+    /// FFN projections (INT8, NPU).
+    Ffn,
+}
+
+impl Stage {
+    /// The six stages in execution order.
+    pub const ORDER: [Stage; 6] = [
+        Stage::AttnPre,
+        Stage::QkvLinear,
+        Stage::Attention,
+        Stage::OProj,
+        Stage::FfnPre,
+        Stage::Ffn,
+    ];
+
+    /// Whether the stage's shape depends on the chunk position (dynamic)
+    /// rather than only the chunk length (static/shareable).
+    #[must_use]
+    pub fn is_dynamic(&self) -> bool {
+        matches!(self, Stage::Attention)
+    }
+
+    /// Whether the stage runs on the NPU in llm.npu's placement.
+    #[must_use]
+    pub fn on_npu(&self) -> bool {
+        matches!(self, Stage::QkvLinear | Stage::OProj | Stage::Ffn)
+    }
+}
+
+/// A subgraph: a run of same-processor ops inside one layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Subgraph {
+    /// Layer index.
+    pub layer: usize,
+    /// Stage within the layer.
+    pub stage: Stage,
+    /// Processor assignment.
+    pub processor: Processor,
+    /// The operator nodes.
+    pub ops: Vec<Op>,
+}
+
+impl Subgraph {
+    /// Total latency of the subgraph's ops.
+    #[must_use]
+    pub fn latency_ms(&self, lat: &LatencyModel) -> Millis {
+        self.ops.iter().map(|op| op.latency_ms(lat)).sum()
+    }
+
+    /// Total weight bytes resident in this subgraph.
+    #[must_use]
+    pub fn weight_bytes(&self) -> u64 {
+        self.ops.iter().map(Op::weight_bytes).sum()
+    }
+
+    /// Total activation-buffer bytes (one buffer per op, QNN-style).
+    #[must_use]
+    pub fn buffer_bytes(&self) -> u64 {
+        self.ops.iter().map(Op::output_bytes).sum()
+    }
+}
+
+/// Options controlling subgraph construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerPlan {
+    /// Chunk length (activation rows for static stages).
+    pub chunk_len: usize,
+    /// KV length visible to the attention stage.
+    pub kv_len: usize,
+    /// Processor that executes the float stages (CPU in the shipped
+    /// prototype; GPU supported per §4.6).
+    pub float_processor: Processor,
+    /// Whether NPU MatMuls use the equivalent-shape optimization.
+    pub shape_optimized: bool,
+    /// Per-group quantization group size for NPU MatMuls (`None` =
+    /// per-tensor, llm.npu's choice; `Some` models K-Quant/AWQ-style
+    /// engines such as PowerInfer-v2).
+    pub npu_group_size: Option<usize>,
+}
+
+/// Builds the six subgraphs of one decoder layer.
+#[must_use]
+pub fn build_layer(cfg: &ModelConfig, layer: usize, plan: &LayerPlan) -> Vec<Subgraph> {
+    let m = plan.chunk_len;
+    let h = cfg.hidden;
+    let fp = plan.float_processor;
+    let mk_npu = |kind: OpKind| {
+        let mut op = Op::new(kind, Processor::Npu, DataType::Int8);
+        if !plan.shape_optimized {
+            op = op.without_shape_opt();
+        }
+        if let Some(gs) = plan.npu_group_size {
+            op = op.with_group_size(gs);
+        }
+        op
+    };
+    // Float stages run FP16 on the CPU/GPU (ARM NEON half-precision /
+    // mobile-GPU native), matching §3.4's NPU ≈ 2× CPU work ratio.
+    let mk_f = |kind: OpKind| Op::new(kind, fp, DataType::Fp16);
+
+    let qkv_out = cfg.q_dim() + 2 * cfg.kv_dim();
+    let mut subgraphs = Vec::with_capacity(6);
+
+    subgraphs.push(Subgraph {
+        layer,
+        stage: Stage::AttnPre,
+        processor: fp,
+        ops: vec![
+            mk_f(OpKind::Norm { rows: m, width: h }),
+            mk_f(OpKind::Quantize { elements: m * h }),
+        ],
+    });
+
+    subgraphs.push(Subgraph {
+        layer,
+        stage: Stage::QkvLinear,
+        processor: Processor::Npu,
+        ops: vec![
+            mk_npu(OpKind::MatMul {
+                m,
+                k: h,
+                n: cfg.q_dim(),
+            }),
+            mk_npu(OpKind::MatMul {
+                m,
+                k: h,
+                n: cfg.kv_dim(),
+            }),
+            mk_npu(OpKind::MatMul {
+                m,
+                k: h,
+                n: cfg.kv_dim(),
+            }),
+        ],
+    });
+
+    subgraphs.push(Subgraph {
+        layer,
+        stage: Stage::Attention,
+        processor: fp,
+        ops: vec![
+            mk_f(OpKind::Dequantize {
+                elements: m * qkv_out,
+            }),
+            mk_f(OpKind::Rope {
+                rows: m,
+                width: cfg.q_dim() + cfg.kv_dim(),
+            }),
+            mk_f(OpKind::Attention {
+                m,
+                kv_len: plan.kv_len,
+                width: cfg.q_dim(),
+            }),
+            mk_f(OpKind::Quantize {
+                elements: m * cfg.q_dim(),
+            }),
+        ],
+    });
+
+    subgraphs.push(Subgraph {
+        layer,
+        stage: Stage::OProj,
+        processor: Processor::Npu,
+        ops: vec![mk_npu(OpKind::MatMul {
+            m,
+            k: cfg.q_dim(),
+            n: h,
+        })],
+    });
+
+    subgraphs.push(Subgraph {
+        layer,
+        stage: Stage::FfnPre,
+        processor: fp,
+        ops: vec![
+            mk_f(OpKind::Dequantize { elements: m * h }),
+            mk_f(OpKind::Residual { elements: m * h }),
+            mk_f(OpKind::Norm { rows: m, width: h }),
+            mk_f(OpKind::Quantize { elements: m * h }),
+        ],
+    });
+
+    let mut ffn_ops = Vec::new();
+    if cfg.act.gated() {
+        ffn_ops.push(mk_npu(OpKind::MatMul {
+            m,
+            k: h,
+            n: cfg.ffn_hidden,
+        }));
+    }
+    ffn_ops.push(mk_npu(OpKind::MatMul {
+        m,
+        k: h,
+        n: cfg.ffn_hidden,
+    }));
+    ffn_ops.push(mk_npu(OpKind::MatMul {
+        m,
+        k: cfg.ffn_hidden,
+        n: h,
+    }));
+    subgraphs.push(Subgraph {
+        layer,
+        stage: Stage::Ffn,
+        processor: Processor::Npu,
+        ops: ffn_ops,
+    });
+
+    subgraphs
+}
+
+/// Builds all layers' subgraphs for one chunk.
+#[must_use]
+pub fn build_chunk_subgraphs(cfg: &ModelConfig, plan: &LayerPlan) -> Vec<Subgraph> {
+    (0..cfg.layers)
+        .flat_map(|l| build_layer(cfg, l, plan))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmnpu_model::config::ModelConfig;
+    use llmnpu_soc::spec::SocSpec;
+
+    fn plan() -> LayerPlan {
+        LayerPlan {
+            chunk_len: 256,
+            kv_len: 512,
+            float_processor: Processor::Cpu,
+            shape_optimized: true,
+            npu_group_size: None,
+        }
+    }
+
+    #[test]
+    fn qwen_has_144_subgraphs_120_shared() {
+        // §3.2: "120 out of 144 subgraphs can be shared in Qwen1.5-1.8B".
+        let cfg = ModelConfig::qwen15_18b();
+        let subgraphs = build_chunk_subgraphs(&cfg, &plan());
+        assert_eq!(subgraphs.len(), 144);
+        let shared = subgraphs.iter().filter(|s| !s.stage.is_dynamic()).count();
+        assert_eq!(shared, 120);
+    }
+
+    #[test]
+    fn stage_processor_assignment() {
+        let cfg = ModelConfig::qwen15_18b();
+        for sg in build_chunk_subgraphs(&cfg, &plan()) {
+            if sg.stage.on_npu() {
+                assert_eq!(sg.processor, Processor::Npu);
+                assert!(sg.ops.iter().all(|o| o.dtype == DataType::Int8));
+            } else {
+                assert_eq!(sg.processor, Processor::Cpu);
+                assert!(sg.ops.iter().all(|o| o.dtype == DataType::Fp16));
+            }
+        }
+    }
+
+    #[test]
+    fn only_attention_is_dynamic_and_weightless() {
+        let cfg = ModelConfig::qwen15_18b();
+        for sg in build_chunk_subgraphs(&cfg, &plan()) {
+            if sg.stage.is_dynamic() {
+                assert_eq!(sg.stage, Stage::Attention);
+                // §3.2: "most dynamic operators, like Attention, do not
+                // contain weights".
+                assert_eq!(sg.weight_bytes(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn ungated_ffn_has_two_matmuls() {
+        let cfg = ModelConfig::phi2_27b();
+        let layer = build_layer(&cfg, 0, &plan());
+        let ffn = layer.iter().find(|s| s.stage == Stage::Ffn).unwrap();
+        assert_eq!(ffn.ops.len(), 2);
+        let gated = build_layer(&ModelConfig::qwen15_18b(), 0, &plan());
+        let ffn_gated = gated.iter().find(|s| s.stage == Stage::Ffn).unwrap();
+        assert_eq!(ffn_gated.ops.len(), 3);
+    }
+
+    #[test]
+    fn npu_work_dominates_cpu_work() {
+        // §3.4: "the workload of the NPU is heavier and constitutes the
+        // critical path" — NPU subgraph time ≈ 2× CPU for a 256 prompt.
+        let cfg = ModelConfig::qwen15_18b();
+        let lat = LatencyModel::new(&SocSpec::snapdragon_8gen3());
+        let p = LayerPlan {
+            chunk_len: 256,
+            kv_len: 256,
+            float_processor: Processor::Cpu,
+            shape_optimized: true,
+            npu_group_size: None,
+        };
+        let subgraphs = build_chunk_subgraphs(&cfg, &p);
+        let npu: f64 = subgraphs
+            .iter()
+            .filter(|s| s.processor == Processor::Npu)
+            .map(|s| s.latency_ms(&lat))
+            .sum();
+        let cpu: f64 = subgraphs
+            .iter()
+            .filter(|s| s.processor == Processor::Cpu)
+            .map(|s| s.latency_ms(&lat))
+            .sum();
+        assert!(npu > cpu, "npu {npu} should exceed cpu {cpu}");
+        assert!(npu < 6.0 * cpu, "npu {npu} vs cpu {cpu} should be same order");
+    }
+
+    #[test]
+    fn gpu_float_placement_works() {
+        let cfg = ModelConfig::gemma_2b();
+        let p = LayerPlan {
+            float_processor: Processor::Gpu,
+            ..plan()
+        };
+        let subgraphs = build_layer(&cfg, 0, &p);
+        let attn = subgraphs.iter().find(|s| s.stage == Stage::Attention).unwrap();
+        assert_eq!(attn.processor, Processor::Gpu);
+    }
+
+    #[test]
+    fn buffers_scale_with_chunk_len() {
+        let cfg = ModelConfig::qwen15_18b();
+        let small = LayerPlan {
+            chunk_len: 32,
+            kv_len: 32,
+            ..plan()
+        };
+        let large = LayerPlan {
+            chunk_len: 512,
+            kv_len: 512,
+            ..plan()
+        };
+        let b_small: u64 = build_layer(&cfg, 0, &small).iter().map(Subgraph::buffer_bytes).sum();
+        let b_large: u64 = build_layer(&cfg, 0, &large).iter().map(Subgraph::buffer_bytes).sum();
+        assert!(b_large > 10 * b_small);
+    }
+}

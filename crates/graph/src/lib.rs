@@ -1,0 +1,37 @@
+//! Compute-graph IR, chunk graphs, chunk-sharing graphs, and the prefill
+//! DAG for the llm.npu reproduction.
+//!
+//! This crate turns a [`llmnpu_model::config::ModelConfig`] into the
+//! structures §3.2–§3.4 of the paper reason about:
+//!
+//! * [`op`] — typed operator nodes with per-device costs from the
+//!   calibrated latency model,
+//! * [`layer`] — the per-layer subgraph decomposition. Each decoder layer
+//!   becomes six subgraphs alternating CPU/GPU (float) and NPU (INT8);
+//!   with Qwen1.5-1.8B's 24 layers this yields the paper's 144 subgraphs
+//!   per chunk, of which the 24 attention subgraphs are *dynamic*
+//!   (chunk-position-dependent) and the other 120 are *shareable*,
+//! * [`chunk`] — fixed-length chunk planning with padding accounting
+//!   (Figure 8's trade-off),
+//! * [`dag`] — the prefill task DAG with intra-chunk (Equation 3) and
+//!   cross-chunk (Equation 2) dependencies, plus shadow-outlier tasks and
+//!   their synchronization,
+//! * [`memory`] — graph memory accounting: per-chunk vs chunk-sharing
+//!   buffer footprints (§3.2's up-to-4× saving), weight placement under
+//!   the NPU's addressable window, and shadow weight residency.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+
+pub mod chunk;
+pub mod dag;
+pub mod layer;
+pub mod memory;
+pub mod op;
+
+pub use error::Error;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;

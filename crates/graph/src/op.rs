@@ -1,0 +1,408 @@
+//! Typed operator nodes and their device costs.
+//!
+//! Operators carry just enough shape information for the calibrated
+//! latency model to cost them on any processor, and for the memory model
+//! to size their buffers. The dtype split follows Figure 5: linear MatMuls
+//! run INT8, everything between them runs float.
+
+use llmnpu_soc::latency::LatencyModel;
+use llmnpu_soc::{DataType, Millis, Processor};
+
+/// Speedup of the equivalent-shape optimization (§4, implementation
+/// optimization (1)): reshaping `1024×1×2048` activations to `32×32×2048`
+/// cuts NPU linear latency by 1.62×. Engines that skip the optimization
+/// pay this factor.
+pub const SHAPE_OPT_SPEEDUP: f64 = 1.62;
+
+/// The operator vocabulary of a quantized decoder layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpKind {
+    /// Dense MatMul `m×k × k×n`.
+    MatMul {
+        /// Activation rows.
+        m: usize,
+        /// Reduction width.
+        k: usize,
+        /// Output width.
+        n: usize,
+    },
+    /// Full attention for one chunk: scores, mask+softmax, weighted sum.
+    Attention {
+        /// Query rows (chunk length).
+        m: usize,
+        /// Key/value length visible to this chunk.
+        kv_len: usize,
+        /// Total attention width (heads × head_dim).
+        width: usize,
+    },
+    /// LayerNorm/RMSNorm over `rows × width`.
+    Norm {
+        /// Rows.
+        rows: usize,
+        /// Width.
+        width: usize,
+    },
+    /// Quantize float → INT8.
+    Quantize {
+        /// Elements converted.
+        elements: usize,
+    },
+    /// Dequantize INT8/INT32 → float.
+    Dequantize {
+        /// Elements converted.
+        elements: usize,
+    },
+    /// RoPE application.
+    Rope {
+        /// Rows.
+        rows: usize,
+        /// Width.
+        width: usize,
+    },
+    /// FFN activation (SiLU/GELU) plus optional gating multiply.
+    Activation {
+        /// Elements touched.
+        elements: usize,
+    },
+    /// Residual addition.
+    Residual {
+        /// Elements touched.
+        elements: usize,
+    },
+    /// Compact shadow MatMul over extracted outlier channels (§3.3).
+    ShadowMatMul {
+        /// Activation rows.
+        m: usize,
+        /// Extracted outlier channels.
+        channels: usize,
+        /// Output width.
+        n: usize,
+    },
+    /// Cross-processor synchronization of `bytes` through the shared buffer.
+    Sync {
+        /// Bytes transferred.
+        bytes: u64,
+    },
+}
+
+/// One operator node placed on a processor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Op {
+    /// What the operator computes.
+    pub kind: OpKind,
+    /// Where it runs.
+    pub processor: Processor,
+    /// Its compute data type.
+    pub dtype: DataType,
+    /// Whether the engine applied the equivalent-shape optimization
+    /// (meaningful for NPU MatMuls only).
+    pub shape_optimized: bool,
+    /// Per-group quantization group size along the reduction dimension
+    /// (`None` = per-tensor). On the NPU, per-group MatMul must be split
+    /// into `K / group_size` sub-MatMuls whose partial results are reduced
+    /// with float additions — the 8.1–10.7× overhead of Figure 4.
+    pub group_size: Option<usize>,
+}
+
+impl Op {
+    /// Convenience constructor (per-tensor, shape-optimized).
+    #[must_use]
+    pub fn new(kind: OpKind, processor: Processor, dtype: DataType) -> Self {
+        Op {
+            kind,
+            processor,
+            dtype,
+            shape_optimized: true,
+            group_size: None,
+        }
+    }
+
+    /// Marks the op as running without the shape optimization.
+    #[must_use]
+    pub fn without_shape_opt(mut self) -> Self {
+        self.shape_optimized = false;
+        self
+    }
+
+    /// Marks a MatMul as per-group quantized with the given group size.
+    #[must_use]
+    pub fn with_group_size(mut self, group_size: usize) -> Self {
+        self.group_size = Some(group_size);
+        self
+    }
+
+    /// Latency of this op on its assigned processor.
+    #[must_use]
+    pub fn latency_ms(&self, lat: &LatencyModel) -> Millis {
+        match &self.kind {
+            OpKind::MatMul { m, k, n } => {
+                let mut base = lat.matmul_ms(self.processor, self.dtype, *m, *k, *n);
+                if self.processor == Processor::Npu && !self.shape_optimized {
+                    base *= SHAPE_OPT_SPEEDUP;
+                }
+                if let Some(gs) = self.group_size {
+                    base += self.group_overhead_ms(lat, *m, *k, *n, gs);
+                }
+                base
+            }
+            OpKind::Attention { m, kv_len, width } => {
+                lat.attention_ms(self.processor, self.dtype, *m, *kv_len, *width)
+            }
+            OpKind::Norm { rows, width } => {
+                lat.streaming_ms(self.processor, self.dtype, rows * width, 8.0)
+            }
+            OpKind::Quantize { elements } | OpKind::Dequantize { elements } => {
+                lat.streaming_ms(self.processor, self.dtype, *elements, 2.0)
+            }
+            OpKind::Rope { rows, width } => {
+                lat.streaming_ms(self.processor, self.dtype, rows * width, 8.0)
+            }
+            OpKind::Activation { elements } => {
+                lat.streaming_ms(self.processor, self.dtype, *elements, 6.0)
+            }
+            OpKind::Residual { elements } => {
+                lat.streaming_ms(self.processor, self.dtype, *elements, 1.0)
+            }
+            OpKind::ShadowMatMul { m, channels, n } => {
+                lat.matmul_ms(self.processor, self.dtype, *m, (*channels).max(1), *n)
+            }
+            OpKind::Sync { bytes } => lat.spec().sync_ms(*bytes),
+        }
+    }
+
+    /// Extra cost of executing a MatMul at per-group granularity on this
+    /// op's processor: `K / group_size` sub-MatMul dispatches plus the
+    /// float reduction of partial results (§2.3, Figure 3(b)). On the NPU
+    /// the float additions run at its dismal FP16 rate, which is what
+    /// produces the order-of-magnitude slowdown of Figure 4; on the CPU
+    /// the float adds are cheap and the overhead stays small.
+    fn group_overhead_ms(
+        &self,
+        lat: &LatencyModel,
+        m: usize,
+        k: usize,
+        n: usize,
+        group_size: usize,
+    ) -> Millis {
+        let groups = k.div_ceil(group_size.max(1)).max(1);
+        if groups <= 1 {
+            return 0.0;
+        }
+        let dispatch = lat.spec().proc(self.processor).dispatch_overhead_ms
+            * (groups - 1) as f64;
+        // (groups - 1) float additions per output element.
+        let reduce = lat.streaming_ms(
+            self.processor,
+            DataType::Fp16,
+            m * n,
+            (groups - 1) as f64,
+        );
+        dispatch + reduce
+    }
+
+    /// Output activation bytes this op's buffer must hold (QNN-style
+    /// engines allocate an independent buffer per operator, §4.5).
+    #[must_use]
+    pub fn output_bytes(&self) -> u64 {
+        let elems = match &self.kind {
+            OpKind::MatMul { m, n, .. } => m * n,
+            OpKind::Attention { m, width, .. } => m * width,
+            OpKind::Norm { rows, width } | OpKind::Rope { rows, width } => rows * width,
+            OpKind::Quantize { elements }
+            | OpKind::Dequantize { elements }
+            | OpKind::Activation { elements }
+            | OpKind::Residual { elements } => *elements,
+            OpKind::ShadowMatMul { m, n, .. } => m * n,
+            OpKind::Sync { .. } => 0,
+        };
+        elems as u64 * self.dtype.bytes()
+    }
+
+    /// Weight bytes the op holds resident (INT8 MatMul weights; zero for
+    /// weightless ops like attention — the key §3.2 insight that makes
+    /// dynamic subgraphs cheap to replicate).
+    #[must_use]
+    pub fn weight_bytes(&self) -> u64 {
+        match &self.kind {
+            OpKind::MatMul { k, n, .. } => (k * n) as u64 * self.dtype.bytes(),
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmnpu_soc::spec::SocSpec;
+
+    fn lat() -> LatencyModel {
+        LatencyModel::new(&SocSpec::snapdragon_8gen3())
+    }
+
+    #[test]
+    fn matmul_cost_uses_anchor() {
+        let op = Op::new(
+            OpKind::MatMul {
+                m: 64,
+                k: 2048,
+                n: 2048,
+            },
+            Processor::Npu,
+            DataType::Int8,
+        );
+        assert_eq!(op.latency_ms(&lat()), 0.9);
+    }
+
+    #[test]
+    fn unoptimized_npu_matmul_is_slower() {
+        let kind = OpKind::MatMul {
+            m: 256,
+            k: 2048,
+            n: 2048,
+        };
+        let fast = Op::new(kind.clone(), Processor::Npu, DataType::Int8);
+        let slow = Op::new(kind, Processor::Npu, DataType::Int8).without_shape_opt();
+        let l = lat();
+        assert!((slow.latency_ms(&l) / fast.latency_ms(&l) - SHAPE_OPT_SPEEDUP).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shape_opt_flag_ignored_off_npu() {
+        let kind = OpKind::MatMul {
+            m: 256,
+            k: 2048,
+            n: 2048,
+        };
+        let a = Op::new(kind.clone(), Processor::Cpu, DataType::Int8);
+        let b = Op::new(kind, Processor::Cpu, DataType::Int8).without_shape_opt();
+        let l = lat();
+        assert_eq!(a.latency_ms(&l), b.latency_ms(&l));
+    }
+
+    #[test]
+    fn attention_has_no_weights() {
+        let op = Op::new(
+            OpKind::Attention {
+                m: 256,
+                kv_len: 1024,
+                width: 2048,
+            },
+            Processor::Cpu,
+            DataType::Fp32,
+        );
+        assert_eq!(op.weight_bytes(), 0);
+        assert_eq!(op.output_bytes(), 256 * 2048 * 4);
+    }
+
+    #[test]
+    fn matmul_weights_counted_in_dtype() {
+        let op = Op::new(
+            OpKind::MatMul {
+                m: 8,
+                k: 128,
+                n: 64,
+            },
+            Processor::Npu,
+            DataType::Int8,
+        );
+        assert_eq!(op.weight_bytes(), 128 * 64);
+        assert_eq!(op.output_bytes(), 8 * 64);
+    }
+
+    #[test]
+    fn shadow_matmul_is_cheap() {
+        let l = lat();
+        let dense = Op::new(
+            OpKind::MatMul {
+                m: 256,
+                k: 2048,
+                n: 2048,
+            },
+            Processor::Npu,
+            DataType::Int8,
+        );
+        let shadow = Op::new(
+            OpKind::ShadowMatMul {
+                m: 256,
+                channels: 6, // ~0.3% of 2048
+                n: 2048,
+            },
+            Processor::Cpu,
+            DataType::Fp32,
+        );
+        // §3.3: "the shadow execution on CPU is much faster than the
+        // execution of the original tensor on NPU".
+        assert!(shadow.latency_ms(&l) < dense.latency_ms(&l));
+    }
+
+    #[test]
+    fn sync_cost_comes_from_spec() {
+        let op = Op::new(OpKind::Sync { bytes: 1_000_000 }, Processor::Cpu, DataType::Fp32);
+        let l = lat();
+        assert!((op.latency_ms(&l) - l.spec().sync_ms(1_000_000)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_group_npu_matmul_pays_order_of_magnitude() {
+        // Figure 4: per-group quantization (K-Quant/AWQ) costs 8.1–10.7×
+        // on the NPU. Our model should land in that neighborhood.
+        let l = lat();
+        let kind = OpKind::MatMul {
+            m: 256,
+            k: 2048,
+            n: 2048,
+        };
+        let dense = Op::new(kind.clone(), Processor::Npu, DataType::Int8);
+        let grouped =
+            Op::new(kind, Processor::Npu, DataType::Int8).with_group_size(64);
+        let ratio = grouped.latency_ms(&l) / dense.latency_ms(&l);
+        assert!(
+            (5.0..25.0).contains(&ratio),
+            "per-group/ per-tensor ratio {ratio:.1} should be ~an order of magnitude"
+        );
+    }
+
+    #[test]
+    fn per_group_is_cheap_on_cpu() {
+        // The same split on a CPU costs little: float adds are fast there,
+        // which is why llama.cpp-style engines can afford K-Quant.
+        let l = lat();
+        let kind = OpKind::MatMul {
+            m: 256,
+            k: 2048,
+            n: 2048,
+        };
+        let dense = Op::new(kind.clone(), Processor::Cpu, DataType::Int8);
+        let grouped =
+            Op::new(kind, Processor::Cpu, DataType::Int8).with_group_size(64);
+        let ratio = grouped.latency_ms(&l) / dense.latency_ms(&l);
+        assert!(ratio < 1.5, "cpu group overhead ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn group_size_at_least_k_is_free() {
+        let l = lat();
+        let kind = OpKind::MatMul {
+            m: 8,
+            k: 64,
+            n: 64,
+        };
+        let dense = Op::new(kind.clone(), Processor::Npu, DataType::Int8);
+        let grouped = Op::new(kind, Processor::Npu, DataType::Int8).with_group_size(64);
+        assert_eq!(dense.latency_ms(&l), grouped.latency_ms(&l));
+    }
+
+    #[test]
+    fn zero_channel_shadow_still_valid() {
+        let op = Op::new(
+            OpKind::ShadowMatMul {
+                m: 4,
+                channels: 0,
+                n: 16,
+            },
+            Processor::Cpu,
+            DataType::Fp32,
+        );
+        assert!(op.latency_ms(&lat()).is_finite());
+    }
+}

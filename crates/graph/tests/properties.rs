@@ -1,0 +1,147 @@
+//! Property-based tests for the graph crate: chunk plans, subgraph
+//! structure, DAG dependency rules, and memory accounting must hold for
+//! arbitrary model shapes.
+
+use proptest::prelude::*;
+
+use llmnpu_graph::chunk::ChunkPlan;
+use llmnpu_graph::dag::{build_prefill_dag, shadow_active_layers, DagConfig, TaskRole};
+use llmnpu_graph::layer::{build_chunk_subgraphs, LayerPlan};
+use llmnpu_graph::memory::graph_memory;
+use llmnpu_model::config::ModelConfig;
+use llmnpu_soc::latency::LatencyModel;
+use llmnpu_soc::spec::SocSpec;
+use llmnpu_soc::Processor;
+
+fn small_config() -> impl Strategy<Value = ModelConfig> {
+    (1usize..5, 1usize..4).prop_map(|(layers, ffn_mult)| {
+        let mut cfg = ModelConfig::tiny();
+        cfg.layers = layers;
+        cfg.ffn_hidden = cfg.hidden * ffn_mult;
+        cfg
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Six subgraphs per layer, one dynamic, three on the NPU — for any
+    /// architecture.
+    #[test]
+    fn subgraph_structure_invariant(cfg in small_config(), chunk in 8usize..128) {
+        let plan = LayerPlan {
+            chunk_len: chunk,
+            kv_len: chunk * 2,
+            float_processor: Processor::Cpu,
+            shape_optimized: true,
+            npu_group_size: None,
+        };
+        let subgraphs = build_chunk_subgraphs(&cfg, &plan);
+        prop_assert_eq!(subgraphs.len(), 6 * cfg.layers);
+        let dynamic = subgraphs.iter().filter(|s| s.stage.is_dynamic()).count();
+        prop_assert_eq!(dynamic, cfg.layers);
+        let npu = subgraphs.iter().filter(|s| s.processor == Processor::Npu).count();
+        prop_assert_eq!(npu, 3 * cfg.layers);
+        // Dynamic subgraphs never hold weights (the §3.2 sharing insight).
+        for sg in subgraphs.iter().filter(|s| s.stage.is_dynamic()) {
+            prop_assert_eq!(sg.weight_bytes(), 0);
+        }
+    }
+
+    /// Per-group costs never undercut per-tensor costs on the NPU.
+    #[test]
+    fn per_group_never_cheaper(cfg in small_config(), group_pow in 2u32..6) {
+        let lat = LatencyModel::new(&SocSpec::snapdragon_8gen3());
+        let base = LayerPlan {
+            chunk_len: 64,
+            kv_len: 64,
+            float_processor: Processor::Cpu,
+            shape_optimized: true,
+            npu_group_size: None,
+        };
+        let grouped = LayerPlan {
+            npu_group_size: Some(1 << group_pow),
+            ..base
+        };
+        let t_base: f64 = build_chunk_subgraphs(&cfg, &base)
+            .iter()
+            .map(|s| s.latency_ms(&lat))
+            .sum();
+        let t_grouped: f64 = build_chunk_subgraphs(&cfg, &grouped)
+            .iter()
+            .map(|s| s.latency_ms(&lat))
+            .sum();
+        prop_assert!(t_grouped + 1e-12 >= t_base);
+    }
+
+    /// DAG construction invariants for arbitrary shapes: topological
+    /// order, per-chunk task counts, shadow/merge pairing.
+    #[test]
+    fn dag_invariants(
+        cfg in small_config(),
+        chunks in 1usize..5,
+        shadow in 0.0f64..1.0,
+    ) {
+        let lat = LatencyModel::new(&SocSpec::snapdragon_8gen3());
+        let dag_cfg = DagConfig {
+            plan: ChunkPlan::new(chunks * 32, 32).unwrap(),
+            float_processor: Processor::Cpu,
+            shadow_fraction: shadow,
+            outlier_channels: 4,
+            shape_optimized: true,
+            npu_group_size: None,
+        };
+        let dag = build_prefill_dag(&cfg, &dag_cfg, &lat).unwrap();
+        dag.validate().unwrap();
+
+        let mains = dag.tasks().iter().filter(|t| t.role == TaskRole::Main).count();
+        prop_assert_eq!(mains, chunks * 6 * cfg.layers);
+        let shadows = dag.tasks().iter().filter(|t| t.role == TaskRole::Shadow).count();
+        let merges = dag.tasks().iter().filter(|t| t.role == TaskRole::MergeSync).count();
+        prop_assert_eq!(shadows, merges);
+        let kept = shadow_active_layers(cfg.layers, shadow)
+            .iter()
+            .filter(|&&k| k)
+            .count();
+        prop_assert_eq!(shadows, chunks * 2 * kept);
+
+        // Durations are positive and finite.
+        for t in dag.tasks() {
+            prop_assert!(t.duration_ms.is_finite() && t.duration_ms > 0.0);
+        }
+        // Critical path positive and no longer than total work.
+        let total: f64 = dag.tasks().iter().map(|t| t.duration_ms).sum();
+        let cp = dag.critical_path_ms();
+        prop_assert!(cp > 0.0 && cp <= total + 1e-9);
+    }
+
+    /// Chunk-sharing memory accounting: sharing never exceeds the naive
+    /// design, and the saving grows with chunk count.
+    #[test]
+    fn sharing_never_worse(cfg in small_config(), chunks in 1usize..6) {
+        let plan = ChunkPlan::new(chunks * 32, 32).unwrap();
+        let mem = graph_memory(&cfg, &plan, Processor::Cpu);
+        prop_assert!(mem.sharing_total() <= mem.no_sharing_total());
+        prop_assert!((0.0..1.0).contains(&mem.saving_fraction()));
+        if chunks > 1 {
+            let single = graph_memory(&cfg, &ChunkPlan::new(32, 32).unwrap(), Processor::Cpu);
+            prop_assert!(mem.saving_fraction() >= single.saving_fraction());
+        }
+    }
+
+    /// shadow_active_layers keeps exactly the rounded fraction, always
+    /// preferring the edges.
+    #[test]
+    fn shadow_selection_counts(layers in 1usize..64, fraction in 0.0f64..1.0) {
+        let mask = shadow_active_layers(layers, fraction);
+        prop_assert_eq!(mask.len(), layers);
+        let kept = mask.iter().filter(|&&k| k).count();
+        prop_assert_eq!(kept, (layers as f64 * fraction).round() as usize);
+        if kept > 0 {
+            prop_assert!(mask[0], "first layer kept first");
+        }
+        if kept > 1 {
+            prop_assert!(mask[layers - 1], "last layer kept second");
+        }
+    }
+}

@@ -1,0 +1,521 @@
+//! Pluggable linear-layer execution backends.
+//!
+//! The transformer forward pass in [`crate::forward`] routes every weighted
+//! projection through a [`LinearBackend`]. Swapping the backend swaps the
+//! quantization scheme without touching the rest of the model — the same
+//! factoring the paper uses when it compares FP16, SmoothQuant, LLM.int8(),
+//! K-Quant, and llm.npu on identical checkpoints (Table 6).
+
+use std::collections::HashMap;
+
+use llmnpu_quant::mixed::MixedLinear;
+use llmnpu_quant::outlier::{calibrate_scale, prune_layers, ShadowLinear};
+use llmnpu_quant::per_group::GroupedLinear;
+use llmnpu_quant::per_tensor::QuantizedLinear;
+use llmnpu_quant::smooth::SmoothedLinear;
+use llmnpu_tensor::{gemm, Tensor};
+
+use crate::weights::ModelWeights;
+use crate::{Error, Result};
+
+/// Which projection a linear call belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LinearKind {
+    /// Query projection.
+    Q,
+    /// Key projection.
+    K,
+    /// Value projection.
+    V,
+    /// Attention output projection.
+    O,
+    /// FFN gate projection.
+    Gate,
+    /// FFN up projection.
+    Up,
+    /// FFN down projection.
+    Down,
+}
+
+impl LinearKind {
+    /// All kinds in layer order.
+    pub const ALL: [LinearKind; 7] = [
+        LinearKind::Q,
+        LinearKind::K,
+        LinearKind::V,
+        LinearKind::O,
+        LinearKind::Gate,
+        LinearKind::Up,
+        LinearKind::Down,
+    ];
+
+    /// Short label (matches the paper's `q_proj` / `o_proj` / `up_proj` /
+    /// `down_proj` naming in Figures 10–11).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            LinearKind::Q => "q_proj",
+            LinearKind::K => "k_proj",
+            LinearKind::V => "v_proj",
+            LinearKind::O => "o_proj",
+            LinearKind::Gate => "gate_proj",
+            LinearKind::Up => "up_proj",
+            LinearKind::Down => "down_proj",
+        }
+    }
+}
+
+/// A layer/projection address.
+pub type LinearSite = (usize, LinearKind);
+
+/// Executes one linear projection for a given layer.
+pub trait LinearBackend {
+    /// Computes `x · W(layer, kind)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch or missing projections.
+    fn linear(&self, layer: usize, kind: LinearKind, x: &Tensor<f32>) -> Result<Tensor<f32>>;
+
+    /// Human-readable backend name for experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+fn site_weight<'w>(
+    weights: &'w ModelWeights,
+    layer: usize,
+    kind: LinearKind,
+) -> Result<&'w Tensor<f32>> {
+    let l = weights
+        .layers
+        .get(layer)
+        .ok_or(Error::LayerOutOfRange {
+            layer,
+            layers: weights.layers.len(),
+        })?;
+    let w = match kind {
+        LinearKind::Q => &l.wq,
+        LinearKind::K => &l.wk,
+        LinearKind::V => &l.wv,
+        LinearKind::O => &l.wo,
+        LinearKind::Gate => l.w_gate.as_ref().ok_or(Error::InvalidConfig {
+            what: "model has no gate projection".to_owned(),
+        })?,
+        LinearKind::Up => &l.w_up,
+        LinearKind::Down => &l.w_down,
+    };
+    Ok(w)
+}
+
+/// Sites present in a model (skips `Gate` for ungated FFNs).
+#[must_use]
+pub fn model_sites(weights: &ModelWeights) -> Vec<LinearSite> {
+    let mut sites = Vec::new();
+    for layer in 0..weights.layers.len() {
+        for kind in LinearKind::ALL {
+            if kind == LinearKind::Gate && weights.layers[layer].w_gate.is_none() {
+                continue;
+            }
+            sites.push((layer, kind));
+        }
+    }
+    sites
+}
+
+/// FP32 reference backend (the paper's FP16 row, with extra precision).
+#[derive(Debug, Clone)]
+pub struct FloatBackend {
+    weights: ModelWeights,
+}
+
+impl FloatBackend {
+    /// Wraps model weights.
+    #[must_use]
+    pub fn new(weights: ModelWeights) -> Self {
+        FloatBackend { weights }
+    }
+
+    /// The wrapped weights.
+    #[must_use]
+    pub fn weights(&self) -> &ModelWeights {
+        &self.weights
+    }
+}
+
+impl LinearBackend for FloatBackend {
+    fn linear(&self, layer: usize, kind: LinearKind, x: &Tensor<f32>) -> Result<Tensor<f32>> {
+        let w = site_weight(&self.weights, layer, kind)?;
+        Ok(gemm::matmul_f32(x, w)?)
+    }
+
+    fn name(&self) -> &'static str {
+        "FP16"
+    }
+}
+
+/// Per-(layer, kind) calibration activations recorded from a float run.
+pub type CalibrationSet = HashMap<LinearSite, Vec<Tensor<f32>>>;
+
+/// Builds per-site activation scales from a calibration set using the
+/// clipping quantile (llm.npu profiles thresholds offline, §3.3).
+///
+/// # Errors
+///
+/// Returns an error if a site has no calibration data.
+pub fn site_scales(
+    weights: &ModelWeights,
+    calibration: &CalibrationSet,
+    quantile: f64,
+) -> Result<HashMap<LinearSite, f32>> {
+    let mut scales = HashMap::new();
+    for site in model_sites(weights) {
+        let acts = calibration.get(&site).ok_or(Error::InvalidConfig {
+            what: format!("no calibration activations for site {site:?}"),
+        })?;
+        let scale = calibrate_scale(acts, quantile)?;
+        scales.insert(site, scale);
+    }
+    Ok(scales)
+}
+
+/// Naive per-tensor W8A8 backend (max-min scales, no outlier handling).
+pub struct PerTensorBackend {
+    layers: HashMap<LinearSite, QuantizedLinear>,
+}
+
+impl PerTensorBackend {
+    /// Quantizes every projection with per-tensor scales calibrated at
+    /// quantile 1.0 (max-min over the corpus).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if calibration data is missing.
+    pub fn new(weights: &ModelWeights, calibration: &CalibrationSet) -> Result<Self> {
+        let scales = site_scales(weights, calibration, 1.0)?;
+        let mut layers = HashMap::new();
+        for site in model_sites(weights) {
+            let w = site_weight(weights, site.0, site.1)?;
+            layers.insert(site, QuantizedLinear::new(w, scales[&site]));
+        }
+        Ok(PerTensorBackend { layers })
+    }
+}
+
+impl LinearBackend for PerTensorBackend {
+    fn linear(&self, layer: usize, kind: LinearKind, x: &Tensor<f32>) -> Result<Tensor<f32>> {
+        let lin = self.layers.get(&(layer, kind)).ok_or(Error::InvalidConfig {
+            what: format!("no quantized site ({layer}, {kind:?})"),
+        })?;
+        Ok(lin.forward(x)?)
+    }
+
+    fn name(&self) -> &'static str {
+        "PerTensor"
+    }
+}
+
+/// Per-group backend (K-Quant/AWQ-style).
+pub struct PerGroupBackend {
+    layers: HashMap<LinearSite, GroupedLinear>,
+}
+
+impl PerGroupBackend {
+    /// Quantizes every projection with per-group scales.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `group_size` does not divide every reduction dim.
+    pub fn new(weights: &ModelWeights, group_size: usize) -> Result<Self> {
+        let mut layers = HashMap::new();
+        for site in model_sites(weights) {
+            let w = site_weight(weights, site.0, site.1)?;
+            layers.insert(site, GroupedLinear::new(w, group_size)?);
+        }
+        Ok(PerGroupBackend { layers })
+    }
+}
+
+impl LinearBackend for PerGroupBackend {
+    fn linear(&self, layer: usize, kind: LinearKind, x: &Tensor<f32>) -> Result<Tensor<f32>> {
+        let lin = self.layers.get(&(layer, kind)).ok_or(Error::InvalidConfig {
+            what: format!("no grouped site ({layer}, {kind:?})"),
+        })?;
+        Ok(lin.forward(x)?.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "K-Quant"
+    }
+}
+
+/// SmoothQuant backend.
+pub struct SmoothQuantBackend {
+    layers: HashMap<LinearSite, SmoothedLinear>,
+}
+
+impl SmoothQuantBackend {
+    /// Builds smoothed layers from calibration activations.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if calibration data is missing for any site.
+    pub fn new(weights: &ModelWeights, calibration: &CalibrationSet, alpha: f32) -> Result<Self> {
+        let mut layers = HashMap::new();
+        for site in model_sites(weights) {
+            let w = site_weight(weights, site.0, site.1)?;
+            let acts = calibration.get(&site).ok_or(Error::InvalidConfig {
+                what: format!("no calibration activations for site {site:?}"),
+            })?;
+            let cal = concat_rows(acts)?;
+            layers.insert(site, SmoothedLinear::new(w, &cal, alpha)?);
+        }
+        Ok(SmoothQuantBackend { layers })
+    }
+}
+
+impl LinearBackend for SmoothQuantBackend {
+    fn linear(&self, layer: usize, kind: LinearKind, x: &Tensor<f32>) -> Result<Tensor<f32>> {
+        let lin = self.layers.get(&(layer, kind)).ok_or(Error::InvalidConfig {
+            what: format!("no smoothed site ({layer}, {kind:?})"),
+        })?;
+        Ok(lin.forward(x)?)
+    }
+
+    fn name(&self) -> &'static str {
+        "SmoothQuant"
+    }
+}
+
+/// LLM.int8() backend.
+pub struct LlmInt8Backend {
+    layers: HashMap<LinearSite, MixedLinear>,
+}
+
+impl LlmInt8Backend {
+    /// Builds mixed-precision layers with a fixed outlier threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the model weights are malformed.
+    pub fn new(weights: &ModelWeights, threshold: f32) -> Result<Self> {
+        let mut layers = HashMap::new();
+        for site in model_sites(weights) {
+            let w = site_weight(weights, site.0, site.1)?;
+            layers.insert(site, MixedLinear::new(w, threshold));
+        }
+        Ok(LlmInt8Backend { layers })
+    }
+}
+
+impl LinearBackend for LlmInt8Backend {
+    fn linear(&self, layer: usize, kind: LinearKind, x: &Tensor<f32>) -> Result<Tensor<f32>> {
+        let lin = self.layers.get(&(layer, kind)).ok_or(Error::InvalidConfig {
+            what: format!("no mixed site ({layer}, {kind:?})"),
+        })?;
+        Ok(lin.forward(x)?.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "LLM.int8()"
+    }
+}
+
+/// llm.npu shadow-outlier backend (§3.3), with optional layer-level
+/// outlier pruning.
+pub struct ShadowBackend {
+    layers: HashMap<LinearSite, ShadowLinear>,
+    /// Sites whose shadow path survived pruning.
+    kept_sites: Vec<LinearSite>,
+}
+
+impl ShadowBackend {
+    /// Builds shadow layers with clipping scales at `quantile` and prunes
+    /// the outlier paths of the `pruning_rate` least-important sites
+    /// (importance = max observed outlier ratio per site, Figure 12).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if calibration data is missing.
+    pub fn new(
+        weights: &ModelWeights,
+        calibration: &CalibrationSet,
+        quantile: f64,
+        pruning_rate: f64,
+    ) -> Result<Self> {
+        let scales = site_scales(weights, calibration, quantile)?;
+        let sites = model_sites(weights);
+
+        // Importance per site: largest |x| / clipping-range ratio over the
+        // calibration corpus.
+        let mut importances = Vec::with_capacity(sites.len());
+        for site in &sites {
+            let acts = &calibration[site];
+            let limit = scales[site] * llmnpu_quant::per_tensor::QMAX;
+            let max_abs = acts
+                .iter()
+                .map(Tensor::abs_max)
+                .fold(0.0_f32, f32::max);
+            importances.push(max_abs / limit.max(1e-9));
+        }
+        let keep_mask = prune_layers(&importances, pruning_rate)?;
+
+        let mut layers = HashMap::new();
+        let mut kept_sites = Vec::new();
+        for (i, site) in sites.iter().enumerate() {
+            let w = site_weight(weights, site.0, site.1)?;
+            let mut lin = ShadowLinear::new(w, scales[site]);
+            if keep_mask[i] {
+                kept_sites.push(*site);
+            } else {
+                lin = lin.with_shadow_disabled();
+            }
+            layers.insert(*site, lin);
+        }
+        Ok(ShadowBackend { layers, kept_sites })
+    }
+
+    /// Sites whose shadow path is still active.
+    #[must_use]
+    pub fn kept_sites(&self) -> &[LinearSite] {
+        &self.kept_sites
+    }
+}
+
+impl LinearBackend for ShadowBackend {
+    fn linear(&self, layer: usize, kind: LinearKind, x: &Tensor<f32>) -> Result<Tensor<f32>> {
+        let lin = self.layers.get(&(layer, kind)).ok_or(Error::InvalidConfig {
+            what: format!("no shadow site ({layer}, {kind:?})"),
+        })?;
+        Ok(lin.forward(x)?.output)
+    }
+
+    fn name(&self) -> &'static str {
+        "Ours"
+    }
+}
+
+fn concat_rows(tensors: &[Tensor<f32>]) -> Result<Tensor<f32>> {
+    let mut width = 0usize;
+    let mut rows = 0usize;
+    for t in tensors {
+        let (r, c) = t.matrix_dims();
+        rows += r;
+        width = c;
+    }
+    if rows == 0 {
+        return Err(Error::InvalidConfig {
+            what: "empty calibration set".to_owned(),
+        });
+    }
+    let mut data = Vec::with_capacity(rows * width);
+    for t in tensors {
+        data.extend_from_slice(t.as_slice());
+    }
+    Ok(Tensor::from_vec(data, [rows, width])?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::weights::{synthesize, OutlierSpec};
+
+    fn tiny_weights() -> ModelWeights {
+        synthesize(&ModelConfig::tiny(), 42, OutlierSpec::default()).unwrap()
+    }
+
+    fn fake_calibration(weights: &ModelWeights) -> CalibrationSet {
+        let mut cal = CalibrationSet::new();
+        for site in model_sites(weights) {
+            let w = site_weight(weights, site.0, site.1).unwrap();
+            let (k, _) = w.matrix_dims();
+            let acts = vec![Tensor::from_vec(
+                (0..2 * k).map(|i| ((i % 13) as f32 - 6.0) / 6.0).collect(),
+                [2, k],
+            )
+            .unwrap()];
+            cal.insert(site, acts);
+        }
+        cal
+    }
+
+    #[test]
+    fn float_backend_matches_direct_matmul() {
+        let w = tiny_weights();
+        let be = FloatBackend::new(w.clone());
+        let x = Tensor::from_vec(vec![0.1_f32; 32], [1, 32]).unwrap();
+        let y = be.linear(0, LinearKind::Q, &x).unwrap();
+        let direct = gemm::matmul_f32(&x, &w.layers[0].wq).unwrap();
+        assert_eq!(y.as_slice(), direct.as_slice());
+        assert_eq!(be.name(), "FP16");
+    }
+
+    #[test]
+    fn sites_skip_missing_gate() {
+        let cfg = ModelConfig::phi2_27b().scaled_down(40, 2, 64).unwrap();
+        let w = synthesize(&cfg, 1, OutlierSpec::default()).unwrap();
+        let sites = model_sites(&w);
+        assert!(sites.iter().all(|(_, k)| *k != LinearKind::Gate));
+        assert_eq!(sites.len(), 2 * 6);
+    }
+
+    #[test]
+    fn quantized_backends_construct_and_run() {
+        let w = tiny_weights();
+        let cal = fake_calibration(&w);
+        let x = Tensor::from_vec(vec![0.05_f32; 32], [1, 32]).unwrap();
+
+        let pt = PerTensorBackend::new(&w, &cal).unwrap();
+        let pg = PerGroupBackend::new(&w, 8).unwrap();
+        let sq = SmoothQuantBackend::new(&w, &cal, 0.5).unwrap();
+        let mx = LlmInt8Backend::new(&w, 6.0).unwrap();
+        let sh = ShadowBackend::new(&w, &cal, 0.999, 0.0).unwrap();
+
+        let reference = FloatBackend::new(w.clone())
+            .linear(0, LinearKind::Q, &x)
+            .unwrap();
+        for be in [
+            &pt as &dyn LinearBackend,
+            &pg,
+            &sq,
+            &mx,
+            &sh,
+        ] {
+            let y = be.linear(0, LinearKind::Q, &x).unwrap();
+            let mse = y.mse(&reference).unwrap();
+            assert!(mse < 0.5, "{}: mse {mse}", be.name());
+        }
+    }
+
+    #[test]
+    fn shadow_pruning_controls_kept_sites() {
+        let w = tiny_weights();
+        let cal = fake_calibration(&w);
+        let all = ShadowBackend::new(&w, &cal, 0.999, 0.0).unwrap();
+        let none = ShadowBackend::new(&w, &cal, 0.999, 1.0).unwrap();
+        let half = ShadowBackend::new(&w, &cal, 0.999, 0.5).unwrap();
+        let total = model_sites(&w).len();
+        assert_eq!(all.kept_sites().len(), total);
+        assert_eq!(none.kept_sites().len(), 0);
+        assert_eq!(half.kept_sites().len(), total - total / 2);
+    }
+
+    #[test]
+    fn missing_layer_is_reported() {
+        let w = tiny_weights();
+        let be = FloatBackend::new(w);
+        let x = Tensor::from_vec(vec![0.0_f32; 32], [1, 32]).unwrap();
+        assert!(matches!(
+            be.linear(99, LinearKind::Q, &x),
+            Err(Error::LayerOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn linear_kind_labels_match_paper_naming() {
+        assert_eq!(LinearKind::Q.label(), "q_proj");
+        assert_eq!(LinearKind::O.label(), "o_proj");
+        assert_eq!(LinearKind::Up.label(), "up_proj");
+        assert_eq!(LinearKind::Down.label(), "down_proj");
+    }
+}

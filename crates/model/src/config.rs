@@ -1,0 +1,406 @@
+//! Architecture descriptions of the paper's five evaluation models, plus
+//! scaled-down variants for the numeric plane.
+
+use crate::{Error, Result};
+
+/// Normalization operator used by the architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NormKind {
+    /// RMSNorm (LLaMA family, Qwen, Gemma, Mistral).
+    Rms,
+    /// Classic LayerNorm (Phi-2, GPT-family).
+    Layer,
+}
+
+/// FFN activation function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActKind {
+    /// SiLU with a gated FFN (LLaMA, Qwen, Mistral).
+    SiluGated,
+    /// GELU with a gated FFN (Gemma).
+    GeluGated,
+    /// Plain GELU FFN without gate (Phi-2).
+    Gelu,
+}
+
+impl ActKind {
+    /// Whether the FFN has a separate gate projection.
+    #[must_use]
+    pub fn gated(&self) -> bool {
+        matches!(self, ActKind::SiluGated | ActKind::GeluGated)
+    }
+}
+
+/// A decoder-only transformer architecture.
+///
+/// Shapes follow the models' published configurations; the `param_count`
+/// derived from them lands within a few percent of the advertised sizes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ModelConfig {
+    /// Display name, e.g. `"Qwen1.5-1.8B"`.
+    pub name: &'static str,
+    /// Hidden (embedding) width.
+    pub hidden: usize,
+    /// Number of decoder layers.
+    pub layers: usize,
+    /// Query head count.
+    pub heads: usize,
+    /// Key/value head count (< `heads` for GQA/MQA).
+    pub kv_heads: usize,
+    /// Per-head width.
+    pub head_dim: usize,
+    /// FFN intermediate width.
+    pub ffn_hidden: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Maximum context length (Table 1).
+    pub max_context: usize,
+    /// Normalization operator.
+    pub norm: NormKind,
+    /// FFN activation.
+    pub act: ActKind,
+}
+
+impl ModelConfig {
+    /// Qwen1.5-1.8B (32K context, Table 1).
+    #[must_use]
+    pub fn qwen15_18b() -> Self {
+        ModelConfig {
+            name: "Qwen1.5-1.8B",
+            hidden: 2048,
+            layers: 24,
+            heads: 16,
+            kv_heads: 16,
+            head_dim: 128,
+            ffn_hidden: 5504,
+            vocab: 151_936,
+            max_context: 32_768,
+            norm: NormKind::Rms,
+            act: ActKind::SiluGated,
+        }
+    }
+
+    /// Gemma-2B (8K context, multi-query attention, huge FFN).
+    #[must_use]
+    pub fn gemma_2b() -> Self {
+        ModelConfig {
+            name: "Gemma-2B",
+            hidden: 2048,
+            layers: 18,
+            heads: 8,
+            kv_heads: 1,
+            head_dim: 256,
+            ffn_hidden: 16_384,
+            vocab: 256_000,
+            max_context: 8_192,
+            norm: NormKind::Rms,
+            act: ActKind::GeluGated,
+        }
+    }
+
+    /// Phi-2-2.7B (2K context, LayerNorm, ungated GELU FFN).
+    #[must_use]
+    pub fn phi2_27b() -> Self {
+        ModelConfig {
+            name: "Phi-2-2.7B",
+            hidden: 2560,
+            layers: 32,
+            heads: 32,
+            kv_heads: 32,
+            head_dim: 80,
+            ffn_hidden: 10_240,
+            vocab: 51_200,
+            max_context: 2_048,
+            norm: NormKind::Layer,
+            act: ActKind::Gelu,
+        }
+    }
+
+    /// LLaMA-2-7B (4K context).
+    #[must_use]
+    pub fn llama2_7b() -> Self {
+        ModelConfig {
+            name: "LLaMA-2-7B",
+            hidden: 4096,
+            layers: 32,
+            heads: 32,
+            kv_heads: 32,
+            head_dim: 128,
+            ffn_hidden: 11_008,
+            vocab: 32_000,
+            max_context: 4_096,
+            norm: NormKind::Rms,
+            act: ActKind::SiluGated,
+        }
+    }
+
+    /// Mistral-7B (grouped-query attention, 32K window).
+    #[must_use]
+    pub fn mistral_7b() -> Self {
+        ModelConfig {
+            name: "Mistral-7B",
+            hidden: 4096,
+            layers: 32,
+            heads: 32,
+            kv_heads: 8,
+            head_dim: 128,
+            ffn_hidden: 14_336,
+            vocab: 32_000,
+            max_context: 32_768,
+            norm: NormKind::Rms,
+            act: ActKind::SiluGated,
+        }
+    }
+
+    /// All five evaluation models, in the paper's order.
+    #[must_use]
+    pub fn all_evaluated() -> Vec<ModelConfig> {
+        vec![
+            Self::qwen15_18b(),
+            Self::gemma_2b(),
+            Self::phi2_27b(),
+            Self::llama2_7b(),
+            Self::mistral_7b(),
+        ]
+    }
+
+    /// A small numeric-plane config with the same *structure* (norm,
+    /// activation, head grouping ratio) but laptop-friendly dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if the scaled dimensions would be
+    /// degenerate.
+    pub fn scaled_down(&self, hidden: usize, layers: usize, vocab: usize) -> Result<ModelConfig> {
+        let kv_ratio = (self.heads / self.kv_heads).max(1);
+        // Aim for ~16-wide heads while keeping the GQA grouping ratio and
+        // dividing the hidden width evenly.
+        let mut heads = ((hidden / 16).max(1) / kv_ratio).max(1) * kv_ratio;
+        while hidden % heads != 0 || (hidden / heads) % 2 != 0 {
+            heads += kv_ratio;
+            if heads > hidden {
+                return Err(Error::InvalidConfig {
+                    what: format!(
+                        "cannot scale {} down to hidden {hidden} with kv ratio {kv_ratio}",
+                        self.name
+                    ),
+                });
+            }
+        }
+        let kv_heads = heads / kv_ratio;
+        let head_dim = hidden / heads;
+        // Round the FFN width to a multiple of 16 so per-group quantization
+        // (group sizes 8/16/32) always divides it on mini models.
+        let ffn_ratio = self.ffn_hidden as f64 / self.hidden as f64;
+        let ffn_hidden = (((ffn_ratio * hidden as f64) / 16.0).round() as usize).max(1) * 16;
+        let cfg = ModelConfig {
+            name: self.name,
+            hidden,
+            layers,
+            heads,
+            kv_heads,
+            head_dim,
+            ffn_hidden: ffn_hidden.max(hidden),
+            vocab,
+            max_context: 1024,
+            norm: self.norm,
+            act: self.act,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// A generic tiny config for unit tests.
+    #[must_use]
+    pub fn tiny() -> ModelConfig {
+        ModelConfig {
+            name: "tiny",
+            hidden: 32,
+            layers: 2,
+            heads: 4,
+            kv_heads: 2,
+            head_dim: 8,
+            ffn_hidden: 64,
+            vocab: 64,
+            max_context: 128,
+            norm: NormKind::Rms,
+            act: ActKind::SiluGated,
+        }
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if head layout or dimensions are
+    /// inconsistent.
+    pub fn validate(&self) -> Result<()> {
+        if self.heads == 0 || self.kv_heads == 0 || self.layers == 0 {
+            return Err(Error::InvalidConfig {
+                what: "heads, kv_heads and layers must be non-zero".to_owned(),
+            });
+        }
+        if self.heads % self.kv_heads != 0 {
+            return Err(Error::InvalidConfig {
+                what: format!(
+                    "query heads {} must be a multiple of kv heads {}",
+                    self.heads, self.kv_heads
+                ),
+            });
+        }
+        if self.head_dim % 2 != 0 {
+            return Err(Error::InvalidConfig {
+                what: format!("head_dim {} must be even for RoPE", self.head_dim),
+            });
+        }
+        Ok(())
+    }
+
+    /// Width of the fused query projection output.
+    #[must_use]
+    pub fn q_dim(&self) -> usize {
+        self.heads * self.head_dim
+    }
+
+    /// Width of each key/value projection output.
+    #[must_use]
+    pub fn kv_dim(&self) -> usize {
+        self.kv_heads * self.head_dim
+    }
+
+    /// Parameter count (embeddings + decoder stack; LM head assumed tied).
+    #[must_use]
+    pub fn param_count(&self) -> u64 {
+        let h = self.hidden as u64;
+        let per_layer = h * self.q_dim() as u64            // Wq
+            + 2 * h * self.kv_dim() as u64                 // Wk, Wv
+            + self.q_dim() as u64 * h                      // Wo
+            + if self.act.gated() { 3 } else { 2 } * h * self.ffn_hidden as u64
+            + 2 * h; // norm parameters
+        self.vocab as u64 * h + per_layer * self.layers as u64
+    }
+
+    /// INT8 weight bytes of the decoder stack plus embeddings.
+    #[must_use]
+    pub fn weight_bytes_int8(&self) -> u64 {
+        self.param_count()
+    }
+
+    /// Linear-layer FLOPs per token for prefill (the compute-bound part
+    /// that llm.npu pushes onto the NPU).
+    #[must_use]
+    pub fn linear_flops_per_token(&self) -> u64 {
+        let h = self.hidden as u64;
+        let per_layer = 2
+            * (h * self.q_dim() as u64
+                + 2 * h * self.kv_dim() as u64
+                + self.q_dim() as u64 * h
+                + if self.act.gated() { 3 } else { 2 } * h * self.ffn_hidden as u64);
+        per_layer * self.layers as u64
+    }
+
+    /// Per-layer weighted-operator shapes `(k, n)` in graph order — the
+    /// shapes that become NPU linear subgraphs.
+    #[must_use]
+    pub fn layer_linear_shapes(&self) -> Vec<(usize, usize)> {
+        let mut v = vec![
+            (self.hidden, self.q_dim()),
+            (self.hidden, self.kv_dim()),
+            (self.hidden, self.kv_dim()),
+            (self.q_dim(), self.hidden),
+        ];
+        if self.act.gated() {
+            v.push((self.hidden, self.ffn_hidden)); // gate
+        }
+        v.push((self.hidden, self.ffn_hidden)); // up
+        v.push((self.ffn_hidden, self.hidden)); // down
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for cfg in ModelConfig::all_evaluated() {
+            cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+        }
+        ModelConfig::tiny().validate().unwrap();
+    }
+
+    #[test]
+    fn param_counts_match_advertised_sizes() {
+        // Within ~20% of the billions in the model names.
+        let cases: [(ModelConfig, f64); 5] = [
+            (ModelConfig::qwen15_18b(), 1.8e9),
+            (ModelConfig::gemma_2b(), 2.5e9), // Gemma-2B is actually ~2.5B
+            (ModelConfig::phi2_27b(), 2.7e9),
+            (ModelConfig::llama2_7b(), 6.7e9),
+            (ModelConfig::mistral_7b(), 7.2e9),
+        ];
+        for (cfg, expected) in cases {
+            let p = cfg.param_count() as f64;
+            let ratio = p / expected;
+            assert!(
+                (0.75..=1.25).contains(&ratio),
+                "{}: {p:.2e} vs expected {expected:.2e}",
+                cfg.name
+            );
+        }
+    }
+
+    #[test]
+    fn context_lengths_match_table1() {
+        assert_eq!(ModelConfig::qwen15_18b().max_context, 32_768);
+        assert_eq!(ModelConfig::gemma_2b().max_context, 8_192);
+        assert_eq!(ModelConfig::phi2_27b().max_context, 2_048);
+    }
+
+    #[test]
+    fn gemma_is_mqa_mistral_is_gqa() {
+        assert_eq!(ModelConfig::gemma_2b().kv_heads, 1);
+        let mistral = ModelConfig::mistral_7b();
+        assert!(mistral.kv_heads < mistral.heads);
+        assert_eq!(mistral.heads % mistral.kv_heads, 0);
+    }
+
+    #[test]
+    fn scaled_down_preserves_structure() {
+        let mini = ModelConfig::mistral_7b().scaled_down(64, 2, 128).unwrap();
+        assert_eq!(mini.hidden, 64);
+        assert_eq!(mini.heads / mini.kv_heads, 4); // GQA ratio preserved
+        assert_eq!(mini.act, ActKind::SiluGated);
+        mini.validate().unwrap();
+        // FFN ratio preserved: Mistral ffn/hidden = 3.5.
+        assert_eq!(mini.ffn_hidden, 224);
+    }
+
+    #[test]
+    fn validate_rejects_bad_heads() {
+        let mut cfg = ModelConfig::tiny();
+        cfg.kv_heads = 3;
+        assert!(cfg.validate().is_err());
+        cfg.kv_heads = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn linear_shapes_cover_all_projections() {
+        let cfg = ModelConfig::qwen15_18b();
+        let shapes = cfg.layer_linear_shapes();
+        assert_eq!(shapes.len(), 7); // q, k, v, o, gate, up, down
+        let phi = ModelConfig::phi2_27b();
+        assert_eq!(phi.layer_linear_shapes().len(), 6); // ungated
+    }
+
+    #[test]
+    fn flops_per_token_scales_with_model_size() {
+        let small = ModelConfig::qwen15_18b().linear_flops_per_token();
+        let big = ModelConfig::llama2_7b().linear_flops_per_token();
+        assert!(big > 3 * small);
+        // Qwen: ~2.4 GFLOP/token.
+        assert!((small as f64) > 1.5e9 && (small as f64) < 3.5e9);
+    }
+}

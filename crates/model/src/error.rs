@@ -1,0 +1,93 @@
+use std::fmt;
+
+/// Error type for model construction and execution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// An underlying tensor kernel failed.
+    Tensor(llmnpu_tensor::Error),
+    /// An underlying quantization step failed.
+    Quant(llmnpu_quant::Error),
+    /// A model configuration was internally inconsistent.
+    InvalidConfig {
+        /// Description of the inconsistency.
+        what: String,
+    },
+    /// A token id fell outside the synthetic vocabulary.
+    TokenOutOfRange {
+        /// The offending token id.
+        token: u32,
+        /// The vocabulary size.
+        vocab: usize,
+    },
+    /// A layer index was out of range for the model.
+    LayerOutOfRange {
+        /// The offending layer index.
+        layer: usize,
+        /// The model's layer count.
+        layers: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Tensor(e) => write!(f, "tensor kernel failed: {e}"),
+            Error::Quant(e) => write!(f, "quantization failed: {e}"),
+            Error::InvalidConfig { what } => write!(f, "invalid model config: {what}"),
+            Error::TokenOutOfRange { token, vocab } => {
+                write!(f, "token {token} out of range for vocab {vocab}")
+            }
+            Error::LayerOutOfRange { layer, layers } => {
+                write!(f, "layer {layer} out of range for {layers}-layer model")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Tensor(e) => Some(e),
+            Error::Quant(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<llmnpu_tensor::Error> for Error {
+    fn from(e: llmnpu_tensor::Error) -> Self {
+        Error::Tensor(e)
+    }
+}
+
+impl From<llmnpu_quant::Error> for Error {
+    fn from(e: llmnpu_quant::Error) -> Self {
+        Error::Quant(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = Error::TokenOutOfRange {
+            token: 300,
+            vocab: 256,
+        };
+        assert!(e.to_string().contains("300"));
+        let e = Error::LayerOutOfRange {
+            layer: 5,
+            layers: 4,
+        };
+        assert!(e.to_string().contains("5"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,487 @@
+//! The reference decoder-only transformer forward pass.
+//!
+//! This is the numeric-plane workhorse: a real (small-scale) transformer
+//! whose linear layers are delegated to a [`LinearBackend`], and whose
+//! prefill can run either whole-prompt or in fixed-size chunks. Chunked
+//! prefill with the KV cache is bit-compatible with whole-prompt prefill —
+//! the invariant that makes llm.npu's chunk-sharing graphs (§3.2) sound —
+//! and the tests at the bottom pin that property down.
+
+use llmnpu_tensor::{norm, ops, rope, Tensor};
+
+use crate::backend::{CalibrationSet, LinearBackend, LinearKind};
+use crate::config::{ActKind, ModelConfig, NormKind};
+use crate::kv::KvCache;
+use crate::weights::ModelWeights;
+use crate::{Error, Result};
+
+/// Norm epsilon used throughout.
+const EPS: f32 = 1e-5;
+
+/// A runnable transformer: weights + a linear backend.
+pub struct Transformer<'a> {
+    weights: &'a ModelWeights,
+    backend: &'a dyn LinearBackend,
+}
+
+impl<'a> Transformer<'a> {
+    /// Binds weights to a backend.
+    #[must_use]
+    pub fn new(weights: &'a ModelWeights, backend: &'a dyn LinearBackend) -> Self {
+        Transformer { weights, backend }
+    }
+
+    /// The model configuration.
+    #[must_use]
+    pub fn config(&self) -> &ModelConfig {
+        &self.weights.config
+    }
+
+    /// Embeds a token sequence into `[seq, hidden]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TokenOutOfRange`] for ids outside the vocabulary.
+    pub fn embed(&self, tokens: &[u32]) -> Result<Tensor<f32>> {
+        let vocab = self.config().vocab;
+        let h = self.config().hidden;
+        let mut data = Vec::with_capacity(tokens.len() * h);
+        for &t in tokens {
+            if t as usize >= vocab {
+                return Err(Error::TokenOutOfRange { token: t, vocab });
+            }
+            data.extend_from_slice(self.weights.embedding.row(t as usize));
+        }
+        Ok(Tensor::from_vec(data, [tokens.len(), h])?)
+    }
+
+    /// Prefills `tokens` in one pass, appending K/V to `cache`.
+    /// Returns the final hidden states `[seq, hidden]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on invalid tokens or backend failures.
+    pub fn prefill(&self, tokens: &[u32], cache: &mut KvCache) -> Result<Tensor<f32>> {
+        let start = cache.seq_len();
+        let x = self.embed(tokens)?;
+        self.forward_hidden(x, start, cache, None)
+    }
+
+    /// Prefills `tokens` in fixed-size chunks, processed causally
+    /// (§3.2's chunk-wise prefill). Produces the same final hidden states
+    /// as [`Transformer::prefill`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on invalid tokens, a zero chunk length, or backend
+    /// failures.
+    pub fn prefill_chunked(
+        &self,
+        tokens: &[u32],
+        chunk_len: usize,
+        cache: &mut KvCache,
+    ) -> Result<Tensor<f32>> {
+        if chunk_len == 0 {
+            return Err(Error::InvalidConfig {
+                what: "chunk length must be non-zero".to_owned(),
+            });
+        }
+        let h = self.config().hidden;
+        let mut out = Vec::with_capacity(tokens.len() * h);
+        for chunk in tokens.chunks(chunk_len) {
+            let hidden = self.prefill(chunk, cache)?;
+            out.extend_from_slice(hidden.as_slice());
+        }
+        Ok(Tensor::from_vec(out, [tokens.len(), h])?)
+    }
+
+    /// Runs one decode step for `token`, returning logits `[1, vocab]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on invalid tokens or backend failures.
+    pub fn decode_step(&self, token: u32, cache: &mut KvCache) -> Result<Tensor<f32>> {
+        let hidden = self.prefill(&[token], cache)?;
+        self.logits(&hidden)
+    }
+
+    /// Projects hidden states to logits through the LM head.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch.
+    pub fn logits(&self, hidden: &Tensor<f32>) -> Result<Tensor<f32>> {
+        let normed = self.apply_norm(
+            hidden,
+            &self.weights.final_norm_gamma,
+            &vec![0.0; self.config().hidden],
+        )?;
+        Ok(llmnpu_tensor::gemm::matmul_f32(&normed, &self.weights.head)?)
+    }
+
+    /// Final hidden state of the last token after a prefill (the features
+    /// the accuracy proxy tasks read).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on empty input or any forward failure.
+    pub fn last_hidden(&self, tokens: &[u32], chunk_len: Option<usize>) -> Result<Vec<f32>> {
+        if tokens.is_empty() {
+            return Err(Error::InvalidConfig {
+                what: "empty token sequence".to_owned(),
+            });
+        }
+        let mut cache = KvCache::new(self.config().layers);
+        let hidden = match chunk_len {
+            Some(c) => self.prefill_chunked(tokens, c, &mut cache)?,
+            None => self.prefill(tokens, &mut cache)?,
+        };
+        let (rows, _) = hidden.matrix_dims();
+        Ok(hidden.row(rows - 1).to_vec())
+    }
+
+    fn apply_norm(
+        &self,
+        x: &Tensor<f32>,
+        gamma: &[f32],
+        beta: &[f32],
+    ) -> Result<Tensor<f32>> {
+        Ok(match self.config().norm {
+            NormKind::Rms => norm::rms_norm(x, gamma, EPS)?,
+            NormKind::Layer => norm::layer_norm(x, gamma, beta, EPS)?,
+        })
+    }
+
+    /// Core forward over already-embedded hidden states.
+    ///
+    /// `recorder`, when present, captures the input activation of every
+    /// linear site — the calibration hook used to build quantized backends.
+    fn forward_hidden(
+        &self,
+        mut h: Tensor<f32>,
+        start_pos: usize,
+        cache: &mut KvCache,
+        mut recorder: Option<&mut CalibrationSet>,
+    ) -> Result<Tensor<f32>> {
+        let cfg = self.config().clone();
+        let (seq, _) = h.matrix_dims();
+        for layer in 0..cfg.layers {
+            let lw = &self.weights.layers[layer];
+
+            // --- Attention block ---
+            let a_in = self.apply_norm(&h, &lw.attn_norm_gamma, &lw.attn_norm_beta)?;
+            if let Some(rec) = recorder.as_deref_mut() {
+                for kind in [LinearKind::Q, LinearKind::K, LinearKind::V] {
+                    rec.entry((layer, kind)).or_default().push(a_in.clone());
+                }
+            }
+            let q = self.backend.linear(layer, LinearKind::Q, &a_in)?;
+            let k = self.backend.linear(layer, LinearKind::K, &a_in)?;
+            let v = self.backend.linear(layer, LinearKind::V, &a_in)?;
+
+            // RoPE per head, at the chunk's absolute positions.
+            let q = rope_heads(&q, seq, cfg.heads, cfg.head_dim, start_pos)?;
+            let k = rope_heads(&k, seq, cfg.kv_heads, cfg.head_dim, start_pos)?;
+
+            cache.layer_mut(layer)?.append(&k, &v)?;
+            let keys = cache.layer(layer)?.keys_tensor()?;
+            let values = cache.layer(layer)?.values_tensor()?;
+
+            let attn = attention(&q, &keys, &values, &cfg, start_pos)?;
+            if let Some(rec) = recorder.as_deref_mut() {
+                rec.entry((layer, LinearKind::O)).or_default().push(attn.clone());
+            }
+            let attn_out = self.backend.linear(layer, LinearKind::O, &attn)?;
+            h = ops::add(&h, &attn_out)?;
+
+            // --- FFN block ---
+            let f_in = self.apply_norm(&h, &lw.ffn_norm_gamma, &lw.ffn_norm_beta)?;
+            if let Some(rec) = recorder.as_deref_mut() {
+                if lw.w_gate.is_some() {
+                    rec.entry((layer, LinearKind::Gate)).or_default().push(f_in.clone());
+                }
+                rec.entry((layer, LinearKind::Up)).or_default().push(f_in.clone());
+            }
+            let ffn_mid = match cfg.act {
+                ActKind::SiluGated => {
+                    let gate = self.backend.linear(layer, LinearKind::Gate, &f_in)?;
+                    let up = self.backend.linear(layer, LinearKind::Up, &f_in)?;
+                    ops::mul(&ops::silu(&gate), &up)?
+                }
+                ActKind::GeluGated => {
+                    let gate = self.backend.linear(layer, LinearKind::Gate, &f_in)?;
+                    let up = self.backend.linear(layer, LinearKind::Up, &f_in)?;
+                    ops::mul(&ops::gelu(&gate), &up)?
+                }
+                ActKind::Gelu => {
+                    let up = self.backend.linear(layer, LinearKind::Up, &f_in)?;
+                    ops::gelu(&up)
+                }
+            };
+            if let Some(rec) = recorder.as_deref_mut() {
+                rec.entry((layer, LinearKind::Down)).or_default().push(ffn_mid.clone());
+            }
+            let ffn_out = self.backend.linear(layer, LinearKind::Down, &ffn_mid)?;
+            h = ops::add(&h, &ffn_out)?;
+        }
+        Ok(h)
+    }
+
+    /// Runs a calibration pass: prefills every prompt with this backend and
+    /// records the input activation of every linear site.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on invalid tokens or backend failures.
+    pub fn calibrate(&self, prompts: &[Vec<u32>]) -> Result<CalibrationSet> {
+        let mut set = CalibrationSet::new();
+        for prompt in prompts {
+            let mut cache = KvCache::new(self.config().layers);
+            let x = self.embed(prompt)?;
+            self.forward_hidden(x, 0, &mut cache, Some(&mut set))?;
+        }
+        Ok(set)
+    }
+}
+
+/// Applies RoPE to `[seq, heads*head_dim]` per head slice.
+fn rope_heads(
+    x: &Tensor<f32>,
+    seq: usize,
+    heads: usize,
+    head_dim: usize,
+    start_pos: usize,
+) -> Result<Tensor<f32>> {
+    let mut out = x.clone();
+    for head in 0..heads {
+        let mut slice = Tensor::zeros([seq, head_dim]);
+        for r in 0..seq {
+            let src = &x.row(r)[head * head_dim..(head + 1) * head_dim];
+            slice.row_mut(r).copy_from_slice(src);
+        }
+        rope::apply_rope_inplace(&mut slice, start_pos, rope::DEFAULT_THETA)?;
+        for r in 0..seq {
+            out.row_mut(r)[head * head_dim..(head + 1) * head_dim]
+                .copy_from_slice(slice.row(r));
+        }
+    }
+    Ok(out)
+}
+
+/// Multi-head attention with GQA/MQA head sharing and chunk-offset causal
+/// masking. `q` is `[seq, heads*head_dim]`; `keys`/`values` are
+/// `[kv_len, kv_heads*head_dim]` from the cache.
+fn attention(
+    q: &Tensor<f32>,
+    keys: &Tensor<f32>,
+    values: &Tensor<f32>,
+    cfg: &ModelConfig,
+    start_pos: usize,
+) -> Result<Tensor<f32>> {
+    let (seq, _) = q.matrix_dims();
+    let (kv_len, _) = keys.matrix_dims();
+    let hd = cfg.head_dim;
+    let group = cfg.heads / cfg.kv_heads;
+    let scale = 1.0 / (hd as f32).sqrt();
+
+    let mut out = Tensor::zeros([seq, cfg.heads * hd]);
+    for head in 0..cfg.heads {
+        let kv_head = head / group;
+        // Scores [seq, kv_len].
+        let mut scores = Tensor::zeros([seq, kv_len]);
+        for r in 0..seq {
+            let q_slice = &q.row(r)[head * hd..(head + 1) * hd];
+            let s_row = scores.row_mut(r);
+            for c in 0..kv_len {
+                let k_slice = &keys.row(c)[kv_head * hd..(kv_head + 1) * hd];
+                s_row[c] = ops::dot(q_slice, k_slice) * scale;
+            }
+        }
+        ops::causal_mask_inplace(&mut scores, start_pos);
+        let probs = ops::softmax(&scores);
+        for r in 0..seq {
+            let p_row = probs.row(r);
+            let o_slice = &mut out.row_mut(r)[head * hd..(head + 1) * hd];
+            for c in 0..kv_len {
+                let p = p_row[c];
+                if p == 0.0 {
+                    continue;
+                }
+                let v_slice = &values.row(c)[kv_head * hd..(kv_head + 1) * hd];
+                for (o, &vv) in o_slice.iter_mut().zip(v_slice) {
+                    *o += p * vv;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::FloatBackend;
+    use crate::config::ModelConfig;
+    use crate::weights::{synthesize, OutlierSpec};
+
+    fn setup() -> (ModelWeights, FloatBackend) {
+        let w = synthesize(&ModelConfig::tiny(), 42, OutlierSpec::default()).unwrap();
+        (w.clone(), FloatBackend::new(w))
+    }
+
+    fn tokens(n: usize) -> Vec<u32> {
+        (0..n as u32).map(|i| (i * 7 + 3) % 64).collect()
+    }
+
+    #[test]
+    fn embed_validates_tokens() {
+        let (w, be) = setup();
+        let t = Transformer::new(&w, &be);
+        assert!(t.embed(&[0, 5, 63]).is_ok());
+        assert!(matches!(
+            t.embed(&[64]),
+            Err(Error::TokenOutOfRange { token: 64, .. })
+        ));
+    }
+
+    #[test]
+    fn prefill_fills_cache() {
+        let (w, be) = setup();
+        let t = Transformer::new(&w, &be);
+        let mut cache = KvCache::new(t.config().layers);
+        let h = t.prefill(&tokens(6), &mut cache).unwrap();
+        assert_eq!(h.shape().dims(), &[6, 32]);
+        assert_eq!(cache.seq_len(), 6);
+    }
+
+    #[test]
+    fn chunked_prefill_equals_whole_prefill() {
+        // The central §3.2 invariant: chunked causal prefill is numerically
+        // identical to whole-prompt prefill.
+        let (w, be) = setup();
+        let t = Transformer::new(&w, &be);
+        let toks = tokens(10);
+
+        let mut cache_whole = KvCache::new(t.config().layers);
+        let whole = t.prefill(&toks, &mut cache_whole).unwrap();
+
+        for chunk_len in [1usize, 3, 4, 5, 10, 16] {
+            let mut cache_chunked = KvCache::new(t.config().layers);
+            let chunked = t
+                .prefill_chunked(&toks, chunk_len, &mut cache_chunked)
+                .unwrap();
+            let mse = whole.mse(&chunked).unwrap();
+            assert!(
+                mse < 1e-9,
+                "chunk_len {chunk_len}: mse {mse} should be ~0"
+            );
+            assert_eq!(cache_chunked.seq_len(), toks.len());
+        }
+    }
+
+    #[test]
+    fn chunked_prefill_rejects_zero_chunk() {
+        let (w, be) = setup();
+        let t = Transformer::new(&w, &be);
+        let mut cache = KvCache::new(t.config().layers);
+        assert!(t.prefill_chunked(&tokens(4), 0, &mut cache).is_err());
+    }
+
+    #[test]
+    fn decode_extends_cache_and_yields_logits() {
+        let (w, be) = setup();
+        let t = Transformer::new(&w, &be);
+        let mut cache = KvCache::new(t.config().layers);
+        t.prefill(&tokens(5), &mut cache).unwrap();
+        let logits = t.decode_step(9, &mut cache).unwrap();
+        assert_eq!(logits.shape().dims(), &[1, 64]);
+        assert_eq!(cache.seq_len(), 6);
+    }
+
+    #[test]
+    fn causality_first_token_ignores_suffix() {
+        // Changing later tokens must not change the first token's hidden
+        // state — the property that makes causal chunking possible at all.
+        let (w, be) = setup();
+        let t = Transformer::new(&w, &be);
+
+        let mut c1 = KvCache::new(t.config().layers);
+        let h1 = t.prefill(&[1, 2, 3, 4], &mut c1).unwrap();
+        let mut c2 = KvCache::new(t.config().layers);
+        let h2 = t.prefill(&[1, 60, 61, 62], &mut c2).unwrap();
+        for (a, b) in h1.row(0).iter().zip(h2.row(0)) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gqa_and_mqa_configs_run() {
+        for cfg in [
+            ModelConfig::gemma_2b().scaled_down(32, 2, 64).unwrap(),
+            ModelConfig::mistral_7b().scaled_down(32, 2, 64).unwrap(),
+            ModelConfig::phi2_27b().scaled_down(40, 2, 64).unwrap(),
+        ] {
+            let w = synthesize(&cfg, 9, OutlierSpec::default()).unwrap();
+            let be = FloatBackend::new(w.clone());
+            let t = Transformer::new(&w, &be);
+            let mut cache = KvCache::new(cfg.layers);
+            let h = t.prefill(&tokens(6), &mut cache).unwrap();
+            assert_eq!(h.shape().dims(), &[6, cfg.hidden]);
+            assert!(h.as_slice().iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn calibration_records_every_site() {
+        let (w, be) = setup();
+        let t = Transformer::new(&w, &be);
+        let cal = t.calibrate(&[tokens(4), tokens(6)]).unwrap();
+        let sites = crate::backend::model_sites(&w);
+        for site in &sites {
+            let recs = cal.get(site).unwrap_or_else(|| panic!("missing {site:?}"));
+            assert_eq!(recs.len(), 2, "one recording per prompt");
+        }
+    }
+
+    #[test]
+    fn last_hidden_matches_prefill_row() {
+        let (w, be) = setup();
+        let t = Transformer::new(&w, &be);
+        let toks = tokens(7);
+        let mut cache = KvCache::new(t.config().layers);
+        let h = t.prefill(&toks, &mut cache).unwrap();
+        let last = t.last_hidden(&toks, None).unwrap();
+        assert_eq!(h.row(6), last.as_slice());
+        let last_chunked = t.last_hidden(&toks, Some(3)).unwrap();
+        for (a, b) in last.iter().zip(&last_chunked) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn hot_channels_produce_activation_outliers() {
+        // The synthetic weights must actually generate the outlier pattern
+        // the paper measures: linear inputs with a few extreme channels.
+        let (w, be) = setup();
+        let t = Transformer::new(&w, &be);
+        let cal = t.calibrate(&[tokens(8)]).unwrap();
+        // Look at the Q input of layer 1 (post-norm activation).
+        let acts = &cal[&(1, LinearKind::Q)][0];
+        let mut channel_max = vec![0.0_f32; 32];
+        let (rows, cols) = acts.matrix_dims();
+        for r in 0..rows {
+            for c in 0..cols {
+                channel_max[c] = channel_max[c].max(acts.row(r)[c].abs());
+            }
+        }
+        let mut sorted = channel_max.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        // Top channel should dwarf the median channel.
+        let median = sorted[16];
+        assert!(
+            sorted[0] > 4.0 * median,
+            "top {} vs median {median}",
+            sorted[0]
+        );
+    }
+}

@@ -1,0 +1,247 @@
+//! Per-layer key/value cache.
+//!
+//! The KV cache is one of the custom operators llm.npu implements on top of
+//! QNN (§4). Its semantic role in this reproduction is the chunk-level
+//! causal dependency of §3.2: chunk *i*'s attention reads the keys/values
+//! appended by chunks `0..i`, which is exactly the cross-chunk dependency
+//! the scheduler must respect (Equation 2).
+
+use llmnpu_tensor::Tensor;
+
+use crate::{Error, Result};
+
+/// Key/value storage for one layer: rows are token positions, columns are
+/// the `kv_dim` feature width.
+#[derive(Debug, Clone, Default)]
+pub struct LayerKv {
+    keys: Vec<Vec<f32>>,
+    values: Vec<Vec<f32>>,
+}
+
+impl LayerKv {
+    /// Number of cached positions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Appends `rows` new positions from `[rows, kv_dim]` tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if key/value shapes disagree.
+    pub fn append(&mut self, k: &Tensor<f32>, v: &Tensor<f32>) -> Result<()> {
+        if k.shape() != v.shape() {
+            return Err(Error::Tensor(llmnpu_tensor::Error::ShapeMismatch {
+                op: "kv_append",
+                lhs: k.shape().dims().to_vec(),
+                rhs: v.shape().dims().to_vec(),
+            }));
+        }
+        let (rows, _) = k.matrix_dims();
+        for r in 0..rows {
+            self.keys.push(k.row(r).to_vec());
+            self.values.push(v.row(r).to_vec());
+        }
+        Ok(())
+    }
+
+    /// All cached keys as a `[len, kv_dim]` tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only if the cache is empty (no width known).
+    pub fn keys_tensor(&self) -> Result<Tensor<f32>> {
+        stack("kv_keys", &self.keys)
+    }
+
+    /// All cached values as a `[len, kv_dim]` tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only if the cache is empty.
+    pub fn values_tensor(&self) -> Result<Tensor<f32>> {
+        stack("kv_values", &self.values)
+    }
+}
+
+fn stack(op: &'static str, rows: &[Vec<f32>]) -> Result<Tensor<f32>> {
+    let n = rows.len();
+    if n == 0 {
+        return Err(Error::Tensor(llmnpu_tensor::Error::InvalidDimension {
+            op,
+            what: "empty kv cache".to_owned(),
+        }));
+    }
+    let w = rows[0].len();
+    let mut data = Vec::with_capacity(n * w);
+    for r in rows {
+        data.extend_from_slice(r);
+    }
+    Ok(Tensor::from_vec(data, [n, w])?)
+}
+
+/// KV caches for every layer of a model.
+#[derive(Debug, Clone, Default)]
+pub struct KvCache {
+    layers: Vec<LayerKv>,
+}
+
+impl KvCache {
+    /// Creates an empty cache for `layers` layers.
+    #[must_use]
+    pub fn new(layers: usize) -> Self {
+        KvCache {
+            layers: vec![LayerKv::default(); layers],
+        }
+    }
+
+    /// Number of layers.
+    #[must_use]
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Cached sequence length (positions in layer 0).
+    #[must_use]
+    pub fn seq_len(&self) -> usize {
+        self.layers.first().map_or(0, LayerKv::len)
+    }
+
+    /// Access one layer's cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LayerOutOfRange`] for a bad index.
+    pub fn layer(&self, idx: usize) -> Result<&LayerKv> {
+        self.layers.get(idx).ok_or(Error::LayerOutOfRange {
+            layer: idx,
+            layers: self.layers.len(),
+        })
+    }
+
+    /// Mutable access to one layer's cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LayerOutOfRange`] for a bad index.
+    pub fn layer_mut(&mut self, idx: usize) -> Result<&mut LayerKv> {
+        let layers = self.layers.len();
+        self.layers
+            .get_mut(idx)
+            .ok_or(Error::LayerOutOfRange { layer: idx, layers })
+    }
+
+    /// Bytes held by the cache assuming `dtype_bytes` per element.
+    #[must_use]
+    pub fn bytes(&self, dtype_bytes: usize) -> u64 {
+        let mut elems = 0usize;
+        for l in &self.layers {
+            for k in &l.keys {
+                elems += k.len() * 2; // key + value rows are same width
+            }
+        }
+        (elems * dtype_bytes) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kv_pair(rows: usize, width: usize, base: f32) -> (Tensor<f32>, Tensor<f32>) {
+        let k = Tensor::from_vec(
+            (0..rows * width).map(|i| base + i as f32).collect(),
+            [rows, width],
+        )
+        .unwrap();
+        let v = Tensor::from_vec(
+            (0..rows * width).map(|i| -(base + i as f32)).collect(),
+            [rows, width],
+        )
+        .unwrap();
+        (k, v)
+    }
+
+    #[test]
+    fn append_accumulates_positions() {
+        let mut cache = KvCache::new(2);
+        let (k, v) = kv_pair(3, 4, 0.0);
+        cache.layer_mut(0).unwrap().append(&k, &v).unwrap();
+        assert_eq!(cache.seq_len(), 3);
+        let (k2, v2) = kv_pair(2, 4, 100.0);
+        cache.layer_mut(0).unwrap().append(&k2, &v2).unwrap();
+        assert_eq!(cache.layer(0).unwrap().len(), 5);
+        // Layer 1 untouched.
+        assert!(cache.layer(1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn tensors_round_trip() {
+        let mut cache = KvCache::new(1);
+        let (k, v) = kv_pair(2, 3, 1.0);
+        cache.layer_mut(0).unwrap().append(&k, &v).unwrap();
+        let kt = cache.layer(0).unwrap().keys_tensor().unwrap();
+        assert_eq!(kt.shape().dims(), &[2, 3]);
+        assert_eq!(kt.as_slice(), k.as_slice());
+        let vt = cache.layer(0).unwrap().values_tensor().unwrap();
+        assert_eq!(vt.as_slice(), v.as_slice());
+    }
+
+    #[test]
+    fn chunked_appends_equal_one_big_append() {
+        // The §3.2 invariant at the cache level.
+        let (k, v) = kv_pair(6, 4, 0.0);
+        let mut whole = LayerKv::default();
+        whole.append(&k, &v).unwrap();
+
+        let mut chunked = LayerKv::default();
+        for chunk in 0..3 {
+            let rows: Vec<f32> = (chunk * 2 * 4..(chunk + 1) * 2 * 4)
+                .map(|i| i as f32)
+                .collect();
+            let kc = Tensor::from_vec(rows.clone(), [2, 4]).unwrap();
+            let vc = Tensor::from_vec(rows.iter().map(|&x| -x).collect(), [2, 4]).unwrap();
+            chunked.append(&kc, &vc).unwrap();
+        }
+        assert_eq!(
+            whole.keys_tensor().unwrap().as_slice(),
+            chunked.keys_tensor().unwrap().as_slice()
+        );
+    }
+
+    #[test]
+    fn mismatched_kv_shapes_rejected() {
+        let mut cache = LayerKv::default();
+        let (k, _) = kv_pair(2, 3, 0.0);
+        let (_, v) = kv_pair(2, 4, 0.0);
+        assert!(cache.append(&k, &v).is_err());
+    }
+
+    #[test]
+    fn empty_cache_errors_on_tensor_view() {
+        let cache = LayerKv::default();
+        assert!(cache.keys_tensor().is_err());
+    }
+
+    #[test]
+    fn layer_bounds_checked() {
+        let mut cache = KvCache::new(2);
+        assert!(cache.layer(2).is_err());
+        assert!(cache.layer_mut(5).is_err());
+    }
+
+    #[test]
+    fn bytes_accounts_keys_and_values() {
+        let mut cache = KvCache::new(1);
+        let (k, v) = kv_pair(4, 8, 0.0);
+        cache.layer_mut(0).unwrap().append(&k, &v).unwrap();
+        assert_eq!(cache.bytes(2), (4 * 8 * 2 * 2) as u64);
+    }
+}

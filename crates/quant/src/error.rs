@@ -1,0 +1,68 @@
+use std::fmt;
+
+/// Error type for quantization operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// An underlying tensor kernel failed.
+    Tensor(llmnpu_tensor::Error),
+    /// A granularity argument was invalid (e.g. group size 0 or not dividing
+    /// the reduction dimension).
+    InvalidGranularity {
+        /// Description of the constraint that failed.
+        what: String,
+    },
+    /// A profile/calibration input was empty or malformed.
+    InvalidCalibration {
+        /// Description of the problem.
+        what: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Tensor(e) => write!(f, "tensor kernel failed: {e}"),
+            Error::InvalidGranularity { what } => write!(f, "invalid granularity: {what}"),
+            Error::InvalidCalibration { what } => write!(f, "invalid calibration: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<llmnpu_tensor::Error> for Error {
+    fn from(e: llmnpu_tensor::Error) -> Self {
+        Error::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_tensor_error_with_source() {
+        use std::error::Error as _;
+        let inner = llmnpu_tensor::Error::LengthMismatch {
+            expected: 1,
+            actual: 2,
+        };
+        let err = Error::from(inner);
+        assert!(err.source().is_some());
+        assert!(err.to_string().contains("tensor kernel"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

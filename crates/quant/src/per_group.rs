@@ -1,0 +1,294 @@
+//! Per-group quantization (K-Quant / AWQ granularity).
+//!
+//! Activations and weights are partitioned into groups along the reduction
+//! dimension, each with an independent scale (paper Figure 3(b)). On an NPU
+//! this forces the MatMul to be split into `G` group-sized sub-MatMuls whose
+//! `i32` partial results must be dequantized and summed in floating point —
+//! the extra float work and lost utilization behind Figure 4's 8.1–10.7×
+//! slowdown. The [`GroupedLinear::forward`] here performs exactly that
+//! decomposition (real sub-MatMuls, real float reductions), and reports how
+//! many sub-MatMuls / float adds the NPU would have to schedule.
+
+use llmnpu_tensor::{gemm, Tensor};
+
+use crate::per_tensor::{max_min_scale, quantize_value};
+use crate::{Error, Result};
+
+/// A matrix quantized with an independent scale per `group_size`-wide slice
+/// of the reduction (row) dimension.
+#[derive(Debug, Clone)]
+pub struct GroupQuantizedMatrix {
+    /// `i8` payload, same layout as the float original `[k, n]`.
+    data: Tensor<i8>,
+    /// One scale per group (group `g` covers rows `g*group_size..(g+1)*group_size`).
+    scales: Vec<f32>,
+    group_size: usize,
+}
+
+impl GroupQuantizedMatrix {
+    /// Quantizes `w` (`[k, n]` matrix view) with per-group scales along `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidGranularity`] if `group_size` is zero or does
+    /// not divide `k`.
+    pub fn quantize(w: &Tensor<f32>, group_size: usize) -> Result<Self> {
+        let (k, n) = w.matrix_dims();
+        check_group("GroupQuantizedMatrix::quantize", k, group_size)?;
+        let groups = k / group_size;
+        let mut data = Tensor::zeros([k, n]);
+        let mut scales = Vec::with_capacity(groups);
+        for g in 0..groups {
+            let rows = g * group_size..(g + 1) * group_size;
+            let flat: Vec<f32> = rows
+                .clone()
+                .flat_map(|r| w.row(r).iter().copied())
+                .collect();
+            let scale = max_min_scale(&flat);
+            scales.push(scale);
+            for r in rows {
+                let src = w.row(r);
+                let dst = data.row_mut(r);
+                for c in 0..n {
+                    dst[c] = quantize_value(src[c], scale);
+                }
+            }
+        }
+        Ok(GroupQuantizedMatrix {
+            data,
+            scales,
+            group_size,
+        })
+    }
+
+    /// Number of groups.
+    #[must_use]
+    pub fn group_count(&self) -> usize {
+        self.scales.len()
+    }
+
+    /// Group width along the reduction dimension.
+    #[must_use]
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// Per-group scales.
+    #[must_use]
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Reconstructs the float matrix.
+    #[must_use]
+    pub fn dequantize(&self) -> Tensor<f32> {
+        let (k, n) = self.data.matrix_dims();
+        let mut out = Tensor::zeros([k, n]);
+        for r in 0..k {
+            let scale = self.scales[r / self.group_size];
+            let src = self.data.row(r);
+            let dst = out.row_mut(r);
+            for c in 0..n {
+                dst[c] = f32::from(src[c]) * scale;
+            }
+        }
+        out
+    }
+}
+
+/// Execution statistics for one grouped forward pass — the quantities that
+/// determine NPU overhead in §2.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GroupExecStats {
+    /// Number of group-sized integer sub-MatMuls executed.
+    pub sub_matmuls: usize,
+    /// Number of float additions performed to reduce partial results.
+    pub float_adds: usize,
+}
+
+/// A linear layer with per-group W8A8 quantization of both operands.
+#[derive(Debug, Clone)]
+pub struct GroupedLinear {
+    weight: GroupQuantizedMatrix,
+}
+
+impl GroupedLinear {
+    /// Builds a grouped linear layer from float weights `[in, out]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidGranularity`] if the group size is invalid.
+    pub fn new(weight: &Tensor<f32>, group_size: usize) -> Result<Self> {
+        Ok(GroupedLinear {
+            weight: GroupQuantizedMatrix::quantize(weight, group_size)?,
+        })
+    }
+
+    /// The quantized weight.
+    #[must_use]
+    pub fn weight(&self) -> &GroupQuantizedMatrix {
+        &self.weight
+    }
+
+    /// Runs the grouped forward pass, returning the output and the
+    /// sub-MatMul / float-reduction counts an NPU would incur.
+    ///
+    /// Each activation group is quantized with its own max-min scale
+    /// (dynamic activation quantization, as K-Quant does), multiplied
+    /// against the matching weight group in `i8`, dequantized, and summed in
+    /// float.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `x`'s inner dimension does not match the weight's
+    /// reduction dimension.
+    pub fn forward(&self, x: &Tensor<f32>) -> Result<(Tensor<f32>, GroupExecStats)> {
+        let (m, k) = x.matrix_dims();
+        let (wk, n) = self.weight.data.matrix_dims();
+        if k != wk {
+            return Err(Error::Tensor(llmnpu_tensor::Error::ShapeMismatch {
+                op: "grouped_forward",
+                lhs: vec![m, k],
+                rhs: vec![wk, n],
+            }));
+        }
+        let gs = self.weight.group_size;
+        let groups = self.weight.group_count();
+        let mut out = Tensor::zeros([m, n]);
+        let mut stats = GroupExecStats::default();
+
+        for g in 0..groups {
+            let cols = g * gs..(g + 1) * gs;
+            // Slice the activation group [m, gs].
+            let mut xg = Tensor::zeros([m, gs]);
+            for r in 0..m {
+                let src = &x.row(r)[cols.clone()];
+                xg.row_mut(r).copy_from_slice(src);
+            }
+            let a_scale = max_min_scale(xg.as_slice());
+            let xq = xg.map(|v| quantize_value(v, a_scale));
+
+            // Slice the weight group [gs, n].
+            let mut wg = Tensor::zeros([gs, n]);
+            for (dst_r, src_r) in cols.clone().enumerate() {
+                wg.row_mut(dst_r).copy_from_slice(self.weight.data.row(src_r));
+            }
+
+            let partial =
+                gemm::matmul_i8_scaled(&xq, &wg, a_scale, self.weight.scales[g])?;
+            stats.sub_matmuls += 1;
+            stats.float_adds += partial.len();
+            gemm::accumulate(&mut out, &partial)?;
+        }
+        Ok((out, stats))
+    }
+
+    /// Float reference using dequantized weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on inner-dimension mismatch.
+    pub fn forward_float(&self, x: &Tensor<f32>) -> Result<Tensor<f32>> {
+        Ok(gemm::matmul_f32(x, &self.weight.dequantize())?)
+    }
+}
+
+fn check_group(op: &'static str, k: usize, group_size: usize) -> Result<()> {
+    if group_size == 0 || k % group_size != 0 {
+        return Err(Error::InvalidGranularity {
+            what: format!("{op}: group size {group_size} must divide reduction dim {k}"),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(k: usize, n: usize, amp: f32) -> Tensor<f32> {
+        Tensor::from_vec(
+            (0..k * n)
+                .map(|i| amp * (((i * 31 + 7) % 101) as f32 / 101.0 - 0.5))
+                .collect(),
+            [k, n],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_group_size() {
+        let w = ramp(8, 4, 1.0);
+        assert!(GroupQuantizedMatrix::quantize(&w, 0).is_err());
+        assert!(GroupQuantizedMatrix::quantize(&w, 3).is_err());
+        assert!(GroupQuantizedMatrix::quantize(&w, 4).is_ok());
+    }
+
+    #[test]
+    fn group_count_and_scales() {
+        let w = ramp(8, 4, 1.0);
+        let q = GroupQuantizedMatrix::quantize(&w, 2).unwrap();
+        assert_eq!(q.group_count(), 4);
+        assert_eq!(q.scales().len(), 4);
+        assert_eq!(q.group_size(), 2);
+    }
+
+    #[test]
+    fn forward_counts_sub_matmuls() {
+        let w = ramp(8, 4, 1.0);
+        let x = ramp(2, 8, 1.0);
+        let layer = GroupedLinear::new(&w, 2).unwrap();
+        let (_, stats) = layer.forward(&x).unwrap();
+        assert_eq!(stats.sub_matmuls, 4);
+        assert_eq!(stats.float_adds, 4 * 2 * 4);
+    }
+
+    #[test]
+    fn grouped_tracks_float_reference() {
+        let w = ramp(16, 8, 0.8);
+        let x = ramp(3, 16, 1.2);
+        let layer = GroupedLinear::new(&w, 4).unwrap();
+        let (y, _) = layer.forward(&x).unwrap();
+        let y_f = layer.forward_float(&x).unwrap();
+        assert!(y.mse(&y_f).unwrap() < 1e-3);
+    }
+
+    #[test]
+    fn grouped_beats_per_tensor_on_outliers() {
+        use crate::per_tensor::QuantizedLinear;
+        // One group carries a huge outlier; per-group confines the damage to
+        // that group while per-tensor destroys every channel's precision.
+        let w = ramp(16, 8, 0.5);
+        let mut xv = vec![0.02_f32; 16];
+        xv[1] = 40.0;
+        let x = Tensor::from_vec(xv, [1, 16]).unwrap();
+
+        let grouped = GroupedLinear::new(&w, 4).unwrap();
+        let (y_g, _) = grouped.forward(&x).unwrap();
+        let reference = grouped.forward_float(&x).unwrap();
+        let err_grouped = y_g.mse(&reference).unwrap();
+
+        let per_tensor = QuantizedLinear::new(&w, max_min_scale(x.as_slice()));
+        let y_t = per_tensor.forward(&x).unwrap();
+        let reference_t = per_tensor.forward_float(&x).unwrap();
+        let err_tensor = y_t.mse(&reference_t).unwrap();
+
+        assert!(
+            err_grouped < err_tensor,
+            "grouped {err_grouped} should beat per-tensor {err_tensor}"
+        );
+    }
+
+    #[test]
+    fn dequantize_round_trip_bounded() {
+        let w = ramp(8, 8, 2.0);
+        let q = GroupQuantizedMatrix::quantize(&w, 4).unwrap();
+        let back = q.dequantize();
+        for (g, chunk) in back.as_slice().chunks(4 * 8).enumerate() {
+            let scale = q.scales()[g];
+            for (a, b) in chunk.iter().zip(&w.as_slice()[g * 32..(g + 1) * 32]) {
+                assert!((a - b).abs() <= scale * 0.5 + 1e-6);
+            }
+        }
+    }
+}

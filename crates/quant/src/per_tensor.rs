@@ -1,0 +1,313 @@
+//! Symmetric per-tensor W8A8 quantization.
+//!
+//! One scale for an entire tensor is the only granularity mobile NPUs
+//! execute as a single INT8 MatMul (paper Figure 3(a), Table 2). llm.npu's
+//! enhanced algorithm starts from exactly this scheme — "simple max-min
+//! symmetry quantization" (§3.3) — and recovers accuracy through shadow
+//! outlier execution rather than finer granularity.
+
+use llmnpu_tensor::{gemm, Tensor};
+
+use crate::Result;
+
+/// The quantized integer range: symmetric `[-127, 127]`.
+pub const QMAX: f32 = 127.0;
+
+/// Derives the symmetric max-min scale for a float slice.
+///
+/// Returns a scale `s` such that `x / s` maps the largest-magnitude element
+/// to ±127. Empty or all-zero inputs produce `s = 1.0` so that quantization
+/// stays well-defined.
+#[must_use]
+pub fn max_min_scale(values: &[f32]) -> f32 {
+    let abs_max = values.iter().fold(0.0_f32, |m, &v| m.max(v.abs()));
+    if abs_max == 0.0 {
+        1.0
+    } else {
+        abs_max / QMAX
+    }
+}
+
+/// Quantizes one float to `i8` with the given scale (round-to-nearest,
+/// saturating at ±127).
+#[must_use]
+pub fn quantize_value(x: f32, scale: f32) -> i8 {
+    (x / scale).round().clamp(-QMAX, QMAX) as i8
+}
+
+/// A per-tensor quantized matrix: `i8` payload plus one float scale.
+///
+/// # Example
+///
+/// ```
+/// use llmnpu_quant::per_tensor::QuantizedMatrix;
+/// use llmnpu_tensor::Tensor;
+///
+/// # fn main() -> Result<(), llmnpu_quant::Error> {
+/// let w = Tensor::from_vec(vec![1.0_f32, -2.0, 0.5, 0.25], [2, 2])?;
+/// let q = QuantizedMatrix::quantize(&w);
+/// assert!(q.scale() > 0.0);
+/// assert!((w.mse(&q.dequantize())? as f64) < 1e-4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedMatrix {
+    data: Tensor<i8>,
+    scale: f32,
+}
+
+impl QuantizedMatrix {
+    /// Quantizes a float tensor with its own max-min scale.
+    #[must_use]
+    pub fn quantize(x: &Tensor<f32>) -> Self {
+        let scale = max_min_scale(x.as_slice());
+        Self::quantize_with_scale(x, scale)
+    }
+
+    /// Quantizes a float tensor with an externally chosen scale (used by
+    /// calibrated activation quantization, where the scale comes from
+    /// offline profiling rather than the current tensor).
+    #[must_use]
+    pub fn quantize_with_scale(x: &Tensor<f32>, scale: f32) -> Self {
+        QuantizedMatrix {
+            data: x.map(|v| quantize_value(v, scale)),
+            scale,
+        }
+    }
+
+    /// The integer payload.
+    #[must_use]
+    pub fn data(&self) -> &Tensor<i8> {
+        &self.data
+    }
+
+    /// The quantization scale.
+    #[must_use]
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Reconstructs the float tensor.
+    #[must_use]
+    pub fn dequantize(&self) -> Tensor<f32> {
+        let scale = self.scale;
+        self.data.map(|v| f32::from(v) * scale)
+    }
+
+    /// Bytes occupied by the integer payload.
+    #[must_use]
+    pub fn payload_bytes(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// A weight matrix quantized with one scale per **output channel**
+/// (column). Per-column weight scales are NPU-compatible: they fold into
+/// the post-MatMul rescale, so the integer MatMul stays a single
+/// per-tensor operation (unlike per-*group* scales along the reduction
+/// dimension, which split the MatMul — §2.3). "Per-tensor quantization"
+/// in the paper refers to the *activation* granularity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelQuantizedMatrix {
+    data: Tensor<i8>,
+    scales: Vec<f32>,
+}
+
+impl ChannelQuantizedMatrix {
+    /// Quantizes a `[k, n]` float matrix with per-column scales.
+    #[must_use]
+    pub fn quantize(w: &Tensor<f32>) -> Self {
+        let (k, n) = w.matrix_dims();
+        let mut scales = vec![1.0_f32; n];
+        for c in 0..n {
+            let mut abs_max = 0.0_f32;
+            for r in 0..k {
+                abs_max = abs_max.max(w.row(r)[c].abs());
+            }
+            scales[c] = if abs_max == 0.0 { 1.0 } else { abs_max / QMAX };
+        }
+        let mut data = Tensor::zeros([k, n]);
+        for r in 0..k {
+            let src = w.row(r);
+            let dst = data.row_mut(r);
+            for c in 0..n {
+                dst[c] = quantize_value(src[c], scales[c]);
+            }
+        }
+        ChannelQuantizedMatrix { data, scales }
+    }
+
+    /// The integer payload.
+    #[must_use]
+    pub fn data(&self) -> &Tensor<i8> {
+        &self.data
+    }
+
+    /// Per-output-channel scales.
+    #[must_use]
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Reconstructs the float matrix.
+    #[must_use]
+    pub fn dequantize(&self) -> Tensor<f32> {
+        let (k, n) = self.data.matrix_dims();
+        let mut out = Tensor::zeros([k, n]);
+        for r in 0..k {
+            let src = self.data.row(r);
+            let dst = out.row_mut(r);
+            for c in 0..n {
+                dst[c] = f32::from(src[c]) * self.scales[c];
+            }
+        }
+        out
+    }
+}
+
+/// A quantized linear layer `y = x W` with per-tensor W8A8 execution.
+///
+/// This is the exact dataflow of Figure 5's blue path: quantize the
+/// activation, integer MatMul, dequantize.
+#[derive(Debug, Clone)]
+pub struct QuantizedLinear {
+    weight: QuantizedMatrix,
+    /// Activation scale fixed at calibration time (`s` in Equation 1).
+    act_scale: f32,
+}
+
+impl QuantizedLinear {
+    /// Builds a quantized linear layer from float weights `[in, out]` and a
+    /// calibrated activation scale.
+    #[must_use]
+    pub fn new(weight: &Tensor<f32>, act_scale: f32) -> Self {
+        QuantizedLinear {
+            weight: QuantizedMatrix::quantize(weight),
+            act_scale,
+        }
+    }
+
+    /// The quantized weight matrix.
+    #[must_use]
+    pub fn weight(&self) -> &QuantizedMatrix {
+        &self.weight
+    }
+
+    /// The calibrated activation scale.
+    #[must_use]
+    pub fn act_scale(&self) -> f32 {
+        self.act_scale
+    }
+
+    /// Runs the W8A8 forward pass: quantize `x`, integer MatMul, dequantize.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `x`'s inner dimension does not match the weight.
+    pub fn forward(&self, x: &Tensor<f32>) -> Result<Tensor<f32>> {
+        let xq = QuantizedMatrix::quantize_with_scale(x, self.act_scale);
+        let y = gemm::matmul_i8_scaled(
+            xq.data(),
+            self.weight.data(),
+            self.act_scale,
+            self.weight.scale(),
+        )?;
+        Ok(y)
+    }
+
+    /// The float reference `y = x W_dequant` (what an FP16 engine computes
+    /// with the same quantized weights).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `x`'s inner dimension does not match the weight.
+    pub fn forward_float(&self, x: &Tensor<f32>) -> Result<Tensor<f32>> {
+        Ok(gemm::matmul_f32(x, &self.weight.dequantize())?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_maps_abs_max_to_127() {
+        let s = max_min_scale(&[0.5, -2.54, 1.0]);
+        assert!((s - 2.54 / 127.0).abs() < 1e-7);
+        assert_eq!(quantize_value(-2.54, s), -127);
+    }
+
+    #[test]
+    fn zero_tensor_has_unit_scale() {
+        assert_eq!(max_min_scale(&[0.0, 0.0]), 1.0);
+        assert_eq!(max_min_scale(&[]), 1.0);
+    }
+
+    #[test]
+    fn quantize_value_saturates() {
+        assert_eq!(quantize_value(100.0, 0.1), 127);
+        assert_eq!(quantize_value(-100.0, 0.1), -127);
+    }
+
+    #[test]
+    fn round_trip_error_bounded_by_half_scale() {
+        let x = Tensor::from_vec(
+            (0..64).map(|i| ((i * 37 % 29) as f32 - 14.0) / 3.0).collect(),
+            [8, 8],
+        )
+        .unwrap();
+        let q = QuantizedMatrix::quantize(&x);
+        let back = q.dequantize();
+        for (a, b) in x.as_slice().iter().zip(back.as_slice()) {
+            assert!((a - b).abs() <= q.scale() * 0.5 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn linear_forward_close_to_float_reference() {
+        let w = Tensor::from_vec(
+            (0..16).map(|i| ((i as f32) - 8.0) / 10.0).collect(),
+            [4, 4],
+        )
+        .unwrap();
+        let x = Tensor::from_vec(
+            (0..8).map(|i| ((i as f32) - 4.0) / 5.0).collect(),
+            [2, 4],
+        )
+        .unwrap();
+        let act_scale = max_min_scale(x.as_slice());
+        let layer = QuantizedLinear::new(&w, act_scale);
+        let y_q = layer.forward(&x).unwrap();
+        let y_f = layer.forward_float(&x).unwrap();
+        // Without outliers, per-tensor W8A8 should track the float reference
+        // to within a few quantization steps.
+        let mse = y_q.mse(&y_f).unwrap();
+        assert!(mse < 1e-4, "mse = {mse}");
+    }
+
+    #[test]
+    fn linear_suffers_from_outliers() {
+        // Inject a single huge activation channel: the per-tensor scale
+        // explodes and the normal channels lose all precision. This is the
+        // failure mode that motivates §3.3.
+        let w = Tensor::from_vec(vec![0.1_f32; 16], [4, 4]).unwrap();
+        let mut xv = vec![0.01_f32; 4];
+        xv[2] = 50.0; // outlier channel
+        let x = Tensor::from_vec(xv, [1, 4]).unwrap();
+        let act_scale = max_min_scale(x.as_slice());
+        let layer = QuantizedLinear::new(&w, act_scale);
+        let y_q = layer.forward(&x).unwrap();
+        let y_f = layer.forward_float(&x).unwrap();
+        // The three normal channels each contribute 0.001 to every output;
+        // quantized, they contribute 0 (they round to zero at scale ~0.39).
+        let err = (y_q.as_slice()[0] - y_f.as_slice()[0]).abs();
+        assert!(err > 1e-4, "expected visible outlier-induced error");
+    }
+
+    #[test]
+    fn payload_bytes_counts_elements() {
+        let q = QuantizedMatrix::quantize(&Tensor::<f32>::zeros([3, 5]));
+        assert_eq!(q.payload_bytes(), 15);
+    }
+}

@@ -1,0 +1,301 @@
+//! SmoothQuant-style difficulty migration.
+//!
+//! SmoothQuant keeps per-tensor granularity (so it *is* NPU-friendly,
+//! Table 4) by dividing each activation channel by a smoothing factor and
+//! multiplying the matching weight row by the same factor, shifting the
+//! quantization difficulty from activations to weights. The paper observes
+//! that this costs accuracy on hard outliers (3.9% / 8.4% HellaSwag drops,
+//! §2.3) — with static smoothing, channels that spike beyond their
+//! calibration profile still get clipped. The implementation below
+//! reproduces that behaviour with real arithmetic.
+
+use llmnpu_tensor::{gemm, Tensor};
+
+use crate::per_tensor::{max_min_scale, quantize_value, QuantizedMatrix};
+use crate::{Error, Result};
+
+/// Per-channel smoothing factors `s_j = max|X_j|^α / max|W_j|^(1-α)`.
+///
+/// `alpha` is the migration strength (0.5 in the SmoothQuant paper).
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidCalibration`] if the calibration stats are empty
+/// or the channel counts disagree.
+pub fn smoothing_factors(
+    act_abs_max: &[f32],
+    weight_abs_max: &[f32],
+    alpha: f32,
+) -> Result<Vec<f32>> {
+    if act_abs_max.is_empty() || act_abs_max.len() != weight_abs_max.len() {
+        return Err(Error::InvalidCalibration {
+            what: format!(
+                "channel stats lengths {} vs {}",
+                act_abs_max.len(),
+                weight_abs_max.len()
+            ),
+        });
+    }
+    Ok(act_abs_max
+        .iter()
+        .zip(weight_abs_max)
+        .map(|(&a, &w)| {
+            let a = a.max(1e-5);
+            let w = w.max(1e-5);
+            (a.powf(alpha) / w.powf(1.0 - alpha)).max(1e-5)
+        })
+        .collect())
+}
+
+/// Per-channel absolute maxima of a calibration batch (columns of the
+/// matrix view).
+#[must_use]
+pub fn channel_abs_max(x: &Tensor<f32>) -> Vec<f32> {
+    let (rows, cols) = x.matrix_dims();
+    let mut maxima = vec![0.0_f32; cols];
+    for r in 0..rows {
+        for (c, &v) in x.row(r).iter().enumerate() {
+            maxima[c] = maxima[c].max(v.abs());
+        }
+    }
+    maxima
+}
+
+/// A SmoothQuant linear layer: smoothed weights quantized per-tensor, with
+/// the inverse smoothing folded into activation preprocessing.
+#[derive(Debug, Clone)]
+pub struct SmoothedLinear {
+    weight: QuantizedMatrix,
+    /// Per-input-channel division factors applied to activations.
+    factors: Vec<f32>,
+    /// Static activation scale calibrated on *smoothed* activations.
+    act_scale: f32,
+}
+
+impl SmoothedLinear {
+    /// Builds a smoothed linear layer.
+    ///
+    /// `calibration` is a representative activation batch `[rows, in]` used
+    /// both for smoothing factors and for the static activation scale —
+    /// static calibration is exactly what makes SmoothQuant fragile when
+    /// runtime activations exceed the profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if shapes disagree or calibration is empty.
+    pub fn new(weight: &Tensor<f32>, calibration: &Tensor<f32>, alpha: f32) -> Result<Self> {
+        let (k, _n) = weight.matrix_dims();
+        let (_, cal_cols) = calibration.matrix_dims();
+        if cal_cols != k {
+            return Err(Error::InvalidCalibration {
+                what: format!("calibration width {cal_cols} != weight input dim {k}"),
+            });
+        }
+        let act_max = channel_abs_max(calibration);
+        // Weight per-input-channel maxima are row maxima of [in, out].
+        let mut w_max = vec![0.0_f32; k];
+        for r in 0..k {
+            w_max[r] = weight
+                .row(r)
+                .iter()
+                .fold(0.0_f32, |m, &v| m.max(v.abs()));
+        }
+        let factors = smoothing_factors(&act_max, &w_max, alpha)?;
+
+        // Migrate difficulty into the weights: w'[r][c] = w[r][c] * s_r.
+        let (_, n) = weight.matrix_dims();
+        let mut smoothed_w = Tensor::zeros([k, n]);
+        for r in 0..k {
+            let f = factors[r];
+            let src = weight.row(r);
+            let dst = smoothed_w.row_mut(r);
+            for c in 0..n {
+                dst[c] = src[c] * f;
+            }
+        }
+
+        // Static activation scale from the smoothed calibration batch.
+        let mut smoothed_cal = calibration.clone();
+        smooth_activations_inplace(&mut smoothed_cal, &factors);
+        let act_scale = max_min_scale(smoothed_cal.as_slice());
+
+        Ok(SmoothedLinear {
+            weight: QuantizedMatrix::quantize(&smoothed_w),
+            factors,
+            act_scale,
+        })
+    }
+
+    /// The smoothing factors (one per input channel).
+    #[must_use]
+    pub fn factors(&self) -> &[f32] {
+        &self.factors
+    }
+
+    /// The static activation scale.
+    #[must_use]
+    pub fn act_scale(&self) -> f32 {
+        self.act_scale
+    }
+
+    /// Forward pass: smooth activations, per-tensor W8A8 MatMul.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on inner-dimension mismatch.
+    pub fn forward(&self, x: &Tensor<f32>) -> Result<Tensor<f32>> {
+        let (_, cols) = x.matrix_dims();
+        if cols != self.factors.len() {
+            return Err(Error::Tensor(llmnpu_tensor::Error::ShapeMismatch {
+                op: "smoothed_forward",
+                lhs: x.shape().dims().to_vec(),
+                rhs: vec![self.factors.len()],
+            }));
+        }
+        let mut xs = x.clone();
+        smooth_activations_inplace(&mut xs, &self.factors);
+        let xq = xs.map(|v| quantize_value(v, self.act_scale));
+        Ok(gemm::matmul_i8_scaled(
+            &xq,
+            self.weight.data(),
+            self.act_scale,
+            self.weight.scale(),
+        )?)
+    }
+
+    /// Float reference with the same (smoothed, quantized) weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on inner-dimension mismatch.
+    pub fn forward_float(&self, x: &Tensor<f32>) -> Result<Tensor<f32>> {
+        let mut xs = x.clone();
+        smooth_activations_inplace(&mut xs, &self.factors);
+        Ok(gemm::matmul_f32(&xs, &self.weight.dequantize())?)
+    }
+}
+
+fn smooth_activations_inplace(x: &mut Tensor<f32>, factors: &[f32]) {
+    let (rows, cols) = x.matrix_dims();
+    debug_assert_eq!(cols, factors.len());
+    for r in 0..rows {
+        let row = x.row_mut(r);
+        for c in 0..cols {
+            row[c] /= factors[c];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(k: usize, n: usize, amp: f32) -> Tensor<f32> {
+        Tensor::from_vec(
+            (0..k * n)
+                .map(|i| amp * (((i * 17 + 3) % 97) as f32 / 97.0 - 0.5))
+                .collect(),
+            [k, n],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn factors_balance_act_and_weight() {
+        let f = smoothing_factors(&[8.0], &[2.0], 0.5).unwrap();
+        assert!((f[0] - 2.0).abs() < 1e-6); // sqrt(8)/sqrt(2) = 2
+    }
+
+    #[test]
+    fn factors_validate_inputs() {
+        assert!(smoothing_factors(&[], &[], 0.5).is_err());
+        assert!(smoothing_factors(&[1.0], &[1.0, 2.0], 0.5).is_err());
+    }
+
+    #[test]
+    fn channel_abs_max_per_column() {
+        let x = Tensor::from_vec(vec![1.0_f32, -5.0, 2.0, 3.0], [2, 2]).unwrap();
+        assert_eq!(channel_abs_max(&x), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn smoothing_is_mathematically_neutral_in_float() {
+        // x/s × (s·w) == x × w — smoothing must not change the float result.
+        let w = ramp(8, 4, 1.0);
+        let x = ramp(2, 8, 2.0);
+        let layer = SmoothedLinear::new(&w, &x, 0.5).unwrap();
+        let y_smoothed = layer.forward_float(&x).unwrap();
+        // Compare against plain float matmul with *unsmoothed* quantized
+        // weights is not meaningful; instead check the algebraic identity on
+        // unquantized smoothed weights.
+        let mut smoothed_w = w.clone();
+        for r in 0..8 {
+            let f = layer.factors()[r];
+            for v in smoothed_w.row_mut(r) {
+                *v *= f;
+            }
+        }
+        // y_smoothed uses quantized weights, so allow quantization noise.
+        let mut xs = x.clone();
+        smooth_activations_inplace(&mut xs, layer.factors());
+        let y_exact = gemm::matmul_f32(&xs, &smoothed_w).unwrap();
+        assert!(y_smoothed.mse(&y_exact).unwrap() < 1e-3);
+    }
+
+    #[test]
+    fn smooth_quant_tames_calibrated_outliers() {
+        use crate::per_tensor::QuantizedLinear;
+        // A persistent outlier channel that the calibration batch captures:
+        // SmoothQuant should beat naive per-tensor quantization here.
+        let w = ramp(16, 8, 0.5);
+        let mut cal_v = vec![0.05_f32; 2 * 16];
+        cal_v[1] = 30.0;
+        cal_v[16 + 1] = 28.0;
+        let cal = Tensor::from_vec(cal_v, [2, 16]).unwrap();
+
+        let layer = SmoothedLinear::new(&w, &cal, 0.5).unwrap();
+        let x = {
+            let mut v = vec![0.04_f32; 16];
+            v[1] = 25.0;
+            Tensor::from_vec(v, [1, 16]).unwrap()
+        };
+        let y = layer.forward(&x).unwrap();
+        let y_ref = gemm::matmul_f32(&x, &w).unwrap();
+        let err_smooth = y.mse(&y_ref).unwrap();
+
+        let naive = QuantizedLinear::new(&w, max_min_scale(x.as_slice()));
+        let err_naive = naive.forward(&x).unwrap().mse(&y_ref).unwrap();
+        assert!(
+            err_smooth < err_naive,
+            "smooth {err_smooth} should beat naive {err_naive}"
+        );
+    }
+
+    #[test]
+    fn smooth_quant_fails_on_uncalibrated_spikes() {
+        // A channel that was quiet during calibration spikes at runtime:
+        // static smoothing cannot help, and the static activation scale
+        // clips the spike — the accuracy loss reported in §2.3.
+        let w = ramp(16, 8, 0.5);
+        let cal = Tensor::from_vec(vec![0.05_f32; 2 * 16], [2, 16]).unwrap();
+        let layer = SmoothedLinear::new(&w, &cal, 0.5).unwrap();
+
+        let mut xv = vec![0.04_f32; 16];
+        xv[7] = 60.0; // unseen outlier
+        let x = Tensor::from_vec(xv, [1, 16]).unwrap();
+        let y = layer.forward(&x).unwrap();
+        let y_ref = gemm::matmul_f32(&x, &w).unwrap();
+        let rel_err = (y.mse(&y_ref).unwrap()).sqrt() / y_ref.abs_max().max(1e-6);
+        assert!(
+            rel_err > 0.05,
+            "expected large clipping error, got rel_err = {rel_err}"
+        );
+    }
+
+    #[test]
+    fn rejects_mismatched_calibration() {
+        let w = ramp(8, 4, 1.0);
+        let cal = ramp(2, 6, 1.0);
+        assert!(SmoothedLinear::new(&w, &cal, 0.5).is_err());
+    }
+}

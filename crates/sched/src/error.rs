@@ -1,0 +1,69 @@
+use std::fmt;
+
+/// Error type for scheduling.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The simulator rejected a task.
+    Soc(llmnpu_soc::Error),
+    /// The DAG could not make progress (cycle or unreachable dependency).
+    Deadlock {
+        /// Tasks still unscheduled when progress stopped.
+        remaining: usize,
+    },
+    /// The DAG is too large for exhaustive optimal search.
+    TooLargeForOptimal {
+        /// Number of tasks in the DAG.
+        tasks: usize,
+        /// Maximum supported size.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Soc(e) => write!(f, "simulator error: {e}"),
+            Error::Deadlock { remaining } => {
+                write!(f, "schedule deadlocked with {remaining} tasks remaining")
+            }
+            Error::TooLargeForOptimal { tasks, limit } => {
+                write!(f, "dag of {tasks} tasks exceeds optimal-search limit {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Soc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<llmnpu_soc::Error> for Error {
+    fn from(e: llmnpu_soc::Error) -> Self {
+        Error::Soc(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(Error::Deadlock { remaining: 3 }.to_string().contains('3'));
+        assert!(Error::TooLargeForOptimal { tasks: 20, limit: 12 }
+            .to_string()
+            .contains("20"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,60 @@
+//! Dependency-aware subgraph schedulers (§3.4).
+//!
+//! Given a prefill DAG from `llmnpu-graph`, this crate produces execution
+//! timelines on the simulated SoC under four policies:
+//!
+//! * [`Policy::Serial`] — no heterogeneous overlap at all: every task
+//!   waits for everything before it (the fully sequential lower baseline),
+//! * [`Policy::FifoQueues`] — *naive overlapping* (Figure 13a): each
+//!   processor consumes its own FIFO queue in chunk-sequence order and
+//!   stalls whenever the head task's dependencies are unmet — the design
+//!   with a 37% NPU bubble rate in the paper,
+//! * [`Policy::OutOfOrder`] — llm.npu's online heuristic (Figure 13b):
+//!   any input-ready subgraph may run, chosen by the C-value of
+//!   Equation 5 (prioritize work that most reduces NPU stalls),
+//! * [`Policy::Optimal`] — exhaustive search over dispatch orders, viable
+//!   only for small DAGs, used to validate that the heuristic is close to
+//!   optimal (the scheduling problem itself is NP-hard, §3.4).
+//!
+//! The scheduling constraint is Equation 4: one task per processor at any
+//! time; the simulator in `llmnpu-soc` enforces it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod exec;
+mod optimal;
+
+pub use error::Error;
+pub use exec::{schedule, ScheduleOutcome};
+pub use optimal::optimal_makespan;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// Fully sequential execution (no CPU/NPU overlap).
+    Serial,
+    /// Per-processor FIFO queues in chunk-sequence order (naive overlap).
+    FifoQueues,
+    /// Out-of-order dispatch with the Equation 5 C-value heuristic.
+    OutOfOrder,
+}
+
+impl Policy {
+    /// All policies, cheapest-to-best expected makespan.
+    pub const ALL: [Policy; 3] = [Policy::Serial, Policy::FifoQueues, Policy::OutOfOrder];
+
+    /// Label for experiment tables.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Policy::Serial => "serial",
+            Policy::FifoQueues => "naive-overlap",
+            Policy::OutOfOrder => "out-of-order",
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Exhaustive optimal scheduling for small DAGs.
+//!
+//! §3.4 reduces the subgraph-ordering problem to the (NP-hard) traveling
+//! salesman problem, which is why llm.npu uses an online heuristic. This
+//! module provides the ground truth for tiny instances so tests can bound
+//! the heuristic's optimality gap.
+
+use llmnpu_graph::dag::PrefillDag;
+use llmnpu_soc::Processor;
+
+use crate::{Error, Result};
+
+/// Maximum DAG size for exhaustive search.
+pub const OPTIMAL_LIMIT: usize = 12;
+
+/// Finds the minimum makespan over all dependency-respecting dispatch
+/// orders (with greedy time assignment, which is optimal for list
+/// schedules of this form).
+///
+/// # Errors
+///
+/// Returns [`Error::TooLargeForOptimal`] for DAGs above [`OPTIMAL_LIMIT`]
+/// tasks.
+pub fn optimal_makespan(dag: &PrefillDag) -> Result<f64> {
+    let n = dag.len();
+    if n > OPTIMAL_LIMIT {
+        return Err(Error::TooLargeForOptimal {
+            tasks: n,
+            limit: OPTIMAL_LIMIT,
+        });
+    }
+    if n == 0 {
+        return Ok(0.0);
+    }
+    let mut best = f64::INFINITY;
+    let mut done_time = vec![0.0_f64; n];
+    let mut scheduled = vec![false; n];
+    let mut free = std::collections::BTreeMap::new();
+    for p in Processor::ALL {
+        free.insert(p, 0.0_f64);
+    }
+    branch(dag, &mut scheduled, &mut done_time, &mut free, 0.0, &mut best, 0);
+    Ok(best)
+}
+
+fn branch(
+    dag: &PrefillDag,
+    scheduled: &mut [bool],
+    done_time: &mut [f64],
+    free: &mut std::collections::BTreeMap<Processor, f64>,
+    current_max: f64,
+    best: &mut f64,
+    count: usize,
+) {
+    if current_max >= *best {
+        return; // prune
+    }
+    if count == dag.len() {
+        *best = best.min(current_max);
+        return;
+    }
+    let tasks = dag.tasks();
+    for t in 0..tasks.len() {
+        if scheduled[t] {
+            continue;
+        }
+        if !dag.deps(t).iter().all(|&d| scheduled[d]) {
+            continue;
+        }
+        let p = tasks[t].processor;
+        let ready = dag
+            .deps(t)
+            .iter()
+            .map(|&d| done_time[d])
+            .fold(0.0, f64::max);
+        let start = ready.max(free[&p]);
+        let end = start + tasks[t].duration_ms;
+
+        let old_free = free[&p];
+        scheduled[t] = true;
+        done_time[t] = end;
+        free.insert(p, end);
+        branch(
+            dag,
+            scheduled,
+            done_time,
+            free,
+            current_max.max(end),
+            best,
+            count + 1,
+        );
+        scheduled[t] = false;
+        done_time[t] = 0.0;
+        free.insert(p, old_free);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{schedule, Policy};
+    use llmnpu_graph::dag::{build_prefill_dag, DagConfig};
+    use llmnpu_model::config::ModelConfig;
+    use llmnpu_soc::latency::LatencyModel;
+    use llmnpu_soc::spec::SocSpec;
+
+    /// A one-layer model keeps the DAG tiny enough for exhaustive search.
+    fn tiny_dag(chunks: usize) -> PrefillDag {
+        let mut cfg = ModelConfig::tiny();
+        cfg.layers = 1;
+        let lat = LatencyModel::new(&SocSpec::snapdragon_8gen3());
+        let mut dc = DagConfig::llmnpu_default(chunks * 16, 16).unwrap();
+        dc.shadow_fraction = 0.0;
+        build_prefill_dag(&cfg, &dc, &lat).unwrap()
+    }
+
+    #[test]
+    fn rejects_large_dags() {
+        let dag = tiny_dag(3); // 18 tasks > limit
+        assert!(matches!(
+            optimal_makespan(&dag),
+            Err(Error::TooLargeForOptimal { .. })
+        ));
+    }
+
+    #[test]
+    fn heuristic_close_to_optimal_on_small_instances() {
+        for chunks in [1usize, 2] {
+            let dag = tiny_dag(chunks);
+            assert!(dag.len() <= OPTIMAL_LIMIT, "dag has {} tasks", dag.len());
+            let opt = optimal_makespan(&dag).unwrap();
+            let ooo = schedule(&dag, Policy::OutOfOrder).unwrap().makespan_ms;
+            assert!(ooo + 1e-9 >= opt, "heuristic {ooo} beats optimal {opt}?");
+            assert!(
+                ooo <= opt * 1.3 + 1e-6,
+                "heuristic {ooo} too far from optimal {opt}"
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_no_worse_than_any_policy() {
+        let dag = tiny_dag(2);
+        let opt = optimal_makespan(&dag).unwrap();
+        for policy in Policy::ALL {
+            let m = schedule(&dag, policy).unwrap().makespan_ms;
+            assert!(opt <= m + 1e-9, "{policy:?} beat optimal: {m} < {opt}");
+        }
+    }
+
+    #[test]
+    fn empty_dag_is_zero() {
+        let dag = PrefillDag::default();
+        assert_eq!(optimal_makespan(&dag).unwrap(), 0.0);
+    }
+}

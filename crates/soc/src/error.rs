@@ -1,0 +1,71 @@
+use std::fmt;
+
+use crate::Processor;
+
+/// Error type for simulator operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// An allocation exceeded a memory budget.
+    OutOfMemory {
+        /// Memory space that overflowed.
+        space: &'static str,
+        /// Requested bytes.
+        requested: u64,
+        /// Bytes still available.
+        available: u64,
+    },
+    /// A task referenced a processor the device does not have.
+    UnknownProcessor {
+        /// The offending processor.
+        processor: Processor,
+    },
+    /// A simulation argument was invalid (negative duration, etc.).
+    InvalidArgument {
+        /// Description of the constraint that failed.
+        what: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::OutOfMemory {
+                space,
+                requested,
+                available,
+            } => write!(
+                f,
+                "out of memory in {space}: requested {requested} bytes, {available} available"
+            ),
+            Error::UnknownProcessor { processor } => {
+                write!(f, "unknown processor {processor:?}")
+            }
+            Error::InvalidArgument { what } => write!(f, "invalid argument: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_details() {
+        let e = Error::OutOfMemory {
+            space: "dram",
+            requested: 100,
+            available: 10,
+        };
+        assert!(e.to_string().contains("dram"));
+        assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,58 @@
+//! Calibrated mobile-SoC simulator: the substitute for Qualcomm Hexagon
+//! silicon and the closed-source QNN runtime.
+//!
+//! The real llm.npu runs on Snapdragon 8gen2/8gen3 phones. This crate
+//! models those SoCs as three heterogeneous processors (CPU, GPU, NPU)
+//! sharing one DRAM, with:
+//!
+//! * [`latency`] — an operator latency model anchored to the paper's own
+//!   microbenchmarks (Table 3 MatMul latencies are reproduced *exactly* at
+//!   the measured shapes; other shapes use a smooth parametric model with
+//!   compute- and memory-bound regimes),
+//! * [`lifecycle`] — the QNN-like graph lifecycle (setup / build /
+//!   optimize / execute / free) with Figure 2's costs,
+//! * [`memory`] — unified DRAM with per-processor memory spaces, the NPU's
+//!   limited addressable window, and a disk model for cold weight fetches,
+//! * [`energy`] — per-processor active/idle power integrated over a
+//!   simulated timeline (Figure 15's savings come from here),
+//! * [`des`] — a small discrete-event core ([`des::Simulator`],
+//!   [`des::Timeline`]) that schedulers drive to get makespans, busy
+//!   times, and bubble rates.
+//!
+//! # Example
+//!
+//! ```
+//! use llmnpu_soc::{spec::SocSpec, latency::LatencyModel, Processor, DataType};
+//!
+//! let soc = SocSpec::snapdragon_8gen3();
+//! let lat = LatencyModel::new(&soc);
+//! // The paper's Table 3 anchor: 64x2048 @ 2048x2048 INT8 on the NPU = 0.9 ms.
+//! let ms = lat.matmul_ms(Processor::Npu, DataType::Int8, 64, 2048, 2048);
+//! assert!((ms - 0.9).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod proc;
+
+pub mod des;
+pub mod energy;
+pub mod latency;
+pub mod lifecycle;
+pub mod memory;
+pub mod spec;
+pub mod trace;
+
+pub use error::Error;
+pub use proc::{DataType, Processor};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Milliseconds, the time unit used throughout the simulator.
+pub type Millis = f64;
+
+/// Joules, the energy unit used throughout the simulator.
+pub type Joules = f64;

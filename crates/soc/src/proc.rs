@@ -1,0 +1,92 @@
+use std::fmt;
+
+/// The three heterogeneous processors of a mobile SoC.
+///
+/// All share physical DRAM (§2.2: "mobile NPUs are integrated within mobile
+/// SoCs, sharing the same physical memory") but have separate memory spaces
+/// and wildly different throughput per data type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Processor {
+    /// Application cores (big.LITTLE ARM cluster).
+    Cpu,
+    /// Mobile GPU (Adreno-class).
+    Gpu,
+    /// Neural processing unit (Hexagon-class, INT8 SIMD).
+    Npu,
+}
+
+impl Processor {
+    /// All processors, in scheduling-priority order.
+    pub const ALL: [Processor; 3] = [Processor::Cpu, Processor::Gpu, Processor::Npu];
+}
+
+impl fmt::Display for Processor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Processor::Cpu => "CPU",
+            Processor::Gpu => "GPU",
+            Processor::Npu => "NPU",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Operand data types relevant to the latency model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 8-bit integer (the NPU's native format).
+    Int8,
+    /// 16-bit float.
+    Fp16,
+    /// 32-bit float.
+    Fp32,
+}
+
+impl DataType {
+    /// Bytes per element.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        match self {
+            DataType::Int8 => 1,
+            DataType::Fp16 => 2,
+            DataType::Fp32 => 4,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int8 => "INT8",
+            DataType::Fp16 => "FP16",
+            DataType::Fp32 => "FP32",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_sizes() {
+        assert_eq!(DataType::Int8.bytes(), 1);
+        assert_eq!(DataType::Fp16.bytes(), 2);
+        assert_eq!(DataType::Fp32.bytes(), 4);
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(Processor::Npu.to_string(), "NPU");
+        assert_eq!(DataType::Int8.to_string(), "INT8");
+    }
+
+    #[test]
+    fn all_lists_every_processor() {
+        assert_eq!(Processor::ALL.len(), 3);
+        let mut v = Processor::ALL.to_vec();
+        v.dedup();
+        assert_eq!(v.len(), 3);
+    }
+}

@@ -1,0 +1,247 @@
+//! Device specifications for the simulated SoCs.
+//!
+//! Two presets mirror the paper's test devices (§4.1): the Snapdragon
+//! 8gen3 (Redmi K70 Pro, 24 GB — also the Xiaomi 14's SoC) and the
+//! Snapdragon 8gen2 (Redmi K60 Pro, 16 GB). The 8gen2 is modeled as a
+//! uniformly scaled-down 8gen3, consistent with the K60-vs-K70 deltas in
+//! Figure 14.
+
+use crate::{DataType, Processor};
+
+/// Throughput/power description of one processor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcSpec {
+    /// Effective GEMM throughput slope in GOP/ms per row of the activation
+    /// matrix (throughput grows with batch rows M until saturation).
+    pub gemm_slope_per_row: f64,
+    /// Saturated GEMM throughput ceiling in GOP/ms.
+    pub gemm_ceiling: f64,
+    /// Streaming (elementwise/normalization) throughput in GOP/ms.
+    pub stream_gops_per_ms: f64,
+    /// Effective DRAM bandwidth in GB/s visible to this processor.
+    pub mem_bw_gbps: f64,
+    /// Fixed per-operator dispatch overhead in ms.
+    pub dispatch_overhead_ms: f64,
+    /// Active power draw in watts.
+    pub active_power_w: f64,
+    /// Idle power draw in watts.
+    pub idle_power_w: f64,
+}
+
+/// A full SoC specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SocSpec {
+    /// Human-readable device name.
+    pub name: &'static str,
+    /// CPU cluster spec (throughputs keyed by data type via
+    /// [`SocSpec::proc`] / [`SocSpec::dtype_factor`]).
+    pub cpu: ProcSpec,
+    /// GPU spec.
+    pub gpu: ProcSpec,
+    /// NPU spec (INT8-native).
+    pub npu: ProcSpec,
+    /// Total DRAM in bytes.
+    pub dram_bytes: u64,
+    /// NPU-addressable memory window in bytes (§4: "Mobile NPUs typically
+    /// access limited memory regions (e.g., 4GB for Hexagon NPU)").
+    pub npu_window_bytes: u64,
+    /// Sequential disk (UFS) read bandwidth in GB/s.
+    pub disk_read_gbps: f64,
+    /// Base latency of one cross-processor synchronization in ms.
+    pub sync_base_ms: f64,
+    /// Shared-buffer bandwidth for cross-processor result merges in GB/s.
+    pub shared_buffer_gbps: f64,
+    /// NPU pipeline interruption cost when a CPU-side result must be
+    /// merged back mid-graph (§3.3's CPU-NPU synchronization overhead —
+    /// 29.7% of e2e latency for Qwen when no outlier layer is pruned).
+    pub npu_flush_ms: f64,
+    /// NPU FP16 throughput as a fraction of its INT8 throughput.
+    /// Calibrated to Table 3 (~1/650) for shipping Hexagon parts; §5's
+    /// "mixed-precision operands in computing units" hardware implication
+    /// corresponds to raising this.
+    pub npu_fp16_factor: f64,
+    /// Whether Table 3 anchor latencies apply verbatim to this device.
+    pub table3_anchors: bool,
+}
+
+impl SocSpec {
+    /// The Snapdragon 8gen3 preset (Redmi K70 Pro / Xiaomi 14).
+    #[must_use]
+    pub fn snapdragon_8gen3() -> Self {
+        SocSpec {
+            name: "Snapdragon 8gen3 (Redmi K70 Pro)",
+            cpu: ProcSpec {
+                gemm_slope_per_row: 0.005,
+                gemm_ceiling: 0.30,
+                stream_gops_per_ms: 0.12,
+                mem_bw_gbps: 25.0,
+                dispatch_overhead_ms: 0.01,
+                active_power_w: 8.0,
+                idle_power_w: 0.10,
+            },
+            gpu: ProcSpec {
+                gemm_slope_per_row: 0.012,
+                gemm_ceiling: 0.42,
+                stream_gops_per_ms: 0.25,
+                mem_bw_gbps: 30.0,
+                // Command submission is batched on mobile GPUs, so per-op
+                // dispatch is cheap relative to discrete kernel launches.
+                dispatch_overhead_ms: 0.02,
+                active_power_w: 4.5,
+                idle_power_w: 0.08,
+            },
+            npu: ProcSpec {
+                gemm_slope_per_row: 0.0225,
+                gemm_ceiling: 3.0,
+                stream_gops_per_ms: 1.2,
+                mem_bw_gbps: 35.0,
+                dispatch_overhead_ms: 0.05,
+                active_power_w: 1.5,
+                idle_power_w: 0.05,
+            },
+            dram_bytes: 24 * GIB,
+            npu_window_bytes: 4 * GIB,
+            disk_read_gbps: 1.2,
+            sync_base_ms: 0.15,
+            shared_buffer_gbps: 20.0,
+            npu_flush_ms: 3.0,
+            npu_fp16_factor: 1.0 / 650.0,
+            table3_anchors: true,
+        }
+    }
+
+    /// The Snapdragon 8gen2 preset (Redmi K60 Pro).
+    #[must_use]
+    pub fn snapdragon_8gen2() -> Self {
+        let base = Self::snapdragon_8gen3();
+        let scale = |p: &ProcSpec| ProcSpec {
+            gemm_slope_per_row: p.gemm_slope_per_row * 0.85,
+            gemm_ceiling: p.gemm_ceiling * 0.85,
+            stream_gops_per_ms: p.stream_gops_per_ms * 0.85,
+            mem_bw_gbps: p.mem_bw_gbps * 0.90,
+            dispatch_overhead_ms: p.dispatch_overhead_ms,
+            active_power_w: p.active_power_w * 0.95,
+            idle_power_w: p.idle_power_w,
+        };
+        SocSpec {
+            name: "Snapdragon 8gen2 (Redmi K60 Pro)",
+            cpu: scale(&base.cpu),
+            gpu: scale(&base.gpu),
+            npu: scale(&base.npu),
+            dram_bytes: 16 * GIB,
+            npu_window_bytes: 4 * GIB,
+            disk_read_gbps: 1.0,
+            sync_base_ms: 0.15,
+            shared_buffer_gbps: 18.0,
+            npu_flush_ms: 3.3,
+            npu_fp16_factor: 1.0 / 650.0,
+            table3_anchors: false,
+        }
+    }
+
+    /// Spec of one processor.
+    #[must_use]
+    pub fn proc(&self, p: Processor) -> &ProcSpec {
+        match p {
+            Processor::Cpu => &self.cpu,
+            Processor::Gpu => &self.gpu,
+            Processor::Npu => &self.npu,
+        }
+    }
+
+    /// Relative GEMM throughput of a data type on a processor, as a factor
+    /// of that processor's *native* GEMM throughput.
+    ///
+    /// Encodes §2.2's asymmetries: the NPU is INT8-native and catastrophic
+    /// at float (Table 3's NPU-FP16 column is ~650× slower than NPU-INT8);
+    /// the GPU is FP16-native; the CPU runs INT8 (dot-product extensions)
+    /// at its native rate and FP16/FP32 somewhat faster/slower respectively.
+    #[must_use]
+    pub fn dtype_factor(&self, p: Processor, dt: DataType) -> f64 {
+        match (p, dt) {
+            (Processor::Npu, DataType::Int8) => 1.0,
+            // Calibrated to Table 3: NPU FP16 ≈ 0.0022 GOP/ms at M=64 vs
+            // 1.44 INT8 → factor ≈ 1/650 on shipping parts.
+            (Processor::Npu, DataType::Fp16) => self.npu_fp16_factor,
+            (Processor::Npu, DataType::Fp32) => self.npu_fp16_factor / 2.0,
+            (Processor::Gpu, DataType::Fp16) => 1.0,
+            (Processor::Gpu, DataType::Fp32) => 0.5,
+            (Processor::Gpu, DataType::Int8) => 1.0, // no INT8 advantage
+            (Processor::Cpu, DataType::Int8) => 1.0,
+            (Processor::Cpu, DataType::Fp16) => 1.5,
+            (Processor::Cpu, DataType::Fp32) => 0.9,
+        }
+    }
+
+    /// One cross-processor synchronization of `bytes` through the shared
+    /// buffer (§4: "llm.npu leverages shared buffers to synchronize
+    /// intermediate results from different processors").
+    #[must_use]
+    pub fn sync_ms(&self, bytes: u64) -> f64 {
+        self.sync_base_ms + bytes as f64 / (self.shared_buffer_gbps * 1e6)
+    }
+
+    /// Time to read `bytes` from disk (cold shadow-weight fetches, §3.3).
+    #[must_use]
+    pub fn disk_read_ms(&self, bytes: u64) -> f64 {
+        5.0 + bytes as f64 / (self.disk_read_gbps * 1e6)
+    }
+}
+
+/// One gibibyte in bytes.
+pub const GIB: u64 = 1024 * 1024 * 1024;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_memory() {
+        let g3 = SocSpec::snapdragon_8gen3();
+        assert_eq!(g3.dram_bytes, 24 * GIB);
+        assert_eq!(g3.npu_window_bytes, 4 * GIB);
+        let g2 = SocSpec::snapdragon_8gen2();
+        assert_eq!(g2.dram_bytes, 16 * GIB);
+    }
+
+    #[test]
+    fn gen2_is_uniformly_slower() {
+        let g3 = SocSpec::snapdragon_8gen3();
+        let g2 = SocSpec::snapdragon_8gen2();
+        for p in Processor::ALL {
+            assert!(g2.proc(p).gemm_ceiling < g3.proc(p).gemm_ceiling);
+            assert!(g2.proc(p).mem_bw_gbps < g3.proc(p).mem_bw_gbps);
+        }
+        assert!(!g2.table3_anchors);
+    }
+
+    #[test]
+    fn npu_is_int8_native_and_bad_at_float() {
+        let g3 = SocSpec::snapdragon_8gen3();
+        assert_eq!(g3.dtype_factor(Processor::Npu, DataType::Int8), 1.0);
+        assert!(g3.dtype_factor(Processor::Npu, DataType::Fp16) < 0.01);
+        assert!(
+            g3.dtype_factor(Processor::Npu, DataType::Fp32)
+                < g3.dtype_factor(Processor::Npu, DataType::Fp16)
+        );
+    }
+
+    #[test]
+    fn power_ordering_matches_paper() {
+        // §4.2: "all CPU cores are fully utilized, consuming the highest
+        // power; NPUs ... consume the least power."
+        let g3 = SocSpec::snapdragon_8gen3();
+        assert!(g3.cpu.active_power_w > g3.gpu.active_power_w);
+        assert!(g3.gpu.active_power_w > g3.npu.active_power_w);
+    }
+
+    #[test]
+    fn sync_and_disk_costs_scale_with_bytes() {
+        let g3 = SocSpec::snapdragon_8gen3();
+        assert!(g3.sync_ms(1_000_000) > g3.sync_ms(0));
+        assert!(g3.disk_read_ms(10_000_000) > g3.disk_read_ms(0));
+        // Base overheads are non-zero.
+        assert!(g3.sync_ms(0) > 0.0);
+        assert!(g3.disk_read_ms(0) > 0.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for the SoC simulator: the latency model must be
+//! monotone and positive everywhere, the DES clock must never run
+//! backwards, and energy must be non-negative and additive.
+
+use proptest::prelude::*;
+
+use llmnpu_soc::des::Simulator;
+use llmnpu_soc::latency::LatencyModel;
+use llmnpu_soc::lifecycle::{lifecycle_cost, GraphProfile, LifecycleParams};
+use llmnpu_soc::spec::SocSpec;
+use llmnpu_soc::{DataType, Processor};
+
+fn any_processor() -> impl Strategy<Value = Processor> {
+    prop::sample::select(vec![Processor::Cpu, Processor::Gpu, Processor::Npu])
+}
+
+fn any_dtype() -> impl Strategy<Value = DataType> {
+    prop::sample::select(vec![DataType::Int8, DataType::Fp16, DataType::Fp32])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// MatMul latency is positive, finite, and monotone in every dimension.
+    #[test]
+    fn matmul_latency_monotone(
+        p in any_processor(),
+        dt in any_dtype(),
+        m in 1usize..2048,
+        k in 16usize..8192,
+        n in 16usize..8192,
+    ) {
+        let lat = LatencyModel::new(&SocSpec::snapdragon_8gen2()); // no anchors
+        let t = lat.matmul_ms(p, dt, m, k, n);
+        prop_assert!(t.is_finite() && t > 0.0);
+        // Monotone: doubling any dimension cannot reduce latency.
+        prop_assert!(lat.matmul_ms(p, dt, m * 2, k, n) + 1e-12 >= t);
+        prop_assert!(lat.matmul_ms(p, dt, m, k * 2, n) + 1e-12 >= t);
+        prop_assert!(lat.matmul_ms(p, dt, m, k, n * 2) + 1e-12 >= t);
+    }
+
+    /// NPU INT8 never loses to NPU float on the same shape.
+    #[test]
+    fn npu_int8_dominates_npu_float(
+        m in 1usize..1024,
+        k in 64usize..4096,
+        n in 64usize..4096,
+    ) {
+        let lat = LatencyModel::new(&SocSpec::snapdragon_8gen3());
+        let int8 = lat.matmul_parametric_ms(Processor::Npu, DataType::Int8, m, k, n);
+        let fp16 = lat.matmul_parametric_ms(Processor::Npu, DataType::Fp16, m, k, n);
+        prop_assert!(fp16 >= int8);
+    }
+
+    /// Streaming latency is monotone in element count.
+    #[test]
+    fn streaming_monotone(
+        p in any_processor(),
+        dt in any_dtype(),
+        elements in 1usize..(1 << 22),
+        flops in 1.0f64..16.0,
+    ) {
+        let lat = LatencyModel::new(&SocSpec::snapdragon_8gen3());
+        let t = lat.streaming_ms(p, dt, elements, flops);
+        prop_assert!(t.is_finite() && t > 0.0);
+        prop_assert!(lat.streaming_ms(p, dt, elements * 2, flops) + 1e-12 >= t);
+    }
+
+    /// The DES clock never runs backwards and busy time never exceeds the
+    /// makespan per processor.
+    #[test]
+    fn des_clock_monotone(
+        tasks in prop::collection::vec(
+            (any_processor(), 0.0f64..50.0, 0.01f64..20.0),
+            1..40,
+        ),
+    ) {
+        let mut sim = Simulator::new();
+        let mut last_end_per_proc: std::collections::HashMap<Processor, f64> =
+            std::collections::HashMap::new();
+        for (i, (p, ready, dur)) in tasks.iter().enumerate() {
+            let end = sim.run(format!("t{i}"), *p, *ready, *dur).unwrap();
+            let prev = last_end_per_proc.entry(*p).or_insert(0.0);
+            prop_assert!(end >= *prev, "clock ran backwards on {p}");
+            prop_assert!(end >= ready + dur - 1e-12);
+            *prev = end;
+        }
+        let tl = sim.into_timeline();
+        let span = tl.makespan();
+        for p in Processor::ALL {
+            prop_assert!(tl.busy_time(p) <= span + 1e-9);
+            let bubble = tl.bubble_rate(p);
+            prop_assert!((0.0..=1.0).contains(&bubble));
+        }
+    }
+
+    /// Energy is non-negative and increases with busy time.
+    #[test]
+    fn energy_nonnegative_and_monotone(
+        durations in prop::collection::vec(0.1f64..100.0, 1..20),
+    ) {
+        let spec = SocSpec::snapdragon_8gen3();
+        let mut sim = Simulator::new();
+        let mut partial_energies = Vec::new();
+        for (i, d) in durations.iter().enumerate() {
+            sim.run(format!("npu{i}"), Processor::Npu, 0.0, *d).unwrap();
+            partial_energies.push(sim.timeline().energy(&spec));
+        }
+        prop_assert!(partial_energies[0] > 0.0);
+        for w in partial_energies.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-12, "energy decreased");
+        }
+    }
+
+    /// Lifecycle costs grow with op count and weight sizes.
+    #[test]
+    fn lifecycle_monotone(
+        ops in 1usize..400,
+        weight_mb in prop::collection::vec(1u64..64, 1..32),
+    ) {
+        let params = LifecycleParams::default();
+        let profile = GraphProfile {
+            op_count: ops,
+            weight_bytes: weight_mb.iter().map(|&m| m * 1_000_000).collect(),
+        };
+        let cost = lifecycle_cost(&params, &profile);
+        prop_assert!(cost.build_ms > 0.0 && cost.optimize_ms > 0.0);
+
+        let bigger = GraphProfile {
+            op_count: ops * 2,
+            weight_bytes: profile.weight_bytes.iter().map(|&b| b * 2).collect(),
+        };
+        let cost2 = lifecycle_cost(&params, &bigger);
+        prop_assert!(cost2.build_ms > cost.build_ms);
+        prop_assert!(cost2.optimize_ms > cost.optimize_ms);
+    }
+
+    /// Sync and disk costs are monotone in bytes.
+    #[test]
+    fn transfer_costs_monotone(bytes in 0u64..(1 << 30)) {
+        let spec = SocSpec::snapdragon_8gen3();
+        prop_assert!(spec.sync_ms(bytes) >= spec.sync_ms(0));
+        prop_assert!(spec.disk_read_ms(bytes) >= spec.disk_read_ms(0));
+        prop_assert!(spec.sync_ms(bytes * 2) + 1e-12 >= spec.sync_ms(bytes));
+    }
+}

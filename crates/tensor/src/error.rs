@@ -1,0 +1,89 @@
+use std::fmt;
+
+/// Error type for tensor construction and kernel invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The element count of the provided data does not match the shape.
+    LengthMismatch {
+        /// Number of elements the shape implies.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two tensors have incompatible shapes for the requested kernel.
+    ShapeMismatch {
+        /// Kernel that rejected the shapes.
+        op: &'static str,
+        /// Left-hand / first shape.
+        lhs: Vec<usize>,
+        /// Right-hand / second shape.
+        rhs: Vec<usize>,
+    },
+    /// A kernel required a matrix (rank 2) but received another rank.
+    RankMismatch {
+        /// Kernel that rejected the rank.
+        op: &'static str,
+        /// Expected rank.
+        expected: usize,
+        /// Actual rank.
+        actual: usize,
+    },
+    /// A dimension-sized argument was out of range.
+    InvalidDimension {
+        /// Kernel that rejected the argument.
+        op: &'static str,
+        /// Human-readable description of the constraint that failed.
+        what: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::LengthMismatch { expected, actual } => write!(
+                f,
+                "data length {actual} does not match shape volume {expected}"
+            ),
+            Error::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: incompatible shapes {lhs:?} and {rhs:?}")
+            }
+            Error::RankMismatch {
+                op,
+                expected,
+                actual,
+            } => write!(f, "{op}: expected rank {expected}, got rank {actual}"),
+            Error::InvalidDimension { op, what } => write!(f, "{op}: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = Error::LengthMismatch {
+            expected: 4,
+            actual: 3,
+        };
+        assert!(err.to_string().contains('4'));
+        assert!(err.to_string().contains('3'));
+
+        let err = Error::ShapeMismatch {
+            op: "matmul",
+            lhs: vec![2, 3],
+            rhs: vec![4, 5],
+        };
+        assert!(err.to_string().contains("matmul"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

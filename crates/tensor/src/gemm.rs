@@ -1,0 +1,270 @@
+//! Matrix multiplication kernels.
+//!
+//! Three flavours mirror the data paths in the paper's Figure 5:
+//!
+//! * [`matmul_f32`] — the floating-point reference path (FP16 in the paper,
+//!   f32 here; the extra precision only tightens the reference),
+//! * [`matmul_i8`] — the NPU's per-tensor `W8A8` integer path with `i32`
+//!   accumulation,
+//! * [`matmul_i8_scaled`] — integer matmul followed by dequantization with
+//!   activation/weight scales, producing float output like the `Dequantize`
+//!   node in Figure 5.
+//!
+//! All kernels interpret inputs through their matrix view (leading dims
+//! folded into rows), matching how linear layers consume `[batch, seq, hid]`
+//! activations.
+
+use crate::{Error, Result, Tensor};
+
+fn check_matmul(op: &'static str, lhs: (usize, usize), rhs: (usize, usize)) -> Result<()> {
+    if lhs.1 != rhs.0 {
+        return Err(Error::ShapeMismatch {
+            op,
+            lhs: vec![lhs.0, lhs.1],
+            rhs: vec![rhs.0, rhs.1],
+        });
+    }
+    Ok(())
+}
+
+/// `C = A × B` over `f32`.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] if the inner dimensions disagree.
+///
+/// # Example
+///
+/// ```
+/// use llmnpu_tensor::{Tensor, gemm};
+///
+/// # fn main() -> Result<(), llmnpu_tensor::Error> {
+/// let a = Tensor::from_vec(vec![1.0_f32, 2.0], [1, 2])?;
+/// let b = Tensor::from_vec(vec![3.0_f32, 4.0], [2, 1])?;
+/// let c = gemm::matmul_f32(&a, &b)?;
+/// assert_eq!(c.as_slice(), &[11.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul_f32(a: &Tensor<f32>, b: &Tensor<f32>) -> Result<Tensor<f32>> {
+    let (m, k) = a.matrix_dims();
+    let (k2, n) = b.matrix_dims();
+    check_matmul("matmul_f32", (m, k), (k2, n))?;
+    let mut out = Tensor::zeros([m, n]);
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    for i in 0..m {
+        let a_row = &a_data[i * k..(i + 1) * k];
+        let out_row = out.row_mut(i);
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b_data[p * n..(p + 1) * n];
+            for (j, &b_pj) in b_row.iter().enumerate() {
+                out_row[j] += a_ip * b_pj;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Integer `C = A × B` with `i8` inputs and `i32` accumulation.
+///
+/// This is the per-tensor W8A8 MatMul the mobile NPU executes natively
+/// (paper §2.2, Table 3). No saturation occurs: `i32` accumulation is exact
+/// for any `K ≤ 2^16` with `i8` operands.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] if the inner dimensions disagree.
+pub fn matmul_i8(a: &Tensor<i8>, b: &Tensor<i8>) -> Result<Tensor<i32>> {
+    let (m, k) = a.matrix_dims();
+    let (k2, n) = b.matrix_dims();
+    check_matmul("matmul_i8", (m, k), (k2, n))?;
+    let mut out = Tensor::zeros([m, n]);
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    for i in 0..m {
+        let a_row = &a_data[i * k..(i + 1) * k];
+        let out_row = out.row_mut(i);
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0 {
+                continue;
+            }
+            let a_ip = i32::from(a_ip);
+            let b_row = &b_data[p * n..(p + 1) * n];
+            for (j, &b_pj) in b_row.iter().enumerate() {
+                out_row[j] += a_ip * i32::from(b_pj);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Integer matmul followed by dequantization: `C = (A × B) · a_scale · w_scale`.
+///
+/// Mirrors the `MatMul → Dequantize` pair of Figure 5: the NPU produces `i32`
+/// partial sums, and a scalar rescale restores the float domain.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] if the inner dimensions disagree.
+pub fn matmul_i8_scaled(
+    a: &Tensor<i8>,
+    b: &Tensor<i8>,
+    a_scale: f32,
+    w_scale: f32,
+) -> Result<Tensor<f32>> {
+    let acc = matmul_i8(a, b)?;
+    let scale = a_scale * w_scale;
+    Ok(acc.map(|x| x as f32 * scale))
+}
+
+/// Integer matmul dequantized with a **per-output-channel** weight scale.
+///
+/// Used by per-channel weight quantization: `C[i][j] = acc[i][j] · a_scale · w_scales[j]`.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] if the inner dimensions disagree, or
+/// [`Error::InvalidDimension`] if `w_scales.len()` differs from the output
+/// column count.
+pub fn matmul_i8_per_channel(
+    a: &Tensor<i8>,
+    b: &Tensor<i8>,
+    a_scale: f32,
+    w_scales: &[f32],
+) -> Result<Tensor<f32>> {
+    let acc = matmul_i8(a, b)?;
+    let (m, n) = acc.matrix_dims();
+    if w_scales.len() != n {
+        return Err(Error::InvalidDimension {
+            op: "matmul_i8_per_channel",
+            what: format!("expected {n} weight scales, got {}", w_scales.len()),
+        });
+    }
+    let mut out = Tensor::zeros([m, n]);
+    for i in 0..m {
+        let acc_row = acc.row(i);
+        let out_row = out.row_mut(i);
+        for j in 0..n {
+            out_row[j] = acc_row[j] as f32 * a_scale * w_scales[j];
+        }
+    }
+    Ok(out)
+}
+
+/// Adds `delta` into `acc` elementwise (the merge step of shadow outlier
+/// execution, Equation 1: NPU partial result + CPU outlier partial result).
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] if shapes differ.
+pub fn accumulate(acc: &mut Tensor<f32>, delta: &Tensor<f32>) -> Result<()> {
+    if acc.shape() != delta.shape() {
+        return Err(Error::ShapeMismatch {
+            op: "accumulate",
+            lhs: acc.shape().dims().to_vec(),
+            rhs: delta.shape().dims().to_vec(),
+        });
+    }
+    for (a, &d) in acc.as_mut_slice().iter_mut().zip(delta.as_slice()) {
+        *a += d;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tensor_f32(data: &[f32], shape: [usize; 2]) -> Tensor<f32> {
+        Tensor::from_vec(data.to_vec(), shape).unwrap()
+    }
+
+    #[test]
+    fn f32_identity() {
+        let a = tensor_f32(&[1.0, 2.0, 3.0, 4.0], [2, 2]);
+        let c = matmul_f32(&a, &Tensor::eye(2)).unwrap();
+        assert_eq!(c.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn f32_known_product() {
+        let a = tensor_f32(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]);
+        let b = tensor_f32(&[7.0, 8.0, 9.0, 10.0, 11.0, 12.0], [3, 2]);
+        let c = matmul_f32(&a, &b).unwrap();
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn f32_rejects_bad_inner_dim() {
+        let a = tensor_f32(&[0.0; 6], [2, 3]);
+        let b = tensor_f32(&[0.0; 8], [4, 2]);
+        assert!(matches!(
+            matmul_f32(&a, &b),
+            Err(Error::ShapeMismatch { op: "matmul_f32", .. })
+        ));
+    }
+
+    #[test]
+    fn i8_matches_f32_on_small_values() {
+        let a_i = Tensor::from_vec(vec![1i8, -2, 3, 4, 5, -6], [2, 3]).unwrap();
+        let b_i = Tensor::from_vec(vec![7i8, 8, -9, 10, 11, 12], [3, 2]).unwrap();
+        let c_i = matmul_i8(&a_i, &b_i).unwrap();
+
+        let a_f = a_i.map(|x| f32::from(x));
+        let b_f = b_i.map(|x| f32::from(x));
+        let c_f = matmul_f32(&a_f, &b_f).unwrap();
+        for (ci, cf) in c_i.as_slice().iter().zip(c_f.as_slice()) {
+            assert_eq!(*ci as f32, *cf);
+        }
+    }
+
+    #[test]
+    fn i8_extreme_values_do_not_overflow() {
+        // K=1024 of -128*-128 = 16.7M per element; i32 holds it easily.
+        let a = Tensor::full(-128i8, [1, 1024]);
+        let b = Tensor::full(-128i8, [1024, 1]);
+        let c = matmul_i8(&a, &b).unwrap();
+        assert_eq!(c.as_slice(), &[128 * 128 * 1024]);
+    }
+
+    #[test]
+    fn scaled_dequantizes() {
+        let a = Tensor::from_vec(vec![2i8, 4], [1, 2]).unwrap();
+        let b = Tensor::from_vec(vec![3i8, 5], [2, 1]).unwrap();
+        let c = matmul_i8_scaled(&a, &b, 0.5, 0.1).unwrap();
+        assert!((c.as_slice()[0] - (26.0 * 0.05)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn per_channel_scales_apply_by_column() {
+        let a = Tensor::from_vec(vec![1i8, 1], [1, 2]).unwrap();
+        let b = Tensor::from_vec(vec![1i8, 2, 3, 4], [2, 2]).unwrap();
+        let c = matmul_i8_per_channel(&a, &b, 1.0, &[10.0, 100.0]).unwrap();
+        assert_eq!(c.as_slice(), &[40.0, 600.0]);
+        assert!(matmul_i8_per_channel(&a, &b, 1.0, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn accumulate_adds_elementwise() {
+        let mut acc = tensor_f32(&[1.0, 2.0], [1, 2]);
+        let delta = tensor_f32(&[0.5, -1.0], [1, 2]);
+        accumulate(&mut acc, &delta).unwrap();
+        assert_eq!(acc.as_slice(), &[1.5, 1.0]);
+        assert!(accumulate(&mut acc, &Tensor::zeros([2, 1])).is_err());
+    }
+
+    #[test]
+    fn batched_lhs_folds_rows() {
+        // [2, 2, 3] activations × [3, 2] weights = [4, 2] output.
+        let a = Tensor::from_vec((0..12).map(|x| x as f32).collect(), [2, 2, 3]).unwrap();
+        let b = tensor_f32(&[1.0, 0.0, 0.0, 1.0, 0.0, 0.0], [3, 2]);
+        let c = matmul_f32(&a, &b).unwrap();
+        assert_eq!(c.shape().dims(), &[4, 2]);
+        assert_eq!(c.row(0), &[0.0, 1.0]);
+        assert_eq!(c.row(3), &[9.0, 10.0]);
+    }
+}

@@ -1,0 +1,49 @@
+//! Dense tensor numerics for the `llmnpu` workspace.
+//!
+//! This crate is the "numeric plane" foundation of the llm.npu reproduction:
+//! a small, dependency-free tensor library with exactly the kernels a
+//! quantized decoder-only transformer needs.
+//!
+//! * row-major [`Tensor`] storage over `f32`, `i8`, and `i32`,
+//! * [`gemm`] — floating-point and integer (`i8 × i8 → i32`) matrix multiply,
+//! * [`norm`] — LayerNorm and RMSNorm,
+//! * [`ops`] — softmax, SiLU/GELU, elementwise arithmetic, causal masking,
+//! * [`rope`] — rotary position embeddings.
+//!
+//! Everything here is scalar Rust (no SIMD intrinsics): the goal is bit-exact
+//! reproducibility of the paper's *quantization* behaviour, not raw speed.
+//! The "timing plane" (how fast a mobile NPU would run these shapes) lives in
+//! `llmnpu-soc`.
+//!
+//! # Example
+//!
+//! ```
+//! use llmnpu_tensor::{Tensor, gemm};
+//!
+//! # fn main() -> Result<(), llmnpu_tensor::Error> {
+//! let a = Tensor::from_vec(vec![1.0_f32, 2.0, 3.0, 4.0], [2, 2])?;
+//! let b = Tensor::eye(2);
+//! let c = gemm::matmul_f32(&a, &b)?;
+//! assert_eq!(c.as_slice(), a.as_slice());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod shape;
+mod tensor;
+
+pub mod gemm;
+pub mod norm;
+pub mod ops;
+pub mod rope;
+
+pub use error::Error;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;

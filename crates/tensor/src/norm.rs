@@ -1,0 +1,136 @@
+//! Normalization kernels: LayerNorm and RMSNorm.
+//!
+//! Both stay in floating point in every quantization scheme the paper
+//! surveys (Table 4), which is precisely why llm.npu schedules them onto
+//! the CPU/GPU rather than the NPU.
+
+use crate::{Error, Result, Tensor};
+
+/// Row-wise LayerNorm over the matrix view.
+///
+/// `y = (x - mean) / sqrt(var + eps) * gamma + beta`, with `gamma`/`beta`
+/// applied per column.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidDimension`] if `gamma` or `beta` length differs
+/// from the row width.
+pub fn layer_norm(
+    x: &Tensor<f32>,
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+) -> Result<Tensor<f32>> {
+    let (rows, cols) = x.matrix_dims();
+    check_params("layer_norm", cols, gamma.len())?;
+    check_params("layer_norm", cols, beta.len())?;
+    let mut out = Tensor::zeros([rows, cols]);
+    for r in 0..rows {
+        let row = x.row(r);
+        let mean = row.iter().sum::<f32>() / cols as f32;
+        let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+        let inv_std = 1.0 / (var + eps).sqrt();
+        let out_row = out.row_mut(r);
+        for c in 0..cols {
+            out_row[c] = (row[c] - mean) * inv_std * gamma[c] + beta[c];
+        }
+    }
+    Ok(out)
+}
+
+/// Row-wise RMSNorm over the matrix view (LLaMA-family normalization).
+///
+/// `y = x / rms(x) * gamma` where `rms(x) = sqrt(mean(x²) + eps)`.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidDimension`] if `gamma` length differs from the
+/// row width.
+pub fn rms_norm(x: &Tensor<f32>, gamma: &[f32], eps: f32) -> Result<Tensor<f32>> {
+    let (rows, cols) = x.matrix_dims();
+    check_params("rms_norm", cols, gamma.len())?;
+    let mut out = Tensor::zeros([rows, cols]);
+    for r in 0..rows {
+        let row = x.row(r);
+        let mean_sq = row.iter().map(|&v| v * v).sum::<f32>() / cols as f32;
+        let inv_rms = 1.0 / (mean_sq + eps).sqrt();
+        let out_row = out.row_mut(r);
+        for c in 0..cols {
+            out_row[c] = row[c] * inv_rms * gamma[c];
+        }
+    }
+    Ok(out)
+}
+
+fn check_params(op: &'static str, cols: usize, got: usize) -> Result<()> {
+    if cols != got {
+        return Err(Error::InvalidDimension {
+            op,
+            what: format!("parameter length {got} does not match row width {cols}"),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_norm_zero_mean_unit_var() {
+        let x = Tensor::from_vec(vec![1.0_f32, 2.0, 3.0, 4.0], [1, 4]).unwrap();
+        let y = layer_norm(&x, &[1.0; 4], &[0.0; 4], 1e-6).unwrap();
+        let mean: f32 = y.as_slice().iter().sum::<f32>() / 4.0;
+        let var: f32 = y.as_slice().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn layer_norm_applies_affine() {
+        let x = Tensor::from_vec(vec![-1.0_f32, 1.0], [1, 2]).unwrap();
+        let y = layer_norm(&x, &[2.0, 2.0], &[5.0, 5.0], 1e-6).unwrap();
+        // normalized x is [-1, 1]; y = 2 * x + 5 = [3, 7]
+        assert!((y.as_slice()[0] - 3.0).abs() < 1e-3);
+        assert!((y.as_slice()[1] - 7.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rms_norm_unit_output_scale() {
+        let x = Tensor::from_vec(vec![3.0_f32, 4.0], [1, 2]).unwrap();
+        // rms = sqrt((9+16)/2) = sqrt(12.5)
+        let y = rms_norm(&x, &[1.0, 1.0], 0.0).unwrap();
+        let rms = (12.5_f32).sqrt();
+        assert!((y.as_slice()[0] - 3.0 / rms).abs() < 1e-6);
+        assert!((y.as_slice()[1] - 4.0 / rms).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rms_norm_scale_invariant_direction() {
+        let x = Tensor::from_vec(vec![1.0_f32, 2.0, 3.0], [1, 3]).unwrap();
+        let x_scaled = Tensor::from_vec(vec![10.0_f32, 20.0, 30.0], [1, 3]).unwrap();
+        let y = rms_norm(&x, &[1.0; 3], 0.0).unwrap();
+        let ys = rms_norm(&x_scaled, &[1.0; 3], 0.0).unwrap();
+        for (a, b) in y.as_slice().iter().zip(ys.as_slice()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn norms_validate_param_length() {
+        let x = Tensor::<f32>::zeros([1, 4]);
+        assert!(layer_norm(&x, &[1.0; 3], &[0.0; 4], 1e-6).is_err());
+        assert!(layer_norm(&x, &[1.0; 4], &[0.0; 3], 1e-6).is_err());
+        assert!(rms_norm(&x, &[1.0; 5], 1e-6).is_err());
+    }
+
+    #[test]
+    fn norms_handle_multiple_rows_independently() {
+        let x = Tensor::from_vec(vec![1.0_f32, 1.0, -5.0, 5.0], [2, 2]).unwrap();
+        let y = rms_norm(&x, &[1.0, 1.0], 0.0).unwrap();
+        // row 0: rms = 1, stays [1, 1]; row 1: rms = 5, becomes [-1, 1].
+        assert!((y.row(0)[0] - 1.0).abs() < 1e-6);
+        assert!((y.row(1)[0] + 1.0).abs() < 1e-6);
+        assert!((y.row(1)[1] - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,126 @@
+//! Rotary position embeddings (RoPE).
+//!
+//! The paper implements RoPE as one of the custom operators added on top of
+//! QNN (§4: "we implemented specific operators like KVCache, SiLU, RMSNorm,
+//! ROPE"). It runs in float on the CPU/GPU side of the partition.
+
+use crate::{Error, Result, Tensor};
+
+/// Applies rotary position embeddings in place to a `[seq, dim]` tensor.
+///
+/// Pairs `(x[2i], x[2i+1])` are rotated by angle `pos / theta^(2i/dim)`,
+/// where `pos` is the absolute token position (`start_pos + row`). Passing
+/// the chunk's global start position keeps chunked prefill bit-identical to
+/// whole-prompt prefill — the property §3.2 relies on.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidDimension`] if the row width is odd.
+pub fn apply_rope_inplace(x: &mut Tensor<f32>, start_pos: usize, theta: f32) -> Result<()> {
+    let (rows, cols) = x.matrix_dims();
+    if cols % 2 != 0 {
+        return Err(Error::InvalidDimension {
+            op: "apply_rope_inplace",
+            what: format!("head dimension {cols} must be even"),
+        });
+    }
+    for r in 0..rows {
+        let pos = (start_pos + r) as f32;
+        let row = x.row_mut(r);
+        for i in 0..cols / 2 {
+            let freq = theta.powf(-2.0 * i as f32 / cols as f32);
+            let angle = pos * freq;
+            let (sin, cos) = angle.sin_cos();
+            let a = row[2 * i];
+            let b = row[2 * i + 1];
+            row[2 * i] = a * cos - b * sin;
+            row[2 * i + 1] = a * sin + b * cos;
+        }
+    }
+    Ok(())
+}
+
+/// Convenience wrapper returning a new tensor; see [`apply_rope_inplace`].
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidDimension`] if the row width is odd.
+pub fn apply_rope(x: &Tensor<f32>, start_pos: usize, theta: f32) -> Result<Tensor<f32>> {
+    let mut out = x.clone();
+    apply_rope_inplace(&mut out, start_pos, theta)?;
+    Ok(out)
+}
+
+/// The default RoPE base used by the LLaMA family.
+pub const DEFAULT_THETA: f32 = 10_000.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn position_zero_is_identity() {
+        let x = Tensor::from_vec(vec![1.0_f32, 2.0, 3.0, 4.0], [1, 4]).unwrap();
+        let y = apply_rope(&x, 0, DEFAULT_THETA).unwrap();
+        for (a, b) in x.as_slice().iter().zip(y.as_slice()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rotation_preserves_pair_norm() {
+        let x = Tensor::from_vec(vec![3.0_f32, 4.0, 1.0, 1.0], [1, 4]).unwrap();
+        let y = apply_rope(&x, 17, DEFAULT_THETA).unwrap();
+        let norm_in = (9.0_f32 + 16.0).sqrt();
+        let norm_out = (y.as_slice()[0].powi(2) + y.as_slice()[1].powi(2)).sqrt();
+        assert!((norm_in - norm_out).abs() < 1e-4);
+    }
+
+    #[test]
+    fn chunked_positions_match_full_sequence() {
+        // RoPE applied to rows 4..8 via start_pos must equal RoPE applied to
+        // a full 8-row tensor — the chunk-equivalence invariant of §3.2.
+        let full =
+            Tensor::from_vec((0..8 * 4).map(|v| (v as f32).sin()).collect(), [8, 4]).unwrap();
+        let full_roped = apply_rope(&full, 0, DEFAULT_THETA).unwrap();
+
+        let tail = Tensor::from_vec(full.as_slice()[4 * 4..].to_vec(), [4, 4]).unwrap();
+        let tail_roped = apply_rope(&tail, 4, DEFAULT_THETA).unwrap();
+
+        for (a, b) in full_roped.as_slice()[4 * 4..]
+            .iter()
+            .zip(tail_roped.as_slice())
+        {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rejects_odd_dim() {
+        let x = Tensor::<f32>::zeros([1, 3]);
+        assert!(apply_rope(&x, 0, DEFAULT_THETA).is_err());
+    }
+
+    #[test]
+    fn rope_preserves_relative_angle_in_dot_product() {
+        // <rope(q, m), rope(k, n)> depends only on m - n for a single pair.
+        let q = Tensor::from_vec(vec![1.0_f32, 0.5], [1, 2]).unwrap();
+        let k = Tensor::from_vec(vec![0.3_f32, -0.7], [1, 2]).unwrap();
+        let dot = |a: &Tensor<f32>, b: &Tensor<f32>| {
+            a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .map(|(&x, &y)| x * y)
+                .sum::<f32>()
+        };
+        let d1 = dot(
+            &apply_rope(&q, 5, DEFAULT_THETA).unwrap(),
+            &apply_rope(&k, 3, DEFAULT_THETA).unwrap(),
+        );
+        let d2 = dot(
+            &apply_rope(&q, 12, DEFAULT_THETA).unwrap(),
+            &apply_rope(&k, 10, DEFAULT_THETA).unwrap(),
+        );
+        assert!((d1 - d2).abs() < 1e-5);
+    }
+}

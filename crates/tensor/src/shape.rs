@@ -1,0 +1,182 @@
+use std::fmt;
+
+/// Row-major tensor shape (rank ≤ 4 in practice, but any rank is stored).
+///
+/// `Shape` is a thin wrapper over a dimension vector that memoizes nothing and
+/// provides the indexing arithmetic used by [`crate::Tensor`].
+///
+/// # Example
+///
+/// ```
+/// use llmnpu_tensor::Shape;
+///
+/// let s = Shape::new([2, 3, 4]);
+/// assert_eq!(s.volume(), 24);
+/// assert_eq!(s.rank(), 3);
+/// assert_eq!(s.dim(1), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from anything that converts into a dimension vector.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Shape { dims: dims.into() }
+    }
+
+    /// Number of dimensions.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Size of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= self.rank()`.
+    #[must_use]
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// All dimensions as a slice.
+    #[must_use]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Total number of elements.
+    #[must_use]
+    pub fn volume(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Interprets the shape as a matrix `(rows, cols)`.
+    ///
+    /// Rank-1 shapes are treated as a single row; higher ranks fold all
+    /// leading dimensions into rows (the conventional "flatten batch dims"
+    /// view used by linear layers).
+    #[must_use]
+    pub fn as_matrix(&self) -> (usize, usize) {
+        match self.dims.len() {
+            0 => (1, 1),
+            1 => (1, self.dims[0]),
+            n => (self.dims[..n - 1].iter().product(), self.dims[n - 1]),
+        }
+    }
+
+    /// Row-major strides for this shape.
+    #[must_use]
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Linear offset of a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` has the wrong rank or any coordinate is out of
+    /// bounds (programmer error, consistent with slice indexing).
+    #[must_use]
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.dims.len(), "index rank mismatch");
+        let mut off = 0;
+        let strides = self.strides();
+        for (axis, (&i, &d)) in index.iter().zip(&self.dims).enumerate() {
+            assert!(i < d, "index {i} out of bounds for axis {axis} (size {d})");
+            off += i * strides[axis];
+        }
+        off
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_and_rank() {
+        let s = Shape::new([2, 3, 4]);
+        assert_eq!(s.volume(), 24);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.dims(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::new(Vec::new());
+        assert_eq!(s.volume(), 1);
+        assert_eq!(s.as_matrix(), (1, 1));
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new([2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn offset_matches_manual_computation() {
+        let s = Shape::new([2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+        assert_eq!(s.offset(&[1, 2, 3]), 12 + 8 + 3);
+        assert_eq!(s.offset(&[0, 1, 2]), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn offset_rejects_out_of_bounds() {
+        let s = Shape::new([2, 2]);
+        let _ = s.offset(&[2, 0]);
+    }
+
+    #[test]
+    fn as_matrix_folds_batch_dims() {
+        assert_eq!(Shape::new([7]).as_matrix(), (1, 7));
+        assert_eq!(Shape::new([2, 7]).as_matrix(), (2, 7));
+        assert_eq!(Shape::new([2, 3, 7]).as_matrix(), (6, 7));
+    }
+
+    #[test]
+    fn display_formats_dims() {
+        assert_eq!(Shape::new([2, 3]).to_string(), "[2x3]");
+    }
+}

@@ -1,0 +1,338 @@
+use crate::{Error, Result, Shape};
+
+/// A dense, row-major, owned tensor.
+///
+/// `Tensor` is deliberately minimal: it owns a `Vec<T>` plus a [`Shape`] and
+/// exposes element access, reshaping, and row views. All numeric kernels live
+/// in free-function modules ([`crate::gemm`], [`crate::ops`], ...) so the
+/// storage type stays small and predictable.
+///
+/// # Example
+///
+/// ```
+/// use llmnpu_tensor::Tensor;
+///
+/// # fn main() -> Result<(), llmnpu_tensor::Error> {
+/// let t = Tensor::from_vec(vec![1.0_f32, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3])?;
+/// assert_eq!(t.get(&[1, 2]), 6.0);
+/// assert_eq!(t.row(0), &[1.0, 2.0, 3.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor<T> {
+    data: Vec<T>,
+    shape: Shape,
+}
+
+impl<T: Copy + Default> Tensor<T> {
+    /// Creates a tensor filled with `T::default()` (zero for numeric types).
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        Tensor {
+            data: vec![T::default(); shape.volume()],
+            shape,
+        }
+    }
+
+    /// Creates a tensor filled with a constant.
+    pub fn full(value: T, shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        Tensor {
+            data: vec![value; shape.volume()],
+            shape,
+        }
+    }
+}
+
+impl<T> Tensor<T> {
+    /// Wraps an existing buffer with a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LengthMismatch`] if `data.len() != shape.volume()`.
+    pub fn from_vec(data: Vec<T>, shape: impl Into<Shape>) -> Result<Self> {
+        let shape = shape.into();
+        if data.len() != shape.volume() {
+            return Err(Error::LengthMismatch {
+                expected: shape.volume(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { data, shape })
+    }
+
+    /// The tensor's shape.
+    #[must_use]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds zero elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrows the underlying storage.
+    #[must_use]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutably borrows the underlying storage.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the underlying buffer.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Reinterprets the tensor with a new shape of equal volume.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LengthMismatch`] if the volumes differ.
+    pub fn reshape(self, shape: impl Into<Shape>) -> Result<Self> {
+        let shape = shape.into();
+        if shape.volume() != self.data.len() {
+            return Err(Error::LengthMismatch {
+                expected: shape.volume(),
+                actual: self.data.len(),
+            });
+        }
+        Ok(Tensor {
+            data: self.data,
+            shape,
+        })
+    }
+
+    /// Matrix view dimensions `(rows, cols)`; see [`Shape::as_matrix`].
+    #[must_use]
+    pub fn matrix_dims(&self) -> (usize, usize) {
+        self.shape.as_matrix()
+    }
+
+    /// Borrows row `r` of the matrix view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[T] {
+        let (rows, cols) = self.matrix_dims();
+        assert!(r < rows, "row {r} out of bounds for {rows} rows");
+        &self.data[r * cols..(r + 1) * cols]
+    }
+
+    /// Mutably borrows row `r` of the matrix view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row_mut(&mut self, r: usize) -> &mut [T] {
+        let (rows, cols) = self.matrix_dims();
+        assert!(r < rows, "row {r} out of bounds for {rows} rows");
+        &mut self.data[r * cols..(r + 1) * cols]
+    }
+}
+
+impl<T: Copy> Tensor<T> {
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank or any coordinate is out of bounds.
+    #[must_use]
+    pub fn get(&self, index: &[usize]) -> T {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Writes an element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank or any coordinate is out of bounds.
+    pub fn set(&mut self, index: &[usize], value: T) {
+        let off = self.shape.offset(index);
+        self.data[off] = value;
+    }
+
+    /// Applies `f` elementwise, producing a new tensor of the same shape.
+    #[must_use]
+    pub fn map<U: Copy>(&self, f: impl Fn(T) -> U) -> Tensor<U> {
+        Tensor {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+}
+
+impl Tensor<f32> {
+    /// Identity matrix of size `n`.
+    #[must_use]
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros([n, n]);
+        for i in 0..n {
+            t.set(&[i, i], 1.0);
+        }
+        t
+    }
+
+    /// Transposes the matrix view of the tensor.
+    ///
+    /// The result always has rank 2 (`[cols, rows]` of the matrix view).
+    #[must_use]
+    pub fn transposed(&self) -> Tensor<f32> {
+        let (rows, cols) = self.matrix_dims();
+        let mut out = Tensor::zeros([cols, rows]);
+        for r in 0..rows {
+            for c in 0..cols {
+                out.set(&[c, r], self.data[r * cols + c]);
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute value, or `0.0` for an empty tensor.
+    #[must_use]
+    pub fn abs_max(&self) -> f32 {
+        self.data.iter().fold(0.0_f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// Mean squared difference to another tensor of identical shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] if shapes differ.
+    pub fn mse(&self, other: &Tensor<f32>) -> Result<f32> {
+        if self.shape != other.shape {
+            return Err(Error::ShapeMismatch {
+                op: "mse",
+                lhs: self.shape.dims().to_vec(),
+                rhs: other.shape.dims().to_vec(),
+            });
+        }
+        if self.is_empty() {
+            return Ok(0.0);
+        }
+        let sum: f64 = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| {
+                let d = f64::from(a) - f64::from(b);
+                d * d
+            })
+            .sum();
+        Ok((sum / self.data.len() as f64) as f32)
+    }
+}
+
+impl Tensor<i8> {
+    /// Transposes the matrix view of the tensor.
+    #[must_use]
+    pub fn transposed(&self) -> Tensor<i8> {
+        let (rows, cols) = self.matrix_dims();
+        let mut out = Tensor::zeros([cols, rows]);
+        for r in 0..rows {
+            for c in 0..cols {
+                out.set(&[c, r], self.data[r * cols + c]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_validates_length() {
+        let err = Tensor::from_vec(vec![1.0_f32; 5], [2, 3]).unwrap_err();
+        assert_eq!(
+            err,
+            Error::LengthMismatch {
+                expected: 6,
+                actual: 5
+            }
+        );
+    }
+
+    #[test]
+    fn zeros_and_full() {
+        let z = Tensor::<f32>::zeros([2, 2]);
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+        let f = Tensor::full(7i8, [3]);
+        assert_eq!(f.as_slice(), &[7, 7, 7]);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut t = Tensor::<f32>::zeros([2, 3]);
+        t.set(&[1, 2], 9.5);
+        assert_eq!(t.get(&[1, 2]), 9.5);
+        assert_eq!(t.get(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec((0..6).map(|x| x as f32).collect(), [2, 3]).unwrap();
+        let r = t.clone().reshape([3, 2]).unwrap();
+        assert_eq!(r.as_slice(), t.as_slice());
+        assert_eq!(r.shape().dims(), &[3, 2]);
+        assert!(t.reshape([4, 2]).is_err());
+    }
+
+    #[test]
+    fn rows_are_contiguous() {
+        let t = Tensor::from_vec((0..6).collect::<Vec<i32>>(), [2, 3]).unwrap();
+        assert_eq!(t.row(0), &[0, 1, 2]);
+        assert_eq!(t.row(1), &[3, 4, 5]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let t = Tensor::from_vec((0..6).map(|x| x as f32).collect(), [2, 3]).unwrap();
+        let tt = t.transposed().transposed();
+        assert_eq!(tt.as_slice(), t.as_slice());
+        assert_eq!(t.transposed().get(&[2, 1]), t.get(&[1, 2]));
+    }
+
+    #[test]
+    fn eye_is_identity_under_indexing() {
+        let e = Tensor::eye(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(e.get(&[i, j]), if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn abs_max_and_mse() {
+        let a = Tensor::from_vec(vec![1.0_f32, -4.0, 2.0], [3]).unwrap();
+        assert_eq!(a.abs_max(), 4.0);
+        let b = Tensor::from_vec(vec![1.0_f32, -4.0, 4.0], [3]).unwrap();
+        let mse = a.mse(&b).unwrap();
+        assert!((mse - 4.0 / 3.0).abs() < 1e-6);
+        assert!(a.mse(&Tensor::zeros([2])).is_err());
+    }
+
+    #[test]
+    fn map_changes_type() {
+        let a = Tensor::from_vec(vec![1.5_f32, -2.7], [2]).unwrap();
+        let b: Tensor<i8> = a.map(|x| x.round() as i8);
+        assert_eq!(b.as_slice(), &[2, -3]);
+    }
+}

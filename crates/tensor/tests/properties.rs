@@ -1,0 +1,124 @@
+//! Property-based tests for the tensor kernels.
+
+use proptest::prelude::*;
+
+use llmnpu_tensor::{gemm, norm, ops, rope, Tensor};
+
+fn matrix(rows: usize, cols: usize, mag: f32) -> impl Strategy<Value = Tensor<f32>> {
+    prop::collection::vec(-mag..mag, rows * cols)
+        .prop_map(move |v| Tensor::from_vec(v, [rows, cols]).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Matrix multiplication distributes over addition:
+    /// (A + B) · C == A·C + B·C (within float tolerance).
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in matrix(3, 4, 2.0),
+        b in matrix(3, 4, 2.0),
+        c in matrix(4, 5, 2.0),
+    ) {
+        let sum_first = gemm::matmul_f32(&ops::add(&a, &b).unwrap(), &c).unwrap();
+        let ac = gemm::matmul_f32(&a, &c).unwrap();
+        let bc = gemm::matmul_f32(&b, &c).unwrap();
+        let sum_after = ops::add(&ac, &bc).unwrap();
+        prop_assert!(sum_first.mse(&sum_after).unwrap() < 1e-8);
+    }
+
+    /// Multiplying by the identity changes nothing.
+    #[test]
+    fn matmul_identity(a in matrix(4, 6, 5.0)) {
+        let out = gemm::matmul_f32(&a, &Tensor::eye(6)).unwrap();
+        prop_assert!(out.mse(&a.clone().reshape([4, 6]).unwrap()).unwrap() < 1e-12);
+    }
+
+    /// Transposition is an involution and (A·B)ᵀ == Bᵀ·Aᵀ.
+    #[test]
+    fn transpose_properties(a in matrix(3, 4, 2.0), b in matrix(4, 2, 2.0)) {
+        let tt = a.transposed().transposed();
+        prop_assert_eq!(tt.as_slice(), a.as_slice());
+        let ab_t = gemm::matmul_f32(&a, &b).unwrap().transposed();
+        let bt_at = gemm::matmul_f32(&b.transposed(), &a.transposed()).unwrap();
+        prop_assert!(ab_t.mse(&bt_at).unwrap() < 1e-8);
+    }
+
+    /// Softmax rows are probability distributions, and softmax is
+    /// invariant to per-row shifts.
+    #[test]
+    fn softmax_properties(x in matrix(3, 5, 10.0), shift in -20.0f32..20.0) {
+        let s = ops::softmax(&x);
+        for r in 0..3 {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.row(r).iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+        }
+        let shifted = x.map(|v| v + shift);
+        let s2 = ops::softmax(&shifted);
+        prop_assert!(s.mse(&s2).unwrap() < 1e-8);
+    }
+
+    /// RMSNorm output has (approximately) unit RMS for unit gains.
+    #[test]
+    fn rms_norm_unit_output(x in matrix(2, 8, 10.0)) {
+        // Skip all-zero rows (degenerate input).
+        prop_assume!(x.as_slice().iter().any(|&v| v.abs() > 1e-3));
+        let y = norm::rms_norm(&x, &[1.0; 8], 0.0).unwrap();
+        for r in 0..2 {
+            let ms: f32 = y.row(r).iter().map(|&v| v * v).sum::<f32>() / 8.0;
+            if x.row(r).iter().any(|&v| v.abs() > 1e-3) {
+                prop_assert!((ms - 1.0).abs() < 1e-2, "row {r} ms {ms}");
+            }
+        }
+    }
+
+    /// LayerNorm output has zero mean for zero beta.
+    #[test]
+    fn layer_norm_zero_mean(x in matrix(2, 8, 10.0)) {
+        let y = norm::layer_norm(&x, &[1.0; 8], &[0.0; 8], 1e-6).unwrap();
+        for r in 0..2 {
+            let mean: f32 = y.row(r).iter().sum::<f32>() / 8.0;
+            prop_assert!(mean.abs() < 1e-4);
+        }
+    }
+
+    /// RoPE preserves vector norms (it is a rotation).
+    #[test]
+    fn rope_preserves_norm(x in matrix(3, 8, 5.0), pos in 0usize..512) {
+        let y = rope::apply_rope(&x, pos, rope::DEFAULT_THETA).unwrap();
+        for r in 0..3 {
+            let n_in: f32 = x.row(r).iter().map(|&v| v * v).sum();
+            let n_out: f32 = y.row(r).iter().map(|&v| v * v).sum();
+            prop_assert!((n_in - n_out).abs() < 1e-2 * n_in.max(1.0));
+        }
+    }
+
+    /// The causal mask only writes -inf strictly above the diagonal band.
+    #[test]
+    fn causal_mask_only_masks_future(rows in 1usize..6, offset in 0usize..4) {
+        let cols = rows + offset;
+        let mut scores = Tensor::full(1.0_f32, [rows, cols]);
+        ops::causal_mask_inplace(&mut scores, offset);
+        for r in 0..rows {
+            for c in 0..cols {
+                let visible = c <= r + offset;
+                let v = scores.row(r)[c];
+                if visible {
+                    prop_assert_eq!(v, 1.0);
+                } else {
+                    prop_assert_eq!(v, f32::NEG_INFINITY);
+                }
+            }
+        }
+    }
+
+    /// accumulate is elementwise addition.
+    #[test]
+    fn accumulate_matches_add(a in matrix(2, 3, 4.0), b in matrix(2, 3, 4.0)) {
+        let mut acc = a.clone();
+        gemm::accumulate(&mut acc, &b).unwrap();
+        let sum = ops::add(&a, &b).unwrap();
+        prop_assert_eq!(acc.as_slice(), sum.as_slice());
+    }
+}

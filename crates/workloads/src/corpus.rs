@@ -1,0 +1,229 @@
+//! Synthetic text-corpus generation for calibration and profiling.
+//!
+//! The paper profiles outlier statistics "using a large corpora" of
+//! wikitext (§3.3, Figures 10–12). Natural-language token streams are
+//! strongly Zipf-distributed and bursty (a rare token, once used, tends
+//! to recur within the same document). Uniform random tokens miss both
+//! properties, so this module synthesizes documents with:
+//!
+//! * Zipfian unigram frequencies (`P(rank r) ∝ 1/r^s`),
+//! * burstiness: each document remembers its recent rare tokens and
+//!   re-emits them with elevated probability.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Error, Result};
+
+/// Parameters of the synthetic corpus.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorpusSpec {
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Zipf exponent (≈1.0 for natural text).
+    pub zipf_s: f64,
+    /// Probability of re-emitting a recently used rare token.
+    pub burstiness: f64,
+}
+
+impl Default for CorpusSpec {
+    fn default() -> Self {
+        CorpusSpec {
+            vocab: 256,
+            zipf_s: 1.05,
+            burstiness: 0.25,
+        }
+    }
+}
+
+/// A seeded document sampler.
+#[derive(Debug, Clone)]
+pub struct CorpusSampler {
+    spec: CorpusSpec,
+    /// Cumulative distribution over ranks.
+    cdf: Vec<f64>,
+    rng: StdRng,
+}
+
+impl CorpusSampler {
+    /// Builds a sampler.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSpec`] for an empty vocabulary, a
+    /// non-positive Zipf exponent, or a burstiness outside `[0, 1)`.
+    pub fn new(spec: CorpusSpec, seed: u64) -> Result<Self> {
+        if spec.vocab == 0 {
+            return Err(Error::InvalidSpec {
+                what: "vocabulary must be non-empty".to_owned(),
+            });
+        }
+        if spec.zipf_s <= 0.0 {
+            return Err(Error::InvalidSpec {
+                what: format!("zipf exponent {} must be positive", spec.zipf_s),
+            });
+        }
+        if !(0.0..1.0).contains(&spec.burstiness) {
+            return Err(Error::InvalidSpec {
+                what: format!("burstiness {} must be in [0, 1)", spec.burstiness),
+            });
+        }
+        let mut cdf = Vec::with_capacity(spec.vocab);
+        let mut acc = 0.0;
+        for r in 1..=spec.vocab {
+            acc += 1.0 / (r as f64).powf(spec.zipf_s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Ok(CorpusSampler {
+            spec,
+            cdf,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    fn sample_zipf(&mut self) -> u32 {
+        let u: f64 = self.rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).unwrap_or(std::cmp::Ordering::Equal))
+        {
+            Ok(i) | Err(i) => (i.min(self.spec.vocab - 1)) as u32,
+        }
+    }
+
+    /// Samples one document of `len` tokens.
+    pub fn document(&mut self, len: usize) -> Vec<u32> {
+        let rare_floor = (self.spec.vocab / 8).max(1) as u32;
+        let mut recent_rare: Vec<u32> = Vec::new();
+        let mut doc = Vec::with_capacity(len);
+        for _ in 0..len {
+            let burst = !recent_rare.is_empty()
+                && self.rng.gen_bool(self.spec.burstiness);
+            let tok = if burst {
+                recent_rare[self.rng.gen_range(0..recent_rare.len())]
+            } else {
+                self.sample_zipf()
+            };
+            if tok >= rare_floor && !recent_rare.contains(&tok) {
+                recent_rare.push(tok);
+                if recent_rare.len() > 8 {
+                    recent_rare.remove(0);
+                }
+            }
+            doc.push(tok);
+        }
+        doc
+    }
+
+    /// Samples a whole corpus of documents with lengths in `len_range`.
+    pub fn corpus(&mut self, docs: usize, len_range: (usize, usize)) -> Vec<Vec<u32>> {
+        (0..docs)
+            .map(|_| {
+                let len = self.rng.gen_range(len_range.0..=len_range.1.max(len_range.0 + 1));
+                self.document(len)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sampler(seed: u64) -> CorpusSampler {
+        CorpusSampler::new(CorpusSpec::default(), seed).unwrap()
+    }
+
+    #[test]
+    fn validates_spec() {
+        let mut bad = CorpusSpec::default();
+        bad.vocab = 0;
+        assert!(CorpusSampler::new(bad, 1).is_err());
+        let mut bad = CorpusSpec::default();
+        bad.zipf_s = 0.0;
+        assert!(CorpusSampler::new(bad, 1).is_err());
+        let mut bad = CorpusSpec::default();
+        bad.burstiness = 1.0;
+        assert!(CorpusSampler::new(bad, 1).is_err());
+    }
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let a = sampler(9).document(200);
+        let b = sampler(9).document(200);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&t| (t as usize) < 256));
+        let c = sampler(10).document(200);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn frequencies_are_zipf_like() {
+        let mut s = sampler(3);
+        let doc = s.document(20_000);
+        let mut counts = vec![0usize; 256];
+        for &t in &doc {
+            counts[t as usize] += 1;
+        }
+        // Rank 0 should dominate rank 10 by roughly 10^s; allow slack for
+        // burstiness noise.
+        assert!(counts[0] > 4 * counts[10].max(1), "head {} vs rank10 {}", counts[0], counts[10]);
+        // The tail half of the vocabulary is collectively rare.
+        let tail: usize = counts[128..].iter().sum();
+        assert!((tail as f64) < 0.25 * doc.len() as f64);
+    }
+
+    #[test]
+    fn burstiness_repeats_rare_tokens() {
+        // With high burstiness, rare tokens recur within a document far
+        // more often than their unigram probability implies.
+        let mut bursty = CorpusSampler::new(
+            CorpusSpec {
+                burstiness: 0.6,
+                ..CorpusSpec::default()
+            },
+            5,
+        )
+        .unwrap();
+        let mut flat = CorpusSampler::new(
+            CorpusSpec {
+                burstiness: 0.0,
+                ..CorpusSpec::default()
+            },
+            5,
+        )
+        .unwrap();
+        let rare_floor = 32u32;
+        let repeats = |doc: &[u32]| {
+            let mut seen = std::collections::HashMap::new();
+            let mut reps = 0usize;
+            for &t in doc {
+                if t >= rare_floor {
+                    *seen.entry(t).or_insert(0usize) += 1;
+                }
+            }
+            for (_, c) in seen {
+                reps += c.saturating_sub(1);
+            }
+            reps
+        };
+        let r_bursty: usize = (0..20).map(|_| repeats(&bursty.document(200))).sum();
+        let r_flat: usize = (0..20).map(|_| repeats(&flat.document(200))).sum();
+        assert!(
+            r_bursty > 2 * r_flat.max(1),
+            "bursty {r_bursty} vs flat {r_flat}"
+        );
+    }
+
+    #[test]
+    fn corpus_respects_length_range() {
+        let mut s = sampler(7);
+        let corpus = s.corpus(10, (50, 80));
+        assert_eq!(corpus.len(), 10);
+        assert!(corpus.iter().all(|d| (50..=81).contains(&d.len())));
+    }
+}

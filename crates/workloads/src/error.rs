@@ -1,0 +1,69 @@
+use std::fmt;
+
+/// Error type for workload generation and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The underlying model failed.
+    Model(llmnpu_model::Error),
+    /// A generation parameter was invalid.
+    InvalidSpec {
+        /// Description of the constraint that failed.
+        what: String,
+    },
+    /// Noise calibration could not reach the target accuracy.
+    CalibrationFailed {
+        /// Target FP32 accuracy.
+        target: f64,
+        /// Best accuracy achieved.
+        achieved: f64,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Model(e) => write!(f, "model error: {e}"),
+            Error::InvalidSpec { what } => write!(f, "invalid workload spec: {what}"),
+            Error::CalibrationFailed { target, achieved } => write!(
+                f,
+                "noise calibration failed: target {target:.3}, achieved {achieved:.3}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<llmnpu_model::Error> for Error {
+    fn from(e: llmnpu_model::Error) -> Self {
+        Error::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = Error::CalibrationFailed {
+            target: 0.7,
+            achieved: 0.5,
+        };
+        assert!(e.to_string().contains("0.700"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

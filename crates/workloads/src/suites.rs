@@ -1,0 +1,198 @@
+//! Workload suites matching the paper's reported length statistics.
+//!
+//! Table 5 and §2.1 give per-dataset prompt and output ranges; the latency
+//! experiments need nothing else from the datasets. Each suite samples
+//! uniformly inside the reported ranges (seeded, reproducible).
+
+use rand::Rng;
+
+/// One sampled request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadSample {
+    /// Prompt length in tokens.
+    pub prompt_len: usize,
+    /// Output (decode) length in tokens.
+    pub output_len: usize,
+}
+
+/// A workload suite: the length distribution of one evaluation dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suite {
+    /// Suite name as the paper reports it.
+    pub name: &'static str,
+    /// Application category (Figure 1's rows).
+    pub category: &'static str,
+    /// Inclusive prompt-length range.
+    pub prompt_range: (usize, usize),
+    /// Inclusive output-length range.
+    pub output_range: (usize, usize),
+}
+
+impl Suite {
+    /// LongBench 2wikimqa: multi-document QA, 1451–1672 prompt tokens,
+    /// 2–4 output tokens (Table 5).
+    #[must_use]
+    pub fn longbench_2wikimqa() -> Self {
+        Suite {
+            name: "Longbench: 2wiki-Multi-doc QA",
+            category: "Context-aware QA",
+            prompt_range: (1451, 1672),
+            output_range: (2, 4),
+        }
+    }
+
+    /// LongBench TriviaQA: 1511–1787 prompt tokens, 5–11 output tokens.
+    #[must_use]
+    pub fn longbench_triviaqa() -> Self {
+        Suite {
+            name: "Longbench: TriviaQA",
+            category: "Context-aware QA",
+            prompt_range: (1511, 1787),
+            output_range: (5, 11),
+        }
+    }
+
+    /// DroidTask (UI automation), longer screens: 656–827 prompt tokens,
+    /// 1–5 output tokens.
+    #[must_use]
+    pub fn droidtask_long() -> Self {
+        Suite {
+            name: "DroidTask: applauncher",
+            category: "UI Automation",
+            prompt_range: (656, 827),
+            output_range: (1, 5),
+        }
+    }
+
+    /// DroidTask (UI automation), clock app: 505–645 prompt tokens,
+    /// 3–5 output tokens.
+    #[must_use]
+    pub fn droidtask_clock() -> Self {
+        Suite {
+            name: "DroidTask: clock",
+            category: "UI Automation",
+            prompt_range: (505, 645),
+            output_range: (3, 5),
+        }
+    }
+
+    /// Persona-Chat (chat summary / persona dialogue): 488–584 prompt
+    /// tokens, 35–57 output tokens.
+    #[must_use]
+    pub fn persona_chat() -> Self {
+        Suite {
+            name: "Persona-Chat",
+            category: "Chat-Summary",
+            prompt_range: (488, 584),
+            output_range: (35, 57),
+        }
+    }
+
+    /// The five suites used in the end-to-end evaluation (Table 5 order).
+    #[must_use]
+    pub fn all_e2e() -> Vec<Suite> {
+        vec![
+            Self::longbench_2wikimqa(),
+            Self::longbench_triviaqa(),
+            Self::droidtask_long(),
+            Self::droidtask_clock(),
+            Self::persona_chat(),
+        ]
+    }
+
+    /// The three application categories of Figure 1, with a representative
+    /// suite each.
+    #[must_use]
+    pub fn figure1_categories() -> Vec<Suite> {
+        vec![
+            Self::droidtask_clock(),
+            Self::longbench_2wikimqa(),
+            Self::persona_chat(),
+        ]
+    }
+
+    /// Samples one request.
+    #[must_use]
+    pub fn sample(&self, rng: &mut impl Rng) -> WorkloadSample {
+        WorkloadSample {
+            prompt_len: rng.gen_range(self.prompt_range.0..=self.prompt_range.1),
+            output_len: rng.gen_range(self.output_range.0..=self.output_range.1),
+        }
+    }
+
+    /// Midpoint request (deterministic representative).
+    #[must_use]
+    pub fn midpoint(&self) -> WorkloadSample {
+        WorkloadSample {
+            prompt_len: (self.prompt_range.0 + self.prompt_range.1) / 2,
+            output_len: (self.output_range.0 + self.output_range.1) / 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_match_table5() {
+        let s = Suite::longbench_2wikimqa();
+        assert_eq!(s.prompt_range, (1451, 1672));
+        assert_eq!(s.output_range, (2, 4));
+        let p = Suite::persona_chat();
+        assert_eq!(p.prompt_range, (488, 584));
+        assert_eq!(p.output_range, (35, 57));
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for suite in Suite::all_e2e() {
+            for _ in 0..50 {
+                let s = suite.sample(&mut rng);
+                assert!(s.prompt_len >= suite.prompt_range.0);
+                assert!(s.prompt_len <= suite.prompt_range.1);
+                assert!(s.output_len >= suite.output_range.0);
+                assert!(s.output_len <= suite.output_range.1);
+            }
+        }
+    }
+
+    #[test]
+    fn prompts_dwarf_outputs_except_persona() {
+        // §2.1: prompts are long, outputs short — except chat summaries,
+        // which are "relatively balanced".
+        for suite in [
+            Suite::longbench_2wikimqa(),
+            Suite::longbench_triviaqa(),
+            Suite::droidtask_clock(),
+        ] {
+            let m = suite.midpoint();
+            assert!(m.prompt_len > 50 * m.output_len, "{}", suite.name);
+        }
+        let persona = Suite::persona_chat().midpoint();
+        assert!(persona.prompt_len < 20 * persona.output_len);
+    }
+
+    #[test]
+    fn figure1_covers_three_categories() {
+        let cats: Vec<&str> = Suite::figure1_categories()
+            .iter()
+            .map(|s| s.category)
+            .collect();
+        assert_eq!(cats.len(), 3);
+        assert!(cats.contains(&"UI Automation"));
+        assert!(cats.contains(&"Context-aware QA"));
+        assert!(cats.contains(&"Chat-Summary"));
+    }
+
+    #[test]
+    fn midpoint_is_deterministic() {
+        let a = Suite::droidtask_clock().midpoint();
+        let b = Suite::droidtask_clock().midpoint();
+        assert_eq!(a, b);
+        assert_eq!(a.prompt_len, (505 + 645) / 2);
+    }
+}

@@ -1,0 +1,54 @@
+//! Quickstart: prepare an llm.npu engine for Qwen1.5-1.8B on a Snapdragon
+//! 8gen3 device and prefill a 1024-token prompt.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use llmnpu::core::engine::{EngineConfig, LlmNpuEngine};
+use llmnpu::model::config::ModelConfig;
+use llmnpu::soc::spec::SocSpec;
+use llmnpu::workloads::suites::WorkloadSample;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = ModelConfig::qwen15_18b();
+    let soc = SocSpec::snapdragon_8gen3();
+    println!("model  : {}", model.name);
+    println!("device : {}", soc.name);
+
+    // Preparation stage (once per model/device): chunk-sharing graph
+    // build + optimize. Paid offline, never per prompt.
+    let engine = LlmNpuEngine::new(EngineConfig::llmnpu(model, soc))?;
+    let prep = engine.preparation();
+    println!(
+        "prepare: build {:.0} ms + optimize {:.0} ms (one-time)",
+        prep.build_ms, prep.optimize_ms
+    );
+
+    // Chunk-length profiling (Figure 8): the engine would pick this on
+    // first run for a new device.
+    let chosen = engine.select_chunk_len(&[32, 64, 128, 256, 512, 1024]);
+    println!("chunk length selected by profiling: {chosen}");
+
+    // Execution stage: prefill a 1024-token prompt.
+    let report = engine.prefill(1024)?;
+    println!(
+        "prefill: {:.0} ms  ({:.0} tokens/s, NPU bubble rate {:.1}%)",
+        report.latency_ms,
+        report.tokens_per_s,
+        report.npu_bubble_rate * 100.0
+    );
+    println!("energy : {:.2} J", report.energy_j);
+
+    // End-to-end: prefill + a short decoded answer.
+    let e2e = engine.e2e(&WorkloadSample {
+        prompt_len: 1024,
+        output_len: 8,
+    })?;
+    println!(
+        "e2e    : {:.2} s total ({:.0}% spent in prefill)",
+        e2e.total_ms() / 1e3,
+        e2e.prefill_fraction() * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! Visualizes the out-of-order scheduler: a text Gantt chart of the first
+//! milliseconds of a chunked prefill under naive-overlap vs out-of-order
+//! dispatch (Figure 13's two panels).
+//!
+//! ```sh
+//! cargo run --example scheduler_trace
+//! ```
+
+use llmnpu::graph::chunk::ChunkPlan;
+use llmnpu::graph::dag::{build_prefill_dag, DagConfig};
+use llmnpu::model::config::ModelConfig;
+use llmnpu::sched::{schedule, Policy};
+use llmnpu::soc::latency::LatencyModel;
+use llmnpu::soc::spec::SocSpec;
+use llmnpu::soc::Processor;
+
+const LANE_WIDTH: usize = 100;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small model keeps the trace readable.
+    let mut model = ModelConfig::qwen15_18b();
+    model.layers = 2;
+    let soc = SocSpec::snapdragon_8gen3();
+    let lat = LatencyModel::new(&soc);
+
+    let dag_cfg = DagConfig {
+        plan: ChunkPlan::new(1024, 256)?,
+        float_processor: Processor::Cpu,
+        shadow_fraction: 0.5,
+        outlier_channels: 10,
+        shape_optimized: true,
+        npu_group_size: None,
+    };
+    let dag = build_prefill_dag(&model, &dag_cfg, &lat)?;
+    println!(
+        "{} tasks over {} chunks (2-layer slice of Qwen1.5-1.8B)\n",
+        dag.len(),
+        dag_cfg.plan.chunks
+    );
+
+    for policy in [Policy::FifoQueues, Policy::OutOfOrder] {
+        let outcome = schedule(&dag, policy)?;
+        println!(
+            "=== {} | makespan {:.1} ms | NPU bubbles {:.1}% ===",
+            policy.label(),
+            outcome.makespan_ms,
+            outcome.npu_bubble_rate * 100.0
+        );
+        let span = outcome.makespan_ms;
+        for proc in [Processor::Npu, Processor::Cpu] {
+            let mut lane = vec!['.'; LANE_WIDTH];
+            for e in outcome
+                .timeline
+                .entries()
+                .iter()
+                .filter(|e| e.processor == proc)
+            {
+                let a = ((e.start / span) * LANE_WIDTH as f64) as usize;
+                let b = (((e.end / span) * LANE_WIDTH as f64).ceil() as usize)
+                    .min(LANE_WIDTH);
+                let glyph = label_glyph(&e.label);
+                for slot in lane.iter_mut().take(b).skip(a.min(LANE_WIDTH)) {
+                    *slot = glyph;
+                }
+            }
+            println!("{proc}: {}", lane.iter().collect::<String>());
+        }
+        println!(
+            "legend: digits = chunk index of the running subgraph, '.' = idle\n"
+        );
+    }
+    println!(
+        "Out-of-order dispatch fills the NPU's wait-for-attention gaps with\n\
+         later chunks' linear subgraphs — the bubble collapse of Figure 13."
+    );
+    Ok(())
+}
+
+fn label_glyph(label: &str) -> char {
+    // Labels look like "C2-L0-Ffn"; the digit after 'C' is the chunk.
+    label
+        .strip_prefix('C')
+        .and_then(|rest| rest.chars().next())
+        .unwrap_or('#')
+}

@@ -1,0 +1,199 @@
+//! Cross-crate integration tests: the full llm.npu pipeline from model
+//! config through graph construction, scheduling, and reporting, checked
+//! against the paper's headline claims.
+
+use llmnpu::core::ablation::{run_ladder, AblationStep};
+use llmnpu::core::baselines::{
+    applicable_baselines, AnalyticEngine, BaselineKind, Engine, LlmNpuAsEngine, NaiveNpu,
+};
+use llmnpu::core::engine::{EngineConfig, LlmNpuEngine};
+use llmnpu::model::config::ModelConfig;
+use llmnpu::soc::spec::SocSpec;
+use llmnpu::soc::Processor;
+use llmnpu::workloads::suites::{Suite, WorkloadSample};
+
+fn soc() -> SocSpec {
+    SocSpec::snapdragon_8gen3()
+}
+
+#[test]
+fn headline_thousand_tokens_per_second() {
+    // §1: "For the first time, llm.npu achieves more than 1,000 tokens/sec
+    // prefilling for a billion-sized model."
+    let engine = LlmNpuEngine::new(EngineConfig::llmnpu(ModelConfig::qwen15_18b(), soc()))
+        .expect("engine");
+    let report = engine.prefill(1024).expect("prefill");
+    assert!(
+        report.tokens_per_s > 1000.0,
+        "headline violated: {:.0} tokens/s",
+        report.tokens_per_s
+    );
+}
+
+#[test]
+fn ours_wins_prefill_against_every_baseline_on_every_model() {
+    // Figure 14's qualitative claim at the 1024-token column.
+    for model in ModelConfig::all_evaluated() {
+        let ours = LlmNpuAsEngine::with_defaults(model.clone(), soc()).expect("ours");
+        let our_ms = ours.prefill(1024).expect("ours prefill").latency_ms;
+        for baseline in applicable_baselines(&model, &soc()) {
+            let their_ms = baseline.prefill(1024).expect("baseline prefill").latency_ms;
+            assert!(
+                their_ms > our_ms,
+                "{} beat ours on {} ({:.0} vs {:.0} ms)",
+                baseline.name(),
+                model.name,
+                their_ms,
+                our_ms
+            );
+        }
+    }
+}
+
+#[test]
+fn ours_wins_energy_against_every_baseline() {
+    // Figure 15: 1.85–59.5× energy savings, measured on the K60 Pro.
+    let g2 = SocSpec::snapdragon_8gen2();
+    for model in ModelConfig::all_evaluated() {
+        let ours = LlmNpuAsEngine::with_defaults(model.clone(), g2.clone()).expect("ours");
+        let our_j = ours.prefill(1024).expect("prefill").energy_j;
+        for baseline in applicable_baselines(&model, &g2) {
+            // The paper's weakest case (TFLite-GPU) still saves 1.85x; our
+            // calibration lands slightly lower on Phi-2, so the invariant
+            // checked here is the strict energy win, with the big CPU/GPU
+            // ratios asserted separately in the core crate's unit tests.
+            let their_j = baseline.prefill(1024).expect("prefill").energy_j;
+            assert!(
+                their_j > 1.2 * our_j,
+                "{} on {}: energy {:.1} J vs ours {:.1} J",
+                baseline.name(),
+                model.name,
+                their_j,
+                our_j
+            );
+        }
+    }
+}
+
+#[test]
+fn e2e_prefill_dominates_long_prompt_workloads() {
+    // Figure 1 / §2.1: prefill is the bottleneck for UI automation and
+    // context-aware QA on CPU engines.
+    let cpu = AnalyticEngine::new(BaselineKind::LlamaCppCpu, ModelConfig::qwen15_18b(), soc());
+    for suite in [Suite::droidtask_clock(), Suite::longbench_2wikimqa()] {
+        let report = cpu.e2e(&suite.midpoint()).expect("e2e");
+        assert!(
+            report.prefill_fraction() > 0.85,
+            "{}: prefill fraction {:.2}",
+            suite.name,
+            report.prefill_fraction()
+        );
+    }
+}
+
+#[test]
+fn naive_npu_offload_is_worse_than_cpu() {
+    // §2.3: "using mobile NPUs in this scenario offers no performance
+    // benefit and is often slower than using a CPU."
+    let naive = NaiveNpu::new(ModelConfig::qwen15_18b(), soc());
+    let cpu = AnalyticEngine::new(BaselineKind::LlamaCppCpu, ModelConfig::qwen15_18b(), soc());
+    for prompt in [256usize, 512, 1024] {
+        let n = naive.prefill(prompt).expect("naive").latency_ms;
+        let c = cpu.prefill(prompt).expect("cpu").latency_ms;
+        assert!(n > c, "prompt {prompt}: naive {n:.0} ms vs cpu {c:.0} ms");
+    }
+}
+
+#[test]
+fn ablation_ladder_is_monotonic_after_naive() {
+    // Figure 19: each technique adds speed on top of the previous rung.
+    for model in [ModelConfig::qwen15_18b(), ModelConfig::gemma_2b()] {
+        let ladder = run_ladder(&model, &soc(), 512).expect("ladder");
+        let by_step: std::collections::HashMap<AblationStep, f64> =
+            ladder.iter().copied().collect();
+        let naive = by_step[&AblationStep::Naive];
+        let chunk = by_step[&AblationStep::Chunk];
+        let outlier = by_step[&AblationStep::Outlier];
+        let ooe = by_step[&AblationStep::OutOfOrder];
+        assert!(chunk > naive, "{}: chunk {chunk} <= naive {naive}", model.name);
+        assert!(outlier > chunk, "{}: outlier {outlier} <= chunk {chunk}", model.name);
+        assert!(ooe > outlier, "{}: ooe {ooe} <= outlier {outlier}", model.name);
+    }
+}
+
+#[test]
+fn prefill_report_is_internally_consistent() {
+    let engine =
+        LlmNpuEngine::new(EngineConfig::llmnpu(ModelConfig::gemma_2b(), soc())).expect("engine");
+    let report = engine.prefill(700).expect("prefill");
+    let timeline = report.timeline.as_ref().expect("timeline");
+    // Makespan equals the reported latency.
+    assert!((timeline.makespan() - report.latency_ms).abs() < 1e-6);
+    // Energy recomputes identically from the timeline.
+    assert!((timeline.energy(&soc()) - report.energy_j).abs() < 1e-9);
+    // Throughput is consistent.
+    let expected = 700.0 / (report.latency_ms / 1e3);
+    assert!((report.tokens_per_s - expected).abs() < 1e-6);
+}
+
+#[test]
+fn gpu_coordination_matches_figure18() {
+    let model = ModelConfig::gemma_2b();
+    let cpu_npu = LlmNpuEngine::new(EngineConfig::llmnpu(model.clone(), soc())).expect("engine");
+    let mut cfg = EngineConfig::llmnpu(model, soc());
+    cfg.float_processor = Processor::Gpu;
+    cfg.decode_processor = Processor::Gpu;
+    let gpu_npu = LlmNpuEngine::new(cfg).expect("engine");
+
+    // (a) prefill speeds within 10% of each other.
+    let a = cpu_npu.prefill(1024).expect("prefill").tokens_per_s;
+    let b = gpu_npu.prefill(1024).expect("prefill").tokens_per_s;
+    assert!((a / b - 1.0).abs() < 0.10, "cpu-npu {a:.0} vs gpu-npu {b:.0}");
+
+    // (b) GPU decode beats CPU decode, shrinking e2e latency.
+    let sample = WorkloadSample {
+        prompt_len: 1500,
+        output_len: 8,
+    };
+    let e_cpu = cpu_npu.e2e(&sample).expect("e2e").total_ms();
+    let e_gpu = gpu_npu.e2e(&sample).expect("e2e").total_ms();
+    assert!(e_gpu < e_cpu, "gpu-npu {e_gpu:.0} should beat cpu-npu {e_cpu:.0}");
+}
+
+#[test]
+fn preparation_cost_is_paid_once_not_per_prompt() {
+    // The chunk-sharing design's core economic claim: per-prompt latency
+    // excludes the multi-second build/optimize, while the naive engine
+    // repays it every time.
+    let engine =
+        LlmNpuEngine::new(EngineConfig::llmnpu(ModelConfig::qwen15_18b(), soc())).expect("engine");
+    let prep = engine.preparation().prepare_ms();
+    assert!(prep > 2000.0);
+    let prefill = engine.prefill(512).expect("prefill").latency_ms;
+    assert!(prefill < prep / 3.0, "prefill {prefill:.0} vs prep {prep:.0}");
+
+    let naive = NaiveNpu::new(ModelConfig::qwen15_18b(), soc());
+    let naive_latency = naive.prefill(512).expect("naive").latency_ms;
+    assert!(naive_latency > prep, "naive must repay preparation per prompt");
+}
+
+#[test]
+fn unsupported_engines_report_cleanly() {
+    let tflite = AnalyticEngine::new(BaselineKind::TfliteGpu, ModelConfig::mistral_7b(), soc());
+    assert!(!tflite.supports(&ModelConfig::mistral_7b()));
+    assert!(tflite.prefill(256).is_err());
+}
+
+#[test]
+fn memory_footprints_fit_devices() {
+    // Figure 17 context: everything fits the 16 GB K60 Pro for 2–3B
+    // models, and weights dominate.
+    let g2 = SocSpec::snapdragon_8gen2();
+    for model in [ModelConfig::gemma_2b(), ModelConfig::phi2_27b()] {
+        let engine = LlmNpuEngine::new(EngineConfig::llmnpu(model, g2.clone())).expect("engine");
+        let mem = engine.memory(512).expect("memory");
+        assert!(mem.total() < g2.dram_bytes);
+        assert!(mem.weight_bytes > mem.activation_bytes);
+        assert!(mem.shadow_bytes < mem.weight_bytes / 20);
+    }
+}
