@@ -1,13 +1,19 @@
-//! Criterion microbenchmarks of the numeric-plane kernels: the real
-//! arithmetic behind the accuracy experiments.
+//! Criterion microbenchmarks of the numeric-plane kernels, plus the
+//! kernel-subsystem comparison that records `BENCH_kernels.json` at the
+//! repository root: naive (scalar reference) vs blocked vs blocked+4-thread
+//! GEMM at paper-relevant shapes (256/512/1024 square prefill GEMMs and the
+//! 1×4096×4096 decode GEMV), with tokens-equivalent throughput so the perf
+//! trajectory of the kernel layer is tracked across PRs.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{criterion_group, BatchSize, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use llmnpu_quant::outlier::{extract_outliers, ShadowLinear};
 use llmnpu_quant::per_group::GroupedLinear;
 use llmnpu_quant::per_tensor::{max_min_scale, QuantizedLinear, QuantizedMatrix};
 use llmnpu_tensor::{gemm, Tensor};
+use serde::Serialize;
 
 fn ramp(rows: usize, cols: usize, amp: f32) -> Tensor<f32> {
     Tensor::from_vec(
@@ -23,13 +29,30 @@ fn bench_gemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("gemm");
     let a_f = ramp(32, 256, 1.0);
     let b_f = ramp(256, 256, 1.0);
-    group.bench_function("f32_32x256x256", |b| {
+    group.bench_function("f32_naive_32x256x256", |b| {
+        b.iter(|| gemm::matmul_f32_reference(black_box(&a_f), black_box(&b_f)).unwrap())
+    });
+    group.bench_function("f32_blocked_32x256x256", |b| {
         b.iter(|| gemm::matmul_f32(black_box(&a_f), black_box(&b_f)).unwrap())
     });
     let a_i = QuantizedMatrix::quantize(&a_f);
     let b_i = QuantizedMatrix::quantize(&b_f);
-    group.bench_function("i8_32x256x256", |b| {
+    group.bench_function("i8_naive_32x256x256", |b| {
+        b.iter(|| gemm::matmul_i8_reference(black_box(a_i.data()), black_box(b_i.data())).unwrap())
+    });
+    group.bench_function("i8_blocked_32x256x256", |b| {
         b.iter(|| gemm::matmul_i8(black_box(a_i.data()), black_box(b_i.data())).unwrap())
+    });
+    group.bench_function("i8_fused_dequant_32x256x256", |b| {
+        b.iter(|| {
+            gemm::matmul_i8_scaled(
+                black_box(a_i.data()),
+                black_box(b_i.data()),
+                a_i.scale(),
+                b_i.scale(),
+            )
+            .unwrap()
+        })
     });
     group.finish();
 }
@@ -76,10 +99,154 @@ fn bench_outlier_extraction(c: &mut Criterion) {
     group.finish();
 }
 
+// ---------------------------------------------------------------------------
+// Kernel-subsystem comparison -> BENCH_kernels.json
+// ---------------------------------------------------------------------------
+
+/// Threads used for the threaded row in the JSON record (the acceptance
+/// shape of the kernel-subsystem work).
+const THREADS: usize = 4;
+
+#[derive(Debug, Serialize)]
+struct KernelRow {
+    shape: String,
+    m: usize,
+    k: usize,
+    n: usize,
+    naive_ms: f64,
+    blocked_ms: f64,
+    threaded4_ms: f64,
+    naive_gflops: f64,
+    blocked_gflops: f64,
+    threaded4_gflops: f64,
+    speedup_blocked: f64,
+    speedup_threaded4: f64,
+    /// Rows of A pushed through the layer per second on the threaded
+    /// kernel — "tokens-equivalent" throughput, since one token's hidden
+    /// state is one activation row of a linear layer.
+    tokens_equiv_per_s: f64,
+    i8_naive_ms: f64,
+    i8_blocked_ms: f64,
+    i8_speedup: f64,
+    i8_bit_exact: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct KernelRecord {
+    id: &'static str,
+    description: &'static str,
+    /// Worker count requested for the threaded rows.
+    threads_requested: usize,
+    /// Worker count actually used after the host-core clamp — on a
+    /// 1-core host the threaded rows are effectively single-threaded
+    /// and should read ≈ the blocked rows.
+    threads_effective: usize,
+    host_cpus: usize,
+    fma: bool,
+    rows: Vec<KernelRow>,
+}
+
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn compare_shape(m: usize, k: usize, n: usize, reps: usize) -> KernelRow {
+    let a = ramp(m, k, 1.0);
+    let b = ramp(k, n, 1.0);
+    let flops = 2.0 * m as f64 * k as f64 * n as f64;
+
+    let naive = best_of(reps, || gemm::matmul_f32_reference(&a, &b).unwrap());
+    let blocked = best_of(reps, || gemm::matmul_f32(&a, &b).unwrap());
+    let threaded = best_of(reps, || gemm::matmul_f32_threaded(&a, &b, THREADS).unwrap());
+
+    let ai = a.map(|x| (x * 120.0) as i8);
+    let bi = b.map(|x| (x * 120.0) as i8);
+    let i8_naive = best_of(reps, || gemm::matmul_i8_reference(&ai, &bi).unwrap());
+    let i8_blocked = best_of(reps, || gemm::matmul_i8(&ai, &bi).unwrap());
+    let i8_bit_exact = gemm::matmul_i8(&ai, &bi).unwrap().as_slice()
+        == gemm::matmul_i8_reference(&ai, &bi).unwrap().as_slice();
+
+    let fastest = blocked.min(threaded);
+    KernelRow {
+        shape: format!("{m}x{k}x{n}"),
+        m,
+        k,
+        n,
+        naive_ms: naive * 1e3,
+        blocked_ms: blocked * 1e3,
+        threaded4_ms: threaded * 1e3,
+        naive_gflops: flops / naive / 1e9,
+        blocked_gflops: flops / blocked / 1e9,
+        threaded4_gflops: flops / threaded / 1e9,
+        speedup_blocked: naive / blocked,
+        speedup_threaded4: naive / threaded,
+        tokens_equiv_per_s: m as f64 / fastest,
+        i8_naive_ms: i8_naive * 1e3,
+        i8_blocked_ms: i8_blocked * 1e3,
+        i8_speedup: i8_naive / i8_blocked,
+        i8_bit_exact,
+    }
+}
+
+fn kernel_comparison() {
+    println!("\n=== kernel subsystem: naive vs blocked vs blocked+{THREADS}-thread ===");
+    let shapes: [(usize, usize, usize, usize); 4] = [
+        (256, 256, 256, 9),
+        (512, 512, 512, 7),
+        (1024, 1024, 1024, 3),
+        (1, 4096, 4096, 9), // decode GEMV
+    ];
+    let rows: Vec<KernelRow> = shapes
+        .iter()
+        .map(|&(m, k, n, reps)| {
+            let row = compare_shape(m, k, n, reps);
+            println!(
+                "{:<14} naive {:>8.2} ms | blocked {:>7.2} ms ({:>4.2}x) | {}t {:>7.2} ms ({:>4.2}x) | i8 {:>4.2}x exact={} | {:>9.0} tok-eq/s",
+                row.shape,
+                row.naive_ms,
+                row.blocked_ms,
+                row.speedup_blocked,
+                THREADS,
+                row.threaded4_ms,
+                row.speedup_threaded4,
+                row.i8_speedup,
+                row.i8_bit_exact,
+                row.tokens_equiv_per_s,
+            );
+            row
+        })
+        .collect();
+
+    let record = KernelRecord {
+        id: "kernels",
+        description: "Blocked+packed+threaded GEMM vs scalar reference; \
+                      tokens-equivalent = activation rows per second",
+        threads_requested: THREADS,
+        threads_effective: llmnpu_tensor::kernel::parallel::effective_threads(THREADS),
+        host_cpus: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        fma: cfg!(target_feature = "fma"),
+        rows,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    let json = serde_json::to_string_pretty(&record).expect("serialize kernel record");
+    std::fs::write(path, json + "\n").expect("write BENCH_kernels.json");
+    println!("wrote {path}");
+}
+
 criterion_group!(
     benches,
     bench_gemm,
     bench_quantized_linears,
     bench_outlier_extraction
 );
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    kernel_comparison();
+}

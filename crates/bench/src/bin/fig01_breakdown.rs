@@ -47,9 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for suite in Suite::figure1_categories() {
         let sample = suite.midpoint();
-        for (proc_name, engine) in
-            [("CPU", &cpu as &dyn Engine), ("GPU", &gpu as &dyn Engine)]
-        {
+        for (proc_name, engine) in [("CPU", &cpu as &dyn Engine), ("GPU", &gpu as &dyn Engine)] {
             let r = engine.e2e(&sample)?;
             let prefill_pct = r.prefill_fraction() * 100.0;
             let paper_ref = paper

@@ -13,9 +13,7 @@
 use llmnpu_bench::{header, seed_from_args, ExperimentRecord};
 use llmnpu_graph::chunk::ChunkPlan;
 use llmnpu_graph::dag::{build_prefill_dag, DagConfig};
-use llmnpu_model::backend::{
-    FloatBackend, PerGroupBackend, PerTensorBackend, SmoothQuantBackend,
-};
+use llmnpu_model::backend::{FloatBackend, PerGroupBackend, PerTensorBackend, SmoothQuantBackend};
 use llmnpu_model::config::ModelConfig;
 use llmnpu_model::forward::Transformer;
 use llmnpu_model::weights::{synthesize, OutlierSpec};

@@ -70,10 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for r in &rows {
         println!(
             "{:<34} {:>22.0} {:>12.2} {:>12}",
-            r.design,
-            r.prepare_ms_per_new_prompt_len,
-            r.graph_memory_gib,
-            r.handles_any_length
+            r.design, r.prepare_ms_per_new_prompt_len, r.graph_memory_gib, r.handles_any_length
         );
     }
     println!(

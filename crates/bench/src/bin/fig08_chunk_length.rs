@@ -45,10 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .map(|&(k, n)| lat.matmul_ms(Processor::Npu, DataType::Int8, c, k, n))
             .sum::<f64>()
                 / c as f64;
-            let mut ffn_shapes = vec![
-                (cfg.hidden, cfg.ffn_hidden),
-                (cfg.ffn_hidden, cfg.hidden),
-            ];
+            let mut ffn_shapes = vec![(cfg.hidden, cfg.ffn_hidden), (cfg.ffn_hidden, cfg.hidden)];
             if cfg.act.gated() {
                 ffn_shapes.push((cfg.hidden, cfg.ffn_hidden));
             }

@@ -87,8 +87,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             outlier_channel_pct: pct,
         });
     }
-    let overall: f64 =
-        rows.iter().map(|r| r.outlier_channel_pct).sum::<f64>() / rows.len() as f64;
+    let overall: f64 = rows.iter().map(|r| r.outlier_channel_pct).sum::<f64>() / rows.len() as f64;
     println!(
         "\nmean outlier-channel share: {overall:.2}% (paper: 0.1%-0.3% of\n\
          channels per inference; sparsity is what makes shadow execution cheap)"

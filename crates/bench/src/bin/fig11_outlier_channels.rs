@@ -78,8 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         let total: u64 = counts_acc.iter().sum();
-        let active =
-            counts_acc.iter().filter(|&&c| c > 0).count() as f64 / counts_acc.len() as f64;
+        let active = counts_acc.iter().filter(|&&c| c > 0).count() as f64 / counts_acc.len() as f64;
         // Smallest channel fraction covering 80% of events.
         let mut sorted = counts_acc.clone();
         sorted.sort_unstable_by(|a, b| b.cmp(a));

@@ -51,8 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "policy", "makespan ms", "NPU bubbles", "vs naive"
             );
             for (policy, outcome) in [("naive-overlap", &fifo), ("out-of-order", &ooo)] {
-                let improvement =
-                    (1.0 - outcome.makespan_ms / fifo.makespan_ms) * 100.0;
+                let improvement = (1.0 - outcome.makespan_ms / fifo.makespan_ms) * 100.0;
                 println!(
                     "{:<16} {:>12.0} {:>13.1}% {:>13.1}%",
                     policy,

@@ -50,8 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 engine: c.engine,
                 total_gib: r.total_gib(),
                 weights_gib: r.weight_bytes as f64 / (1u64 << 30) as f64,
-                activations_gib: (r.activation_bytes + r.kv_bytes) as f64
-                    / (1u64 << 30) as f64,
+                activations_gib: (r.activation_bytes + r.kv_bytes) as f64 / (1u64 << 30) as f64,
                 shadow_mib: r.shadow_bytes as f64 / (1u64 << 20) as f64,
             });
         }

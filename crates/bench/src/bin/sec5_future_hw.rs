@@ -33,11 +33,8 @@ struct Row {
 const PROMPT: usize = 1024;
 
 fn llmnpu_speed(soc: &SocSpec) -> f64 {
-    let engine = LlmNpuEngine::new(EngineConfig::llmnpu(
-        ModelConfig::qwen15_18b(),
-        soc.clone(),
-    ))
-    .expect("engine");
+    let engine = LlmNpuEngine::new(EngineConfig::llmnpu(ModelConfig::qwen15_18b(), soc.clone()))
+        .expect("engine");
     engine.prefill(PROMPT).expect("prefill").tokens_per_s
 }
 

@@ -13,8 +13,8 @@
 
 use llmnpu_bench::{header, seed_from_args, ExperimentRecord};
 use llmnpu_model::backend::{
-    FloatBackend, LinearBackend, LlmInt8Backend, PerGroupBackend, PerTensorBackend,
-    ShadowBackend, SmoothQuantBackend,
+    FloatBackend, LinearBackend, LlmInt8Backend, PerGroupBackend, PerTensorBackend, ShadowBackend,
+    SmoothQuantBackend,
 };
 use llmnpu_model::config::ModelConfig;
 use llmnpu_model::forward::Transformer;
@@ -71,13 +71,7 @@ fn fp16_anchor(benchmark: &str, model: &str) -> f64 {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seed = seed_from_args();
     let mut rows = Vec::new();
-    let schemes = [
-        "FP16",
-        "SmoothQuant",
-        "LLM.int8()",
-        "K-Quant",
-        "Ours",
-    ];
+    let schemes = ["FP16", "SmoothQuant", "LLM.int8()", "K-Quant", "Ours"];
 
     for bench_spec in BenchmarkSpec::all() {
         header(&format!("Table 6: {}", bench_spec.name));
@@ -117,8 +111,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let per_tensor = PerTensorBackend::new(&weights, &cal)?;
 
             let accs: Vec<f64> = {
-                let backends: [&dyn LinearBackend; 5] =
-                    [&float_be, &smooth, &int8, &kquant, &ours];
+                let backends: [&dyn LinearBackend; 5] = [&float_be, &smooth, &int8, &kquant, &ours];
                 backends
                     .iter()
                     .map(|b| bench.evaluate(&weights, *b))

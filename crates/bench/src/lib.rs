@@ -39,8 +39,7 @@ impl<T: Serialize> ExperimentRecord<T> {
         let dir = experiments_dir();
         fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{}.json", self.id));
-        let json = serde_json::to_string_pretty(self)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::Other, e))?;
+        let json = serde_json::to_string_pretty(self).map_err(std::io::Error::other)?;
         fs::write(&path, json)?;
         Ok(path)
     }

@@ -80,9 +80,7 @@ pub fn run_step(
             AnalyticEngine::new(BaselineKind::LlamaCppCpu, model.clone(), soc.clone())
                 .prefill(prompt_len)
         }
-        AblationStep::Naive => {
-            NaiveNpu::new(model.clone(), soc.clone()).prefill(prompt_len)
-        }
+        AblationStep::Naive => NaiveNpu::new(model.clone(), soc.clone()).prefill(prompt_len),
         AblationStep::Chunk | AblationStep::Outlier | AblationStep::OutOfOrder => {
             let (group, shadow, shape_opt) = match step {
                 AblationStep::Chunk => (Some(NaiveNpu::GROUP_SIZE), 0.0, false),
@@ -128,9 +126,7 @@ pub fn run_ladder(
 ) -> Result<Vec<(AblationStep, f64)>> {
     AblationStep::LADDER
         .iter()
-        .map(|&step| {
-            run_step(step, model, soc, prompt_len).map(|r| (step, r.tokens_per_s))
-        })
+        .map(|&step| run_step(step, model, soc, prompt_len).map(|r| (step, r.tokens_per_s)))
         .collect()
 }
 
@@ -151,10 +147,12 @@ mod tests {
         // (b) outlier is the big jump, (c) OOE adds 15%+.
         let l = ladder(ModelConfig::qwen15_18b());
         let speed: Vec<f64> = l.iter().map(|(_, s)| *s).collect();
-        let (cpu, naive, chunk, outlier, ooe) =
-            (speed[0], speed[1], speed[2], speed[3], speed[4]);
+        let (cpu, naive, chunk, outlier, ooe) = (speed[0], speed[1], speed[2], speed[3], speed[4]);
         assert!(naive < cpu, "naive {naive:.0} should lose to cpu {cpu:.0}");
-        assert!(chunk > naive, "chunk {chunk:.0} should beat naive {naive:.0}");
+        assert!(
+            chunk > naive,
+            "chunk {chunk:.0} should beat naive {naive:.0}"
+        );
         assert!(
             outlier > 3.0 * chunk,
             "outlier {outlier:.0} should be the big jump over {chunk:.0}"
@@ -173,7 +171,11 @@ mod tests {
         assert!((30.0..130.0).contains(&speed[0]), "cpu {:.0}", speed[0]);
         assert!((8.0..60.0).contains(&speed[1]), "naive {:.0}", speed[1]);
         assert!((15.0..120.0).contains(&speed[2]), "chunk {:.0}", speed[2]);
-        assert!((200.0..1100.0).contains(&speed[3]), "outlier {:.0}", speed[3]);
+        assert!(
+            (200.0..1100.0).contains(&speed[3]),
+            "outlier {:.0}",
+            speed[3]
+        );
         assert!((300.0..1500.0).contains(&speed[4]), "ooe {:.0}", speed[4]);
     }
 
@@ -183,7 +185,12 @@ mod tests {
         let l = ladder(ModelConfig::llama2_7b());
         let speed: Vec<f64> = l.iter().map(|(_, s)| *s).collect();
         assert!(speed[1] < speed[0]);
-        assert!(speed[4] > 5.0 * speed[0], "ooe {:.0} vs cpu {:.0}", speed[4], speed[0]);
+        assert!(
+            speed[4] > 5.0 * speed[0],
+            "ooe {:.0} vs cpu {:.0}",
+            speed[4],
+            speed[0]
+        );
     }
 
     #[test]

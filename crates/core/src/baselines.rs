@@ -12,6 +12,13 @@
 //! handicaps (per-group quantization, FIFO scheduling, per-prompt graph
 //! rebuilds). Each factor is documented where it is defined and recorded
 //! in `EXPERIMENTS.md`.
+//!
+//! The CPU engines' closed-form `matmul_ms` terms model a host GEMM of
+//! llama.cpp/MNN quality; this repo's own host-side equivalent is the
+//! blocked, packed, multi-threaded kernel subsystem in
+//! `llmnpu_tensor::kernel` (measured in `BENCH_kernels.json`), so the
+//! numeric plane and these analytic baselines now assume comparable
+//! kernel engineering rather than a scalar triple loop.
 
 use llmnpu_graph::chunk::ChunkPlan;
 use llmnpu_graph::dag::{build_prefill_dag, DagConfig};
@@ -84,12 +91,8 @@ impl BaselineKind {
     #[must_use]
     pub fn placement(&self) -> (Processor, DataType) {
         match self {
-            BaselineKind::LlamaCppCpu | BaselineKind::MnnCpu => {
-                (Processor::Cpu, DataType::Int8)
-            }
-            BaselineKind::TfliteGpu | BaselineKind::MlcGpu => {
-                (Processor::Gpu, DataType::Fp16)
-            }
+            BaselineKind::LlamaCppCpu | BaselineKind::MnnCpu => (Processor::Cpu, DataType::Int8),
+            BaselineKind::TfliteGpu | BaselineKind::MlcGpu => (Processor::Gpu, DataType::Fp16),
         }
     }
 
@@ -199,7 +202,9 @@ impl Engine for AnalyticEngine {
             total += self.lat.matmul_ms(proc, dtype, m, k, n) * cfg.layers as f64;
         }
         // Float attention (always FP16 on these engines).
-        total += self.lat.attention_ms(proc, DataType::Fp16, m, m, cfg.q_dim())
+        total += self
+            .lat
+            .attention_ms(proc, DataType::Fp16, m, m, cfg.q_dim())
             * cfg.layers as f64;
         // Norms and activation functions.
         total += self
@@ -223,7 +228,13 @@ impl Engine for AnalyticEngine {
             end: latency,
         });
         let energy = tl.energy(&self.soc);
-        Ok(PrefillReport::new(prompt_len, latency, energy, 0.0, Some(tl)))
+        Ok(PrefillReport::new(
+            prompt_len,
+            latency,
+            energy,
+            0.0,
+            Some(tl),
+        ))
     }
 
     fn decode_ms_per_token(&self) -> Millis {
@@ -367,7 +378,13 @@ impl Engine for NaiveNpu {
             });
         }
         let energy = tl.energy(&self.soc);
-        Ok(PrefillReport::new(prompt_len, latency, energy, 0.0, Some(tl)))
+        Ok(PrefillReport::new(
+            prompt_len,
+            latency,
+            energy,
+            0.0,
+            Some(tl),
+        ))
     }
 
     fn decode_ms_per_token(&self) -> Millis {
@@ -394,7 +411,9 @@ impl LlmNpuAsEngine {
     ///
     /// Returns an error on invalid configuration.
     pub fn with_defaults(model: ModelConfig, soc: SocSpec) -> Result<Self> {
-        Ok(Self::new(LlmNpuEngine::new(EngineConfig::llmnpu(model, soc))?))
+        Ok(Self::new(LlmNpuEngine::new(EngineConfig::llmnpu(
+            model, soc,
+        ))?))
     }
 
     /// The wrapped engine.
@@ -425,10 +444,7 @@ impl Engine for LlmNpuAsEngine {
 /// All baseline engines applicable to a model on a device (llm.npu not
 /// included).
 #[must_use]
-pub fn applicable_baselines(
-    model: &ModelConfig,
-    soc: &SocSpec,
-) -> Vec<Box<dyn Engine>> {
+pub fn applicable_baselines(model: &ModelConfig, soc: &SocSpec) -> Vec<Box<dyn Engine>> {
     let mut engines: Vec<Box<dyn Engine>> = Vec::new();
     for kind in [
         BaselineKind::MlcGpu,
@@ -498,10 +514,7 @@ mod tests {
     #[test]
     fn unsupported_model_errors() {
         let e = AnalyticEngine::new(BaselineKind::TfliteGpu, qwen(), soc());
-        assert!(matches!(
-            e.prefill(256),
-            Err(Error::Unsupported { .. })
-        ));
+        assert!(matches!(e.prefill(256), Err(Error::Unsupported { .. })));
     }
 
     #[test]

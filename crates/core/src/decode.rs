@@ -115,11 +115,7 @@ mod tests {
     use super::*;
 
     fn sim(p: Processor) -> DecodeSim {
-        DecodeSim::new(
-            ModelConfig::qwen15_18b(),
-            SocSpec::snapdragon_8gen3(),
-            p,
-        )
+        DecodeSim::new(ModelConfig::qwen15_18b(), SocSpec::snapdragon_8gen3(), p)
     }
 
     #[test]
@@ -160,8 +156,8 @@ mod tests {
         // at short contexts.
         let s = sim(Processor::Cpu);
         let ps = SocSpec::snapdragon_8gen3();
-        let weight_ms = ModelConfig::qwen15_18b().weight_bytes_int8() as f64
-            / (ps.cpu.mem_bw_gbps * 1e6);
+        let weight_ms =
+            ModelConfig::qwen15_18b().weight_bytes_int8() as f64 / (ps.cpu.mem_bw_gbps * 1e6);
         assert!(weight_ms > 0.5 * s.token_ms(64));
     }
 

@@ -8,6 +8,13 @@
 //! * **Execution** (per prompt): split the prompt into chunks, construct
 //!   the subgraph DAG with shadow-outlier tasks, schedule it out-of-order
 //!   across CPU/GPU and NPU, then decode on the configured backend.
+//!
+//! This module is the *timing plane*: it prices the `MatMul` and
+//! `Dequantize` nodes of Figure 5 analytically. The matching *numeric
+//! plane* — what those nodes actually compute — runs on the blocked
+//! kernel subsystem in `llmnpu_tensor::kernel`, where the
+//! `MatMul → Dequantize` pair executes as one fused pass (the same fusion
+//! the NPU's pipelined execution gives the real system).
 
 use llmnpu_graph::chunk::ChunkPlan;
 use llmnpu_graph::dag::{build_prefill_dag, DagConfig};
@@ -76,8 +83,7 @@ impl EngineConfig {
         }
         if self.float_processor == Processor::Npu {
             return Err(Error::InvalidConfig {
-                what: "float stages cannot run on the NPU (§2.2: no usable FP path)"
-                    .to_owned(),
+                what: "float stages cannot run on the NPU (§2.2: no usable FP path)".to_owned(),
             });
         }
         Ok(())
@@ -200,7 +206,8 @@ impl LlmNpuEngine {
         let hot_fraction = 0.03;
         let shadow_bytes = (self.config.model.hidden as f64
             * hot_fraction
-            * (self.config.model.q_dim() + 2 * self.config.model.kv_dim()
+            * (self.config.model.q_dim()
+                + 2 * self.config.model.kv_dim()
                 + 3 * self.config.model.ffn_hidden) as f64
             * 2.0
             * kept_layers) as u64;
@@ -282,10 +289,7 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        let mut cfg = EngineConfig::llmnpu(
-            ModelConfig::qwen15_18b(),
-            SocSpec::snapdragon_8gen3(),
-        );
+        let mut cfg = EngineConfig::llmnpu(ModelConfig::qwen15_18b(), SocSpec::snapdragon_8gen3());
         cfg.chunk_len = 0;
         assert!(LlmNpuEngine::new(cfg.clone()).is_err());
         cfg.chunk_len = 256;
@@ -310,11 +314,7 @@ mod tests {
         // a billion-sized model" (Qwen1.5-1.8B at 1024 tokens, 8gen3).
         let e = engine();
         let r = e.prefill(1024).unwrap();
-        assert!(
-            r.tokens_per_s > 1000.0,
-            "tokens/s = {:.0}",
-            r.tokens_per_s
-        );
+        assert!(r.tokens_per_s > 1000.0, "tokens/s = {:.0}", r.tokens_per_s);
     }
 
     #[test]
@@ -379,10 +379,7 @@ mod tests {
 
     #[test]
     fn gpu_float_backend_works() {
-        let mut cfg = EngineConfig::llmnpu(
-            ModelConfig::gemma_2b(),
-            SocSpec::snapdragon_8gen3(),
-        );
+        let mut cfg = EngineConfig::llmnpu(ModelConfig::gemma_2b(), SocSpec::snapdragon_8gen3());
         cfg.float_processor = Processor::Gpu;
         cfg.decode_processor = Processor::Gpu;
         let e = LlmNpuEngine::new(cfg).unwrap();

@@ -19,7 +19,11 @@ use crate::Result;
 /// workspace of a few transient buffers (llama.cpp's scratch planning),
 /// rather than per-op allocations.
 #[must_use]
-pub fn baseline_memory(model: &ModelConfig, prompt_len: usize, workspace_buffers: u64) -> MemoryReport {
+pub fn baseline_memory(
+    model: &ModelConfig,
+    prompt_len: usize,
+    workspace_buffers: u64,
+) -> MemoryReport {
     let activation =
         workspace_buffers * (prompt_len * model.hidden.max(model.ffn_hidden)) as u64 * 4;
     MemoryReport {

@@ -140,10 +140,7 @@ mod tests {
             kv_bytes: 1 << 28,
             shadow_bytes: 1 << 20,
         };
-        assert_eq!(
-            m.total(),
-            (1 << 30) + (1 << 29) + (1 << 28) + (1 << 20)
-        );
+        assert_eq!(m.total(), (1 << 30) + (1 << 29) + (1 << 28) + (1 << 20));
         assert!(m.total_gib() > 1.7 && m.total_gib() < 1.8);
     }
 }

@@ -29,9 +29,7 @@ impl ChunkPlan {
     pub fn new(prompt_len: usize, chunk_len: usize) -> Result<Self> {
         if prompt_len == 0 || chunk_len == 0 {
             return Err(Error::InvalidPlan {
-                what: format!(
-                    "prompt_len {prompt_len} and chunk_len {chunk_len} must be non-zero"
-                ),
+                what: format!("prompt_len {prompt_len} and chunk_len {chunk_len} must be non-zero"),
             });
         }
         let chunks = prompt_len.div_ceil(chunk_len);

@@ -113,10 +113,7 @@ impl PrefillDag {
         let mut finish = vec![0.0_f64; self.tasks.len()];
         // Tasks are appended in topological order by construction.
         for t in 0..self.tasks.len() {
-            let ready = self.deps[t]
-                .iter()
-                .map(|&d| finish[d])
-                .fold(0.0, f64::max);
+            let ready = self.deps[t].iter().map(|&d| finish[d]).fold(0.0, f64::max);
             finish[t] = ready + self.tasks[t].duration_ms;
         }
         finish.into_iter().fold(0.0, f64::max)

@@ -342,7 +342,10 @@ mod tests {
             .map(|s| s.latency_ms(&lat))
             .sum();
         assert!(npu > cpu, "npu {npu} should exceed cpu {cpu}");
-        assert!(npu < 6.0 * cpu, "npu {npu} vs cpu {cpu} should be same order");
+        assert!(
+            npu < 6.0 * cpu,
+            "npu {npu} vs cpu {cpu} should be same order"
+        );
     }
 
     #[test]
@@ -353,7 +356,10 @@ mod tests {
             ..plan()
         };
         let subgraphs = build_layer(&cfg, 0, &p);
-        let attn = subgraphs.iter().find(|s| s.stage == Stage::Attention).unwrap();
+        let attn = subgraphs
+            .iter()
+            .find(|s| s.stage == Stage::Attention)
+            .unwrap();
         assert_eq!(attn.processor, Processor::Gpu);
     }
 
@@ -370,8 +376,14 @@ mod tests {
             kv_len: 512,
             ..plan()
         };
-        let b_small: u64 = build_layer(&cfg, 0, &small).iter().map(Subgraph::buffer_bytes).sum();
-        let b_large: u64 = build_layer(&cfg, 0, &large).iter().map(Subgraph::buffer_bytes).sum();
+        let b_small: u64 = build_layer(&cfg, 0, &small)
+            .iter()
+            .map(Subgraph::buffer_bytes)
+            .sum();
+        let b_large: u64 = build_layer(&cfg, 0, &large)
+            .iter()
+            .map(Subgraph::buffer_bytes)
+            .sum();
         assert!(b_large > 10 * b_small);
     }
 }

@@ -58,7 +58,11 @@ impl GraphMemory {
 /// static subgraphs and replicates only the dynamic attention buffers,
 /// sized at each chunk's KV length.
 #[must_use]
-pub fn graph_memory(cfg: &ModelConfig, plan: &ChunkPlan, float_processor: Processor) -> GraphMemory {
+pub fn graph_memory(
+    cfg: &ModelConfig,
+    plan: &ChunkPlan,
+    float_processor: Processor,
+) -> GraphMemory {
     let mut mem = GraphMemory::default();
     for chunk in 0..plan.chunks {
         let lp = LayerPlan {
@@ -94,7 +98,7 @@ pub fn graph_profile(cfg: &ModelConfig, chunk_len: usize) -> GraphProfile {
         kv_len: chunk_len,
         float_processor: Processor::Cpu,
         shape_optimized: true,
-            npu_group_size: None,
+        npu_group_size: None,
     };
     let subgraphs = build_chunk_subgraphs(cfg, &lp);
     let mut profile = GraphProfile::default();

@@ -188,15 +188,9 @@ impl Op {
         if groups <= 1 {
             return 0.0;
         }
-        let dispatch = lat.spec().proc(self.processor).dispatch_overhead_ms
-            * (groups - 1) as f64;
+        let dispatch = lat.spec().proc(self.processor).dispatch_overhead_ms * (groups - 1) as f64;
         // (groups - 1) float additions per output element.
-        let reduce = lat.streaming_ms(
-            self.processor,
-            DataType::Fp16,
-            m * n,
-            (groups - 1) as f64,
-        );
+        let reduce = lat.streaming_ms(self.processor, DataType::Fp16, m * n, (groups - 1) as f64);
         dispatch + reduce
     }
 
@@ -337,7 +331,11 @@ mod tests {
 
     #[test]
     fn sync_cost_comes_from_spec() {
-        let op = Op::new(OpKind::Sync { bytes: 1_000_000 }, Processor::Cpu, DataType::Fp32);
+        let op = Op::new(
+            OpKind::Sync { bytes: 1_000_000 },
+            Processor::Cpu,
+            DataType::Fp32,
+        );
         let l = lat();
         assert!((op.latency_ms(&l) - l.spec().sync_ms(1_000_000)).abs() < 1e-12);
     }
@@ -353,8 +351,7 @@ mod tests {
             n: 2048,
         };
         let dense = Op::new(kind.clone(), Processor::Npu, DataType::Int8);
-        let grouped =
-            Op::new(kind, Processor::Npu, DataType::Int8).with_group_size(64);
+        let grouped = Op::new(kind, Processor::Npu, DataType::Int8).with_group_size(64);
         let ratio = grouped.latency_ms(&l) / dense.latency_ms(&l);
         assert!(
             (5.0..25.0).contains(&ratio),
@@ -373,8 +370,7 @@ mod tests {
             n: 2048,
         };
         let dense = Op::new(kind.clone(), Processor::Cpu, DataType::Int8);
-        let grouped =
-            Op::new(kind, Processor::Cpu, DataType::Int8).with_group_size(64);
+        let grouped = Op::new(kind, Processor::Cpu, DataType::Int8).with_group_size(64);
         let ratio = grouped.latency_ms(&l) / dense.latency_ms(&l);
         assert!(ratio < 1.5, "cpu group overhead ratio {ratio:.2}");
     }
@@ -382,11 +378,7 @@ mod tests {
     #[test]
     fn group_size_at_least_k_is_free() {
         let l = lat();
-        let kind = OpKind::MatMul {
-            m: 8,
-            k: 64,
-            n: 64,
-        };
+        let kind = OpKind::MatMul { m: 8, k: 64, n: 64 };
         let dense = Op::new(kind.clone(), Processor::Npu, DataType::Int8);
         let grouped = Op::new(kind, Processor::Npu, DataType::Int8).with_group_size(64);
         assert_eq!(dense.latency_ms(&l), grouped.latency_ms(&l));

@@ -68,6 +68,13 @@ impl LinearKind {
 /// A layer/projection address.
 pub type LinearSite = (usize, LinearKind);
 
+/// Worker count for float projections on the host: the blocked GEMM
+/// kernel's row-partitioned threading is bit-invisible (see
+/// `llmnpu_tensor::kernel`), so this only trades wall-clock for cores.
+pub(crate) fn host_threads() -> usize {
+    llmnpu_tensor::kernel::parallel::default_threads()
+}
+
 /// Executes one linear projection for a given layer.
 pub trait LinearBackend {
     /// Computes `x · W(layer, kind)`.
@@ -81,18 +88,11 @@ pub trait LinearBackend {
     fn name(&self) -> &'static str;
 }
 
-fn site_weight<'w>(
-    weights: &'w ModelWeights,
-    layer: usize,
-    kind: LinearKind,
-) -> Result<&'w Tensor<f32>> {
-    let l = weights
-        .layers
-        .get(layer)
-        .ok_or(Error::LayerOutOfRange {
-            layer,
-            layers: weights.layers.len(),
-        })?;
+fn site_weight(weights: &ModelWeights, layer: usize, kind: LinearKind) -> Result<&Tensor<f32>> {
+    let l = weights.layers.get(layer).ok_or(Error::LayerOutOfRange {
+        layer,
+        layers: weights.layers.len(),
+    })?;
     let w = match kind {
         LinearKind::Q => &l.wq,
         LinearKind::K => &l.wk,
@@ -145,7 +145,7 @@ impl FloatBackend {
 impl LinearBackend for FloatBackend {
     fn linear(&self, layer: usize, kind: LinearKind, x: &Tensor<f32>) -> Result<Tensor<f32>> {
         let w = site_weight(&self.weights, layer, kind)?;
-        Ok(gemm::matmul_f32(x, w)?)
+        Ok(gemm::matmul_f32_threaded(x, w, host_threads())?)
     }
 
     fn name(&self) -> &'static str {
@@ -203,9 +203,12 @@ impl PerTensorBackend {
 
 impl LinearBackend for PerTensorBackend {
     fn linear(&self, layer: usize, kind: LinearKind, x: &Tensor<f32>) -> Result<Tensor<f32>> {
-        let lin = self.layers.get(&(layer, kind)).ok_or(Error::InvalidConfig {
-            what: format!("no quantized site ({layer}, {kind:?})"),
-        })?;
+        let lin = self
+            .layers
+            .get(&(layer, kind))
+            .ok_or(Error::InvalidConfig {
+                what: format!("no quantized site ({layer}, {kind:?})"),
+            })?;
         Ok(lin.forward(x)?)
     }
 
@@ -237,9 +240,12 @@ impl PerGroupBackend {
 
 impl LinearBackend for PerGroupBackend {
     fn linear(&self, layer: usize, kind: LinearKind, x: &Tensor<f32>) -> Result<Tensor<f32>> {
-        let lin = self.layers.get(&(layer, kind)).ok_or(Error::InvalidConfig {
-            what: format!("no grouped site ({layer}, {kind:?})"),
-        })?;
+        let lin = self
+            .layers
+            .get(&(layer, kind))
+            .ok_or(Error::InvalidConfig {
+                what: format!("no grouped site ({layer}, {kind:?})"),
+            })?;
         Ok(lin.forward(x)?.0)
     }
 
@@ -275,9 +281,12 @@ impl SmoothQuantBackend {
 
 impl LinearBackend for SmoothQuantBackend {
     fn linear(&self, layer: usize, kind: LinearKind, x: &Tensor<f32>) -> Result<Tensor<f32>> {
-        let lin = self.layers.get(&(layer, kind)).ok_or(Error::InvalidConfig {
-            what: format!("no smoothed site ({layer}, {kind:?})"),
-        })?;
+        let lin = self
+            .layers
+            .get(&(layer, kind))
+            .ok_or(Error::InvalidConfig {
+                what: format!("no smoothed site ({layer}, {kind:?})"),
+            })?;
         Ok(lin.forward(x)?)
     }
 
@@ -309,9 +318,12 @@ impl LlmInt8Backend {
 
 impl LinearBackend for LlmInt8Backend {
     fn linear(&self, layer: usize, kind: LinearKind, x: &Tensor<f32>) -> Result<Tensor<f32>> {
-        let lin = self.layers.get(&(layer, kind)).ok_or(Error::InvalidConfig {
-            what: format!("no mixed site ({layer}, {kind:?})"),
-        })?;
+        let lin = self
+            .layers
+            .get(&(layer, kind))
+            .ok_or(Error::InvalidConfig {
+                what: format!("no mixed site ({layer}, {kind:?})"),
+            })?;
         Ok(lin.forward(x)?.0)
     }
 
@@ -351,10 +363,7 @@ impl ShadowBackend {
         for site in &sites {
             let acts = &calibration[site];
             let limit = scales[site] * llmnpu_quant::per_tensor::QMAX;
-            let max_abs = acts
-                .iter()
-                .map(Tensor::abs_max)
-                .fold(0.0_f32, f32::max);
+            let max_abs = acts.iter().map(Tensor::abs_max).fold(0.0_f32, f32::max);
             importances.push(max_abs / limit.max(1e-9));
         }
         let keep_mask = prune_layers(&importances, pruning_rate)?;
@@ -383,9 +392,12 @@ impl ShadowBackend {
 
 impl LinearBackend for ShadowBackend {
     fn linear(&self, layer: usize, kind: LinearKind, x: &Tensor<f32>) -> Result<Tensor<f32>> {
-        let lin = self.layers.get(&(layer, kind)).ok_or(Error::InvalidConfig {
-            what: format!("no shadow site ({layer}, {kind:?})"),
-        })?;
+        let lin = self
+            .layers
+            .get(&(layer, kind))
+            .ok_or(Error::InvalidConfig {
+                what: format!("no shadow site ({layer}, {kind:?})"),
+            })?;
         Ok(lin.forward(x)?.output)
     }
 
@@ -474,13 +486,7 @@ mod tests {
         let reference = FloatBackend::new(w.clone())
             .linear(0, LinearKind::Q, &x)
             .unwrap();
-        for be in [
-            &pt as &dyn LinearBackend,
-            &pg,
-            &sq,
-            &mx,
-            &sh,
-        ] {
+        for be in [&pt as &dyn LinearBackend, &pg, &sq, &mx, &sh] {
             let y = be.linear(0, LinearKind::Q, &x).unwrap();
             let mse = y.mse(&reference).unwrap();
             assert!(mse < 0.5, "{}: mse {mse}", be.name());

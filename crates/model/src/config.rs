@@ -176,7 +176,7 @@ impl ModelConfig {
         // Aim for ~16-wide heads while keeping the GQA grouping ratio and
         // dividing the hidden width evenly.
         let mut heads = ((hidden / 16).max(1) / kv_ratio).max(1) * kv_ratio;
-        while hidden % heads != 0 || (hidden / heads) % 2 != 0 {
+        while !hidden.is_multiple_of(heads) || !(hidden / heads).is_multiple_of(2) {
             heads += kv_ratio;
             if heads > hidden {
                 return Err(Error::InvalidConfig {
@@ -240,7 +240,7 @@ impl ModelConfig {
                 what: "heads, kv_heads and layers must be non-zero".to_owned(),
             });
         }
-        if self.heads % self.kv_heads != 0 {
+        if !self.heads.is_multiple_of(self.kv_heads) {
             return Err(Error::InvalidConfig {
                 what: format!(
                     "query heads {} must be a multiple of kv heads {}",
@@ -248,7 +248,7 @@ impl ModelConfig {
                 ),
             });
         }
-        if self.head_dim % 2 != 0 {
+        if !self.head_dim.is_multiple_of(2) {
             return Err(Error::InvalidConfig {
                 what: format!("head_dim {} must be even for RoPE", self.head_dim),
             });
@@ -325,7 +325,8 @@ mod tests {
     #[test]
     fn presets_validate() {
         for cfg in ModelConfig::all_evaluated() {
-            cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+            cfg.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
         }
         ModelConfig::tiny().validate().unwrap();
     }

@@ -116,7 +116,14 @@ impl<'a> Transformer<'a> {
             &self.weights.final_norm_gamma,
             &vec![0.0; self.config().hidden],
         )?;
-        Ok(llmnpu_tensor::gemm::matmul_f32(&normed, &self.weights.head)?)
+        // The LM head is the single largest f32 GEMM in the numeric plane
+        // ([seq, hidden] × [hidden, vocab]); run it on the row-partitioned
+        // blocked kernel. Thread count never changes the bits produced.
+        Ok(llmnpu_tensor::gemm::matmul_f32_threaded(
+            &normed,
+            &self.weights.head,
+            crate::backend::host_threads(),
+        )?)
     }
 
     /// Final hidden state of the last token after a prefill (the features
@@ -140,12 +147,7 @@ impl<'a> Transformer<'a> {
         Ok(hidden.row(rows - 1).to_vec())
     }
 
-    fn apply_norm(
-        &self,
-        x: &Tensor<f32>,
-        gamma: &[f32],
-        beta: &[f32],
-    ) -> Result<Tensor<f32>> {
+    fn apply_norm(&self, x: &Tensor<f32>, gamma: &[f32], beta: &[f32]) -> Result<Tensor<f32>> {
         Ok(match self.config().norm {
             NormKind::Rms => norm::rms_norm(x, gamma, EPS)?,
             NormKind::Layer => norm::layer_norm(x, gamma, beta, EPS)?,
@@ -189,7 +191,9 @@ impl<'a> Transformer<'a> {
 
             let attn = attention(&q, &keys, &values, &cfg, start_pos)?;
             if let Some(rec) = recorder.as_deref_mut() {
-                rec.entry((layer, LinearKind::O)).or_default().push(attn.clone());
+                rec.entry((layer, LinearKind::O))
+                    .or_default()
+                    .push(attn.clone());
             }
             let attn_out = self.backend.linear(layer, LinearKind::O, &attn)?;
             h = ops::add(&h, &attn_out)?;
@@ -198,9 +202,13 @@ impl<'a> Transformer<'a> {
             let f_in = self.apply_norm(&h, &lw.ffn_norm_gamma, &lw.ffn_norm_beta)?;
             if let Some(rec) = recorder.as_deref_mut() {
                 if lw.w_gate.is_some() {
-                    rec.entry((layer, LinearKind::Gate)).or_default().push(f_in.clone());
+                    rec.entry((layer, LinearKind::Gate))
+                        .or_default()
+                        .push(f_in.clone());
                 }
-                rec.entry((layer, LinearKind::Up)).or_default().push(f_in.clone());
+                rec.entry((layer, LinearKind::Up))
+                    .or_default()
+                    .push(f_in.clone());
             }
             let ffn_mid = match cfg.act {
                 ActKind::SiluGated => {
@@ -219,7 +227,9 @@ impl<'a> Transformer<'a> {
                 }
             };
             if let Some(rec) = recorder.as_deref_mut() {
-                rec.entry((layer, LinearKind::Down)).or_default().push(ffn_mid.clone());
+                rec.entry((layer, LinearKind::Down))
+                    .or_default()
+                    .push(ffn_mid.clone());
             }
             let ffn_out = self.backend.linear(layer, LinearKind::Down, &ffn_mid)?;
             h = ops::add(&h, &ffn_out)?;
@@ -261,8 +271,7 @@ fn rope_heads(
         }
         rope::apply_rope_inplace(&mut slice, start_pos, rope::DEFAULT_THETA)?;
         for r in 0..seq {
-            out.row_mut(r)[head * head_dim..(head + 1) * head_dim]
-                .copy_from_slice(slice.row(r));
+            out.row_mut(r)[head * head_dim..(head + 1) * head_dim].copy_from_slice(slice.row(r));
         }
     }
     Ok(out)
@@ -292,9 +301,9 @@ fn attention(
         for r in 0..seq {
             let q_slice = &q.row(r)[head * hd..(head + 1) * hd];
             let s_row = scores.row_mut(r);
-            for c in 0..kv_len {
+            for (c, s) in s_row.iter_mut().enumerate() {
                 let k_slice = &keys.row(c)[kv_head * hd..(kv_head + 1) * hd];
-                s_row[c] = ops::dot(q_slice, k_slice) * scale;
+                *s = ops::dot(q_slice, k_slice) * scale;
             }
         }
         ops::causal_mask_inplace(&mut scores, start_pos);
@@ -302,8 +311,7 @@ fn attention(
         for r in 0..seq {
             let p_row = probs.row(r);
             let o_slice = &mut out.row_mut(r)[head * hd..(head + 1) * hd];
-            for c in 0..kv_len {
-                let p = p_row[c];
+            for (c, &p) in p_row.iter().enumerate() {
                 if p == 0.0 {
                     continue;
                 }
@@ -371,10 +379,7 @@ mod tests {
                 .prefill_chunked(&toks, chunk_len, &mut cache_chunked)
                 .unwrap();
             let mse = whole.mse(&chunked).unwrap();
-            assert!(
-                mse < 1e-9,
-                "chunk_len {chunk_len}: mse {mse} should be ~0"
-            );
+            assert!(mse < 1e-9, "chunk_len {chunk_len}: mse {mse} should be ~0");
             assert_eq!(cache_chunked.seq_len(), toks.len());
         }
     }
@@ -468,10 +473,10 @@ mod tests {
         // Look at the Q input of layer 1 (post-norm activation).
         let acts = &cal[&(1, LinearKind::Q)][0];
         let mut channel_max = vec![0.0_f32; 32];
-        let (rows, cols) = acts.matrix_dims();
+        let (rows, _cols) = acts.matrix_dims();
         for r in 0..rows {
-            for c in 0..cols {
-                channel_max[c] = channel_max[c].max(acts.row(r)[c].abs());
+            for (cm, &v) in channel_max.iter_mut().zip(acts.row(r)) {
+                *cm = cm.max(v.abs());
             }
         }
         let mut sorted = channel_max.clone();

@@ -268,7 +268,10 @@ mod tests {
         // The U-shape multiplier is deterministic per layer; the random
         // tail factor differs per layer, so compare against the mid layer
         // with slack.
-        assert!(first + last > 1.5 * mid, "first {first} mid {mid} last {last}");
+        assert!(
+            first + last > 1.5 * mid,
+            "first {first} mid {mid} last {last}"
+        );
     }
 
     #[test]
@@ -276,8 +279,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let t = gaussian(&mut rng, 64, 64, 0.5);
         let mean: f32 = t.as_slice().iter().sum::<f32>() / t.len() as f32;
-        let var: f32 =
-            t.as_slice().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / t.len() as f32;
+        let var: f32 = t
+            .as_slice()
+            .iter()
+            .map(|&v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / t.len() as f32;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var.sqrt() - 0.5).abs() < 0.05, "std {}", var.sqrt());
     }

@@ -8,6 +8,11 @@
 //! is *not* NPU-native: the integer part needs per-row/per-column rescales
 //! and the float part runs on every layer, which is why llm.npu keeps the
 //! same accuracy idea but restructures it as shadow execution (§3.3).
+//!
+//! The integer part executes as a single blocked W8A8 MatMul with the
+//! vector-wise rescale fused into the kernel epilogue
+//! (`gemm::matmul_i8_per_row`), replacing the seed's scalar per-product
+//! dequantization loop.
 
 use llmnpu_tensor::{gemm, Tensor};
 
@@ -37,12 +42,12 @@ impl MixedLinear {
         let (k, n) = weight.matrix_dims();
         // Per-output-channel symmetric scales.
         let mut w_scales = vec![1.0_f32; n];
-        for c in 0..n {
+        for (c, ws) in w_scales.iter_mut().enumerate() {
             let mut abs_max = 0.0_f32;
             for r in 0..k {
                 abs_max = abs_max.max(weight.row(r)[c].abs());
             }
-            w_scales[c] = if abs_max == 0.0 { 1.0 } else { abs_max / 127.0 };
+            *ws = if abs_max == 0.0 { 1.0 } else { abs_max / 127.0 };
         }
         let mut weight_q = Tensor::zeros([k, n]);
         for r in 0..k {
@@ -94,13 +99,18 @@ impl MixedLinear {
     /// Returns an error on inner-dimension mismatch.
     pub fn forward(&self, x: &Tensor<f32>) -> Result<(Tensor<f32>, usize)> {
         let (m, k) = x.matrix_dims();
-        let (_wk, n) = self.weight_f.matrix_dims();
         let outliers = self.outlier_columns(x);
         let outlier_set: std::collections::HashSet<usize> = outliers.iter().copied().collect();
 
-        // Integer part: zero out outlier columns, per-row activation scales.
-        let mut y = Tensor::zeros([m, n]);
-        for r in 0..m {
+        // Integer part: zero out outlier columns, per-row activation
+        // scales, then one vector-wise W8A8 MatMul with the
+        // `acc · row_scale · w_scale[j]` dequantization fused into the
+        // kernel epilogue. Accumulating the full dot product in i32 before
+        // the single rescale is exact, where the seed's per-product float
+        // adds rounded at every step.
+        let mut xq = Tensor::zeros([m, k]);
+        let mut row_scales = vec![1.0_f32; m];
+        for (r, rs) in row_scales.iter_mut().enumerate() {
             let row = x.row(r);
             let mut abs_max = 0.0_f32;
             for (c, &v) in row.iter().enumerate() {
@@ -109,30 +119,17 @@ impl MixedLinear {
                 }
             }
             let a_scale = if abs_max == 0.0 { 1.0 } else { abs_max / 127.0 };
-            let xq_row: Vec<i8> = row
-                .iter()
-                .enumerate()
-                .map(|(c, &v)| {
-                    if outlier_set.contains(&c) {
-                        0
-                    } else {
-                        quantize_value(v, a_scale)
-                    }
-                })
-                .collect();
-            // acc[j] = sum_k xq[k] * wq[k][j]
-            let out_row = y.row_mut(r);
-            for (p, &xv) in xq_row.iter().enumerate() {
-                if xv == 0 {
-                    continue;
-                }
-                let w_row = self.weight_q.row(p);
-                let xv = i32::from(xv);
-                for (j, &wv) in w_row.iter().enumerate() {
-                    out_row[j] += (xv * i32::from(wv)) as f32 * a_scale * self.w_scales[j];
-                }
+            *rs = a_scale;
+            let dst = xq.row_mut(r);
+            for (c, &v) in row.iter().enumerate() {
+                dst[c] = if outlier_set.contains(&c) {
+                    0
+                } else {
+                    quantize_value(v, a_scale)
+                };
             }
         }
+        let mut y = gemm::matmul_i8_per_row(&xq, &self.weight_q, &row_scales, &self.w_scales)?;
 
         // Float part: outlier columns against float weight rows.
         for &c in &outliers {
@@ -232,11 +229,7 @@ mod tests {
     fn multi_row_batches_detect_union_of_outliers() {
         let w = ramp(4, 2, 1.0);
         let layer = MixedLinear::new(&w, 6.0);
-        let x = Tensor::from_vec(
-            vec![0.1_f32, 7.0, 0.0, 0.0, 8.0, 0.1, 0.0, 0.0],
-            [2, 4],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(vec![0.1_f32, 7.0, 0.0, 0.0, 8.0, 0.1, 0.0, 0.0], [2, 4]).unwrap();
         assert_eq!(layer.outlier_columns(&x), vec![0, 1]);
     }
 }

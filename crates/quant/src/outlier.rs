@@ -276,15 +276,17 @@ impl ShadowLinear {
     ///
     /// Returns an error on inner-dimension mismatch.
     pub fn forward(&self, x: &Tensor<f32>) -> Result<ShadowOutput> {
-        // NPU half: clip to the calibrated range and run dense W8A8.
+        // NPU half: clip to the calibrated range and run dense W8A8 with
+        // the per-channel dequantization fused into the kernel epilogue.
         let limit = QMAX * self.act_scale;
         let clipped = x.map(|v| v.clamp(-limit, limit));
         let xq = QuantizedMatrix::quantize_with_scale(&clipped, self.act_scale);
-        let mut y = gemm::matmul_i8_per_channel(
+        let mut y = gemm::matmul_i8_per_channel_threaded(
             xq.data(),
             self.weight.data(),
             self.act_scale,
             self.weight.scales(),
+            llmnpu_tensor::kernel::parallel::default_threads(),
         )?;
 
         // CPU half: compact outlier residuals × the same weights, in float.
@@ -523,9 +525,7 @@ pub fn calibrate_scale(corpus: &[Tensor<f32>], quantile: f64) -> Result<f32> {
         .flat_map(|t| t.as_slice().iter().map(|v| v.abs()))
         .collect();
     magnitudes.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let idx = ((magnitudes.len() as f64 * quantile).ceil() as usize)
-        .clamp(1, magnitudes.len())
-        - 1;
+    let idx = ((magnitudes.len() as f64 * quantile).ceil() as usize).clamp(1, magnitudes.len()) - 1;
     let bound = magnitudes[idx].max(1e-8);
     Ok(bound / QMAX)
 }
@@ -593,8 +593,7 @@ mod tests {
         let out = layer.forward(&x).unwrap();
         assert_eq!(out.extracted_channels, vec![5]);
         let y_ref = layer.forward_float(&x).unwrap();
-        let rel =
-            out.output.mse(&y_ref).unwrap().sqrt() / y_ref.abs_max().max(1e-6);
+        let rel = out.output.mse(&y_ref).unwrap().sqrt() / y_ref.abs_max().max(1e-6);
         assert!(rel < 0.02, "rel err {rel}");
     }
 
@@ -727,9 +726,7 @@ mod tests {
 
     #[test]
     fn calibrate_scale_quantile() {
-        let corpus = vec![
-            Tensor::from_vec(vec![0.1_f32, 0.2, 0.3, 100.0], [1, 4]).unwrap(),
-        ];
+        let corpus = vec![Tensor::from_vec(vec![0.1_f32, 0.2, 0.3, 100.0], [1, 4]).unwrap()];
         // At the 75th percentile the bound excludes the 100.0 outlier.
         let s = calibrate_scale(&corpus, 0.75).unwrap();
         assert!(s < 1.0 / QMAX);

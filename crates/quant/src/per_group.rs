@@ -171,14 +171,17 @@ impl GroupedLinear {
             // Slice the weight group [gs, n].
             let mut wg = Tensor::zeros([gs, n]);
             for (dst_r, src_r) in cols.clone().enumerate() {
-                wg.row_mut(dst_r).copy_from_slice(self.weight.data.row(src_r));
+                wg.row_mut(dst_r)
+                    .copy_from_slice(self.weight.data.row(src_r));
             }
 
-            let partial =
-                gemm::matmul_i8_scaled(&xq, &wg, a_scale, self.weight.scales[g])?;
+            // Fused dequantize-and-accumulate epilogue: the group's i32
+            // partial sums fold straight into the float total without
+            // materializing a per-group tensor. Results are identical to
+            // the two-pass `matmul_i8_scaled` + `accumulate` pipeline.
+            gemm::matmul_i8_scaled_into(&mut out, &xq, &wg, a_scale, self.weight.scales[g])?;
             stats.sub_matmuls += 1;
-            stats.float_adds += partial.len();
-            gemm::accumulate(&mut out, &partial)?;
+            stats.float_adds += out.len();
         }
         Ok((out, stats))
     }
@@ -194,7 +197,7 @@ impl GroupedLinear {
 }
 
 fn check_group(op: &'static str, k: usize, group_size: usize) -> Result<()> {
-    if group_size == 0 || k % group_size != 0 {
+    if group_size == 0 || !k.is_multiple_of(group_size) {
         return Err(Error::InvalidGranularity {
             what: format!("{op}: group size {group_size} must divide reduction dim {k}"),
         });

@@ -120,12 +120,12 @@ impl ChannelQuantizedMatrix {
     pub fn quantize(w: &Tensor<f32>) -> Self {
         let (k, n) = w.matrix_dims();
         let mut scales = vec![1.0_f32; n];
-        for c in 0..n {
+        for (c, sc) in scales.iter_mut().enumerate() {
             let mut abs_max = 0.0_f32;
             for r in 0..k {
                 abs_max = abs_max.max(w.row(r)[c].abs());
             }
-            scales[c] = if abs_max == 0.0 { 1.0 } else { abs_max / QMAX };
+            *sc = if abs_max == 0.0 { 1.0 } else { abs_max / QMAX };
         }
         let mut data = Tensor::zeros([k, n]);
         for r in 0..k {
@@ -200,18 +200,21 @@ impl QuantizedLinear {
         self.act_scale
     }
 
-    /// Runs the W8A8 forward pass: quantize `x`, integer MatMul, dequantize.
+    /// Runs the W8A8 forward pass: quantize `x`, then one blocked integer
+    /// MatMul with the dequantization fused into the kernel epilogue
+    /// (the `MatMul → Dequantize` pair of Figure 5 in a single pass).
     ///
     /// # Errors
     ///
     /// Returns an error if `x`'s inner dimension does not match the weight.
     pub fn forward(&self, x: &Tensor<f32>) -> Result<Tensor<f32>> {
         let xq = QuantizedMatrix::quantize_with_scale(x, self.act_scale);
-        let y = gemm::matmul_i8_scaled(
+        let y = gemm::matmul_i8_scaled_threaded(
             xq.data(),
             self.weight.data(),
             self.act_scale,
             self.weight.scale(),
+            llmnpu_tensor::kernel::parallel::default_threads(),
         )?;
         Ok(y)
     }
@@ -253,7 +256,9 @@ mod tests {
     #[test]
     fn round_trip_error_bounded_by_half_scale() {
         let x = Tensor::from_vec(
-            (0..64).map(|i| ((i * 37 % 29) as f32 - 14.0) / 3.0).collect(),
+            (0..64)
+                .map(|i| ((i * 37 % 29) as f32 - 14.0) / 3.0)
+                .collect(),
             [8, 8],
         )
         .unwrap();
@@ -266,16 +271,10 @@ mod tests {
 
     #[test]
     fn linear_forward_close_to_float_reference() {
-        let w = Tensor::from_vec(
-            (0..16).map(|i| ((i as f32) - 8.0) / 10.0).collect(),
-            [4, 4],
-        )
-        .unwrap();
-        let x = Tensor::from_vec(
-            (0..8).map(|i| ((i as f32) - 4.0) / 5.0).collect(),
-            [2, 4],
-        )
-        .unwrap();
+        let w =
+            Tensor::from_vec((0..16).map(|i| ((i as f32) - 8.0) / 10.0).collect(), [4, 4]).unwrap();
+        let x =
+            Tensor::from_vec((0..8).map(|i| ((i as f32) - 4.0) / 5.0).collect(), [2, 4]).unwrap();
         let act_scale = max_min_scale(x.as_slice());
         let layer = QuantizedLinear::new(&w, act_scale);
         let y_q = layer.forward(&x).unwrap();

@@ -94,19 +94,15 @@ impl SmoothedLinear {
         let act_max = channel_abs_max(calibration);
         // Weight per-input-channel maxima are row maxima of [in, out].
         let mut w_max = vec![0.0_f32; k];
-        for r in 0..k {
-            w_max[r] = weight
-                .row(r)
-                .iter()
-                .fold(0.0_f32, |m, &v| m.max(v.abs()));
+        for (r, wm) in w_max.iter_mut().enumerate() {
+            *wm = weight.row(r).iter().fold(0.0_f32, |m, &v| m.max(v.abs()));
         }
         let factors = smoothing_factors(&act_max, &w_max, alpha)?;
 
         // Migrate difficulty into the weights: w'[r][c] = w[r][c] * s_r.
         let (_, n) = weight.matrix_dims();
         let mut smoothed_w = Tensor::zeros([k, n]);
-        for r in 0..k {
-            let f = factors[r];
+        for (r, &f) in factors.iter().enumerate() {
             let src = weight.row(r);
             let dst = smoothed_w.row_mut(r);
             for c in 0..n {
@@ -138,7 +134,8 @@ impl SmoothedLinear {
         self.act_scale
     }
 
-    /// Forward pass: smooth activations, per-tensor W8A8 MatMul.
+    /// Forward pass: smooth activations, then one per-tensor W8A8 MatMul
+    /// with the dequantization fused into the kernel epilogue.
     ///
     /// # Errors
     ///
@@ -155,11 +152,12 @@ impl SmoothedLinear {
         let mut xs = x.clone();
         smooth_activations_inplace(&mut xs, &self.factors);
         let xq = xs.map(|v| quantize_value(v, self.act_scale));
-        Ok(gemm::matmul_i8_scaled(
+        Ok(gemm::matmul_i8_scaled_threaded(
             &xq,
             self.weight.data(),
             self.act_scale,
             self.weight.scale(),
+            llmnpu_tensor::kernel::parallel::default_threads(),
         )?)
     }
 

@@ -4,9 +4,7 @@
 use proptest::prelude::*;
 
 use llmnpu_quant::mixed::MixedLinear;
-use llmnpu_quant::outlier::{
-    calibrate_scale, extract_outliers, HotChannelPolicy, ShadowLinear,
-};
+use llmnpu_quant::outlier::{calibrate_scale, extract_outliers, HotChannelPolicy, ShadowLinear};
 use llmnpu_quant::per_tensor::{max_min_scale, QuantizedMatrix, QMAX};
 use llmnpu_quant::smooth::{channel_abs_max, smoothing_factors};
 use llmnpu_tensor::Tensor;

@@ -28,7 +28,10 @@ impl fmt::Display for Error {
                 write!(f, "schedule deadlocked with {remaining} tasks remaining")
             }
             Error::TooLargeForOptimal { tasks, limit } => {
-                write!(f, "dag of {tasks} tasks exceeds optimal-search limit {limit}")
+                write!(
+                    f,
+                    "dag of {tasks} tasks exceeds optimal-search limit {limit}"
+                )
             }
         }
     }
@@ -56,9 +59,12 @@ mod tests {
     #[test]
     fn display_variants() {
         assert!(Error::Deadlock { remaining: 3 }.to_string().contains('3'));
-        assert!(Error::TooLargeForOptimal { tasks: 20, limit: 12 }
-            .to_string()
-            .contains("20"));
+        assert!(Error::TooLargeForOptimal {
+            tasks: 20,
+            limit: 12
+        }
+        .to_string()
+        .contains("20"));
     }
 
     #[test]

@@ -60,29 +60,20 @@ pub fn schedule(dag: &PrefillDag, policy: Policy) -> Result<ScheduleOutcome> {
             if sim.free_at(p) > time + EPS {
                 continue;
             }
-            loop {
-                let pick = match policy {
-                    Policy::Serial => pick_serial(tasks, &done, &scheduled, time, p),
-                    Policy::FifoQueues => {
-                        pick_fifo(&fifo, dag, &done, &scheduled, time, p)
-                    }
-                    Policy::OutOfOrder => pick_out_of_order(
-                        dag,
-                        &successors,
-                        &done,
-                        &scheduled,
-                        time,
-                        p,
-                    ),
-                };
-                let Some(t) = pick else { break };
+            let pick = match policy {
+                Policy::Serial => pick_serial(tasks, &done, &scheduled, time, p),
+                Policy::FifoQueues => pick_fifo(&fifo, dag, &done, &scheduled, time, p),
+                Policy::OutOfOrder => {
+                    pick_out_of_order(dag, &successors, &done, &scheduled, time, p)
+                }
+            };
+            // At most one pick per processor per step: it is busy afterwards.
+            if let Some(t) = pick {
                 let end = sim.run(tasks[t].label.clone(), p, time, tasks[t].duration_ms)?;
                 done[t] = Some(end);
                 scheduled[t] = true;
                 remaining -= 1;
                 progressed = true;
-                // The processor is now busy; stop picking for it.
-                break;
             }
         }
 
@@ -211,10 +202,7 @@ fn c_value(
         if scheduled[s] {
             continue;
         }
-        let others_ready = dag
-            .deps(s)
-            .iter()
-            .all(|&d| d == g || done[d].is_some());
+        let others_ready = dag.deps(s).iter().all(|&d| d == g || done[d].is_some());
         if others_ready {
             total += tasks[s].duration_ms;
         }
@@ -328,11 +316,7 @@ mod tests {
     fn serial_makespan_equals_total_work() {
         let dag = qwen_dag(256, 256);
         let serial = schedule(&dag, Policy::Serial).unwrap();
-        let total: f64 = dag
-            .tasks()
-            .iter()
-            .map(|t| t.duration_ms)
-            .sum();
+        let total: f64 = dag.tasks().iter().map(|t| t.duration_ms).sum();
         assert!((serial.makespan_ms - total).abs() < 1e-6);
     }
 

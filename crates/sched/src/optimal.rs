@@ -39,7 +39,15 @@ pub fn optimal_makespan(dag: &PrefillDag) -> Result<f64> {
     for p in Processor::ALL {
         free.insert(p, 0.0_f64);
     }
-    branch(dag, &mut scheduled, &mut done_time, &mut free, 0.0, &mut best, 0);
+    branch(
+        dag,
+        &mut scheduled,
+        &mut done_time,
+        &mut free,
+        0.0,
+        &mut best,
+        0,
+    );
     Ok(best)
 }
 

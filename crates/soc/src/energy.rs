@@ -61,7 +61,7 @@ pub fn joules_per_token(timeline: &Timeline, spec: &SocSpec, tokens: usize) -> J
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::des::{TimelineEntry, Timeline};
+    use crate::des::{Timeline, TimelineEntry};
 
     fn busy(p: Processor, start: f64, end: f64) -> TimelineEntry {
         TimelineEntry {

@@ -128,9 +128,10 @@ impl LatencyModel {
     #[must_use]
     pub fn matmul_ms(&self, p: Processor, dt: DataType, m: usize, k: usize, n: usize) -> Millis {
         if self.spec.table3_anchors {
-            if let Some(anchor) = TABLE3_ANCHORS.iter().find(|a| {
-                a.m == m && a.k == k && a.n == n && a.processor == p && a.dtype == dt
-            }) {
+            if let Some(anchor) = TABLE3_ANCHORS
+                .iter()
+                .find(|a| a.m == m && a.k == k && a.n == n && a.processor == p && a.dtype == dt)
+            {
                 return anchor.latency_ms;
             }
         }
@@ -152,8 +153,7 @@ impl LatencyModel {
         let gop = 2.0 * m as f64 * k as f64 * n as f64 / 1e9;
         let compute = gop / self.gemm_throughput_at(p, dt, m, k);
         // Bytes touched: both operands plus the output, in the op's dtype.
-        let bytes =
-            (m * k + k * n + m * n) as f64 * dt.bytes() as f64;
+        let bytes = (m * k + k * n + m * n) as f64 * dt.bytes() as f64;
         let memory = bytes / (ps.mem_bw_gbps * 1e6);
         ps.dispatch_overhead_ms + compute.max(memory)
     }
@@ -171,8 +171,7 @@ impl LatencyModel {
     ) -> Millis {
         let ps = self.spec.proc(p);
         let gop = elements as f64 * flops_per_element / 1e9;
-        let throughput =
-            (ps.stream_gops_per_ms * self.spec.dtype_factor(p, dt)).max(1e-9);
+        let throughput = (ps.stream_gops_per_ms * self.spec.dtype_factor(p, dt)).max(1e-9);
         let compute = gop / throughput;
         let bytes = elements as f64 * dt.bytes() as f64 * 2.0; // read + write
         let memory = bytes / (ps.mem_bw_gbps * 1e6);

@@ -69,7 +69,8 @@ impl MemoryModel {
     /// Remaining NPU-window capacity.
     #[must_use]
     pub fn npu_window_available(&self) -> u64 {
-        self.npu_window.saturating_sub(self.space_bytes(Processor::Npu))
+        self.npu_window
+            .saturating_sub(self.space_bytes(Processor::Npu))
     }
 
     /// Allocates `bytes` in processor `p`'s space.
@@ -159,7 +160,10 @@ mod tests {
         let err = m.alloc(Processor::Npu, "llama7b", 7 * GIB).unwrap_err();
         assert!(matches!(
             err,
-            Error::OutOfMemory { space: "npu-window", .. }
+            Error::OutOfMemory {
+                space: "npu-window",
+                ..
+            }
         ));
         // The same allocation succeeds in CPU space.
         m.alloc(Processor::Cpu, "llama7b", 7 * GIB).unwrap();

@@ -102,7 +102,9 @@ mod tests {
     fn parse_json(s: &str) -> Vec<std::collections::HashMap<String, serde_json_value::Value>> {
         assert!(s.starts_with('[') && s.ends_with(']'));
         let events = s.matches("\"ph\":\"X\"").count();
-        (0..events).map(|_| std::collections::HashMap::new()).collect()
+        (0..events)
+            .map(|_| std::collections::HashMap::new())
+            .collect()
     }
 
     mod serde_json_value {

@@ -2,18 +2,28 @@
 //!
 //! Three flavours mirror the data paths in the paper's Figure 5:
 //!
-//! * [`matmul_f32`] — the floating-point reference path (FP16 in the paper,
-//!   f32 here; the extra precision only tightens the reference),
+//! * [`matmul_f32`] — the floating-point path (FP16 in the paper, f32
+//!   here; the extra precision only tightens the reference),
 //! * [`matmul_i8`] — the NPU's per-tensor `W8A8` integer path with `i32`
 //!   accumulation,
-//! * [`matmul_i8_scaled`] — integer matmul followed by dequantization with
-//!   activation/weight scales, producing float output like the `Dequantize`
-//!   node in Figure 5.
+//! * [`matmul_i8_scaled`] / [`matmul_i8_scaled_into`] /
+//!   [`matmul_i8_per_channel`] / [`matmul_i8_per_row`] — integer matmul
+//!   with the dequantization fused into the kernel epilogue, covering the
+//!   `MatMul → Dequantize` node pair of Figure 5 in one pass.
+//!
+//! All public functions execute on the blocked, packed, register-tiled
+//! kernels in [`crate::kernel`]. The scalar triple loops they replaced
+//! remain available as [`matmul_f32_reference`] and
+//! [`matmul_i8_reference`]: the integer kernels are **bit-exact** against
+//! the reference (integer accumulation is order-independent), and the f32
+//! kernels are reference-parity-tested to tight ULP bounds (blocking and
+//! FMA contraction legitimately reorder float sums).
 //!
 //! All kernels interpret inputs through their matrix view (leading dims
-//! folded into rows), matching how linear layers consume `[batch, seq, hid]`
-//! activations.
+//! folded into rows), matching how linear layers consume `[batch, seq,
+//! hid]` activations.
 
+use crate::kernel::{self, Epilogue};
 use crate::{Error, Result, Tensor};
 
 fn check_matmul(op: &'static str, lhs: (usize, usize), rhs: (usize, usize)) -> Result<()> {
@@ -27,7 +37,8 @@ fn check_matmul(op: &'static str, lhs: (usize, usize), rhs: (usize, usize)) -> R
     Ok(())
 }
 
-/// `C = A × B` over `f32`.
+/// `C = A × B` over `f32`, on the blocked kernel (single-threaded; see
+/// [`matmul_f32_threaded`] for the row-partitioned variant).
 ///
 /// # Errors
 ///
@@ -47,6 +58,52 @@ fn check_matmul(op: &'static str, lhs: (usize, usize), rhs: (usize, usize)) -> R
 /// # }
 /// ```
 pub fn matmul_f32(a: &Tensor<f32>, b: &Tensor<f32>) -> Result<Tensor<f32>> {
+    matmul_f32_threaded(a, b, 1)
+}
+
+/// `C = A × B` over `f32` with the output row-partitioned across
+/// `threads` scoped workers.
+///
+/// Any thread count produces bit-identical results (see
+/// [`crate::kernel`] on determinism); the knob only trades wall-clock
+/// for cores.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] if the inner dimensions disagree.
+pub fn matmul_f32_threaded(
+    a: &Tensor<f32>,
+    b: &Tensor<f32>,
+    threads: usize,
+) -> Result<Tensor<f32>> {
+    let (m, k) = a.matrix_dims();
+    let (k2, n) = b.matrix_dims();
+    check_matmul("matmul_f32", (m, k), (k2, n))?;
+    let mut out = Tensor::zeros([m, n]);
+    kernel::gemm_f32(
+        m,
+        k,
+        n,
+        a.as_slice(),
+        b.as_slice(),
+        out.as_mut_slice(),
+        kernel::parallel::effective_threads(threads),
+    );
+    Ok(out)
+}
+
+/// Scalar reference for [`matmul_f32`]: the plain triple loop, kept for
+/// parity tests and benchmark baselines.
+///
+/// Unlike the seed implementation, this no longer skips `a[i][p] == 0.0`
+/// terms: the skip silently suppressed NaN/Inf propagation from the B
+/// operand (`0.0 * inf` is NaN, not zero) and made benchmarks on sparse
+/// activations measure a different amount of work than dense ones.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] if the inner dimensions disagree.
+pub fn matmul_f32_reference(a: &Tensor<f32>, b: &Tensor<f32>) -> Result<Tensor<f32>> {
     let (m, k) = a.matrix_dims();
     let (k2, n) = b.matrix_dims();
     check_matmul("matmul_f32", (m, k), (k2, n))?;
@@ -57,9 +114,6 @@ pub fn matmul_f32(a: &Tensor<f32>, b: &Tensor<f32>) -> Result<Tensor<f32>> {
         let a_row = &a_data[i * k..(i + 1) * k];
         let out_row = out.row_mut(i);
         for (p, &a_ip) in a_row.iter().enumerate() {
-            if a_ip == 0.0 {
-                continue;
-            }
             let b_row = &b_data[p * n..(p + 1) * n];
             for (j, &b_pj) in b_row.iter().enumerate() {
                 out_row[j] += a_ip * b_pj;
@@ -69,16 +123,55 @@ pub fn matmul_f32(a: &Tensor<f32>, b: &Tensor<f32>) -> Result<Tensor<f32>> {
     Ok(out)
 }
 
-/// Integer `C = A × B` with `i8` inputs and `i32` accumulation.
+/// Integer `C = A × B` with `i8` inputs and `i32` accumulation, on the
+/// blocked kernel.
 ///
 /// This is the per-tensor W8A8 MatMul the mobile NPU executes natively
-/// (paper §2.2, Table 3). No saturation occurs: `i32` accumulation is exact
-/// for any `K ≤ 2^16` with `i8` operands.
+/// (paper §2.2, Table 3). No saturation occurs: `i32` accumulation is
+/// exact for any `K ≤ 2^16` with `i8` operands, which also makes the
+/// blocked kernel bit-exact against [`matmul_i8_reference`].
 ///
 /// # Errors
 ///
 /// Returns [`Error::ShapeMismatch`] if the inner dimensions disagree.
 pub fn matmul_i8(a: &Tensor<i8>, b: &Tensor<i8>) -> Result<Tensor<i32>> {
+    matmul_i8_threaded(a, b, 1)
+}
+
+/// [`matmul_i8`] with the output row-partitioned across `threads`
+/// workers; bit-identical for any thread count.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] if the inner dimensions disagree.
+pub fn matmul_i8_threaded(a: &Tensor<i8>, b: &Tensor<i8>, threads: usize) -> Result<Tensor<i32>> {
+    let (m, k) = a.matrix_dims();
+    let (k2, n) = b.matrix_dims();
+    check_matmul("matmul_i8", (m, k), (k2, n))?;
+    let mut out = Tensor::zeros([m, n]);
+    kernel::gemm_i8(
+        m,
+        k,
+        n,
+        a.as_slice(),
+        b.as_slice(),
+        out.as_mut_slice(),
+        kernel::parallel::effective_threads(threads),
+    );
+    Ok(out)
+}
+
+/// Scalar reference for [`matmul_i8`]: the plain triple loop, kept for
+/// bit-exactness tests and benchmark baselines.
+///
+/// The `a[i][p] == 0` skip survives *here* (and only here): for integers
+/// a zero term contributes exactly nothing, so skipping is a pure
+/// shortcut with no observable effect — unlike the float case.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] if the inner dimensions disagree.
+pub fn matmul_i8_reference(a: &Tensor<i8>, b: &Tensor<i8>) -> Result<Tensor<i32>> {
     let (m, k) = a.matrix_dims();
     let (k2, n) = b.matrix_dims();
     check_matmul("matmul_i8", (m, k), (k2, n))?;
@@ -102,10 +195,13 @@ pub fn matmul_i8(a: &Tensor<i8>, b: &Tensor<i8>) -> Result<Tensor<i32>> {
     Ok(out)
 }
 
-/// Integer matmul followed by dequantization: `C = (A × B) · a_scale · w_scale`.
+/// Integer matmul with fused dequantization:
+/// `C = (A × B) · a_scale · w_scale`.
 ///
-/// Mirrors the `MatMul → Dequantize` pair of Figure 5: the NPU produces `i32`
-/// partial sums, and a scalar rescale restores the float domain.
+/// Mirrors the `MatMul → Dequantize` pair of Figure 5 in a single pass:
+/// the rescale runs in the kernel epilogue while each `i32` tile is still
+/// in registers, with no intermediate `i32` tensor. Results are identical
+/// to the two-pass `matmul_i8` + `map` pipeline.
 ///
 /// # Errors
 ///
@@ -116,28 +212,124 @@ pub fn matmul_i8_scaled(
     a_scale: f32,
     w_scale: f32,
 ) -> Result<Tensor<f32>> {
-    let acc = matmul_i8(a, b)?;
-    let scale = a_scale * w_scale;
-    Ok(acc.map(|x| x as f32 * scale))
+    matmul_i8_scaled_threaded(a, b, a_scale, w_scale, 1)
 }
 
-/// Integer matmul dequantized with a **per-output-channel** weight scale.
+/// [`matmul_i8_scaled`] with the output row-partitioned across `threads`
+/// workers; bit-identical for any thread count.
 ///
-/// Used by per-channel weight quantization: `C[i][j] = acc[i][j] · a_scale · w_scales[j]`.
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] if the inner dimensions disagree.
+pub fn matmul_i8_scaled_threaded(
+    a: &Tensor<i8>,
+    b: &Tensor<i8>,
+    a_scale: f32,
+    w_scale: f32,
+    threads: usize,
+) -> Result<Tensor<f32>> {
+    let (m, k) = a.matrix_dims();
+    let (k2, n) = b.matrix_dims();
+    check_matmul("matmul_i8", (m, k), (k2, n))?;
+    let mut out = Tensor::zeros([m, n]);
+    kernel::gemm_i8_fused(
+        m,
+        k,
+        n,
+        a.as_slice(),
+        b.as_slice(),
+        out.as_mut_slice(),
+        Epilogue::PerTensor {
+            scale: a_scale * w_scale,
+        },
+        kernel::parallel::effective_threads(threads),
+    );
+    Ok(out)
+}
+
+/// Integer matmul with fused dequantize-and-accumulate:
+/// `out += (A × B) · a_scale · w_scale`.
+///
+/// The reduction step of per-group quantization (each group's sub-MatMul
+/// dequantizes and folds into the running float total) without
+/// materializing the per-group partial tensor. Results are identical to
+/// `matmul_i8_scaled` followed by [`accumulate`].
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] if the inner dimensions disagree or
+/// `out` has the wrong shape.
+pub fn matmul_i8_scaled_into(
+    out: &mut Tensor<f32>,
+    a: &Tensor<i8>,
+    b: &Tensor<i8>,
+    a_scale: f32,
+    w_scale: f32,
+) -> Result<()> {
+    let (m, k) = a.matrix_dims();
+    let (k2, n) = b.matrix_dims();
+    check_matmul("matmul_i8", (m, k), (k2, n))?;
+    if out.matrix_dims() != (m, n) {
+        return Err(Error::ShapeMismatch {
+            op: "matmul_i8_scaled_into",
+            lhs: vec![m, n],
+            rhs: out.shape().dims().to_vec(),
+        });
+    }
+    kernel::gemm_i8_fused(
+        m,
+        k,
+        n,
+        a.as_slice(),
+        b.as_slice(),
+        out.as_mut_slice(),
+        Epilogue::PerTensorAcc {
+            scale: a_scale * w_scale,
+        },
+        1,
+    );
+    Ok(())
+}
+
+/// Integer matmul dequantized with a **per-output-channel** weight scale,
+/// fused into the kernel epilogue.
+///
+/// Used by per-channel weight quantization:
+/// `C[i][j] = acc[i][j] · a_scale · w_scales[j]`. Results are identical
+/// to the two-pass pipeline this replaces.
 ///
 /// # Errors
 ///
 /// Returns [`Error::ShapeMismatch`] if the inner dimensions disagree, or
-/// [`Error::InvalidDimension`] if `w_scales.len()` differs from the output
-/// column count.
+/// [`Error::InvalidDimension`] if `w_scales.len()` differs from the
+/// output column count.
 pub fn matmul_i8_per_channel(
     a: &Tensor<i8>,
     b: &Tensor<i8>,
     a_scale: f32,
     w_scales: &[f32],
 ) -> Result<Tensor<f32>> {
-    let acc = matmul_i8(a, b)?;
-    let (m, n) = acc.matrix_dims();
+    matmul_i8_per_channel_threaded(a, b, a_scale, w_scales, 1)
+}
+
+/// [`matmul_i8_per_channel`] with the output row-partitioned across
+/// `threads` workers; bit-identical for any thread count.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] if the inner dimensions disagree, or
+/// [`Error::InvalidDimension`] if `w_scales.len()` differs from the
+/// output column count.
+pub fn matmul_i8_per_channel_threaded(
+    a: &Tensor<i8>,
+    b: &Tensor<i8>,
+    a_scale: f32,
+    w_scales: &[f32],
+    threads: usize,
+) -> Result<Tensor<f32>> {
+    let (m, k) = a.matrix_dims();
+    let (k2, n) = b.matrix_dims();
+    check_matmul("matmul_i8", (m, k), (k2, n))?;
     if w_scales.len() != n {
         return Err(Error::InvalidDimension {
             op: "matmul_i8_per_channel",
@@ -145,18 +337,70 @@ pub fn matmul_i8_per_channel(
         });
     }
     let mut out = Tensor::zeros([m, n]);
-    for i in 0..m {
-        let acc_row = acc.row(i);
-        let out_row = out.row_mut(i);
-        for j in 0..n {
-            out_row[j] = acc_row[j] as f32 * a_scale * w_scales[j];
-        }
+    kernel::gemm_i8_fused(
+        m,
+        k,
+        n,
+        a.as_slice(),
+        b.as_slice(),
+        out.as_mut_slice(),
+        Epilogue::PerChannel { a_scale, w_scales },
+        kernel::parallel::effective_threads(threads),
+    );
+    Ok(out)
+}
+
+/// Integer matmul with vector-wise dequantization fused into the kernel
+/// epilogue: `C[i][j] = acc[i][j] · row_scales[i] · w_scales[j]`.
+///
+/// The LLM.int8() decomposition uses this shape: one activation scale per
+/// row, one weight scale per output channel.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] if the inner dimensions disagree, or
+/// [`Error::InvalidDimension`] if a scale vector has the wrong length.
+pub fn matmul_i8_per_row(
+    a: &Tensor<i8>,
+    b: &Tensor<i8>,
+    row_scales: &[f32],
+    w_scales: &[f32],
+) -> Result<Tensor<f32>> {
+    let (m, k) = a.matrix_dims();
+    let (k2, n) = b.matrix_dims();
+    check_matmul("matmul_i8", (m, k), (k2, n))?;
+    if w_scales.len() != n {
+        return Err(Error::InvalidDimension {
+            op: "matmul_i8_per_row",
+            what: format!("expected {n} weight scales, got {}", w_scales.len()),
+        });
     }
+    if row_scales.len() != m {
+        return Err(Error::InvalidDimension {
+            op: "matmul_i8_per_row",
+            what: format!("expected {m} row scales, got {}", row_scales.len()),
+        });
+    }
+    let mut out = Tensor::zeros([m, n]);
+    kernel::gemm_i8_fused(
+        m,
+        k,
+        n,
+        a.as_slice(),
+        b.as_slice(),
+        out.as_mut_slice(),
+        Epilogue::PerRow {
+            row_scales,
+            w_scales,
+        },
+        1,
+    );
     Ok(out)
 }
 
 /// Adds `delta` into `acc` elementwise (the merge step of shadow outlier
-/// execution, Equation 1: NPU partial result + CPU outlier partial result).
+/// execution, Equation 1: NPU partial result + CPU outlier partial
+/// result).
 ///
 /// # Errors
 ///
@@ -204,8 +448,23 @@ mod tests {
         let b = tensor_f32(&[0.0; 8], [4, 2]);
         assert!(matches!(
             matmul_f32(&a, &b),
-            Err(Error::ShapeMismatch { op: "matmul_f32", .. })
+            Err(Error::ShapeMismatch {
+                op: "matmul_f32",
+                ..
+            })
         ));
+        assert!(matmul_f32_reference(&a, &b).is_err());
+    }
+
+    #[test]
+    fn f32_propagates_nan_from_b_through_zero_activations() {
+        // The seed's zero-skip used to hide this: 0.0 * inf must be NaN.
+        let a = tensor_f32(&[0.0, 0.0], [1, 2]);
+        let b = tensor_f32(&[f32::INFINITY, 1.0], [2, 1]);
+        let c = matmul_f32_reference(&a, &b).unwrap();
+        assert!(c.as_slice()[0].is_nan());
+        let c_blocked = matmul_f32(&a, &b).unwrap();
+        assert!(c_blocked.as_slice()[0].is_nan());
     }
 
     #[test]
@@ -214,8 +473,8 @@ mod tests {
         let b_i = Tensor::from_vec(vec![7i8, 8, -9, 10, 11, 12], [3, 2]).unwrap();
         let c_i = matmul_i8(&a_i, &b_i).unwrap();
 
-        let a_f = a_i.map(|x| f32::from(x));
-        let b_f = b_i.map(|x| f32::from(x));
+        let a_f = a_i.map(f32::from);
+        let b_f = b_i.map(f32::from);
         let c_f = matmul_f32(&a_f, &b_f).unwrap();
         for (ci, cf) in c_i.as_slice().iter().zip(c_f.as_slice()) {
             assert_eq!(*ci as f32, *cf);
@@ -229,6 +488,8 @@ mod tests {
         let b = Tensor::full(-128i8, [1024, 1]);
         let c = matmul_i8(&a, &b).unwrap();
         assert_eq!(c.as_slice(), &[128 * 128 * 1024]);
+        let c_ref = matmul_i8_reference(&a, &b).unwrap();
+        assert_eq!(c.as_slice(), c_ref.as_slice());
     }
 
     #[test]
@@ -240,12 +501,39 @@ mod tests {
     }
 
     #[test]
+    fn scaled_into_accumulates_like_two_pass() {
+        let a = Tensor::from_vec(vec![2i8, 4, -1, 7], [2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![3i8, 5, 1, -2], [2, 2]).unwrap();
+        let mut fused = tensor_f32(&[1.0, -2.0, 0.5, 3.0], [2, 2]);
+        matmul_i8_scaled_into(&mut fused, &a, &b, 0.5, 0.1).unwrap();
+
+        let mut two_pass = tensor_f32(&[1.0, -2.0, 0.5, 3.0], [2, 2]);
+        let partial = matmul_i8_scaled(&a, &b, 0.5, 0.1).unwrap();
+        accumulate(&mut two_pass, &partial).unwrap();
+        assert_eq!(fused.as_slice(), two_pass.as_slice());
+
+        assert!(matmul_i8_scaled_into(&mut fused, &a, &Tensor::zeros([3, 2]), 1.0, 1.0).is_err());
+        let mut wrong_shape = Tensor::zeros([1, 2]);
+        assert!(matmul_i8_scaled_into(&mut wrong_shape, &a, &b, 1.0, 1.0).is_err());
+    }
+
+    #[test]
     fn per_channel_scales_apply_by_column() {
         let a = Tensor::from_vec(vec![1i8, 1], [1, 2]).unwrap();
         let b = Tensor::from_vec(vec![1i8, 2, 3, 4], [2, 2]).unwrap();
         let c = matmul_i8_per_channel(&a, &b, 1.0, &[10.0, 100.0]).unwrap();
         assert_eq!(c.as_slice(), &[40.0, 600.0]);
         assert!(matmul_i8_per_channel(&a, &b, 1.0, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn per_row_scales_apply_by_row_and_column() {
+        let a = Tensor::from_vec(vec![1i8, 0, 0, 1], [2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![1i8, 2, 3, 4], [2, 2]).unwrap();
+        let c = matmul_i8_per_row(&a, &b, &[1.0, 10.0], &[1.0, 0.5]).unwrap();
+        assert_eq!(c.as_slice(), &[1.0, 1.0, 30.0, 20.0]);
+        assert!(matmul_i8_per_row(&a, &b, &[1.0], &[1.0, 1.0]).is_err());
+        assert!(matmul_i8_per_row(&a, &b, &[1.0, 1.0], &[1.0]).is_err());
     }
 
     #[test]
@@ -266,5 +554,28 @@ mod tests {
         assert_eq!(c.shape().dims(), &[4, 2]);
         assert_eq!(c.row(0), &[0.0, 1.0]);
         assert_eq!(c.row(3), &[9.0, 10.0]);
+    }
+
+    #[test]
+    fn threaded_variants_match_single_threaded() {
+        let a = Tensor::from_vec(
+            (0..6 * 40).map(|x| (x % 17) as f32 - 8.0).collect(),
+            [6, 40],
+        )
+        .unwrap();
+        let b = Tensor::from_vec(
+            (0..40 * 9).map(|x| (x % 13) as f32 - 6.0).collect(),
+            [40, 9],
+        )
+        .unwrap();
+        let single = matmul_f32(&a, &b).unwrap();
+        let four = matmul_f32_threaded(&a, &b, 4).unwrap();
+        assert_eq!(single.as_slice(), four.as_slice());
+
+        let ai = a.map(|x| x as i8);
+        let bi = b.map(|x| x as i8);
+        let si = matmul_i8(&ai, &bi).unwrap();
+        let ti = matmul_i8_threaded(&ai, &bi, 4).unwrap();
+        assert_eq!(si.as_slice(), ti.as_slice());
     }
 }

@@ -1,0 +1,613 @@
+//! The blocked, packed, multi-threaded GEMM kernel subsystem.
+//!
+//! This module is the performance engine behind [`crate::gemm`]: every
+//! public matmul in the crate is a thin wrapper over the drivers here.
+//! The design is the classic three-level GotoBLAS decomposition, in
+//! `#![forbid(unsafe_code)]` Rust:
+//!
+//! 1. **Cache blocking** ([`blocking constants`](self#blocking)): the
+//!    K dimension is split into `KC`-deep slabs and the output into
+//!    `MC × NC` blocks, sized so one packed B slab lives in L2 and one
+//!    packed A block in L1 while they are reused.
+//! 2. **Packing** ([`pack`]): operand blocks are copied once into
+//!    panel-ordered buffers that the inner loop reads with unit stride;
+//!    integer operands are widened to `i16` during the copy.
+//! 3. **Register tiling** ([`microkernel`]): an `MR × NR` tile of C is
+//!    held in SIMD registers across the whole K loop (with hardware FMA
+//!    when the build target has it).
+//!
+//! # Fused epilogues
+//!
+//! The integer drivers apply a dequantization [`Epilogue`] while the
+//! `i32` tile is still hot, so `MatMul → Dequantize` pipelines (paper
+//! Figure 5) run in one pass without materializing an intermediate
+//! `i32` tensor. Each epilogue reproduces the float expression of the
+//! two-pass code it replaces *exactly* — same operations, same order —
+//! so fusing is bit-invisible to callers.
+//!
+//! # Determinism
+//!
+//! For a fixed build, every driver is deterministic and
+//! *shape-stable*: the value of `C[i][j]` depends only on row `i` of A,
+//! column `j` of B, and K — not on the other dimensions, the blocking,
+//! or the thread count. Threading partitions output rows
+//! ([`parallel`]), which never changes the K-summation order of any
+//! element, so 1-thread and N-thread runs are bit-identical. The
+//! integer kernels are exact (and therefore also bit-identical to the
+//! scalar reference) for any `K ≤ 2^16`.
+//!
+//! # Blocking
+//!
+//! `KC = 512`, `MC = 128`, `NC = 1024`, tuned on the 512³ shape against
+//! this crate's microkernel (see `BENCH_kernels.json` at the repo
+//! root). The f32 path blocks all three dimensions; the integer path
+//! keeps the full K per tile (exactness makes partial-K accumulation
+//! unnecessary, and fused epilogues require complete `i32` sums).
+
+pub mod microkernel;
+pub mod pack;
+pub mod parallel;
+
+use microkernel::{microkernel_f32, microkernel_i8, MR, NR};
+
+/// K-slab depth for the f32 driver.
+pub const KC: usize = 512;
+/// Row-block height packed per A panel set.
+pub const MC: usize = 128;
+/// Column-block width packed per B slab.
+pub const NC: usize = 1024;
+
+/// Row count at or below which the f32 driver takes the packing-free
+/// GEMV path (decode-shaped inputs).
+const GEMV_MAX_ROWS: usize = 2;
+
+/// Fused dequantization applied to completed `i32` tiles of the integer
+/// driver. Float expressions match the two-pass pipelines they replace
+/// bit-for-bit; see the module docs.
+#[derive(Debug, Clone, Copy)]
+pub enum Epilogue<'a> {
+    /// `C[i][j] = acc · scale` (per-tensor dequant, overwrite).
+    PerTensor {
+        /// Combined activation × weight scale.
+        scale: f32,
+    },
+    /// `C[i][j] += acc · scale` (per-tensor dequant, accumulate — the
+    /// grouped-quantization reduction).
+    PerTensorAcc {
+        /// Combined activation × weight scale for this group.
+        scale: f32,
+    },
+    /// `C[i][j] = (acc · a_scale) · w_scales[j]` (per-output-channel
+    /// weight scales).
+    PerChannel {
+        /// Activation scale.
+        a_scale: f32,
+        /// One weight scale per output column (length `n`).
+        w_scales: &'a [f32],
+    },
+    /// `C[i][j] = (acc · row_scales[i]) · w_scales[j]` (vector-wise
+    /// scales, LLM.int8()-style).
+    PerRow {
+        /// One activation scale per output row (length `m`).
+        row_scales: &'a [f32],
+        /// One weight scale per output column (length `n`).
+        w_scales: &'a [f32],
+    },
+}
+
+/// `C += A · B` over `f32`, blocked + packed + register-tiled.
+///
+/// `a` is `m × k`, `b` is `k × n`, `c` is `m × n`, all row-major and
+/// dense. `c` is accumulated into (pass zeros for a plain product).
+/// `threads` row-partitions the output; any value gives bit-identical
+/// results. The requested count is honored exactly (so tests can
+/// exercise multi-band execution on any host); callers that want
+/// host-aware capping apply [`parallel::effective_threads`] first, as
+/// the `gemm::matmul_*_threaded` wrappers do.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with its dimensions.
+pub fn gemm_f32(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32], threads: usize) {
+    assert_eq!(a.len(), m * k, "lhs shape mismatch");
+    assert_eq!(b.len(), k * n, "rhs shape mismatch");
+    assert_eq!(c.len(), m * n, "output shape mismatch");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if m <= GEMV_MAX_ROWS {
+        gemv_f32(m, k, n, a, b, c);
+        return;
+    }
+    // B slabs are packed once per (p0, j0) block on the calling thread and
+    // shared immutably by every row-band worker; only the A panels (which
+    // are disjoint per band) are packed inside the workers.
+    let mut b_pack: Vec<f32> = Vec::new();
+    let mut p0 = 0;
+    while p0 < k {
+        let kc = KC.min(k - p0);
+        let mut j0 = 0;
+        while j0 < n {
+            let nc = NC.min(n - j0);
+            pack::pack_b_f32(b, n, p0, j0, kc, nc, &mut b_pack);
+            let b_slab = &b_pack;
+            parallel::run_row_partitioned(threads, m, n, c, |row0, rows, band| {
+                gemm_f32_band(row0, rows, k, n, a, p0, kc, j0, nc, b_slab, band);
+            });
+            j0 += nc;
+        }
+        p0 += kc;
+    }
+}
+
+/// The f32 tile loop over one contiguous row band, for one packed
+/// `(p0, j0)` B slab. `c` is the band's slice of the output (band-relative
+/// rows); `row0` locates the band in A.
+#[allow(clippy::too_many_arguments)] // BLAS-style driver signature
+fn gemm_f32_band(
+    row0: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    p0: usize,
+    kc: usize,
+    j0: usize,
+    nc: usize,
+    b_pack: &[f32],
+    c: &mut [f32],
+) {
+    let mut a_pack: Vec<f32> = Vec::new();
+    let n_panels = nc.div_ceil(NR);
+    let mut i0 = 0;
+    while i0 < m {
+        let mc = MC.min(m - i0);
+        pack::pack_a_f32(a, k, row0 + i0, p0, mc, kc, &mut a_pack);
+        let m_panels = mc.div_ceil(MR);
+        for pi in 0..m_panels {
+            let rows = (mc - pi * MR).min(MR);
+            let a_panel = &a_pack[pi * kc * MR..(pi + 1) * kc * MR];
+            for pj in 0..n_panels {
+                let cols = (nc - pj * NR).min(NR);
+                let b_panel = &b_pack[pj * kc * NR..(pj + 1) * kc * NR];
+                let mut acc = [[0.0f32; NR]; MR];
+                microkernel_f32(kc, a_panel, b_panel, &mut acc);
+                #[allow(clippy::needless_range_loop)] // indexed form vectorizes best here
+                for r in 0..rows {
+                    let c0 = (i0 + pi * MR + r) * n + j0 + pj * NR;
+                    let c_row = &mut c[c0..c0 + cols];
+                    for j in 0..cols {
+                        c_row[j] += acc[r][j];
+                    }
+                }
+            }
+        }
+        i0 += mc;
+    }
+}
+
+/// Packing-free fast path for decode-shaped inputs (`m ≤ 2`).
+///
+/// Streams B directly, accumulating with the same contracted FMA and the
+/// same `KC`-slab structure as the blocked path, so per-element results
+/// stay bit-identical to the microkernel's (shape stability).
+fn gemv_f32(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    let mut slab = vec![0.0f32; n];
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        let mut p0 = 0;
+        while p0 < k {
+            let kc = KC.min(k - p0);
+            slab[..].fill(0.0);
+            for (p, &a_ip) in a_row[p0..p0 + kc].iter().enumerate() {
+                let b_row = &b[(p0 + p) * n..(p0 + p + 1) * n];
+                for (s, &b_pj) in slab.iter_mut().zip(b_row) {
+                    *s = microkernel::fmadd(a_ip, b_pj, *s);
+                }
+            }
+            for (dst, &s) in c_row.iter_mut().zip(&slab) {
+                *dst += s;
+            }
+            p0 += kc;
+        }
+    }
+}
+
+/// `C = A · B` over `i8 → i32`, blocked + packed + register-tiled.
+///
+/// Bit-exact: identical to the scalar reference for any `K ≤ 2^16`.
+/// `threads` row-partitions the output.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with its dimensions.
+pub fn gemm_i8(m: usize, k: usize, n: usize, a: &[i8], b: &[i8], c: &mut [i32], threads: usize) {
+    assert_eq!(a.len(), m * k, "lhs shape mismatch");
+    assert_eq!(b.len(), k * n, "rhs shape mismatch");
+    assert_eq!(c.len(), m * n, "output shape mismatch");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if m <= GEMV_MAX_ROWS {
+        gemm_i8_gemv(m, k, n, a, b, |i, j, acc| c[i * n + j] = acc);
+        return;
+    }
+    let mut b_pack: Vec<i16> = Vec::new();
+    let mut j0 = 0;
+    while j0 < n {
+        let nc = NC.min(n - j0);
+        pack::pack_b_i8(b, n, 0, j0, k, nc, &mut b_pack);
+        let b_slab = &b_pack;
+        parallel::run_row_partitioned(threads, m, n, c, |row0, rows, band| {
+            gemm_i8_band(row0, rows, k, a, j0, nc, b_slab, |i, j, acc| {
+                band[i * n + j] = acc;
+            });
+        });
+        j0 += nc;
+    }
+}
+
+/// `C = dequant(A · B)` over `i8` with a fused [`Epilogue`], blocked +
+/// packed + register-tiled. The `i32` accumulation is exact; the fused
+/// float expression matches the equivalent two-pass pipeline exactly.
+///
+/// # Panics
+///
+/// Panics if a slice length (including epilogue scale vectors) disagrees
+/// with its dimensions.
+#[allow(clippy::too_many_arguments)] // BLAS-style driver signature
+pub fn gemm_i8_fused(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[i8],
+    b: &[i8],
+    c: &mut [f32],
+    epilogue: Epilogue<'_>,
+    threads: usize,
+) {
+    assert_eq!(a.len(), m * k, "lhs shape mismatch");
+    assert_eq!(b.len(), k * n, "rhs shape mismatch");
+    assert_eq!(c.len(), m * n, "output shape mismatch");
+    match epilogue {
+        Epilogue::PerChannel { w_scales, .. } => {
+            assert_eq!(w_scales.len(), n, "weight scale count mismatch");
+        }
+        Epilogue::PerRow {
+            row_scales,
+            w_scales,
+        } => {
+            assert_eq!(row_scales.len(), m, "row scale count mismatch");
+            assert_eq!(w_scales.len(), n, "weight scale count mismatch");
+        }
+        Epilogue::PerTensor { .. } | Epilogue::PerTensorAcc { .. } => {}
+    }
+    if m == 0 || n == 0 {
+        return;
+    }
+    if m <= GEMV_MAX_ROWS {
+        gemm_i8_gemv(m, k, n, a, b, |i, j, acc| {
+            apply_epilogue(epilogue, &mut c[i * n + j], i, j, acc);
+        });
+        return;
+    }
+    let mut b_pack: Vec<i16> = Vec::new();
+    let mut j0 = 0;
+    while j0 < n {
+        let nc = NC.min(n - j0);
+        pack::pack_b_i8(b, n, 0, j0, k, nc, &mut b_pack);
+        let b_slab = &b_pack;
+        parallel::run_row_partitioned(threads, m, n, c, |row0, rows, band| {
+            gemm_i8_band(row0, rows, k, a, j0, nc, b_slab, |i, j, acc| {
+                apply_epilogue(epilogue, &mut band[i * n + j], row0 + i, j, acc);
+            });
+        });
+        j0 += nc;
+    }
+}
+
+/// Applies a fused [`Epilogue`] to one completed `i32` dot product.
+/// `row`/`col` are global output coordinates (the per-row scale indexes
+/// by absolute row).
+#[inline(always)]
+fn apply_epilogue(epilogue: Epilogue<'_>, dst: &mut f32, row: usize, col: usize, acc: i32) {
+    match epilogue {
+        Epilogue::PerTensor { scale } => *dst = acc as f32 * scale,
+        Epilogue::PerTensorAcc { scale } => *dst += acc as f32 * scale,
+        Epilogue::PerChannel { a_scale, w_scales } => {
+            *dst = acc as f32 * a_scale * w_scales[col];
+        }
+        Epilogue::PerRow {
+            row_scales,
+            w_scales,
+        } => {
+            *dst = acc as f32 * row_scales[row] * w_scales[col];
+        }
+    }
+}
+
+/// Decode-shaped integer fast path (`m ≤ 2`): packing B (`k × n` widened
+/// to `i16`) would dwarf the single row's arithmetic, so stream B
+/// directly. The zero-skip is exact for integers, and integer
+/// accumulation is order-independent, so this stays bit-identical to the
+/// tiled path. `emit` receives global `(row, col, acc)`.
+fn gemm_i8_gemv(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[i8],
+    b: &[i8],
+    mut emit: impl FnMut(usize, usize, i32),
+) {
+    let mut acc = vec![0i32; n];
+    for i in 0..m {
+        acc.fill(0);
+        let a_row = &a[i * k..(i + 1) * k];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0 {
+                continue;
+            }
+            let a_ip = i32::from(a_ip);
+            let b_row = &b[p * n..(p + 1) * n];
+            for (s, &b_pj) in acc.iter_mut().zip(b_row) {
+                *s += a_ip * i32::from(b_pj);
+            }
+        }
+        for (j, &v) in acc.iter().enumerate() {
+            emit(i, j, v);
+        }
+    }
+}
+
+/// Integer tile loop over one contiguous row band, for one packed `j0`
+/// B slab (full K — see module docs on why the integer path never blocks
+/// K). Hands every completed `i32` dot product to `emit(band_row,
+/// global_col, acc)`; the full-K accumulation is the invariant that makes
+/// fused dequantization sound.
+#[allow(clippy::too_many_arguments)] // BLAS-style driver signature
+fn gemm_i8_band(
+    row0: usize,
+    m: usize,
+    k: usize,
+    a: &[i8],
+    j0: usize,
+    nc: usize,
+    b_pack: &[i16],
+    mut emit: impl FnMut(usize, usize, i32),
+) {
+    let mut a_pack: Vec<i16> = Vec::new();
+    let n_panels = nc.div_ceil(NR);
+    let mut i0 = 0;
+    while i0 < m {
+        let mc = MC.min(m - i0);
+        pack::pack_a_i8(a, k, row0 + i0, 0, mc, k, &mut a_pack);
+        let m_panels = mc.div_ceil(MR);
+        for pi in 0..m_panels {
+            let rows = (mc - pi * MR).min(MR);
+            let a_panel = &a_pack[pi * k * MR..(pi + 1) * k * MR];
+            for pj in 0..n_panels {
+                let cols = (nc - pj * NR).min(NR);
+                let b_panel = &b_pack[pj * k * NR..(pj + 1) * k * NR];
+                let mut acc = [[0i32; NR]; MR];
+                microkernel_i8(k, a_panel, b_panel, &mut acc);
+                for (r, acc_row) in acc.iter().take(rows).enumerate() {
+                    let row = i0 + pi * MR + r;
+                    for (j, &v) in acc_row.iter().take(cols).enumerate() {
+                        emit(row, j0 + pj * NR + j, v);
+                    }
+                }
+            }
+        }
+        i0 += mc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_f32(len: usize, mul: usize, add: usize, modu: usize) -> Vec<f32> {
+        (0..len)
+            .map(|i| ((i * mul + add) % modu) as f32 / modu as f32 - 0.5)
+            .collect()
+    }
+
+    fn ramp_i8(len: usize, mul: usize, add: usize) -> Vec<i8> {
+        (0..len)
+            .map(|i| (((i * mul + add) % 255) as i32 - 127) as i8)
+            .collect()
+    }
+
+    fn scalar_f32(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let a_ip = a[i * k + p];
+                for j in 0..n {
+                    c[i * n + j] += a_ip * b[p * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    fn scalar_i8(m: usize, k: usize, n: usize, a: &[i8], b: &[i8]) -> Vec<i32> {
+        let mut c = vec![0i32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let a_ip = i32::from(a[i * k + p]);
+                for j in 0..n {
+                    c[i * n + j] += a_ip * i32::from(b[p * n + j]);
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn f32_blocked_tracks_scalar_on_awkward_shapes() {
+        for (m, k, n) in [(1, 5, 9), (3, 17, 33), (9, 130, 31), (20, 513, 18)] {
+            let a = ramp_f32(m * k, 37, 11, 127);
+            let b = ramp_f32(k * n, 29, 7, 113);
+            let want = scalar_f32(m, k, n, &a, &b);
+            let mut c = vec![0.0f32; m * n];
+            gemm_f32(m, k, n, &a, &b, &mut c, 1);
+            for (x, y) in c.iter().zip(&want) {
+                assert!((x - y).abs() < 1e-3 * k as f32, "({m},{k},{n}): {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn f32_thread_count_is_bit_invisible() {
+        let (m, k, n) = (23, 70, 19);
+        let a = ramp_f32(m * k, 37, 11, 127);
+        let b = ramp_f32(k * n, 29, 7, 113);
+        let mut c1 = vec![0.0f32; m * n];
+        gemm_f32(m, k, n, &a, &b, &mut c1, 1);
+        for threads in [2, 3, 4, 8] {
+            let mut ct = vec![0.0f32; m * n];
+            gemm_f32(m, k, n, &a, &b, &mut ct, threads);
+            assert_eq!(c1, ct, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn f32_row_values_are_shape_stable() {
+        // C[i][j] must not depend on m: a row computed inside a tall
+        // matmul equals the same row computed as a 1-row (GEMV) matmul.
+        let (m, k, n) = (11, 600, 21);
+        let a = ramp_f32(m * k, 37, 11, 127);
+        let b = ramp_f32(k * n, 29, 7, 113);
+        let mut full = vec![0.0f32; m * n];
+        gemm_f32(m, k, n, &a, &b, &mut full, 1);
+        for i in [0usize, 5, 10] {
+            let mut row = vec![0.0f32; n];
+            gemm_f32(1, k, n, &a[i * k..(i + 1) * k], &b, &mut row, 1);
+            assert_eq!(&full[i * n..(i + 1) * n], &row[..], "row {i}");
+        }
+    }
+
+    #[test]
+    fn f32_accumulates_into_c() {
+        let a = vec![1.0f32; 6];
+        let b = vec![2.0f32; 6];
+        let mut c = vec![10.0f32; 4];
+        gemm_f32(2, 3, 2, &a, &b, &mut c, 1);
+        assert!(c.iter().all(|&x| (x - 16.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn i8_blocked_is_bit_exact() {
+        for (m, k, n) in [(1, 3, 2), (7, 40, 5), (13, 129, 17), (33, 64, 70)] {
+            let a = ramp_i8(m * k, 37, 11);
+            let b = ramp_i8(k * n, 29, 7);
+            let want = scalar_i8(m, k, n, &a, &b);
+            for threads in [1, 4] {
+                let mut c = vec![0i32; m * n];
+                gemm_i8(m, k, n, &a, &b, &mut c, threads);
+                assert_eq!(c, want, "({m},{k},{n}) x{threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_dims_are_noops() {
+        let mut c: Vec<f32> = Vec::new();
+        gemm_f32(0, 4, 0, &[], &[], &mut c, 4);
+        let mut c = vec![0.0f32; 6];
+        gemm_f32(2, 0, 3, &[], &[], &mut c, 1);
+        assert!(c.iter().all(|&x| x == 0.0));
+        let mut ci = vec![0i32; 6];
+        gemm_i8(2, 0, 3, &[], &[], &mut ci, 1);
+        assert!(ci.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn fused_epilogues_match_two_pass() {
+        let (m, k, n) = (9, 37, 12);
+        let a = ramp_i8(m * k, 37, 11);
+        let b = ramp_i8(k * n, 29, 7);
+        let mut acc = vec![0i32; m * n];
+        gemm_i8(m, k, n, &a, &b, &mut acc, 1);
+
+        // Per-tensor overwrite.
+        let scale = 0.031f32;
+        let mut fused = vec![7.0f32; m * n];
+        gemm_i8_fused(
+            m,
+            k,
+            n,
+            &a,
+            &b,
+            &mut fused,
+            Epilogue::PerTensor { scale },
+            2,
+        );
+        let two_pass: Vec<f32> = acc.iter().map(|&x| x as f32 * scale).collect();
+        assert_eq!(fused, two_pass);
+
+        // Per-tensor accumulate.
+        let mut fused_acc = vec![1.5f32; m * n];
+        gemm_i8_fused(
+            m,
+            k,
+            n,
+            &a,
+            &b,
+            &mut fused_acc,
+            Epilogue::PerTensorAcc { scale },
+            1,
+        );
+        let two_pass_acc: Vec<f32> = acc.iter().map(|&x| 1.5 + x as f32 * scale).collect();
+        assert_eq!(fused_acc, two_pass_acc);
+
+        // Per-channel.
+        let w_scales: Vec<f32> = (0..n).map(|j| 0.01 + j as f32 * 0.003).collect();
+        let a_scale = 0.12f32;
+        let mut fused_ch = vec![0.0f32; m * n];
+        gemm_i8_fused(
+            m,
+            k,
+            n,
+            &a,
+            &b,
+            &mut fused_ch,
+            Epilogue::PerChannel {
+                a_scale,
+                w_scales: &w_scales,
+            },
+            3,
+        );
+        for i in 0..m {
+            for j in 0..n {
+                let want = acc[i * n + j] as f32 * a_scale * w_scales[j];
+                assert_eq!(fused_ch[i * n + j], want);
+            }
+        }
+
+        // Per-row (vector-wise).
+        let row_scales: Vec<f32> = (0..m).map(|i| 0.05 + i as f32 * 0.01).collect();
+        let mut fused_row = vec![0.0f32; m * n];
+        gemm_i8_fused(
+            m,
+            k,
+            n,
+            &a,
+            &b,
+            &mut fused_row,
+            Epilogue::PerRow {
+                row_scales: &row_scales,
+                w_scales: &w_scales,
+            },
+            2,
+        );
+        for i in 0..m {
+            for j in 0..n {
+                let want = acc[i * n + j] as f32 * row_scales[i] * w_scales[j];
+                assert_eq!(fused_row[i * n + j], want);
+            }
+        }
+    }
+}

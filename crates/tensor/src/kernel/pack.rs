@@ -1,0 +1,178 @@
+//! Operand packing for the blocked GEMM kernels.
+//!
+//! The microkernel consumes both operands from *panels* — small,
+//! contiguous, cache-resident buffers laid out exactly in the order the
+//! inner loop reads them:
+//!
+//! * an **A panel** holds an `MR`-row band of the left operand,
+//!   K-major: for each k step, the `MR` column entries are adjacent, so
+//!   the microkernel broadcasts them with stride-1 loads;
+//! * a **B panel** holds an `NR`-column band of the right operand,
+//!   K-major: for each k step, the `NR` row entries are adjacent, so the
+//!   microkernel loads them as full SIMD vectors.
+//!
+//! Ragged edges are zero-padded to the full `MR`/`NR` width, which keeps
+//! the microkernel branch-free; the writeback step simply ignores the
+//! padded lanes. Integer operands are widened to `i16` during packing so
+//! the microkernel multiplies without per-element conversions (every
+//! `i8` value is exactly representable in `i16`, so this loses nothing).
+
+use super::microkernel::{MR, NR};
+
+/// Packs an `mc × kc` block of `a` (row-major, leading dimension `lda`)
+/// starting at (`row0`, `col0`) into `MR`-row panels.
+///
+/// Output length is `ceil(mc / MR) * kc * MR`; rows past `row0 + mc` are
+/// zero-padded.
+pub fn pack_a_f32(
+    a: &[f32],
+    lda: usize,
+    row0: usize,
+    col0: usize,
+    mc: usize,
+    kc: usize,
+    out: &mut Vec<f32>,
+) {
+    pack_a_with(a, lda, row0, col0, mc, kc, |x| x, out);
+}
+
+/// Packs an `mc × kc` block of an `i8` matrix into `MR`-row panels,
+/// widening to `i16`.
+pub fn pack_a_i8(
+    a: &[i8],
+    lda: usize,
+    row0: usize,
+    col0: usize,
+    mc: usize,
+    kc: usize,
+    out: &mut Vec<i16>,
+) {
+    pack_a_with(a, lda, row0, col0, mc, kc, i16::from, out);
+}
+
+/// Packs a `kc × nc` block of `b` (row-major, leading dimension `ldb`)
+/// starting at (`row0`, `col0`) into `NR`-column panels.
+///
+/// Output length is `ceil(nc / NR) * kc * NR`; columns past `col0 + nc`
+/// are zero-padded.
+pub fn pack_b_f32(
+    b: &[f32],
+    ldb: usize,
+    row0: usize,
+    col0: usize,
+    kc: usize,
+    nc: usize,
+    out: &mut Vec<f32>,
+) {
+    pack_b_with(b, ldb, row0, col0, kc, nc, |x| x, out);
+}
+
+/// Packs a `kc × nc` block of an `i8` matrix into `NR`-column panels,
+/// widening to `i16`.
+pub fn pack_b_i8(
+    b: &[i8],
+    ldb: usize,
+    row0: usize,
+    col0: usize,
+    kc: usize,
+    nc: usize,
+    out: &mut Vec<i16>,
+) {
+    pack_b_with(b, ldb, row0, col0, kc, nc, i16::from, out);
+}
+
+#[allow(clippy::too_many_arguments)] // BLAS-style packing signature
+fn pack_a_with<TI: Copy, TO: Copy + Default>(
+    a: &[TI],
+    lda: usize,
+    row0: usize,
+    col0: usize,
+    mc: usize,
+    kc: usize,
+    widen: impl Fn(TI) -> TO,
+    out: &mut Vec<TO>,
+) {
+    out.clear();
+    let panels = mc.div_ceil(MR);
+    out.reserve(panels * kc * MR);
+    for pi in 0..panels {
+        let r0 = row0 + pi * MR;
+        let rows = (row0 + mc - r0).min(MR);
+        for p in 0..kc {
+            let col = col0 + p;
+            for r in 0..MR {
+                out.push(if r < rows {
+                    widen(a[(r0 + r) * lda + col])
+                } else {
+                    TO::default()
+                });
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // BLAS-style packing signature
+fn pack_b_with<TI: Copy, TO: Copy + Default>(
+    b: &[TI],
+    ldb: usize,
+    row0: usize,
+    col0: usize,
+    kc: usize,
+    nc: usize,
+    widen: impl Fn(TI) -> TO,
+    out: &mut Vec<TO>,
+) {
+    out.clear();
+    let panels = nc.div_ceil(NR);
+    out.reserve(panels * kc * NR);
+    for pj in 0..panels {
+        let c0 = col0 + pj * NR;
+        let cols = (col0 + nc - c0).min(NR);
+        for p in 0..kc {
+            let base = (row0 + p) * ldb + c0;
+            out.extend(b[base..base + cols].iter().map(|&x| widen(x)));
+            out.extend(std::iter::repeat_n(TO::default(), NR - cols));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_panels_are_k_major_with_padding() {
+        // 3x2 block of a 4x4 matrix starting at (1, 1): rows 1..4, cols 1..3.
+        let a: Vec<f32> = (0..16).map(|x| x as f32).collect();
+        let mut out = Vec::new();
+        pack_a_f32(&a, 4, 1, 1, 3, 2, &mut out);
+        assert_eq!(out.len(), MR * 2);
+        // k step 0 holds column 1 of rows 1..4 then zero padding.
+        assert_eq!(&out[0..4], &[5.0, 9.0, 13.0, 0.0]);
+        assert!(out[3..MR].iter().all(|&x| x == 0.0));
+        // k step 1 holds column 2.
+        assert_eq!(&out[MR..MR + 3], &[6.0, 10.0, 14.0]);
+    }
+
+    #[test]
+    fn b_panels_are_k_major_with_padding() {
+        // 2x3 block of a 4x4 matrix starting at (1, 1).
+        let b: Vec<f32> = (0..16).map(|x| x as f32).collect();
+        let mut out = Vec::new();
+        pack_b_f32(&b, 4, 1, 1, 2, 3, &mut out);
+        assert_eq!(out.len(), NR * 2);
+        assert_eq!(&out[0..3], &[5.0, 6.0, 7.0]);
+        assert!(out[3..NR].iter().all(|&x| x == 0.0));
+        assert_eq!(&out[NR..NR + 3], &[9.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn i8_packing_widens_exactly() {
+        let a: Vec<i8> = vec![-128, 127, -1, 0];
+        let mut out = Vec::new();
+        pack_a_i8(&a, 2, 0, 0, 2, 2, &mut out);
+        assert_eq!(out[0], -128i16);
+        assert_eq!(out[1], -1i16);
+        assert_eq!(out[MR], 127i16);
+    }
+}

@@ -1,0 +1,142 @@
+//! Deterministic row-partitioned threading for the blocked kernels.
+//!
+//! The output matrix is split into contiguous row bands, one per worker;
+//! each band is produced entirely by one worker with a K-traversal order
+//! fixed by the blocking constants, so every output element sees exactly
+//! the same floating-point operation sequence regardless of the thread
+//! count. `threads = 1`, `threads = 4`, and any other setting are
+//! bit-identical.
+//!
+//! Workers are `std::thread::scope` threads (a pool scoped to one GEMM
+//! call), which keeps the crate free of `unsafe` and of runtime
+//! dependencies. Spawn cost is ~10 µs per worker — negligible against the
+//! matmul sizes worth threading, and the single-threaded path never
+//! spawns at all.
+
+/// Cores available to this process, queried once and cached (the std
+/// call walks sched_getaffinity/cgroup state on Linux — too costly to
+/// repeat on every projection of every layer).
+fn host_cpus() -> usize {
+    static HOST_CPUS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *HOST_CPUS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Caps a requested worker count at the cores actually available.
+/// Oversubscription only adds spawn/switch overhead — results are
+/// thread-count-invariant either way — so the public `gemm` wrappers
+/// route every requested count through this.
+#[must_use]
+pub fn effective_threads(requested: usize) -> usize {
+    requested.min(host_cpus())
+}
+
+/// Default worker count for library call sites that just want "use the
+/// host sensibly": capped at 4, since this repo's linear-layer shapes
+/// saturate before that. Thread count never changes results.
+#[must_use]
+pub fn default_threads() -> usize {
+    host_cpus().min(4)
+}
+
+/// Splits `rows` into at most `pieces` contiguous bands of near-equal
+/// size. Returns `(row0, rows_in_band)` pairs; empty bands are omitted.
+#[must_use]
+pub fn row_bands(rows: usize, pieces: usize) -> Vec<(usize, usize)> {
+    let pieces = pieces.max(1).min(rows.max(1));
+    let band = rows.div_ceil(pieces);
+    let mut out = Vec::with_capacity(pieces);
+    let mut r0 = 0;
+    while r0 < rows {
+        let here = band.min(rows - r0);
+        out.push((r0, here));
+        r0 += here;
+    }
+    out
+}
+
+/// Runs `work` over contiguous row bands of `c` (a `rows × cols`
+/// row-major buffer), on `threads` scoped workers.
+///
+/// `work(row0, rows_in_band, band)` receives a disjoint mutable slice of
+/// `c` covering rows `row0 .. row0 + rows_in_band`. With `threads <= 1`
+/// (or a single band) the closure runs inline on the caller's thread.
+///
+/// # Panics
+///
+/// Panics if `c.len() != rows * cols` or if a worker panics.
+pub fn run_row_partitioned<T, F>(threads: usize, rows: usize, cols: usize, c: &mut [T], work: F)
+where
+    T: Send,
+    F: Fn(usize, usize, &mut [T]) + Sync,
+{
+    assert_eq!(c.len(), rows * cols, "output buffer shape mismatch");
+    let bands = row_bands(rows, threads);
+    if bands.len() <= 1 || threads <= 1 {
+        if rows > 0 {
+            work(0, rows, c);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        let mut rest = c;
+        for &(row0, band_rows) in &bands {
+            let (band, tail) = rest.split_at_mut(band_rows * cols);
+            rest = tail;
+            let work = &work;
+            scope.spawn(move || work(row0, band_rows, band));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bands_cover_rows_exactly_once() {
+        for rows in [0usize, 1, 2, 7, 8, 9, 100] {
+            for pieces in [1usize, 2, 3, 4, 16] {
+                let bands = row_bands(rows, pieces);
+                let total: usize = bands.iter().map(|&(_, n)| n).sum();
+                assert_eq!(total, rows, "rows {rows} pieces {pieces}");
+                let mut next = 0;
+                for (r0, n) in bands {
+                    assert_eq!(r0, next);
+                    assert!(n > 0);
+                    next = r0 + n;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_run_touches_every_row_once() {
+        let rows = 13;
+        let cols = 3;
+        for threads in [1usize, 2, 4, 8] {
+            let mut c = vec![0u32; rows * cols];
+            run_row_partitioned(threads, rows, cols, &mut c, |row0, band_rows, band| {
+                for r in 0..band_rows {
+                    for x in &mut band[r * cols..(r + 1) * cols] {
+                        *x += (row0 + r) as u32 + 1;
+                    }
+                }
+            });
+            for r in 0..rows {
+                assert!(c[r * cols..(r + 1) * cols]
+                    .iter()
+                    .all(|&x| x == r as u32 + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rows_is_a_noop() {
+        let mut c: Vec<f32> = Vec::new();
+        run_row_partitioned(4, 0, 5, &mut c, |_, _, _| panic!("no work expected"));
+    }
+}

@@ -6,14 +6,25 @@
 //!
 //! * row-major [`Tensor`] storage over `f32`, `i8`, and `i32`,
 //! * [`gemm`] — floating-point and integer (`i8 × i8 → i32`) matrix multiply,
+//!   including fused `MatMul → Dequantize` variants,
+//! * [`kernel`] — the blocked, packed, register-tiled, multi-threaded GEMM
+//!   subsystem the `gemm` wrappers execute on,
 //! * [`norm`] — LayerNorm and RMSNorm,
 //! * [`ops`] — softmax, SiLU/GELU, elementwise arithmetic, causal masking,
 //! * [`rope`] — rotary position embeddings.
 //!
-//! Everything here is scalar Rust (no SIMD intrinsics): the goal is bit-exact
-//! reproducibility of the paper's *quantization* behaviour, not raw speed.
-//! The "timing plane" (how fast a mobile NPU would run these shapes) lives in
-//! `llmnpu-soc`.
+//! The matmul hot path is **no longer scalar**: [`kernel`] implements
+//! cache-blocked GEMM with panel packing, an `MR × NR` register-tiled
+//! microkernel (auto-vectorized, with hardware FMA when the build target
+//! has it), fused dequantization epilogues, and deterministic
+//! row-partitioned threading — all in `#![forbid(unsafe_code)]` Rust with
+//! zero dependencies. The original scalar triple loops survive as
+//! `gemm::matmul_*_reference` for parity testing: integer kernels are
+//! bit-exact against them, float kernels are held to tight ULP bounds.
+//! Determinism guarantee: for a fixed build, results do not depend on the
+//! blocking constants or the thread count (see [`kernel`] docs).
+//! The "timing plane" (how fast a mobile NPU would run these shapes) lives
+//! in `llmnpu-soc`.
 //!
 //! # Example
 //!
@@ -37,6 +48,7 @@ mod shape;
 mod tensor;
 
 pub mod gemm;
+pub mod kernel;
 pub mod norm;
 pub mod ops;
 pub mod rope;

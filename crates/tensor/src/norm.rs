@@ -15,12 +15,7 @@ use crate::{Error, Result, Tensor};
 ///
 /// Returns [`Error::InvalidDimension`] if `gamma` or `beta` length differs
 /// from the row width.
-pub fn layer_norm(
-    x: &Tensor<f32>,
-    gamma: &[f32],
-    beta: &[f32],
-    eps: f32,
-) -> Result<Tensor<f32>> {
+pub fn layer_norm(x: &Tensor<f32>, gamma: &[f32], beta: &[f32], eps: f32) -> Result<Tensor<f32>> {
     let (rows, cols) = x.matrix_dims();
     check_params("layer_norm", cols, gamma.len())?;
     check_params("layer_norm", cols, beta.len())?;
@@ -81,7 +76,12 @@ mod tests {
         let x = Tensor::from_vec(vec![1.0_f32, 2.0, 3.0, 4.0], [1, 4]).unwrap();
         let y = layer_norm(&x, &[1.0; 4], &[0.0; 4], 1e-6).unwrap();
         let mean: f32 = y.as_slice().iter().sum::<f32>() / 4.0;
-        let var: f32 = y.as_slice().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        let var: f32 = y
+            .as_slice()
+            .iter()
+            .map(|&v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / 4.0;
         assert!(mean.abs() < 1e-5);
         assert!((var - 1.0).abs() < 1e-3);
     }

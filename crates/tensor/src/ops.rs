@@ -54,9 +54,7 @@ pub fn silu(x: &Tensor<f32>) -> Tensor<f32> {
 #[must_use]
 pub fn gelu(x: &Tensor<f32>) -> Tensor<f32> {
     x.map(|v| {
-        0.5 * v
-            * (1.0
-                + ((2.0 / std::f32::consts::PI).sqrt() * (v + 0.044_715 * v * v * v)).tanh())
+        0.5 * v * (1.0 + ((2.0 / std::f32::consts::PI).sqrt() * (v + 0.044_715 * v * v * v)).tanh())
     })
 }
 

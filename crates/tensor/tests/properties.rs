@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 
-use llmnpu_tensor::{gemm, norm, ops, rope, Tensor};
+use llmnpu_tensor::{gemm, kernel, norm, ops, rope, Tensor};
 
 fn matrix(rows: usize, cols: usize, mag: f32) -> impl Strategy<Value = Tensor<f32>> {
     prop::collection::vec(-mag..mag, rows * cols)
@@ -120,5 +120,189 @@ proptest! {
         gemm::accumulate(&mut acc, &b).unwrap();
         let sum = ops::add(&a, &b).unwrap();
         prop_assert_eq!(acc.as_slice(), sum.as_slice());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Blocked/parallel kernel vs. scalar reference properties.
+//
+// Shapes deliberately include M=1 decode rows, K that is not a multiple of
+// any blocking constant, dimensions straddling the MR=8 / NR=16 tile
+// edges, and empty dims.
+// ---------------------------------------------------------------------------
+
+fn any_matrix(
+    rows: impl Strategy<Value = usize>,
+    cols: impl Strategy<Value = usize>,
+    mag: f32,
+) -> impl Strategy<Value = Tensor<f32>> {
+    (rows, cols).prop_map(move |(r, c)| {
+        let data: Vec<f32> = (0..r * c)
+            .map(|i| mag * (((i * 37 + 11) % 127) as f32 / 127.0 - 0.5))
+            .collect();
+        Tensor::from_vec(data, [r, c]).unwrap()
+    })
+}
+
+fn i8_matrix(
+    rows: impl Strategy<Value = usize>,
+    cols: impl Strategy<Value = usize>,
+) -> impl Strategy<Value = Tensor<i8>> {
+    (rows, cols).prop_map(|(r, c)| {
+        let data: Vec<i8> = (0..r * c)
+            .map(|i| (((i * 61 + 13) % 255) as i32 - 127) as i8)
+            .collect();
+        Tensor::from_vec(data, [r, c]).unwrap()
+    })
+}
+
+/// Per-element bound for comparing a blocked (possibly FMA-contracted)
+/// float sum of `k` products against the scalar reference.
+fn f32_tolerance(k: usize, a_max: f32, b_max: f32) -> f32 {
+    // Each of the k products is bounded by a_max*b_max; summation error
+    // grows with k. 2^-23 is one f32 ULP at magnitude 1; the factor 8
+    // covers the worst tree-vs-serial reassociation gap seen in practice
+    // (this is ~k·ε relative — a tight ULP-scale bound, not a loose one).
+    8.0 * (k as f32) * f32::EPSILON * a_max.max(1e-30) * b_max.max(1e-30) + 1e-30
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The blocked f32 kernel stays within tight ULP-scale bounds of the
+    /// scalar reference across random shapes, including M=1 decode rows
+    /// and K not a multiple of the block size.
+    #[test]
+    fn blocked_f32_matches_reference(
+        m in prop::sample::select(vec![1usize, 2, 3, 7, 8, 9, 17]),
+        k in prop::sample::select(vec![1usize, 5, 16, 31, 64, 129, 300, 513]),
+        n in prop::sample::select(vec![1usize, 2, 15, 16, 17, 33, 40]),
+        mag in 0.1f32..4.0,
+    ) {
+        let a_data: Vec<f32> = (0..m * k)
+            .map(|i| mag * (((i * 37 + 11) % 127) as f32 / 127.0 - 0.5))
+            .collect();
+        let b_data: Vec<f32> = (0..k * n)
+            .map(|i| mag * (((i * 29 + 7) % 113) as f32 / 113.0 - 0.5))
+            .collect();
+        let a = Tensor::from_vec(a_data, [m, k]).unwrap();
+        let b = Tensor::from_vec(b_data, [k, n]).unwrap();
+        let blocked = gemm::matmul_f32(&a, &b).unwrap();
+        let reference = gemm::matmul_f32_reference(&a, &b).unwrap();
+        let tol = f32_tolerance(k, a.abs_max(), b.abs_max());
+        for (x, y) in blocked.as_slice().iter().zip(reference.as_slice()) {
+            prop_assert!((x - y).abs() <= tol, "{x} vs {y} (tol {tol})");
+        }
+    }
+
+    /// Thread count is bit-invisible for f32 and i8 kernels.
+    #[test]
+    fn parallel_kernels_bit_match_single_thread(
+        a in any_matrix(1usize..20, 1usize..70, 3.0),
+        n in 1usize..40,
+        threads in 2usize..8,
+    ) {
+        let (_, k) = a.matrix_dims();
+        let b_data: Vec<f32> = (0..k * n)
+            .map(|i| (((i * 29 + 7) % 113) as f32 / 113.0 - 0.5) * 2.0)
+            .collect();
+        let b = Tensor::from_vec(b_data, [k, n]).unwrap();
+        let single = gemm::matmul_f32(&a, &b).unwrap();
+        let multi = gemm::matmul_f32_threaded(&a, &b, threads).unwrap();
+        prop_assert_eq!(single.as_slice(), multi.as_slice());
+
+        // Also drive the slice-level driver with the *uncapped* worker
+        // count: the public wrappers clamp to the host's cores, so on a
+        // small CI machine only this path actually spawns multiple bands.
+        let (m, _) = a.matrix_dims();
+        let mut c_multi = vec![0.0f32; m * n];
+        kernel::gemm_f32(m, k, n, a.as_slice(), b.as_slice(), &mut c_multi, threads);
+        prop_assert_eq!(single.as_slice(), &c_multi[..]);
+
+        let ai = a.map(|x| (x * 30.0) as i8);
+        let bi = b.map(|x| (x * 50.0) as i8);
+        let si = gemm::matmul_i8(&ai, &bi).unwrap();
+        let mi = gemm::matmul_i8_threaded(&ai, &bi, threads).unwrap();
+        prop_assert_eq!(si.as_slice(), mi.as_slice());
+
+        let mut ci_multi = vec![0i32; m * n];
+        kernel::gemm_i8(m, k, n, ai.as_slice(), bi.as_slice(), &mut ci_multi, threads);
+        prop_assert_eq!(si.as_slice(), &ci_multi[..]);
+    }
+
+    /// The blocked i8 kernel is bit-exact against the scalar reference
+    /// for any shape and thread count.
+    #[test]
+    fn blocked_i8_bit_exact_vs_reference(
+        a in i8_matrix(1usize..20, 1usize..80),
+        n in 1usize..40,
+        threads in 1usize..6,
+    ) {
+        let (_, k) = a.matrix_dims();
+        let b_data: Vec<i8> = (0..k * n)
+            .map(|i| (((i * 43 + 5) % 255) as i32 - 127) as i8)
+            .collect();
+        let b = Tensor::from_vec(b_data, [k, n]).unwrap();
+        let blocked = gemm::matmul_i8_threaded(&a, &b, threads).unwrap();
+        let reference = gemm::matmul_i8_reference(&a, &b).unwrap();
+        prop_assert_eq!(blocked.as_slice(), reference.as_slice());
+    }
+
+    /// Fused dequantization epilogues reproduce the two-pass
+    /// `matmul → dequantize` pipelines bit-for-bit.
+    #[test]
+    fn fused_epilogues_bit_match_two_pass(
+        a in i8_matrix(1usize..12, 1usize..50),
+        n in 1usize..30,
+        a_scale in 0.001f32..0.5,
+        w_scale in 0.001f32..0.5,
+    ) {
+        let (m, k) = a.matrix_dims();
+        let b_data: Vec<i8> = (0..k * n)
+            .map(|i| (((i * 43 + 5) % 255) as i32 - 127) as i8)
+            .collect();
+        let b = Tensor::from_vec(b_data, [k, n]).unwrap();
+        let acc = gemm::matmul_i8(&a, &b).unwrap();
+
+        // Per-tensor: acc.map(x * (a_scale*w_scale)).
+        let fused = gemm::matmul_i8_scaled(&a, &b, a_scale, w_scale).unwrap();
+        let scale = a_scale * w_scale;
+        let two_pass = acc.map(|x| x as f32 * scale);
+        prop_assert_eq!(fused.as_slice(), two_pass.as_slice());
+
+        // Per-tensor accumulate: out += partial.
+        let mut fused_into = Tensor::full(0.25_f32, [m, n]);
+        gemm::matmul_i8_scaled_into(&mut fused_into, &a, &b, a_scale, w_scale).unwrap();
+        let mut two_pass_into = Tensor::full(0.25_f32, [m, n]);
+        gemm::accumulate(&mut two_pass_into, &two_pass).unwrap();
+        prop_assert_eq!(fused_into.as_slice(), two_pass_into.as_slice());
+
+        // Per-channel: acc * a_scale * w_scales[j], left-to-right.
+        let w_scales: Vec<f32> = (0..n).map(|j| 0.01 + 0.002 * j as f32).collect();
+        let fused_ch = gemm::matmul_i8_per_channel(&a, &b, a_scale, &w_scales).unwrap();
+        for i in 0..m {
+            for ((&got, &av), &ws) in fused_ch.row(i).iter().zip(acc.row(i)).zip(&w_scales) {
+                let want = av as f32 * a_scale * ws;
+                prop_assert_eq!(got, want);
+            }
+        }
+    }
+
+    /// Empty dimensions are well-defined no-ops for every kernel entry.
+    #[test]
+    fn empty_dims_are_sound(m in 0usize..3, k in 0usize..3, n in 0usize..3) {
+        prop_assume!(m == 0 || k == 0 || n == 0);
+        let a = Tensor::<f32>::zeros([m, k]);
+        let b = Tensor::<f32>::zeros([k, n]);
+        let c = gemm::matmul_f32(&a, &b).unwrap();
+        prop_assert_eq!(c.shape().dims(), &[m, n]);
+        prop_assert!(c.as_slice().iter().all(|&x| x == 0.0));
+
+        let ai = Tensor::<i8>::zeros([m, k]);
+        let bi = Tensor::<i8>::zeros([k, n]);
+        let ci = gemm::matmul_i8(&ai, &bi).unwrap();
+        prop_assert!(ci.as_slice().iter().all(|&x| x == 0));
+        let reference = gemm::matmul_i8_reference(&ai, &bi).unwrap();
+        prop_assert_eq!(ci.as_slice(), reference.as_slice());
     }
 }

@@ -136,9 +136,7 @@ pub fn generate(
     let chance = 1.0 / spec.choices as f64;
     if !(chance < target_accuracy && target_accuracy <= 1.0) {
         return Err(Error::InvalidSpec {
-            what: format!(
-                "target accuracy {target_accuracy} must exceed chance {chance:.3}"
-            ),
+            what: format!("target accuracy {target_accuracy} must exceed chance {chance:.3}"),
         });
     }
     let mut rng = StdRng::seed_from_u64(seed);
@@ -146,13 +144,16 @@ pub fn generate(
     let hidden = weights.config.hidden;
     let vocab = weights.config.vocab;
 
-    // Reference hidden states and candidate scores per task.
-    let mut raw: Vec<(Vec<u32>, Vec<Vec<f32>>, Vec<f32>)> = Vec::with_capacity(n_tasks);
+    // Reference hidden states and candidate scores per task:
+    // (prompt tokens, candidate unit vectors, reference scores).
+    type RawTask = (Vec<u32>, Vec<Vec<f32>>, Vec<f32>);
+    let mut raw: Vec<RawTask> = Vec::with_capacity(n_tasks);
     for _ in 0..n_tasks {
         let tokens = random_prompt(&mut rng, spec.prompt_len, vocab);
         let h = model.last_hidden(&tokens, None)?;
-        let candidates: Vec<Vec<f32>> =
-            (0..spec.choices).map(|_| unit_vector(&mut rng, hidden)).collect();
+        let candidates: Vec<Vec<f32>> = (0..spec.choices)
+            .map(|_| unit_vector(&mut rng, hidden))
+            .collect();
         let scores: Vec<f32> = candidates.iter().map(|u| dot(u, &h)).collect();
         raw.push((tokens, candidates, scores));
     }
@@ -263,11 +264,7 @@ impl ProxyBenchmark {
     /// # Errors
     ///
     /// Returns an error if the model forward fails.
-    pub fn evaluate(
-        &self,
-        weights: &ModelWeights,
-        backend: &dyn LinearBackend,
-    ) -> Result<f64> {
+    pub fn evaluate(&self, weights: &ModelWeights, backend: &dyn LinearBackend) -> Result<f64> {
         let model = Transformer::new(weights, backend);
         let mut correct = 0usize;
         for task in &self.tasks {

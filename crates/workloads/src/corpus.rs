@@ -101,8 +101,7 @@ impl CorpusSampler {
         let mut recent_rare: Vec<u32> = Vec::new();
         let mut doc = Vec::with_capacity(len);
         for _ in 0..len {
-            let burst = !recent_rare.is_empty()
-                && self.rng.gen_bool(self.spec.burstiness);
+            let burst = !recent_rare.is_empty() && self.rng.gen_bool(self.spec.burstiness);
             let tok = if burst {
                 recent_rare[self.rng.gen_range(0..recent_rare.len())]
             } else {
@@ -123,7 +122,9 @@ impl CorpusSampler {
     pub fn corpus(&mut self, docs: usize, len_range: (usize, usize)) -> Vec<Vec<u32>> {
         (0..docs)
             .map(|_| {
-                let len = self.rng.gen_range(len_range.0..=len_range.1.max(len_range.0 + 1));
+                let len = self
+                    .rng
+                    .gen_range(len_range.0..=len_range.1.max(len_range.0 + 1));
                 self.document(len)
             })
             .collect()
@@ -140,14 +141,20 @@ mod tests {
 
     #[test]
     fn validates_spec() {
-        let mut bad = CorpusSpec::default();
-        bad.vocab = 0;
+        let bad = CorpusSpec {
+            vocab: 0,
+            ..CorpusSpec::default()
+        };
         assert!(CorpusSampler::new(bad, 1).is_err());
-        let mut bad = CorpusSpec::default();
-        bad.zipf_s = 0.0;
+        let bad = CorpusSpec {
+            zipf_s: 0.0,
+            ..CorpusSpec::default()
+        };
         assert!(CorpusSampler::new(bad, 1).is_err());
-        let mut bad = CorpusSpec::default();
-        bad.burstiness = 1.0;
+        let bad = CorpusSpec {
+            burstiness: 1.0,
+            ..CorpusSpec::default()
+        };
         assert!(CorpusSampler::new(bad, 1).is_err());
     }
 
@@ -171,7 +178,12 @@ mod tests {
         }
         // Rank 0 should dominate rank 10 by roughly 10^s; allow slack for
         // burstiness noise.
-        assert!(counts[0] > 4 * counts[10].max(1), "head {} vs rank10 {}", counts[0], counts[10]);
+        assert!(
+            counts[0] > 4 * counts[10].max(1),
+            "head {} vs rank10 {}",
+            counts[0],
+            counts[10]
+        );
         // The tail half of the vocabulary is collectively rare.
         let tail: usize = counts[128..].iter().sum();
         assert!((tail as f64) < 0.25 * doc.len() as f64);

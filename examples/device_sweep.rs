@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         scaled_npu(&g3, "hypothetical 2x NPU", 2.0),
     ];
 
-    println!("llm.npu device sweep — {} @ 1024-token prompt\n", model.name);
+    println!(
+        "llm.npu device sweep — {} @ 1024-token prompt\n",
+        model.name
+    );
     println!(
         "{:<36} {:>12} {:>10} {:>12} {:>12}",
         "device", "prefill t/s", "energy J", "NPU bubbles", "decode t/s"

@@ -60,10 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     cfg.float_processor = llmnpu::soc::Processor::Gpu;
     cfg.decode_processor = llmnpu::soc::Processor::Gpu;
     let gpu_engine = LlmNpuEngine::new(cfg)?;
-    let cpu_engine = LlmNpuEngine::new(EngineConfig::llmnpu(
-        ModelConfig::gemma_2b(),
-        soc,
-    ))?;
+    let cpu_engine = LlmNpuEngine::new(EngineConfig::llmnpu(ModelConfig::gemma_2b(), soc))?;
     let request = suite.midpoint();
     let cpu_e2e = cpu_engine.e2e(&request)?;
     let gpu_e2e = gpu_engine.e2e(&request)?;

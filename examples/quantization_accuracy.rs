@@ -7,8 +7,8 @@
 //! ```
 
 use llmnpu::model::backend::{
-    FloatBackend, LinearBackend, LlmInt8Backend, PerGroupBackend, PerTensorBackend,
-    ShadowBackend, SmoothQuantBackend,
+    FloatBackend, LinearBackend, LlmInt8Backend, PerGroupBackend, PerTensorBackend, ShadowBackend,
+    SmoothQuantBackend,
 };
 use llmnpu::model::config::ModelConfig;
 use llmnpu::model::forward::Transformer;

@@ -56,8 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .filter(|e| e.processor == proc)
             {
                 let a = ((e.start / span) * LANE_WIDTH as f64) as usize;
-                let b = (((e.end / span) * LANE_WIDTH as f64).ceil() as usize)
-                    .min(LANE_WIDTH);
+                let b = (((e.end / span) * LANE_WIDTH as f64).ceil() as usize).min(LANE_WIDTH);
                 let glyph = label_glyph(&e.label);
                 for slot in lane.iter_mut().take(b).skip(a.min(LANE_WIDTH)) {
                     *slot = glyph;
@@ -65,9 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             println!("{proc}: {}", lane.iter().collect::<String>());
         }
-        println!(
-            "legend: digits = chunk index of the running subgraph, '.' = idle\n"
-        );
+        println!("legend: digits = chunk index of the running subgraph, '.' = idle\n");
     }
     println!(
         "Out-of-order dispatch fills the NPU's wait-for-attention gaps with\n\

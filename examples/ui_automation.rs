@@ -10,9 +10,7 @@
 //! cargo run --example ui_automation
 //! ```
 
-use llmnpu::core::baselines::{
-    applicable_baselines, Engine, LlmNpuAsEngine,
-};
+use llmnpu::core::baselines::{applicable_baselines, Engine, LlmNpuAsEngine};
 use llmnpu::model::config::ModelConfig;
 use llmnpu::soc::spec::SocSpec;
 use llmnpu::workloads::suites::Suite;

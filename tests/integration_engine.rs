@@ -20,8 +20,8 @@ fn soc() -> SocSpec {
 fn headline_thousand_tokens_per_second() {
     // §1: "For the first time, llm.npu achieves more than 1,000 tokens/sec
     // prefilling for a billion-sized model."
-    let engine = LlmNpuEngine::new(EngineConfig::llmnpu(ModelConfig::qwen15_18b(), soc()))
-        .expect("engine");
+    let engine =
+        LlmNpuEngine::new(EngineConfig::llmnpu(ModelConfig::qwen15_18b(), soc())).expect("engine");
     let report = engine.prefill(1024).expect("prefill");
     assert!(
         report.tokens_per_s > 1000.0,
@@ -115,9 +115,21 @@ fn ablation_ladder_is_monotonic_after_naive() {
         let chunk = by_step[&AblationStep::Chunk];
         let outlier = by_step[&AblationStep::Outlier];
         let ooe = by_step[&AblationStep::OutOfOrder];
-        assert!(chunk > naive, "{}: chunk {chunk} <= naive {naive}", model.name);
-        assert!(outlier > chunk, "{}: outlier {outlier} <= chunk {chunk}", model.name);
-        assert!(ooe > outlier, "{}: ooe {ooe} <= outlier {outlier}", model.name);
+        assert!(
+            chunk > naive,
+            "{}: chunk {chunk} <= naive {naive}",
+            model.name
+        );
+        assert!(
+            outlier > chunk,
+            "{}: outlier {outlier} <= chunk {chunk}",
+            model.name
+        );
+        assert!(
+            ooe > outlier,
+            "{}: ooe {ooe} <= outlier {outlier}",
+            model.name
+        );
     }
 }
 
@@ -148,7 +160,10 @@ fn gpu_coordination_matches_figure18() {
     // (a) prefill speeds within 10% of each other.
     let a = cpu_npu.prefill(1024).expect("prefill").tokens_per_s;
     let b = gpu_npu.prefill(1024).expect("prefill").tokens_per_s;
-    assert!((a / b - 1.0).abs() < 0.10, "cpu-npu {a:.0} vs gpu-npu {b:.0}");
+    assert!(
+        (a / b - 1.0).abs() < 0.10,
+        "cpu-npu {a:.0} vs gpu-npu {b:.0}"
+    );
 
     // (b) GPU decode beats CPU decode, shrinking e2e latency.
     let sample = WorkloadSample {
@@ -157,7 +172,10 @@ fn gpu_coordination_matches_figure18() {
     };
     let e_cpu = cpu_npu.e2e(&sample).expect("e2e").total_ms();
     let e_gpu = gpu_npu.e2e(&sample).expect("e2e").total_ms();
-    assert!(e_gpu < e_cpu, "gpu-npu {e_gpu:.0} should beat cpu-npu {e_cpu:.0}");
+    assert!(
+        e_gpu < e_cpu,
+        "gpu-npu {e_gpu:.0} should beat cpu-npu {e_cpu:.0}"
+    );
 }
 
 #[test]
@@ -170,11 +188,17 @@ fn preparation_cost_is_paid_once_not_per_prompt() {
     let prep = engine.preparation().prepare_ms();
     assert!(prep > 2000.0);
     let prefill = engine.prefill(512).expect("prefill").latency_ms;
-    assert!(prefill < prep / 3.0, "prefill {prefill:.0} vs prep {prep:.0}");
+    assert!(
+        prefill < prep / 3.0,
+        "prefill {prefill:.0} vs prep {prep:.0}"
+    );
 
     let naive = NaiveNpu::new(ModelConfig::qwen15_18b(), soc());
     let naive_latency = naive.prefill(512).expect("naive").latency_ms;
-    assert!(naive_latency > prep, "naive must repay preparation per prompt");
+    assert!(
+        naive_latency > prep,
+        "naive must repay preparation per prompt"
+    );
 }
 
 #[test]

@@ -2,8 +2,8 @@
 //! calibration, and quantization backends working together.
 
 use llmnpu::model::backend::{
-    model_sites, FloatBackend, LinearBackend, LlmInt8Backend, PerGroupBackend,
-    PerTensorBackend, ShadowBackend, SmoothQuantBackend,
+    model_sites, FloatBackend, LinearBackend, LlmInt8Backend, PerGroupBackend, PerTensorBackend,
+    ShadowBackend, SmoothQuantBackend,
 };
 use llmnpu::model::config::ModelConfig;
 use llmnpu::model::forward::Transformer;
@@ -14,10 +14,7 @@ use llmnpu::workloads::random_prompt;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn mini_model() -> (
-    llmnpu::model::weights::ModelWeights,
-    FloatBackend,
-) {
+fn mini_model() -> (llmnpu::model::weights::ModelWeights, FloatBackend) {
     let cfg = ModelConfig::qwen15_18b().scaled_down(48, 3, 96).unwrap();
     let w = synthesize(&cfg, 7, OutlierSpec::default()).unwrap();
     let be = FloatBackend::new(w.clone());
@@ -47,7 +44,11 @@ fn chunked_prefill_invariant_holds_for_every_architecture() {
         let mut chunk_cache = KvCache::new(mini.layers);
         let chunked = t.prefill_chunked(&toks, 4, &mut chunk_cache).unwrap();
         let mse = whole.mse(&chunked).unwrap();
-        assert!(mse < 1e-9, "{}: chunked prefill diverged (mse {mse})", cfg.name);
+        assert!(
+            mse < 1e-9,
+            "{}: chunked prefill diverged (mse {mse})",
+            cfg.name
+        );
     }
 }
 
@@ -192,7 +193,7 @@ fn outlier_structure_survives_the_full_pipeline() {
     let mut top: Vec<usize> = (0..128).collect();
     top.sort_by_key(|&c| std::cmp::Reverse(profile.channel_counts[c]));
     let firing = profile.channel_counts.iter().filter(|&&c| c > 0).count();
-    let checked = firing.min(2).max(1);
+    let checked = firing.clamp(1, 2);
     for &c in top.iter().take(checked) {
         assert!(
             w.hot_channels.contains(&c),

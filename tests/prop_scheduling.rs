@@ -16,11 +16,11 @@ use llmnpu::soc::Processor;
 
 fn arbitrary_dag() -> impl Strategy<Value = PrefillDag> {
     (
-        1usize..4,          // layers
-        1usize..6,          // chunks
-        16usize..64,        // chunk length
-        0.0f64..1.0,        // shadow fraction
-        prop::bool::ANY,    // shape optimized
+        1usize..4,                       // layers
+        1usize..6,                       // chunks
+        16usize..64,                     // chunk length
+        0.0f64..1.0,                     // shadow fraction
+        prop::bool::ANY,                 // shape optimized
         prop::option::of(Just(32usize)), // per-group or per-tensor
     )
         .prop_map(|(layers, chunks, chunk_len, shadow, shape_opt, group)| {
@@ -41,7 +41,11 @@ fn arbitrary_dag() -> impl Strategy<Value = PrefillDag> {
 
 fn assert_schedule_valid(dag: &PrefillDag, outcome: &ScheduleOutcome) -> Result<(), TestCaseError> {
     let entries = outcome.timeline.entries();
-    prop_assert_eq!(entries.len(), dag.len(), "every task scheduled exactly once");
+    prop_assert_eq!(
+        entries.len(),
+        dag.len(),
+        "every task scheduled exactly once"
+    );
     let by_label: HashMap<&str, usize> = entries
         .iter()
         .enumerate()

@@ -1,0 +1,190 @@
+//! Vendored, dependency-free stand-in for `criterion`.
+//!
+//! Provides the API subset the workspace benches use — [`Criterion`],
+//! benchmark groups, [`Bencher::iter`]/[`Bencher::iter_batched`],
+//! [`BatchSize`], and the [`criterion_group!`]/[`criterion_main!`] macros —
+//! backed by a simple wall-clock runner: a short warm-up sizes the batch,
+//! then each benchmark runs for a fixed measurement budget and reports the
+//! mean time per iteration.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost (accepted for API parity; the
+/// stand-in times the routine per batch element either way).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Measurement budget per benchmark (override with `LLMNPU_BENCH_MS`).
+fn budget() -> Duration {
+    let ms = std::env::var("LLMNPU_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(120u64);
+    Duration::from_millis(ms)
+}
+
+/// Runs timed closures inside a benchmark.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration recorded by the last `iter*` call.
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            mean_ns: f64::NAN,
+            iters: 0,
+        }
+    }
+
+    /// Times `routine` repeatedly and records the mean per-iteration cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: one call, to size the measurement loop.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let budget = budget();
+        let target_iters = (budget.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..target_iters {
+            black_box(routine());
+        }
+        let total = start.elapsed();
+        self.iters = target_iters;
+        self.mean_ns = total.as_nanos() as f64 / target_iters as f64;
+    }
+
+    /// Times `routine` on fresh inputs from `setup` (setup excluded from
+    /// the measurement).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let budget = budget();
+        let target_iters = (budget.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut total = Duration::ZERO;
+        for _ in 0..target_iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.iters = target_iters;
+        self.mean_ns = total.as_nanos() as f64 / target_iters as f64;
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    let ns = b.mean_ns;
+    let (value, unit) = if ns < 1_000.0 {
+        (ns, "ns")
+    } else if ns < 1_000_000.0 {
+        (ns / 1_000.0, "us")
+    } else if ns < 1_000_000_000.0 {
+        (ns / 1_000_000.0, "ms")
+    } else {
+        (ns / 1_000_000_000.0, "s")
+    };
+    println!(
+        "bench {name:<42} {value:>10.3} {unit}/iter ({} iters)",
+        b.iters
+    );
+}
+
+/// Benchmark registry and runner.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs and reports one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            prefix: name.to_owned(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs and reports one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(&format!("{}/{name}", self.prefix), &b);
+        self
+    }
+
+    /// Ends the group (no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_a_mean() {
+        std::env::set_var("LLMNPU_BENCH_MS", "5");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("g");
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

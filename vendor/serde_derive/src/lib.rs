@@ -1,0 +1,165 @@
+//! `#[derive(Serialize)]` for the vendored serde stand-in.
+//!
+//! Supports plain structs with named fields (optionally generic, like
+//! `ExperimentRecord<T: Serialize>`), which is the only shape this
+//! workspace derives. Parsing is done directly over the token stream so
+//! the macro needs no `syn`/`quote` dependency and builds offline.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+
+    let (name, after_name) = struct_name(&tokens);
+    let generics = generic_params(&tokens[after_name..]);
+    let fields = field_names(&tokens);
+
+    let impl_generics = if generics.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "<{}>",
+            generics
+                .iter()
+                .map(|g| format!("{g}: ::serde::Serialize"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    };
+    let ty_generics = if generics.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", generics.join(", "))
+    };
+
+    let field_entries = fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+        .collect::<String>();
+
+    let out = format!(
+        "impl{impl_generics} ::serde::Serialize for {name}{ty_generics} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(vec![{field_entries}])\n\
+             }}\n\
+         }}"
+    );
+    out.parse().expect("generated Serialize impl must parse")
+}
+
+/// Finds the struct name; returns `(name, index just past the name)`.
+fn struct_name(tokens: &[TokenTree]) -> (String, usize) {
+    let mut i = 0;
+    while i < tokens.len() {
+        if let TokenTree::Ident(id) = &tokens[i] {
+            if id.to_string() == "struct" {
+                if let Some(TokenTree::Ident(name)) = tokens.get(i + 1) {
+                    return (name.to_string(), i + 2);
+                }
+            }
+        }
+        i += 1;
+    }
+    panic!("#[derive(Serialize)] (vendored) only supports structs");
+}
+
+/// Collects generic parameter names from an optional `<...>` section.
+fn generic_params(tokens: &[TokenTree]) -> Vec<String> {
+    let mut params = Vec::new();
+    let mut iter = tokens.iter();
+    match iter.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return params,
+    }
+    let mut depth = 1usize;
+    let mut expecting_param = true;
+    for tok in iter {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                expecting_param = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 => {
+                expecting_param = false;
+            }
+            TokenTree::Ident(id) if depth == 1 && expecting_param => {
+                params.push(id.to_string());
+                expecting_param = false;
+            }
+            _ => {}
+        }
+    }
+    params
+}
+
+/// Extracts named-field identifiers from the struct body.
+fn field_names(tokens: &[TokenTree]) -> Vec<String> {
+    let body = tokens
+        .iter()
+        .rev()
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .expect("#[derive(Serialize)] (vendored) requires named fields");
+
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        // Skip attributes (`#[...]`, including expanded doc comments).
+        if let TokenTree::Punct(p) = &toks[i] {
+            if p.as_char() == '#' {
+                i += 2; // '#' + bracket group
+                continue;
+            }
+        }
+        // Skip visibility.
+        if let TokenTree::Ident(id) = &toks[i] {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+                continue;
+            }
+        }
+        // Field name followed by ':'.
+        if let (Some(TokenTree::Ident(id)), Some(TokenTree::Punct(p))) =
+            (toks.get(i), toks.get(i + 1))
+        {
+            if p.as_char() == ':' {
+                fields.push(id.to_string());
+                // Skip the type: advance to the next top-level comma.
+                i += 2;
+                let mut angle = 0usize;
+                while i < toks.len() {
+                    match &toks[i] {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => {
+                            angle = angle.saturating_sub(1);
+                        }
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                            i += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        i += 1;
+    }
+    fields
+}
