@@ -1,9 +1,14 @@
 //! Criterion microbenchmarks of the numeric-plane kernels, plus the
 //! kernel-subsystem comparison that records `BENCH_kernels.json` at the
-//! repository root: naive (scalar reference) vs blocked vs blocked+4-thread
-//! GEMM at paper-relevant shapes (256/512/1024 square prefill GEMMs and the
-//! 1×4096×4096 decode GEMV), with tokens-equivalent throughput so the perf
-//! trajectory of the kernel layer is tracked across PRs.
+//! repository root: naive (scalar reference) vs blocked vs blocked+threaded
+//! GEMM at paper-relevant prefill shapes, and a decode (`m ≤ 2`) section
+//! comparing the streaming GEMV, a repack-weights-every-call strawman, and
+//! the pack-once `PackedMatrix` fast path — with tokens-equivalent
+//! throughput so the perf trajectory of the kernel layer is tracked across
+//! PRs. Threaded columns are labeled with the *effective* worker count
+//! after the host-core clamp, and the record carries an explicit
+//! `thread_scaling_valid` flag (false on a 1-core host, where "threaded"
+//! timings are a second single-threaded run, not thread scaling).
 
 use criterion::{criterion_group, BatchSize, Criterion};
 use std::hint::black_box;
@@ -12,7 +17,7 @@ use std::time::Instant;
 use llmnpu_quant::outlier::{extract_outliers, ShadowLinear};
 use llmnpu_quant::per_group::GroupedLinear;
 use llmnpu_quant::per_tensor::{max_min_scale, QuantizedLinear, QuantizedMatrix};
-use llmnpu_tensor::{gemm, Tensor};
+use llmnpu_tensor::{gemm, PackedMatrixF32, PackedMatrixI8, Tensor};
 use serde::Serialize;
 
 fn ramp(rows: usize, cols: usize, amp: f32) -> Tensor<f32> {
@@ -70,6 +75,12 @@ fn bench_quantized_linears(c: &mut Criterion) {
         b.iter(|| per_tensor.forward(black_box(&x)).unwrap())
     });
 
+    // Decode-shaped (m = 1) forward: the prepacked GEMV path.
+    let x1 = ramp(1, 256, 0.05);
+    group.bench_function("per_tensor_forward_decode", |b| {
+        b.iter(|| per_tensor.forward(black_box(&x1)).unwrap())
+    });
+
     let grouped = GroupedLinear::new(&w, 32).unwrap();
     group.bench_function("per_group_forward(g=32)", |b| {
         b.iter(|| grouped.forward(black_box(&x)).unwrap())
@@ -103,8 +114,9 @@ fn bench_outlier_extraction(c: &mut Criterion) {
 // Kernel-subsystem comparison -> BENCH_kernels.json
 // ---------------------------------------------------------------------------
 
-/// Threads used for the threaded row in the JSON record (the acceptance
-/// shape of the kernel-subsystem work).
+/// Threads *requested* for the threaded rows in the JSON record; the
+/// record labels its columns by the effective count after the host-core
+/// clamp.
 const THREADS: usize = 4;
 
 #[derive(Debug, Serialize)]
@@ -115,13 +127,17 @@ struct KernelRow {
     n: usize,
     naive_ms: f64,
     blocked_ms: f64,
-    threaded4_ms: f64,
+    /// Blocked kernel with `threads_effective` workers (see the record
+    /// header — NOT necessarily the requested count).
+    threaded_ms: f64,
+    /// Workers actually used for `threaded_ms` after the host-core clamp.
+    threads_effective: usize,
     naive_gflops: f64,
     blocked_gflops: f64,
-    threaded4_gflops: f64,
+    threaded_gflops: f64,
     speedup_blocked: f64,
-    speedup_threaded4: f64,
-    /// Rows of A pushed through the layer per second on the threaded
+    speedup_threaded: f64,
+    /// Rows of A pushed through the layer per second on the fastest
     /// kernel — "tokens-equivalent" throughput, since one token's hidden
     /// state is one activation row of a linear layer.
     tokens_equiv_per_s: f64,
@@ -129,6 +145,35 @@ struct KernelRow {
     i8_blocked_ms: f64,
     i8_speedup: f64,
     i8_bit_exact: bool,
+}
+
+/// Decode (`m ≤ 2`) comparison: the streaming per-call GEMV, a
+/// repack-the-weights-every-call strawman (what any driver without a
+/// persistent weight cache must do to use a packed layout), and the
+/// pack-once `PackedMatrix` fast path.
+#[derive(Debug, Serialize)]
+struct DecodeRow {
+    shape: String,
+    m: usize,
+    k: usize,
+    n: usize,
+    f32_streaming_ms: f64,
+    f32_repack_per_call_ms: f64,
+    f32_prepacked_ms: f64,
+    f32_speedup_vs_repack: f64,
+    f32_speedup_vs_streaming: f64,
+    /// Prepacked f32 GEMV bit-identical to the streaming driver.
+    f32_bit_identical: bool,
+    i8_streaming_ms: f64,
+    i8_repack_per_call_ms: f64,
+    i8_prepacked_ms: f64,
+    i8_speedup_vs_repack: f64,
+    i8_speedup_vs_streaming: f64,
+    /// Prepacked i8 result bit-exact vs `matmul_i8_reference`.
+    i8_bit_exact: bool,
+    /// Acceptance: prepacked ≥ 2× the per-call-repacking path (both
+    /// dtypes).
+    meets_2x_vs_repack: bool,
 }
 
 #[derive(Debug, Serialize)]
@@ -142,8 +187,12 @@ struct KernelRecord {
     /// and should read ≈ the blocked rows.
     threads_effective: usize,
     host_cpus: usize,
+    /// False when `host_cpus == 1`: the `threaded_*` columns are then a
+    /// second single-threaded run and say nothing about thread scaling.
+    thread_scaling_valid: bool,
     fma: bool,
     rows: Vec<KernelRow>,
+    decode: Vec<DecodeRow>,
 }
 
 fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
@@ -160,6 +209,7 @@ fn compare_shape(m: usize, k: usize, n: usize, reps: usize) -> KernelRow {
     let a = ramp(m, k, 1.0);
     let b = ramp(k, n, 1.0);
     let flops = 2.0 * m as f64 * k as f64 * n as f64;
+    let threads_effective = llmnpu_tensor::kernel::parallel::effective_threads(THREADS);
 
     let naive = best_of(reps, || gemm::matmul_f32_reference(&a, &b).unwrap());
     let blocked = best_of(reps, || gemm::matmul_f32(&a, &b).unwrap());
@@ -180,12 +230,13 @@ fn compare_shape(m: usize, k: usize, n: usize, reps: usize) -> KernelRow {
         n,
         naive_ms: naive * 1e3,
         blocked_ms: blocked * 1e3,
-        threaded4_ms: threaded * 1e3,
+        threaded_ms: threaded * 1e3,
+        threads_effective,
         naive_gflops: flops / naive / 1e9,
         blocked_gflops: flops / blocked / 1e9,
-        threaded4_gflops: flops / threaded / 1e9,
+        threaded_gflops: flops / threaded / 1e9,
         speedup_blocked: naive / blocked,
-        speedup_threaded4: naive / threaded,
+        speedup_threaded: naive / threaded,
         tokens_equiv_per_s: m as f64 / fastest,
         i8_naive_ms: i8_naive * 1e3,
         i8_blocked_ms: i8_blocked * 1e3,
@@ -194,8 +245,74 @@ fn compare_shape(m: usize, k: usize, n: usize, reps: usize) -> KernelRow {
     }
 }
 
+fn compare_decode(m: usize, k: usize, n: usize, reps: usize) -> DecodeRow {
+    let a = ramp(m, k, 1.0);
+    let b = ramp(k, n, 1.0);
+
+    // f32: streaming per-call GEMV vs repack-every-call vs pack-once.
+    let f32_streaming = best_of(reps, || gemm::matmul_f32_threaded(&a, &b, THREADS).unwrap());
+    let f32_repack = best_of(reps, || {
+        let packed = PackedMatrixF32::from_tensor(&b);
+        gemm::matmul_f32_prepacked(&a, &packed, THREADS).unwrap()
+    });
+    let packed_f = PackedMatrixF32::from_tensor(&b);
+    let f32_prepacked = best_of(reps, || {
+        gemm::matmul_f32_prepacked(&a, &packed_f, THREADS).unwrap()
+    });
+    let f32_bit_identical = gemm::matmul_f32_prepacked(&a, &packed_f, THREADS)
+        .unwrap()
+        .as_slice()
+        == gemm::matmul_f32_threaded(&a, &b, THREADS)
+            .unwrap()
+            .as_slice();
+
+    // i8: same three paths, plus bit-exactness vs the scalar reference.
+    let ai = a.map(|x| (x * 120.0) as i8);
+    let bi = b.map(|x| (x * 120.0) as i8);
+    let i8_streaming = best_of(reps, || {
+        gemm::matmul_i8_threaded(&ai, &bi, THREADS).unwrap()
+    });
+    let i8_repack = best_of(reps, || {
+        let packed = PackedMatrixI8::from_tensor(&bi);
+        gemm::matmul_i8_prepacked(&ai, &packed, THREADS).unwrap()
+    });
+    let packed_i = PackedMatrixI8::from_tensor(&bi);
+    let i8_prepacked = best_of(reps, || {
+        gemm::matmul_i8_prepacked(&ai, &packed_i, THREADS).unwrap()
+    });
+    let i8_bit_exact = gemm::matmul_i8_prepacked(&ai, &packed_i, THREADS)
+        .unwrap()
+        .as_slice()
+        == gemm::matmul_i8_reference(&ai, &bi).unwrap().as_slice();
+
+    DecodeRow {
+        shape: format!("{m}x{k}x{n}"),
+        m,
+        k,
+        n,
+        f32_streaming_ms: f32_streaming * 1e3,
+        f32_repack_per_call_ms: f32_repack * 1e3,
+        f32_prepacked_ms: f32_prepacked * 1e3,
+        f32_speedup_vs_repack: f32_repack / f32_prepacked,
+        f32_speedup_vs_streaming: f32_streaming / f32_prepacked,
+        f32_bit_identical,
+        i8_streaming_ms: i8_streaming * 1e3,
+        i8_repack_per_call_ms: i8_repack * 1e3,
+        i8_prepacked_ms: i8_prepacked * 1e3,
+        i8_speedup_vs_repack: i8_repack / i8_prepacked,
+        i8_speedup_vs_streaming: i8_streaming / i8_prepacked,
+        i8_bit_exact,
+        meets_2x_vs_repack: f32_repack / f32_prepacked >= 2.0 && i8_repack / i8_prepacked >= 2.0,
+    }
+}
+
 fn kernel_comparison() {
-    println!("\n=== kernel subsystem: naive vs blocked vs blocked+{THREADS}-thread ===");
+    let threads_effective = llmnpu_tensor::kernel::parallel::effective_threads(THREADS);
+    let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!(
+        "\n=== kernel subsystem: naive vs blocked vs blocked+{threads_effective}-thread \
+         (requested {THREADS}, host has {host_cpus} cpus) ==="
+    );
     let shapes: [(usize, usize, usize, usize); 4] = [
         (256, 256, 256, 9),
         (512, 512, 512, 7),
@@ -212,9 +329,9 @@ fn kernel_comparison() {
                 row.naive_ms,
                 row.blocked_ms,
                 row.speedup_blocked,
-                THREADS,
-                row.threaded4_ms,
-                row.speedup_threaded4,
+                row.threads_effective,
+                row.threaded_ms,
+                row.speedup_threaded,
                 row.i8_speedup,
                 row.i8_bit_exact,
                 row.tokens_equiv_per_s,
@@ -223,15 +340,41 @@ fn kernel_comparison() {
         })
         .collect();
 
+    println!("--- decode (m <= 2): streaming vs repack-per-call vs prepacked ---");
+    let decode_shapes: [(usize, usize, usize, usize); 2] = [(1, 4096, 4096, 9), (2, 4096, 4096, 7)];
+    let decode: Vec<DecodeRow> = decode_shapes
+        .iter()
+        .map(|&(m, k, n, reps)| {
+            let row = compare_decode(m, k, n, reps);
+            println!(
+                "{:<14} f32 stream {:>6.2} ms | repack {:>7.2} ms | prepacked {:>6.2} ms ({:>5.2}x vs repack) | i8 prepacked {:>6.2} ms ({:>5.2}x vs repack) exact={} | 2x-target={}",
+                row.shape,
+                row.f32_streaming_ms,
+                row.f32_repack_per_call_ms,
+                row.f32_prepacked_ms,
+                row.f32_speedup_vs_repack,
+                row.i8_prepacked_ms,
+                row.i8_speedup_vs_repack,
+                row.i8_bit_exact,
+                row.meets_2x_vs_repack,
+            );
+            row
+        })
+        .collect();
+
     let record = KernelRecord {
         id: "kernels",
         description: "Blocked+packed+threaded GEMM vs scalar reference; \
+                      decode section compares streaming GEMV, repack-per-call, \
+                      and pack-once PackedMatrix paths; \
                       tokens-equivalent = activation rows per second",
         threads_requested: THREADS,
-        threads_effective: llmnpu_tensor::kernel::parallel::effective_threads(THREADS),
-        host_cpus: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        threads_effective,
+        host_cpus,
+        thread_scaling_valid: host_cpus > 1,
         fma: cfg!(target_feature = "fma"),
         rows,
+        decode,
     };
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
     let json = serde_json::to_string_pretty(&record).expect("serialize kernel record");

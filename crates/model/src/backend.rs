@@ -13,7 +13,7 @@ use llmnpu_quant::outlier::{calibrate_scale, prune_layers, ShadowLinear};
 use llmnpu_quant::per_group::GroupedLinear;
 use llmnpu_quant::per_tensor::QuantizedLinear;
 use llmnpu_quant::smooth::SmoothedLinear;
-use llmnpu_tensor::{gemm, Tensor};
+use llmnpu_tensor::{gemm, PackedMatrixF32, Tensor};
 
 use crate::weights::ModelWeights;
 use crate::{Error, Result};
@@ -123,16 +123,30 @@ pub fn model_sites(weights: &ModelWeights) -> Vec<LinearSite> {
 }
 
 /// FP32 reference backend (the paper's FP16 row, with extra precision).
+///
+/// Every projection weight is packed **once** at construction into the
+/// kernel's persistent layout ([`PackedMatrixF32`]); `linear` calls then
+/// run the prepacked driver — bit-identical to the per-call-packing
+/// path, with zero weight packing per call.
 #[derive(Debug, Clone)]
 pub struct FloatBackend {
     weights: ModelWeights,
+    packed: HashMap<LinearSite, PackedMatrixF32>,
 }
 
 impl FloatBackend {
-    /// Wraps model weights.
+    /// Wraps model weights, packing every projection once.
     #[must_use]
     pub fn new(weights: ModelWeights) -> Self {
-        FloatBackend { weights }
+        let packed = model_sites(&weights)
+            .into_iter()
+            .map(|site| {
+                let w = site_weight(&weights, site.0, site.1)
+                    .expect("model_sites only yields present sites");
+                (site, PackedMatrixF32::from_tensor(w))
+            })
+            .collect();
+        FloatBackend { weights, packed }
     }
 
     /// The wrapped weights.
@@ -144,6 +158,11 @@ impl FloatBackend {
 
 impl LinearBackend for FloatBackend {
     fn linear(&self, layer: usize, kind: LinearKind, x: &Tensor<f32>) -> Result<Tensor<f32>> {
+        if let Some(packed) = self.packed.get(&(layer, kind)) {
+            return Ok(gemm::matmul_f32_prepacked(x, packed, host_threads())?);
+        }
+        // Out-of-range layers / absent projections fall through for the
+        // original diagnostics.
         let w = site_weight(&self.weights, layer, kind)?;
         Ok(gemm::matmul_f32_threaded(x, w, host_threads())?)
     }

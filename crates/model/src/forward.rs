@@ -186,10 +186,11 @@ impl<'a> Transformer<'a> {
             let k = rope_heads(&k, seq, cfg.kv_heads, cfg.head_dim, start_pos)?;
 
             cache.layer_mut(layer)?.append(&k, &v)?;
-            let keys = cache.layer(layer)?.keys_tensor()?;
-            let values = cache.layer(layer)?.values_tensor()?;
+            let layer_kv = cache.layer(layer)?;
+            let keys = layer_kv.keys_tensor()?;
+            let values = layer_kv.values_tensor()?;
 
-            let attn = attention(&q, &keys, &values, &cfg, start_pos)?;
+            let attn = attention(&q, keys, values, &cfg, start_pos)?;
             if let Some(rec) = recorder.as_deref_mut() {
                 rec.entry((layer, LinearKind::O))
                     .or_default()

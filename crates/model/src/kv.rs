@@ -12,30 +12,54 @@ use crate::{Error, Result};
 
 /// Key/value storage for one layer: rows are token positions, columns are
 /// the `kv_dim` feature width.
-#[derive(Debug, Clone, Default)]
+///
+/// Keys and values live in **flat contiguous** `[len, kv_dim]` tensors
+/// that grow in place (amortized, no per-position heap allocation — the
+/// seed held one `Vec` per token position and re-materialized the full
+/// history on every attention call). [`LayerKv::keys_tensor`] /
+/// [`LayerKv::values_tensor`] are zero-copy borrows of that storage.
+#[derive(Debug, Clone)]
 pub struct LayerKv {
-    keys: Vec<Vec<f32>>,
-    values: Vec<Vec<f32>>,
+    keys: Tensor<f32>,
+    values: Tensor<f32>,
+}
+
+impl Default for LayerKv {
+    fn default() -> Self {
+        LayerKv {
+            keys: Tensor::zeros([0, 0]),
+            values: Tensor::zeros([0, 0]),
+        }
+    }
+}
+
+/// Extends a flat `[rows, width]` tensor with `new_rows` more rows.
+fn grow(t: &mut Tensor<f32>, src: &Tensor<f32>, rows: usize, new_rows: usize, width: usize) {
+    let grown = std::mem::replace(t, Tensor::zeros([0, 0]));
+    let mut data = grown.into_vec();
+    data.extend_from_slice(src.as_slice());
+    *t = Tensor::from_vec(data, [rows + new_rows, width]).expect("kv growth arithmetic");
 }
 
 impl LayerKv {
     /// Number of cached positions.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.keys.len()
+        self.keys.matrix_dims().0
     }
 
     /// Whether the cache is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.keys.is_empty()
+        self.len() == 0
     }
 
     /// Appends `rows` new positions from `[rows, kv_dim]` tensors.
     ///
     /// # Errors
     ///
-    /// Returns an error if key/value shapes disagree.
+    /// Returns an error if key/value shapes disagree, or if the feature
+    /// width differs from previously appended positions.
     pub fn append(&mut self, k: &Tensor<f32>, v: &Tensor<f32>) -> Result<()> {
         if k.shape() != v.shape() {
             return Err(Error::Tensor(llmnpu_tensor::Error::ShapeMismatch {
@@ -44,47 +68,54 @@ impl LayerKv {
                 rhs: v.shape().dims().to_vec(),
             }));
         }
-        let (rows, _) = k.matrix_dims();
-        for r in 0..rows {
-            self.keys.push(k.row(r).to_vec());
-            self.values.push(v.row(r).to_vec());
+        let (rows, width) = k.matrix_dims();
+        let (cur, cur_width) = self.keys.matrix_dims();
+        if cur > 0 && width != cur_width {
+            return Err(Error::Tensor(llmnpu_tensor::Error::ShapeMismatch {
+                op: "kv_append",
+                lhs: vec![cur, cur_width],
+                rhs: k.shape().dims().to_vec(),
+            }));
         }
+        grow(&mut self.keys, k, cur, rows, width);
+        grow(&mut self.values, v, cur, rows, width);
         Ok(())
     }
 
-    /// All cached keys as a `[len, kv_dim]` tensor.
+    /// All cached keys as a `[len, kv_dim]` tensor — a zero-copy borrow
+    /// of the flat storage.
     ///
     /// # Errors
     ///
     /// Returns an error only if the cache is empty (no width known).
-    pub fn keys_tensor(&self) -> Result<Tensor<f32>> {
-        stack("kv_keys", &self.keys)
+    pub fn keys_tensor(&self) -> Result<&Tensor<f32>> {
+        check_non_empty("kv_keys", &self.keys)
     }
 
-    /// All cached values as a `[len, kv_dim]` tensor.
+    /// All cached values as a `[len, kv_dim]` tensor — a zero-copy borrow
+    /// of the flat storage.
     ///
     /// # Errors
     ///
     /// Returns an error only if the cache is empty.
-    pub fn values_tensor(&self) -> Result<Tensor<f32>> {
-        stack("kv_values", &self.values)
+    pub fn values_tensor(&self) -> Result<&Tensor<f32>> {
+        check_non_empty("kv_values", &self.values)
+    }
+
+    /// Elements held (keys + values).
+    pub(crate) fn elements(&self) -> usize {
+        self.keys.len() + self.values.len()
     }
 }
 
-fn stack(op: &'static str, rows: &[Vec<f32>]) -> Result<Tensor<f32>> {
-    let n = rows.len();
-    if n == 0 {
+fn check_non_empty<'a>(op: &'static str, t: &'a Tensor<f32>) -> Result<&'a Tensor<f32>> {
+    if t.is_empty() {
         return Err(Error::Tensor(llmnpu_tensor::Error::InvalidDimension {
             op,
             what: "empty kv cache".to_owned(),
         }));
     }
-    let w = rows[0].len();
-    let mut data = Vec::with_capacity(n * w);
-    for r in rows {
-        data.extend_from_slice(r);
-    }
-    Ok(Tensor::from_vec(data, [n, w])?)
+    Ok(t)
 }
 
 /// KV caches for every layer of a model.
@@ -141,12 +172,7 @@ impl KvCache {
     /// Bytes held by the cache assuming `dtype_bytes` per element.
     #[must_use]
     pub fn bytes(&self, dtype_bytes: usize) -> u64 {
-        let mut elems = 0usize;
-        for l in &self.layers {
-            for k in &l.keys {
-                elems += k.len() * 2; // key + value rows are same width
-            }
-        }
+        let elems: usize = self.layers.iter().map(LayerKv::elements).sum();
         (elems * dtype_bytes) as u64
     }
 }
@@ -228,6 +254,18 @@ mod tests {
     fn empty_cache_errors_on_tensor_view() {
         let cache = LayerKv::default();
         assert!(cache.keys_tensor().is_err());
+    }
+
+    #[test]
+    fn inconsistent_widths_across_appends_rejected() {
+        let mut cache = LayerKv::default();
+        let (k, v) = kv_pair(2, 3, 0.0);
+        cache.append(&k, &v).unwrap();
+        let (k2, v2) = kv_pair(2, 4, 0.0);
+        assert!(cache.append(&k2, &v2).is_err());
+        // The failed append must not have corrupted the cache.
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.keys_tensor().unwrap().shape().dims(), &[2, 3]);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! (`gemm::matmul_i8_per_row`), replacing the seed's scalar per-product
 //! dequantization loop.
 
-use llmnpu_tensor::{gemm, Tensor};
+use llmnpu_tensor::{gemm, PackedMatrixI8, Tensor};
 
 use crate::per_tensor::quantize_value;
 use crate::Result;
@@ -26,8 +26,9 @@ pub struct MixedLinear {
     weight_f: Tensor<f32>,
     /// Per-column (output channel) weight scales.
     w_scales: Vec<f32>,
-    /// Quantized weights.
-    weight_q: Tensor<i8>,
+    /// Quantized weights, packed once into the kernel's persistent layout
+    /// (the integer MatMul never sees the row-major payload again).
+    packed: PackedMatrixI8,
     /// Activation magnitude above which a column is treated as an outlier.
     threshold: f32,
 }
@@ -60,7 +61,7 @@ impl MixedLinear {
         MixedLinear {
             weight_f: weight.clone(),
             w_scales,
-            weight_q,
+            packed: PackedMatrixI8::from_tensor(&weight_q),
             threshold,
         }
     }
@@ -129,7 +130,13 @@ impl MixedLinear {
                 };
             }
         }
-        let mut y = gemm::matmul_i8_per_row(&xq, &self.weight_q, &row_scales, &self.w_scales)?;
+        let mut y = gemm::matmul_i8_per_row_prepacked(
+            &xq,
+            &self.packed,
+            &row_scales,
+            &self.w_scales,
+            llmnpu_tensor::kernel::parallel::default_threads(),
+        )?;
 
         // Float part: outlier columns against float weight rows.
         for &c in &outliers {

@@ -72,34 +72,58 @@ impl CompactOutliers {
 /// A channel is extracted when any of its values exceeds the clipping range
 /// `±(QMAX · scale)`. The residual carried to the CPU is `x - clip(x)` so
 /// that `clip(x) ⊙ w + residual ⊙ w = x ⊙ w` exactly on outlier channels.
+///
+/// Detection and residual extraction happen in **one row-major pass**
+/// over `x` (the tensor's storage order): out-of-range values are
+/// recorded as sparse `(row, channel, residual)` hits as they stream by,
+/// then scattered into the compact `[rows, |channels|]` tensor. The seed
+/// walked the row-major storage column-major for detection and then
+/// re-read every row a second time; for in-range values the residual
+/// `v - clamp(v)` is exactly `0.0`, so the sparse scatter reproduces the
+/// dense two-pass output bit-for-bit.
 #[must_use]
 pub fn extract_outliers(x: &Tensor<f32>, scale: f32) -> CompactOutliers {
     let (rows, cols) = x.matrix_dims();
     let limit = QMAX * scale;
-    let mut channels = Vec::new();
-    for c in 0..cols {
-        let mut has_outlier = false;
-        for r in 0..rows {
-            if x.row(r)[c].abs() > limit {
-                has_outlier = true;
-                break;
+    let mut is_outlier = vec![false; cols];
+    let mut hits: Vec<(usize, usize, f32)> = Vec::new();
+    // NaN values don't trigger extraction (`NaN > limit` is false, as in
+    // the seed), but if their channel is extracted anyway, their residual
+    // is `NaN - clamp(NaN) = NaN` and must propagate; they are collected
+    // separately (as the raw NaN — clamping against a possibly-NaN limit
+    // would panic, and `NaN - anything` is NaN regardless) and scattered
+    // only for channels that turn out to be outliers.
+    let mut nan_hits: Vec<(usize, usize, f32)> = Vec::new();
+    for r in 0..rows {
+        for (c, &v) in x.row(r).iter().enumerate() {
+            if v.abs() > limit {
+                is_outlier[c] = true;
+                hits.push((r, c, v - v.clamp(-limit, limit)));
+            } else if v.is_nan() {
+                nan_hits.push((r, c, v));
             }
         }
-        if has_outlier {
-            channels.push(c);
-        }
     }
-    if channels.is_empty() {
+    if hits.is_empty() {
         return CompactOutliers::empty(rows);
     }
+    let channels: Vec<usize> = is_outlier
+        .iter()
+        .enumerate()
+        .filter_map(|(c, &o)| o.then_some(c))
+        .collect();
+    // Channel -> compact column index (only valid for outlier channels).
+    let mut compact_col = vec![0usize; cols];
+    for (j, &c) in channels.iter().enumerate() {
+        compact_col[c] = j;
+    }
     let mut residuals = Tensor::zeros([rows, channels.len()]);
-    for r in 0..rows {
-        let row = x.row(r);
-        let dst = residuals.row_mut(r);
-        for (j, &c) in channels.iter().enumerate() {
-            let v = row[c];
-            let clipped = v.clamp(-limit, limit);
-            dst[j] = v - clipped;
+    for (r, c, resid) in hits {
+        residuals.row_mut(r)[compact_col[c]] = resid;
+    }
+    for (r, c, resid) in nan_hits {
+        if is_outlier[c] {
+            residuals.row_mut(r)[compact_col[c]] = resid;
         }
     }
     CompactOutliers {
@@ -281,9 +305,9 @@ impl ShadowLinear {
         let limit = QMAX * self.act_scale;
         let clipped = x.map(|v| v.clamp(-limit, limit));
         let xq = QuantizedMatrix::quantize_with_scale(&clipped, self.act_scale);
-        let mut y = gemm::matmul_i8_per_channel_threaded(
+        let mut y = gemm::matmul_i8_per_channel_prepacked(
             xq.data(),
-            self.weight.data(),
+            self.weight.packed(),
             self.act_scale,
             self.weight.scales(),
             llmnpu_tensor::kernel::parallel::default_threads(),
@@ -579,6 +603,34 @@ mod tests {
         let out = extract_outliers(&x, 1.0);
         assert!(out.is_empty());
         assert_eq!(out.channel_count(), 0);
+    }
+
+    #[test]
+    fn extract_with_nan_scale_returns_empty() {
+        // A NaN calibration scale means no value compares above the
+        // limit, so nothing is extracted — and nothing panics (the seed
+        // behaved the same way).
+        let x = Tensor::from_vec(vec![f32::NAN, 0.5, 100.0, -3.0], [1, 4]).unwrap();
+        let out = extract_outliers(&x, f32::NAN);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn extract_propagates_nan_in_outlier_channels_only() {
+        // scale 0.01 → limit 1.27. Channel 1 is an outlier (row 0) and
+        // also carries a NaN (row 1): the NaN residual must propagate.
+        // Channel 3 carries a NaN but no over-limit value: NaN alone
+        // does not trigger extraction (NaN > limit is false), matching
+        // the seed's detection behavior.
+        let x = Tensor::from_vec(
+            vec![0.5_f32, 2.0, 0.1, 0.2, 0.3, f32::NAN, 0.1, f32::NAN],
+            [2, 4],
+        )
+        .unwrap();
+        let out = extract_outliers(&x, 0.01);
+        assert_eq!(out.channels, vec![1]);
+        assert!((out.residuals.row(0)[0] - (2.0 - 1.27)).abs() < 1e-6);
+        assert!(out.residuals.row(1)[0].is_nan());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! decomposition (real sub-MatMuls, real float reductions), and reports how
 //! many sub-MatMuls / float adds the NPU would have to schedule.
 
-use llmnpu_tensor::{gemm, Tensor};
+use llmnpu_tensor::{gemm, PackedMatrixI8, Tensor};
 
 use crate::per_tensor::{max_min_scale, quantize_value};
 use crate::{Error, Result};
@@ -110,17 +110,34 @@ pub struct GroupExecStats {
 #[derive(Debug, Clone)]
 pub struct GroupedLinear {
     weight: GroupQuantizedMatrix,
+    /// One persistent kernel layout per weight group (`[group_size, n]`),
+    /// sliced and packed once at construction — the per-call `wg` copy
+    /// the seed made on every forward is gone.
+    group_packed: Vec<PackedMatrixI8>,
 }
 
 impl GroupedLinear {
-    /// Builds a grouped linear layer from float weights `[in, out]`.
+    /// Builds a grouped linear layer from float weights `[in, out]`,
+    /// pre-slicing and pre-packing every weight group.
     ///
     /// # Errors
     ///
     /// Returns [`Error::InvalidGranularity`] if the group size is invalid.
     pub fn new(weight: &Tensor<f32>, group_size: usize) -> Result<Self> {
+        let weight = GroupQuantizedMatrix::quantize(weight, group_size)?;
+        let (_, n) = weight.data.matrix_dims();
+        let gs = weight.group_size;
+        // A group's rows are contiguous in the row-major payload, so each
+        // [gs, n] slice packs directly.
+        let group_packed = weight
+            .data
+            .as_slice()
+            .chunks_exact(gs * n)
+            .map(|group| PackedMatrixI8::pack(group, gs, n))
+            .collect();
         Ok(GroupedLinear {
-            weight: GroupQuantizedMatrix::quantize(weight, group_size)?,
+            weight,
+            group_packed,
         })
     }
 
@@ -159,7 +176,8 @@ impl GroupedLinear {
 
         for g in 0..groups {
             let cols = g * gs..(g + 1) * gs;
-            // Slice the activation group [m, gs].
+            // Slice the activation group [m, gs] (activations change per
+            // call — only the weight side is pre-sliced and pre-packed).
             let mut xg = Tensor::zeros([m, gs]);
             for r in 0..m {
                 let src = &x.row(r)[cols.clone()];
@@ -168,18 +186,19 @@ impl GroupedLinear {
             let a_scale = max_min_scale(xg.as_slice());
             let xq = xg.map(|v| quantize_value(v, a_scale));
 
-            // Slice the weight group [gs, n].
-            let mut wg = Tensor::zeros([gs, n]);
-            for (dst_r, src_r) in cols.clone().enumerate() {
-                wg.row_mut(dst_r)
-                    .copy_from_slice(self.weight.data.row(src_r));
-            }
-
-            // Fused dequantize-and-accumulate epilogue: the group's i32
-            // partial sums fold straight into the float total without
-            // materializing a per-group tensor. Results are identical to
-            // the two-pass `matmul_i8_scaled` + `accumulate` pipeline.
-            gemm::matmul_i8_scaled_into(&mut out, &xq, &wg, a_scale, self.weight.scales[g])?;
+            // Fused dequantize-and-accumulate epilogue against the
+            // group's prepacked weight slice: the i32 partial sums fold
+            // straight into the float total without materializing a
+            // per-group tensor, and no weight bytes are copied or packed
+            // here. Results are identical to the two-pass
+            // `matmul_i8_scaled` + `accumulate` pipeline.
+            gemm::matmul_i8_scaled_into_prepacked(
+                &mut out,
+                &xq,
+                &self.group_packed[g],
+                a_scale,
+                self.weight.scales[g],
+            )?;
             stats.sub_matmuls += 1;
             stats.float_adds += out.len();
         }

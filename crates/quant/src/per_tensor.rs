@@ -6,7 +6,7 @@
 //! symmetry quantization" (§3.3) — and recovers accuracy through shadow
 //! outlier execution rather than finer granularity.
 
-use llmnpu_tensor::{gemm, Tensor};
+use llmnpu_tensor::{gemm, PackedMatrixI8, Tensor};
 
 use crate::Result;
 
@@ -112,10 +112,14 @@ impl QuantizedMatrix {
 pub struct ChannelQuantizedMatrix {
     data: Tensor<i8>,
     scales: Vec<f32>,
+    /// Kernel-ready weight layout, built once here so forward passes
+    /// never repack (llm.npu's fixed prepared-graph weight residency).
+    packed: PackedMatrixI8,
 }
 
 impl ChannelQuantizedMatrix {
-    /// Quantizes a `[k, n]` float matrix with per-column scales.
+    /// Quantizes a `[k, n]` float matrix with per-column scales and packs
+    /// the payload once into the kernel's persistent weight layout.
     #[must_use]
     pub fn quantize(w: &Tensor<f32>) -> Self {
         let (k, n) = w.matrix_dims();
@@ -135,13 +139,24 @@ impl ChannelQuantizedMatrix {
                 dst[c] = quantize_value(src[c], scales[c]);
             }
         }
-        ChannelQuantizedMatrix { data, scales }
+        let packed = PackedMatrixI8::from_tensor(&data);
+        ChannelQuantizedMatrix {
+            data,
+            scales,
+            packed,
+        }
     }
 
     /// The integer payload.
     #[must_use]
     pub fn data(&self) -> &Tensor<i8> {
         &self.data
+    }
+
+    /// The persistent kernel layout (packed once at quantization time).
+    #[must_use]
+    pub fn packed(&self) -> &PackedMatrixI8 {
+        &self.packed
     }
 
     /// Per-output-channel scales.
@@ -173,17 +188,24 @@ impl ChannelQuantizedMatrix {
 #[derive(Debug, Clone)]
 pub struct QuantizedLinear {
     weight: QuantizedMatrix,
+    /// Weight payload packed once at construction into the kernel's
+    /// persistent layout; forward passes never repack.
+    packed: PackedMatrixI8,
     /// Activation scale fixed at calibration time (`s` in Equation 1).
     act_scale: f32,
 }
 
 impl QuantizedLinear {
     /// Builds a quantized linear layer from float weights `[in, out]` and a
-    /// calibrated activation scale.
+    /// calibrated activation scale. The quantized weight is packed into the
+    /// kernel's persistent layout here, exactly once.
     #[must_use]
     pub fn new(weight: &Tensor<f32>, act_scale: f32) -> Self {
+        let weight = QuantizedMatrix::quantize(weight);
+        let packed = PackedMatrixI8::from_tensor(weight.data());
         QuantizedLinear {
-            weight: QuantizedMatrix::quantize(weight),
+            weight,
+            packed,
             act_scale,
         }
     }
@@ -194,6 +216,12 @@ impl QuantizedLinear {
         &self.weight
     }
 
+    /// The persistent kernel layout of the weight.
+    #[must_use]
+    pub fn packed(&self) -> &PackedMatrixI8 {
+        &self.packed
+    }
+
     /// The calibrated activation scale.
     #[must_use]
     pub fn act_scale(&self) -> f32 {
@@ -201,17 +229,18 @@ impl QuantizedLinear {
     }
 
     /// Runs the W8A8 forward pass: quantize `x`, then one blocked integer
-    /// MatMul with the dequantization fused into the kernel epilogue
-    /// (the `MatMul → Dequantize` pair of Figure 5 in a single pass).
+    /// MatMul against the prepacked weight with the dequantization fused
+    /// into the kernel epilogue (the `MatMul → Dequantize` pair of
+    /// Figure 5 in a single pass). No weight packing happens here.
     ///
     /// # Errors
     ///
     /// Returns an error if `x`'s inner dimension does not match the weight.
     pub fn forward(&self, x: &Tensor<f32>) -> Result<Tensor<f32>> {
         let xq = QuantizedMatrix::quantize_with_scale(x, self.act_scale);
-        let y = gemm::matmul_i8_scaled_threaded(
+        let y = gemm::matmul_i8_scaled_prepacked(
             xq.data(),
-            self.weight.data(),
+            &self.packed,
             self.act_scale,
             self.weight.scale(),
             llmnpu_tensor::kernel::parallel::default_threads(),

@@ -9,7 +9,7 @@
 //! calibration profile still get clipped. The implementation below
 //! reproduces that behaviour with real arithmetic.
 
-use llmnpu_tensor::{gemm, Tensor};
+use llmnpu_tensor::{gemm, PackedMatrixI8, Tensor};
 
 use crate::per_tensor::{max_min_scale, quantize_value, QuantizedMatrix};
 use crate::{Error, Result};
@@ -66,6 +66,9 @@ pub fn channel_abs_max(x: &Tensor<f32>) -> Vec<f32> {
 #[derive(Debug, Clone)]
 pub struct SmoothedLinear {
     weight: QuantizedMatrix,
+    /// Smoothed, quantized weight packed once into the kernel's
+    /// persistent layout at construction time.
+    packed: PackedMatrixI8,
     /// Per-input-channel division factors applied to activations.
     factors: Vec<f32>,
     /// Static activation scale calibrated on *smoothed* activations.
@@ -115,8 +118,11 @@ impl SmoothedLinear {
         smooth_activations_inplace(&mut smoothed_cal, &factors);
         let act_scale = max_min_scale(smoothed_cal.as_slice());
 
+        let weight = QuantizedMatrix::quantize(&smoothed_w);
+        let packed = PackedMatrixI8::from_tensor(weight.data());
         Ok(SmoothedLinear {
-            weight: QuantizedMatrix::quantize(&smoothed_w),
+            weight,
+            packed,
             factors,
             act_scale,
         })
@@ -152,9 +158,9 @@ impl SmoothedLinear {
         let mut xs = x.clone();
         smooth_activations_inplace(&mut xs, &self.factors);
         let xq = xs.map(|v| quantize_value(v, self.act_scale));
-        Ok(gemm::matmul_i8_scaled_threaded(
+        Ok(gemm::matmul_i8_scaled_prepacked(
             &xq,
-            self.weight.data(),
+            &self.packed,
             self.act_scale,
             self.weight.scale(),
             llmnpu_tensor::kernel::parallel::default_threads(),

@@ -163,3 +163,106 @@ proptest! {
         prop_assert_eq!(cols, vec![col]);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Zero-repack invariant: after construction, no linear layer's forward
+// pass performs any B-operand (weight) packing. The counter is
+// thread-local and the kernels pack B on the calling thread, so this
+// observes exactly the packing done by the calls below.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn forward_passes_never_repack_weights() {
+    use llmnpu_quant::per_group::GroupedLinear;
+    use llmnpu_quant::per_tensor::QuantizedLinear;
+    use llmnpu_quant::smooth::SmoothedLinear;
+    use llmnpu_tensor::kernel::pack::pack_b_calls;
+
+    let w = Tensor::from_vec(
+        (0..64 * 48)
+            .map(|i| (((i * 31 + 7) % 101) as f32 / 101.0 - 0.5) * 0.8)
+            .collect::<Vec<f32>>(),
+        [64, 48],
+    )
+    .unwrap();
+    let cal = Tensor::from_vec(
+        (0..2 * 64)
+            .map(|i| ((i % 13) as f32 - 6.0) / 6.0)
+            .collect::<Vec<f32>>(),
+        [2, 64],
+    )
+    .unwrap();
+    let scale = max_min_scale(cal.as_slice());
+
+    // Construction is allowed (and expected) to pack, exactly once per
+    // weight slab set.
+    let per_tensor = QuantizedLinear::new(&w, scale);
+    let shadow = ShadowLinear::new(&w, scale);
+    let grouped = GroupedLinear::new(&w, 16).unwrap();
+    let mixed = MixedLinear::new(&w, 6.0);
+    let smoothed = SmoothedLinear::new(&w, &cal, 0.5).unwrap();
+
+    // Decode-shaped (m = 1) and prefill-shaped (m = 8) activations: both
+    // the GEMV and the tiled prepacked paths must stay pack-free.
+    for rows in [1usize, 8] {
+        let x = Tensor::from_vec(
+            (0..rows * 64)
+                .map(|i| ((i % 17) as f32 - 8.0) / 9.0)
+                .collect::<Vec<f32>>(),
+            [rows, 64],
+        )
+        .unwrap();
+        let before = pack_b_calls();
+        per_tensor.forward(&x).unwrap();
+        shadow.forward(&x).unwrap();
+        grouped.forward(&x).unwrap();
+        mixed.forward(&x).unwrap();
+        smoothed.forward(&x).unwrap();
+        assert_eq!(
+            pack_b_calls(),
+            before,
+            "a forward pass packed weights (rows = {rows})"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prepacked forwards reproduce the per-call-packing pipelines bit-for-bit.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn prepacked_forwards_bit_match_per_call_drivers() {
+    use llmnpu_quant::per_tensor::QuantizedLinear;
+    use llmnpu_tensor::gemm;
+
+    let w = Tensor::from_vec(
+        (0..40 * 24)
+            .map(|i| (((i * 13 + 5) % 89) as f32 / 89.0 - 0.5) * 0.6)
+            .collect::<Vec<f32>>(),
+        [40, 24],
+    )
+    .unwrap();
+    for rows in [1usize, 2, 7] {
+        let x = Tensor::from_vec(
+            (0..rows * 40)
+                .map(|i| ((i % 19) as f32 - 9.0) / 10.0)
+                .collect::<Vec<f32>>(),
+            [rows, 40],
+        )
+        .unwrap();
+        let scale = max_min_scale(x.as_slice());
+        let layer = QuantizedLinear::new(&w, scale);
+        let y = layer.forward(&x).unwrap();
+        // The per-call-packing pipeline on the same quantized operands.
+        let xq = QuantizedMatrix::quantize_with_scale(&x, scale);
+        let want = gemm::matmul_i8_scaled_threaded(
+            xq.data(),
+            layer.weight().data(),
+            scale,
+            layer.weight().scale(),
+            llmnpu_tensor::kernel::parallel::default_threads(),
+        )
+        .unwrap();
+        assert_eq!(y.as_slice(), want.as_slice(), "rows = {rows}");
+    }
+}

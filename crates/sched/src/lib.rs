@@ -12,7 +12,7 @@
 //! * [`Policy::OutOfOrder`] — llm.npu's online heuristic (Figure 13b):
 //!   any input-ready subgraph may run, chosen by the C-value of
 //!   Equation 5 (prioritize work that most reduces NPU stalls),
-//! * [`Policy::Optimal`] — exhaustive search over dispatch orders, viable
+//! * [`optimal_makespan`] — exhaustive search over dispatch orders, viable
 //!   only for small DAGs, used to validate that the heuristic is close to
 //!   optimal (the scheduling problem itself is NP-hard, §3.4).
 //!
@@ -28,7 +28,7 @@ mod optimal;
 
 pub use error::Error;
 pub use exec::{schedule, ScheduleOutcome};
-pub use optimal::optimal_makespan;
+pub use optimal::{optimal_makespan, OPTIMAL_LIMIT};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, Error>;

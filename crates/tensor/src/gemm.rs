@@ -23,6 +23,7 @@
 //! folded into rows), matching how linear layers consume `[batch, seq,
 //! hid]` activations.
 
+use crate::kernel::pack::{PackedMatrixF32, PackedMatrixI8};
 use crate::kernel::{self, Epilogue};
 use crate::{Error, Result, Tensor};
 
@@ -394,6 +395,203 @@ pub fn matmul_i8_per_row(
             w_scales,
         },
         1,
+    );
+    Ok(out)
+}
+
+/// `C = A × B` over `f32` against a weight matrix packed **once** in a
+/// [`PackedMatrixF32`] (see `kernel::pack`): the per-call weight packing
+/// of [`matmul_f32_threaded`] disappears, and `m ≤ 2` decode inputs run
+/// the N-partitioned transposed-layout GEMV. Bit-identical to
+/// [`matmul_f32`] for any thread count.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] if `a`'s inner dimension differs
+/// from the packed matrix's `k`.
+pub fn matmul_f32_prepacked(
+    a: &Tensor<f32>,
+    b: &PackedMatrixF32,
+    threads: usize,
+) -> Result<Tensor<f32>> {
+    let (m, k) = a.matrix_dims();
+    check_matmul("matmul_f32", (m, k), (b.k(), b.n()))?;
+    let mut out = Tensor::zeros([m, b.n()]);
+    kernel::gemm_f32_prepacked(
+        m,
+        a.as_slice(),
+        b,
+        out.as_mut_slice(),
+        kernel::parallel::effective_threads(threads),
+    );
+    Ok(out)
+}
+
+/// [`matmul_i8`] against a weight matrix packed **once** in a
+/// [`PackedMatrixI8`]; bit-exact vs [`matmul_i8_reference`], zero
+/// per-call weight packing.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] if `a`'s inner dimension differs
+/// from the packed matrix's `k`.
+pub fn matmul_i8_prepacked(
+    a: &Tensor<i8>,
+    b: &PackedMatrixI8,
+    threads: usize,
+) -> Result<Tensor<i32>> {
+    let (m, k) = a.matrix_dims();
+    check_matmul("matmul_i8", (m, k), (b.k(), b.n()))?;
+    let mut out = Tensor::zeros([m, b.n()]);
+    kernel::gemm_i8_prepacked(
+        m,
+        a.as_slice(),
+        b,
+        out.as_mut_slice(),
+        kernel::parallel::effective_threads(threads),
+    );
+    Ok(out)
+}
+
+/// [`matmul_i8_scaled`] against a prepacked weight matrix: one fused
+/// `MatMul → Dequantize` pass, zero per-call weight packing, bit-identical
+/// outputs.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] if `a`'s inner dimension differs
+/// from the packed matrix's `k`.
+pub fn matmul_i8_scaled_prepacked(
+    a: &Tensor<i8>,
+    b: &PackedMatrixI8,
+    a_scale: f32,
+    w_scale: f32,
+    threads: usize,
+) -> Result<Tensor<f32>> {
+    let (m, k) = a.matrix_dims();
+    check_matmul("matmul_i8", (m, k), (b.k(), b.n()))?;
+    let mut out = Tensor::zeros([m, b.n()]);
+    kernel::gemm_i8_fused_prepacked(
+        m,
+        a.as_slice(),
+        b,
+        out.as_mut_slice(),
+        Epilogue::PerTensor {
+            scale: a_scale * w_scale,
+        },
+        kernel::parallel::effective_threads(threads),
+    );
+    Ok(out)
+}
+
+/// [`matmul_i8_scaled_into`] against a prepacked weight matrix (the
+/// grouped-quantization reduction without per-call weight packing).
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] if the inner dimensions disagree or
+/// `out` has the wrong shape.
+pub fn matmul_i8_scaled_into_prepacked(
+    out: &mut Tensor<f32>,
+    a: &Tensor<i8>,
+    b: &PackedMatrixI8,
+    a_scale: f32,
+    w_scale: f32,
+) -> Result<()> {
+    let (m, k) = a.matrix_dims();
+    check_matmul("matmul_i8", (m, k), (b.k(), b.n()))?;
+    if out.matrix_dims() != (m, b.n()) {
+        return Err(Error::ShapeMismatch {
+            op: "matmul_i8_scaled_into",
+            lhs: vec![m, b.n()],
+            rhs: out.shape().dims().to_vec(),
+        });
+    }
+    kernel::gemm_i8_fused_prepacked(
+        m,
+        a.as_slice(),
+        b,
+        out.as_mut_slice(),
+        Epilogue::PerTensorAcc {
+            scale: a_scale * w_scale,
+        },
+        1,
+    );
+    Ok(())
+}
+
+/// [`matmul_i8_per_channel`] against a prepacked weight matrix.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] if the inner dimensions disagree, or
+/// [`Error::InvalidDimension`] if `w_scales.len()` differs from the
+/// output column count.
+pub fn matmul_i8_per_channel_prepacked(
+    a: &Tensor<i8>,
+    b: &PackedMatrixI8,
+    a_scale: f32,
+    w_scales: &[f32],
+    threads: usize,
+) -> Result<Tensor<f32>> {
+    let (m, k) = a.matrix_dims();
+    check_matmul("matmul_i8", (m, k), (b.k(), b.n()))?;
+    if w_scales.len() != b.n() {
+        return Err(Error::InvalidDimension {
+            op: "matmul_i8_per_channel",
+            what: format!("expected {} weight scales, got {}", b.n(), w_scales.len()),
+        });
+    }
+    let mut out = Tensor::zeros([m, b.n()]);
+    kernel::gemm_i8_fused_prepacked(
+        m,
+        a.as_slice(),
+        b,
+        out.as_mut_slice(),
+        Epilogue::PerChannel { a_scale, w_scales },
+        kernel::parallel::effective_threads(threads),
+    );
+    Ok(out)
+}
+
+/// [`matmul_i8_per_row`] against a prepacked weight matrix.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] if the inner dimensions disagree, or
+/// [`Error::InvalidDimension`] if a scale vector has the wrong length.
+pub fn matmul_i8_per_row_prepacked(
+    a: &Tensor<i8>,
+    b: &PackedMatrixI8,
+    row_scales: &[f32],
+    w_scales: &[f32],
+    threads: usize,
+) -> Result<Tensor<f32>> {
+    let (m, k) = a.matrix_dims();
+    check_matmul("matmul_i8", (m, k), (b.k(), b.n()))?;
+    if w_scales.len() != b.n() {
+        return Err(Error::InvalidDimension {
+            op: "matmul_i8_per_row",
+            what: format!("expected {} weight scales, got {}", b.n(), w_scales.len()),
+        });
+    }
+    if row_scales.len() != m {
+        return Err(Error::InvalidDimension {
+            op: "matmul_i8_per_row",
+            what: format!("expected {m} row scales, got {}", row_scales.len()),
+        });
+    }
+    let mut out = Tensor::zeros([m, b.n()]);
+    kernel::gemm_i8_fused_prepacked(
+        m,
+        a.as_slice(),
+        b,
+        out.as_mut_slice(),
+        Epilogue::PerRow {
+            row_scales,
+            w_scales,
+        },
+        kernel::parallel::effective_threads(threads),
     );
     Ok(out)
 }

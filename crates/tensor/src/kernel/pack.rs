@@ -16,8 +16,46 @@
 //! padded lanes. Integer operands are widened to `i16` during packing so
 //! the microkernel multiplies without per-element conversions (every
 //! `i8` value is exactly representable in `i16`, so this loses nothing).
+//!
+//! # Persistent packing: [`PackedMatrixF32`] / [`PackedMatrixI8`]
+//!
+//! The per-call packers above copy a B block on **every** driver
+//! invocation. For weights — which never change between forward passes —
+//! that work can be done exactly once: a `PackedMatrix` owns the complete
+//! panel-ordered slab sequence the blocked driver would otherwise rebuild
+//! per call (keyed by the driver's `KC`/`NC` blocking so the slab contents
+//! are byte-identical to the per-call path), plus a transposed copy of B
+//! for the decode GEMV, whose per-output-column dot products want the K
+//! dimension contiguous. The `*_prepacked` drivers in [`super`] consume
+//! these and never touch the per-call packers.
+//!
+//! For observability (and the "weights pack once" regression tests), every
+//! B-side pack — per-call or constructor — bumps a thread-local counter
+//! readable via [`pack_b_calls`]. A-side (activation) packing is
+//! intentionally not counted: activations change every call, so packing
+//! them per call is correct.
+
+use std::cell::Cell;
 
 use super::microkernel::{MR, NR};
+use super::{KC, NC};
+
+thread_local! {
+    /// B-operand pack invocations on this thread (weights-side packing).
+    static PACK_B_CALLS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of B-operand pack operations performed by this thread so far
+/// (both the per-call packers and `PackedMatrix` constructors count).
+///
+/// The counter is thread-local so concurrent tests cannot perturb each
+/// other; the blocked drivers pack B on the calling thread, so a
+/// snapshot-before / snapshot-after pair around a forward pass observes
+/// exactly that pass's weight packing.
+#[must_use]
+pub fn pack_b_calls() -> u64 {
+    PACK_B_CALLS.with(Cell::get)
+}
 
 /// Packs an `mc × kc` block of `a` (row-major, leading dimension `lda`)
 /// starting at (`row0`, `col0`) into `MR`-row panels.
@@ -122,6 +160,7 @@ fn pack_b_with<TI: Copy, TO: Copy + Default>(
     widen: impl Fn(TI) -> TO,
     out: &mut Vec<TO>,
 ) {
+    PACK_B_CALLS.with(|c| c.set(c.get() + 1));
     out.clear();
     let panels = nc.div_ceil(NR);
     out.reserve(panels * kc * NR);
@@ -133,6 +172,164 @@ fn pack_b_with<TI: Copy, TO: Copy + Default>(
             out.extend(b[base..base + cols].iter().map(|&x| widen(x)));
             out.extend(std::iter::repeat_n(TO::default(), NR - cols));
         }
+    }
+}
+
+/// Transposes a row-major `k × n` matrix into a dense `n × k` buffer
+/// (each output column of the product becomes one contiguous run).
+fn transpose<T: Copy + Default>(b: &[T], k: usize, n: usize) -> Vec<T> {
+    let mut bt = vec![T::default(); n * k];
+    for p in 0..k {
+        let row = &b[p * n..(p + 1) * n];
+        for (j, &v) in row.iter().enumerate() {
+            bt[j * k + p] = v;
+        }
+    }
+    bt
+}
+
+/// A `k × n` f32 right-hand operand packed **once** for repeated use.
+///
+/// Holds the exact `KC × NC` slab sequence `super::gemm_f32` would build
+/// per call — same blocking, same panel order, same zero padding, so the
+/// prepacked driver is bit-identical to the per-call path. The decode
+/// GEMV reads these same slabs (each `NR`-column panel already gives the
+/// K loop unit-stride, SIMD-width column access, so a separate
+/// transposed copy would add memory without adding speed — unlike the
+/// integer case, where the panels are i16-widened and a 1-byte
+/// transposed copy halves decode traffic). Built once at weight
+/// load/quantization time; `forward()`-style callers then never pack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedMatrixF32 {
+    k: usize,
+    n: usize,
+    /// Per-`(p0, j0)` block slabs in the driver's traversal order
+    /// (`p0` outer, `j0` inner).
+    slabs: Vec<Vec<f32>>,
+}
+
+impl PackedMatrixF32 {
+    /// Packs a row-major `k × n` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != k * n`.
+    #[must_use]
+    pub fn pack(b: &[f32], k: usize, n: usize) -> Self {
+        assert_eq!(b.len(), k * n, "rhs shape mismatch");
+        let mut slabs = Vec::new();
+        let mut p0 = 0;
+        while p0 < k {
+            let kc = KC.min(k - p0);
+            let mut j0 = 0;
+            while j0 < n {
+                let nc = NC.min(n - j0);
+                let mut slab = Vec::new();
+                pack_b_f32(b, n, p0, j0, kc, nc, &mut slab);
+                slabs.push(slab);
+                j0 += nc;
+            }
+            p0 += kc;
+        }
+        PackedMatrixF32 { k, n, slabs }
+    }
+
+    /// Packs the matrix view of a tensor.
+    #[must_use]
+    pub fn from_tensor(b: &crate::Tensor<f32>) -> Self {
+        let (k, n) = b.matrix_dims();
+        Self::pack(b.as_slice(), k, n)
+    }
+
+    /// Reduction-dimension length (`k`).
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output-column count (`n`).
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Slab `idx` in `(p0 outer, j0 inner)` traversal order.
+    pub(crate) fn slab(&self, idx: usize) -> &[f32] {
+        &self.slabs[idx]
+    }
+}
+
+/// A `k × n` i8 right-hand operand packed **once** for repeated use.
+///
+/// Holds the full-K, i16-widened `NC`-column slab sequence
+/// `super::gemm_i8` would build per call (the integer path never blocks
+/// K — see the [`super`] docs), plus a transposed (`n × k`) `i8` copy for
+/// the decode GEMV. The transposed layout stays 1 byte per element
+/// because decode is memory-bound: the GEMV widens in registers, unlike
+/// the microkernel, which wants its operands pre-widened.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedMatrixI8 {
+    k: usize,
+    n: usize,
+    /// Per-`j0` block slabs (full K, widened to `i16`), in `j0` order.
+    slabs: Vec<Vec<i16>>,
+    /// Transposed `n × k` copy for the column-partitioned GEMV.
+    bt: Vec<i8>,
+}
+
+impl PackedMatrixI8 {
+    /// Packs a row-major `k × n` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != k * n`.
+    #[must_use]
+    pub fn pack(b: &[i8], k: usize, n: usize) -> Self {
+        assert_eq!(b.len(), k * n, "rhs shape mismatch");
+        let mut slabs = Vec::new();
+        let mut j0 = 0;
+        while j0 < n {
+            let nc = NC.min(n - j0);
+            let mut slab = Vec::new();
+            pack_b_i8(b, n, 0, j0, k, nc, &mut slab);
+            slabs.push(slab);
+            j0 += nc;
+        }
+        PackedMatrixI8 {
+            k,
+            n,
+            slabs,
+            bt: transpose(b, k, n),
+        }
+    }
+
+    /// Packs the matrix view of a tensor.
+    #[must_use]
+    pub fn from_tensor(b: &crate::Tensor<i8>) -> Self {
+        let (k, n) = b.matrix_dims();
+        Self::pack(b.as_slice(), k, n)
+    }
+
+    /// Reduction-dimension length (`k`).
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output-column count (`n`).
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Slab for the `idx`-th `NC`-column block.
+    pub(crate) fn slab(&self, idx: usize) -> &[i16] {
+        &self.slabs[idx]
+    }
+
+    /// The transposed `n × k` decode layout.
+    pub(crate) fn bt(&self) -> &[i8] {
+        &self.bt
     }
 }
 
@@ -174,5 +371,89 @@ mod tests {
         assert_eq!(out[0], -128i16);
         assert_eq!(out[1], -1i16);
         assert_eq!(out[MR], 127i16);
+    }
+
+    #[test]
+    fn pack_buffer_reuse_across_shrinking_slabs_leaves_no_stale_data() {
+        // Regression guard: packing a *smaller* block into a buffer that
+        // previously held a larger one must produce exactly what a fresh
+        // buffer would — same length, same contents, no stale tail.
+        let a: Vec<f32> = (0..64 * 64).map(|x| x as f32).collect();
+        let mut reused = Vec::new();
+        pack_a_f32(&a, 64, 0, 0, 40, 60, &mut reused); // large first
+        pack_a_f32(&a, 64, 3, 5, 7, 9, &mut reused); // then small
+        let mut fresh = Vec::new();
+        pack_a_f32(&a, 64, 3, 5, 7, 9, &mut fresh);
+        assert_eq!(reused, fresh);
+
+        let mut reused_b = Vec::new();
+        pack_b_f32(&a, 64, 0, 0, 60, 40, &mut reused_b);
+        pack_b_f32(&a, 64, 2, 1, 5, 11, &mut reused_b);
+        let mut fresh_b = Vec::new();
+        pack_b_f32(&a, 64, 2, 1, 5, 11, &mut fresh_b);
+        assert_eq!(reused_b, fresh_b);
+
+        let ai: Vec<i8> = (0..32 * 32).map(|x| (x % 251) as i8).collect();
+        let mut reused_i = Vec::new();
+        pack_b_i8(&ai, 32, 0, 0, 30, 30, &mut reused_i);
+        pack_b_i8(&ai, 32, 1, 2, 3, 4, &mut reused_i);
+        let mut fresh_i = Vec::new();
+        pack_b_i8(&ai, 32, 1, 2, 3, 4, &mut fresh_i);
+        assert_eq!(reused_i, fresh_i);
+
+        let mut reused_ai = Vec::new();
+        pack_a_i8(&ai, 32, 0, 0, 30, 30, &mut reused_ai);
+        pack_a_i8(&ai, 32, 4, 1, 2, 6, &mut reused_ai);
+        let mut fresh_ai = Vec::new();
+        pack_a_i8(&ai, 32, 4, 1, 2, 6, &mut fresh_ai);
+        assert_eq!(reused_ai, fresh_ai);
+    }
+
+    #[test]
+    fn packed_matrix_slabs_match_per_call_packing() {
+        // Ragged in both K and N relative to KC/NC and NR.
+        let k = KC + 37;
+        let n = NC + 21;
+        let b: Vec<f32> = (0..k * n).map(|x| ((x * 7 + 3) % 101) as f32).collect();
+        let pm = PackedMatrixF32::pack(&b, k, n);
+        assert_eq!(pm.k(), k);
+        assert_eq!(pm.n(), n);
+        // Slab order: p0 outer, j0 inner.
+        let mut idx = 0;
+        let mut want = Vec::new();
+        for p0 in [0, KC] {
+            let kc = KC.min(k - p0);
+            for j0 in [0, NC] {
+                let nc = NC.min(n - j0);
+                pack_b_f32(&b, n, p0, j0, kc, nc, &mut want);
+                assert_eq!(pm.slab(idx), &want[..], "slab {idx}");
+                idx += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn packed_i8_slabs_are_full_k_and_widened() {
+        let k = 5;
+        let n = NR + 3; // one ragged panel
+        let b: Vec<i8> = (0..k * n).map(|x| ((x * 11 + 1) % 255) as i8).collect();
+        let pm = PackedMatrixI8::pack(&b, k, n);
+        let mut want = Vec::new();
+        pack_b_i8(&b, n, 0, 0, k, n, &mut want);
+        assert_eq!(pm.slab(0), &want[..]);
+        assert_eq!(pm.bt()[2 * k], b[2]); // column 2, p = 0
+    }
+
+    #[test]
+    fn pack_b_counter_counts_b_side_packs_only() {
+        let before = pack_b_calls();
+        let b: Vec<f32> = vec![1.0; 12];
+        let mut out = Vec::new();
+        pack_b_f32(&b, 4, 0, 0, 3, 4, &mut out);
+        let mut a_out = Vec::new();
+        pack_a_f32(&b, 4, 0, 0, 3, 3, &mut a_out);
+        assert_eq!(pack_b_calls(), before + 1);
+        let _pm = PackedMatrixF32::pack(&b, 3, 4);
+        assert_eq!(pack_b_calls(), before + 2);
     }
 }

@@ -92,6 +92,78 @@ where
     });
 }
 
+/// Runs `work` over contiguous *column* bands of `c` (a `rows × cols`
+/// row-major buffer), on `threads` scoped workers.
+///
+/// This is the GEMV-side counterpart of [`run_row_partitioned`]: decode
+/// shapes have `rows ≤ 2`, so partitioning rows cannot use more than two
+/// workers — partitioning the output columns can. Band boundaries are
+/// rounded up to multiples of `align` (pass 1 for no alignment; the
+/// panel-walking f32 GEMV passes the panel width so no panel straddles
+/// two workers). `work(row, col0, band_cols, band)` receives a disjoint
+/// mutable slice of row `row` covering columns `col0 .. col0 +
+/// band_cols`; each worker processes its column band across every row,
+/// so one spawn/join cycle covers the whole call. With `threads <= 1`
+/// (or a single band) the closure runs inline.
+///
+/// # Panics
+///
+/// Panics if `c.len() != rows * cols` or if a worker panics.
+pub fn run_col_partitioned<T, F>(
+    threads: usize,
+    rows: usize,
+    cols: usize,
+    align: usize,
+    c: &mut [T],
+    work: F,
+) where
+    T: Send,
+    F: Fn(usize, usize, usize, &mut [T]) + Sync,
+{
+    assert_eq!(c.len(), rows * cols, "output buffer shape mismatch");
+    if rows == 0 || cols == 0 {
+        return;
+    }
+    let align = align.max(1);
+    let bands: Vec<(usize, usize)> = row_bands(cols.div_ceil(align), threads)
+        .into_iter()
+        .map(|(u0, units)| {
+            let col0 = u0 * align;
+            (col0, (units * align).min(cols - col0))
+        })
+        .collect();
+    if bands.len() <= 1 || threads <= 1 {
+        for (row, row_slice) in c.chunks_exact_mut(cols).enumerate() {
+            work(row, 0, cols, row_slice);
+        }
+        return;
+    }
+    // Hand worker i its column band of *every* row: the per-(row, band)
+    // slices are carved out up front so a single scope pays one
+    // spawn/join cycle for the whole call.
+    let mut groups: Vec<Vec<(usize, &mut [T])>> =
+        bands.iter().map(|_| Vec::with_capacity(rows)).collect();
+    let mut rest = c;
+    for row in 0..rows {
+        for (group, &(_, band_cols)) in groups.iter_mut().zip(&bands) {
+            let (band, tail) = rest.split_at_mut(band_cols);
+            rest = tail;
+            group.push((row, band));
+        }
+    }
+    std::thread::scope(|scope| {
+        for (group, &(col0, _)) in groups.into_iter().zip(&bands) {
+            let work = &work;
+            scope.spawn(move || {
+                for (row, band) in group {
+                    let band_cols = band.len();
+                    work(row, col0, band_cols, band);
+                }
+            });
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,5 +210,43 @@ mod tests {
     fn zero_rows_is_a_noop() {
         let mut c: Vec<f32> = Vec::new();
         run_row_partitioned(4, 0, 5, &mut c, |_, _, _| panic!("no work expected"));
+    }
+
+    #[test]
+    fn col_partitioned_run_touches_every_cell_once() {
+        for (rows, cols, align) in [
+            (2usize, 13usize, 1usize),
+            (1, 40, 16),
+            (2, 33, 16),
+            (3, 7, 4),
+        ] {
+            for threads in [1usize, 2, 4, 8] {
+                let mut c = vec![0u32; rows * cols];
+                run_col_partitioned(
+                    threads,
+                    rows,
+                    cols,
+                    align,
+                    &mut c,
+                    |row, col0, band_cols, band| {
+                        assert!(band_cols > 0);
+                        assert_eq!(col0 % align, 0, "band start must be aligned");
+                        for (j, x) in band.iter_mut().enumerate() {
+                            *x += (row * cols + col0 + j) as u32 + 1;
+                        }
+                    },
+                );
+                for (i, &x) in c.iter().enumerate() {
+                    assert_eq!(x, i as u32 + 1, "threads {threads} align {align}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn col_partitioned_empty_dims_are_noops() {
+        let mut c: Vec<f32> = Vec::new();
+        run_col_partitioned(4, 0, 5, 1, &mut c, |_, _, _, _| panic!("no work expected"));
+        run_col_partitioned(4, 3, 0, 1, &mut c, |_, _, _, _| panic!("no work expected"));
     }
 }

@@ -8,7 +8,9 @@
 //! * [`gemm`] — floating-point and integer (`i8 × i8 → i32`) matrix multiply,
 //!   including fused `MatMul → Dequantize` variants,
 //! * [`kernel`] — the blocked, packed, register-tiled, multi-threaded GEMM
-//!   subsystem the `gemm` wrappers execute on,
+//!   subsystem the `gemm` wrappers execute on, including persistent
+//!   [`PackedMatrixF32`]/[`PackedMatrixI8`] weight layouts and
+//!   `*_prepacked` drivers that never repack weights per call,
 //! * [`norm`] — LayerNorm and RMSNorm,
 //! * [`ops`] — softmax, SiLU/GELU, elementwise arithmetic, causal masking,
 //! * [`rope`] — rotary position embeddings.
@@ -54,6 +56,7 @@ pub mod ops;
 pub mod rope;
 
 pub use error::Error;
+pub use kernel::pack::{PackedMatrixF32, PackedMatrixI8};
 pub use shape::Shape;
 pub use tensor::Tensor;
 

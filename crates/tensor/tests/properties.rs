@@ -306,3 +306,115 @@ proptest! {
         prop_assert_eq!(ci.as_slice(), reference.as_slice());
     }
 }
+
+// ---------------------------------------------------------------------------
+// Prepacked (pack-once) drivers vs. the per-call-packing drivers.
+//
+// The PackedMatrix layouts must be bit-invisible: same slab bytes for the
+// tiled path, same per-element operation sequence for the decode GEMV.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The prepacked f32 driver is bit-identical to the per-call-packing
+    /// driver across ragged shapes — including the m ≤ 2 decode GEMV,
+    /// which switches to the transposed layout — for any thread count.
+    #[test]
+    fn prepacked_f32_bit_matches_per_call(
+        m in prop::sample::select(vec![1usize, 2, 3, 8, 9, 17]),
+        k in prop::sample::select(vec![1usize, 5, 31, 129, 300, 513, 600]),
+        n in prop::sample::select(vec![1usize, 2, 15, 17, 33, 40]),
+        threads in 1usize..6,
+    ) {
+        let a_data: Vec<f32> = (0..m * k)
+            .map(|i| (((i * 37 + 11) % 127) as f32 / 127.0 - 0.5) * 2.0)
+            .collect();
+        let b_data: Vec<f32> = (0..k * n)
+            .map(|i| (((i * 29 + 7) % 113) as f32 / 113.0 - 0.5) * 2.0)
+            .collect();
+        let a = Tensor::from_vec(a_data, [m, k]).unwrap();
+        let b = Tensor::from_vec(b_data, [k, n]).unwrap();
+        let per_call = gemm::matmul_f32_threaded(&a, &b, threads).unwrap();
+        let packed = llmnpu_tensor::PackedMatrixF32::from_tensor(&b);
+        let prepacked = gemm::matmul_f32_prepacked(&a, &packed, threads).unwrap();
+        prop_assert_eq!(per_call.as_slice(), prepacked.as_slice());
+
+        // Drive the uncapped slice-level driver too: on a small CI host
+        // the wrappers clamp to 1 core, so only this path actually
+        // exercises multi-band column partitioning.
+        let mut c_driver = vec![0.0f32; m * n];
+        kernel::gemm_f32_prepacked(m, a.as_slice(), &packed, &mut c_driver, threads);
+        prop_assert_eq!(per_call.as_slice(), &c_driver[..]);
+    }
+
+    /// The prepacked i8 drivers (plain and fused-dequant) are bit-exact
+    /// vs the scalar reference and bit-identical to the per-call drivers
+    /// across ragged shapes and thread counts. This pins the acceptance
+    /// property: i8 prepacked == reference, f32 dequant outputs identical
+    /// between packed-per-call and prepacked.
+    #[test]
+    fn prepacked_i8_bit_exact_and_fused_matches(
+        m in prop::sample::select(vec![1usize, 2, 3, 9, 13]),
+        k in prop::sample::select(vec![1usize, 7, 40, 129, 513]),
+        n in prop::sample::select(vec![1usize, 2, 16, 17, 33]),
+        threads in 1usize..6,
+        a_scale in 0.001f32..0.5,
+        w_scale in 0.001f32..0.5,
+    ) {
+        let a_data: Vec<i8> = (0..m * k)
+            .map(|i| (((i * 61 + 13) % 255) as i32 - 127) as i8)
+            .collect();
+        let b_data: Vec<i8> = (0..k * n)
+            .map(|i| (((i * 43 + 5) % 255) as i32 - 127) as i8)
+            .collect();
+        let a = Tensor::from_vec(a_data, [m, k]).unwrap();
+        let b = Tensor::from_vec(b_data, [k, n]).unwrap();
+        let packed = llmnpu_tensor::PackedMatrixI8::from_tensor(&b);
+
+        let reference = gemm::matmul_i8_reference(&a, &b).unwrap();
+        let prepacked = gemm::matmul_i8_prepacked(&a, &packed, threads).unwrap();
+        prop_assert_eq!(reference.as_slice(), prepacked.as_slice());
+
+        let mut c_driver = vec![0i32; m * n];
+        kernel::gemm_i8_prepacked(m, a.as_slice(), &packed, &mut c_driver, threads);
+        prop_assert_eq!(reference.as_slice(), &c_driver[..]);
+
+        // Fused per-tensor dequant: prepacked == per-call, bit-for-bit.
+        let per_call = gemm::matmul_i8_scaled_threaded(&a, &b, a_scale, w_scale, threads).unwrap();
+        let fused = gemm::matmul_i8_scaled_prepacked(&a, &packed, a_scale, w_scale, threads).unwrap();
+        prop_assert_eq!(per_call.as_slice(), fused.as_slice());
+
+        // Fused per-channel dequant: same property.
+        let w_scales: Vec<f32> = (0..n).map(|j| 0.01 + 0.002 * j as f32).collect();
+        let per_call_ch = gemm::matmul_i8_per_channel_threaded(&a, &b, a_scale, &w_scales, threads).unwrap();
+        let fused_ch = gemm::matmul_i8_per_channel_prepacked(&a, &packed, a_scale, &w_scales, threads).unwrap();
+        prop_assert_eq!(per_call_ch.as_slice(), fused_ch.as_slice());
+    }
+
+    /// The grouped-reduction prepacked accumulate matches the per-call
+    /// variant bit-for-bit (accumulation order is per-element identical).
+    #[test]
+    fn prepacked_scaled_into_matches_per_call(
+        m in 1usize..6,
+        k in prop::sample::select(vec![4usize, 16, 64]),
+        n in 1usize..20,
+        a_scale in 0.001f32..0.5,
+        w_scale in 0.001f32..0.5,
+    ) {
+        let a_data: Vec<i8> = (0..m * k)
+            .map(|i| (((i * 17 + 3) % 255) as i32 - 127) as i8)
+            .collect();
+        let b_data: Vec<i8> = (0..k * n)
+            .map(|i| (((i * 23 + 9) % 255) as i32 - 127) as i8)
+            .collect();
+        let a = Tensor::from_vec(a_data, [m, k]).unwrap();
+        let b = Tensor::from_vec(b_data, [k, n]).unwrap();
+        let packed = llmnpu_tensor::PackedMatrixI8::from_tensor(&b);
+        let mut per_call = Tensor::full(0.75_f32, [m, n]);
+        gemm::matmul_i8_scaled_into(&mut per_call, &a, &b, a_scale, w_scale).unwrap();
+        let mut prepacked = Tensor::full(0.75_f32, [m, n]);
+        gemm::matmul_i8_scaled_into_prepacked(&mut prepacked, &a, &packed, a_scale, w_scale).unwrap();
+        prop_assert_eq!(per_call.as_slice(), prepacked.as_slice());
+    }
+}

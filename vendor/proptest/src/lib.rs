@@ -276,7 +276,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Length specification for [`vec`]: exact, half-open, or inclusive.
+    /// Length specification for [`vec()`]: exact, half-open, or inclusive.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,
