@@ -176,6 +176,32 @@ struct DecodeRow {
     meets_2x_vs_repack: bool,
 }
 
+/// Spawn-per-call scoped threads vs the persistent `WorkerPool` on the
+/// same banded kernel call — the dispatch-overhead comparison behind
+/// the pool refactor. Honors `thread_scaling_valid`: on a 1-core host
+/// both paths timeshare one core, so the delta isolates dispatch
+/// (spawn/join vs condvar broadcast) overhead only, not scaling.
+#[derive(Debug, Serialize)]
+struct PoolRow {
+    shape: String,
+    m: usize,
+    k: usize,
+    n: usize,
+    /// Lanes used by both paths (requested band count).
+    workers: usize,
+    /// Banded kernel with per-call `std::thread::scope` spawning.
+    scope_spawn_ms: f64,
+    /// Same call dispatched to the persistent pool.
+    pool_ms: f64,
+    pool_speedup_vs_scope: f64,
+    /// Threads spawned per call on the scoped path (measured).
+    spawns_per_call_scope: u64,
+    /// Threads spawned per call on the pool path (must be 0).
+    spawns_per_call_pool: u64,
+    /// Outputs bit-identical across the two dispatch paths.
+    bit_identical: bool,
+}
+
 #[derive(Debug, Serialize)]
 struct KernelRecord {
     id: &'static str,
@@ -193,6 +219,7 @@ struct KernelRecord {
     fma: bool,
     rows: Vec<KernelRow>,
     decode: Vec<DecodeRow>,
+    pool_vs_scope: Vec<PoolRow>,
 }
 
 fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
@@ -306,6 +333,51 @@ fn compare_decode(m: usize, k: usize, n: usize, reps: usize) -> DecodeRow {
     }
 }
 
+fn compare_pool_vs_scope(m: usize, k: usize, n: usize, reps: usize) -> PoolRow {
+    use llmnpu_sched::WorkerPool;
+    use llmnpu_tensor::kernel;
+    use llmnpu_tensor::kernel::parallel;
+
+    let a = ramp(m, k, 1.0).into_vec();
+    let b = ramp(k, n, 1.0).into_vec();
+    // The raw banded driver honors the requested band count exactly, so
+    // both paths orchestrate the same `THREADS` bands even on a 1-core
+    // host; only the dispatch mechanism differs.
+    let run = |c: &mut [f32]| {
+        c.fill(0.0);
+        kernel::gemm_f32(m, k, n, &a, &b, c, THREADS);
+    };
+
+    let mut c_scope = vec![0.0f32; m * n];
+    let spawns0 = parallel::thread_spawns();
+    let scope_s = best_of(reps, || run(&mut c_scope));
+    let scope_spawns = parallel::thread_spawns() - spawns0;
+
+    let pool = std::sync::Arc::new(WorkerPool::new(THREADS));
+    let mut c_pool = vec![0.0f32; m * n];
+    let (pool_s, pool_spawns) = pool.install_scope(|| {
+        // Warm the pool workers' scratch arenas, then measure.
+        run(&mut c_pool);
+        let spawns0 = parallel::thread_spawns();
+        let t = best_of(reps, || run(&mut c_pool));
+        (t, parallel::thread_spawns() - spawns0)
+    });
+
+    PoolRow {
+        shape: format!("{m}x{k}x{n}"),
+        m,
+        k,
+        n,
+        workers: THREADS,
+        scope_spawn_ms: scope_s * 1e3,
+        pool_ms: pool_s * 1e3,
+        pool_speedup_vs_scope: scope_s / pool_s,
+        spawns_per_call_scope: scope_spawns / reps as u64,
+        spawns_per_call_pool: pool_spawns / reps as u64,
+        bit_identical: c_scope == c_pool,
+    }
+}
+
 fn kernel_comparison() {
     let threads_effective = llmnpu_tensor::kernel::parallel::effective_threads(THREADS);
     let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
@@ -362,11 +434,34 @@ fn kernel_comparison() {
         })
         .collect();
 
+    println!("--- pool vs scope: spawn-per-call vs persistent WorkerPool dispatch ---");
+    let pool_shapes: [(usize, usize, usize, usize); 2] = [(1, 4096, 4096, 9), (512, 512, 512, 7)];
+    let pool_vs_scope: Vec<PoolRow> = pool_shapes
+        .iter()
+        .map(|&(m, k, n, reps)| {
+            let row = compare_pool_vs_scope(m, k, n, reps);
+            println!(
+                "{:<14} scope {:>7.2} ms ({} spawns/call) | pool {:>7.2} ms ({} spawns/call) | {:>5.2}x | bit-identical={}",
+                row.shape,
+                row.scope_spawn_ms,
+                row.spawns_per_call_scope,
+                row.pool_ms,
+                row.spawns_per_call_pool,
+                row.pool_speedup_vs_scope,
+                row.bit_identical,
+            );
+            row
+        })
+        .collect();
+
     let record = KernelRecord {
         id: "kernels",
         description: "Blocked+packed+threaded GEMM vs scalar reference; \
                       decode section compares streaming GEMV, repack-per-call, \
-                      and pack-once PackedMatrix paths; \
+                      and pack-once PackedMatrix paths; pool_vs_scope compares \
+                      spawn-per-call scoped threads against the persistent \
+                      WorkerPool on identical banded calls (dispatch overhead \
+                      only when thread_scaling_valid is false); \
                       tokens-equivalent = activation rows per second",
         threads_requested: THREADS,
         threads_effective,
@@ -375,6 +470,7 @@ fn kernel_comparison() {
         fma: cfg!(target_feature = "fma"),
         rows,
         decode,
+        pool_vs_scope,
     };
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
     let json = serde_json::to_string_pretty(&record).expect("serialize kernel record");

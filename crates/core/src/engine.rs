@@ -1,26 +1,51 @@
-//! The llm.npu engine.
-//!
-//! Mirrors the paper's two-stage workflow (Figure 6):
+//! The llm.npu engine: both planes of the paper's two-stage workflow
+//! (Figure 6), unified over one prefill DAG.
 //!
 //! * **Preparation** (once per model/device): build and optimize the
 //!   fixed-length chunk-sharing graphs, select the chunk length by
-//!   profiling (Figure 8), and fix the outlier-pruning plan.
+//!   profiling (Figure 8), fix the outlier-pruning plan — and create the
+//!   persistent [`WorkerPool`] whose threads live for the engine's
+//!   lifetime (`pool_workers` lanes; the kernel layer never spawns a
+//!   thread per call once the pool is installed).
 //! * **Execution** (per prompt): split the prompt into chunks, construct
 //!   the subgraph DAG with shadow-outlier tasks, schedule it out-of-order
 //!   across CPU/GPU and NPU, then decode on the configured backend.
 //!
-//! This module is the *timing plane*: it prices the `MatMul` and
-//! `Dequantize` nodes of Figure 5 analytically. The matching *numeric
-//! plane* — what those nodes actually compute — runs on the blocked
-//! kernel subsystem in `llmnpu_tensor::kernel`, where the
-//! `MatMul → Dequantize` pair executes as one fused pass (the same fusion
-//! the NPU's pipelined execution gives the real system).
+//! # The two planes
+//!
+//! The same [`PrefillDag`] drives two executions that this engine keeps
+//! in lock-step:
+//!
+//! * the **timing plane** ([`LlmNpuEngine::prefill`]) prices each task's
+//!   `MatMul` / `Dequantize` ops analytically on the simulated SoC and
+//!   schedules the DAG under the configured [`Policy`] — the paper's
+//!   device-calibrated latency projections;
+//! * the **numeric plane** ([`LlmNpuEngine::prefill_executed`]) executes
+//!   each task *for real* on a [`Transformer`] via the out-of-order DAG
+//!   runner in `llmnpu_sched::runner`: quantized main-path GEMMs on the
+//!   NPU lane, shadow-outlier float GEMMs on the CPU lane, dispatched on
+//!   the pool as dependencies resolve, bit-identical to the sequential
+//!   chunked forward at every worker count.
+//!
+//! [`LlmNpuEngine::prefill_executed`] runs both planes over the *same*
+//! DAG and cross-checks them: the executed timeline must contain exactly
+//! the simulated task set, respect the same dependencies, and keep every
+//! lane serial (Equation 4). The kernel-level fusion story is unchanged:
+//! `MatMul → Dequantize` pairs run as one pass in
+//! `llmnpu_tensor::kernel`.
+//!
+//! [`PrefillDag`]: llmnpu_graph::dag::PrefillDag
+//! [`Transformer`]: llmnpu_model::forward::Transformer
+
+use std::sync::Arc;
 
 use llmnpu_graph::chunk::ChunkPlan;
 use llmnpu_graph::dag::{build_prefill_dag, DagConfig};
 use llmnpu_graph::memory::{graph_memory, graph_profile};
 use llmnpu_model::config::ModelConfig;
-use llmnpu_sched::{schedule, Policy};
+use llmnpu_model::forward::Transformer;
+use llmnpu_sched::runner::NumericPrefill;
+use llmnpu_sched::{execute_chunked_prefill, schedule, Policy, WorkerPool};
 use llmnpu_soc::latency::LatencyModel;
 use llmnpu_soc::lifecycle::{lifecycle_cost, LifecycleCost, LifecycleParams};
 use llmnpu_soc::spec::SocSpec;
@@ -51,6 +76,12 @@ pub struct EngineConfig {
     pub shape_optimized: bool,
     /// Per-group NPU quantization (None = llm.npu's per-tensor).
     pub npu_group_size: Option<usize>,
+    /// Lanes of the persistent worker pool created with the engine
+    /// (spawned threads + the caller). Overridable via the
+    /// `LLMNPU_POOL_WORKERS` environment variable; at least 2 by default
+    /// so the NPU and float lanes of the numeric plane can genuinely
+    /// overlap even on small hosts.
+    pub pool_workers: usize,
 }
 
 impl EngineConfig {
@@ -67,6 +98,9 @@ impl EngineConfig {
             policy: Policy::OutOfOrder,
             shape_optimized: true,
             npu_group_size: None,
+            pool_workers: WorkerPool::env_workers(
+                llmnpu_tensor::kernel::parallel::default_threads().max(2),
+            ),
         }
     }
 
@@ -86,6 +120,11 @@ impl EngineConfig {
                 what: "float stages cannot run on the NPU (§2.2: no usable FP path)".to_owned(),
             });
         }
+        if self.pool_workers == 0 {
+            return Err(Error::InvalidConfig {
+                what: "pool must have at least one lane".to_owned(),
+            });
+        }
         Ok(())
     }
 }
@@ -96,6 +135,11 @@ pub struct LlmNpuEngine {
     config: EngineConfig,
     lat: LatencyModel,
     preparation: LifecycleCost,
+    /// The persistent worker pool: created once here, shared by every
+    /// clone of the engine, dropped (joining its threads) with the last
+    /// one. Replaces per-call thread spawning throughout the numeric
+    /// plane.
+    pool: Arc<WorkerPool>,
 }
 
 impl LlmNpuEngine {
@@ -110,10 +154,12 @@ impl LlmNpuEngine {
         // Chunk-sharing graphs are built and optimized once, offline.
         let profile = graph_profile(&config.model, config.chunk_len);
         let preparation = lifecycle_cost(&LifecycleParams::default(), &profile);
+        let pool = Arc::new(WorkerPool::new(config.pool_workers));
         Ok(LlmNpuEngine {
             config,
             lat,
             preparation,
+            pool,
         })
     }
 
@@ -136,20 +182,33 @@ impl LlmNpuEngine {
         &self.lat
     }
 
-    /// Simulates one prefill.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error for a zero-length prompt or scheduling failure.
-    pub fn prefill(&self, prompt_len: usize) -> Result<PrefillReport> {
-        let dag_cfg = DagConfig {
+    /// The engine's persistent worker pool. Install it as the kernel
+    /// parallel backend (`WorkerPool::install_scope`) to run any
+    /// numeric-plane work with zero per-call thread spawns.
+    #[must_use]
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
+    /// The DAG configuration for a prompt under this engine's knobs.
+    fn dag_config(&self, prompt_len: usize) -> Result<DagConfig> {
+        Ok(DagConfig {
             plan: ChunkPlan::new(prompt_len, self.config.chunk_len)?,
             float_processor: self.config.float_processor,
             shadow_fraction: 1.0 - self.config.pruning_rate,
             outlier_channels: 10,
             shape_optimized: self.config.shape_optimized,
             npu_group_size: self.config.npu_group_size,
-        };
+        })
+    }
+
+    /// Simulates one prefill (the timing plane).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a zero-length prompt or scheduling failure.
+    pub fn prefill(&self, prompt_len: usize) -> Result<PrefillReport> {
+        let dag_cfg = self.dag_config(prompt_len)?;
         let dag = build_prefill_dag(&self.config.model, &dag_cfg, &self.lat)?;
         let outcome = schedule(&dag, self.config.policy)?;
         let energy = outcome.timeline.energy(&self.config.soc);
@@ -160,6 +219,41 @@ impl LlmNpuEngine {
             outcome.npu_bubble_rate,
             Some(outcome.timeline),
         ))
+    }
+
+    /// Runs **both planes** over one DAG: simulates the prefill on the
+    /// SoC model and executes it numerically on `t` via the out-of-order
+    /// DAG runner (on this engine's pool), then cross-checks the
+    /// executed timeline against the DAG — same task set, dependencies
+    /// respected, one task per lane at a time.
+    ///
+    /// `t` is the numeric transformer (typically a scaled-down
+    /// synthesized model); the DAG is built for *its* configuration so
+    /// the two planes describe the same computation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on an empty prompt, a scheduling failure, a
+    /// numeric stage failure, or a cross-check violation.
+    pub fn prefill_executed(&self, t: &Transformer<'_>, tokens: &[u32]) -> Result<UnifiedPrefill> {
+        let dag_cfg = self.dag_config(tokens.len())?;
+        let plan = dag_cfg.plan.clone();
+        let dag = build_prefill_dag(t.config(), &dag_cfg, &self.lat)?;
+        let simulated = schedule(&dag, self.config.policy)?;
+        let execution = self.pool.install_scope(|| {
+            execute_chunked_prefill(t, tokens, &dag, &plan, self.config.policy, &self.pool)
+        })?;
+        execution.timeline.validate_against(&dag)?;
+        Ok(UnifiedPrefill {
+            simulated: PrefillReport::new(
+                tokens.len(),
+                simulated.makespan_ms,
+                simulated.timeline.energy(&self.config.soc),
+                simulated.npu_bubble_rate,
+                Some(simulated.timeline),
+            ),
+            execution,
+        })
     }
 
     /// Decode latency per token on the configured decode backend
@@ -255,6 +349,30 @@ impl LlmNpuEngine {
             .into_iter()
             .find(|&(_, t)| t <= best * 1.05)
             .map_or(256, |(c, _)| c)
+    }
+}
+
+/// Both planes of one prefill over the same DAG: the analytic schedule
+/// and the real numeric execution, cross-checked.
+#[derive(Debug)]
+pub struct UnifiedPrefill {
+    /// The full timing-plane report.
+    pub simulated: PrefillReport,
+    /// The numeric result: hidden states, KV cache, executed timeline.
+    pub execution: NumericPrefill,
+}
+
+impl UnifiedPrefill {
+    /// Simulated (timing-plane) makespan, ms.
+    #[must_use]
+    pub fn simulated_ms(&self) -> Millis {
+        self.simulated.latency_ms
+    }
+
+    /// Measured wall-clock makespan of the numeric execution, ms.
+    #[must_use]
+    pub fn executed_ms(&self) -> Millis {
+        self.execution.timeline.makespan_ms()
     }
 }
 

@@ -37,12 +37,23 @@ pub enum TaskRole {
 }
 
 /// A schedulable task.
+///
+/// Carries its op payload — `(chunk, layer, stage, role)` — so the task
+/// is executable, not just priceable: the timing plane prices it on the
+/// simulated SoC, and the numeric executor (`llmnpu-sched`) maps the
+/// same payload to the transformer stage closure it denotes and runs it
+/// for real.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Task {
     /// Display label, e.g. `"C2-L3-Ffn"`.
     pub label: String,
     /// Chunk index.
     pub chunk: usize,
+    /// Decoder layer the task belongs to.
+    pub layer: usize,
+    /// The per-layer stage this task implements; shadow/merge tasks
+    /// carry their *host* stage (the NPU stage they attach to).
+    pub stage: Stage,
     /// Position of the subgraph inside the chunk's sequence (the `j` of
     /// Equations 2–3); shadow/merge tasks reuse their host's `j`.
     pub seq_index: usize,
@@ -240,6 +251,8 @@ pub fn build_prefill_dag(
             dag.tasks.push(Task {
                 label: format!("C{}-L{}-{:?}", chunk, sg.layer, sg.stage),
                 chunk,
+                layer: sg.layer,
+                stage: sg.stage,
                 seq_index: j,
                 processor: sg.processor,
                 duration_ms: sg.latency_ms(lat),
@@ -275,6 +288,8 @@ pub fn build_prefill_dag(
                 dag.tasks.push(Task {
                     label: format!("C{}-L{}-Shadow{:?}", chunk, sg.layer, sg.stage),
                     chunk,
+                    layer: sg.layer,
+                    stage: sg.stage,
                     seq_index: j,
                     processor: dag_cfg.float_processor,
                     duration_ms: shadow_op.latency_ms(lat),
@@ -295,6 +310,8 @@ pub fn build_prefill_dag(
                 dag.tasks.push(Task {
                     label: format!("C{}-L{}-Merge{:?}", chunk, sg.layer, sg.stage),
                     chunk,
+                    layer: sg.layer,
+                    stage: sg.stage,
                     seq_index: j,
                     processor: Processor::Npu,
                     duration_ms: lat.spec().sync_ms(sync_bytes) + lat.spec().npu_flush_ms,

@@ -69,14 +69,31 @@ impl LinearKind {
 pub type LinearSite = (usize, LinearKind);
 
 /// Worker count for float projections on the host: the blocked GEMM
-/// kernel's row-partitioned threading is bit-invisible (see
+/// kernel's partitioned threading is bit-invisible (see
 /// `llmnpu_tensor::kernel`), so this only trades wall-clock for cores.
+/// When a persistent pool is installed on the calling thread
+/// (`llmnpu_tensor::kernel::parallel::install_backend`), its worker
+/// count is used — this is how backends "take the pool handle": the
+/// engine installs the pool once, and every projection of every layer
+/// dispatches its bands to it with zero thread spawns.
 pub(crate) fn host_threads() -> usize {
     llmnpu_tensor::kernel::parallel::default_threads()
 }
 
 /// Executes one linear projection for a given layer.
-pub trait LinearBackend {
+///
+/// `Send + Sync` because the prefill executor runs projections from
+/// pool worker threads; every implementation owns immutable quantized
+/// weights, so sharing is free.
+///
+/// Backends with a genuinely separable correction path (the
+/// shadow-outlier scheme, §3.3) additionally expose it through
+/// [`LinearBackend::linear_main`] / [`LinearBackend::linear_shadow`]:
+/// the contract is that `linear(x)` is **bit-identical** to
+/// `linear_main(x)` followed by [`merge_linear`] with
+/// `linear_shadow(x)` — the invariant that lets the out-of-order
+/// executor run the two halves on different lanes and merge.
+pub trait LinearBackend: Send + Sync {
     /// Computes `x · W(layer, kind)`.
     ///
     /// # Errors
@@ -84,8 +101,55 @@ pub trait LinearBackend {
     /// Returns an error on shape mismatch or missing projections.
     fn linear(&self, layer: usize, kind: LinearKind, x: &Tensor<f32>) -> Result<Tensor<f32>>;
 
+    /// The main (quantized/NPU-lane) half of a projection. Defaults to
+    /// the full [`LinearBackend::linear`] for backends without a
+    /// separable correction path.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch or missing projections.
+    fn linear_main(&self, layer: usize, kind: LinearKind, x: &Tensor<f32>) -> Result<Tensor<f32>> {
+        self.linear(layer, kind, x)
+    }
+
+    /// The additive shadow (float-lane) half of a projection, or `None`
+    /// when this site has nothing to overlap (no shadow path, pruned
+    /// layer, or no outliers in `x`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch.
+    fn linear_shadow(
+        &self,
+        layer: usize,
+        kind: LinearKind,
+        x: &Tensor<f32>,
+    ) -> Result<Option<Tensor<f32>>> {
+        let _ = (layer, kind, x);
+        Ok(None)
+    }
+
+    /// Whether this site's shadow path is active (used to decide whether
+    /// a split execution can ever produce a correction here).
+    fn has_shadow(&self, layer: usize, kind: LinearKind) -> bool {
+        let _ = (layer, kind);
+        false
+    }
+
     /// Human-readable backend name for experiment tables.
     fn name(&self) -> &'static str;
+}
+
+/// Merges a shadow half into a main half (elementwise accumulate — the
+/// CPU→NPU shared-buffer merge of §3.3). The same op, in the same
+/// order, that the fused `linear` paths use internally.
+///
+/// # Errors
+///
+/// Returns an error on shape mismatch.
+pub fn merge_linear(main: &mut Tensor<f32>, shadow: &Tensor<f32>) -> Result<()> {
+    gemm::accumulate(main, shadow)?;
+    Ok(())
 }
 
 fn site_weight(weights: &ModelWeights, layer: usize, kind: LinearKind) -> Result<&Tensor<f32>> {
@@ -409,15 +473,39 @@ impl ShadowBackend {
     }
 }
 
+impl ShadowBackend {
+    fn site(&self, layer: usize, kind: LinearKind) -> Result<&ShadowLinear> {
+        self.layers.get(&(layer, kind)).ok_or(Error::InvalidConfig {
+            what: format!("no shadow site ({layer}, {kind:?})"),
+        })
+    }
+}
+
 impl LinearBackend for ShadowBackend {
     fn linear(&self, layer: usize, kind: LinearKind, x: &Tensor<f32>) -> Result<Tensor<f32>> {
-        let lin = self
-            .layers
+        Ok(self.site(layer, kind)?.forward(x)?.output)
+    }
+
+    fn linear_main(&self, layer: usize, kind: LinearKind, x: &Tensor<f32>) -> Result<Tensor<f32>> {
+        Ok(self.site(layer, kind)?.forward_main(x)?)
+    }
+
+    fn linear_shadow(
+        &self,
+        layer: usize,
+        kind: LinearKind,
+        x: &Tensor<f32>,
+    ) -> Result<Option<Tensor<f32>>> {
+        Ok(self
+            .site(layer, kind)?
+            .forward_shadow(x)?
+            .map(|(shadow, _channels)| shadow))
+    }
+
+    fn has_shadow(&self, layer: usize, kind: LinearKind) -> bool {
+        self.layers
             .get(&(layer, kind))
-            .ok_or(Error::InvalidConfig {
-                what: format!("no shadow site ({layer}, {kind:?})"),
-            })?;
-        Ok(lin.forward(x)?.output)
+            .is_some_and(ShadowLinear::shadow_enabled)
     }
 
     fn name(&self) -> &'static str {
@@ -523,6 +611,51 @@ mod tests {
         assert_eq!(all.kept_sites().len(), total);
         assert_eq!(none.kept_sites().len(), 0);
         assert_eq!(half.kept_sites().len(), total - total / 2);
+    }
+
+    #[test]
+    fn split_execution_bit_matches_fused_linear() {
+        // The executor's overlap invariant: linear == linear_main ⊕
+        // linear_shadow, bit-for-bit, for every backend.
+        let w = tiny_weights();
+        let cal = fake_calibration(&w);
+        let sh = ShadowBackend::new(&w, &cal, 0.9, 0.0).unwrap();
+        let float = FloatBackend::new(w.clone());
+        // A spiky activation so the shadow half actually fires.
+        let mut xv = vec![0.02_f32; 2 * 32];
+        xv[7] = 9.0;
+        xv[32 + 19] = -11.0;
+        let x = Tensor::from_vec(xv, [2, 32]).unwrap();
+
+        let mut shadow_fired = false;
+        for be in [&sh as &dyn LinearBackend, &float] {
+            // Hidden-width sites (Down takes ffn_hidden-width inputs).
+            for kind in [LinearKind::Q, LinearKind::V, LinearKind::Up] {
+                let fused = be.linear(1, kind, &x).unwrap();
+                let mut merged = be.linear_main(1, kind, &x).unwrap();
+                if let Some(shadow) = be.linear_shadow(1, kind, &x).unwrap() {
+                    assert!(be.has_shadow(1, kind));
+                    merge_linear(&mut merged, &shadow).unwrap();
+                    shadow_fired = true;
+                }
+                assert_eq!(
+                    fused.as_slice(),
+                    merged.as_slice(),
+                    "{} {kind:?}",
+                    be.name()
+                );
+            }
+        }
+        assert!(shadow_fired, "spiky input must exercise a shadow path");
+        assert!(!float.has_shadow(1, LinearKind::Q));
+
+        // Fully pruned backends never produce a shadow half.
+        let pruned = ShadowBackend::new(&w, &cal, 0.9, 1.0).unwrap();
+        assert!(!pruned.has_shadow(1, LinearKind::Q));
+        assert!(pruned
+            .linear_shadow(1, LinearKind::Q, &x)
+            .unwrap()
+            .is_none());
     }
 
     #[test]

@@ -158,6 +158,11 @@ impl<'a> Transformer<'a> {
     ///
     /// `recorder`, when present, captures the input activation of every
     /// linear site — the calibration hook used to build quantized backends.
+    ///
+    /// The body is a straight-line composition of the public `stage_*`
+    /// functions below — the same closures the out-of-order prefill
+    /// executor dispatches — so the sequential and DAG-executed paths can
+    /// never numerically drift: they *are* the same code.
     fn forward_hidden(
         &self,
         mut h: Tensor<f32>,
@@ -166,43 +171,33 @@ impl<'a> Transformer<'a> {
         mut recorder: Option<&mut CalibrationSet>,
     ) -> Result<Tensor<f32>> {
         let cfg = self.config().clone();
-        let (seq, _) = h.matrix_dims();
         for layer in 0..cfg.layers {
-            let lw = &self.weights.layers[layer];
-
             // --- Attention block ---
-            let a_in = self.apply_norm(&h, &lw.attn_norm_gamma, &lw.attn_norm_beta)?;
+            let a_in = self.stage_attn_pre(layer, &h)?;
             if let Some(rec) = recorder.as_deref_mut() {
                 for kind in [LinearKind::Q, LinearKind::K, LinearKind::V] {
                     rec.entry((layer, kind)).or_default().push(a_in.clone());
                 }
             }
-            let q = self.backend.linear(layer, LinearKind::Q, &a_in)?;
-            let k = self.backend.linear(layer, LinearKind::K, &a_in)?;
-            let v = self.backend.linear(layer, LinearKind::V, &a_in)?;
-
-            // RoPE per head, at the chunk's absolute positions.
-            let q = rope_heads(&q, seq, cfg.heads, cfg.head_dim, start_pos)?;
-            let k = rope_heads(&k, seq, cfg.kv_heads, cfg.head_dim, start_pos)?;
+            let (q, k, v) = self.stage_qkv(layer, &a_in, start_pos)?;
 
             cache.layer_mut(layer)?.append(&k, &v)?;
             let layer_kv = cache.layer(layer)?;
             let keys = layer_kv.keys_tensor()?;
             let values = layer_kv.values_tensor()?;
 
-            let attn = attention(&q, keys, values, &cfg, start_pos)?;
+            let attn = self.stage_attention(&q, keys, values, start_pos)?;
             if let Some(rec) = recorder.as_deref_mut() {
                 rec.entry((layer, LinearKind::O))
                     .or_default()
                     .push(attn.clone());
             }
-            let attn_out = self.backend.linear(layer, LinearKind::O, &attn)?;
-            h = ops::add(&h, &attn_out)?;
+            h = self.stage_attn_out(layer, &h, &attn)?;
 
             // --- FFN block ---
-            let f_in = self.apply_norm(&h, &lw.ffn_norm_gamma, &lw.ffn_norm_beta)?;
+            let f_in = self.stage_ffn_pre(layer, &h)?;
             if let Some(rec) = recorder.as_deref_mut() {
-                if lw.w_gate.is_some() {
+                if self.weights.layers[layer].w_gate.is_some() {
                     rec.entry((layer, LinearKind::Gate))
                         .or_default()
                         .push(f_in.clone());
@@ -211,31 +206,251 @@ impl<'a> Transformer<'a> {
                     .or_default()
                     .push(f_in.clone());
             }
-            let ffn_mid = match cfg.act {
-                ActKind::SiluGated => {
-                    let gate = self.backend.linear(layer, LinearKind::Gate, &f_in)?;
-                    let up = self.backend.linear(layer, LinearKind::Up, &f_in)?;
-                    ops::mul(&ops::silu(&gate), &up)?
-                }
-                ActKind::GeluGated => {
-                    let gate = self.backend.linear(layer, LinearKind::Gate, &f_in)?;
-                    let up = self.backend.linear(layer, LinearKind::Up, &f_in)?;
-                    ops::mul(&ops::gelu(&gate), &up)?
-                }
-                ActKind::Gelu => {
-                    let up = self.backend.linear(layer, LinearKind::Up, &f_in)?;
-                    ops::gelu(&up)
-                }
-            };
+            let ffn_mid = self.stage_ffn_mid(layer, &f_in)?;
             if let Some(rec) = recorder.as_deref_mut() {
                 rec.entry((layer, LinearKind::Down))
                     .or_default()
                     .push(ffn_mid.clone());
             }
-            let ffn_out = self.backend.linear(layer, LinearKind::Down, &ffn_mid)?;
-            h = ops::add(&h, &ffn_out)?;
+            h = self.stage_ffn_down(layer, &h, &ffn_mid)?;
         }
         Ok(h)
+    }
+
+    // --- Schedulable stage functions -----------------------------------
+    //
+    // One public function per prefill-DAG stage (llmnpu-graph's six-stage
+    // decomposition, collapsed to the numeric boundaries): the sequential
+    // `forward_hidden` composes them in program order, and the
+    // out-of-order executor in `llmnpu-sched` wraps each in a task
+    // closure and dispatches them as dependencies resolve. Shadow-host
+    // stages additionally split into `_main` / `_shadow` / finish parts
+    // so the quantized main path and the float shadow path can run on
+    // different lanes; each fused stage is *defined as* that composition,
+    // so split and fused execution are bit-identical by construction.
+
+    /// `AttnPre`: the pre-attention norm.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch.
+    pub fn stage_attn_pre(&self, layer: usize, h: &Tensor<f32>) -> Result<Tensor<f32>> {
+        let lw = &self.weights.layers[layer];
+        self.apply_norm(h, &lw.attn_norm_gamma, &lw.attn_norm_beta)
+    }
+
+    /// `QkvLinear` + RoPE, fused: full Q/K/V projections at the chunk's
+    /// absolute positions, ready for the cache and attention.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch or backend failure.
+    pub fn stage_qkv(
+        &self,
+        layer: usize,
+        a_in: &Tensor<f32>,
+        start_pos: usize,
+    ) -> Result<(Tensor<f32>, Tensor<f32>, Tensor<f32>)> {
+        let mains = self.stage_qkv_main(layer, a_in)?;
+        let shadows = self.stage_qkv_shadow(layer, a_in)?;
+        self.stage_qkv_finish(mains, shadows, start_pos)
+    }
+
+    /// The main (quantized-lane) halves of the Q/K/V projections.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch or backend failure.
+    pub fn stage_qkv_main(&self, layer: usize, a_in: &Tensor<f32>) -> Result<QkvMains> {
+        Ok(QkvMains {
+            q: self.backend.linear_main(layer, LinearKind::Q, a_in)?,
+            k: self.backend.linear_main(layer, LinearKind::K, a_in)?,
+            v: self.backend.linear_main(layer, LinearKind::V, a_in)?,
+        })
+    }
+
+    /// The shadow (float-lane) halves of the Q/K/V projections — `None`
+    /// per site when there is nothing to merge.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch.
+    pub fn stage_qkv_shadow(&self, layer: usize, a_in: &Tensor<f32>) -> Result<QkvShadows> {
+        Ok(QkvShadows {
+            q: self.backend.linear_shadow(layer, LinearKind::Q, a_in)?,
+            k: self.backend.linear_shadow(layer, LinearKind::K, a_in)?,
+            v: self.backend.linear_shadow(layer, LinearKind::V, a_in)?,
+        })
+    }
+
+    /// Merges the QKV halves and applies RoPE — the §3.3 CPU→NPU merge
+    /// followed by the position encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch.
+    pub fn stage_qkv_finish(
+        &self,
+        mains: QkvMains,
+        shadows: QkvShadows,
+        start_pos: usize,
+    ) -> Result<(Tensor<f32>, Tensor<f32>, Tensor<f32>)> {
+        let cfg = self.config();
+        let QkvMains {
+            mut q,
+            mut k,
+            mut v,
+        } = mains;
+        if let Some(s) = &shadows.q {
+            crate::backend::merge_linear(&mut q, s)?;
+        }
+        if let Some(s) = &shadows.k {
+            crate::backend::merge_linear(&mut k, s)?;
+        }
+        if let Some(s) = &shadows.v {
+            crate::backend::merge_linear(&mut v, s)?;
+        }
+        let (seq, _) = q.matrix_dims();
+        let q = rope_heads(&q, seq, cfg.heads, cfg.head_dim, start_pos)?;
+        let k = rope_heads(&k, seq, cfg.kv_heads, cfg.head_dim, start_pos)?;
+        Ok((q, k, v))
+    }
+
+    /// `Attention`: scores, causal mask, softmax, A·V over the cached
+    /// keys/values visible to this chunk.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch.
+    pub fn stage_attention(
+        &self,
+        q: &Tensor<f32>,
+        keys: &Tensor<f32>,
+        values: &Tensor<f32>,
+        start_pos: usize,
+    ) -> Result<Tensor<f32>> {
+        attention(q, keys, values, self.config(), start_pos)
+    }
+
+    /// `OProj`: output projection plus residual add.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch or backend failure.
+    pub fn stage_attn_out(
+        &self,
+        layer: usize,
+        h: &Tensor<f32>,
+        attn: &Tensor<f32>,
+    ) -> Result<Tensor<f32>> {
+        let attn_out = self.backend.linear(layer, LinearKind::O, attn)?;
+        Ok(ops::add(h, &attn_out)?)
+    }
+
+    /// `FfnPre`: the post-attention norm.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch.
+    pub fn stage_ffn_pre(&self, layer: usize, h: &Tensor<f32>) -> Result<Tensor<f32>> {
+        let lw = &self.weights.layers[layer];
+        self.apply_norm(h, &lw.ffn_norm_gamma, &lw.ffn_norm_beta)
+    }
+
+    /// The FFN mid section (gate/up projections + activation), fused.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch or backend failure.
+    pub fn stage_ffn_mid(&self, layer: usize, f_in: &Tensor<f32>) -> Result<Tensor<f32>> {
+        let mains = self.stage_ffn_mid_main(layer, f_in)?;
+        let shadows = self.stage_ffn_mid_shadow(layer, f_in)?;
+        self.stage_ffn_mid_finish(mains, shadows)
+    }
+
+    /// The main halves of the FFN gate/up projections.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch or backend failure.
+    pub fn stage_ffn_mid_main(&self, layer: usize, f_in: &Tensor<f32>) -> Result<FfnMains> {
+        let gate = if self.config().act.gated() {
+            Some(self.backend.linear_main(layer, LinearKind::Gate, f_in)?)
+        } else {
+            None
+        };
+        Ok(FfnMains {
+            gate,
+            up: self.backend.linear_main(layer, LinearKind::Up, f_in)?,
+        })
+    }
+
+    /// The shadow halves of the FFN gate/up projections.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch.
+    pub fn stage_ffn_mid_shadow(&self, layer: usize, f_in: &Tensor<f32>) -> Result<FfnShadows> {
+        let gate = if self.config().act.gated() {
+            self.backend.linear_shadow(layer, LinearKind::Gate, f_in)?
+        } else {
+            None
+        };
+        Ok(FfnShadows {
+            gate,
+            up: self.backend.linear_shadow(layer, LinearKind::Up, f_in)?,
+        })
+    }
+
+    /// Merges the FFN halves and applies the activation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch.
+    pub fn stage_ffn_mid_finish(
+        &self,
+        mains: FfnMains,
+        shadows: FfnShadows,
+    ) -> Result<Tensor<f32>> {
+        let FfnMains { gate, mut up } = mains;
+        let mut gate = gate;
+        if let (Some(g), Some(s)) = (gate.as_mut(), &shadows.gate) {
+            crate::backend::merge_linear(g, s)?;
+        }
+        if let Some(s) = &shadows.up {
+            crate::backend::merge_linear(&mut up, s)?;
+        }
+        Ok(match self.config().act {
+            ActKind::SiluGated => {
+                let gate = gate.ok_or(Error::InvalidConfig {
+                    what: "gated activation without gate projection".to_owned(),
+                })?;
+                ops::mul(&ops::silu(&gate), &up)?
+            }
+            ActKind::GeluGated => {
+                let gate = gate.ok_or(Error::InvalidConfig {
+                    what: "gated activation without gate projection".to_owned(),
+                })?;
+                ops::mul(&ops::gelu(&gate), &up)?
+            }
+            ActKind::Gelu => ops::gelu(&up),
+        })
+    }
+
+    /// The FFN down projection plus residual add (the tail of the `Ffn`
+    /// stage).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch or backend failure.
+    pub fn stage_ffn_down(
+        &self,
+        layer: usize,
+        h: &Tensor<f32>,
+        ffn_mid: &Tensor<f32>,
+    ) -> Result<Tensor<f32>> {
+        let ffn_out = self.backend.linear(layer, LinearKind::Down, ffn_mid)?;
+        Ok(ops::add(h, &ffn_out)?)
     }
 
     /// Runs a calibration pass: prefills every prompt with this backend and
@@ -253,6 +468,46 @@ impl<'a> Transformer<'a> {
         }
         Ok(set)
     }
+}
+
+/// The pre-merge main (quantized-lane) halves of a QKV stage.
+#[derive(Debug, Clone)]
+pub struct QkvMains {
+    /// Query projection main half.
+    pub q: Tensor<f32>,
+    /// Key projection main half.
+    pub k: Tensor<f32>,
+    /// Value projection main half.
+    pub v: Tensor<f32>,
+}
+
+/// The optional shadow (float-lane) halves of a QKV stage.
+#[derive(Debug, Clone, Default)]
+pub struct QkvShadows {
+    /// Query shadow correction, if any.
+    pub q: Option<Tensor<f32>>,
+    /// Key shadow correction, if any.
+    pub k: Option<Tensor<f32>>,
+    /// Value shadow correction, if any.
+    pub v: Option<Tensor<f32>>,
+}
+
+/// The pre-merge main halves of an FFN mid section.
+#[derive(Debug, Clone)]
+pub struct FfnMains {
+    /// Gate projection main half (`None` for ungated FFNs).
+    pub gate: Option<Tensor<f32>>,
+    /// Up projection main half.
+    pub up: Tensor<f32>,
+}
+
+/// The optional shadow halves of an FFN mid section.
+#[derive(Debug, Clone, Default)]
+pub struct FfnShadows {
+    /// Gate shadow correction, if any.
+    pub gate: Option<Tensor<f32>>,
+    /// Up shadow correction, if any.
+    pub up: Option<Tensor<f32>>,
 }
 
 /// Applies RoPE to `[seq, heads*head_dim]` per head slice.

@@ -296,37 +296,68 @@ impl ShadowLinear {
 
     /// Runs the decomposed forward pass of Equation 1.
     ///
+    /// Composed of [`ShadowLinear::forward_main`] and
+    /// [`ShadowLinear::forward_shadow`] plus the accumulate merge, so the
+    /// fused call is bit-identical to executing the two halves on
+    /// separate threads and merging — the invariant that lets the prefill
+    /// executor genuinely overlap the shadow MatMul with the quantized
+    /// main path.
+    ///
     /// # Errors
     ///
     /// Returns an error on inner-dimension mismatch.
     pub fn forward(&self, x: &Tensor<f32>) -> Result<ShadowOutput> {
-        // NPU half: clip to the calibrated range and run dense W8A8 with
-        // the per-channel dequantization fused into the kernel epilogue.
-        let limit = QMAX * self.act_scale;
-        let clipped = x.map(|v| v.clamp(-limit, limit));
-        let xq = QuantizedMatrix::quantize_with_scale(&clipped, self.act_scale);
-        let mut y = gemm::matmul_i8_per_channel_prepacked(
-            xq.data(),
-            self.weight.packed(),
-            self.act_scale,
-            self.weight.scales(),
-            llmnpu_tensor::kernel::parallel::default_threads(),
-        )?;
-
-        // CPU half: compact outlier residuals × the same weights, in float.
+        let mut y = self.forward_main(x)?;
         let mut extracted = Vec::new();
-        if self.shadow_enabled {
-            let outliers = extract_outliers(x, self.act_scale);
-            if !outliers.is_empty() {
-                let shadow = self.shadow_matmul(&outliers)?;
-                gemm::accumulate(&mut y, &shadow)?;
-                extracted = outliers.channels;
-            }
+        if let Some((shadow, channels)) = self.forward_shadow(x)? {
+            gemm::accumulate(&mut y, &shadow)?;
+            extracted = channels;
         }
         Ok(ShadowOutput {
             output: y,
             extracted_channels: extracted,
         })
+    }
+
+    /// The NPU half alone: clip to the calibrated range and run dense
+    /// W8A8 with the per-channel dequantization fused into the kernel
+    /// epilogue. The full result is `main + forward_shadow` (elementwise
+    /// accumulate), in that order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on inner-dimension mismatch.
+    pub fn forward_main(&self, x: &Tensor<f32>) -> Result<Tensor<f32>> {
+        let limit = QMAX * self.act_scale;
+        let clipped = x.map(|v| v.clamp(-limit, limit));
+        let xq = QuantizedMatrix::quantize_with_scale(&clipped, self.act_scale);
+        Ok(gemm::matmul_i8_per_channel_prepacked(
+            xq.data(),
+            self.weight.packed(),
+            self.act_scale,
+            self.weight.scales(),
+            llmnpu_tensor::kernel::parallel::default_threads(),
+        )?)
+    }
+
+    /// The CPU shadow half alone: compact outlier residuals × the same
+    /// weights, in float. Returns `None` when the shadow path is pruned
+    /// or the input has no outliers (the merge is then a no-op, exactly
+    /// as in the fused [`ShadowLinear::forward`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an extracted channel is out of range.
+    pub fn forward_shadow(&self, x: &Tensor<f32>) -> Result<Option<(Tensor<f32>, Vec<usize>)>> {
+        if !self.shadow_enabled {
+            return Ok(None);
+        }
+        let outliers = extract_outliers(x, self.act_scale);
+        if outliers.is_empty() {
+            return Ok(None);
+        }
+        let shadow = self.shadow_matmul(&outliers)?;
+        Ok(Some((shadow, outliers.channels)))
     }
 
     /// The compact CPU-side MatMul: residuals `[m, |C|]` × the selected
@@ -647,6 +678,37 @@ mod tests {
         let y_ref = layer.forward_float(&x).unwrap();
         let rel = out.output.mse(&y_ref).unwrap().sqrt() / y_ref.abs_max().max(1e-6);
         assert!(rel < 0.02, "rel err {rel}");
+    }
+
+    #[test]
+    fn split_halves_bit_match_fused_forward() {
+        // The overlap invariant: running main and shadow separately and
+        // merging must equal the fused forward bit-for-bit (the executor
+        // runs the halves on different lanes).
+        let w = ramp(16, 8, 0.5);
+        let mut xv = vec![0.04_f32; 32];
+        xv[5] = 45.0;
+        xv[16 + 9] = -30.0;
+        let x = Tensor::from_vec(xv, [2, 16]).unwrap();
+        let scale = 0.08 / QMAX;
+        let layer = ShadowLinear::new(&w, scale);
+
+        let fused = layer.forward(&x).unwrap();
+        let mut merged = layer.forward_main(&x).unwrap();
+        let (shadow, channels) = layer.forward_shadow(&x).unwrap().expect("outliers present");
+        gemm::accumulate(&mut merged, &shadow).unwrap();
+        assert_eq!(fused.output.as_slice(), merged.as_slice());
+        assert_eq!(fused.extracted_channels, channels);
+
+        // Pruned/clean inputs report no shadow half at all.
+        let clean = Tensor::from_vec(vec![0.01_f32; 16], [1, 16]).unwrap();
+        assert!(layer.forward_shadow(&clean).unwrap().is_none());
+        let pruned = ShadowLinear::new(&w, scale).with_shadow_disabled();
+        assert!(pruned.forward_shadow(&x).unwrap().is_none());
+        assert_eq!(
+            pruned.forward(&x).unwrap().output.as_slice(),
+            pruned.forward_main(&x).unwrap().as_slice()
+        );
     }
 
     #[test]

@@ -18,6 +18,12 @@ pub enum Error {
         /// Maximum supported size.
         limit: usize,
     },
+    /// The numeric DAG executor failed (plan/model mismatch, a stage
+    /// error, or a cross-check violation).
+    Exec {
+        /// Description of the failure.
+        what: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -33,6 +39,7 @@ impl fmt::Display for Error {
                     "dag of {tasks} tasks exceeds optimal-search limit {limit}"
                 )
             }
+            Error::Exec { what } => write!(f, "numeric execution error: {what}"),
         }
     }
 }

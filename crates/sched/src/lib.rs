@@ -18,17 +18,39 @@
 //!
 //! The scheduling constraint is Equation 4: one task per processor at any
 //! time; the simulator in `llmnpu-soc` enforces it.
+//!
+//! Since the timing/numeric unification, this crate also owns the *real*
+//! execution resources:
+//!
+//! * [`pool`] — the persistent, deterministically-partitioned
+//!   [`WorkerPool`] that replaces per-call `std::thread::scope` spawning
+//!   in `llmnpu_tensor::kernel::parallel` (created once per engine,
+//!   installable as the kernel layer's parallel backend),
+//! * [`runner`] — the numeric out-of-order DAG executor
+//!   ([`execute_chunked_prefill`]): the same [`PrefillDag`] the policies
+//!   above price analytically, executed for real against a
+//!   `Transformer`, with shadow-outlier tasks genuinely overlapping the
+//!   quantized main path and an [`ExecutedTimeline`] measured for
+//!   cross-checking against the simulated one.
+//!
+//! [`PrefillDag`]: llmnpu_graph::dag::PrefillDag
 
-#![forbid(unsafe_code)]
+// The pool performs one narrowly-scoped lifetime erasure (see
+// `pool`'s module docs); everything else stays compiler-checked.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod error;
 mod exec;
 mod optimal;
+pub mod pool;
+pub mod runner;
 
 pub use error::Error;
 pub use exec::{schedule, ScheduleOutcome};
 pub use optimal::{optimal_makespan, OPTIMAL_LIMIT};
+pub use pool::WorkerPool;
+pub use runner::{execute_chunked_prefill, ExecutedTask, ExecutedTimeline, NumericPrefill};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,554 @@
+//! The persistent worker pool: engine-lifetime threads replacing the
+//! per-call `std::thread::scope` spawning in
+//! `llmnpu_tensor::kernel::parallel`.
+//!
+//! # Design
+//!
+//! A [`WorkerPool`] owns `workers - 1` parked OS threads plus the
+//! calling thread, for `workers` total lanes. Work arrives as batches of
+//! [`Job`]s and is **deterministically partitioned**: job `i` always
+//! runs on lane `i % workers` (the last lane is the submitting thread),
+//! so repeated forward passes send the same band of the same GEMM to the
+//! same worker — which keeps that worker's thread-local A-panel scratch
+//! arena exactly warm. Numeric results never depend on the assignment
+//! (band contents are assignment-invariant); determinism here is purely
+//! a cache/allocation property.
+//!
+//! Two dispatch modes share the broadcast machinery:
+//!
+//! * [`WorkerPool::run_jobs`] (the [`ParallelBackend`] impl) is the
+//!   fork-join mode for GEMM bands: non-blocking jobs, any count. When
+//!   the pool cannot take a batch (nested submission, a worker thread
+//!   itself, or a concurrent batch in flight) the jobs run inline on the
+//!   caller — correct because band results are placement-invariant.
+//! * [`WorkerPool::run_concurrent`] is the lane mode for the DAG
+//!   executor: each job is a *lane loop* that may block on a condition
+//!   variable waiting for tasks, so it must be guaranteed its own
+//!   thread. The call returns `false` (running nothing) when that
+//!   guarantee cannot be given, and the executor falls back to its
+//!   sequential dispatcher.
+//!
+//! Workers install `InlineBackend` on themselves at startup: a GEMM
+//! issued from inside a pool-run task never re-enters the pool — at
+//! task level the lanes are the parallelism, exactly the paper's
+//! one-task-per-processor constraint (Equation 4).
+//!
+//! # Why the one `unsafe` impl
+//!
+//! Jobs borrow the caller's stack (`&mut` output bands), so their
+//! lifetime is shorter than the worker threads'. The pool erases that
+//! lifetime by passing a raw pointer to the job slice. Soundness rests
+//! on two invariants, both local to this module: (1) the submitting
+//! thread does not return from a broadcast until every worker has
+//! checked in for the batch, so the borrow outlives every access; and
+//! (2) lane `l` touches only indices `i ≡ l (mod workers)`, so no two
+//! threads ever touch the same job. This is the same argument every
+//! scoped-pool implementation (rayon, crossbeam) makes; the rest of the
+//! crate stays `unsafe`-free and the compiler enforces it
+//! (`#![deny(unsafe_code)]` with a scoped allow here).
+
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, TryLockError};
+use std::thread::JoinHandle;
+
+use llmnpu_tensor::kernel::parallel::{self, InlineBackend, Job, ParallelBackend};
+
+thread_local! {
+    /// Set on pool worker threads: nested dispatch from a worker always
+    /// runs inline (the worker *is* the parallelism).
+    static IN_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Whether the current thread is a pool worker.
+#[must_use]
+pub fn on_pool_worker() -> bool {
+    IN_POOL_WORKER.with(std::cell::Cell::get)
+}
+
+/// A lifetime-erased view of the submitted job slice.
+///
+/// Safety: see the module docs — the submitter blocks until all workers
+/// check in, and lane partitioning keeps element access disjoint.
+struct JobsPtr {
+    ptr: *mut Job<'static>,
+    len: usize,
+}
+
+unsafe impl Send for JobsPtr {}
+
+struct Batch {
+    /// Monotonically increasing batch id; workers run each id once.
+    epoch: u64,
+    jobs: Option<JobsPtr>,
+    /// Spawned workers that have finished their lane for this epoch.
+    done_workers: usize,
+}
+
+struct Shared {
+    batch: Mutex<Batch>,
+    work: Condvar,
+    done: Condvar,
+    shutdown: AtomicBool,
+    /// Set when a job panicked on a worker; the submitting thread
+    /// re-raises after the batch completes (a silently swallowed panic
+    /// would hide kernel assertion failures).
+    worker_panicked: AtomicBool,
+}
+
+/// A persistent, deterministically-partitioned worker pool.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    /// Serializes broadcasts; `try_lock` failure means "pool busy" and
+    /// the submission degrades gracefully (inline / `false`).
+    submit: Mutex<()>,
+    /// Total lanes, spawned threads plus the submitting thread.
+    workers: usize,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers)
+            .field("spawned", &self.handles.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Creates a pool with `workers` total lanes (`workers - 1` spawned
+    /// threads; the submitting thread is the last lane). `workers = 1`
+    /// spawns nothing and runs everything inline.
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            batch: Mutex::new(Batch {
+                epoch: 0,
+                jobs: None,
+                done_workers: 0,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            worker_panicked: AtomicBool::new(false),
+        });
+        let handles = (0..workers - 1)
+            .map(|lane| {
+                // Pool construction is the only spawn site; forwards
+                // against a live pool spawn nothing (counter-pinned).
+                parallel::note_thread_spawn();
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("llmnpu-pool-{lane}"))
+                    .spawn(move || worker_loop(&shared, lane, workers))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            submit: Mutex::new(()),
+            workers,
+            handles,
+        }
+    }
+
+    /// Pool size from the `LLMNPU_POOL_WORKERS` environment variable,
+    /// falling back to `default`. The CI matrix uses this to force
+    /// multi-worker execution on any host.
+    #[must_use]
+    pub fn env_workers(default: usize) -> usize {
+        std::env::var("LLMNPU_POOL_WORKERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&w| w >= 1)
+            .unwrap_or(default)
+    }
+
+    /// Total lanes (spawned threads + the submitting thread).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Installs this pool as the current thread's kernel parallel
+    /// backend for the duration of `f` — every GEMM band dispatched on
+    /// this thread then runs on the pool with zero thread spawns.
+    pub fn install_scope<R>(self: &Arc<Self>, f: impl FnOnce() -> R) -> R {
+        let backend: Arc<dyn ParallelBackend> = Arc::clone(self) as Arc<dyn ParallelBackend>;
+        parallel::with_backend(backend, f)
+    }
+
+    /// Runs `jobs` with each job guaranteed **its own thread** for the
+    /// whole batch (lane mode, for job bodies that block on each other).
+    /// Returns `false` without running anything when that guarantee is
+    /// unavailable: more jobs than lanes, called from a pool worker, or
+    /// a batch already in flight.
+    pub fn run_concurrent(&self, jobs: &mut [Job<'_>]) -> bool {
+        if jobs.len() > self.workers || on_pool_worker() {
+            return false;
+        }
+        if jobs.len() <= 1 {
+            // A single blocking lane needs no concurrency guarantee.
+            for job in jobs.iter_mut() {
+                job.run();
+            }
+            return true;
+        }
+        let guard = match self.submit.try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::WouldBlock) => return false,
+            // A propagated job panic unwound through `broadcast` and
+            // poisoned the lock; the `()` payload guards no invariants
+            // (batch state is reset at every broadcast), so recover —
+            // treating poison as permanent would silently demote every
+            // later batch for the pool's whole lifetime.
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+        };
+        self.broadcast(jobs);
+        drop(guard);
+        true
+    }
+
+    /// Broadcasts a batch: workers take lanes `i % workers`, the caller
+    /// takes lane `workers - 1`, and the call returns once every spawned
+    /// worker has checked in. Caller must hold `submit`.
+    fn broadcast(&self, jobs: &mut [Job<'_>]) {
+        let lanes = self.workers;
+        // SAFETY (lifetime erasure): `broadcast` blocks below until all
+        // spawned workers have checked in for this epoch, so `jobs`
+        // outlives every worker access; lane partitioning makes the
+        // element accesses disjoint (module docs).
+        let ptr = jobs.as_mut_ptr().cast::<Job<'static>>();
+        let len = jobs.len();
+        {
+            let mut batch = self.shared.batch.lock().expect("pool mutex");
+            batch.epoch += 1;
+            batch.jobs = Some(JobsPtr { ptr, len });
+            batch.done_workers = 0;
+            self.shared.work.notify_all();
+        }
+        // The caller is lane `lanes - 1`. Its panic (like a worker's) is
+        // caught so the wait below always happens — unwinding out of
+        // this frame while workers still hold the erased borrow would be
+        // a use-after-free, and it is exactly what the SAFETY argument
+        // forbids.
+        let caller_panic = run_lane(ptr, len, lanes - 1, lanes);
+        {
+            let mut batch = self.shared.batch.lock().expect("pool mutex");
+            while batch.done_workers != lanes - 1 {
+                batch = self.shared.done.wait(batch).expect("pool mutex");
+            }
+            batch.jobs = None;
+        }
+        // Clear the worker flag *before* any re-raise: if both the
+        // caller's lane and a worker panicked in this batch, a stale
+        // flag would otherwise fail the next (clean) batch.
+        let worker_panicked = self.shared.worker_panicked.swap(false, Ordering::AcqRel);
+        if let Some(payload) = caller_panic {
+            std::panic::resume_unwind(payload);
+        }
+        if worker_panicked {
+            panic!("a pool worker panicked while running a batch");
+        }
+    }
+}
+
+/// Runs the jobs of one lane: indices `lane, lane + lanes, …`.
+/// A panicking job is caught and returned so the lane can still check
+/// in (the batch protocol must complete even on failure).
+fn run_lane(
+    ptr: *mut Job<'static>,
+    len: usize,
+    lane: usize,
+    lanes: usize,
+) -> Option<Box<dyn std::any::Any + Send>> {
+    let mut first_panic = None;
+    let mut i = lane;
+    while i < len {
+        // SAFETY: disjoint lane indices; slice alive until all workers
+        // check in (module docs).
+        let job = unsafe { &mut *ptr.add(i) };
+        if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.run())) {
+            first_panic.get_or_insert(payload);
+        }
+        i += lanes;
+    }
+    first_panic
+}
+
+fn worker_loop(shared: &Shared, lane: usize, lanes: usize) {
+    IN_POOL_WORKER.with(|f| f.set(true));
+    // Nested GEMMs inside pool-run tasks stay inline: at task level the
+    // lanes are the parallelism.
+    parallel::install_backend(Some(Arc::new(InlineBackend)));
+    let mut seen_epoch = 0u64;
+    loop {
+        let (ptr, len) = {
+            let mut batch = shared.batch.lock().expect("pool mutex");
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if batch.epoch != seen_epoch {
+                    if let Some(jobs) = batch.jobs.as_ref() {
+                        seen_epoch = batch.epoch;
+                        break (jobs.ptr, jobs.len);
+                    }
+                }
+                batch = shared.work.wait(batch).expect("pool mutex");
+            }
+        };
+        if run_lane(ptr, len, lane, lanes).is_some() {
+            shared.worker_panicked.store(true, Ordering::Release);
+        }
+        let mut batch = shared.batch.lock().expect("pool mutex");
+        batch.done_workers += 1;
+        if batch.done_workers == lanes - 1 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+impl ParallelBackend for WorkerPool {
+    /// Fork-join mode for GEMM bands. Jobs must not block on each other
+    /// (kernel bands never do); when the pool cannot take the batch the
+    /// jobs run inline on the caller, which is always numerically
+    /// equivalent.
+    fn run_jobs(&self, jobs: &mut [Job<'_>]) {
+        if jobs.is_empty() {
+            return;
+        }
+        if self.handles.is_empty() || jobs.len() == 1 || on_pool_worker() {
+            for job in jobs.iter_mut() {
+                job.run();
+            }
+            return;
+        }
+        match self.submit.try_lock() {
+            // Poison only means an earlier batch's panic unwound through
+            // `broadcast`; the batch state is reset per broadcast, so
+            // recover rather than permanently degrading to inline.
+            Ok(guard) => {
+                self.broadcast(jobs);
+                drop(guard);
+            }
+            Err(TryLockError::Poisoned(p)) => {
+                let guard = p.into_inner();
+                self.broadcast(jobs);
+                drop(guard);
+            }
+            // Busy (nested or concurrent submission): inline.
+            Err(TryLockError::WouldBlock) => {
+                for job in jobs.iter_mut() {
+                    job.run();
+                }
+            }
+        }
+    }
+
+    fn workers(&self) -> usize {
+        self.workers
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.work.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_runs_every_job_exactly_once() {
+        let pool = WorkerPool::new(4);
+        for jobs_n in [1usize, 2, 3, 4, 7, 16, 33] {
+            let mut hits = vec![0u32; jobs_n];
+            {
+                let mut jobs: Vec<Job<'_>> =
+                    hits.iter_mut().map(|h| Job::new(move || *h += 1)).collect();
+                pool.run_jobs(&mut jobs);
+            }
+            assert!(hits.iter().all(|&h| h == 1), "{jobs_n} jobs: {hits:?}");
+        }
+    }
+
+    #[test]
+    fn pool_of_one_is_inline() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.workers(), 1);
+        let mut hit = false;
+        let caller = std::thread::current().id();
+        let mut jobs = vec![Job::new(|| {
+            hit = std::thread::current().id() == caller;
+        })];
+        pool.run_jobs(&mut jobs);
+        drop(jobs);
+        assert!(hit, "single-lane pool must run on the caller");
+    }
+
+    #[test]
+    fn deterministic_lane_assignment() {
+        // Job i must land on the same thread in every batch.
+        let pool = WorkerPool::new(3);
+        let observe = || {
+            let mut ids = vec![None; 6];
+            {
+                let mut jobs: Vec<Job<'_>> = ids
+                    .iter_mut()
+                    .map(|slot| {
+                        Job::new(move || {
+                            *slot = Some(std::thread::current().id());
+                        })
+                    })
+                    .collect();
+                pool.run_jobs(&mut jobs);
+            }
+            ids
+        };
+        let first = observe();
+        for _ in 0..5 {
+            assert_eq!(observe(), first);
+        }
+        // Lanes i and i + workers share a thread.
+        assert_eq!(first[0], first[3]);
+        assert_eq!(first[1], first[4]);
+        assert!(first.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn run_concurrent_gives_each_job_its_own_thread() {
+        use std::sync::mpsc;
+        let pool = WorkerPool::new(2);
+        // Two jobs that must be alive simultaneously: each sends, then
+        // waits for the other's message. Deadlocks unless truly
+        // concurrent (a 10 s timeout turns that into a failure).
+        let (ta, ra) = mpsc::channel::<()>();
+        let (tb, rb) = mpsc::channel::<()>();
+        let mut jobs = vec![
+            Job::new(move || {
+                ta.send(()).unwrap();
+                rb.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
+            }),
+            Job::new(move || {
+                tb.send(()).unwrap();
+                ra.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
+            }),
+        ];
+        assert!(pool.run_concurrent(&mut jobs));
+    }
+
+    #[test]
+    fn run_concurrent_refuses_oversized_batches() {
+        let pool = WorkerPool::new(2);
+        let mut ran = [false; 3];
+        {
+            let mut jobs: Vec<Job<'_>> = ran
+                .iter_mut()
+                .map(|r| Job::new(move || *r = true))
+                .collect();
+            assert!(!pool.run_concurrent(&mut jobs));
+        }
+        assert!(ran.iter().all(|&r| !r), "refused batch must not run");
+    }
+
+    #[test]
+    fn nested_submission_runs_inline() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let inner = Arc::clone(&pool);
+        let mut ok = false;
+        {
+            let ok = &mut ok;
+            let mut outer = vec![Job::new(move || {
+                // From a worker (or mid-batch caller), nested batches
+                // must degrade to inline execution, not deadlock.
+                let mut hits = [0u32; 4];
+                {
+                    let mut jobs: Vec<Job<'_>> =
+                        hits.iter_mut().map(|h| Job::new(move || *h += 1)).collect();
+                    inner.run_jobs(&mut jobs);
+                }
+                *ok = hits.iter().all(|&h| h == 1);
+            })];
+            pool.run_jobs(&mut outer);
+        }
+        assert!(ok);
+    }
+
+    #[test]
+    fn pool_as_installed_backend_spawns_nothing() {
+        let pool = Arc::new(WorkerPool::new(4));
+        let before = parallel::thread_spawns();
+        pool.install_scope(|| {
+            let mut c = vec![0u32; 64];
+            parallel::run_row_partitioned(4, 8, 8, &mut c, |row0, rows, band| {
+                for r in 0..rows {
+                    for x in &mut band[r * 8..(r + 1) * 8] {
+                        *x = (row0 + r) as u32;
+                    }
+                }
+            });
+            for r in 0..8 {
+                assert!(c[r * 8..(r + 1) * 8].iter().all(|&x| x == r as u32));
+            }
+            assert_eq!(parallel::effective_threads(16), 4, "pool caps at lanes");
+        });
+        assert_eq!(parallel::thread_spawns(), before, "no spawns per call");
+    }
+
+    #[test]
+    fn worker_panic_is_propagated_not_deadlocked() {
+        let pool = WorkerPool::new(3);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut jobs: Vec<Job<'_>> = (0..6)
+                .map(|i| {
+                    Job::new(move || {
+                        if i == 1 {
+                            panic!("boom");
+                        }
+                    })
+                })
+                .collect();
+            pool.run_jobs(&mut jobs);
+        }));
+        assert!(result.is_err(), "worker panic must surface to the caller");
+        // The pool must still *parallelize* afterwards — the panic
+        // poisons the submit mutex, and treating poison as permanent
+        // would silently demote every later batch to inline execution.
+        let caller = std::thread::current().id();
+        let mut ids = [None; 4];
+        {
+            let mut jobs: Vec<Job<'_>> = ids
+                .iter_mut()
+                .map(|slot| {
+                    Job::new(move || {
+                        *slot = Some(std::thread::current().id());
+                    })
+                })
+                .collect();
+            pool.run_jobs(&mut jobs);
+        }
+        assert!(ids.iter().all(Option::is_some));
+        assert!(
+            ids.iter().any(|id| *id != Some(caller)),
+            "post-panic batches must still reach the workers"
+        );
+    }
+
+    #[test]
+    fn env_workers_parses_and_falls_back() {
+        // Only the fallback path is exercised hermetically (setting env
+        // vars is racy under the multithreaded test harness).
+        let w = WorkerPool::env_workers(3);
+        assert!(w >= 1);
+    }
+}

@@ -1,0 +1,792 @@
+//! The numeric out-of-order DAG executor: runs the chunked-prefill task
+//! DAG **for real** on the transformer, not just analytically.
+//!
+//! This is the other half of the unified planes (§3.4): the same
+//! [`PrefillDag`] that `crate::exec::schedule` prices on the simulated
+//! SoC is executed here with one closure per task over the
+//! `Transformer`'s stage functions — quantized main-path projections,
+//! shadow-outlier float MatMuls, and the merge/rope/attention stages in
+//! between. Tasks are dispatched out-of-order as their dependencies
+//! resolve, across one serial *lane* per processor (Equation 4: one task
+//! per processor at a time), with the lane loops running on the
+//! persistent [`WorkerPool`] so the CPU shadow lane genuinely overlaps
+//! the NPU main lane in wall-clock time.
+//!
+//! # Determinism
+//!
+//! Executed outputs are **bit-identical** to the sequential
+//! [`Transformer::prefill_chunked`] at every worker count, every policy,
+//! and across repeated runs: each task closure *is* the corresponding
+//! stage call of the sequential forward (the sequential path is composed
+//! from the same functions), task inputs are fixed by the dependency
+//! edges, and the kernel layer is thread-count-invariant. Scheduling
+//! order changes only the wall-clock interleaving recorded in the
+//! [`ExecutedTimeline`], never a float.
+
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use llmnpu_graph::chunk::ChunkPlan;
+use llmnpu_graph::dag::{PrefillDag, Task, TaskRole};
+use llmnpu_graph::layer::Stage;
+use llmnpu_model::forward::{FfnMains, FfnShadows, QkvMains, QkvShadows, Transformer};
+use llmnpu_model::kv::KvCache;
+use llmnpu_soc::Processor;
+use llmnpu_tensor::kernel::parallel::Job;
+use llmnpu_tensor::Tensor;
+
+use crate::pool::WorkerPool;
+use crate::{Error, Policy, Result};
+
+const EPS: f64 = 1e-9;
+
+/// One executed task, with wall-clock timestamps relative to the start
+/// of the run (milliseconds).
+#[derive(Debug, Clone)]
+pub struct ExecutedTask {
+    /// The DAG task's label (matches the simulated timeline's labels).
+    pub label: String,
+    /// Chunk index.
+    pub chunk: usize,
+    /// Decoder layer.
+    pub layer: usize,
+    /// Host stage.
+    pub stage: Stage,
+    /// Pipeline role (main / shadow / merge).
+    pub role: TaskRole,
+    /// Lane (processor) the task ran on.
+    pub processor: Processor,
+    /// Wall-clock start, ms from run start.
+    pub start_ms: f64,
+    /// Wall-clock end, ms from run start.
+    pub end_ms: f64,
+}
+
+/// The executed (wall-clock) timeline of one numeric prefill — the
+/// measured counterpart of the simulator's analytic timeline.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutedTimeline {
+    tasks: Vec<ExecutedTask>,
+}
+
+impl ExecutedTimeline {
+    /// All executed tasks, in completion order.
+    #[must_use]
+    pub fn entries(&self) -> &[ExecutedTask] {
+        &self.tasks
+    }
+
+    /// Wall-clock completion time of the last task (ms from run start).
+    #[must_use]
+    pub fn makespan_ms(&self) -> f64 {
+        self.tasks.iter().map(|t| t.end_ms).fold(0.0, f64::max)
+    }
+
+    /// Total busy time of one lane.
+    #[must_use]
+    pub fn lane_busy_ms(&self, p: Processor) -> f64 {
+        self.tasks
+            .iter()
+            .filter(|t| t.processor == p)
+            .map(|t| t.end_ms - t.start_ms)
+            .sum()
+    }
+
+    /// Total wall-clock overlap between tasks selected by `a` and tasks
+    /// selected by `b` — the direct measurement of "these really ran
+    /// concurrently" (e.g. shadow-outlier tasks vs NPU main tasks).
+    #[must_use]
+    pub fn overlap_ms(
+        &self,
+        a: impl Fn(&ExecutedTask) -> bool,
+        b: impl Fn(&ExecutedTask) -> bool,
+    ) -> f64 {
+        let xs: Vec<&ExecutedTask> = self.tasks.iter().filter(|t| a(t)).collect();
+        let ys: Vec<&ExecutedTask> = self.tasks.iter().filter(|t| b(t)).collect();
+        let mut total = 0.0;
+        for x in &xs {
+            for y in &ys {
+                if std::ptr::eq(*x, *y) {
+                    continue;
+                }
+                let lo = x.start_ms.max(y.start_ms);
+                let hi = x.end_ms.min(y.end_ms);
+                if hi > lo {
+                    total += hi - lo;
+                }
+            }
+        }
+        total
+    }
+
+    /// Cross-checks this executed timeline against the DAG both planes
+    /// share: every DAG task ran exactly once, every dependency finished
+    /// before its dependent started, and every lane ran one task at a
+    /// time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Exec`] describing the first violation.
+    pub fn validate_against(&self, dag: &PrefillDag) -> Result<()> {
+        if self.tasks.len() != dag.len() {
+            return Err(Error::Exec {
+                what: format!("executed {} of {} dag tasks", self.tasks.len(), dag.len()),
+            });
+        }
+        let mut by_label = std::collections::HashMap::new();
+        for t in &self.tasks {
+            if by_label.insert(t.label.as_str(), t).is_some() {
+                return Err(Error::Exec {
+                    what: format!("task {} executed twice", t.label),
+                });
+            }
+        }
+        for (i, task) in dag.tasks().iter().enumerate() {
+            let e = by_label
+                .get(task.label.as_str())
+                .ok_or_else(|| Error::Exec {
+                    what: format!("dag task {} never executed", task.label),
+                })?;
+            for &d in dag.deps(i) {
+                let de = by_label[dag.tasks()[d].label.as_str()];
+                if de.end_ms > e.start_ms + EPS {
+                    return Err(Error::Exec {
+                        what: format!(
+                            "{} started at {:.4} before dep {} ended at {:.4}",
+                            e.label, e.start_ms, de.label, de.end_ms
+                        ),
+                    });
+                }
+            }
+        }
+        for p in Processor::ALL {
+            let mut spans: Vec<(f64, f64)> = self
+                .tasks
+                .iter()
+                .filter(|t| t.processor == p)
+                .map(|t| (t.start_ms, t.end_ms))
+                .collect();
+            spans.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite timestamps"));
+            for w in spans.windows(2) {
+                if w[0].1 > w[1].0 + EPS {
+                    return Err(Error::Exec {
+                        what: format!("lane {p} ran two tasks at once: {w:?}"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Result of executing a chunked prefill through the DAG runner.
+#[derive(Debug)]
+pub struct NumericPrefill {
+    /// Final hidden states `[prompt_len, hidden]`, row-concatenated in
+    /// chunk order — bit-identical to `Transformer::prefill_chunked`.
+    pub hidden: Tensor<f32>,
+    /// The populated KV cache, ready for decode.
+    pub cache: KvCache,
+    /// The measured execution timeline.
+    pub timeline: ExecutedTimeline,
+}
+
+/// Per-chunk activation slots flowing between stage tasks. A chunk's
+/// stages form a dependency chain, so at most one task touches a slot
+/// at a time; the mutexes exist for `Sync`, not for contention.
+struct ChunkSlots {
+    h: Mutex<Tensor<f32>>,
+    a_in: Mutex<Option<std::sync::Arc<Tensor<f32>>>>,
+    q: Mutex<Option<Tensor<f32>>>,
+    attn: Mutex<Option<Tensor<f32>>>,
+    f_in: Mutex<Option<std::sync::Arc<Tensor<f32>>>>,
+    qkv_mains: Mutex<Option<QkvMains>>,
+    qkv_shadows: Mutex<Option<QkvShadows>>,
+    ffn_mains: Mutex<Option<FfnMains>>,
+    ffn_shadows: Mutex<Option<FfnShadows>>,
+}
+
+/// Position-addressed K/V storage for one layer: chunk `c` writes rows
+/// `[c·chunk_len, c·chunk_len + len_c)`, so append *order* across
+/// out-of-order chunks cannot matter — the dependency edges only have to
+/// guarantee the rows are present before attention reads them, which is
+/// exactly Equation 2.
+struct LayerKvBuf {
+    k: Mutex<Vec<f32>>,
+    v: Mutex<Vec<f32>>,
+}
+
+struct ExecCtx<'t, 'w> {
+    t: &'t Transformer<'w>,
+    chunks: Vec<ChunkSlots>,
+    kv: Vec<LayerKvBuf>,
+    /// `(token_start, token_len)` per chunk (last chunk may be short).
+    bounds: Vec<(usize, usize)>,
+    chunk_len: usize,
+    kv_dim: usize,
+    prompt_len: usize,
+}
+
+impl ExecCtx<'_, '_> {
+    fn write_kv(&self, layer: usize, chunk: usize, k: &Tensor<f32>, v: &Tensor<f32>) {
+        let (start, len) = self.bounds[chunk];
+        let lo = start * self.kv_dim;
+        let hi = (start + len) * self.kv_dim;
+        self.kv[layer].k.lock().expect("kv mutex")[lo..hi].copy_from_slice(k.as_slice());
+        self.kv[layer].v.lock().expect("kv mutex")[lo..hi].copy_from_slice(v.as_slice());
+    }
+
+    fn read_kv(&self, layer: usize, visible_rows: usize) -> (Tensor<f32>, Tensor<f32>) {
+        let hi = visible_rows * self.kv_dim;
+        let k = Tensor::from_vec(
+            self.kv[layer].k.lock().expect("kv mutex")[..hi].to_vec(),
+            [visible_rows, self.kv_dim],
+        )
+        .expect("kv shape");
+        let v = Tensor::from_vec(
+            self.kv[layer].v.lock().expect("kv mutex")[..hi].to_vec(),
+            [visible_rows, self.kv_dim],
+        )
+        .expect("kv shape");
+        (k, v)
+    }
+}
+
+type TaskFn<'run> = Box<dyn FnOnce() -> std::result::Result<(), String> + Send + 'run>;
+
+fn take<T>(slot: &Mutex<Option<T>>, what: &str) -> std::result::Result<T, String> {
+    slot.lock()
+        .expect("slot mutex")
+        .take()
+        .ok_or_else(|| format!("missing {what} input"))
+}
+
+/// Builds the executable closure for one DAG task.
+fn task_closure<'run>(ctx: &'run ExecCtx<'_, '_>, task: &Task, split: bool) -> TaskFn<'run> {
+    let chunk = task.chunk;
+    let layer = task.layer;
+    let stage = task.stage;
+    let role = task.role;
+    Box::new(move || {
+        let t = ctx.t;
+        let slots = &ctx.chunks[chunk];
+        let (start_pos, _len) = ctx.bounds[chunk];
+        let err = |e: llmnpu_model::Error| e.to_string();
+        match (role, stage) {
+            (TaskRole::Main, Stage::AttnPre) => {
+                let a_in = {
+                    let h = slots.h.lock().expect("slot mutex");
+                    t.stage_attn_pre(layer, &h).map_err(err)?
+                };
+                *slots.a_in.lock().expect("slot mutex") = Some(std::sync::Arc::new(a_in));
+            }
+            (TaskRole::Main, Stage::QkvLinear) => {
+                let a_in = slots
+                    .a_in
+                    .lock()
+                    .expect("slot mutex")
+                    .clone()
+                    .ok_or("missing a_in input")?;
+                if split {
+                    // Shadow task attached: compute the quantized mains
+                    // only; the merge task finishes the stage.
+                    let mains = t.stage_qkv_main(layer, &a_in).map_err(err)?;
+                    *slots.qkv_mains.lock().expect("slot mutex") = Some(mains);
+                } else {
+                    let (q, k, v) = t.stage_qkv(layer, &a_in, start_pos).map_err(err)?;
+                    *slots.a_in.lock().expect("slot mutex") = None;
+                    ctx.write_kv(layer, chunk, &k, &v);
+                    *slots.q.lock().expect("slot mutex") = Some(q);
+                }
+            }
+            (TaskRole::Shadow, Stage::QkvLinear) => {
+                let a_in = slots
+                    .a_in
+                    .lock()
+                    .expect("slot mutex")
+                    .clone()
+                    .ok_or("missing a_in input")?;
+                let shadows = t.stage_qkv_shadow(layer, &a_in).map_err(err)?;
+                *slots.qkv_shadows.lock().expect("slot mutex") = Some(shadows);
+            }
+            (TaskRole::MergeSync, Stage::QkvLinear) => {
+                let mains = take(&slots.qkv_mains, "qkv mains")?;
+                let shadows = take(&slots.qkv_shadows, "qkv shadows")?;
+                let (q, k, v) = t.stage_qkv_finish(mains, shadows, start_pos).map_err(err)?;
+                *slots.a_in.lock().expect("slot mutex") = None;
+                ctx.write_kv(layer, chunk, &k, &v);
+                *slots.q.lock().expect("slot mutex") = Some(q);
+            }
+            (TaskRole::Main, Stage::Attention) => {
+                let q = take(&slots.q, "q")?;
+                // Equation 2's visibility: all tokens of chunks 0..=c
+                // (the plan's kv_len, clamped to the unpadded prompt).
+                let visible = ((chunk + 1) * ctx.chunk_len).min(ctx.prompt_len);
+                let (keys, values) = ctx.read_kv(layer, visible);
+                let attn = t
+                    .stage_attention(&q, &keys, &values, start_pos)
+                    .map_err(err)?;
+                *slots.attn.lock().expect("slot mutex") = Some(attn);
+            }
+            (TaskRole::Main, Stage::OProj) => {
+                let attn = take(&slots.attn, "attention output")?;
+                let mut h = slots.h.lock().expect("slot mutex");
+                *h = t.stage_attn_out(layer, &h, &attn).map_err(err)?;
+            }
+            (TaskRole::Main, Stage::FfnPre) => {
+                let f_in = {
+                    let h = slots.h.lock().expect("slot mutex");
+                    t.stage_ffn_pre(layer, &h).map_err(err)?
+                };
+                *slots.f_in.lock().expect("slot mutex") = Some(std::sync::Arc::new(f_in));
+            }
+            (TaskRole::Main, Stage::Ffn) => {
+                let f_in = slots
+                    .f_in
+                    .lock()
+                    .expect("slot mutex")
+                    .clone()
+                    .ok_or("missing f_in input")?;
+                if split {
+                    let mains = t.stage_ffn_mid_main(layer, &f_in).map_err(err)?;
+                    *slots.ffn_mains.lock().expect("slot mutex") = Some(mains);
+                } else {
+                    let mid = t.stage_ffn_mid(layer, &f_in).map_err(err)?;
+                    *slots.f_in.lock().expect("slot mutex") = None;
+                    let mut h = slots.h.lock().expect("slot mutex");
+                    *h = t.stage_ffn_down(layer, &h, &mid).map_err(err)?;
+                }
+            }
+            (TaskRole::Shadow, Stage::Ffn) => {
+                let f_in = slots
+                    .f_in
+                    .lock()
+                    .expect("slot mutex")
+                    .clone()
+                    .ok_or("missing f_in input")?;
+                let shadows = t.stage_ffn_mid_shadow(layer, &f_in).map_err(err)?;
+                *slots.ffn_shadows.lock().expect("slot mutex") = Some(shadows);
+            }
+            (TaskRole::MergeSync, Stage::Ffn) => {
+                let mains = take(&slots.ffn_mains, "ffn mains")?;
+                let shadows = take(&slots.ffn_shadows, "ffn shadows")?;
+                let mid = t.stage_ffn_mid_finish(mains, shadows).map_err(err)?;
+                *slots.f_in.lock().expect("slot mutex") = None;
+                let mut h = slots.h.lock().expect("slot mutex");
+                *h = t.stage_ffn_down(layer, &h, &mid).map_err(err)?;
+            }
+            (role, stage) => {
+                return Err(format!("unexecutable task: {role:?} on {stage:?}"));
+            }
+        }
+        Ok(())
+    })
+}
+
+/// Shared dispatch state for the lane loops.
+struct DispatchState {
+    scheduled: Vec<bool>,
+    done: Vec<bool>,
+    remaining: usize,
+    in_flight: usize,
+    aborted: bool,
+    error: Option<String>,
+    trace: Vec<Option<(f64, f64)>>,
+}
+
+struct Dispatcher<'d> {
+    dag: &'d PrefillDag,
+    successors: Vec<Vec<usize>>,
+    policy: Policy,
+    state: Mutex<DispatchState>,
+    cv: Condvar,
+    started: Instant,
+}
+
+impl<'d> Dispatcher<'d> {
+    fn new(dag: &'d PrefillDag, policy: Policy) -> Self {
+        let n = dag.len();
+        let mut successors: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for t in 0..n {
+            for &d in dag.deps(t) {
+                successors[d].push(t);
+            }
+        }
+        Dispatcher {
+            dag,
+            successors,
+            policy,
+            state: Mutex::new(DispatchState {
+                scheduled: vec![false; n],
+                done: vec![false; n],
+                remaining: n,
+                in_flight: 0,
+                aborted: false,
+                error: None,
+                trace: vec![None; n],
+            }),
+            cv: Condvar::new(),
+            started: Instant::now(),
+        }
+    }
+
+    fn ready(&self, st: &DispatchState, t: usize) -> bool {
+        self.dag.deps(t).iter().all(|&d| st.done[d])
+    }
+
+    /// Any task dispatchable on any lane right now?
+    fn any_ready(&self, st: &DispatchState) -> bool {
+        (0..self.dag.len()).any(|t| !st.scheduled[t] && self.ready(st, t))
+    }
+
+    /// Equation 5's C-value over boolean completion state: successors
+    /// that become ready once `g` completes, weighted by their *modeled*
+    /// duration (the executor prioritizes with the timing plane's
+    /// predictions, exactly as the paper's online scheduler does).
+    fn c_value(&self, st: &DispatchState, g: usize) -> f64 {
+        let tasks = self.dag.tasks();
+        let mut total = 0.0;
+        for &s in &self.successors[g] {
+            if st.scheduled[s] {
+                continue;
+            }
+            let others_ready = self.dag.deps(s).iter().all(|&d| d == g || st.done[d]);
+            if others_ready {
+                total += tasks[s].duration_ms;
+            }
+        }
+        if tasks[g].processor == Processor::Npu {
+            -total
+        } else {
+            total
+        }
+    }
+
+    /// Picks the next task for lane `p` under the policy, or `None`.
+    fn pick(&self, st: &DispatchState, p: Processor) -> Option<usize> {
+        let tasks = self.dag.tasks();
+        match self.policy {
+            Policy::Serial => {
+                let next = st.scheduled.iter().position(|&s| !s)?;
+                (tasks[next].processor == p && self.ready(st, next) && st.in_flight == 0)
+                    .then_some(next)
+            }
+            Policy::FifoQueues => {
+                let head =
+                    (0..tasks.len()).find(|&t| !st.scheduled[t] && tasks[t].processor == p)?;
+                self.ready(st, head).then_some(head)
+            }
+            Policy::OutOfOrder => {
+                let mut best: Option<(f64, usize)> = None;
+                for (t, task) in tasks.iter().enumerate() {
+                    if st.scheduled[t] || task.processor != p || !self.ready(st, t) {
+                        continue;
+                    }
+                    let c = self.c_value(st, t);
+                    let better = match best {
+                        None => true,
+                        Some((bc, bt)) => c > bc + EPS || ((c - bc).abs() <= EPS && t < bt),
+                    };
+                    if better {
+                        best = Some((c, t));
+                    }
+                }
+                best.map(|(_, t)| t)
+            }
+        }
+    }
+
+    fn now_ms(&self) -> f64 {
+        self.started.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Runs one task inline, recording timestamps and completion. A
+    /// panicking closure is converted into an executor error so the
+    /// other lane loops drain instead of waiting forever on a task that
+    /// will never complete.
+    fn run_task(&self, closures: &[Mutex<Option<TaskFn<'_>>>], t: usize) {
+        let closure = closures[t]
+            .lock()
+            .expect("closure mutex")
+            .take()
+            .expect("task dispatched twice");
+        let t0 = self.now_ms();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(closure))
+            .unwrap_or_else(|_| Err(format!("task {t} panicked")));
+        let t1 = self.now_ms();
+        let mut st = self.state.lock().expect("dispatch mutex");
+        st.trace[t] = Some((t0, t1));
+        st.done[t] = true;
+        st.remaining -= 1;
+        st.in_flight -= 1;
+        if let Err(e) = result {
+            st.aborted = true;
+            st.error.get_or_insert(e);
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// The blocking lane loop for processor `p` (one OS thread per lane).
+    fn lane_loop(&self, closures: &[Mutex<Option<TaskFn<'_>>>], p: Processor) {
+        loop {
+            let picked = {
+                let mut st = self.state.lock().expect("dispatch mutex");
+                loop {
+                    if st.aborted || st.remaining == 0 {
+                        return;
+                    }
+                    if let Some(t) = self.pick(&st, p) {
+                        st.scheduled[t] = true;
+                        st.in_flight += 1;
+                        break t;
+                    }
+                    if st.in_flight == 0 && !self.any_ready(&st) {
+                        st.aborted = true;
+                        st.error
+                            .get_or_insert_with(|| "dispatch deadlock".to_owned());
+                        drop(st);
+                        self.cv.notify_all();
+                        return;
+                    }
+                    st = self.cv.wait(st).expect("dispatch mutex");
+                }
+            };
+            self.run_task(closures, picked);
+        }
+    }
+
+    /// Single-threaded fallback: interleaves the lanes in NPU-first
+    /// order on the calling thread. Numerically identical to the
+    /// concurrent dispatcher; only the wall-clock overlap is lost.
+    fn sequential(&self, closures: &[Mutex<Option<TaskFn<'_>>>], lanes: &[Processor]) -> bool {
+        loop {
+            let picked = {
+                let mut st = self.state.lock().expect("dispatch mutex");
+                if st.aborted || st.remaining == 0 {
+                    return true;
+                }
+                let mut found = None;
+                for &p in lanes {
+                    if let Some(t) = self.pick(&st, p) {
+                        st.scheduled[t] = true;
+                        st.in_flight += 1;
+                        found = Some(t);
+                        break;
+                    }
+                }
+                let Some(found) = found else {
+                    st.aborted = true;
+                    st.error
+                        .get_or_insert_with(|| "dispatch deadlock".to_owned());
+                    return false;
+                };
+                found
+            };
+            self.run_task(closures, picked);
+        }
+    }
+}
+
+/// Executes a chunked prefill by running the DAG's tasks out-of-order
+/// across per-processor lanes on the persistent pool.
+///
+/// The DAG must have been built (`llmnpu_graph::dag::build_prefill_dag`)
+/// for `t.config()` and for `plan` (`plan.prompt_len == tokens.len()`).
+/// Returns the final hidden states — bit-identical to
+/// [`Transformer::prefill_chunked`] with the same chunk length — plus
+/// the populated KV cache and the measured execution timeline.
+///
+/// # Errors
+///
+/// Returns [`Error::Exec`] on a plan/DAG/model mismatch or a stage
+/// failure, and [`Error::Deadlock`] never (the DAG's topological
+/// validation precedes execution).
+pub fn execute_chunked_prefill(
+    t: &Transformer<'_>,
+    tokens: &[u32],
+    dag: &PrefillDag,
+    plan: &ChunkPlan,
+    policy: Policy,
+    pool: &WorkerPool,
+) -> Result<NumericPrefill> {
+    if tokens.len() != plan.prompt_len {
+        return Err(Error::Exec {
+            what: format!(
+                "plan is for {} tokens, got {}",
+                plan.prompt_len,
+                tokens.len()
+            ),
+        });
+    }
+    let cfg = t.config();
+    if let Some(bad) = dag.tasks().iter().find(|task| task.layer >= cfg.layers) {
+        return Err(Error::Exec {
+            what: format!(
+                "dag task {} references layer {} of a {}-layer model",
+                bad.label, bad.layer, cfg.layers
+            ),
+        });
+    }
+    dag.validate().map_err(|e| Error::Exec {
+        what: format!("invalid dag: {e}"),
+    })?;
+
+    // (layer, stage) pairs with a shadow task attached: their main tasks
+    // compute pre-merge halves only.
+    let split: std::collections::HashSet<(usize, Stage)> = dag
+        .tasks()
+        .iter()
+        .filter(|task| task.role == TaskRole::Shadow)
+        .map(|task| (task.layer, task.stage))
+        .collect();
+
+    // Per-chunk slots, seeded with the embedded hidden states.
+    let chunk_len = plan.chunk_len;
+    let mut bounds = Vec::with_capacity(plan.chunks);
+    let mut chunks = Vec::with_capacity(plan.chunks);
+    for (c, chunk_tokens) in tokens.chunks(chunk_len).enumerate() {
+        bounds.push((c * chunk_len, chunk_tokens.len()));
+        chunks.push(ChunkSlots {
+            h: Mutex::new(t.embed(chunk_tokens).map_err(exec_err)?),
+            a_in: Mutex::new(None),
+            q: Mutex::new(None),
+            attn: Mutex::new(None),
+            f_in: Mutex::new(None),
+            qkv_mains: Mutex::new(None),
+            qkv_shadows: Mutex::new(None),
+            ffn_mains: Mutex::new(None),
+            ffn_shadows: Mutex::new(None),
+        });
+    }
+    if bounds.len() != plan.chunks {
+        return Err(Error::Exec {
+            what: format!(
+                "plan expects {} chunks, tokens produce {}",
+                plan.chunks,
+                bounds.len()
+            ),
+        });
+    }
+    let kv_dim = cfg.kv_dim();
+    let kv = (0..cfg.layers)
+        .map(|_| LayerKvBuf {
+            k: Mutex::new(vec![0.0; tokens.len() * kv_dim]),
+            v: Mutex::new(vec![0.0; tokens.len() * kv_dim]),
+        })
+        .collect();
+    let ctx = ExecCtx {
+        t,
+        chunks,
+        kv,
+        bounds,
+        chunk_len,
+        kv_dim,
+        prompt_len: tokens.len(),
+    };
+
+    let closures: Vec<Mutex<Option<TaskFn<'_>>>> = dag
+        .tasks()
+        .iter()
+        .map(|task| {
+            let is_split = split.contains(&(task.layer, task.stage));
+            Mutex::new(Some(task_closure(&ctx, task, is_split)))
+        })
+        .collect();
+
+    // One serial lane per processor present in the DAG (Equation 4).
+    let mut lanes: Vec<Processor> = Vec::new();
+    for p in [Processor::Npu, Processor::Cpu, Processor::Gpu] {
+        if dag.tasks().iter().any(|task| task.processor == p) {
+            lanes.push(p);
+        }
+    }
+
+    let dispatcher = Dispatcher::new(dag, policy);
+    let concurrent = {
+        let mut jobs: Vec<Job<'_>> = lanes
+            .iter()
+            .map(|&p| {
+                let dispatcher = &dispatcher;
+                let closures = &closures;
+                Job::new(move || dispatcher.lane_loop(closures, p))
+            })
+            .collect();
+        pool.run_concurrent(&mut jobs)
+    };
+    if !concurrent {
+        dispatcher.sequential(&closures, &lanes);
+    }
+
+    let st = dispatcher.state.into_inner().expect("dispatch mutex");
+    if let Some(e) = st.error {
+        return Err(Error::Exec { what: e });
+    }
+
+    // Assemble the timeline in completion order.
+    let mut timeline = ExecutedTimeline::default();
+    let mut order: Vec<usize> = (0..dag.len()).collect();
+    order.sort_by(|&a, &b| {
+        let ea = st.trace[a].expect("all tasks traced").1;
+        let eb = st.trace[b].expect("all tasks traced").1;
+        ea.partial_cmp(&eb).expect("finite timestamps")
+    });
+    for i in order {
+        let task = &dag.tasks()[i];
+        let (start_ms, end_ms) = st.trace[i].expect("all tasks traced");
+        timeline.tasks.push(ExecutedTask {
+            label: task.label.clone(),
+            chunk: task.chunk,
+            layer: task.layer,
+            stage: task.stage,
+            role: task.role,
+            processor: task.processor,
+            start_ms,
+            end_ms,
+        });
+    }
+
+    // Final hidden states in chunk order, and the KV cache for decode.
+    let hidden_w = cfg.hidden;
+    let mut out = Vec::with_capacity(tokens.len() * hidden_w);
+    for slots in &ctx.chunks {
+        out.extend_from_slice(slots.h.lock().expect("slot mutex").as_slice());
+    }
+    let hidden = Tensor::from_vec(out, [tokens.len(), hidden_w]).map_err(|e| Error::Exec {
+        what: format!("hidden assembly: {e}"),
+    })?;
+    let mut cache = KvCache::new(cfg.layers);
+    for (layer, buf) in ctx.kv.iter().enumerate() {
+        let k = Tensor::from_vec(
+            buf.k.lock().expect("kv mutex").clone(),
+            [tokens.len(), kv_dim],
+        )
+        .map_err(|e| Error::Exec {
+            what: format!("kv assembly: {e}"),
+        })?;
+        let v = Tensor::from_vec(
+            buf.v.lock().expect("kv mutex").clone(),
+            [tokens.len(), kv_dim],
+        )
+        .map_err(|e| Error::Exec {
+            what: format!("kv assembly: {e}"),
+        })?;
+        cache
+            .layer_mut(layer)
+            .map_err(exec_err)?
+            .append(&k, &v)
+            .map_err(exec_err)?;
+    }
+
+    Ok(NumericPrefill {
+        hidden,
+        cache,
+        timeline,
+    })
+}
+
+fn exec_err(e: llmnpu_model::Error) -> Error {
+    Error::Exec {
+        what: e.to_string(),
+    }
+}

@@ -46,7 +46,10 @@
 //!   `PackedMatrix::pack`. The prepacked drivers perform **zero** B-side
 //!   packing per call ([`pack::pack_b_calls`] observes this); only the
 //!   small per-call A (activation) panels are still packed inside the
-//!   `m > 2` tile loop.
+//!   `m > 2` tile loop — into a persistent per-worker scratch arena
+//!   ([`pack::with_a_scratch_f32`]), so a warm steady state performs
+//!   zero A-panel allocations per call ([`pack::a_scratch_grows`]
+//!   observes this).
 //! * **Decode layout**: for `m ≤ 2` (decode-shaped inputs) the drivers
 //!   switch to a GEMV that N-partitions the output columns across
 //!   `threads` workers ([`parallel::run_col_partitioned`]) — decode no
@@ -230,33 +233,36 @@ fn gemm_f32_band(
     b_pack: &[f32],
     c: &mut [f32],
 ) {
-    let mut a_pack: Vec<f32> = Vec::new();
-    let n_panels = nc.div_ceil(NR);
-    let mut i0 = 0;
-    while i0 < m {
-        let mc = MC.min(m - i0);
-        pack::pack_a_f32(a, k, row0 + i0, p0, mc, kc, &mut a_pack);
-        let m_panels = mc.div_ceil(MR);
-        for pi in 0..m_panels {
-            let rows = (mc - pi * MR).min(MR);
-            let a_panel = &a_pack[pi * kc * MR..(pi + 1) * kc * MR];
-            for pj in 0..n_panels {
-                let cols = (nc - pj * NR).min(NR);
-                let b_panel = &b_pack[pj * kc * NR..(pj + 1) * kc * NR];
-                let mut acc = [[0.0f32; NR]; MR];
-                microkernel_f32(kc, a_panel, b_panel, &mut acc);
-                #[allow(clippy::needless_range_loop)] // indexed form vectorizes best here
-                for r in 0..rows {
-                    let c0 = (i0 + pi * MR + r) * n + j0 + pj * NR;
-                    let c_row = &mut c[c0..c0 + cols];
-                    for j in 0..cols {
-                        c_row[j] += acc[r][j];
+    // A panels live in the worker's persistent scratch arena: packing per
+    // call is correct (activations change), allocating per call is not.
+    pack::with_a_scratch_f32(|a_pack| {
+        let n_panels = nc.div_ceil(NR);
+        let mut i0 = 0;
+        while i0 < m {
+            let mc = MC.min(m - i0);
+            pack::pack_a_f32(a, k, row0 + i0, p0, mc, kc, a_pack);
+            let m_panels = mc.div_ceil(MR);
+            for pi in 0..m_panels {
+                let rows = (mc - pi * MR).min(MR);
+                let a_panel = &a_pack[pi * kc * MR..(pi + 1) * kc * MR];
+                for pj in 0..n_panels {
+                    let cols = (nc - pj * NR).min(NR);
+                    let b_panel = &b_pack[pj * kc * NR..(pj + 1) * kc * NR];
+                    let mut acc = [[0.0f32; NR]; MR];
+                    microkernel_f32(kc, a_panel, b_panel, &mut acc);
+                    #[allow(clippy::needless_range_loop)] // indexed form vectorizes best here
+                    for r in 0..rows {
+                        let c0 = (i0 + pi * MR + r) * n + j0 + pj * NR;
+                        let c_row = &mut c[c0..c0 + cols];
+                        for j in 0..cols {
+                            c_row[j] += acc[r][j];
+                        }
                     }
                 }
             }
+            i0 += mc;
         }
-        i0 += mc;
-    }
+    });
 }
 
 /// How the f32 GEMV reads its right-hand operand.
@@ -830,31 +836,34 @@ fn gemm_i8_band(
     b_pack: &[i16],
     mut emit: impl FnMut(usize, usize, i32),
 ) {
-    let mut a_pack: Vec<i16> = Vec::new();
-    let n_panels = nc.div_ceil(NR);
-    let mut i0 = 0;
-    while i0 < m {
-        let mc = MC.min(m - i0);
-        pack::pack_a_i8(a, k, row0 + i0, 0, mc, k, &mut a_pack);
-        let m_panels = mc.div_ceil(MR);
-        for pi in 0..m_panels {
-            let rows = (mc - pi * MR).min(MR);
-            let a_panel = &a_pack[pi * k * MR..(pi + 1) * k * MR];
-            for pj in 0..n_panels {
-                let cols = (nc - pj * NR).min(NR);
-                let b_panel = &b_pack[pj * k * NR..(pj + 1) * k * NR];
-                let mut acc = [[0i32; NR]; MR];
-                microkernel_i8(k, a_panel, b_panel, &mut acc);
-                for (r, acc_row) in acc.iter().take(rows).enumerate() {
-                    let row = i0 + pi * MR + r;
-                    for (j, &v) in acc_row.iter().take(cols).enumerate() {
-                        emit(row, j0 + pj * NR + j, v);
+    // A panels live in the worker's persistent scratch arena (see the
+    // f32 band driver above).
+    pack::with_a_scratch_i16(|a_pack| {
+        let n_panels = nc.div_ceil(NR);
+        let mut i0 = 0;
+        while i0 < m {
+            let mc = MC.min(m - i0);
+            pack::pack_a_i8(a, k, row0 + i0, 0, mc, k, a_pack);
+            let m_panels = mc.div_ceil(MR);
+            for pi in 0..m_panels {
+                let rows = (mc - pi * MR).min(MR);
+                let a_panel = &a_pack[pi * k * MR..(pi + 1) * k * MR];
+                for pj in 0..n_panels {
+                    let cols = (nc - pj * NR).min(NR);
+                    let b_panel = &b_pack[pj * k * NR..(pj + 1) * k * NR];
+                    let mut acc = [[0i32; NR]; MR];
+                    microkernel_i8(k, a_panel, b_panel, &mut acc);
+                    for (r, acc_row) in acc.iter().take(rows).enumerate() {
+                        let row = i0 + pi * MR + r;
+                        for (j, &v) in acc_row.iter().take(cols).enumerate() {
+                            emit(row, j0 + pj * NR + j, v);
+                        }
                     }
                 }
             }
+            i0 += mc;
         }
-        i0 += mc;
-    }
+    });
 }
 
 #[cfg(test)]

@@ -34,8 +34,22 @@
 //! readable via [`pack_b_calls`]. A-side (activation) packing is
 //! intentionally not counted: activations change every call, so packing
 //! them per call is correct.
+//!
+//! # A-panel scratch arenas
+//!
+//! Packing activations per call is correct — *allocating* for them per
+//! call is not. Each worker thread owns a persistent scratch arena
+//! ([`with_a_scratch_f32`] / [`with_a_scratch_i16`]) that the tiled
+//! drivers pack A panels into; after the first forward pass has sized it
+//! (warmup), every later pack reuses the capacity and the allocator is
+//! never touched again. Growth events are counted in a process-global
+//! [`a_scratch_grows`] counter (global, unlike [`pack_b_calls`], because
+//! growth happens on pool worker threads while the observing test runs
+//! on its own thread; growths are rare enough that a relaxed atomic
+//! costs nothing).
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use super::microkernel::{MR, NR};
 use super::{KC, NC};
@@ -43,6 +57,68 @@ use super::{KC, NC};
 thread_local! {
     /// B-operand pack invocations on this thread (weights-side packing).
     static PACK_B_CALLS: Cell<u64> = const { Cell::new(0) };
+    /// Persistent per-thread A-panel buffers for the tiled drivers.
+    static A_SCRATCH_F32: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    static A_SCRATCH_I16: RefCell<Vec<i16>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A-panel scratch-arena growth events across all threads (each is one
+/// heap allocation that a warm arena would have avoided).
+static A_SCRATCH_GROWS: AtomicU64 = AtomicU64::new(0);
+
+/// B-operand pack invocations across **all** threads. The thread-local
+/// [`pack_b_calls`] cannot see packs performed on pool worker threads,
+/// so steady-state tests that drive the pooled executor pin this one
+/// instead (serializing themselves, since it is process-global).
+static PACK_B_CALLS_GLOBAL: AtomicU64 = AtomicU64::new(0);
+
+/// Number of B-operand pack operations performed by any thread so far —
+/// the cross-thread counterpart of [`pack_b_calls`], for observing
+/// forwards whose GEMM bands run on pool workers.
+#[must_use]
+pub fn pack_b_calls_global() -> u64 {
+    PACK_B_CALLS_GLOBAL.load(Ordering::Relaxed)
+}
+
+/// Number of times any thread's A-panel scratch arena had to grow (i.e.
+/// allocate). After one warmup forward pass per worker, a steady-state
+/// workload holds this constant — the "zero activation-panel allocations
+/// per forward" invariant the prefill tests pin.
+#[must_use]
+pub fn a_scratch_grows() -> u64 {
+    A_SCRATCH_GROWS.load(Ordering::Relaxed)
+}
+
+fn with_a_scratch<T: Copy + Default + 'static, R>(
+    slot: &'static std::thread::LocalKey<RefCell<Vec<T>>>,
+    f: impl FnOnce(&mut Vec<T>) -> R,
+) -> R {
+    slot.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut buf) => {
+            let cap = buf.capacity();
+            let r = f(&mut buf);
+            if buf.capacity() > cap {
+                A_SCRATCH_GROWS.fetch_add(1, Ordering::Relaxed);
+            }
+            r
+        }
+        // Re-entrant use (a nested driver on the same thread): fall back
+        // to a throwaway buffer rather than panicking the kernel.
+        Err(_) => {
+            A_SCRATCH_GROWS.fetch_add(1, Ordering::Relaxed);
+            f(&mut Vec::new())
+        }
+    })
+}
+
+/// Hands `f` this thread's persistent f32 A-panel buffer.
+pub fn with_a_scratch_f32<R>(f: impl FnOnce(&mut Vec<f32>) -> R) -> R {
+    with_a_scratch(&A_SCRATCH_F32, f)
+}
+
+/// Hands `f` this thread's persistent i16 A-panel buffer.
+pub fn with_a_scratch_i16<R>(f: impl FnOnce(&mut Vec<i16>) -> R) -> R {
+    with_a_scratch(&A_SCRATCH_I16, f)
 }
 
 /// Number of B-operand pack operations performed by this thread so far
@@ -161,6 +237,7 @@ fn pack_b_with<TI: Copy, TO: Copy + Default>(
     out: &mut Vec<TO>,
 ) {
     PACK_B_CALLS.with(|c| c.set(c.get() + 1));
+    PACK_B_CALLS_GLOBAL.fetch_add(1, Ordering::Relaxed);
     out.clear();
     let panels = nc.div_ceil(NR);
     out.reserve(panels * kc * NR);

@@ -221,3 +221,51 @@ fn memory_footprints_fit_devices() {
         assert!(mem.shadow_bytes < mem.weight_bytes / 20);
     }
 }
+
+#[test]
+fn unified_planes_simulate_and_execute_the_same_dag() {
+    // The timing plane (simulated schedule) and the numeric plane (real
+    // DAG execution on the pool) run over one DAG and must agree on the
+    // task set and dependency structure; the numeric output must match
+    // the sequential chunked forward bit-for-bit.
+    use llmnpu::model::backend::FloatBackend;
+    use llmnpu::model::forward::Transformer;
+    use llmnpu::model::kv::KvCache;
+    use llmnpu::model::weights::{synthesize, OutlierSpec};
+
+    let numeric_cfg = ModelConfig::qwen15_18b().scaled_down(48, 2, 96).unwrap();
+    let w = synthesize(&numeric_cfg, 11, OutlierSpec::default()).unwrap();
+    let be = FloatBackend::new(w.clone());
+    let t = Transformer::new(&w, &be);
+
+    let mut cfg = EngineConfig::llmnpu(ModelConfig::qwen15_18b(), soc());
+    cfg.chunk_len = 4;
+    cfg.pool_workers = 3;
+    let engine = LlmNpuEngine::new(cfg).unwrap();
+    assert_eq!(engine.pool().workers(), 3);
+
+    let toks: Vec<u32> = (0..10u32).map(|i| (i * 11 + 2) % 96).collect();
+    let unified = engine.prefill_executed(&t, &toks).unwrap();
+
+    // Cross-check: same task set in both planes (validate_against ran
+    // inside prefill_executed; re-derive the label sets here).
+    let sim = unified.simulated.timeline.as_ref().expect("sim timeline");
+    let mut sim_labels: Vec<&str> = sim.entries().iter().map(|e| e.label.as_str()).collect();
+    let mut exec_labels: Vec<&str> = unified
+        .execution
+        .timeline
+        .entries()
+        .iter()
+        .map(|e| e.label.as_str())
+        .collect();
+    sim_labels.sort_unstable();
+    exec_labels.sort_unstable();
+    assert_eq!(sim_labels, exec_labels);
+    assert!(unified.simulated_ms() > 0.0);
+    assert!(unified.executed_ms() > 0.0);
+
+    // Numeric plane matches the sequential chunked forward exactly.
+    let mut cache = KvCache::new(numeric_cfg.layers);
+    let sequential = t.prefill_chunked(&toks, 4, &mut cache).unwrap();
+    assert_eq!(unified.execution.hidden.as_slice(), sequential.as_slice());
+}
