@@ -202,6 +202,36 @@ struct PoolRow {
     bit_identical: bool,
 }
 
+/// Serving comparison: the same request queue served single-stream
+/// (admission cap 1) vs continuously batched on the engine's pool —
+/// aggregate tokens/s, mean TTFT, mean queue wait, and the interleave
+/// witness. Wall-clock columns are dispatch-granularity measurements of
+/// real GEMMs on a scaled-down model; on a 1-core host (see
+/// `thread_scaling_valid`) batching cannot beat single-stream makespan,
+/// but queue-wait and interleaving are still meaningful.
+#[derive(Debug, Serialize)]
+struct ServingRecord {
+    requests: usize,
+    total_tokens: usize,
+    max_active: usize,
+    pool_lanes: usize,
+    single_stream_makespan_ms: f64,
+    batched_makespan_ms: f64,
+    single_stream_tokens_per_s: f64,
+    batched_tokens_per_s: f64,
+    single_stream_mean_ttft_ms: f64,
+    batched_mean_ttft_ms: f64,
+    single_stream_mean_queue_wait_ms: f64,
+    batched_mean_queue_wait_ms: f64,
+    /// Some decode step ran inside another request's prefill window in
+    /// the batched run.
+    decode_interleaved_with_prefill: bool,
+    /// Per-request token streams identical between the two modes (they
+    /// must always be — streams are seed-determined, not schedule-
+    /// determined).
+    streams_bit_identical: bool,
+}
+
 #[derive(Debug, Serialize)]
 struct KernelRecord {
     id: &'static str,
@@ -220,6 +250,7 @@ struct KernelRecord {
     rows: Vec<KernelRow>,
     decode: Vec<DecodeRow>,
     pool_vs_scope: Vec<PoolRow>,
+    serving: ServingRecord,
 }
 
 fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
@@ -378,6 +409,76 @@ fn compare_pool_vs_scope(m: usize, k: usize, n: usize, reps: usize) -> PoolRow {
     }
 }
 
+fn serving_comparison() -> ServingRecord {
+    use llmnpu_core::engine::{EngineConfig, LlmNpuEngine};
+    use llmnpu_core::serve::{GenerationRequest, ServeOptions, ServeReport};
+    use llmnpu_model::backend::FloatBackend;
+    use llmnpu_model::config::ModelConfig;
+    use llmnpu_model::forward::Transformer;
+    use llmnpu_model::weights::{synthesize, OutlierSpec};
+    use llmnpu_soc::spec::SocSpec;
+
+    let numeric_cfg = ModelConfig::qwen15_18b().scaled_down(48, 2, 96).unwrap();
+    let weights = synthesize(&numeric_cfg, 7, OutlierSpec::default()).unwrap();
+    let float = FloatBackend::new(weights.clone());
+    let t = Transformer::new(&weights, &float);
+    let mut cfg = EngineConfig::llmnpu(ModelConfig::qwen15_18b(), SocSpec::snapdragon_8gen3());
+    cfg.chunk_len = 6;
+    let engine = LlmNpuEngine::new(cfg).unwrap();
+
+    let shapes: [(usize, usize); 4] = [(24, 5), (6, 8), (18, 4), (10, 6)];
+    let requests: Vec<GenerationRequest> = shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &(prompt_len, max_new))| {
+            GenerationRequest::synthetic(i, prompt_len, max_new, numeric_cfg.vocab)
+        })
+        .collect();
+    let max_active = requests.len();
+
+    // Timing varies run to run; streams never do. Keep the best-makespan
+    // run of each mode for the wall-clock columns.
+    let best_run = |cap: usize| -> ServeReport {
+        let mut best: Option<ServeReport> = None;
+        for _ in 0..3 {
+            let r = engine
+                .serve(&t, &requests, &ServeOptions { max_active: cap })
+                .unwrap();
+            if best
+                .as_ref()
+                .is_none_or(|b| r.makespan_ms() < b.makespan_ms())
+            {
+                best = Some(r);
+            }
+        }
+        best.expect("at least one run")
+    };
+    let single = best_run(1);
+    let batched = best_run(max_active);
+    let streams_bit_identical = single
+        .requests
+        .iter()
+        .zip(&batched.requests)
+        .all(|(a, b)| a.tokens == b.tokens);
+
+    ServingRecord {
+        requests: requests.len(),
+        total_tokens: batched.total_tokens(),
+        max_active,
+        pool_lanes: engine.pool().workers(),
+        single_stream_makespan_ms: single.makespan_ms(),
+        batched_makespan_ms: batched.makespan_ms(),
+        single_stream_tokens_per_s: single.tokens_per_s(),
+        batched_tokens_per_s: batched.tokens_per_s(),
+        single_stream_mean_ttft_ms: single.mean_ttft_ms(),
+        batched_mean_ttft_ms: batched.mean_ttft_ms(),
+        single_stream_mean_queue_wait_ms: single.mean_queue_wait_ms(),
+        batched_mean_queue_wait_ms: batched.mean_queue_wait_ms(),
+        decode_interleaved_with_prefill: batched.timeline.decode_interleaved_with_prefill(),
+        streams_bit_identical,
+    }
+}
+
 fn kernel_comparison() {
     let threads_effective = llmnpu_tensor::kernel::parallel::effective_threads(THREADS);
     let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
@@ -454,6 +555,24 @@ fn kernel_comparison() {
         })
         .collect();
 
+    println!("--- serving: single-stream vs continuous batching ---");
+    let serving = serving_comparison();
+    println!(
+        "{} reqs ({} tokens) | single {:>7.1} ms ({:>6.1} tok/s, TTFT {:>6.1} ms, wait {:>6.1} ms) | batched {:>7.1} ms ({:>6.1} tok/s, TTFT {:>6.1} ms, wait {:>6.1} ms) | interleaved={} identical={}",
+        serving.requests,
+        serving.total_tokens,
+        serving.single_stream_makespan_ms,
+        serving.single_stream_tokens_per_s,
+        serving.single_stream_mean_ttft_ms,
+        serving.single_stream_mean_queue_wait_ms,
+        serving.batched_makespan_ms,
+        serving.batched_tokens_per_s,
+        serving.batched_mean_ttft_ms,
+        serving.batched_mean_queue_wait_ms,
+        serving.decode_interleaved_with_prefill,
+        serving.streams_bit_identical,
+    );
+
     let record = KernelRecord {
         id: "kernels",
         description: "Blocked+packed+threaded GEMM vs scalar reference; \
@@ -461,7 +580,9 @@ fn kernel_comparison() {
                       and pack-once PackedMatrix paths; pool_vs_scope compares \
                       spawn-per-call scoped threads against the persistent \
                       WorkerPool on identical banded calls (dispatch overhead \
-                      only when thread_scaling_valid is false); \
+                      only when thread_scaling_valid is false); serving \
+                      compares single-stream vs continuous-batched request \
+                      serving (tokens/s, TTFT, queue wait) on real GEMMs; \
                       tokens-equivalent = activation rows per second",
         threads_requested: THREADS,
         threads_effective,
@@ -471,6 +592,7 @@ fn kernel_comparison() {
         rows,
         decode,
         pool_vs_scope,
+        serving,
     };
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
     let json = serde_json::to_string_pretty(&record).expect("serialize kernel record");

@@ -32,7 +32,8 @@ use llmnpu_soc::spec::SocSpec;
 use llmnpu_soc::{DataType, Millis, Processor};
 use llmnpu_workloads::suites::WorkloadSample;
 
-use crate::engine::{decode_ms_per_token, EngineConfig, LlmNpuEngine};
+use crate::decode::DecodeSim;
+use crate::engine::{EngineConfig, LlmNpuEngine};
 use crate::report::{E2eReport, PrefillReport};
 use crate::{Error, Result};
 
@@ -52,17 +53,30 @@ pub trait Engine {
     /// Returns an error for unsupported models or invalid prompts.
     fn prefill(&self, prompt_len: usize) -> Result<PrefillReport>;
 
-    /// Decode latency per token.
-    fn decode_ms_per_token(&self) -> Millis;
+    /// The engine's decode-latency model — every engine shares the one
+    /// context-aware [`DecodeSim`] (differing only in the decode
+    /// processor), so no engine can quietly drop the KV-attention term
+    /// again.
+    fn decode_sim(&self) -> DecodeSim;
 
-    /// Simulates one end-to-end request.
+    /// Decode latency of the first generated token (context ≈ 1, the
+    /// weight-streaming floor). Context-aware totals come from
+    /// [`Engine::decode_sim`].
+    fn decode_ms_per_token(&self) -> Millis {
+        self.decode_sim().token_ms(1)
+    }
+
+    /// Simulates one end-to-end request, with decode priced by the
+    /// shared context-aware model over the growing KV cache.
     ///
     /// # Errors
     ///
     /// Returns an error on prefill failure.
     fn e2e(&self, sample: &WorkloadSample) -> Result<E2eReport> {
         let prefill = self.prefill(sample.prompt_len)?;
-        let decode_ms = self.decode_ms_per_token() * sample.output_len as f64;
+        let decode_ms = self
+            .decode_sim()
+            .total_ms(sample.prompt_len, sample.output_len);
         Ok(E2eReport {
             prompt_len: sample.prompt_len,
             output_len: sample.output_len,
@@ -237,9 +251,9 @@ impl Engine for AnalyticEngine {
         ))
     }
 
-    fn decode_ms_per_token(&self) -> Millis {
+    fn decode_sim(&self) -> DecodeSim {
         let (proc, _) = self.kind.placement();
-        decode_ms_per_token(&self.model, &self.soc, proc)
+        DecodeSim::new(self.model.clone(), self.soc.clone(), proc)
     }
 }
 
@@ -297,8 +311,8 @@ impl Engine for PowerInferV2 {
         ))
     }
 
-    fn decode_ms_per_token(&self) -> Millis {
-        decode_ms_per_token(&self.model, &self.soc, Processor::Cpu)
+    fn decode_sim(&self) -> DecodeSim {
+        DecodeSim::new(self.model.clone(), self.soc.clone(), Processor::Cpu)
     }
 }
 
@@ -387,8 +401,8 @@ impl Engine for NaiveNpu {
         ))
     }
 
-    fn decode_ms_per_token(&self) -> Millis {
-        decode_ms_per_token(&self.model, &self.soc, Processor::Cpu)
+    fn decode_sim(&self) -> DecodeSim {
+        DecodeSim::new(self.model.clone(), self.soc.clone(), Processor::Cpu)
     }
 }
 
@@ -436,8 +450,8 @@ impl Engine for LlmNpuAsEngine {
         self.inner.prefill(prompt_len)
     }
 
-    fn decode_ms_per_token(&self) -> Millis {
-        self.inner.decode_ms_per_token()
+    fn decode_sim(&self) -> DecodeSim {
+        self.inner.decode_sim()
     }
 }
 

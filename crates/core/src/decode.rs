@@ -8,6 +8,13 @@
 //! the growing KV cache, and the sampling step. This module produces that
 //! timeline so end-to-end energy and the GPU-vs-CPU decode comparison
 //! (Figure 18b) come from the same discrete-event machinery as prefill.
+//!
+//! [`DecodeSim::token_ms`] is the **single** decode-latency model of the
+//! repository: `LlmNpuEngine::e2e`, every baseline's `Engine::e2e`, and
+//! the serving scheduler's modeled decode-task durations all route
+//! through it (the engine used to carry a second, context-free copy that
+//! silently dropped the attention term — so `e2e` decode never grew with
+//! context; that drift is exactly what this consolidation fixes).
 
 use llmnpu_model::config::ModelConfig;
 use llmnpu_soc::des::Simulator;
@@ -72,6 +79,26 @@ impl DecodeSim {
         ) * self.model.layers as f64;
         let dispatch = ps.dispatch_overhead_ms * self.model.layers as f64 * 9.0;
         weight_ms + attention_ms + dispatch
+    }
+
+    /// The decode processor this simulator prices.
+    #[must_use]
+    pub fn processor(&self) -> Processor {
+        self.processor
+    }
+
+    /// Total latency of decoding `tokens` new tokens after a
+    /// `prompt_len` prefill — the closed-form sum of the per-token
+    /// context-aware model, numerically identical to
+    /// [`DecodeSim::run`]'s makespan (pinned by a regression test in the
+    /// engine: the two must never drift apart again).
+    #[must_use]
+    pub fn total_ms(&self, prompt_len: usize, tokens: usize) -> Millis {
+        let mut total = 0.0;
+        for i in 0..tokens {
+            total += self.token_ms(prompt_len + i);
+        }
+        total
     }
 
     /// Simulates decoding `tokens` new tokens after a `prompt_len` prefill.
@@ -140,6 +167,22 @@ mod tests {
         }
         // Longer context → costlier attention per token.
         assert!(s.token_ms(4000) > s.token_ms(100));
+    }
+
+    #[test]
+    fn total_ms_matches_simulated_run() {
+        // The closed-form sum and the discrete-event run are the same
+        // model; they must agree to the bit.
+        let s = sim(Processor::Cpu);
+        for (prompt, tokens) in [(700usize, 16usize), (64, 4), (1500, 1), (10, 0)] {
+            let r = s.run(prompt, tokens).unwrap();
+            assert!(
+                (s.total_ms(prompt, tokens) - r.latency_ms).abs() < 1e-9,
+                "({prompt}, {tokens}): {} vs {}",
+                s.total_ms(prompt, tokens),
+                r.latency_ms
+            );
+        }
     }
 
     #[test]

@@ -52,6 +52,7 @@ use llmnpu_soc::spec::SocSpec;
 use llmnpu_soc::{DataType, Millis, Processor};
 use llmnpu_workloads::suites::WorkloadSample;
 
+use crate::decode::DecodeSim;
 use crate::report::{E2eReport, MemoryReport, PrefillReport};
 use crate::{Error, Result};
 
@@ -190,8 +191,9 @@ impl LlmNpuEngine {
         &self.pool
     }
 
-    /// The DAG configuration for a prompt under this engine's knobs.
-    fn dag_config(&self, prompt_len: usize) -> Result<DagConfig> {
+    /// The DAG configuration for a prompt under this engine's knobs
+    /// (shared with the serving scheduler in `crate::serve`).
+    pub(crate) fn dag_config(&self, prompt_len: usize) -> Result<DagConfig> {
         Ok(DagConfig {
             plan: ChunkPlan::new(prompt_len, self.config.chunk_len)?,
             float_processor: self.config.float_processor,
@@ -256,25 +258,40 @@ impl LlmNpuEngine {
         })
     }
 
-    /// Decode latency per token on the configured decode backend
-    /// (memory-bound: the whole weight set streams through once per token).
+    /// The decode-latency model on the configured decode backend — the
+    /// single context-aware model shared with [`DecodeSim::run`] and the
+    /// baselines (the engine used to carry its own context-free copy,
+    /// which silently dropped the KV-attention term).
     #[must_use]
-    pub fn decode_ms_per_token(&self) -> Millis {
-        decode_ms_per_token(
-            &self.config.model,
-            &self.config.soc,
+    pub fn decode_sim(&self) -> DecodeSim {
+        DecodeSim::new(
+            self.config.model.clone(),
+            self.config.soc.clone(),
             self.config.decode_processor,
         )
     }
 
-    /// Simulates one end-to-end request.
+    /// Decode latency of the first generated token (context ≈ 1): the
+    /// memory-bound floor where the whole weight set streams through
+    /// once. Per-token latency *grows* from here with KV length; use
+    /// [`LlmNpuEngine::decode_sim`] for context-aware totals.
+    #[must_use]
+    pub fn decode_ms_per_token(&self) -> Millis {
+        self.decode_sim().token_ms(1)
+    }
+
+    /// Simulates one end-to-end request. Decode latency comes from the
+    /// shared context-aware model, so it grows with both the prompt
+    /// length (attention over the prefilled KV) and the output position.
     ///
     /// # Errors
     ///
     /// Returns an error on prefill failure.
     pub fn e2e(&self, sample: &WorkloadSample) -> Result<E2eReport> {
         let prefill = self.prefill(sample.prompt_len)?;
-        let decode_ms = self.decode_ms_per_token() * sample.output_len as f64;
+        let decode_ms = self
+            .decode_sim()
+            .total_ms(sample.prompt_len, sample.output_len);
         Ok(E2eReport {
             prompt_len: sample.prompt_len,
             output_len: sample.output_len,
@@ -376,17 +393,6 @@ impl UnifiedPrefill {
     }
 }
 
-/// Memory-bound decode model shared by all engines: per token, every
-/// weight byte streams through the processor once, plus per-layer
-/// dispatch overhead.
-#[must_use]
-pub fn decode_ms_per_token(model: &ModelConfig, soc: &SocSpec, p: Processor) -> Millis {
-    let ps = soc.proc(p);
-    let weight_ms = model.weight_bytes_int8() as f64 / (ps.mem_bw_gbps * 1e6);
-    let dispatch = ps.dispatch_overhead_ms * model.layers as f64 * 9.0;
-    weight_ms + dispatch
-}
-
 /// KV-cache bytes for a prompt (FP16 keys and values per layer).
 #[must_use]
 pub fn kv_cache_bytes(model: &ModelConfig, prompt_len: usize) -> u64 {
@@ -469,6 +475,58 @@ mod tests {
         assert!((r.total_ms() - (r.prefill_ms + r.decode_ms)).abs() < 1e-9);
         // Figure 1: prefill dominates for QA-style workloads.
         assert!(r.prefill_fraction() > 0.5);
+    }
+
+    #[test]
+    fn e2e_decode_matches_decode_sim_run() {
+        // The drift regression: `e2e` decode and `DecodeSim::run` must be
+        // the same model, to the bit, at every prompt/output shape.
+        let e = engine();
+        for (prompt, output) in [(700usize, 16usize), (64, 2), (1536, 40)] {
+            let r = e
+                .e2e(&WorkloadSample {
+                    prompt_len: prompt,
+                    output_len: output,
+                })
+                .unwrap();
+            let sim = e.decode_sim().run(prompt, output).unwrap();
+            assert!(
+                (r.decode_ms - sim.latency_ms).abs() < 1e-9,
+                "({prompt}, {output}): e2e {} vs sim {}",
+                r.decode_ms,
+                sim.latency_ms
+            );
+        }
+    }
+
+    #[test]
+    fn e2e_decode_grows_with_context() {
+        // The symptom the drift caused: simulated decode latency never
+        // grew with KV length. Same output budget, longer prompt must
+        // now decode strictly slower (attention over a bigger cache).
+        let e = engine();
+        let short = e
+            .e2e(&WorkloadSample {
+                prompt_len: 256,
+                output_len: 8,
+            })
+            .unwrap();
+        let long = e
+            .e2e(&WorkloadSample {
+                prompt_len: 1536,
+                output_len: 8,
+            })
+            .unwrap();
+        assert!(
+            long.decode_ms > short.decode_ms,
+            "decode {:.2} ms at 1536 ctx should exceed {:.2} ms at 256",
+            long.decode_ms,
+            short.decode_ms
+        );
+        // And within one request, later tokens are slower than earlier
+        // ones (per-token latency rises as the cache grows).
+        let sim = e.decode_sim();
+        assert!(sim.token_ms(1536) > sim.token_ms(256));
     }
 
     #[test]

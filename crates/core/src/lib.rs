@@ -12,7 +12,13 @@
 //!   direct-NPU port of §2.3, all behind one [`baselines::Engine`] trait,
 //! * [`ablation`] — the Figure 19 ladder (CPU → Naive → +Chunk →
 //!   +Outlier → +OOE),
-//! * [`memory`] — the Figure 17 footprint comparison.
+//! * [`memory`] — the Figure 17 footprint comparison,
+//! * [`serve`] — the continuous-batching serving layer:
+//!   [`engine::LlmNpuEngine::serve`] interleaves many requests'
+//!   chunked-prefill DAGs and decode chains (first-class tasks) on the
+//!   engine's worker-pool lanes, with per-request KV caches, seeded
+//!   sampling, and TTFT / queue-wait / tokens-per-second metrics over a
+//!   unified executed timeline.
 //!
 //! Latency/energy numbers come from the calibrated SoC simulator
 //! (`llmnpu-soc`); accuracy numbers come from the numeric plane
@@ -30,6 +36,7 @@ pub mod decode;
 pub mod engine;
 pub mod memory;
 pub mod report;
+pub mod serve;
 
 pub use error::Error;
 

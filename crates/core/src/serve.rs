@@ -1,0 +1,742 @@
+//! Continuous-batching request serving (the paper's §4 decode stage,
+//! grown into a multi-request scheduler).
+//!
+//! The chunked prefill of §3.2 exists so prefill work can *share the
+//! device* with other in-flight work; this module is where that sharing
+//! happens. [`LlmNpuEngine::serve`] admits a queue of
+//! [`GenerationRequest`]s and builds one combined [`LaneGraph`] holding,
+//! per request:
+//!
+//! * the request's **chunked-prefill DAG** (the same task set
+//!   `prefill_executed` runs for a single prompt, labels prefixed with
+//!   the request id),
+//! * a **prefill-finish** task that assembles the request's private KV
+//!   cache and last hidden row from the position-addressed buffers, and
+//! * its **decode chain** — one first-class task per generated token
+//!   (LM-head projection + seeded sampling, preceded by the previous
+//!   token's decode forward), each priced by the shared context-aware
+//!   decode model so the out-of-order policy can prioritize decode
+//!   against prefill with the timing plane's predictions.
+//!
+//! The graph runs on the engine's persistent [`WorkerPool`] lanes
+//! through the same dispatcher as single-request prefill, so decode
+//! steps of in-flight requests genuinely interleave with prefill chunks
+//! of newly admitted ones (one serial lane per processor, Equation 4).
+//! Request arrivals become task *release times*; admission is capped at
+//! [`ServeOptions::max_active`] concurrent requests — request `r`'s
+//! tasks additionally wait on request `r - max_active` finishing, which
+//! is continuous batching's "a slot frees, the next request joins".
+//!
+//! # Determinism
+//!
+//! Each request's computation is a serial dependency chain over its own
+//! KV cache and its own seeded [`Sampler`], and the kernel layer is
+//! thread-count-invariant — so every request's token stream is
+//! **bit-identical** to running that request alone through
+//! [`Transformer::generate`] with the same chunk length and sampler
+//! seed, at every worker count, policy, and batch composition. The
+//! integration tests pin this.
+//!
+//! [`LaneGraph`]: llmnpu_sched::LaneGraph
+//! [`WorkerPool`]: llmnpu_sched::WorkerPool
+//! [`Sampler`]: llmnpu_model::sample::Sampler
+//! [`Transformer::generate`]: llmnpu_model::forward::Transformer::generate
+
+use std::sync::Mutex;
+
+use llmnpu_graph::chunk::ChunkPlan;
+use llmnpu_graph::dag::{build_prefill_dag, PrefillDag, TaskRole};
+use llmnpu_graph::layer::Stage;
+use llmnpu_model::forward::Transformer;
+use llmnpu_model::kv::KvCache;
+use llmnpu_model::sample::{Sampler, SamplerConfig};
+use llmnpu_sched::{execute_lane_graph, LaneGraph, LaneTask, PrefillProgram, TaskFn};
+use llmnpu_soc::{Millis, Processor};
+use llmnpu_tensor::Tensor;
+
+use crate::decode::DecodeSim;
+use crate::engine::LlmNpuEngine;
+use crate::{Error, Result};
+
+/// Modeled duration of the cache-assembly bookkeeping task (not a GEMM;
+/// only used for scheduling priority).
+const FINISH_TASK_MS: f64 = 0.05;
+
+/// One queued generation request.
+#[derive(Debug, Clone)]
+pub struct GenerationRequest {
+    /// Prompt token ids (must be non-empty).
+    pub prompt: Vec<u32>,
+    /// Number of tokens to generate (must be at least 1).
+    pub max_new_tokens: usize,
+    /// Sampling strategy and seed for this request's stream.
+    pub sampler: SamplerConfig,
+    /// Arrival time, ms from the start of the serving run. Tasks of this
+    /// request are not dispatched earlier.
+    pub arrival_ms: Millis,
+}
+
+impl GenerationRequest {
+    /// A greedy request arriving at time zero.
+    #[must_use]
+    pub fn new(prompt: Vec<u32>, max_new_tokens: usize) -> Self {
+        GenerationRequest {
+            prompt,
+            max_new_tokens,
+            sampler: SamplerConfig::greedy(),
+            arrival_ms: 0.0,
+        }
+    }
+
+    /// The deterministic synthetic request used by the serving demo and
+    /// the `BENCH_kernels.json` serving section — one definition so the
+    /// two workloads cannot drift apart: prompt token `k` is
+    /// `(k·7 + index) % vocab`, sampled top-k(8) at temperature 0.9 with
+    /// seed `42 + index`.
+    #[must_use]
+    pub fn synthetic(index: usize, prompt_len: usize, max_new_tokens: usize, vocab: usize) -> Self {
+        let prompt: Vec<u32> = (0..prompt_len as u32)
+            .map(|k| (k * 7 + index as u32) % vocab.max(1) as u32)
+            .collect();
+        GenerationRequest::new(prompt, max_new_tokens).with_sampler(SamplerConfig::top_k(
+            8,
+            0.9,
+            42 + index as u64,
+        ))
+    }
+
+    /// Sets the sampling configuration.
+    #[must_use]
+    pub fn with_sampler(mut self, sampler: SamplerConfig) -> Self {
+        self.sampler = sampler;
+        self
+    }
+
+    /// Sets the arrival time (ms from run start).
+    #[must_use]
+    pub fn with_arrival_ms(mut self, arrival_ms: Millis) -> Self {
+        self.arrival_ms = arrival_ms;
+        self
+    }
+}
+
+/// Serving-loop knobs.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Maximum number of requests in flight at once (continuous
+    /// batching's admission cap): request `r` is admitted only after
+    /// request `r - max_active` has fully completed.
+    pub max_active: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions { max_active: 2 }
+    }
+}
+
+/// What a serving-timeline span implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeTaskKind {
+    /// One stage task of the request's chunked-prefill DAG.
+    PrefillStage {
+        /// Chunk index within the request's prompt.
+        chunk: usize,
+        /// Decoder layer.
+        layer: usize,
+        /// Host stage.
+        stage: Stage,
+        /// Pipeline role (main / shadow / merge).
+        role: TaskRole,
+    },
+    /// KV-cache + last-hidden assembly after the request's prefill.
+    PrefillFinish,
+    /// One decode step (decode forward of the previous token where
+    /// applicable, LM-head projection, seeded sampling → one token).
+    Decode {
+        /// Zero-based position in the request's generated stream.
+        step: usize,
+    },
+}
+
+impl ServeTaskKind {
+    /// Whether this span belongs to the prefill phase.
+    #[must_use]
+    pub fn is_prefill(&self) -> bool {
+        matches!(
+            self,
+            ServeTaskKind::PrefillStage { .. } | ServeTaskKind::PrefillFinish
+        )
+    }
+
+    /// Whether this span is a decode step.
+    #[must_use]
+    pub fn is_decode(&self) -> bool {
+        matches!(self, ServeTaskKind::Decode { .. })
+    }
+}
+
+/// One executed span of the batched run, with wall-clock timestamps
+/// relative to run start (milliseconds).
+#[derive(Debug, Clone)]
+pub struct ServeSpan {
+    /// Request index (admission order).
+    pub request: usize,
+    /// Task label, e.g. `"R1-C0-L2-Ffn"` or `"R1-D3"`.
+    pub label: String,
+    /// What the span implements.
+    pub kind: ServeTaskKind,
+    /// Lane the task ran on.
+    pub processor: Processor,
+    /// Wall-clock start, ms from run start.
+    pub start_ms: f64,
+    /// Wall-clock end, ms from run start.
+    pub end_ms: f64,
+}
+
+/// The unified executed timeline of a batched serving run: every
+/// request's prefill stages, finish task, and decode steps on one clock.
+#[derive(Debug, Clone, Default)]
+pub struct ServeTimeline {
+    spans: Vec<ServeSpan>,
+}
+
+impl ServeTimeline {
+    /// All spans, in completion order.
+    #[must_use]
+    pub fn entries(&self) -> &[ServeSpan] {
+        &self.spans
+    }
+
+    /// Wall-clock completion of the last task (ms from run start).
+    #[must_use]
+    pub fn makespan_ms(&self) -> f64 {
+        self.spans.iter().map(|s| s.end_ms).fold(0.0, f64::max)
+    }
+
+    /// Total busy time of one lane.
+    #[must_use]
+    pub fn lane_busy_ms(&self, p: Processor) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| s.processor == p)
+            .map(|s| s.end_ms - s.start_ms)
+            .sum()
+    }
+
+    /// Spans of one request, in completion order.
+    #[must_use]
+    pub fn request_entries(&self, request: usize) -> Vec<&ServeSpan> {
+        self.spans.iter().filter(|s| s.request == request).collect()
+    }
+
+    /// The continuous-batching witness: some decode step of one request
+    /// ran *inside* another request's prefill window (between that
+    /// request's first prefill dispatch and its last prefill
+    /// completion). True wall-clock overlap implies it on multicore
+    /// hosts; on a single core it still witnesses task-granular
+    /// interleaving — decode work was dispatched before a neighbor's
+    /// prefill had drained, which is impossible under one-request-at-a-
+    /// time serving.
+    #[must_use]
+    pub fn decode_interleaved_with_prefill(&self) -> bool {
+        let mut windows: std::collections::HashMap<usize, (f64, f64)> =
+            std::collections::HashMap::new();
+        for s in &self.spans {
+            if s.kind.is_prefill() {
+                let w = windows
+                    .entry(s.request)
+                    .or_insert((f64::INFINITY, f64::NEG_INFINITY));
+                w.0 = w.0.min(s.start_ms);
+                w.1 = w.1.max(s.end_ms);
+            }
+        }
+        self.spans.iter().any(|d| {
+            d.kind.is_decode()
+                && windows
+                    .iter()
+                    .any(|(&r, &(lo, hi))| r != d.request && d.start_ms < hi && d.end_ms > lo)
+        })
+    }
+}
+
+/// Per-request outcome of a serving run.
+#[derive(Debug, Clone)]
+pub struct RequestOutcome {
+    /// Request index (admission order).
+    pub request: usize,
+    /// The generated token stream.
+    pub tokens: Vec<u32>,
+    /// Wall-clock completion time of each generated token (ms from run
+    /// start, one entry per token — the "stream").
+    pub token_times_ms: Vec<f64>,
+    /// The request's arrival time.
+    pub arrival_ms: f64,
+    /// First dispatch of any of the request's tasks.
+    pub first_dispatch_ms: f64,
+    /// Completion of the request's prefill (KV cache ready).
+    pub prefill_done_ms: f64,
+    /// Completion of the request's last decode step.
+    pub finish_ms: f64,
+}
+
+impl RequestOutcome {
+    /// Time spent queued before the scheduler first touched the request.
+    #[must_use]
+    pub fn queue_wait_ms(&self) -> f64 {
+        self.first_dispatch_ms - self.arrival_ms
+    }
+
+    /// Time-to-first-token: arrival until the first generated token.
+    #[must_use]
+    pub fn ttft_ms(&self) -> f64 {
+        self.token_times_ms.first().map_or(0.0, |&t| t) - self.arrival_ms
+    }
+
+    /// Decode throughput over the request's own decode window.
+    #[must_use]
+    pub fn decode_tokens_per_s(&self) -> f64 {
+        let window = self.finish_ms - self.prefill_done_ms;
+        if window > 0.0 {
+            self.tokens.len() as f64 / (window / 1e3)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Aggregate outcome of one batched serving run.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Per-request outcomes, in admission order.
+    pub requests: Vec<RequestOutcome>,
+    /// The unified executed timeline.
+    pub timeline: ServeTimeline,
+}
+
+impl ServeReport {
+    /// Wall-clock makespan of the whole batch.
+    #[must_use]
+    pub fn makespan_ms(&self) -> f64 {
+        self.timeline.makespan_ms()
+    }
+
+    /// Total generated tokens across all requests.
+    #[must_use]
+    pub fn total_tokens(&self) -> usize {
+        self.requests.iter().map(|r| r.tokens.len()).sum()
+    }
+
+    /// Aggregate generation throughput (all requests' tokens over the
+    /// batch makespan).
+    #[must_use]
+    pub fn tokens_per_s(&self) -> f64 {
+        let ms = self.makespan_ms();
+        if ms > 0.0 {
+            self.total_tokens() as f64 / (ms / 1e3)
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean time-to-first-token across requests.
+    #[must_use]
+    pub fn mean_ttft_ms(&self) -> f64 {
+        if self.requests.is_empty() {
+            return 0.0;
+        }
+        self.requests
+            .iter()
+            .map(RequestOutcome::ttft_ms)
+            .sum::<f64>()
+            / self.requests.len() as f64
+    }
+
+    /// Mean queue wait across requests.
+    #[must_use]
+    pub fn mean_queue_wait_ms(&self) -> f64 {
+        if self.requests.is_empty() {
+            return 0.0;
+        }
+        self.requests
+            .iter()
+            .map(RequestOutcome::queue_wait_ms)
+            .sum::<f64>()
+            / self.requests.len() as f64
+    }
+}
+
+/// Mutable per-request generation state, touched only by the request's
+/// own (serially chained) finish/decode tasks.
+struct ReqState {
+    cache: Option<KvCache>,
+    sampler: Sampler,
+    last_hidden: Option<Tensor<f32>>,
+    tokens: Vec<u32>,
+}
+
+/// Task ids of one request within the combined graph.
+struct ReqTaskIds {
+    finish: usize,
+    decode: Vec<usize>,
+    all: Vec<usize>,
+}
+
+/// Tasks of a DAG with no in-DAG successors (everything a prefill-finish
+/// task must wait for).
+fn dag_sinks(dag: &PrefillDag) -> Vec<usize> {
+    let mut has_successor = vec![false; dag.len()];
+    for t in 0..dag.len() {
+        for &d in dag.deps(t) {
+            has_successor[d] = true;
+        }
+    }
+    (0..dag.len()).filter(|&t| !has_successor[t]).collect()
+}
+
+impl LlmNpuEngine {
+    /// Serves a queue of generation requests with continuous batching on
+    /// this engine's pool: per-request chunked-prefill DAGs and decode
+    /// chains interleave on the per-processor lanes under the engine's
+    /// scheduling policy, honoring arrival times and the admission cap.
+    ///
+    /// `t` is the numeric transformer the requests run on (its
+    /// configuration drives the per-request DAGs, exactly as in
+    /// [`LlmNpuEngine::prefill_executed`]). Returns per-request token
+    /// streams — bit-identical to solo [`Transformer::generate`] runs
+    /// with `chunk_len = self.config().chunk_len` — plus serving metrics
+    /// and the unified timeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty/invalid request (empty prompt, zero
+    /// `max_new_tokens`, bad sampler config, non-finite or negative
+    /// arrival), a zero admission cap, or any execution failure.
+    pub fn serve(
+        &self,
+        t: &Transformer<'_>,
+        requests: &[GenerationRequest],
+        opts: &ServeOptions,
+    ) -> Result<ServeReport> {
+        if opts.max_active == 0 {
+            return Err(Error::InvalidConfig {
+                what: "max_active must be at least 1".to_owned(),
+            });
+        }
+        for (r, req) in requests.iter().enumerate() {
+            if req.prompt.is_empty() {
+                return Err(Error::InvalidConfig {
+                    what: format!("request {r} has an empty prompt"),
+                });
+            }
+            if req.max_new_tokens == 0 {
+                return Err(Error::InvalidConfig {
+                    what: format!("request {r} asks for zero tokens"),
+                });
+            }
+            if !req.arrival_ms.is_finite() || req.arrival_ms < 0.0 {
+                return Err(Error::InvalidConfig {
+                    what: format!("request {r} has invalid arrival {}", req.arrival_ms),
+                });
+            }
+        }
+        if requests.is_empty() {
+            return Ok(ServeReport {
+                requests: Vec::new(),
+                timeline: ServeTimeline::default(),
+            });
+        }
+
+        // Decode-task durations come from the shared context-aware decode
+        // model, priced for the numeric model actually being served.
+        let decode_proc = self.config().decode_processor;
+        let dsim = DecodeSim::new(t.config().clone(), self.config().soc.clone(), decode_proc);
+
+        // Per-request prefill machinery (DAG, plan, prepared program).
+        let mut dags = Vec::with_capacity(requests.len());
+        let mut plans: Vec<ChunkPlan> = Vec::with_capacity(requests.len());
+        for req in requests {
+            let dag_cfg = self.dag_config(req.prompt.len())?;
+            plans.push(dag_cfg.plan.clone());
+            dags.push(build_prefill_dag(
+                t.config(),
+                &dag_cfg,
+                self.latency_model(),
+            )?);
+        }
+        let mut programs = Vec::with_capacity(requests.len());
+        for (r, req) in requests.iter().enumerate() {
+            programs.push(PrefillProgram::new(t, &req.prompt, &dags[r], &plans[r])?);
+        }
+        let states: Vec<Mutex<ReqState>> = requests
+            .iter()
+            .map(|req| {
+                Ok(Mutex::new(ReqState {
+                    cache: None,
+                    sampler: Sampler::new(&req.sampler)?,
+                    last_hidden: None,
+                    tokens: Vec::with_capacity(req.max_new_tokens),
+                }))
+            })
+            .collect::<Result<_>>()?;
+
+        // Splice every request into one combined lane graph.
+        let mut graph = LaneGraph::new();
+        let mut closures: Vec<TaskFn<'_>> = Vec::new();
+        let mut meta: Vec<(usize, ServeTaskKind)> = Vec::new();
+        let mut ids: Vec<ReqTaskIds> = Vec::with_capacity(requests.len());
+
+        for (r, req) in requests.iter().enumerate() {
+            let offset = graph.len();
+            // Continuous batching's admission cap: this request's roots
+            // additionally wait for request r - max_active to finish.
+            let gate = (r >= opts.max_active).then(|| ids[r - opts.max_active].all_done());
+            let mut all = Vec::with_capacity(dags[r].len() + 1 + req.max_new_tokens);
+
+            for (i, task) in dags[r].tasks().iter().enumerate() {
+                let mut deps: Vec<usize> = dags[r].deps(i).iter().map(|&d| d + offset).collect();
+                if deps.is_empty() {
+                    if let Some(g) = gate {
+                        deps.push(g);
+                    }
+                }
+                let id = graph.push(
+                    LaneTask {
+                        label: format!("R{r}-{}", task.label),
+                        processor: task.processor,
+                        duration_ms: task.duration_ms,
+                        release_ms: req.arrival_ms,
+                    },
+                    deps,
+                )?;
+                meta.push((
+                    r,
+                    ServeTaskKind::PrefillStage {
+                        chunk: task.chunk,
+                        layer: task.layer,
+                        stage: task.stage,
+                        role: task.role,
+                    },
+                ));
+                all.push(id);
+            }
+            closures.extend(programs[r].closures(&dags[r]));
+
+            // Prefill-finish: assemble this request's KV cache and last
+            // hidden row once every prefill task has drained.
+            let mut finish_deps: Vec<usize> =
+                dag_sinks(&dags[r]).iter().map(|&s| s + offset).collect();
+            if finish_deps.is_empty() {
+                if let Some(g) = gate {
+                    finish_deps.push(g);
+                }
+            }
+            let finish = graph.push(
+                LaneTask {
+                    label: format!("R{r}-PrefillFinish"),
+                    processor: decode_proc,
+                    duration_ms: FINISH_TASK_MS,
+                    release_ms: req.arrival_ms,
+                },
+                finish_deps,
+            )?;
+            meta.push((r, ServeTaskKind::PrefillFinish));
+            all.push(finish);
+            {
+                let program = &programs[r];
+                let state = &states[r];
+                closures.push(Box::new(move || {
+                    let cache = program.assemble_cache().map_err(|e| e.to_string())?;
+                    let last = program.last_hidden_row().map_err(|e| e.to_string())?;
+                    let mut st = state.lock().expect("request state");
+                    st.cache = Some(cache);
+                    st.last_hidden = Some(last);
+                    Ok(())
+                }));
+            }
+
+            // The decode chain: one first-class task per generated token.
+            let mut decode = Vec::with_capacity(req.max_new_tokens);
+            let mut prev = finish;
+            for step in 0..req.max_new_tokens {
+                let id = graph.push(
+                    LaneTask {
+                        label: format!("R{r}-D{step}"),
+                        processor: decode_proc,
+                        duration_ms: dsim.token_ms(req.prompt.len() + step),
+                        release_ms: req.arrival_ms,
+                    },
+                    vec![prev],
+                )?;
+                meta.push((r, ServeTaskKind::Decode { step }));
+                let state = &states[r];
+                closures.push(Box::new(move || {
+                    let mut st = state.lock().expect("request state");
+                    let st = &mut *st;
+                    if step > 0 {
+                        // Forward the previously sampled token through
+                        // the decode path (extends this request's cache).
+                        let prev_tok = *st.tokens.last().ok_or("missing previous token")?;
+                        let cache = st.cache.as_mut().ok_or("missing kv cache")?;
+                        st.last_hidden =
+                            Some(t.prefill(&[prev_tok], cache).map_err(|e| e.to_string())?);
+                    }
+                    let last = st.last_hidden.as_ref().ok_or("missing hidden state")?;
+                    let logits = t.logits(last).map_err(|e| e.to_string())?;
+                    let token = st
+                        .sampler
+                        .sample(logits.row(0))
+                        .map_err(|e| e.to_string())?;
+                    st.tokens.push(token);
+                    Ok(())
+                }));
+                decode.push(id);
+                all.push(id);
+                prev = id;
+            }
+            ids.push(ReqTaskIds {
+                finish,
+                decode,
+                all,
+            });
+        }
+
+        // Run the combined graph on the engine's lanes.
+        let spans = self.pool().install_scope(|| {
+            execute_lane_graph(&graph, closures, self.config().policy, self.pool())
+        })?;
+
+        // Unified timeline, completion order.
+        let mut order: Vec<usize> = (0..graph.len()).collect();
+        order.sort_by(|&a, &b| {
+            spans[a]
+                .1
+                .partial_cmp(&spans[b].1)
+                .expect("finite timestamps")
+        });
+        let mut timeline = ServeTimeline::default();
+        for i in order {
+            let (request, kind) = meta[i];
+            timeline.spans.push(ServeSpan {
+                request,
+                label: graph.tasks()[i].label.clone(),
+                kind,
+                processor: graph.tasks()[i].processor,
+                start_ms: spans[i].0,
+                end_ms: spans[i].1,
+            });
+        }
+
+        // Per-request metrics + token streams.
+        let mut outcomes = Vec::with_capacity(requests.len());
+        for (r, req) in requests.iter().enumerate() {
+            let st = states[r].lock().expect("request state");
+            if st.tokens.len() != req.max_new_tokens {
+                return Err(Error::InvalidConfig {
+                    what: format!(
+                        "request {r} produced {} of {} tokens",
+                        st.tokens.len(),
+                        req.max_new_tokens
+                    ),
+                });
+            }
+            let first_dispatch_ms = ids[r]
+                .all
+                .iter()
+                .map(|&i| spans[i].0)
+                .fold(f64::INFINITY, f64::min);
+            let token_times_ms: Vec<f64> = ids[r].decode.iter().map(|&i| spans[i].1).collect();
+            outcomes.push(RequestOutcome {
+                request: r,
+                tokens: st.tokens.clone(),
+                finish_ms: token_times_ms.last().copied().unwrap_or(0.0),
+                token_times_ms,
+                arrival_ms: req.arrival_ms,
+                first_dispatch_ms,
+                prefill_done_ms: spans[ids[r].finish].1,
+            });
+        }
+
+        Ok(ServeReport {
+            requests: outcomes,
+            timeline,
+        })
+    }
+}
+
+impl ReqTaskIds {
+    /// The task whose completion frees this request's admission slot.
+    fn all_done(&self) -> usize {
+        *self.all.last().expect("request has tasks")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_builders_compose() {
+        let r = GenerationRequest::new(vec![1, 2, 3], 4)
+            .with_sampler(SamplerConfig::top_k(5, 0.8, 7))
+            .with_arrival_ms(12.5);
+        assert_eq!(r.max_new_tokens, 4);
+        assert_eq!(r.sampler.top_k, Some(5));
+        assert!((r.arrival_ms - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outcome_metrics_derive() {
+        let o = RequestOutcome {
+            request: 0,
+            tokens: vec![1, 2],
+            token_times_ms: vec![30.0, 40.0],
+            arrival_ms: 5.0,
+            first_dispatch_ms: 10.0,
+            prefill_done_ms: 20.0,
+            finish_ms: 40.0,
+        };
+        assert!((o.queue_wait_ms() - 5.0).abs() < 1e-12);
+        assert!((o.ttft_ms() - 25.0).abs() < 1e-12);
+        assert!((o.decode_tokens_per_s() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interleave_witness_logic() {
+        let mut tl = ServeTimeline::default();
+        tl.spans.push(ServeSpan {
+            request: 1,
+            label: "R1-C0-L0-AttnPre".to_owned(),
+            kind: ServeTaskKind::PrefillStage {
+                chunk: 0,
+                layer: 0,
+                stage: Stage::AttnPre,
+                role: TaskRole::Main,
+            },
+            processor: Processor::Npu,
+            start_ms: 0.0,
+            end_ms: 10.0,
+        });
+        // Decode of request 0 strictly after request 1's prefill window:
+        // not interleaved.
+        tl.spans.push(ServeSpan {
+            request: 0,
+            label: "R0-D0".to_owned(),
+            kind: ServeTaskKind::Decode { step: 0 },
+            processor: Processor::Cpu,
+            start_ms: 11.0,
+            end_ms: 12.0,
+        });
+        assert!(!tl.decode_interleaved_with_prefill());
+        // A decode span inside the window flips the witness.
+        tl.spans.push(ServeSpan {
+            request: 0,
+            label: "R0-D1".to_owned(),
+            kind: ServeTaskKind::Decode { step: 1 },
+            processor: Processor::Cpu,
+            start_ms: 4.0,
+            end_ms: 6.0,
+        });
+        assert!(tl.decode_interleaved_with_prefill());
+    }
+}

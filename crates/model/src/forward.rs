@@ -12,6 +12,7 @@ use llmnpu_tensor::{norm, ops, rope, Tensor};
 use crate::backend::{CalibrationSet, LinearBackend, LinearKind};
 use crate::config::{ActKind, ModelConfig, NormKind};
 use crate::kv::KvCache;
+use crate::sample::{Sampler, SamplerConfig};
 use crate::weights::ModelWeights;
 use crate::{Error, Result};
 
@@ -22,13 +23,22 @@ const EPS: f32 = 1e-5;
 pub struct Transformer<'a> {
     weights: &'a ModelWeights,
     backend: &'a dyn LinearBackend,
+    /// Cached all-zero beta for the RMS-normed LM head: `logits` runs
+    /// once per decode step, so the decode hot loop must not re-allocate
+    /// a zero vector per token.
+    zero_beta: Vec<f32>,
 }
 
 impl<'a> Transformer<'a> {
     /// Binds weights to a backend.
     #[must_use]
     pub fn new(weights: &'a ModelWeights, backend: &'a dyn LinearBackend) -> Self {
-        Transformer { weights, backend }
+        let zero_beta = vec![0.0; weights.config.hidden];
+        Transformer {
+            weights,
+            backend,
+            zero_beta,
+        }
     }
 
     /// The model configuration.
@@ -105,17 +115,60 @@ impl<'a> Transformer<'a> {
         self.logits(&hidden)
     }
 
+    /// Autoregressive generation: prefills `prompt` (chunked when
+    /// `chunk_len` is given), then samples `max_new_tokens` tokens with a
+    /// fresh seeded [`Sampler`], forwarding each sampled token through
+    /// the decode path to extend the KV cache.
+    ///
+    /// This is the single-stream reference the continuous-batching
+    /// scheduler in `llmnpu-core` is held bit-identical to: it performs
+    /// exactly one LM-head projection + sample per emitted token and one
+    /// decode forward per *consumed* token (the final sampled token is
+    /// never forwarded), in program order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on an empty prompt, invalid tokens, an invalid
+    /// sampler configuration, or backend failures.
+    pub fn generate(
+        &self,
+        prompt: &[u32],
+        chunk_len: Option<usize>,
+        max_new_tokens: usize,
+        sampler_cfg: &SamplerConfig,
+    ) -> Result<Vec<u32>> {
+        if prompt.is_empty() {
+            return Err(Error::InvalidConfig {
+                what: "cannot generate from an empty prompt".to_owned(),
+            });
+        }
+        let mut cache = KvCache::new(self.config().layers);
+        let hidden = match chunk_len {
+            Some(c) => self.prefill_chunked(prompt, c, &mut cache)?,
+            None => self.prefill(prompt, &mut cache)?,
+        };
+        let (rows, h) = hidden.matrix_dims();
+        let mut last = Tensor::from_vec(hidden.row(rows - 1).to_vec(), [1, h])?;
+        let mut sampler = Sampler::new(sampler_cfg)?;
+        let mut out = Vec::with_capacity(max_new_tokens);
+        for step in 0..max_new_tokens {
+            let logits = self.logits(&last)?;
+            let token = sampler.sample(logits.row(0))?;
+            out.push(token);
+            if step + 1 < max_new_tokens {
+                last = self.prefill(&[token], &mut cache)?;
+            }
+        }
+        Ok(out)
+    }
+
     /// Projects hidden states to logits through the LM head.
     ///
     /// # Errors
     ///
     /// Returns an error on shape mismatch.
     pub fn logits(&self, hidden: &Tensor<f32>) -> Result<Tensor<f32>> {
-        let normed = self.apply_norm(
-            hidden,
-            &self.weights.final_norm_gamma,
-            &vec![0.0; self.config().hidden],
-        )?;
+        let normed = self.apply_norm(hidden, &self.weights.final_norm_gamma, &self.zero_beta)?;
         // The LM head is the single largest f32 GEMM in the numeric plane
         // ([seq, hidden] × [hidden, vocab]); run it on the row-partitioned
         // blocked kernel. Thread count never changes the bits produced.
@@ -170,8 +223,8 @@ impl<'a> Transformer<'a> {
         cache: &mut KvCache,
         mut recorder: Option<&mut CalibrationSet>,
     ) -> Result<Tensor<f32>> {
-        let cfg = self.config().clone();
-        for layer in 0..cfg.layers {
+        let layers = self.config().layers;
+        for layer in 0..layers {
             // --- Attention block ---
             let a_in = self.stage_attn_pre(layer, &h)?;
             if let Some(rec) = recorder.as_deref_mut() {
@@ -657,6 +710,65 @@ mod tests {
         let logits = t.decode_step(9, &mut cache).unwrap();
         assert_eq!(logits.shape().dims(), &[1, 64]);
         assert_eq!(cache.seq_len(), 6);
+    }
+
+    #[test]
+    fn generate_is_deterministic_and_chunking_invariant() {
+        let (w, be) = setup();
+        let t = Transformer::new(&w, &be);
+        let prompt = tokens(7);
+        let cfg = SamplerConfig::top_k(8, 0.9, 1234);
+        let a = t.generate(&prompt, Some(3), 6, &cfg).unwrap();
+        let b = t.generate(&prompt, Some(3), 6, &cfg).unwrap();
+        assert_eq!(a, b, "same seed must reproduce the stream");
+        assert_eq!(a.len(), 6);
+        assert!(a.iter().all(|&tk| (tk as usize) < t.config().vocab));
+        // FloatBackend is row-wise, so whole-prompt and chunked prefill
+        // are bit-identical — and therefore so is the sampled stream.
+        let whole = t.generate(&prompt, None, 6, &cfg).unwrap();
+        assert_eq!(a, whole);
+        // A different seed must eventually diverge under sampling.
+        let mut other = cfg.clone();
+        other.seed = 99;
+        let c = t.generate(&prompt, Some(3), 6, &other).unwrap();
+        assert!(a != c || a.len() < 2, "seeds 1234 and 99 coincided");
+    }
+
+    #[test]
+    fn generate_greedy_matches_manual_decode_loop() {
+        let (w, be) = setup();
+        let t = Transformer::new(&w, &be);
+        let prompt = tokens(5);
+        let generated = t
+            .generate(&prompt, None, 4, &SamplerConfig::greedy())
+            .unwrap();
+
+        // Manual loop: prefill, then argmax over logits per step.
+        let mut cache = KvCache::new(t.config().layers);
+        let hidden = t.prefill(&prompt, &mut cache).unwrap();
+        let (rows, h) = hidden.matrix_dims();
+        let mut last = Tensor::from_vec(hidden.row(rows - 1).to_vec(), [1, h]).unwrap();
+        let mut manual = Vec::new();
+        for _ in 0..4 {
+            let logits = t.logits(&last).unwrap();
+            let row = logits.row(0);
+            let mut best = 0usize;
+            for (i, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = i;
+                }
+            }
+            manual.push(best as u32);
+            last = t.prefill(&[best as u32], &mut cache).unwrap();
+        }
+        assert_eq!(generated, manual);
+    }
+
+    #[test]
+    fn generate_rejects_empty_prompt() {
+        let (w, be) = setup();
+        let t = Transformer::new(&w, &be);
+        assert!(t.generate(&[], None, 4, &SamplerConfig::greedy()).is_err());
     }
 
     #[test]

@@ -15,7 +15,10 @@
 //!    [`backend::LinearBackend`], so the same transformer can execute in
 //!    FP32, naive per-tensor INT8, per-group, SmoothQuant, LLM.int8(), or
 //!    llm.npu's shadow-outlier mode — which is how the accuracy experiments
-//!    (Table 6, Figures 4/12/16) are run.
+//!    (Table 6, Figures 4/12/16) are run. [`sample`] supplies the seeded
+//!    decoding strategies (greedy / temperature / top-k / top-p) that
+//!    [`forward::Transformer::generate`] and the continuous-batching
+//!    serving loop in `llmnpu-core` drive token generation with.
 //!
 //! # Example
 //!
@@ -38,6 +41,7 @@ pub mod backend;
 pub mod config;
 pub mod forward;
 pub mod kv;
+pub mod sample;
 pub mod weights;
 
 pub use error::Error;

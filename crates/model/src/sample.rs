@@ -1,0 +1,366 @@
+//! Token sampling for the numeric generation loop.
+//!
+//! The paper's decode stage "is compatible with any decoding engine"
+//! (§4); this module is the decoding engine of this reproduction. A
+//! [`Sampler`] turns one logits row into one token id under the usual
+//! strategies — greedy argmax, temperature scaling, top-k truncation,
+//! and top-p (nucleus) filtering — driven by a **seeded** RNG so every
+//! stream is reproducible: the same [`SamplerConfig`] over the same
+//! logits sequence always yields the same tokens, which is what lets the
+//! continuous-batching scheduler in `llmnpu-core` assert bit-identical
+//! per-request outputs no matter how requests interleave on the pool.
+//!
+//! Determinism contract: greedy sampling consumes no randomness at all;
+//! every non-greedy step consumes exactly **one** `f64` draw, so the RNG
+//! stream position after `n` steps depends only on `n` — never on the
+//! logit values or on what other requests are doing.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Error, Result};
+
+/// Sampling strategy knobs for one generation stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SamplerConfig {
+    /// Softmax temperature. `<= 0` means greedy argmax (no randomness).
+    pub temperature: f32,
+    /// Keep only the `k` highest-logit candidates before sampling.
+    pub top_k: Option<usize>,
+    /// Keep the smallest candidate prefix whose probability mass reaches
+    /// `p` (nucleus sampling). Applied after `top_k`.
+    pub top_p: Option<f32>,
+    /// RNG seed; equal seeds give equal streams.
+    pub seed: u64,
+}
+
+impl SamplerConfig {
+    /// Greedy decoding (deterministic argmax, ties to the lowest id).
+    #[must_use]
+    pub fn greedy() -> Self {
+        SamplerConfig {
+            temperature: 0.0,
+            top_k: None,
+            top_p: None,
+            seed: 0,
+        }
+    }
+
+    /// Plain temperature sampling over the full vocabulary.
+    #[must_use]
+    pub fn temperature(temperature: f32, seed: u64) -> Self {
+        SamplerConfig {
+            temperature,
+            top_k: None,
+            top_p: None,
+            seed,
+        }
+    }
+
+    /// Top-k sampling at a temperature.
+    #[must_use]
+    pub fn top_k(k: usize, temperature: f32, seed: u64) -> Self {
+        SamplerConfig {
+            temperature,
+            top_k: Some(k),
+            top_p: None,
+            seed,
+        }
+    }
+
+    /// Top-p (nucleus) sampling at a temperature.
+    #[must_use]
+    pub fn top_p(p: f32, temperature: f32, seed: u64) -> Self {
+        SamplerConfig {
+            temperature,
+            top_k: None,
+            top_p: Some(p),
+            seed,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.top_k == Some(0) {
+            return Err(Error::InvalidConfig {
+                what: "top_k must be at least 1".to_owned(),
+            });
+        }
+        if let Some(p) = self.top_p {
+            if !(p > 0.0 && p <= 1.0) {
+                return Err(Error::InvalidConfig {
+                    what: format!("top_p {p} must be in (0, 1]"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A seeded sampling stream: one [`Sampler`] per generation request.
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    cfg: SamplerConfig,
+    rng: StdRng,
+}
+
+impl Sampler {
+    /// Creates a sampler from a config (seeding the RNG).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for `top_k == 0` or `top_p` outside `(0, 1]`.
+    pub fn new(cfg: &SamplerConfig) -> Result<Self> {
+        cfg.validate()?;
+        Ok(Sampler {
+            cfg: cfg.clone(),
+            rng: StdRng::seed_from_u64(cfg.seed),
+        })
+    }
+
+    /// The configuration this stream was built from.
+    #[must_use]
+    pub fn config(&self) -> &SamplerConfig {
+        &self.cfg
+    }
+
+    /// Samples one token id from a logits row.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on an empty logits row.
+    pub fn sample(&mut self, logits: &[f32]) -> Result<u32> {
+        if logits.is_empty() {
+            return Err(Error::InvalidConfig {
+                what: "cannot sample from empty logits".to_owned(),
+            });
+        }
+        if self.cfg.temperature <= 0.0 {
+            return Ok(argmax(logits));
+        }
+        // Exactly one draw per non-greedy step, taken up front so the
+        // stream-position contract holds on every path below (including
+        // the degenerate-logits fallback).
+        let u01: f64 = self.rng.gen();
+
+        // Candidate ids ordered by logit descending, index ascending on
+        // ties (a total order, so the candidate list is deterministic).
+        // With top-k, partition the k best first so only k entries are
+        // sorted — this runs once per decoded token over the full
+        // vocabulary, and V log V sorting would dwarf the sampling work.
+        let desc = |&a: &usize, &b: &usize| cmp_logit(logits[b], logits[a]).then_with(|| a.cmp(&b));
+        let mut order: Vec<usize> = (0..logits.len()).collect();
+        match self.cfg.top_k {
+            Some(k) if k < order.len() => {
+                let k = k.max(1);
+                order.select_nth_unstable_by(k - 1, desc);
+                order.truncate(k);
+                order.sort_by(desc);
+            }
+            _ => order.sort_by(desc),
+        }
+
+        // Max-subtracted softmax at the configured temperature.
+        let t = self.cfg.temperature;
+        let top = logits[order[0]];
+        let mut probs: Vec<f64> = order
+            .iter()
+            .map(|&i| f64::from(((logits[i] - top) / t).exp()))
+            .collect();
+        let mut mass: f64 = probs.iter().sum();
+        if !mass.is_finite() || mass <= 0.0 {
+            // Degenerate logits (all -inf / NaN): fall back to argmax.
+            // The draw above already happened, so stream position stays
+            // data-independent.
+            return Ok(argmax(logits));
+        }
+
+        if let Some(p) = self.cfg.top_p {
+            let target = f64::from(p) * mass;
+            let mut cum = 0.0;
+            let mut keep = probs.len();
+            for (i, &pr) in probs.iter().enumerate() {
+                cum += pr;
+                if cum >= target {
+                    keep = i + 1;
+                    break;
+                }
+            }
+            probs.truncate(keep);
+            order.truncate(keep);
+            mass = probs.iter().sum();
+        }
+
+        let u: f64 = u01 * mass;
+        let mut cum = 0.0;
+        for (i, &pr) in probs.iter().enumerate() {
+            cum += pr;
+            if u < cum {
+                return Ok(order[i] as u32);
+            }
+        }
+        // Floating-point round-off on the last bucket.
+        Ok(*order.last().expect("non-empty candidates") as u32)
+    }
+}
+
+/// Argmax with lowest-index tie-breaking; NaN logits lose to everything.
+fn argmax(logits: &[f32]) -> u32 {
+    let mut best = 0usize;
+    for (i, &v) in logits.iter().enumerate() {
+        if cmp_logit(v, logits[best]) == std::cmp::Ordering::Greater {
+            best = i;
+        }
+    }
+    best as u32
+}
+
+/// Total order on logit values: NaN sorts below every real value.
+fn cmp_logit(a: f32, b: f32) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Less,
+        (false, true) => std::cmp::Ordering::Greater,
+        (false, false) => a.partial_cmp(&b).expect("non-NaN logits"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn logits() -> Vec<f32> {
+        vec![0.1, 2.5, -1.0, 2.5, 0.7, -3.0]
+    }
+
+    #[test]
+    fn greedy_is_argmax_with_low_index_ties() {
+        let mut s = Sampler::new(&SamplerConfig::greedy()).unwrap();
+        // Indices 1 and 3 tie at 2.5; the lower id wins.
+        assert_eq!(s.sample(&logits()).unwrap(), 1);
+        assert_eq!(s.sample(&[f32::NAN, 0.0, -1.0]).unwrap(), 1);
+    }
+
+    #[test]
+    fn equal_seeds_give_equal_streams() {
+        let cfg = SamplerConfig::top_k(3, 0.8, 42);
+        let mut a = Sampler::new(&cfg).unwrap();
+        let mut b = Sampler::new(&cfg).unwrap();
+        for _ in 0..64 {
+            assert_eq!(a.sample(&logits()).unwrap(), b.sample(&logits()).unwrap());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Sampler::new(&SamplerConfig::temperature(1.0, 1)).unwrap();
+        let mut b = Sampler::new(&SamplerConfig::temperature(1.0, 2)).unwrap();
+        let sa: Vec<u32> = (0..32).map(|_| a.sample(&logits()).unwrap()).collect();
+        let sb: Vec<u32> = (0..32).map(|_| b.sample(&logits()).unwrap()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn top_k_restricts_support() {
+        let mut s = Sampler::new(&SamplerConfig::top_k(2, 1.0, 7)).unwrap();
+        for _ in 0..128 {
+            let t = s.sample(&logits()).unwrap();
+            // Top-2 candidates are ids 1 and 3 (both 2.5).
+            assert!(t == 1 || t == 3, "token {t} outside top-2");
+        }
+    }
+
+    #[test]
+    fn top_p_restricts_support() {
+        // One dominant logit: a small nucleus keeps only it.
+        let l = vec![0.0, 10.0, 0.0, 0.0];
+        let mut s = Sampler::new(&SamplerConfig::top_p(0.5, 1.0, 9)).unwrap();
+        for _ in 0..64 {
+            assert_eq!(s.sample(&l).unwrap(), 1);
+        }
+    }
+
+    #[test]
+    fn temperature_flattens_distribution() {
+        // At very low temperature, sampling collapses onto the (untied)
+        // argmax.
+        let peaked = vec![0.1, 2.5, -1.0, 1.5, 0.7, -3.0];
+        let mut cold = Sampler::new(&SamplerConfig::temperature(0.05, 3)).unwrap();
+        for _ in 0..64 {
+            assert_eq!(cold.sample(&peaked).unwrap(), 1);
+        }
+        // At high temperature, low-logit tokens appear too.
+        let mut hot = Sampler::new(&SamplerConfig::temperature(50.0, 3)).unwrap();
+        let seen: std::collections::HashSet<u32> =
+            (0..256).map(|_| hot.sample(&logits()).unwrap()).collect();
+        assert!(seen.len() >= 4, "only saw {seen:?}");
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(Sampler::new(&SamplerConfig::top_k(0, 1.0, 0)).is_err());
+        assert!(Sampler::new(&SamplerConfig::top_p(0.0, 1.0, 0)).is_err());
+        assert!(Sampler::new(&SamplerConfig::top_p(1.5, 1.0, 0)).is_err());
+        let mut s = Sampler::new(&SamplerConfig::greedy()).unwrap();
+        assert!(s.sample(&[]).is_err());
+    }
+
+    #[test]
+    fn degenerate_logits_consume_exactly_one_draw() {
+        // The stream-position contract must hold even on the
+        // argmax fallback for all-(-inf) logits: one draw, like any
+        // other sampled step.
+        let cfg = SamplerConfig::temperature(1.0, 21);
+        let mut reference = Sampler::new(&cfg).unwrap();
+        let _ = reference.sample(&logits()).unwrap();
+        let second = reference.sample(&logits()).unwrap();
+
+        let mut mixed = Sampler::new(&cfg).unwrap();
+        let degenerate = vec![f32::NEG_INFINITY; 6];
+        assert_eq!(mixed.sample(&degenerate).unwrap(), 0);
+        assert_eq!(
+            mixed.sample(&logits()).unwrap(),
+            second,
+            "degenerate step must advance the stream by exactly one draw"
+        );
+    }
+
+    #[test]
+    fn top_k_partition_matches_masked_full_sort() {
+        // The select-then-sort fast path (k < vocab) must produce the
+        // same distribution as sampling the full vocabulary with
+        // everything outside the top-k masked to -inf: same seed, same
+        // stream.
+        let l = logits();
+        // Top-2 of `logits()` are ids 1 and 3 (both 2.5).
+        let mut masked_logits = vec![f32::NEG_INFINITY; l.len()];
+        masked_logits[1] = l[1];
+        masked_logits[3] = l[3];
+        let mut partitioned = Sampler::new(&SamplerConfig::top_k(2, 1.0, 31)).unwrap();
+        let mut masked = Sampler::new(&SamplerConfig::temperature(1.0, 31)).unwrap();
+        for _ in 0..64 {
+            assert_eq!(
+                partitioned.sample(&l).unwrap(),
+                masked.sample(&masked_logits).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_consumes_no_randomness() {
+        // A greedy stream interleaved with sampling must not perturb the
+        // sampling stream: greedy draws nothing from the RNG.
+        let cfg = SamplerConfig::temperature(1.0, 11);
+        let mut pure = Sampler::new(&cfg).unwrap();
+        let expected: Vec<u32> = (0..16).map(|_| pure.sample(&logits()).unwrap()).collect();
+
+        let mut mixed = Sampler::new(&cfg).unwrap();
+        let mut greedy = Sampler::new(&SamplerConfig::greedy()).unwrap();
+        let got: Vec<u32> = (0..16)
+            .map(|_| {
+                let _ = greedy.sample(&logits()).unwrap();
+                mixed.sample(&logits()).unwrap()
+            })
+            .collect();
+        assert_eq!(expected, got);
+    }
+}

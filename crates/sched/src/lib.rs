@@ -26,12 +26,17 @@
 //!   [`WorkerPool`] that replaces per-call `std::thread::scope` spawning
 //!   in `llmnpu_tensor::kernel::parallel` (created once per engine,
 //!   installable as the kernel layer's parallel backend),
-//! * [`runner`] — the numeric out-of-order DAG executor
-//!   ([`execute_chunked_prefill`]): the same [`PrefillDag`] the policies
-//!   above price analytically, executed for real against a
-//!   `Transformer`, with shadow-outlier tasks genuinely overlapping the
-//!   quantized main path and an [`ExecutedTimeline`] measured for
-//!   cross-checking against the simulated one.
+//! * [`runner`] — the numeric out-of-order task executor: a generic
+//!   lane-graph dispatcher ([`execute_lane_graph`]) over tasks with
+//!   processor lanes, modeled durations, release times (request
+//!   arrivals), and dependency edges. [`execute_chunked_prefill`] is the
+//!   prefill instantiation — the same [`PrefillDag`] the policies above
+//!   price analytically, executed for real against a `Transformer`,
+//!   with shadow-outlier tasks genuinely overlapping the quantized main
+//!   path and an [`ExecutedTimeline`] measured for cross-checking
+//!   against the simulated one. The continuous-batching serving loop in
+//!   `llmnpu-core` feeds the same dispatcher a combined graph of many
+//!   requests' prefill chunks and decode steps.
 //!
 //! [`PrefillDag`]: llmnpu_graph::dag::PrefillDag
 
@@ -50,7 +55,10 @@ pub use error::Error;
 pub use exec::{schedule, ScheduleOutcome};
 pub use optimal::{optimal_makespan, OPTIMAL_LIMIT};
 pub use pool::WorkerPool;
-pub use runner::{execute_chunked_prefill, ExecutedTask, ExecutedTimeline, NumericPrefill};
+pub use runner::{
+    execute_chunked_prefill, execute_lane_graph, ExecutedTask, ExecutedTimeline, LaneGraph,
+    LaneTask, NumericPrefill, PrefillProgram, TaskFn,
+};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, Error>;

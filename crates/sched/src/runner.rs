@@ -1,5 +1,7 @@
-//! The numeric out-of-order DAG executor: runs the chunked-prefill task
-//! DAG **for real** on the transformer, not just analytically.
+//! The numeric out-of-order task executor: runs chunked-prefill DAGs —
+//! and, since the serving layer landed, *any* lane-structured task graph
+//! (prefill chunks and decode steps of many concurrent requests) —
+//! **for real** on the transformer, not just analytically.
 //!
 //! This is the other half of the unified planes (§3.4): the same
 //! [`PrefillDag`] that `crate::exec::schedule` prices on the simulated
@@ -11,6 +13,19 @@
 //! per processor at a time), with the lane loops running on the
 //! persistent [`WorkerPool`] so the CPU shadow lane genuinely overlaps
 //! the NPU main lane in wall-clock time.
+//!
+//! # The generic layer
+//!
+//! The dispatcher itself knows nothing about prefill. It executes a
+//! [`LaneGraph`] — tasks with a processor lane, a modeled duration (for
+//! the Equation 5 C-value priority), an optional *release time* (a
+//! request's arrival: the task may not start earlier), and dependency
+//! edges — against one boxed closure per task ([`execute_lane_graph`]).
+//! [`execute_chunked_prefill`] is the prefill instantiation;
+//! `llmnpu-core`'s continuous-batching scheduler builds a combined
+//! graph holding several requests' prefill DAGs *plus their decode
+//! chains* and runs it through the same dispatcher, which is how decode
+//! steps become first-class tasks on the same lanes as prefill chunks.
 //!
 //! # Determinism
 //!
@@ -24,7 +39,7 @@
 //! [`ExecutedTimeline`], never a float.
 
 use std::sync::{Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use llmnpu_graph::chunk::ChunkPlan;
 use llmnpu_graph::dag::{PrefillDag, Task, TaskRole};
@@ -179,6 +194,124 @@ impl ExecutedTimeline {
     }
 }
 
+// ---------------------------------------------------------------------------
+// The generic lane graph
+// ---------------------------------------------------------------------------
+
+/// One schedulable unit of a [`LaneGraph`]: the dispatcher-facing facts
+/// about a task (its numeric body lives in the parallel closure vector).
+#[derive(Debug, Clone)]
+pub struct LaneTask {
+    /// Display label (diagnostics only; need not be unique).
+    pub label: String,
+    /// The serial lane (processor) this task must run on (Equation 4).
+    pub processor: Processor,
+    /// Modeled duration, used by the out-of-order policy's Equation 5
+    /// C-value — the executor prioritizes with the timing plane's
+    /// predictions, exactly as the paper's online scheduler does.
+    pub duration_ms: f64,
+    /// Earliest wall-clock start, ms from run start (a request's arrival
+    /// time in the serving scheduler; 0 for always-available work).
+    pub release_ms: f64,
+}
+
+/// A dependency-structured batch of lane tasks — the generic input of
+/// [`execute_lane_graph`]. Construction is topological: a task may only
+/// depend on already-pushed tasks, which makes cycles unrepresentable.
+#[derive(Debug, Clone, Default)]
+pub struct LaneGraph {
+    tasks: Vec<LaneTask>,
+    deps: Vec<Vec<usize>>,
+}
+
+impl LaneGraph {
+    /// An empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        LaneGraph::default()
+    }
+
+    /// Appends a task depending on the given earlier task ids; returns
+    /// the new task's id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Exec`] if a dependency references this task or a
+    /// not-yet-pushed one.
+    pub fn push(&mut self, task: LaneTask, deps: Vec<usize>) -> Result<usize> {
+        let id = self.tasks.len();
+        if let Some(&bad) = deps.iter().find(|&&d| d >= id) {
+            return Err(Error::Exec {
+                what: format!(
+                    "task {id} ({}) depends on non-earlier task {bad}",
+                    task.label
+                ),
+            });
+        }
+        self.tasks.push(task);
+        self.deps.push(deps);
+        Ok(id)
+    }
+
+    /// All tasks, indexed by id.
+    #[must_use]
+    pub fn tasks(&self) -> &[LaneTask] {
+        &self.tasks
+    }
+
+    /// Prerequisites of task `t`.
+    #[must_use]
+    pub fn deps(&self, t: usize) -> &[usize] {
+        &self.deps[t]
+    }
+
+    /// Number of tasks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the graph is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// The distinct lanes present, in fixed NPU/CPU/GPU order.
+    #[must_use]
+    pub fn lanes(&self) -> Vec<Processor> {
+        let mut lanes = Vec::new();
+        for p in [Processor::Npu, Processor::Cpu, Processor::Gpu] {
+            if self.tasks.iter().any(|t| t.processor == p) {
+                lanes.push(p);
+            }
+        }
+        lanes
+    }
+
+    /// Mirrors a [`PrefillDag`]'s structure (same task ids) with zero
+    /// release times.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Exec`] if the DAG is not topologically ordered.
+    pub fn from_prefill_dag(dag: &PrefillDag) -> Result<Self> {
+        let mut graph = LaneGraph::new();
+        for (i, task) in dag.tasks().iter().enumerate() {
+            graph.push(
+                LaneTask {
+                    label: task.label.clone(),
+                    processor: task.processor,
+                    duration_ms: task.duration_ms,
+                    release_ms: 0.0,
+                },
+                dag.deps(i).to_vec(),
+            )?;
+        }
+        Ok(graph)
+    }
+}
+
 /// Result of executing a chunked prefill through the DAG runner.
 #[derive(Debug)]
 pub struct NumericPrefill {
@@ -252,7 +385,9 @@ impl ExecCtx<'_, '_> {
     }
 }
 
-type TaskFn<'run> = Box<dyn FnOnce() -> std::result::Result<(), String> + Send + 'run>;
+/// The executable body of one lane task. The returned error string is
+/// surfaced as [`Error::Exec`] by the dispatcher.
+pub type TaskFn<'run> = Box<dyn FnOnce() -> std::result::Result<(), String> + Send + 'run>;
 
 fn take<T>(slot: &Mutex<Option<T>>, what: &str) -> std::result::Result<T, String> {
     slot.lock()
@@ -383,6 +518,194 @@ fn task_closure<'run>(ctx: &'run ExecCtx<'_, '_>, task: &Task, split: bool) -> T
     })
 }
 
+/// One request's prefill, prepared for execution: the per-chunk
+/// activation slots, position-addressed KV buffers, and the mapping from
+/// DAG tasks to stage closures.
+///
+/// [`execute_chunked_prefill`] drives one of these through the
+/// dispatcher on its own; the serving scheduler in `llmnpu-core`
+/// prepares one per admitted request and splices all their closures into
+/// a single combined [`LaneGraph`] together with decode tasks.
+pub struct PrefillProgram<'t, 'w> {
+    ctx: ExecCtx<'t, 'w>,
+    /// (layer, stage) pairs with a shadow task attached: their main
+    /// tasks compute pre-merge halves only.
+    split: std::collections::HashSet<(usize, Stage)>,
+}
+
+impl<'t, 'w> PrefillProgram<'t, 'w> {
+    /// Validates the DAG/plan/model agreement and seeds the per-chunk
+    /// slots with the embedded hidden states.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Exec`] on a plan/DAG/model mismatch.
+    pub fn new(
+        t: &'t Transformer<'w>,
+        tokens: &[u32],
+        dag: &PrefillDag,
+        plan: &ChunkPlan,
+    ) -> Result<Self> {
+        if tokens.len() != plan.prompt_len {
+            return Err(Error::Exec {
+                what: format!(
+                    "plan is for {} tokens, got {}",
+                    plan.prompt_len,
+                    tokens.len()
+                ),
+            });
+        }
+        let cfg = t.config();
+        if let Some(bad) = dag.tasks().iter().find(|task| task.layer >= cfg.layers) {
+            return Err(Error::Exec {
+                what: format!(
+                    "dag task {} references layer {} of a {}-layer model",
+                    bad.label, bad.layer, cfg.layers
+                ),
+            });
+        }
+        dag.validate().map_err(|e| Error::Exec {
+            what: format!("invalid dag: {e}"),
+        })?;
+
+        let split: std::collections::HashSet<(usize, Stage)> = dag
+            .tasks()
+            .iter()
+            .filter(|task| task.role == TaskRole::Shadow)
+            .map(|task| (task.layer, task.stage))
+            .collect();
+
+        let chunk_len = plan.chunk_len;
+        let mut bounds = Vec::with_capacity(plan.chunks);
+        let mut chunks = Vec::with_capacity(plan.chunks);
+        for (c, chunk_tokens) in tokens.chunks(chunk_len).enumerate() {
+            bounds.push((c * chunk_len, chunk_tokens.len()));
+            chunks.push(ChunkSlots {
+                h: Mutex::new(t.embed(chunk_tokens).map_err(exec_err)?),
+                a_in: Mutex::new(None),
+                q: Mutex::new(None),
+                attn: Mutex::new(None),
+                f_in: Mutex::new(None),
+                qkv_mains: Mutex::new(None),
+                qkv_shadows: Mutex::new(None),
+                ffn_mains: Mutex::new(None),
+                ffn_shadows: Mutex::new(None),
+            });
+        }
+        if bounds.len() != plan.chunks {
+            return Err(Error::Exec {
+                what: format!(
+                    "plan expects {} chunks, tokens produce {}",
+                    plan.chunks,
+                    bounds.len()
+                ),
+            });
+        }
+        let kv_dim = cfg.kv_dim();
+        let kv = (0..cfg.layers)
+            .map(|_| LayerKvBuf {
+                k: Mutex::new(vec![0.0; tokens.len() * kv_dim]),
+                v: Mutex::new(vec![0.0; tokens.len() * kv_dim]),
+            })
+            .collect();
+        Ok(PrefillProgram {
+            ctx: ExecCtx {
+                t,
+                chunks,
+                kv,
+                bounds,
+                chunk_len,
+                kv_dim,
+                prompt_len: tokens.len(),
+            },
+            split,
+        })
+    }
+
+    /// Builds one executable closure per DAG task (same indices as
+    /// `dag.tasks()`). The closures borrow this program, so it must
+    /// outlive the execution.
+    #[must_use]
+    pub fn closures<'run>(&'run self, dag: &PrefillDag) -> Vec<TaskFn<'run>> {
+        dag.tasks()
+            .iter()
+            .map(|task| {
+                let is_split = self.split.contains(&(task.layer, task.stage));
+                task_closure(&self.ctx, task, is_split)
+            })
+            .collect()
+    }
+
+    /// Assembles the final hidden states `[prompt_len, hidden]` in chunk
+    /// order (valid once every task has run).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Exec`] on a shape inconsistency.
+    pub fn assemble_hidden(&self) -> Result<Tensor<f32>> {
+        let hidden_w = self.ctx.t.config().hidden;
+        let mut out = Vec::with_capacity(self.ctx.prompt_len * hidden_w);
+        for slots in &self.ctx.chunks {
+            out.extend_from_slice(slots.h.lock().expect("slot mutex").as_slice());
+        }
+        Tensor::from_vec(out, [self.ctx.prompt_len, hidden_w]).map_err(|e| Error::Exec {
+            what: format!("hidden assembly: {e}"),
+        })
+    }
+
+    /// The last token's hidden state as a `[1, hidden]` tensor — the
+    /// LM-head input of the first decode step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Exec`] on a shape inconsistency.
+    pub fn last_hidden_row(&self) -> Result<Tensor<f32>> {
+        let hidden_w = self.ctx.t.config().hidden;
+        let last = self.ctx.chunks.last().ok_or(Error::Exec {
+            what: "empty prefill program".to_owned(),
+        })?;
+        let h = last.h.lock().expect("slot mutex");
+        let (rows, _) = h.matrix_dims();
+        Tensor::from_vec(h.row(rows - 1).to_vec(), [1, hidden_w]).map_err(|e| Error::Exec {
+            what: format!("last hidden row: {e}"),
+        })
+    }
+
+    /// Assembles the populated KV cache (valid once every task has run)
+    /// — bit-identical to the cache `Transformer::prefill_chunked`
+    /// produces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Exec`] on a shape inconsistency.
+    pub fn assemble_cache(&self) -> Result<KvCache> {
+        let cfg = self.ctx.t.config();
+        let mut cache = KvCache::new(cfg.layers);
+        for (layer, buf) in self.ctx.kv.iter().enumerate() {
+            let k = Tensor::from_vec(
+                buf.k.lock().expect("kv mutex").clone(),
+                [self.ctx.prompt_len, self.ctx.kv_dim],
+            )
+            .map_err(|e| Error::Exec {
+                what: format!("kv assembly: {e}"),
+            })?;
+            let v = Tensor::from_vec(
+                buf.v.lock().expect("kv mutex").clone(),
+                [self.ctx.prompt_len, self.ctx.kv_dim],
+            )
+            .map_err(|e| Error::Exec {
+                what: format!("kv assembly: {e}"),
+            })?;
+            cache
+                .layer_mut(layer)
+                .map_err(exec_err)?
+                .append(&k, &v)
+                .map_err(exec_err)?;
+        }
+        Ok(cache)
+    }
+}
+
 /// Shared dispatch state for the lane loops.
 struct DispatchState {
     scheduled: Vec<bool>,
@@ -395,7 +718,7 @@ struct DispatchState {
 }
 
 struct Dispatcher<'d> {
-    dag: &'d PrefillDag,
+    graph: &'d LaneGraph,
     successors: Vec<Vec<usize>>,
     policy: Policy,
     state: Mutex<DispatchState>,
@@ -404,16 +727,16 @@ struct Dispatcher<'d> {
 }
 
 impl<'d> Dispatcher<'d> {
-    fn new(dag: &'d PrefillDag, policy: Policy) -> Self {
-        let n = dag.len();
+    fn new(graph: &'d LaneGraph, policy: Policy) -> Self {
+        let n = graph.len();
         let mut successors: Vec<Vec<usize>> = vec![Vec::new(); n];
         for t in 0..n {
-            for &d in dag.deps(t) {
+            for &d in graph.deps(t) {
                 successors[d].push(t);
             }
         }
         Dispatcher {
-            dag,
+            graph,
             successors,
             policy,
             state: Mutex::new(DispatchState {
@@ -430,13 +753,29 @@ impl<'d> Dispatcher<'d> {
         }
     }
 
-    fn ready(&self, st: &DispatchState, t: usize) -> bool {
-        self.dag.deps(t).iter().all(|&d| st.done[d])
+    /// Dependency-readiness (release times not considered).
+    fn deps_done(&self, st: &DispatchState, t: usize) -> bool {
+        self.graph.deps(t).iter().all(|&d| st.done[d])
     }
 
-    /// Any task dispatchable on any lane right now?
-    fn any_ready(&self, st: &DispatchState) -> bool {
-        (0..self.dag.len()).any(|t| !st.scheduled[t] && self.ready(st, t))
+    /// Dispatchability at wall-clock `now`: deps done *and* released.
+    fn ready(&self, st: &DispatchState, t: usize, now: f64) -> bool {
+        self.graph.tasks()[t].release_ms <= now + EPS && self.deps_done(st, t)
+    }
+
+    /// Any task dep-ready on any lane (released or not)?
+    fn any_deps_done(&self, st: &DispatchState) -> bool {
+        (0..self.graph.len()).any(|t| !st.scheduled[t] && self.deps_done(st, t))
+    }
+
+    /// Milliseconds until the earliest pending release among dep-ready
+    /// tasks, or `None` when every dep-ready task is already released.
+    fn next_release_in(&self, st: &DispatchState, now: f64) -> Option<f64> {
+        (0..self.graph.len())
+            .filter(|&t| !st.scheduled[t] && self.deps_done(st, t))
+            .map(|t| self.graph.tasks()[t].release_ms - now)
+            .filter(|&dt| dt > EPS)
+            .fold(None, |acc, dt| Some(acc.map_or(dt, |a: f64| a.min(dt))))
     }
 
     /// Equation 5's C-value over boolean completion state: successors
@@ -444,13 +783,13 @@ impl<'d> Dispatcher<'d> {
     /// duration (the executor prioritizes with the timing plane's
     /// predictions, exactly as the paper's online scheduler does).
     fn c_value(&self, st: &DispatchState, g: usize) -> f64 {
-        let tasks = self.dag.tasks();
+        let tasks = self.graph.tasks();
         let mut total = 0.0;
         for &s in &self.successors[g] {
             if st.scheduled[s] {
                 continue;
             }
-            let others_ready = self.dag.deps(s).iter().all(|&d| d == g || st.done[d]);
+            let others_ready = self.graph.deps(s).iter().all(|&d| d == g || st.done[d]);
             if others_ready {
                 total += tasks[s].duration_ms;
             }
@@ -463,23 +802,23 @@ impl<'d> Dispatcher<'d> {
     }
 
     /// Picks the next task for lane `p` under the policy, or `None`.
-    fn pick(&self, st: &DispatchState, p: Processor) -> Option<usize> {
-        let tasks = self.dag.tasks();
+    fn pick(&self, st: &DispatchState, p: Processor, now: f64) -> Option<usize> {
+        let tasks = self.graph.tasks();
         match self.policy {
             Policy::Serial => {
                 let next = st.scheduled.iter().position(|&s| !s)?;
-                (tasks[next].processor == p && self.ready(st, next) && st.in_flight == 0)
+                (tasks[next].processor == p && self.ready(st, next, now) && st.in_flight == 0)
                     .then_some(next)
             }
             Policy::FifoQueues => {
                 let head =
                     (0..tasks.len()).find(|&t| !st.scheduled[t] && tasks[t].processor == p)?;
-                self.ready(st, head).then_some(head)
+                self.ready(st, head, now).then_some(head)
             }
             Policy::OutOfOrder => {
                 let mut best: Option<(f64, usize)> = None;
                 for (t, task) in tasks.iter().enumerate() {
-                    if st.scheduled[t] || task.processor != p || !self.ready(st, t) {
+                    if st.scheduled[t] || task.processor != p || !self.ready(st, t, now) {
                         continue;
                     }
                     let c = self.c_value(st, t);
@@ -536,12 +875,16 @@ impl<'d> Dispatcher<'d> {
                     if st.aborted || st.remaining == 0 {
                         return;
                     }
-                    if let Some(t) = self.pick(&st, p) {
+                    let now = self.now_ms();
+                    if let Some(t) = self.pick(&st, p, now) {
                         st.scheduled[t] = true;
                         st.in_flight += 1;
                         break t;
                     }
-                    if st.in_flight == 0 && !self.any_ready(&st) {
+                    // A dep-ready task may just be awaiting its release
+                    // (request arrival): sleep until then, not forever.
+                    let pending_release = self.next_release_in(&st, now);
+                    if st.in_flight == 0 && !self.any_deps_done(&st) && pending_release.is_none() {
                         st.aborted = true;
                         st.error
                             .get_or_insert_with(|| "dispatch deadlock".to_owned());
@@ -549,7 +892,13 @@ impl<'d> Dispatcher<'d> {
                         self.cv.notify_all();
                         return;
                     }
-                    st = self.cv.wait(st).expect("dispatch mutex");
+                    st = match pending_release {
+                        Some(wait_ms) => {
+                            let timeout = Duration::from_secs_f64((wait_ms / 1e3).max(1e-5));
+                            self.cv.wait_timeout(st, timeout).expect("dispatch mutex").0
+                        }
+                        None => self.cv.wait(st).expect("dispatch mutex"),
+                    };
                 }
             };
             self.run_task(closures, picked);
@@ -566,26 +915,97 @@ impl<'d> Dispatcher<'d> {
                 if st.aborted || st.remaining == 0 {
                     return true;
                 }
+                let now = self.now_ms();
                 let mut found = None;
                 for &p in lanes {
-                    if let Some(t) = self.pick(&st, p) {
+                    if let Some(t) = self.pick(&st, p, now) {
                         st.scheduled[t] = true;
                         st.in_flight += 1;
                         found = Some(t);
                         break;
                     }
                 }
-                let Some(found) = found else {
-                    st.aborted = true;
-                    st.error
-                        .get_or_insert_with(|| "dispatch deadlock".to_owned());
-                    return false;
-                };
-                found
+                match found {
+                    Some(found) => found,
+                    None => {
+                        // Nothing dispatchable right now: if something is
+                        // only waiting on its release time, sleep it in;
+                        // otherwise the graph is stuck.
+                        let Some(wait_ms) = self.next_release_in(&st, now) else {
+                            st.aborted = true;
+                            st.error
+                                .get_or_insert_with(|| "dispatch deadlock".to_owned());
+                            return false;
+                        };
+                        drop(st);
+                        std::thread::sleep(Duration::from_secs_f64((wait_ms / 1e3).max(1e-5)));
+                        continue;
+                    }
+                }
             };
             self.run_task(closures, picked);
         }
     }
+}
+
+/// Executes a [`LaneGraph`] — one closure per task — out-of-order across
+/// per-processor serial lanes on the persistent pool, honoring release
+/// times and the scheduling policy. Returns each task's measured
+/// `(start_ms, end_ms)` wall-clock span, indexed like the graph.
+///
+/// This is the generic engine under both [`execute_chunked_prefill`]
+/// and the continuous-batching serving scheduler in `llmnpu-core`.
+///
+/// # Errors
+///
+/// Returns [`Error::Exec`] when closure and task counts disagree, when a
+/// task body fails or panics, or when dispatch cannot make progress.
+pub fn execute_lane_graph(
+    graph: &LaneGraph,
+    closures: Vec<TaskFn<'_>>,
+    policy: Policy,
+    pool: &WorkerPool,
+) -> Result<Vec<(f64, f64)>> {
+    if closures.len() != graph.len() {
+        return Err(Error::Exec {
+            what: format!(
+                "graph has {} tasks but {} closures",
+                graph.len(),
+                closures.len()
+            ),
+        });
+    }
+    let closures: Vec<Mutex<Option<TaskFn<'_>>>> =
+        closures.into_iter().map(|c| Mutex::new(Some(c))).collect();
+    let lanes = graph.lanes();
+    let dispatcher = Dispatcher::new(graph, policy);
+    if graph.is_empty() {
+        return Ok(Vec::new());
+    }
+    let concurrent = {
+        let mut jobs: Vec<Job<'_>> = lanes
+            .iter()
+            .map(|&p| {
+                let dispatcher = &dispatcher;
+                let closures = &closures;
+                Job::new(move || dispatcher.lane_loop(closures, p))
+            })
+            .collect();
+        pool.run_concurrent(&mut jobs)
+    };
+    if !concurrent {
+        dispatcher.sequential(&closures, &lanes);
+    }
+
+    let st = dispatcher.state.into_inner().expect("dispatch mutex");
+    if let Some(e) = st.error {
+        return Err(Error::Exec { what: e });
+    }
+    Ok(st
+        .trace
+        .into_iter()
+        .map(|span| span.expect("all tasks traced"))
+        .collect())
 }
 
 /// Executes a chunked prefill by running the DAG's tasks out-of-order
@@ -610,130 +1030,22 @@ pub fn execute_chunked_prefill(
     policy: Policy,
     pool: &WorkerPool,
 ) -> Result<NumericPrefill> {
-    if tokens.len() != plan.prompt_len {
-        return Err(Error::Exec {
-            what: format!(
-                "plan is for {} tokens, got {}",
-                plan.prompt_len,
-                tokens.len()
-            ),
-        });
-    }
-    let cfg = t.config();
-    if let Some(bad) = dag.tasks().iter().find(|task| task.layer >= cfg.layers) {
-        return Err(Error::Exec {
-            what: format!(
-                "dag task {} references layer {} of a {}-layer model",
-                bad.label, bad.layer, cfg.layers
-            ),
-        });
-    }
-    dag.validate().map_err(|e| Error::Exec {
-        what: format!("invalid dag: {e}"),
-    })?;
-
-    // (layer, stage) pairs with a shadow task attached: their main tasks
-    // compute pre-merge halves only.
-    let split: std::collections::HashSet<(usize, Stage)> = dag
-        .tasks()
-        .iter()
-        .filter(|task| task.role == TaskRole::Shadow)
-        .map(|task| (task.layer, task.stage))
-        .collect();
-
-    // Per-chunk slots, seeded with the embedded hidden states.
-    let chunk_len = plan.chunk_len;
-    let mut bounds = Vec::with_capacity(plan.chunks);
-    let mut chunks = Vec::with_capacity(plan.chunks);
-    for (c, chunk_tokens) in tokens.chunks(chunk_len).enumerate() {
-        bounds.push((c * chunk_len, chunk_tokens.len()));
-        chunks.push(ChunkSlots {
-            h: Mutex::new(t.embed(chunk_tokens).map_err(exec_err)?),
-            a_in: Mutex::new(None),
-            q: Mutex::new(None),
-            attn: Mutex::new(None),
-            f_in: Mutex::new(None),
-            qkv_mains: Mutex::new(None),
-            qkv_shadows: Mutex::new(None),
-            ffn_mains: Mutex::new(None),
-            ffn_shadows: Mutex::new(None),
-        });
-    }
-    if bounds.len() != plan.chunks {
-        return Err(Error::Exec {
-            what: format!(
-                "plan expects {} chunks, tokens produce {}",
-                plan.chunks,
-                bounds.len()
-            ),
-        });
-    }
-    let kv_dim = cfg.kv_dim();
-    let kv = (0..cfg.layers)
-        .map(|_| LayerKvBuf {
-            k: Mutex::new(vec![0.0; tokens.len() * kv_dim]),
-            v: Mutex::new(vec![0.0; tokens.len() * kv_dim]),
-        })
-        .collect();
-    let ctx = ExecCtx {
-        t,
-        chunks,
-        kv,
-        bounds,
-        chunk_len,
-        kv_dim,
-        prompt_len: tokens.len(),
-    };
-
-    let closures: Vec<Mutex<Option<TaskFn<'_>>>> = dag
-        .tasks()
-        .iter()
-        .map(|task| {
-            let is_split = split.contains(&(task.layer, task.stage));
-            Mutex::new(Some(task_closure(&ctx, task, is_split)))
-        })
-        .collect();
-
-    // One serial lane per processor present in the DAG (Equation 4).
-    let mut lanes: Vec<Processor> = Vec::new();
-    for p in [Processor::Npu, Processor::Cpu, Processor::Gpu] {
-        if dag.tasks().iter().any(|task| task.processor == p) {
-            lanes.push(p);
-        }
-    }
-
-    let dispatcher = Dispatcher::new(dag, policy);
-    let concurrent = {
-        let mut jobs: Vec<Job<'_>> = lanes
-            .iter()
-            .map(|&p| {
-                let dispatcher = &dispatcher;
-                let closures = &closures;
-                Job::new(move || dispatcher.lane_loop(closures, p))
-            })
-            .collect();
-        pool.run_concurrent(&mut jobs)
-    };
-    if !concurrent {
-        dispatcher.sequential(&closures, &lanes);
-    }
-
-    let st = dispatcher.state.into_inner().expect("dispatch mutex");
-    if let Some(e) = st.error {
-        return Err(Error::Exec { what: e });
-    }
+    let program = PrefillProgram::new(t, tokens, dag, plan)?;
+    let graph = LaneGraph::from_prefill_dag(dag)?;
+    let spans = execute_lane_graph(&graph, program.closures(dag), policy, pool)?;
 
     // Assemble the timeline in completion order.
     let mut timeline = ExecutedTimeline::default();
     let mut order: Vec<usize> = (0..dag.len()).collect();
     order.sort_by(|&a, &b| {
-        let ea = st.trace[a].expect("all tasks traced").1;
-        let eb = st.trace[b].expect("all tasks traced").1;
-        ea.partial_cmp(&eb).expect("finite timestamps")
+        spans[a]
+            .1
+            .partial_cmp(&spans[b].1)
+            .expect("finite timestamps")
     });
     for i in order {
         let task = &dag.tasks()[i];
-        let (start_ms, end_ms) = st.trace[i].expect("all tasks traced");
+        let (start_ms, end_ms) = spans[i];
         timeline.tasks.push(ExecutedTask {
             label: task.label.clone(),
             chunk: task.chunk,
@@ -746,41 +1058,9 @@ pub fn execute_chunked_prefill(
         });
     }
 
-    // Final hidden states in chunk order, and the KV cache for decode.
-    let hidden_w = cfg.hidden;
-    let mut out = Vec::with_capacity(tokens.len() * hidden_w);
-    for slots in &ctx.chunks {
-        out.extend_from_slice(slots.h.lock().expect("slot mutex").as_slice());
-    }
-    let hidden = Tensor::from_vec(out, [tokens.len(), hidden_w]).map_err(|e| Error::Exec {
-        what: format!("hidden assembly: {e}"),
-    })?;
-    let mut cache = KvCache::new(cfg.layers);
-    for (layer, buf) in ctx.kv.iter().enumerate() {
-        let k = Tensor::from_vec(
-            buf.k.lock().expect("kv mutex").clone(),
-            [tokens.len(), kv_dim],
-        )
-        .map_err(|e| Error::Exec {
-            what: format!("kv assembly: {e}"),
-        })?;
-        let v = Tensor::from_vec(
-            buf.v.lock().expect("kv mutex").clone(),
-            [tokens.len(), kv_dim],
-        )
-        .map_err(|e| Error::Exec {
-            what: format!("kv assembly: {e}"),
-        })?;
-        cache
-            .layer_mut(layer)
-            .map_err(exec_err)?
-            .append(&k, &v)
-            .map_err(exec_err)?;
-    }
-
     Ok(NumericPrefill {
-        hidden,
-        cache,
+        hidden: program.assemble_hidden()?,
+        cache: program.assemble_cache()?,
         timeline,
     })
 }

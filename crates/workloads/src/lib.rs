@@ -7,7 +7,11 @@
 //! 1. **Length statistics** — prompt and output token counts drive every
 //!    latency/energy experiment. [`suites`] reproduces the ranges the
 //!    paper reports (Table 5 headers, §2.1).
-//! 2. **Accuracy sensitivity to quantization error** — [`accuracy`] builds
+//! 2. **Arrival shapes** — the serving experiments additionally need to
+//!    know *when* requests show up; [`traces`] provides seeded Poisson /
+//!    uniform / burst arrival traces whose times feed the
+//!    continuous-batching scheduler's release gates.
+//! 3. **Accuracy sensitivity to quantization error** — [`accuracy`] builds
 //!    synthetic multiple-choice tasks over a real (small) transformer whose
 //!    label noise is calibrated so the FP32 reference scores near the
 //!    paper's FP16 numbers; each quantization scheme is then evaluated with
@@ -22,6 +26,7 @@ mod error;
 pub mod accuracy;
 pub mod corpus;
 pub mod suites;
+pub mod traces;
 
 pub use error::Error;
 

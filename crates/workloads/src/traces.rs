@@ -1,0 +1,134 @@
+//! Request-arrival traces for the serving experiments.
+//!
+//! The latency suites in [`crate::suites`] describe *what* a request
+//! looks like (prompt/output lengths); a trace describes *when* requests
+//! show up. Three standard shapes cover the serving benchmarks: Poisson
+//! arrivals (independent users at a mean rate), uniform pacing (load
+//! generators), and a burst (everyone at once — the admission-cap
+//! stress). All are seeded and reproducible, and arrival times are
+//! milliseconds from the start of the serving run — exactly the
+//! `GenerationRequest::arrival_ms` release times the continuous-batching
+//! scheduler in `llmnpu-core` honors.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic sequence of request arrival times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalTrace {
+    /// Arrival times in ms from run start, non-decreasing.
+    pub arrivals_ms: Vec<f64>,
+}
+
+impl ArrivalTrace {
+    /// Poisson arrivals: exponentially distributed inter-arrival gaps at
+    /// `rate_per_s` mean requests per second (seeded, reproducible).
+    #[must_use]
+    pub fn poisson(seed: u64, rate_per_s: f64, n: usize) -> Self {
+        let rate = rate_per_s.max(1e-9);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = 0.0;
+        let arrivals_ms = (0..n)
+            .map(|_| {
+                // Inverse-CDF exponential gap; u ∈ [0, 1) so 1 - u > 0.
+                let u: f64 = rng.gen();
+                t += -(1.0 - u).ln() / rate * 1e3;
+                t
+            })
+            .collect();
+        ArrivalTrace { arrivals_ms }
+    }
+
+    /// Uniformly paced arrivals: one request every `gap_ms`, starting at
+    /// time zero.
+    #[must_use]
+    pub fn uniform(gap_ms: f64, n: usize) -> Self {
+        ArrivalTrace {
+            arrivals_ms: (0..n).map(|i| i as f64 * gap_ms).collect(),
+        }
+    }
+
+    /// A burst: all `n` requests arrive at time zero (the admission-cap
+    /// stress shape).
+    #[must_use]
+    pub fn burst(n: usize) -> Self {
+        ArrivalTrace {
+            arrivals_ms: vec![0.0; n],
+        }
+    }
+
+    /// Number of arrivals.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.arrivals_ms.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.arrivals_ms.is_empty()
+    }
+
+    /// Mean inter-arrival gap in ms (0 for traces shorter than 2).
+    #[must_use]
+    pub fn mean_gap_ms(&self) -> f64 {
+        if self.arrivals_ms.len() < 2 {
+            return 0.0;
+        }
+        let span = self.arrivals_ms.last().unwrap() - self.arrivals_ms.first().unwrap();
+        span / (self.arrivals_ms.len() - 1) as f64
+    }
+
+    /// Offered load in requests per second over the trace's span (0 for
+    /// traces shorter than 2 or zero-span bursts).
+    #[must_use]
+    pub fn offered_rate_per_s(&self) -> f64 {
+        let gap = self.mean_gap_ms();
+        if gap > 0.0 {
+            1e3 / gap
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_is_seeded_and_monotone() {
+        let a = ArrivalTrace::poisson(3, 10.0, 64);
+        let b = ArrivalTrace::poisson(3, 10.0, 64);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 64);
+        for w in a.arrivals_ms.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert!(a.arrivals_ms.iter().all(|&t| t.is_finite() && t >= 0.0));
+        let c = ArrivalTrace::poisson(4, 10.0, 64);
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn poisson_mean_gap_tracks_rate() {
+        // 10 req/s → mean gap 100 ms; a 512-sample estimate lands well
+        // within a factor of 1.5.
+        let t = ArrivalTrace::poisson(7, 10.0, 512);
+        let gap = t.mean_gap_ms();
+        assert!((66.0..150.0).contains(&gap), "mean gap {gap:.1} ms");
+        let rate = t.offered_rate_per_s();
+        assert!((6.6..15.0).contains(&rate), "rate {rate:.2}/s");
+    }
+
+    #[test]
+    fn uniform_and_burst_shapes() {
+        let u = ArrivalTrace::uniform(50.0, 4);
+        assert_eq!(u.arrivals_ms, vec![0.0, 50.0, 100.0, 150.0]);
+        assert!((u.mean_gap_ms() - 50.0).abs() < 1e-12);
+        let b = ArrivalTrace::burst(3);
+        assert_eq!(b.arrivals_ms, vec![0.0, 0.0, 0.0]);
+        assert_eq!(b.offered_rate_per_s(), 0.0);
+        assert!(ArrivalTrace::burst(0).is_empty());
+    }
+}

@@ -1,0 +1,278 @@
+//! Continuous-batching serving tests: batched token streams must be
+//! bit-identical to solo runs (same seed, same chunk length) at every
+//! worker count and batch composition, per-request KV caches must be
+//! isolated, and the unified timeline must demonstrate that decode
+//! steps of in-flight requests interleave with prefill chunks of newly
+//! admitted ones.
+
+use llmnpu::core::engine::{EngineConfig, LlmNpuEngine};
+use llmnpu::core::serve::{GenerationRequest, ServeOptions};
+use llmnpu::model::backend::FloatBackend;
+use llmnpu::model::config::ModelConfig;
+use llmnpu::model::forward::Transformer;
+use llmnpu::model::sample::SamplerConfig;
+use llmnpu::model::weights::{synthesize, ModelWeights, OutlierSpec};
+use llmnpu::soc::spec::SocSpec;
+
+fn mini_model() -> ModelWeights {
+    let cfg = ModelConfig::qwen15_18b().scaled_down(48, 3, 96).unwrap();
+    synthesize(&cfg, 7, OutlierSpec::default()).unwrap()
+}
+
+fn tokens(n: usize, stride: u32) -> Vec<u32> {
+    (0..n as u32).map(|i| (i * stride + 3) % 96).collect()
+}
+
+fn engine(chunk_len: usize, pool_workers: usize) -> LlmNpuEngine {
+    let mut cfg = EngineConfig::llmnpu(ModelConfig::qwen15_18b(), SocSpec::snapdragon_8gen3());
+    cfg.chunk_len = chunk_len;
+    cfg.pool_workers = pool_workers;
+    LlmNpuEngine::new(cfg).unwrap()
+}
+
+/// A mixed 5-request batch: different prompt lengths, strategies, and
+/// seeds. The serving acceptance bar: every request's stream equals its
+/// solo `Transformer::generate` run, at every worker count.
+#[test]
+fn batched_streams_bit_identical_to_solo_runs() {
+    let w = mini_model();
+    let be = FloatBackend::new(w.clone());
+    let t = Transformer::new(&w, &be);
+    let chunk_len = 3;
+
+    let requests = vec![
+        GenerationRequest::new(tokens(10, 7), 4),
+        GenerationRequest::new(tokens(4, 5), 6).with_sampler(SamplerConfig::top_k(8, 0.9, 42)),
+        GenerationRequest::new(tokens(7, 11), 5).with_sampler(SamplerConfig::temperature(1.1, 9)),
+        GenerationRequest::new(tokens(12, 3), 3).with_sampler(SamplerConfig::top_p(0.8, 0.7, 77)),
+        GenerationRequest::new(tokens(5, 13), 4).with_sampler(SamplerConfig::top_k(4, 1.3, 1000)),
+    ];
+    let solo: Vec<Vec<u32>> = requests
+        .iter()
+        .map(|r| {
+            t.generate(&r.prompt, Some(chunk_len), r.max_new_tokens, &r.sampler)
+                .unwrap()
+        })
+        .collect();
+
+    for workers in [1usize, 2, 4] {
+        let e = engine(chunk_len, workers);
+        let report = e
+            .serve(&t, &requests, &ServeOptions { max_active: 3 })
+            .unwrap();
+        assert_eq!(report.requests.len(), requests.len());
+        for (r, outcome) in report.requests.iter().enumerate() {
+            assert_eq!(
+                outcome.tokens, solo[r],
+                "request {r} diverged from its solo run at {workers} workers"
+            );
+            assert_eq!(outcome.token_times_ms.len(), outcome.tokens.len());
+            assert!(outcome.queue_wait_ms() >= 0.0);
+            assert!(outcome.ttft_ms() > 0.0);
+            assert!(outcome.prefill_done_ms <= outcome.finish_ms);
+            // The stream is monotone in time.
+            for pair in outcome.token_times_ms.windows(2) {
+                assert!(pair[1] >= pair[0]);
+            }
+        }
+        assert_eq!(report.total_tokens(), solo.iter().map(Vec::len).sum());
+        assert!(report.tokens_per_s() > 0.0);
+    }
+}
+
+/// Repeat batched runs are identical: scheduling noise must never leak
+/// into any request's stream.
+#[test]
+fn serving_is_deterministic_across_repeat_runs() {
+    let w = mini_model();
+    let be = FloatBackend::new(w.clone());
+    let t = Transformer::new(&w, &be);
+    let e = engine(4, 3);
+    let requests = vec![
+        GenerationRequest::new(tokens(9, 7), 5).with_sampler(SamplerConfig::top_k(6, 1.0, 5)),
+        GenerationRequest::new(tokens(6, 11), 5).with_sampler(SamplerConfig::top_k(6, 1.0, 5)),
+    ];
+    let first = e
+        .serve(&t, &requests, &ServeOptions { max_active: 2 })
+        .unwrap();
+    for _ in 0..3 {
+        let again = e
+            .serve(&t, &requests, &ServeOptions { max_active: 2 })
+            .unwrap();
+        for (a, b) in first.requests.iter().zip(&again.requests) {
+            assert_eq!(a.tokens, b.tokens);
+        }
+    }
+}
+
+/// KV isolation: concurrent requests over the *same* prompt with
+/// different seeds diverge exactly as their solo runs do, and identical
+/// (prompt, seed) pairs stay identical — a cross-request cache leak
+/// would break both.
+#[test]
+fn kv_caches_are_isolated_between_concurrent_requests() {
+    let w = mini_model();
+    let be = FloatBackend::new(w.clone());
+    let t = Transformer::new(&w, &be);
+    let e = engine(3, 3);
+    let prompt = tokens(8, 7);
+    let cfg_a = SamplerConfig::temperature(1.2, 11);
+    let cfg_b = SamplerConfig::temperature(1.2, 999);
+    let requests = vec![
+        GenerationRequest::new(prompt.clone(), 8).with_sampler(cfg_a.clone()),
+        GenerationRequest::new(prompt.clone(), 8).with_sampler(cfg_b.clone()),
+        GenerationRequest::new(prompt.clone(), 8).with_sampler(cfg_a.clone()),
+        // A different prompt sharing the batch must not perturb anyone.
+        GenerationRequest::new(tokens(11, 5), 6).with_sampler(cfg_a.clone()),
+    ];
+    let report = e
+        .serve(&t, &requests, &ServeOptions { max_active: 4 })
+        .unwrap();
+    let solo_a = t.generate(&prompt, Some(3), 8, &cfg_a).unwrap();
+    let solo_b = t.generate(&prompt, Some(3), 8, &cfg_b).unwrap();
+    assert_eq!(report.requests[0].tokens, solo_a);
+    assert_eq!(report.requests[1].tokens, solo_b);
+    assert_eq!(report.requests[2].tokens, solo_a, "same seed, same stream");
+    assert_ne!(
+        report.requests[0].tokens, report.requests[1].tokens,
+        "different seeds over one prompt should diverge"
+    );
+    assert_eq!(
+        report.requests[3].tokens,
+        t.generate(&tokens(11, 5), Some(3), 6, &cfg_a).unwrap()
+    );
+}
+
+/// The continuous-batching payoff, measured on the unified timeline: a
+/// short request admitted alongside a long prompt decodes *inside* the
+/// long request's prefill window.
+#[test]
+fn decode_steps_interleave_with_prefill_chunks() {
+    let w = mini_model();
+    let be = FloatBackend::new(w.clone());
+    let t = Transformer::new(&w, &be);
+    let e = engine(4, 3);
+    let requests = vec![
+        // Short prompt, long decode: in flight early.
+        GenerationRequest::new(tokens(4, 7), 12),
+        // Long prompt: its prefill keeps the lanes busy for a while.
+        GenerationRequest::new(tokens(40, 5), 2),
+    ];
+    let report = e
+        .serve(&t, &requests, &ServeOptions { max_active: 2 })
+        .unwrap();
+    assert!(
+        report.timeline.decode_interleaved_with_prefill(),
+        "no decode step ran inside another request's prefill window"
+    );
+    // Both phases really produced spans on the unified clock.
+    let spans = report.timeline.entries();
+    assert!(spans.iter().any(|s| s.kind.is_decode()));
+    assert!(spans.iter().any(|s| s.kind.is_prefill()));
+    assert!(report.timeline.makespan_ms() > 0.0);
+}
+
+/// Arrival times gate dispatch: a request arriving late must not start
+/// early, and its queue wait is measured from arrival.
+#[test]
+fn arrivals_are_release_times() {
+    let w = mini_model();
+    let be = FloatBackend::new(w.clone());
+    let t = Transformer::new(&w, &be);
+    let e = engine(3, 2);
+    let requests = vec![
+        GenerationRequest::new(tokens(6, 7), 2),
+        GenerationRequest::new(tokens(6, 11), 2).with_arrival_ms(30.0),
+    ];
+    let report = e
+        .serve(&t, &requests, &ServeOptions { max_active: 2 })
+        .unwrap();
+    let late = &report.requests[1];
+    assert!(
+        late.first_dispatch_ms >= 30.0 - 1e-6,
+        "late request dispatched at {:.3} ms before its 30 ms arrival",
+        late.first_dispatch_ms
+    );
+    assert!(late.queue_wait_ms() >= -1e-6);
+}
+
+/// The admission cap is honored: with `max_active = 1`, request 1 may
+/// not start until request 0 has fully finished (single-stream serving),
+/// and the streams still match solo runs.
+#[test]
+fn admission_cap_serializes_requests() {
+    let w = mini_model();
+    let be = FloatBackend::new(w.clone());
+    let t = Transformer::new(&w, &be);
+    let e = engine(3, 3);
+    let requests = vec![
+        GenerationRequest::new(tokens(6, 7), 3),
+        GenerationRequest::new(tokens(6, 11), 3),
+    ];
+    let report = e
+        .serve(&t, &requests, &ServeOptions { max_active: 1 })
+        .unwrap();
+    let r0 = &report.requests[0];
+    let r1 = &report.requests[1];
+    assert!(
+        r1.first_dispatch_ms >= r0.finish_ms - 1e-6,
+        "request 1 started at {:.3} ms before request 0 finished at {:.3} ms",
+        r1.first_dispatch_ms,
+        r0.finish_ms
+    );
+    assert!(!report.timeline.decode_interleaved_with_prefill());
+    for (r, outcome) in report.requests.iter().enumerate() {
+        let solo = t
+            .generate(
+                &requests[r].prompt,
+                Some(3),
+                requests[r].max_new_tokens,
+                &requests[r].sampler,
+            )
+            .unwrap();
+        assert_eq!(outcome.tokens, solo);
+    }
+}
+
+/// Invalid requests and options are rejected up front.
+#[test]
+fn serve_rejects_invalid_inputs() {
+    let w = mini_model();
+    let be = FloatBackend::new(w.clone());
+    let t = Transformer::new(&w, &be);
+    let e = engine(3, 2);
+    let ok = GenerationRequest::new(tokens(4, 7), 2);
+
+    assert!(e
+        .serve(
+            &t,
+            std::slice::from_ref(&ok),
+            &ServeOptions { max_active: 0 }
+        )
+        .is_err());
+    assert!(e
+        .serve(
+            &t,
+            &[GenerationRequest::new(vec![], 2)],
+            &ServeOptions::default()
+        )
+        .is_err());
+    assert!(e
+        .serve(
+            &t,
+            &[GenerationRequest::new(tokens(4, 7), 0)],
+            &ServeOptions::default()
+        )
+        .is_err());
+    assert!(e
+        .serve(
+            &t,
+            &[ok.clone().with_arrival_ms(f64::NAN)],
+            &ServeOptions::default()
+        )
+        .is_err());
+    // The empty queue is a no-op, not an error.
+    let empty = e.serve(&t, &[], &ServeOptions::default()).unwrap();
+    assert!(empty.requests.is_empty());
+    assert_eq!(empty.total_tokens(), 0);
+}
