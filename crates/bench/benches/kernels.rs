@@ -202,6 +202,58 @@ struct PoolRow {
     bit_identical: bool,
 }
 
+/// Batched-decode comparison: B concurrent requests' decode GEMVs run
+/// one at a time (each streaming the full weight matrix) vs stacked
+/// into a single m=B GEMM through the batched-decode driver
+/// (`gemm::matmul_f32_rows_prepacked`). The acceptance bar for the
+/// paged-KV serving PR: ≥ 1.3× aggregate decode tokens/s at B=8. The
+/// win is memory-bandwidth arithmetic (weights stream once per batch,
+/// not once per request), so it holds on a 1-core host too — but
+/// `thread_scaling_valid` still labels the record's provenance.
+#[derive(Debug, Serialize)]
+struct BatchedDecodeRow {
+    /// Requests decoding concurrently (the GEMM's m).
+    batch: usize,
+    k: usize,
+    n: usize,
+    /// Total time for B separate m=1 prepacked GEMVs.
+    gemv_total_ms: f64,
+    /// One m=B prepacked GEMM over the same B rows.
+    batched_ms: f64,
+    /// Aggregate decode throughput of the B-GEMV path (rows/s).
+    gemv_tokens_per_s: f64,
+    /// Aggregate decode throughput of the batched path (rows/s).
+    batched_tokens_per_s: f64,
+    speedup: f64,
+    /// Row i of the batched GEMM bit-identical to its solo GEMV.
+    bit_identical: bool,
+    /// Acceptance: batched ≥ 1.3× the separate-GEMV aggregate.
+    meets_1_3x: bool,
+}
+
+/// Paged-KV attention comparison: the same multi-head attention read
+/// from one contiguous K/V slab vs walked page-by-page through a block
+/// table (`attention_over_pages`). Measures the page-gather overhead —
+/// the inner loop is whole-page unit-stride either way, so the tax
+/// should be a few percent — and pins bit-identity between layouts.
+#[derive(Debug, Serialize)]
+struct PagedKvRow {
+    /// Query rows (1 = decode step, >1 = prefill chunk).
+    q_rows: usize,
+    /// Cached positions attended over.
+    kv_len: usize,
+    /// Tokens per page (0 row = the contiguous baseline shape).
+    block_tokens: usize,
+    /// Pages the cache splits into.
+    pages: usize,
+    contiguous_ms: f64,
+    paged_ms: f64,
+    /// paged / contiguous (1.0 = free paging).
+    overhead_ratio: f64,
+    /// Paged output bit-identical to contiguous.
+    bit_identical: bool,
+}
+
 /// Serving comparison: the same request queue served single-stream
 /// (admission cap 1) vs continuously batched on the engine's pool —
 /// aggregate tokens/s, mean TTFT, mean queue wait, and the interleave
@@ -230,6 +282,13 @@ struct ServingRecord {
     /// must always be — streams are seed-determined, not schedule-
     /// determined).
     streams_bit_identical: bool,
+    /// Decode cohort width of the batched-decode serving run.
+    decode_batch_width: usize,
+    /// Aggregate tokens/s with same-position decode steps stacked into
+    /// m=B GEMMs.
+    batched_decode_tokens_per_s: f64,
+    /// Streams of the batched-decode run identical to single-stream.
+    batched_decode_streams_identical: bool,
 }
 
 #[derive(Debug, Serialize)]
@@ -249,6 +308,8 @@ struct KernelRecord {
     fma: bool,
     rows: Vec<KernelRow>,
     decode: Vec<DecodeRow>,
+    batched_decode: Vec<BatchedDecodeRow>,
+    paged_kv: Vec<PagedKvRow>,
     pool_vs_scope: Vec<PoolRow>,
     serving: ServingRecord,
 }
@@ -364,6 +425,97 @@ fn compare_decode(m: usize, k: usize, n: usize, reps: usize) -> DecodeRow {
     }
 }
 
+fn compare_batched_decode(batch: usize, k: usize, n: usize, reps: usize) -> BatchedDecodeRow {
+    let b = ramp(k, n, 1.0);
+    let packed = PackedMatrixF32::from_tensor(&b);
+    // B scattered activation rows, as per-request state would hold them.
+    let rows: Vec<Vec<f32>> = (0..batch)
+        .map(|i| ramp(1, k, 1.0 + i as f32 * 0.1).into_vec())
+        .collect();
+    let row_refs: Vec<&[f32]> = rows.iter().map(Vec::as_slice).collect();
+    let row_tensors: Vec<Tensor<f32>> = rows
+        .iter()
+        .map(|r| Tensor::from_vec(r.clone(), [1, k]).unwrap())
+        .collect();
+
+    let gemv_total = best_of(reps, || {
+        for a in &row_tensors {
+            black_box(gemm::matmul_f32_prepacked(a, &packed, THREADS).unwrap());
+        }
+    });
+    let batched = best_of(reps, || {
+        gemm::matmul_f32_rows_prepacked(&row_refs, &packed, THREADS).unwrap()
+    });
+
+    let stacked = gemm::matmul_f32_rows_prepacked(&row_refs, &packed, THREADS).unwrap();
+    let bit_identical = row_tensors.iter().enumerate().all(|(i, a)| {
+        gemm::matmul_f32_prepacked(a, &packed, THREADS)
+            .unwrap()
+            .row(0)
+            == stacked.row(i)
+    });
+
+    let speedup = gemv_total / batched;
+    BatchedDecodeRow {
+        batch,
+        k,
+        n,
+        gemv_total_ms: gemv_total * 1e3,
+        batched_ms: batched * 1e3,
+        gemv_tokens_per_s: batch as f64 / gemv_total,
+        batched_tokens_per_s: batch as f64 / batched,
+        speedup,
+        bit_identical,
+        meets_1_3x: speedup >= 1.3,
+    }
+}
+
+fn compare_paged_kv(q_rows: usize, kv_len: usize, block_tokens: usize, reps: usize) -> PagedKvRow {
+    use llmnpu_model::config::ModelConfig;
+    use llmnpu_model::forward::attention_over_pages;
+
+    // A decode-scale attention shape: 8 heads × 64 dims over kv_len
+    // cached positions (config fields beyond the head geometry are
+    // irrelevant to the attention kernel).
+    let mut cfg = ModelConfig::qwen15_18b();
+    cfg.hidden = 512;
+    cfg.heads = 8;
+    cfg.kv_heads = 8;
+    cfg.head_dim = 64;
+    let kv_dim = cfg.kv_heads * cfg.head_dim;
+    let q = ramp(q_rows, cfg.heads * cfg.head_dim, 1.0);
+    let keys = ramp(kv_len, kv_dim, 0.7).into_vec();
+    let values = ramp(kv_len, kv_dim, -0.6).into_vec();
+    // Attention masks relative to the *end* of the cache.
+    let start_pos = kv_len - q_rows;
+
+    let contiguous = best_of(reps, || {
+        attention_over_pages(&q, &[&keys], &[&values], &cfg, start_pos).unwrap()
+    });
+    let pages_k: Vec<&[f32]> = keys.chunks(block_tokens * kv_dim).collect();
+    let pages_v: Vec<&[f32]> = values.chunks(block_tokens * kv_dim).collect();
+    let paged = best_of(reps, || {
+        attention_over_pages(&q, &pages_k, &pages_v, &cfg, start_pos).unwrap()
+    });
+    let bit_identical = attention_over_pages(&q, &pages_k, &pages_v, &cfg, start_pos)
+        .unwrap()
+        .as_slice()
+        == attention_over_pages(&q, &[&keys], &[&values], &cfg, start_pos)
+            .unwrap()
+            .as_slice();
+
+    PagedKvRow {
+        q_rows,
+        kv_len,
+        block_tokens,
+        pages: pages_k.len(),
+        contiguous_ms: contiguous * 1e3,
+        paged_ms: paged * 1e3,
+        overhead_ratio: paged / contiguous,
+        bit_identical,
+    }
+}
+
 fn compare_pool_vs_scope(m: usize, k: usize, n: usize, reps: usize) -> PoolRow {
     use llmnpu_sched::WorkerPool;
     use llmnpu_tensor::kernel;
@@ -438,11 +590,19 @@ fn serving_comparison() -> ServingRecord {
 
     // Timing varies run to run; streams never do. Keep the best-makespan
     // run of each mode for the wall-clock columns.
-    let best_run = |cap: usize| -> ServeReport {
+    let best_run = |cap: usize, decode_batch: usize| -> ServeReport {
         let mut best: Option<ServeReport> = None;
         for _ in 0..3 {
             let r = engine
-                .serve(&t, &requests, &ServeOptions { max_active: cap })
+                .serve(
+                    &t,
+                    &requests,
+                    &ServeOptions {
+                        max_active: cap,
+                        decode_batch,
+                        ..ServeOptions::default()
+                    },
+                )
                 .unwrap();
             if best
                 .as_ref()
@@ -453,12 +613,19 @@ fn serving_comparison() -> ServingRecord {
         }
         best.expect("at least one run")
     };
-    let single = best_run(1);
-    let batched = best_run(max_active);
+    let single = best_run(1, 1);
+    let batched = best_run(max_active, 1);
+    // Same queue with same-position decode steps stacked into m=B GEMMs.
+    let decode_batched = best_run(max_active, max_active);
     let streams_bit_identical = single
         .requests
         .iter()
         .zip(&batched.requests)
+        .all(|(a, b)| a.tokens == b.tokens);
+    let batched_decode_streams_identical = single
+        .requests
+        .iter()
+        .zip(&decode_batched.requests)
         .all(|(a, b)| a.tokens == b.tokens);
 
     ServingRecord {
@@ -476,6 +643,9 @@ fn serving_comparison() -> ServingRecord {
         batched_mean_queue_wait_ms: batched.mean_queue_wait_ms(),
         decode_interleaved_with_prefill: batched.timeline.decode_interleaved_with_prefill(),
         streams_bit_identical,
+        decode_batch_width: max_active,
+        batched_decode_tokens_per_s: decode_batched.tokens_per_s(),
+        batched_decode_streams_identical,
     }
 }
 
@@ -535,6 +705,54 @@ fn kernel_comparison() {
         })
         .collect();
 
+    println!("--- batched decode: B separate m=1 GEMVs vs one m=B GEMM ---");
+    let batched_shapes: [(usize, usize, usize, usize); 3] =
+        [(2, 4096, 4096, 7), (4, 4096, 4096, 5), (8, 4096, 4096, 5)];
+    let batched_decode: Vec<BatchedDecodeRow> = batched_shapes
+        .iter()
+        .map(|&(b, k, n, reps)| {
+            let row = compare_batched_decode(b, k, n, reps);
+            println!(
+                "B={:<2} {:>5}x{:<5} gemv x{} {:>7.2} ms ({:>6.0} tok/s) | m={} gemm {:>6.2} ms ({:>6.0} tok/s) | {:>4.2}x | identical={} | 1.3x-target={}",
+                row.batch,
+                row.k,
+                row.n,
+                row.batch,
+                row.gemv_total_ms,
+                row.gemv_tokens_per_s,
+                row.batch,
+                row.batched_ms,
+                row.batched_tokens_per_s,
+                row.speedup,
+                row.bit_identical,
+                row.meets_1_3x,
+            );
+            row
+        })
+        .collect();
+
+    println!("--- paged kv: contiguous attention vs whole-page block-table walk ---");
+    let paged_shapes: [(usize, usize, usize, usize); 3] =
+        [(1, 2048, 16, 9), (1, 2048, 64, 9), (32, 2048, 16, 5)];
+    let paged_kv: Vec<PagedKvRow> = paged_shapes
+        .iter()
+        .map(|&(q, kv, bt, reps)| {
+            let row = compare_paged_kv(q, kv, bt, reps);
+            println!(
+                "q={:<3} kv={:<5} pages of {:<3} ({:>3} pages): contiguous {:>6.2} ms | paged {:>6.2} ms | overhead {:>5.3}x | identical={}",
+                row.q_rows,
+                row.kv_len,
+                row.block_tokens,
+                row.pages,
+                row.contiguous_ms,
+                row.paged_ms,
+                row.overhead_ratio,
+                row.bit_identical,
+            );
+            row
+        })
+        .collect();
+
     println!("--- pool vs scope: spawn-per-call vs persistent WorkerPool dispatch ---");
     let pool_shapes: [(usize, usize, usize, usize); 2] = [(1, 4096, 4096, 9), (512, 512, 512, 7)];
     let pool_vs_scope: Vec<PoolRow> = pool_shapes
@@ -572,18 +790,30 @@ fn kernel_comparison() {
         serving.decode_interleaved_with_prefill,
         serving.streams_bit_identical,
     );
+    println!(
+        "decode-batched (B={}): {:>6.1} tok/s | streams identical={}",
+        serving.decode_batch_width,
+        serving.batched_decode_tokens_per_s,
+        serving.batched_decode_streams_identical,
+    );
 
     let record = KernelRecord {
         id: "kernels",
         description: "Blocked+packed+threaded GEMM vs scalar reference; \
                       decode section compares streaming GEMV, repack-per-call, \
-                      and pack-once PackedMatrix paths; pool_vs_scope compares \
-                      spawn-per-call scoped threads against the persistent \
-                      WorkerPool on identical banded calls (dispatch overhead \
-                      only when thread_scaling_valid is false); serving \
-                      compares single-stream vs continuous-batched request \
-                      serving (tokens/s, TTFT, queue wait) on real GEMMs; \
-                      tokens-equivalent = activation rows per second",
+                      and pack-once PackedMatrix paths; batched_decode compares \
+                      B separate m=1 decode GEMVs against one m=B GEMM through \
+                      the batched-decode driver (acceptance: >=1.3x aggregate \
+                      tokens/s); paged_kv compares contiguous attention against \
+                      the whole-page block-table walk (gather overhead + bit \
+                      identity); pool_vs_scope compares spawn-per-call scoped \
+                      threads against the persistent WorkerPool on identical \
+                      banded calls (dispatch overhead only when \
+                      thread_scaling_valid is false); serving compares \
+                      single-stream vs continuous-batched vs decode-batched \
+                      request serving (tokens/s, TTFT, queue wait) on real \
+                      GEMMs over the paged KV pool; tokens-equivalent = \
+                      activation rows per second",
         threads_requested: THREADS,
         threads_effective,
         host_cpus,
@@ -591,6 +821,8 @@ fn kernel_comparison() {
         fma: cfg!(target_feature = "fma"),
         rows,
         decode,
+        batched_decode,
+        paged_kv,
         pool_vs_scope,
         serving,
     };

@@ -13,12 +13,16 @@
 //! * [`ablation`] — the Figure 19 ladder (CPU → Naive → +Chunk →
 //!   +Outlier → +OOE),
 //! * [`memory`] — the Figure 17 footprint comparison,
-//! * [`serve`] — the continuous-batching serving layer:
-//!   [`engine::LlmNpuEngine::serve`] interleaves many requests'
-//!   chunked-prefill DAGs and decode chains (first-class tasks) on the
-//!   engine's worker-pool lanes, with per-request KV caches, seeded
-//!   sampling, and TTFT / queue-wait / tokens-per-second metrics over a
-//!   unified executed timeline.
+//! * [`serve`] — the continuous-batching serving layer over the paged
+//!   KV pool (`llmnpu-kv`): [`engine::LlmNpuEngine::serve`] plans
+//!   admission by **free KV pages** (plus a concurrency cap),
+//!   ref-count-shares block-aligned prompt prefixes, evicts the
+//!   youngest request under memory pressure (requeued with recompute —
+//!   the preemption witness lives in the unified timeline), stacks
+//!   same-position decode steps into `m = B` batched GEMMs, streams
+//!   tokens through [`serve::ServeOptions::on_token`], and pins zero
+//!   leaked pages after every run — with every stream bit-identical to
+//!   its solo generation.
 //!
 //! Latency/energy numbers come from the calibrated SoC simulator
 //! (`llmnpu-soc`); accuracy numbers come from the numeric plane

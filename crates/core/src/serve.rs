@@ -1,56 +1,76 @@
-//! Continuous-batching request serving (the paper's §4 decode stage,
-//! grown into a multi-request scheduler).
+//! Continuous-batching request serving over the **paged KV pool** (the
+//! paper's §4 decode stage, grown into a memory-aware multi-request
+//! scheduler).
 //!
 //! The chunked prefill of §3.2 exists so prefill work can *share the
 //! device* with other in-flight work; this module is where that sharing
-//! happens. [`LlmNpuEngine::serve`] admits a queue of
-//! [`GenerationRequest`]s and builds one combined [`LaneGraph`] holding,
-//! per request:
+//! happens — and, since the paged-KV subsystem landed, where the
+//! device's **memory** is shared too. [`LlmNpuEngine::serve`] admits a
+//! queue of [`GenerationRequest`]s against one fixed
+//! [`BlockPool`] of KV pages and builds one
+//! combined [`LaneGraph`] holding, per admitted request *incarnation*:
 //!
-//! * the request's **chunked-prefill DAG** (the same task set
-//!   `prefill_executed` runs for a single prompt, labels prefixed with
-//!   the request id),
-//! * a **prefill-finish** task that assembles the request's private KV
-//!   cache and last hidden row from the position-addressed buffers, and
-//! * its **decode chain** — one first-class task per generated token
-//!   (LM-head projection + seeded sampling, preceded by the previous
-//!   token's decode forward), each priced by the shared context-aware
-//!   decode model so the out-of-order policy can prioritize decode
-//!   against prefill with the timing plane's predictions.
+//! * an **admission task** that reserves the request's worst-case page
+//!   budget (forking another request's ref-counted blocks when their
+//!   prompts share a block-aligned prefix — the shared system prompt is
+//!   allocated and prefilled **once**),
+//! * the request's **chunked-prefill DAG** over its *unshared suffix*,
+//!   writing K/V straight into the pool through the request's block
+//!   table (position-addressed, so out-of-order chunks can't reorder
+//!   the cache),
+//! * its **decode steps** — grouped into cohorts so concurrent
+//!   requests' same-position steps run as **one `m = B` batched GEMM**
+//!   per linear site instead of B separate GEMVs
+//!   ([`ServeOptions::decode_batch`]), attention staying per-request
+//!   over each paged history — and
+//! * a **release task** returning every page to the pool (the zero-leak
+//!   counter [`KvPoolReport::leaked_blocks`] pins this).
 //!
-//! The graph runs on the engine's persistent [`WorkerPool`] lanes
-//! through the same dispatcher as single-request prefill, so decode
-//! steps of in-flight requests genuinely interleave with prefill chunks
-//! of newly admitted ones (one serial lane per processor, Equation 4).
-//! Request arrivals become task *release times*; admission is capped at
-//! [`ServeOptions::max_active`] concurrent requests — request `r`'s
-//! tasks additionally wait on request `r - max_active` finishing, which
-//! is continuous batching's "a slot frees, the next request joins".
+//! # Admission is a memory model, not a request count
+//!
+//! A request is admitted when the pool has pages for its worst case
+//! (prompt + decode budget) *and* a slot under
+//! [`ServeOptions::max_active`]. When pages run out, the planner either
+//! **waits** for the earliest active request to finish, or — under
+//! [`PressurePolicy::EvictYoungest`] — **preempts** the youngest active
+//! request: its pages are freed, its (so far prefill-only) work is
+//! discarded, and it is requeued behind the preemptor to be
+//! **recomputed** from scratch. Both the eviction and the second
+//! prefill appear in the unified timeline — the preemption witness.
+//! Admission decisions are made by a deterministic planner over request
+//! order and page arithmetic, so the *structure* of a serving run never
+//! depends on wall-clock noise.
 //!
 //! # Determinism
 //!
-//! Each request's computation is a serial dependency chain over its own
-//! KV cache and its own seeded [`Sampler`], and the kernel layer is
-//! thread-count-invariant — so every request's token stream is
-//! **bit-identical** to running that request alone through
-//! [`Transformer::generate`] with the same chunk length and sampler
-//! seed, at every worker count, policy, and batch composition. The
-//! integration tests pin this.
+//! Each request's decode chain stays a serial dependency over its own
+//! paged cache and its own seeded [`Sampler`]; paged attention is
+//! bit-identical to the contiguous path by construction; and stacking
+//! rows into an `m = B` GEMM never changes a row's bits for a row-wise
+//! backend — so every request's token stream is **bit-identical** to
+//! its solo [`Transformer::generate`] run at every worker count,
+//! policy, batch width, pool size, and eviction schedule. Prefix
+//! sharing and decode batching silently disable themselves for
+//! non-row-wise backends (dynamic whole-batch quantization), where
+//! batch composition would legitimately perturb last bits.
 //!
 //! [`LaneGraph`]: llmnpu_sched::LaneGraph
-//! [`WorkerPool`]: llmnpu_sched::WorkerPool
 //! [`Sampler`]: llmnpu_model::sample::Sampler
 //! [`Transformer::generate`]: llmnpu_model::forward::Transformer::generate
 
-use std::sync::Mutex;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Mutex};
 
 use llmnpu_graph::chunk::ChunkPlan;
 use llmnpu_graph::dag::{build_prefill_dag, PrefillDag, TaskRole};
 use llmnpu_graph::layer::Stage;
-use llmnpu_model::forward::Transformer;
-use llmnpu_model::kv::KvCache;
+use llmnpu_kv::{BlockPool, PoolConfig};
+use llmnpu_model::forward::{PagedDecodeEntry, Transformer};
+use llmnpu_model::kv::PagedKvCache;
 use llmnpu_model::sample::{Sampler, SamplerConfig};
 use llmnpu_sched::{execute_lane_graph, LaneGraph, LaneTask, PrefillProgram, TaskFn};
+use llmnpu_soc::memory::MemoryModel;
 use llmnpu_soc::{Millis, Processor};
 use llmnpu_tensor::Tensor;
 
@@ -58,8 +78,8 @@ use crate::decode::DecodeSim;
 use crate::engine::LlmNpuEngine;
 use crate::{Error, Result};
 
-/// Modeled duration of the cache-assembly bookkeeping task (not a GEMM;
-/// only used for scheduling priority).
+/// Modeled duration of bookkeeping tasks (admission, cache assembly,
+/// eviction, release — not GEMMs; only used for scheduling priority).
 const FINISH_TASK_MS: f64 = 0.05;
 
 /// One queued generation request.
@@ -118,29 +138,110 @@ impl GenerationRequest {
         self.arrival_ms = arrival_ms;
         self
     }
+
+    /// Worst-case token footprint: prompt plus full decode budget.
+    #[must_use]
+    pub fn total_tokens(&self) -> usize {
+        self.prompt.len() + self.max_new_tokens
+    }
 }
 
+/// What to do when a request's page budget does not fit the free pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PressurePolicy {
+    /// Queue behind the earliest active request until pages free.
+    Wait,
+    /// Preempt: evict the **youngest** active request (its pages free
+    /// immediately, its work is discarded and recomputed after the
+    /// preemptor admits). Re-admissions never evict in turn, so
+    /// planning always terminates.
+    #[default]
+    EvictYoungest,
+}
+
+/// One token becoming available on a stream, delivered to
+/// [`ServeOptions::on_token`] while the batch is still running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenEvent {
+    /// Request index (admission order).
+    pub request: usize,
+    /// Zero-based position in the request's stream.
+    pub step: usize,
+    /// The sampled token.
+    pub token: u32,
+}
+
+/// A streaming token callback: invoked from decode tasks as they
+/// complete, strictly in stream order *per request* (cross-request
+/// interleaving follows the schedule). Must be cheap and non-blocking —
+/// it runs on the execution lanes.
+pub type TokenSink = Arc<dyn Fn(&TokenEvent) + Send + Sync>;
+
 /// Serving-loop knobs.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServeOptions {
     /// Maximum number of requests in flight at once (continuous
-    /// batching's admission cap): request `r` is admitted only after
-    /// request `r - max_active` has fully completed.
+    /// batching's concurrency cap, layered *on top of* the page-based
+    /// admission): request `r` additionally waits for an active slot.
     pub max_active: usize,
+    /// Token positions per KV page (the pool's block size).
+    pub block_tokens: usize,
+    /// Total pool pages. `None` sizes the pool to fit every request's
+    /// worst case concurrently (no memory pressure — the compatibility
+    /// default); `Some(n)` makes admission a real memory model and can
+    /// trigger waiting or eviction.
+    pub kv_pool_blocks: Option<usize>,
+    /// What to do under memory pressure.
+    pub pressure: PressurePolicy,
+    /// Maximum decode cohort width B: same-position decode steps of up
+    /// to B concurrently admitted requests run as one `m = B` batched
+    /// GEMM per linear site. `1` keeps each request's steps separate
+    /// GEMVs. Ignored (treated as 1) for non-row-wise backends.
+    pub decode_batch: usize,
+    /// Share block-aligned common prompt prefixes between concurrently
+    /// active requests (allocate + prefill once, ref-count the pages).
+    /// Ignored for non-row-wise backends.
+    pub share_prefixes: bool,
+    /// Streaming token callback, if any.
+    pub on_token: Option<TokenSink>,
 }
 
 impl Default for ServeOptions {
     fn default() -> Self {
-        ServeOptions { max_active: 2 }
+        ServeOptions {
+            max_active: 2,
+            block_tokens: 16,
+            kv_pool_blocks: None,
+            pressure: PressurePolicy::default(),
+            decode_batch: 1,
+            share_prefixes: true,
+            on_token: None,
+        }
+    }
+}
+
+impl fmt::Debug for ServeOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServeOptions")
+            .field("max_active", &self.max_active)
+            .field("block_tokens", &self.block_tokens)
+            .field("kv_pool_blocks", &self.kv_pool_blocks)
+            .field("pressure", &self.pressure)
+            .field("decode_batch", &self.decode_batch)
+            .field("share_prefixes", &self.share_prefixes)
+            .field("on_token", &self.on_token.as_ref().map(|_| "Fn"))
+            .finish()
     }
 }
 
 /// What a serving-timeline span implements.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ServeTaskKind {
+    /// Page reservation (and prefix fork) at admission.
+    Admit,
     /// One stage task of the request's chunked-prefill DAG.
     PrefillStage {
-        /// Chunk index within the request's prompt.
+        /// Chunk index within the request's (unshared) prompt suffix.
         chunk: usize,
         /// Decoder layer.
         layer: usize,
@@ -149,14 +250,28 @@ pub enum ServeTaskKind {
         /// Pipeline role (main / shadow / merge).
         role: TaskRole,
     },
-    /// KV-cache + last-hidden assembly after the request's prefill.
+    /// Last-hidden assembly after the request's prefill (KV already
+    /// lives in the pool).
     PrefillFinish,
-    /// One decode step (decode forward of the previous token where
-    /// applicable, LM-head projection, seeded sampling → one token).
+    /// Memory-pressure preemption: this incarnation's pages return to
+    /// the pool and its prefill work is discarded (a later incarnation
+    /// recomputes it).
+    Evicted,
+    /// One decode step of a single request (cohort width 1).
     Decode {
         /// Zero-based position in the request's generated stream.
         step: usize,
     },
+    /// One **batched** decode step: `width` requests' same-position
+    /// steps stacked into one `m = width` GEMM per linear site.
+    DecodeBatch {
+        /// Zero-based stream position for every member.
+        step: usize,
+        /// Cohort members still decoding at this step.
+        width: usize,
+    },
+    /// Pages returned to the pool after the request's last token.
+    Release,
 }
 
 impl ServeTaskKind {
@@ -169,10 +284,13 @@ impl ServeTaskKind {
         )
     }
 
-    /// Whether this span is a decode step.
+    /// Whether this span is a decode step (batched or not).
     #[must_use]
     pub fn is_decode(&self) -> bool {
-        matches!(self, ServeTaskKind::Decode { .. })
+        matches!(
+            self,
+            ServeTaskKind::Decode { .. } | ServeTaskKind::DecodeBatch { .. }
+        )
     }
 }
 
@@ -180,9 +298,13 @@ impl ServeTaskKind {
 /// relative to run start (milliseconds).
 #[derive(Debug, Clone)]
 pub struct ServeSpan {
-    /// Request index (admission order).
+    /// Request index (admission order). For a batched decode span, the
+    /// first cohort member.
     pub request: usize,
-    /// Task label, e.g. `"R1-C0-L2-Ffn"` or `"R1-D3"`.
+    /// Which incarnation of the request this span belongs to (0 unless
+    /// the request was evicted and recomputed).
+    pub attempt: usize,
+    /// Task label, e.g. `"R1-C0-L2-Ffn"`, `"R1-D3"`, or `"C0-D2"`.
     pub label: String,
     /// What the span implements.
     pub kind: ServeTaskKind,
@@ -195,7 +317,8 @@ pub struct ServeSpan {
 }
 
 /// The unified executed timeline of a batched serving run: every
-/// request's prefill stages, finish task, and decode steps on one clock.
+/// request's admission, prefill stages, decode steps, evictions, and
+/// releases on one clock.
 #[derive(Debug, Clone, Default)]
 pub struct ServeTimeline {
     spans: Vec<ServeSpan>,
@@ -258,6 +381,22 @@ impl ServeTimeline {
                     .any(|(&r, &(lo, hi))| r != d.request && d.start_ms < hi && d.end_ms > lo)
         })
     }
+
+    /// The preemption witness: `request` was evicted and later ran
+    /// prefill work again under a higher attempt number.
+    #[must_use]
+    pub fn evicted_and_recomputed(&self, request: usize) -> bool {
+        let evicted = self
+            .spans
+            .iter()
+            .any(|s| s.request == request && s.kind == ServeTaskKind::Evicted);
+        let recomputed = self.spans.iter().any(|s| {
+            s.request == request
+                && s.attempt > 0
+                && matches!(s.kind, ServeTaskKind::PrefillStage { .. })
+        });
+        evicted && recomputed
+    }
 }
 
 /// Per-request outcome of a serving run.
@@ -272,12 +411,15 @@ pub struct RequestOutcome {
     pub token_times_ms: Vec<f64>,
     /// The request's arrival time.
     pub arrival_ms: f64,
-    /// First dispatch of any of the request's tasks.
+    /// First dispatch of any of the request's tasks (any incarnation).
     pub first_dispatch_ms: f64,
-    /// Completion of the request's prefill (KV cache ready).
+    /// Completion of the request's (final) prefill — KV pages ready.
     pub prefill_done_ms: f64,
     /// Completion of the request's last decode step.
     pub finish_ms: f64,
+    /// Incarnations this request ran (1 = never evicted; each eviction
+    /// adds a full recompute).
+    pub attempts: usize,
 }
 
 impl RequestOutcome {
@@ -305,6 +447,29 @@ impl RequestOutcome {
     }
 }
 
+/// Paged-KV accounting for one serving run.
+#[derive(Debug, Clone, Copy)]
+pub struct KvPoolReport {
+    /// Token positions per page.
+    pub block_tokens: usize,
+    /// Total pool pages.
+    pub pool_blocks: usize,
+    /// Total pool bytes (all layers, K+V, f32).
+    pub pool_bytes: u64,
+    /// High-water mark of pages in use during the run.
+    pub peak_used_blocks: usize,
+    /// Pages still referenced after every request released — **must be
+    /// zero**; pinned by the serving tests.
+    pub leaked_blocks: usize,
+    /// Memory-pressure evictions (preempted incarnations).
+    pub evictions: usize,
+    /// Pages that were *shared* instead of re-allocated thanks to
+    /// prefix sharing (sum over admissions).
+    pub shared_prefix_blocks: usize,
+    /// Copy-on-write page copies the pool performed.
+    pub cow_copies: u64,
+}
+
 /// Aggregate outcome of one batched serving run.
 #[derive(Debug)]
 pub struct ServeReport {
@@ -312,6 +477,8 @@ pub struct ServeReport {
     pub requests: Vec<RequestOutcome>,
     /// The unified executed timeline.
     pub timeline: ServeTimeline,
+    /// Paged-KV pool accounting.
+    pub kv: KvPoolReport,
 }
 
 impl ServeReport {
@@ -366,113 +533,428 @@ impl ServeReport {
     }
 }
 
+// ---------------------------------------------------------------------------
+// The deterministic admission planner
+// ---------------------------------------------------------------------------
+
+/// How an admission gate anchors to an earlier segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GateKind {
+    /// Wait for the segment to be fully done (its pages released):
+    /// anchored at its Release task — or its Evicted task, which *is*
+    /// the terminal of a preempted incarnation.
+    Done,
+    /// Wait for the segment's prefill to finish (its KV prefix is fully
+    /// written — what a prefix sharer needs).
+    PrefillDone,
+}
+
+/// A shared prompt prefix chosen by the planner.
+#[derive(Debug, Clone, Copy)]
+struct SharedPrefix {
+    /// Segment whose table donates the blocks.
+    donor_seg: usize,
+    /// Shared tokens (a multiple of both the block and chunk sizes).
+    tokens: usize,
+}
+
+/// One planned incarnation of a request.
+#[derive(Debug)]
+struct SegmentPlan {
+    req: usize,
+    attempt: usize,
+    /// Preempted: ends in an Evicted task after prefill; no decode.
+    evicted: bool,
+    /// Admission gates on earlier segments.
+    gates: Vec<(usize, GateKind)>,
+    shared: Option<SharedPrefix>,
+    /// Decode cohort id (`usize::MAX` for evicted segments).
+    cohort: usize,
+    /// Segments that fork this segment's blocks: their Admit must
+    /// precede this segment's Release.
+    sharer_segs: Vec<usize>,
+}
+
+/// Plan-time page bookkeeping: groups of physically co-released blocks.
+#[derive(Debug)]
+struct PlanGroup {
+    blocks: usize,
+    holders: usize,
+}
+
+struct Planner<'r> {
+    requests: &'r [GenerationRequest],
+    pool_cfg: PoolConfig,
+    max_active: usize,
+    pressure: PressurePolicy,
+    share: bool,
+    align: usize,
+    segments: Vec<SegmentPlan>,
+    groups: Vec<PlanGroup>,
+    /// Groups each segment holds (its own + every group its shared
+    /// donor held, transitively) — conservative co-release tracking.
+    held: Vec<Vec<usize>>,
+    /// Active segments in admission order.
+    active: Vec<usize>,
+    /// Latest planned segment of each request — a re-admission must
+    /// gate on its evicted predecessor (they share the runtime cache
+    /// slot, so the old incarnation's release must precede the new
+    /// reservation).
+    last_seg_of_req: Vec<Option<usize>>,
+    free: usize,
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: usize, b: usize) -> usize {
+    a / gcd(a, b) * b
+}
+
+fn common_prefix_len(a: &[u32], b: &[u32]) -> usize {
+    a.iter().zip(b).take_while(|(x, y)| x == y).count()
+}
+
+impl<'r> Planner<'r> {
+    /// The longest usable shared prefix between request `req` and any
+    /// active segment: block- and chunk-aligned (so the sharer's suffix
+    /// chunks line up with absolute positions), fully inside the donor's
+    /// *prompt* (only prefilled pages are shareable), and leaving the
+    /// sharer at least one suffix token to prefill.
+    fn best_share(&self, req: usize) -> Option<SharedPrefix> {
+        if !self.share {
+            return None;
+        }
+        let prompt = &self.requests[req].prompt;
+        let mut best: Option<SharedPrefix> = None;
+        for &seg in &self.active {
+            let donor_req = self.segments[seg].req;
+            let lcp = common_prefix_len(prompt, &self.requests[donor_req].prompt);
+            let cap = lcp.min(prompt.len() - 1);
+            let aligned = cap - cap % self.align;
+            if aligned == 0 {
+                continue;
+            }
+            if best.is_none_or(|b| aligned > b.tokens) {
+                best = Some(SharedPrefix {
+                    donor_seg: seg,
+                    tokens: aligned,
+                });
+            }
+        }
+        best
+    }
+
+    /// Fresh blocks segment needs beyond a shared prefix.
+    fn fresh_blocks(&self, req: usize, shared_tokens: usize) -> usize {
+        self.pool_cfg
+            .blocks_for(self.requests[req].total_tokens() - shared_tokens)
+    }
+
+    /// Releases an active segment's planned pages (group holders
+    /// decrement; fully released groups return to `free`).
+    fn release_plan(&mut self, seg: usize) {
+        let held = std::mem::take(&mut self.held[seg]);
+        for g in held {
+            self.groups[g].holders -= 1;
+            if self.groups[g].holders == 0 {
+                self.free += self.groups[g].blocks;
+            }
+        }
+    }
+
+    /// Plans the admission of one incarnation, returning its segment id.
+    fn admit(
+        &mut self,
+        req: usize,
+        attempt: usize,
+        pending: &mut VecDeque<(usize, usize)>,
+    ) -> Result<usize> {
+        let mut shared = self.best_share(req);
+        let mut gates: Vec<(usize, GateKind)> = Vec::new();
+        if let Some(prev) = self.last_seg_of_req[req] {
+            gates.push((prev, GateKind::Done));
+        }
+        loop {
+            let need = self.fresh_blocks(req, shared.map_or(0, |s| s.tokens));
+            if self.active.len() < self.max_active && need <= self.free {
+                break;
+            }
+            if self.active.len() >= self.max_active {
+                // Concurrency cap: wait for the earliest active request
+                // (continuous batching's "a slot frees, the next joins").
+                let seg = self.active.remove(0);
+                self.release_plan(seg);
+                self.forget_donor(&mut shared, seg);
+                gates.push((seg, GateKind::Done));
+                continue;
+            }
+            // Memory pressure.
+            if self.pressure == PressurePolicy::EvictYoungest && attempt == 0 {
+                // Youngest active that nobody shares pages from (a
+                // donor's pages must outlive its sharers' admissions).
+                let victim = (0..self.active.len()).rev().find(|&i| {
+                    let seg = self.active[i];
+                    self.segments[seg].sharer_segs.is_empty()
+                        && shared.is_none_or(|s| s.donor_seg != seg)
+                });
+                if let Some(i) = victim {
+                    let seg = self.active.remove(i);
+                    self.segments[seg].evicted = true;
+                    self.segments[seg].cohort = usize::MAX;
+                    self.release_plan(seg);
+                    gates.push((seg, GateKind::Done));
+                    let (vr, va) = (self.segments[seg].req, self.segments[seg].attempt);
+                    pending.push_front((vr, va + 1));
+                    continue;
+                }
+            }
+            // Wait for the earliest active request's pages.
+            if self.active.is_empty() {
+                return Err(Error::InvalidConfig {
+                    what: format!(
+                        "request {req} needs {need} KV pages but the pool has only {} total",
+                        self.pool_cfg.blocks
+                    ),
+                });
+            }
+            let seg = self.active.remove(0);
+            self.release_plan(seg);
+            self.forget_donor(&mut shared, seg);
+            gates.push((seg, GateKind::Done));
+        }
+
+        let seg = self.segments.len();
+        let fresh = self.fresh_blocks(req, shared.map_or(0, |s| s.tokens));
+        let own_group = self.groups.len();
+        self.groups.push(PlanGroup {
+            blocks: fresh,
+            holders: 1,
+        });
+        self.free -= fresh;
+        let mut held = vec![own_group];
+        if let Some(s) = shared {
+            // Hold everything the donor holds: those pages cannot be
+            // counted free until this segment also releases.
+            let donor_held = self.held[s.donor_seg].clone();
+            for g in donor_held {
+                self.groups[g].holders += 1;
+                held.push(g);
+            }
+            gates.push((s.donor_seg, GateKind::PrefillDone));
+            self.segments[s.donor_seg].sharer_segs.push(seg);
+        }
+        self.held.push(held);
+        gates.sort_by_key(|&(g, k)| (g, k == GateKind::PrefillDone));
+        gates.dedup();
+        self.segments.push(SegmentPlan {
+            req,
+            attempt,
+            evicted: false,
+            gates,
+            shared,
+            cohort: usize::MAX,
+            sharer_segs: Vec::new(),
+        });
+        self.last_seg_of_req[req] = Some(seg);
+        self.active.push(seg);
+        Ok(seg)
+    }
+
+    /// Drops a pending share whose donor just left the active set
+    /// (its pages are no longer guaranteed resident at our admission).
+    fn forget_donor(&self, shared: &mut Option<SharedPrefix>, seg: usize) {
+        if shared.is_some_and(|s| s.donor_seg == seg) {
+            *shared = None;
+        }
+    }
+}
+
+/// Plans every admission, eviction, and decode cohort for a batch.
+fn plan_batch(
+    requests: &[GenerationRequest],
+    pool_cfg: &PoolConfig,
+    chunk_len: usize,
+    max_active: usize,
+    pressure: PressurePolicy,
+    share: bool,
+    decode_batch: usize,
+) -> Result<(Vec<SegmentPlan>, usize, usize)> {
+    let mut planner = Planner {
+        requests,
+        pool_cfg: pool_cfg.clone(),
+        max_active,
+        pressure,
+        share,
+        align: lcm(pool_cfg.block_tokens, chunk_len),
+        segments: Vec::new(),
+        groups: Vec::new(),
+        held: Vec::new(),
+        active: Vec::new(),
+        last_seg_of_req: vec![None; requests.len()],
+        free: pool_cfg.blocks,
+    };
+    let mut pending: VecDeque<(usize, usize)> = (0..requests.len()).map(|r| (r, 0)).collect();
+    while let Some((req, attempt)) = pending.pop_front() {
+        planner.admit(req, attempt, &mut pending)?;
+    }
+
+    // Decode cohorts: consecutive surviving segments batch together
+    // until the width cap, or until a segment *fully waits* on a cohort
+    // member (a Done gate inside the cohort would deadlock the step
+    // barrier; PrefillDone gates — prefix sharing — are fine).
+    let mut cohorts = 0usize;
+    let mut current: Vec<usize> = Vec::new();
+    let n = planner.segments.len();
+    for seg in 0..n {
+        if planner.segments[seg].evicted {
+            continue;
+        }
+        let waits_on_member = planner.segments[seg]
+            .gates
+            .iter()
+            .any(|&(g, k)| k == GateKind::Done && current.contains(&g));
+        if !current.is_empty() && (current.len() >= decode_batch || waits_on_member) {
+            cohorts += 1;
+            current.clear();
+        }
+        planner.segments[seg].cohort = cohorts;
+        current.push(seg);
+    }
+    if !current.is_empty() {
+        cohorts += 1;
+    }
+    let shared_blocks: usize = planner
+        .segments
+        .iter()
+        .map(|s| s.shared.map_or(0, |sh| sh.tokens / pool_cfg.block_tokens))
+        .sum();
+    Ok((planner.segments, cohorts, shared_blocks))
+}
+
+// ---------------------------------------------------------------------------
+// Runtime state and graph building
+// ---------------------------------------------------------------------------
+
 /// Mutable per-request generation state, touched only by the request's
-/// own (serially chained) finish/decode tasks.
+/// own (serially chained) tasks — plus the cohort decode tasks, which
+/// lock every member in a fixed order.
 struct ReqState {
-    cache: Option<KvCache>,
     sampler: Sampler,
     last_hidden: Option<Tensor<f32>>,
     tokens: Vec<u32>,
 }
 
-/// Task ids of one request within the combined graph.
-struct ReqTaskIds {
-    finish: usize,
-    decode: Vec<usize>,
-    all: Vec<usize>,
-}
-
-/// Tasks of a DAG with no in-DAG successors (everything a prefill-finish
-/// task must wait for).
-fn dag_sinks(dag: &PrefillDag) -> Vec<usize> {
-    let mut has_successor = vec![false; dag.len()];
-    for t in 0..dag.len() {
-        for &d in dag.deps(t) {
-            has_successor[d] = true;
-        }
-    }
-    (0..dag.len()).filter(|&t| !has_successor[t]).collect()
+/// Build-time record of one segment's task ids.
+struct SegBuild {
+    admit: usize,
+    prefill_finish: usize,
+    /// Final decode task of the segment (set when its cohort's decode
+    /// chain is flushed; `None` for evicted segments).
+    last_decode: Option<usize>,
+    release: Option<usize>,
 }
 
 impl LlmNpuEngine {
     /// Serves a queue of generation requests with continuous batching on
     /// this engine's pool: per-request chunked-prefill DAGs and decode
     /// chains interleave on the per-processor lanes under the engine's
-    /// scheduling policy, honoring arrival times and the admission cap.
+    /// scheduling policy, honoring arrival times, the admission cap,
+    /// and — new with the paged KV subsystem — the page budget of a
+    /// shared [`BlockPool`], with prefix sharing, optional preemption
+    /// under memory pressure, and batched decode GEMMs.
     ///
     /// `t` is the numeric transformer the requests run on (its
     /// configuration drives the per-request DAGs, exactly as in
     /// [`LlmNpuEngine::prefill_executed`]). Returns per-request token
     /// streams — bit-identical to solo [`Transformer::generate`] runs
-    /// with `chunk_len = self.config().chunk_len` — plus serving metrics
-    /// and the unified timeline.
+    /// with `chunk_len = self.config().chunk_len` — plus serving
+    /// metrics, the unified timeline, and the pool accounting.
     ///
     /// # Errors
     ///
     /// Returns an error for an empty/invalid request (empty prompt, zero
     /// `max_new_tokens`, bad sampler config, non-finite or negative
-    /// arrival), a zero admission cap, or any execution failure.
+    /// arrival), invalid options (zero caps or page sizes, a pool too
+    /// small for some request, a pool exceeding the SoC's NPU-window
+    /// budget), or any execution failure. On success the pool is
+    /// verified page-leak-free.
     pub fn serve(
         &self,
         t: &Transformer<'_>,
         requests: &[GenerationRequest],
         opts: &ServeOptions,
     ) -> Result<ServeReport> {
-        if opts.max_active == 0 {
-            return Err(Error::InvalidConfig {
-                what: "max_active must be at least 1".to_owned(),
-            });
-        }
+        validate_inputs(requests, opts)?;
+        let row_wise = t.backend_row_wise();
+        let share = opts.share_prefixes && row_wise;
+        let decode_batch = if row_wise { opts.decode_batch } else { 1 };
+
+        // The paged pool: sized to the batch (no pressure) by default,
+        // or to the caller's explicit page budget.
+        let auto_blocks: usize = requests
+            .iter()
+            .map(|r| r.total_tokens().div_ceil(opts.block_tokens))
+            .sum();
+        let pool_cfg = PoolConfig {
+            layers: t.config().layers,
+            kv_dim: t.config().kv_dim(),
+            block_tokens: opts.block_tokens,
+            blocks: opts.kv_pool_blocks.unwrap_or(auto_blocks.max(1)),
+        };
         for (r, req) in requests.iter().enumerate() {
-            if req.prompt.is_empty() {
+            let need = pool_cfg.blocks_for(req.total_tokens());
+            if need > pool_cfg.blocks {
                 return Err(Error::InvalidConfig {
-                    what: format!("request {r} has an empty prompt"),
-                });
-            }
-            if req.max_new_tokens == 0 {
-                return Err(Error::InvalidConfig {
-                    what: format!("request {r} asks for zero tokens"),
-                });
-            }
-            if !req.arrival_ms.is_finite() || req.arrival_ms < 0.0 {
-                return Err(Error::InvalidConfig {
-                    what: format!("request {r} has invalid arrival {}", req.arrival_ms),
+                    what: format!(
+                        "request {r} needs {need} KV pages, pool holds {}",
+                        pool_cfg.blocks
+                    ),
                 });
             }
         }
+        let pool = Arc::new(BlockPool::new(pool_cfg.clone()).map_err(kv_err)?);
+        // The pool is one slab in the SoC's NPU-addressable space: the
+        // window (and DRAM budget) bound how much KV a device can serve.
+        let mut mem = MemoryModel::new(&self.config().soc);
+        mem.alloc(Processor::Npu, "paged-kv-pool", pool.bytes())?;
+
         if requests.is_empty() {
             return Ok(ServeReport {
                 requests: Vec::new(),
                 timeline: ServeTimeline::default(),
+                kv: kv_report(&pool, opts, 0, 0),
             });
         }
+
+        let (segments, cohort_count, shared_blocks) = plan_batch(
+            requests,
+            &pool_cfg,
+            self.config().chunk_len,
+            opts.max_active,
+            opts.pressure,
+            share,
+            decode_batch,
+        )?;
+        let evictions = segments.iter().filter(|s| s.evicted).count();
 
         // Decode-task durations come from the shared context-aware decode
         // model, priced for the numeric model actually being served.
         let decode_proc = self.config().decode_processor;
         let dsim = DecodeSim::new(t.config().clone(), self.config().soc.clone(), decode_proc);
 
-        // Per-request prefill machinery (DAG, plan, prepared program).
-        let mut dags = Vec::with_capacity(requests.len());
-        let mut plans: Vec<ChunkPlan> = Vec::with_capacity(requests.len());
-        for req in requests {
-            let dag_cfg = self.dag_config(req.prompt.len())?;
-            plans.push(dag_cfg.plan.clone());
-            dags.push(build_prefill_dag(
-                t.config(),
-                &dag_cfg,
-                self.latency_model(),
-            )?);
-        }
-        let mut programs = Vec::with_capacity(requests.len());
-        for (r, req) in requests.iter().enumerate() {
-            programs.push(PrefillProgram::new(t, &req.prompt, &dags[r], &plans[r])?);
-        }
+        // Per-request paged-cache slots and generation state.
+        let slots: Vec<Mutex<Option<PagedKvCache>>> =
+            requests.iter().map(|_| Mutex::new(None)).collect();
         let states: Vec<Mutex<ReqState>> = requests
             .iter()
             .map(|req| {
                 Ok(Mutex::new(ReqState {
-                    cache: None,
                     sampler: Sampler::new(&req.sampler)?,
                     last_hidden: None,
                     tokens: Vec::with_capacity(req.max_new_tokens),
@@ -480,37 +962,307 @@ impl LlmNpuEngine {
             })
             .collect::<Result<_>>()?;
 
-        // Splice every request into one combined lane graph.
+        // Per-segment prefill machinery over the unshared suffix.
+        let mut dags: Vec<PrefillDag> = Vec::with_capacity(segments.len());
+        let mut plans: Vec<ChunkPlan> = Vec::with_capacity(segments.len());
+        for seg in &segments {
+            let shared_tokens = seg.shared.map_or(0, |s| s.tokens);
+            let suffix_len = requests[seg.req].prompt.len() - shared_tokens;
+            let dag_cfg = self.dag_config(suffix_len)?;
+            plans.push(dag_cfg.plan.clone());
+            dags.push(build_prefill_dag(
+                t.config(),
+                &dag_cfg,
+                self.latency_model(),
+            )?);
+        }
+        let mut programs: Vec<PrefillProgram<'_, '_>> = Vec::with_capacity(segments.len());
+        for (s, seg) in segments.iter().enumerate() {
+            let shared_tokens = seg.shared.map_or(0, |sh| sh.tokens);
+            let suffix = &requests[seg.req].prompt[shared_tokens..];
+            programs.push(PrefillProgram::new_paged(
+                t,
+                suffix,
+                &dags[s],
+                &plans[s],
+                shared_tokens,
+                &slots[seg.req],
+            )?);
+        }
+
+        // ---- Build the combined lane graph --------------------------------
         let mut graph = LaneGraph::new();
         let mut closures: Vec<TaskFn<'_>> = Vec::new();
-        let mut meta: Vec<(usize, ServeTaskKind)> = Vec::new();
-        let mut ids: Vec<ReqTaskIds> = Vec::with_capacity(requests.len());
+        let mut meta: Vec<(usize, usize, ServeTaskKind)> = Vec::new();
+        let mut builds: Vec<SegBuild> = Vec::new();
+        // Decode task id per (request, step) — the token stream spans.
+        let mut token_tasks: Vec<Vec<usize>> =
+            requests.iter().map(|r| vec![0; r.max_new_tokens]).collect();
+        // Cohort id -> member segments, flushed when complete.
+        let mut cohort_members: Vec<Vec<usize>> = vec![Vec::new(); cohort_count];
+        let mut cohort_flushed: Vec<bool> = vec![false; cohort_count];
 
-        for (r, req) in requests.iter().enumerate() {
-            let offset = graph.len();
-            // Continuous batching's admission cap: this request's roots
-            // additionally wait for request r - max_active to finish.
-            let gate = (r >= opts.max_active).then(|| ids[r - opts.max_active].all_done());
-            let mut all = Vec::with_capacity(dags[r].len() + 1 + req.max_new_tokens);
-
-            for (i, task) in dags[r].tasks().iter().enumerate() {
-                let mut deps: Vec<usize> = dags[r].deps(i).iter().map(|&d| d + offset).collect();
-                if deps.is_empty() {
-                    if let Some(g) = gate {
-                        deps.push(g);
-                    }
-                }
+        // Flushing a cohort emits its batched decode chain + releases.
+        // (Closure-free helper: needs many locals, so implemented as a
+        // macro-like fn below via explicit parameters.)
+        #[allow(clippy::too_many_arguments)]
+        fn flush_cohort<'run>(
+            c: usize,
+            cohort_members: &[Vec<usize>],
+            segments: &[SegmentPlan],
+            requests: &'run [GenerationRequest],
+            builds: &mut [SegBuild],
+            graph: &mut LaneGraph,
+            closures: &mut Vec<TaskFn<'run>>,
+            meta: &mut Vec<(usize, usize, ServeTaskKind)>,
+            token_tasks: &mut [Vec<usize>],
+            states: &'run [Mutex<ReqState>],
+            slots: &'run [Mutex<Option<PagedKvCache>>],
+            t: &'run Transformer<'run>,
+            dsim: &DecodeSim,
+            decode_proc: Processor,
+            on_token: Option<&'run TokenSink>,
+        ) -> Result<()> {
+            let members = &cohort_members[c];
+            let mut chain_prev: Vec<usize> =
+                members.iter().map(|&s| builds[s].prefill_finish).collect();
+            let max_steps = members
+                .iter()
+                .map(|&s| requests[segments[s].req].max_new_tokens)
+                .max()
+                .unwrap_or(0);
+            // `step` indexes into each member's per-request token-task
+            // vec, not a single container — the range loop is the shape.
+            #[allow(clippy::needless_range_loop)]
+            for step in 0..max_steps {
+                let active: Vec<usize> = (0..members.len())
+                    .filter(|&i| step < requests[segments[members[i]].req].max_new_tokens)
+                    .collect();
+                let width = active.len();
+                let mut deps: Vec<usize> = active.iter().map(|&i| chain_prev[i]).collect();
+                deps.sort_unstable();
+                deps.dedup();
+                let duration = active
+                    .iter()
+                    .map(|&i| {
+                        let req = segments[members[i]].req;
+                        dsim.token_ms(requests[req].prompt.len() + step)
+                    })
+                    .fold(0.0, f64::max);
+                let release = active
+                    .iter()
+                    .map(|&i| requests[segments[members[i]].req].arrival_ms)
+                    .fold(0.0, f64::max);
+                let first_req = segments[members[active[0]]].req;
+                let (label, kind) = if width == 1 {
+                    (
+                        format!("R{first_req}-D{step}"),
+                        ServeTaskKind::Decode { step },
+                    )
+                } else {
+                    (
+                        format!("C{c}-D{step}x{width}"),
+                        ServeTaskKind::DecodeBatch { step, width },
+                    )
+                };
                 let id = graph.push(
                     LaneTask {
-                        label: format!("R{r}-{}", task.label),
+                        label,
+                        processor: decode_proc,
+                        duration_ms: duration,
+                        release_ms: release,
+                    },
+                    deps,
+                )?;
+                meta.push((first_req, segments[members[active[0]]].attempt, kind));
+                let member_reqs: Vec<(usize, usize)> = active
+                    .iter()
+                    .map(|&i| {
+                        let req = segments[members[i]].req;
+                        (req, requests[req].prompt.len())
+                    })
+                    .collect();
+                closures.push(Box::new(move || {
+                    decode_step_body(&member_reqs, step, states, slots, t, on_token)
+                }));
+                for &i in &active {
+                    chain_prev[i] = id;
+                    token_tasks[segments[members[i]].req][step] = id;
+                }
+            }
+            // Record each member's final decode task; the Release task
+            // is emitted separately (and possibly later — it must wait
+            // for every *sharer* of the member's blocks to have an
+            // Admit task in the graph, and a sharer can be a segment
+            // that is not built yet at an early cohort flush).
+            for (i, &s) in members.iter().enumerate() {
+                builds[s].last_decode = Some(chain_prev[i]);
+            }
+            Ok(())
+        }
+
+        /// Emits one segment's Release task: pages go back once the
+        /// member's stream is done — but never before every sharer of
+        /// its blocks has admitted. Callers must guarantee every sharer
+        /// segment is already built (true when the release is demanded
+        /// by a later segment's Done gate — sharers attach only while
+        /// the donor is active, so they precede any Done-gater — and
+        /// trivially true at the final sweep).
+        #[allow(clippy::too_many_arguments)] // mirrors flush_cohort's plumbing
+        fn emit_release<'run>(
+            s: usize,
+            segments: &[SegmentPlan],
+            requests: &'run [GenerationRequest],
+            builds: &mut [SegBuild],
+            graph: &mut LaneGraph,
+            closures: &mut Vec<TaskFn<'run>>,
+            meta: &mut Vec<(usize, usize, ServeTaskKind)>,
+            slots: &'run [Mutex<Option<PagedKvCache>>],
+            decode_proc: Processor,
+        ) -> Result<()> {
+            let req = segments[s].req;
+            let mut deps = vec![builds[s]
+                .last_decode
+                .expect("cohort flushed before release")];
+            for &sharer in &segments[s].sharer_segs {
+                deps.push(builds[sharer].admit);
+            }
+            deps.sort_unstable();
+            deps.dedup();
+            let id = graph.push(
+                LaneTask {
+                    label: format!("R{req}-Release"),
+                    processor: decode_proc,
+                    duration_ms: FINISH_TASK_MS,
+                    release_ms: requests[req].arrival_ms,
+                },
+                deps,
+            )?;
+            meta.push((req, segments[s].attempt, ServeTaskKind::Release));
+            let slot = &slots[req];
+            closures.push(Box::new(move || release_slot(slot)));
+            builds[s].release = Some(id);
+            Ok(())
+        }
+
+        for (s, seg) in segments.iter().enumerate() {
+            // Any Done gate on a normal segment needs that segment's
+            // Release task — flush its cohort's decode chain, then emit
+            // just *that* segment's Release (its sharers are all built:
+            // they attached while the donor was active, i.e. before any
+            // segment could gate Done on it).
+            for &(g, kind) in &seg.gates {
+                if kind == GateKind::Done && !segments[g].evicted {
+                    let c = segments[g].cohort;
+                    if !cohort_flushed[c] {
+                        flush_cohort(
+                            c,
+                            &cohort_members,
+                            &segments,
+                            requests,
+                            &mut builds,
+                            &mut graph,
+                            &mut closures,
+                            &mut meta,
+                            &mut token_tasks,
+                            &states,
+                            &slots,
+                            t,
+                            &dsim,
+                            decode_proc,
+                            opts.on_token.as_ref(),
+                        )?;
+                        cohort_flushed[c] = true;
+                    }
+                    if builds[g].release.is_none() {
+                        emit_release(
+                            g,
+                            &segments,
+                            requests,
+                            &mut builds,
+                            &mut graph,
+                            &mut closures,
+                            &mut meta,
+                            &slots,
+                            decode_proc,
+                        )?;
+                    }
+                }
+            }
+            let req = seg.req;
+            let request = &requests[req];
+            let attempt = seg.attempt;
+            let rlabel = if attempt == 0 {
+                format!("R{req}")
+            } else {
+                format!("R{req}.{attempt}")
+            };
+
+            // Admission: reserve pages (forking the donor's prefix).
+            let gate_deps: Vec<usize> = seg
+                .gates
+                .iter()
+                .map(|&(g, kind)| match kind {
+                    GateKind::PrefillDone => builds[g].prefill_finish,
+                    GateKind::Done => {
+                        if segments[g].evicted {
+                            builds[g].prefill_finish
+                        } else {
+                            builds[g].release.expect("cohort flushed before gate")
+                        }
+                    }
+                })
+                .collect();
+            let admit = graph.push(
+                LaneTask {
+                    label: format!("{rlabel}-Admit"),
+                    processor: decode_proc,
+                    duration_ms: FINISH_TASK_MS,
+                    release_ms: request.arrival_ms,
+                },
+                gate_deps,
+            )?;
+            meta.push((req, attempt, ServeTaskKind::Admit));
+            {
+                let pool = Arc::clone(&pool);
+                let slot = &slots[req];
+                let donor_slot = seg.shared.map(|sh| &slots[segments[sh.donor_seg].req]);
+                let shared_tokens = seg.shared.map_or(0, |sh| sh.tokens);
+                let total = request.total_tokens();
+                closures.push(Box::new(move || {
+                    let cache = match donor_slot {
+                        None => PagedKvCache::reserve(&pool, total).map_err(|e| e.to_string())?,
+                        Some(d) => {
+                            let guard = d.lock().expect("donor slot");
+                            let donor = guard.as_ref().ok_or("prefix donor cache missing")?;
+                            PagedKvCache::reserve_shared(&pool, donor, shared_tokens, total)
+                                .map_err(|e| e.to_string())?
+                        }
+                    };
+                    *slot.lock().expect("kv slot") = Some(cache);
+                    Ok(())
+                }));
+            }
+
+            // The suffix prefill DAG; roots wait on admission.
+            let offset = graph.len();
+            for (i, task) in dags[s].tasks().iter().enumerate() {
+                let mut deps: Vec<usize> = dags[s].deps(i).iter().map(|&d| d + offset).collect();
+                if deps.is_empty() {
+                    deps.push(admit);
+                }
+                graph.push(
+                    LaneTask {
+                        label: format!("{rlabel}-{}", task.label),
                         processor: task.processor,
                         duration_ms: task.duration_ms,
-                        release_ms: req.arrival_ms,
+                        release_ms: request.arrival_ms,
                     },
                     deps,
                 )?;
                 meta.push((
-                    r,
+                    req,
+                    attempt,
                     ServeTaskKind::PrefillStage {
                         chunk: task.chunk,
                         layer: task.layer,
@@ -518,93 +1270,107 @@ impl LlmNpuEngine {
                         role: task.role,
                     },
                 ));
-                all.push(id);
             }
-            closures.extend(programs[r].closures(&dags[r]));
+            closures.extend(programs[s].closures(&dags[s]));
 
-            // Prefill-finish: assemble this request's KV cache and last
-            // hidden row once every prefill task has drained.
+            // Prefill terminal: last-hidden assembly — or, for a
+            // preempted incarnation, the eviction (pages freed, work
+            // discarded).
             let mut finish_deps: Vec<usize> =
-                dag_sinks(&dags[r]).iter().map(|&s| s + offset).collect();
+                dag_sinks(&dags[s]).iter().map(|&k| k + offset).collect();
             if finish_deps.is_empty() {
-                if let Some(g) = gate {
-                    finish_deps.push(g);
-                }
+                finish_deps.push(admit);
             }
+            let (flabel, fkind) = if seg.evicted {
+                (format!("{rlabel}-Evicted"), ServeTaskKind::Evicted)
+            } else {
+                (
+                    format!("{rlabel}-PrefillFinish"),
+                    ServeTaskKind::PrefillFinish,
+                )
+            };
             let finish = graph.push(
                 LaneTask {
-                    label: format!("R{r}-PrefillFinish"),
+                    label: flabel,
                     processor: decode_proc,
                     duration_ms: FINISH_TASK_MS,
-                    release_ms: req.arrival_ms,
+                    release_ms: request.arrival_ms,
                 },
                 finish_deps,
             )?;
-            meta.push((r, ServeTaskKind::PrefillFinish));
-            all.push(finish);
-            {
-                let program = &programs[r];
-                let state = &states[r];
+            meta.push((req, attempt, fkind));
+            if seg.evicted {
+                let slot = &slots[req];
+                closures.push(Box::new(move || release_slot(slot)));
+            } else {
+                let program = &programs[s];
+                let state = &states[req];
                 closures.push(Box::new(move || {
-                    let cache = program.assemble_cache().map_err(|e| e.to_string())?;
                     let last = program.last_hidden_row().map_err(|e| e.to_string())?;
-                    let mut st = state.lock().expect("request state");
-                    st.cache = Some(cache);
-                    st.last_hidden = Some(last);
+                    state.lock().expect("request state").last_hidden = Some(last);
                     Ok(())
                 }));
+                cohort_members[seg.cohort].push(s);
             }
-
-            // The decode chain: one first-class task per generated token.
-            let mut decode = Vec::with_capacity(req.max_new_tokens);
-            let mut prev = finish;
-            for step in 0..req.max_new_tokens {
-                let id = graph.push(
-                    LaneTask {
-                        label: format!("R{r}-D{step}"),
-                        processor: decode_proc,
-                        duration_ms: dsim.token_ms(req.prompt.len() + step),
-                        release_ms: req.arrival_ms,
-                    },
-                    vec![prev],
-                )?;
-                meta.push((r, ServeTaskKind::Decode { step }));
-                let state = &states[r];
-                closures.push(Box::new(move || {
-                    let mut st = state.lock().expect("request state");
-                    let st = &mut *st;
-                    if step > 0 {
-                        // Forward the previously sampled token through
-                        // the decode path (extends this request's cache).
-                        let prev_tok = *st.tokens.last().ok_or("missing previous token")?;
-                        let cache = st.cache.as_mut().ok_or("missing kv cache")?;
-                        st.last_hidden =
-                            Some(t.prefill(&[prev_tok], cache).map_err(|e| e.to_string())?);
-                    }
-                    let last = st.last_hidden.as_ref().ok_or("missing hidden state")?;
-                    let logits = t.logits(last).map_err(|e| e.to_string())?;
-                    let token = st
-                        .sampler
-                        .sample(logits.row(0))
-                        .map_err(|e| e.to_string())?;
-                    st.tokens.push(token);
-                    Ok(())
-                }));
-                decode.push(id);
-                all.push(id);
-                prev = id;
-            }
-            ids.push(ReqTaskIds {
-                finish,
-                decode,
-                all,
+            builds.push(SegBuild {
+                admit,
+                prefill_finish: finish,
+                last_decode: None,
+                release: None,
             });
         }
+        for (c, flushed) in cohort_flushed.iter_mut().enumerate() {
+            if !*flushed {
+                flush_cohort(
+                    c,
+                    &cohort_members,
+                    &segments,
+                    requests,
+                    &mut builds,
+                    &mut graph,
+                    &mut closures,
+                    &mut meta,
+                    &mut token_tasks,
+                    &states,
+                    &slots,
+                    t,
+                    &dsim,
+                    decode_proc,
+                    opts.on_token.as_ref(),
+                )?;
+                *flushed = true;
+            }
+        }
+        // Every surviving segment returns its pages (every segment is
+        // built now, so sharer Admit ids all exist).
+        for s in 0..segments.len() {
+            if !segments[s].evicted && builds[s].release.is_none() {
+                emit_release(
+                    s,
+                    &segments,
+                    requests,
+                    &mut builds,
+                    &mut graph,
+                    &mut closures,
+                    &mut meta,
+                    &slots,
+                    decode_proc,
+                )?;
+            }
+        }
+        debug_assert_eq!(graph.len(), closures.len());
+        debug_assert_eq!(graph.len(), meta.len());
 
-        // Run the combined graph on the engine's lanes.
+        // ---- Run the combined graph on the engine's lanes -----------------
         let spans = self.pool().install_scope(|| {
             execute_lane_graph(&graph, closures, self.config().policy, self.pool())
         })?;
+
+        // Belt and braces: whatever a failed path left behind, drain it
+        // before accounting (normal runs already released everything).
+        for slot in &slots {
+            let _ = release_slot(slot);
+        }
 
         // Unified timeline, completion order.
         let mut order: Vec<usize> = (0..graph.len()).collect();
@@ -616,9 +1382,10 @@ impl LlmNpuEngine {
         });
         let mut timeline = ServeTimeline::default();
         for i in order {
-            let (request, kind) = meta[i];
+            let (request, attempt, kind) = meta[i];
             timeline.spans.push(ServeSpan {
                 request,
+                attempt,
                 label: graph.tasks()[i].label.clone(),
                 kind,
                 processor: graph.tasks()[i].processor,
@@ -640,12 +1407,18 @@ impl LlmNpuEngine {
                     ),
                 });
             }
-            let first_dispatch_ms = ids[r]
-                .all
+            let attempts = segments.iter().filter(|s| s.req == r).count();
+            let final_seg = segments
                 .iter()
-                .map(|&i| spans[i].0)
+                .position(|s| s.req == r && !s.evicted)
+                .expect("every request has a surviving incarnation");
+            let first_dispatch_ms = meta
+                .iter()
+                .enumerate()
+                .filter(|(_, &(mr, _, _))| mr == r)
+                .map(|(i, _)| spans[i].0)
                 .fold(f64::INFINITY, f64::min);
-            let token_times_ms: Vec<f64> = ids[r].decode.iter().map(|&i| spans[i].1).collect();
+            let token_times_ms: Vec<f64> = token_tasks[r].iter().map(|&i| spans[i].1).collect();
             outcomes.push(RequestOutcome {
                 request: r,
                 tokens: st.tokens.clone(),
@@ -653,22 +1426,185 @@ impl LlmNpuEngine {
                 token_times_ms,
                 arrival_ms: req.arrival_ms,
                 first_dispatch_ms,
-                prefill_done_ms: spans[ids[r].finish].1,
+                prefill_done_ms: spans[builds[final_seg].prefill_finish].1,
+                attempts,
             });
         }
 
+        let kv = kv_report(&pool, opts, evictions, shared_blocks);
+        if kv.leaked_blocks != 0 {
+            return Err(Error::InvalidConfig {
+                what: format!("{} KV pages leaked after serve", kv.leaked_blocks),
+            });
+        }
+        mem.free(Processor::Npu, "paged-kv-pool");
         Ok(ServeReport {
             requests: outcomes,
             timeline,
+            kv,
         })
     }
 }
 
-impl ReqTaskIds {
-    /// The task whose completion frees this request's admission slot.
-    fn all_done(&self) -> usize {
-        *self.all.last().expect("request has tasks")
+/// The numeric body of one (possibly batched) decode step: forward every
+/// member's previous token through one `m = B` stacked forward, then
+/// project + sample each member's next token, emitting it to the sink.
+fn decode_step_body(
+    member_reqs: &[(usize, usize)],
+    step: usize,
+    states: &[Mutex<ReqState>],
+    slots: &[Mutex<Option<PagedKvCache>>],
+    t: &Transformer<'_>,
+    on_token: Option<&TokenSink>,
+) -> std::result::Result<(), String> {
+    // Lock members in fixed (request) order.
+    let mut state_guards: Vec<_> = member_reqs
+        .iter()
+        .map(|&(r, _)| states[r].lock().expect("request state"))
+        .collect();
+    if step > 0 {
+        // Forward every member's token `step - 1`: one batched GEMM per
+        // linear site, per-request paged KV appends and attention.
+        let tokens: Vec<u32> = state_guards
+            .iter()
+            .map(|g| {
+                g.tokens
+                    .get(step - 1)
+                    .copied()
+                    .ok_or("missing previous token")
+            })
+            .collect::<std::result::Result<_, _>>()?;
+        let mut slot_guards: Vec<_> = member_reqs
+            .iter()
+            .map(|&(r, _)| slots[r].lock().expect("kv slot"))
+            .collect();
+        let mut entries: Vec<PagedDecodeEntry<'_>> = Vec::with_capacity(member_reqs.len());
+        for ((guard, &(_, prompt_len)), &token) in
+            slot_guards.iter_mut().zip(member_reqs).zip(&tokens)
+        {
+            entries.push(PagedDecodeEntry {
+                token,
+                pos: prompt_len + step - 1,
+                kv: guard.as_mut().ok_or("missing kv cache")?,
+            });
+        }
+        let h = t
+            .decode_forward_batch(&mut entries)
+            .map_err(|e| e.to_string())?;
+        let (_, hidden) = h.matrix_dims();
+        for (i, g) in state_guards.iter_mut().enumerate() {
+            g.last_hidden =
+                Some(Tensor::from_vec(h.row(i).to_vec(), [1, hidden]).map_err(|e| e.to_string())?);
+        }
     }
+    // LM head over the stacked last-hidden rows (one m = B GEMM), then
+    // per-member seeded sampling.
+    let hidden = t.config().hidden;
+    let mut stacked = Vec::with_capacity(member_reqs.len() * hidden);
+    for g in &state_guards {
+        stacked.extend_from_slice(g.last_hidden.as_ref().ok_or("missing hidden state")?.row(0));
+    }
+    let stacked =
+        Tensor::from_vec(stacked, [member_reqs.len(), hidden]).map_err(|e| e.to_string())?;
+    let logits = t.logits(&stacked).map_err(|e| e.to_string())?;
+    for (i, g) in state_guards.iter_mut().enumerate() {
+        let token = g.sampler.sample(logits.row(i)).map_err(|e| e.to_string())?;
+        g.tokens.push(token);
+        if let Some(sink) = on_token {
+            sink(&TokenEvent {
+                request: member_reqs[i].0,
+                step,
+                token,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Returns a request's pages to the pool (eviction or completion).
+fn release_slot(slot: &Mutex<Option<PagedKvCache>>) -> std::result::Result<(), String> {
+    if let Some(mut cache) = slot.lock().expect("kv slot").take() {
+        cache.release().map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn kv_report(
+    pool: &BlockPool,
+    opts: &ServeOptions,
+    evictions: usize,
+    shared_blocks: usize,
+) -> KvPoolReport {
+    let stats = pool.stats();
+    KvPoolReport {
+        block_tokens: opts.block_tokens,
+        pool_blocks: stats.total_blocks,
+        pool_bytes: stats.bytes,
+        peak_used_blocks: stats.peak_used_blocks,
+        leaked_blocks: stats.used_blocks,
+        evictions,
+        shared_prefix_blocks: shared_blocks,
+        cow_copies: stats.cow_copies,
+    }
+}
+
+fn validate_inputs(requests: &[GenerationRequest], opts: &ServeOptions) -> Result<()> {
+    if opts.max_active == 0 {
+        return Err(Error::InvalidConfig {
+            what: "max_active must be at least 1".to_owned(),
+        });
+    }
+    if opts.block_tokens == 0 {
+        return Err(Error::InvalidConfig {
+            what: "block_tokens must be at least 1".to_owned(),
+        });
+    }
+    if opts.decode_batch == 0 {
+        return Err(Error::InvalidConfig {
+            what: "decode_batch must be at least 1".to_owned(),
+        });
+    }
+    if opts.kv_pool_blocks == Some(0) {
+        return Err(Error::InvalidConfig {
+            what: "kv_pool_blocks must be at least 1".to_owned(),
+        });
+    }
+    for (r, req) in requests.iter().enumerate() {
+        if req.prompt.is_empty() {
+            return Err(Error::InvalidConfig {
+                what: format!("request {r} has an empty prompt"),
+            });
+        }
+        if req.max_new_tokens == 0 {
+            return Err(Error::InvalidConfig {
+                what: format!("request {r} asks for zero tokens"),
+            });
+        }
+        if !req.arrival_ms.is_finite() || req.arrival_ms < 0.0 {
+            return Err(Error::InvalidConfig {
+                what: format!("request {r} has invalid arrival {}", req.arrival_ms),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn kv_err(e: llmnpu_kv::Error) -> Error {
+    Error::InvalidConfig {
+        what: format!("kv pool: {e}"),
+    }
+}
+
+/// Tasks of a DAG with no in-DAG successors (everything a prefill-finish
+/// task must wait for).
+fn dag_sinks(dag: &PrefillDag) -> Vec<usize> {
+    let mut has_successor = vec![false; dag.len()];
+    for t in 0..dag.len() {
+        for &d in dag.deps(t) {
+            has_successor[d] = true;
+        }
+    }
+    (0..dag.len()).filter(|&t| !has_successor[t]).collect()
 }
 
 #[cfg(test)]
@@ -683,6 +1619,7 @@ mod tests {
         assert_eq!(r.max_new_tokens, 4);
         assert_eq!(r.sampler.top_k, Some(5));
         assert!((r.arrival_ms - 12.5).abs() < 1e-12);
+        assert_eq!(r.total_tokens(), 7);
     }
 
     #[test]
@@ -695,10 +1632,23 @@ mod tests {
             first_dispatch_ms: 10.0,
             prefill_done_ms: 20.0,
             finish_ms: 40.0,
+            attempts: 1,
         };
         assert!((o.queue_wait_ms() - 5.0).abs() < 1e-12);
         assert!((o.ttft_ms() - 25.0).abs() < 1e-12);
         assert!((o.decode_tokens_per_s() - 100.0).abs() < 1e-9);
+    }
+
+    fn span(request: usize, attempt: usize, kind: ServeTaskKind, lo: f64, hi: f64) -> ServeSpan {
+        ServeSpan {
+            request,
+            attempt,
+            label: format!("R{request}"),
+            kind,
+            processor: Processor::Cpu,
+            start_ms: lo,
+            end_ms: hi,
+        }
     }
 
     #[test]
@@ -706,6 +1656,7 @@ mod tests {
         let mut tl = ServeTimeline::default();
         tl.spans.push(ServeSpan {
             request: 1,
+            attempt: 0,
             label: "R1-C0-L0-AttnPre".to_owned(),
             kind: ServeTaskKind::PrefillStage {
                 chunk: 0,
@@ -719,24 +1670,190 @@ mod tests {
         });
         // Decode of request 0 strictly after request 1's prefill window:
         // not interleaved.
-        tl.spans.push(ServeSpan {
-            request: 0,
-            label: "R0-D0".to_owned(),
-            kind: ServeTaskKind::Decode { step: 0 },
-            processor: Processor::Cpu,
-            start_ms: 11.0,
-            end_ms: 12.0,
-        });
+        tl.spans
+            .push(span(0, 0, ServeTaskKind::Decode { step: 0 }, 11.0, 12.0));
         assert!(!tl.decode_interleaved_with_prefill());
-        // A decode span inside the window flips the witness.
-        tl.spans.push(ServeSpan {
-            request: 0,
-            label: "R0-D1".to_owned(),
-            kind: ServeTaskKind::Decode { step: 1 },
-            processor: Processor::Cpu,
-            start_ms: 4.0,
-            end_ms: 6.0,
-        });
+        // A decode span inside the window flips the witness — batched
+        // spans count too.
+        tl.spans.push(span(
+            0,
+            0,
+            ServeTaskKind::DecodeBatch { step: 1, width: 2 },
+            4.0,
+            6.0,
+        ));
         assert!(tl.decode_interleaved_with_prefill());
+    }
+
+    #[test]
+    fn eviction_witness_logic() {
+        let mut tl = ServeTimeline::default();
+        tl.spans.push(span(2, 0, ServeTaskKind::Evicted, 5.0, 5.1));
+        assert!(!tl.evicted_and_recomputed(2), "no recompute yet");
+        tl.spans.push(ServeSpan {
+            request: 2,
+            attempt: 1,
+            label: "R2.1-C0-L0-AttnPre".to_owned(),
+            kind: ServeTaskKind::PrefillStage {
+                chunk: 0,
+                layer: 0,
+                stage: Stage::AttnPre,
+                role: TaskRole::Main,
+            },
+            processor: Processor::Npu,
+            start_ms: 6.0,
+            end_ms: 7.0,
+        });
+        assert!(tl.evicted_and_recomputed(2));
+        assert!(!tl.evicted_and_recomputed(0));
+    }
+
+    fn reqs(shapes: &[(usize, usize)]) -> Vec<GenerationRequest> {
+        shapes
+            .iter()
+            .map(|&(p, n)| GenerationRequest::new((0..p as u32).collect(), n))
+            .collect()
+    }
+
+    fn cfg(block_tokens: usize, blocks: usize) -> PoolConfig {
+        PoolConfig {
+            layers: 2,
+            kv_dim: 8,
+            block_tokens,
+            blocks,
+        }
+    }
+
+    #[test]
+    fn planner_matches_count_gating_when_pages_ample() {
+        // Ample pages: the plan degenerates to the classic
+        // `r gates on r - max_active` continuous-batching structure.
+        let requests = reqs(&[(8, 4), (8, 4), (8, 4), (8, 4)]);
+        let (segs, _, _) = plan_batch(
+            &requests,
+            &cfg(4, 100),
+            4,
+            2,
+            PressurePolicy::EvictYoungest,
+            false,
+            1,
+        )
+        .unwrap();
+        assert_eq!(segs.len(), 4);
+        assert!(segs.iter().all(|s| !s.evicted));
+        assert!(segs[0].gates.is_empty());
+        assert!(segs[1].gates.is_empty());
+        assert_eq!(segs[2].gates, vec![(0, GateKind::Done)]);
+        assert_eq!(segs[3].gates, vec![(1, GateKind::Done)]);
+    }
+
+    #[test]
+    fn planner_evicts_youngest_and_requeues_with_recompute() {
+        // Pool of 6 pages, 4-token pages; each request needs 3 pages
+        // (8 + 4 = 12 tokens). Request 2 cannot fit alongside 0 and 1:
+        // under EvictYoungest it preempts request 1, which is replanned
+        // *after* request 2.
+        let requests = reqs(&[(8, 4), (8, 4), (8, 4)]);
+        let (segs, _, _) = plan_batch(
+            &requests,
+            &cfg(4, 6),
+            4,
+            8,
+            PressurePolicy::EvictYoungest,
+            false,
+            1,
+        )
+        .unwrap();
+        assert_eq!(segs.len(), 4, "one extra incarnation for the victim");
+        assert!(segs[1].evicted, "request 1's first incarnation preempted");
+        assert_eq!(segs[2].req, 2);
+        assert!(
+            segs[2].gates.contains(&(1, GateKind::Done)),
+            "preemptor waits for the eviction to free pages"
+        );
+        let requeued = &segs[3];
+        assert_eq!((requeued.req, requeued.attempt), (1, 1));
+        assert!(!requeued.evicted);
+    }
+
+    #[test]
+    fn planner_waits_under_wait_policy() {
+        let requests = reqs(&[(8, 4), (8, 4), (8, 4)]);
+        let (segs, _, _) =
+            plan_batch(&requests, &cfg(4, 6), 4, 8, PressurePolicy::Wait, false, 1).unwrap();
+        assert_eq!(segs.len(), 3, "no evictions under Wait");
+        assert!(segs.iter().all(|s| !s.evicted));
+        assert_eq!(segs[2].gates, vec![(0, GateKind::Done)]);
+    }
+
+    #[test]
+    fn planner_rejects_impossible_requests() {
+        let requests = reqs(&[(40, 8)]);
+        let err = plan_batch(
+            &requests,
+            &cfg(4, 4),
+            4,
+            2,
+            PressurePolicy::EvictYoungest,
+            false,
+            1,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("KV pages"));
+    }
+
+    #[test]
+    fn planner_shares_aligned_prefixes() {
+        // Identical 16-token prompts, 4-token pages, chunk 4 → the
+        // first 12 tokens (leaving ≥1 suffix token, aligned down to 12)
+        // are shareable.
+        let mut requests = reqs(&[(16, 4), (16, 4)]);
+        requests[1].prompt = requests[0].prompt.clone();
+        let (segs, _, shared_blocks) = plan_batch(
+            &requests,
+            &cfg(4, 100),
+            4,
+            4,
+            PressurePolicy::EvictYoungest,
+            true,
+            1,
+        )
+        .unwrap();
+        let sh = segs[1].shared.expect("request 1 shares request 0's prefix");
+        assert_eq!(sh.donor_seg, 0);
+        assert_eq!(sh.tokens, 12);
+        assert_eq!(shared_blocks, 3);
+        assert!(segs[1].gates.contains(&(0, GateKind::PrefillDone)));
+        assert_eq!(segs[0].sharer_segs, vec![1]);
+    }
+
+    #[test]
+    fn planner_cohorts_respect_width_and_gates() {
+        let requests = reqs(&[(8, 4), (8, 4), (8, 4), (8, 4)]);
+        // max_active 2 → segment 2 gates Done on 0, breaking its cohort.
+        let (segs, cohorts, _) = plan_batch(
+            &requests,
+            &cfg(4, 100),
+            4,
+            2,
+            PressurePolicy::EvictYoungest,
+            false,
+            4,
+        )
+        .unwrap();
+        assert_eq!(cohorts, 2);
+        assert_eq!(segs[0].cohort, segs[1].cohort);
+        assert_ne!(segs[1].cohort, segs[2].cohort);
+        assert_eq!(segs[2].cohort, segs[3].cohort);
+    }
+
+    #[test]
+    fn options_debug_does_not_require_sink_debug() {
+        let o = ServeOptions {
+            on_token: Some(Arc::new(|_| {})),
+            ..ServeOptions::default()
+        };
+        let s = format!("{o:?}");
+        assert!(s.contains("on_token"));
     }
 }

@@ -1,0 +1,79 @@
+use std::fmt;
+
+/// Error type for the paged KV-cache subsystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A pool configuration value was invalid.
+    InvalidConfig {
+        /// Description of the constraint that failed.
+        what: String,
+    },
+    /// The pool has fewer free blocks than an allocation needs.
+    OutOfPages {
+        /// Blocks requested.
+        requested: usize,
+        /// Blocks currently free.
+        available: usize,
+    },
+    /// A block id, slot, or position was outside its valid range.
+    OutOfRange {
+        /// What was being addressed.
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound.
+        bound: usize,
+    },
+    /// A row write had the wrong feature width.
+    WidthMismatch {
+        /// Expected `kv_dim` elements.
+        expected: usize,
+        /// Elements actually supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig { what } => write!(f, "invalid kv pool config: {what}"),
+            Error::OutOfPages {
+                requested,
+                available,
+            } => write!(
+                f,
+                "kv pool out of pages: requested {requested}, {available} free"
+            ),
+            Error::OutOfRange { what, index, bound } => {
+                write!(f, "kv {what} {index} out of range (bound {bound})")
+            }
+            Error::WidthMismatch { expected, got } => {
+                write!(f, "kv row width {got}, pool expects {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(Error::OutOfPages {
+            requested: 4,
+            available: 1
+        }
+        .to_string()
+        .contains("requested 4"));
+        assert!(Error::WidthMismatch {
+            expected: 8,
+            got: 7
+        }
+        .to_string()
+        .contains("expects 8"));
+    }
+}

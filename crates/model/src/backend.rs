@@ -136,6 +136,21 @@ pub trait LinearBackend: Send + Sync {
         false
     }
 
+    /// Whether every output row depends **only** on its own input row —
+    /// i.e. `linear` applied to a stacked `[B, hidden]` batch produces,
+    /// row for row, the exact bits of B separate single-row calls.
+    ///
+    /// True for static-weight float paths; false for backends that
+    /// derive activation quantization parameters from the whole batch
+    /// (per-tensor dynamic scales, LLM.int8() row-max decomposition over
+    /// a shared threshold pass, …), where batch composition legitimately
+    /// perturbs the last bits. Batched decode GEMMs and paged prefix
+    /// sharing are bit-transparent only when this holds, so the serving
+    /// scheduler consults it before stacking rows across requests.
+    fn row_wise(&self) -> bool {
+        false
+    }
+
     /// Human-readable backend name for experiment tables.
     fn name(&self) -> &'static str;
 }
@@ -229,6 +244,12 @@ impl LinearBackend for FloatBackend {
         // original diagnostics.
         let w = site_weight(&self.weights, layer, kind)?;
         Ok(gemm::matmul_f32_threaded(x, w, host_threads())?)
+    }
+
+    fn row_wise(&self) -> bool {
+        // Static float weights, row-partitioned GEMM: each output row is
+        // a function of its input row alone, bit-for-bit.
+        true
     }
 
     fn name(&self) -> &'static str {

@@ -8,6 +8,8 @@ pub enum Error {
     Tensor(llmnpu_tensor::Error),
     /// An underlying quantization step failed.
     Quant(llmnpu_quant::Error),
+    /// A paged KV-cache operation failed.
+    Kv(llmnpu_kv::Error),
     /// A model configuration was internally inconsistent.
     InvalidConfig {
         /// Description of the inconsistency.
@@ -34,6 +36,7 @@ impl fmt::Display for Error {
         match self {
             Error::Tensor(e) => write!(f, "tensor kernel failed: {e}"),
             Error::Quant(e) => write!(f, "quantization failed: {e}"),
+            Error::Kv(e) => write!(f, "paged kv cache failed: {e}"),
             Error::InvalidConfig { what } => write!(f, "invalid model config: {what}"),
             Error::TokenOutOfRange { token, vocab } => {
                 write!(f, "token {token} out of range for vocab {vocab}")
@@ -50,6 +53,7 @@ impl std::error::Error for Error {
         match self {
             Error::Tensor(e) => Some(e),
             Error::Quant(e) => Some(e),
+            Error::Kv(e) => Some(e),
             _ => None,
         }
     }
@@ -64,6 +68,12 @@ impl From<llmnpu_tensor::Error> for Error {
 impl From<llmnpu_quant::Error> for Error {
     fn from(e: llmnpu_quant::Error) -> Self {
         Error::Quant(e)
+    }
+}
+
+impl From<llmnpu_kv::Error> for Error {
+    fn from(e: llmnpu_kv::Error) -> Self {
+        Error::Kv(e)
     }
 }
 

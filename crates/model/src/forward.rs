@@ -11,7 +11,7 @@ use llmnpu_tensor::{norm, ops, rope, Tensor};
 
 use crate::backend::{CalibrationSet, LinearBackend, LinearKind};
 use crate::config::{ActKind, ModelConfig, NormKind};
-use crate::kv::KvCache;
+use crate::kv::{KvCache, PagedKvCache};
 use crate::sample::{Sampler, SamplerConfig};
 use crate::weights::ModelWeights;
 use crate::{Error, Result};
@@ -45,6 +45,15 @@ impl<'a> Transformer<'a> {
     #[must_use]
     pub fn config(&self) -> &ModelConfig {
         &self.weights.config
+    }
+
+    /// Whether the bound backend computes each activation row
+    /// independently of its batchmates (see
+    /// [`LinearBackend::row_wise`]). Batched decode and prefix sharing
+    /// are bit-transparent only for row-wise backends.
+    #[must_use]
+    pub fn backend_row_wise(&self) -> bool {
+        self.backend.row_wise()
     }
 
     /// Embeds a token sequence into `[seq, hidden]`.
@@ -113,6 +122,100 @@ impl<'a> Transformer<'a> {
     pub fn decode_step(&self, token: u32, cache: &mut KvCache) -> Result<Tensor<f32>> {
         let hidden = self.prefill(&[token], cache)?;
         self.logits(&hidden)
+    }
+
+    /// Prefills `tokens` starting at absolute position `start_pos`,
+    /// writing K/V into a **paged** cache and reading attention through
+    /// its block table. The composition of stage functions is identical
+    /// to [`Transformer::prefill`], and the paged attention read is
+    /// bit-identical to the contiguous one, so for any backend this
+    /// produces the same hidden states as the contiguous path with the
+    /// same chunking.
+    ///
+    /// A non-zero `start_pos` resumes after an already-populated prefix
+    /// (prefix sharing: `kv`'s leading blocks hold another request's
+    /// identical prompt prefix).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on invalid tokens, backend failures, or if the
+    /// paged cache's reserved capacity cannot hold
+    /// `start_pos + tokens.len()` positions.
+    pub fn prefill_paged(
+        &self,
+        tokens: &[u32],
+        start_pos: usize,
+        kv: &mut PagedKvCache,
+    ) -> Result<Tensor<f32>> {
+        let seq = tokens.len();
+        let layers = self.config().layers;
+        let mut h = self.embed(tokens)?;
+        for layer in 0..layers {
+            let a_in = self.stage_attn_pre(layer, &h)?;
+            let (q, k, v) = self.stage_qkv(layer, &a_in, start_pos)?;
+            for r in 0..seq {
+                kv.write_position(layer, start_pos + r, k.row(r), v.row(r))?;
+            }
+            let attn = self.stage_attention_paged(layer, &q, kv, start_pos + seq, start_pos)?;
+            h = self.stage_attn_out(layer, &h, &attn)?;
+            let f_in = self.stage_ffn_pre(layer, &h)?;
+            let ffn_mid = self.stage_ffn_mid(layer, &f_in)?;
+            h = self.stage_ffn_down(layer, &h, &ffn_mid)?;
+        }
+        Ok(h)
+    }
+
+    /// One decode step for a **batch** of concurrent requests: embeds
+    /// the B previous tokens as one `[B, hidden]` activation so every
+    /// linear site runs a single `m = B` GEMM instead of B separate
+    /// GEMVs, while RoPE, the KV append, and attention stay per-request
+    /// (each entry rotates at its own absolute position and attends over
+    /// its own paged history).
+    ///
+    /// For a **row-wise** backend (see [`LinearBackend::row_wise`]) row
+    /// `i` of the result is bit-identical to running entry `i`'s decode
+    /// step alone — stacking rows into one GEMM never changes a float of
+    /// any row. Returns the `[B, hidden]` post-forward hidden states
+    /// (the LM-head inputs for the *next* sampling step).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on an empty batch, invalid tokens, backend
+    /// failures, or paged-cache addressing failures.
+    pub fn decode_forward_batch(
+        &self,
+        entries: &mut [PagedDecodeEntry<'_>],
+    ) -> Result<Tensor<f32>> {
+        if entries.is_empty() {
+            return Err(Error::InvalidConfig {
+                what: "batched decode needs at least one entry".to_owned(),
+            });
+        }
+        let cfg = self.config();
+        let (layers, heads, kv_heads, hd) = (cfg.layers, cfg.heads, cfg.kv_heads, cfg.head_dim);
+        let tokens: Vec<u32> = entries.iter().map(|e| e.token).collect();
+        let positions: Vec<usize> = entries.iter().map(|e| e.pos).collect();
+        let mut h = self.embed(&tokens)?;
+        for layer in 0..layers {
+            let a_in = self.stage_attn_pre(layer, &h)?;
+            let mains = self.stage_qkv_main(layer, &a_in)?;
+            let shadows = self.stage_qkv_shadow(layer, &a_in)?;
+            let (mut q, mut k, v) = self.stage_qkv_merge(mains, shadows)?;
+            rope_rows(&mut q, heads, hd, &positions)?;
+            rope_rows(&mut k, kv_heads, hd, &positions)?;
+            let mut attn = Tensor::zeros([entries.len(), heads * hd]);
+            for (i, e) in entries.iter_mut().enumerate() {
+                e.kv.write_position(layer, e.pos, k.row(i), v.row(i))?;
+                let q_i = Tensor::from_vec(q.row(i).to_vec(), [1, heads * hd])?;
+                let a_i = self.stage_attention_paged(layer, &q_i, e.kv, e.pos + 1, e.pos)?;
+                attn.row_mut(i).copy_from_slice(a_i.row(0));
+            }
+            h = self.stage_attn_out(layer, &h, &attn)?;
+            let f_in = self.stage_ffn_pre(layer, &h)?;
+            let ffn_mid = self.stage_ffn_mid(layer, &f_in)?;
+            h = self.stage_ffn_down(layer, &h, &ffn_mid)?;
+        }
+        Ok(h)
     }
 
     /// Autoregressive generation: prefills `prompt` (chunked when
@@ -336,19 +439,19 @@ impl<'a> Transformer<'a> {
         })
     }
 
-    /// Merges the QKV halves and applies RoPE — the §3.3 CPU→NPU merge
-    /// followed by the position encoding.
+    /// Merges the QKV halves (the §3.3 CPU→NPU merge) **without** the
+    /// position encoding — the pre-RoPE half of
+    /// [`Transformer::stage_qkv_finish`], split out so batched decode
+    /// can rotate each row at its own absolute position.
     ///
     /// # Errors
     ///
     /// Returns an error on shape mismatch.
-    pub fn stage_qkv_finish(
+    pub fn stage_qkv_merge(
         &self,
         mains: QkvMains,
         shadows: QkvShadows,
-        start_pos: usize,
     ) -> Result<(Tensor<f32>, Tensor<f32>, Tensor<f32>)> {
-        let cfg = self.config();
         let QkvMains {
             mut q,
             mut k,
@@ -363,6 +466,23 @@ impl<'a> Transformer<'a> {
         if let Some(s) = &shadows.v {
             crate::backend::merge_linear(&mut v, s)?;
         }
+        Ok((q, k, v))
+    }
+
+    /// Merges the QKV halves and applies RoPE — the §3.3 CPU→NPU merge
+    /// followed by the position encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch.
+    pub fn stage_qkv_finish(
+        &self,
+        mains: QkvMains,
+        shadows: QkvShadows,
+        start_pos: usize,
+    ) -> Result<(Tensor<f32>, Tensor<f32>, Tensor<f32>)> {
+        let cfg = self.config();
+        let (q, k, v) = self.stage_qkv_merge(mains, shadows)?;
         let (seq, _) = q.matrix_dims();
         let q = rope_heads(&q, seq, cfg.heads, cfg.head_dim, start_pos)?;
         let k = rope_heads(&k, seq, cfg.kv_heads, cfg.head_dim, start_pos)?;
@@ -383,6 +503,52 @@ impl<'a> Transformer<'a> {
         start_pos: usize,
     ) -> Result<Tensor<f32>> {
         attention(q, keys, values, self.config(), start_pos)
+    }
+
+    /// [`Transformer::stage_attention`] reading K/V **through a block
+    /// table**: the first `visible_rows` positions of `kv`'s layer
+    /// `layer`, walked page by page — no per-row gather, and
+    /// bit-identical to the contiguous path by construction (both run
+    /// [`attention_over_pages`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch or if `visible_rows` exceeds
+    /// the table's reserved capacity.
+    pub fn stage_attention_paged(
+        &self,
+        layer: usize,
+        q: &Tensor<f32>,
+        kv: &PagedKvCache,
+        visible_rows: usize,
+        start_pos: usize,
+    ) -> Result<Tensor<f32>> {
+        kv.view(layer, visible_rows, |pages_k, pages_v| {
+            attention_over_pages(q, pages_k, pages_v, self.config(), start_pos)
+        })?
+    }
+
+    /// [`Transformer::stage_attention_paged`] over a detached
+    /// [`crate::kv::PagedKvReader`] snapshot — the executor's read path, so a long
+    /// attention walk never holds the lock that owns the request's
+    /// cache (concurrent stage tasks of the same request would
+    /// serialize on it otherwise).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch or if `visible_rows` exceeds
+    /// the snapshot's reserved capacity.
+    pub fn stage_attention_reader(
+        &self,
+        layer: usize,
+        q: &Tensor<f32>,
+        kv: &crate::kv::PagedKvReader,
+        visible_rows: usize,
+        start_pos: usize,
+    ) -> Result<Tensor<f32>> {
+        kv.view(layer, visible_rows, |pages_k, pages_v| {
+            attention_over_pages(q, pages_k, pages_v, self.config(), start_pos)
+        })?
     }
 
     /// `OProj`: output projection plus residual add.
@@ -563,6 +729,45 @@ pub struct FfnShadows {
     pub up: Option<Tensor<f32>>,
 }
 
+/// One request's slot in a batched decode step: the token to forward,
+/// the absolute position it occupies (the request's KV length before
+/// this step), and the request's paged cache.
+#[derive(Debug)]
+pub struct PagedDecodeEntry<'a> {
+    /// Previously sampled token to run through the decode forward.
+    pub token: u32,
+    /// Absolute position `token` lands at (= tokens cached so far).
+    pub pos: usize,
+    /// The request's paged KV cache.
+    pub kv: &'a mut PagedKvCache,
+}
+
+/// Applies RoPE to `[batch, heads*head_dim]` where row `r` rotates at
+/// its own absolute position `positions[r]` — the batched-decode
+/// counterpart of [`rope_heads`] (which rotates consecutive rows of one
+/// sequence). Row `r` gets exactly the floats `rope_heads` would give a
+/// single-row tensor at `start_pos = positions[r]`.
+fn rope_rows(
+    x: &mut Tensor<f32>,
+    heads: usize,
+    head_dim: usize,
+    positions: &[usize],
+) -> Result<()> {
+    // One scratch for every (row, head) — this runs per decode step,
+    // which must not allocate per head (cf. `zero_beta`).
+    let mut scratch = Tensor::zeros([1, head_dim]);
+    for (r, &pos) in positions.iter().enumerate() {
+        for head in 0..heads {
+            scratch
+                .row_mut(0)
+                .copy_from_slice(&x.row(r)[head * head_dim..(head + 1) * head_dim]);
+            rope::apply_rope_inplace(&mut scratch, pos, rope::DEFAULT_THETA)?;
+            x.row_mut(r)[head * head_dim..(head + 1) * head_dim].copy_from_slice(scratch.row(0));
+        }
+    }
+    Ok(())
+}
+
 /// Applies RoPE to `[seq, heads*head_dim]` per head slice.
 fn rope_heads(
     x: &Tensor<f32>,
@@ -588,7 +793,8 @@ fn rope_heads(
 
 /// Multi-head attention with GQA/MQA head sharing and chunk-offset causal
 /// masking. `q` is `[seq, heads*head_dim]`; `keys`/`values` are
-/// `[kv_len, kv_heads*head_dim]` from the cache.
+/// `[kv_len, kv_heads*head_dim]` from the cache. A contiguous cache is
+/// just the single-page case of [`attention_over_pages`].
 fn attention(
     q: &Tensor<f32>,
     keys: &Tensor<f32>,
@@ -596,23 +802,64 @@ fn attention(
     cfg: &ModelConfig,
     start_pos: usize,
 ) -> Result<Tensor<f32>> {
+    attention_over_pages(q, &[keys.as_slice()], &[values.as_slice()], cfg, start_pos)
+}
+
+/// Multi-head attention over **paged** K/V storage: `pages_k[i]` /
+/// `pages_v[i]` each hold a whole page of `rows_i × kv_dim` contiguous
+/// elements (`kv_dim = kv_heads × head_dim`), covering cache positions in
+/// order. The inner loops walk each page with unit stride — no per-row
+/// gather — and visit positions in exactly the order the contiguous path
+/// does, so a contiguous cache (one big page) and any paging of the same
+/// rows produce **bit-identical** outputs: same dots, same adds, same
+/// order.
+///
+/// # Errors
+///
+/// Returns an error if the page widths are inconsistent with `cfg`.
+pub fn attention_over_pages(
+    q: &Tensor<f32>,
+    pages_k: &[&[f32]],
+    pages_v: &[&[f32]],
+    cfg: &ModelConfig,
+    start_pos: usize,
+) -> Result<Tensor<f32>> {
     let (seq, _) = q.matrix_dims();
-    let (kv_len, _) = keys.matrix_dims();
     let hd = cfg.head_dim;
+    let kv_dim = cfg.kv_heads * hd;
     let group = cfg.heads / cfg.kv_heads;
     let scale = 1.0 / (hd as f32).sqrt();
+
+    let mut kv_len = 0usize;
+    for (pk, pv) in pages_k.iter().zip(pages_v) {
+        if pk.len() != pv.len() || pk.len() % kv_dim != 0 {
+            return Err(Error::Tensor(llmnpu_tensor::Error::InvalidDimension {
+                op: "attention_over_pages",
+                what: format!(
+                    "page of {} / {} elements not a multiple of kv_dim {kv_dim}",
+                    pk.len(),
+                    pv.len()
+                ),
+            }));
+        }
+        kv_len += pk.len() / kv_dim;
+    }
 
     let mut out = Tensor::zeros([seq, cfg.heads * hd]);
     for head in 0..cfg.heads {
         let kv_head = head / group;
-        // Scores [seq, kv_len].
+        let col0 = kv_head * hd;
+        // Scores [seq, kv_len], filled page by page.
         let mut scores = Tensor::zeros([seq, kv_len]);
         for r in 0..seq {
             let q_slice = &q.row(r)[head * hd..(head + 1) * hd];
             let s_row = scores.row_mut(r);
-            for (c, s) in s_row.iter_mut().enumerate() {
-                let k_slice = &keys.row(c)[kv_head * hd..(kv_head + 1) * hd];
-                *s = ops::dot(q_slice, k_slice) * scale;
+            let mut c = 0;
+            for page in pages_k {
+                for k_row in page.chunks_exact(kv_dim) {
+                    s_row[c] = ops::dot(q_slice, &k_row[col0..col0 + hd]) * scale;
+                    c += 1;
+                }
             }
         }
         ops::causal_mask_inplace(&mut scores, start_pos);
@@ -620,13 +867,17 @@ fn attention(
         for r in 0..seq {
             let p_row = probs.row(r);
             let o_slice = &mut out.row_mut(r)[head * hd..(head + 1) * hd];
-            for (c, &p) in p_row.iter().enumerate() {
-                if p == 0.0 {
-                    continue;
-                }
-                let v_slice = &values.row(c)[kv_head * hd..(kv_head + 1) * hd];
-                for (o, &vv) in o_slice.iter_mut().zip(v_slice) {
-                    *o += p * vv;
+            let mut c = 0;
+            for page in pages_v {
+                for v_row in page.chunks_exact(kv_dim) {
+                    let p = p_row[c];
+                    c += 1;
+                    if p == 0.0 {
+                        continue;
+                    }
+                    for (o, &vv) in o_slice.iter_mut().zip(&v_row[col0..col0 + hd]) {
+                        *o += p * vv;
+                    }
                 }
             }
         }
@@ -829,6 +1080,154 @@ mod tests {
         for (a, b) in last.iter().zip(&last_chunked) {
             assert!((a - b).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn paged_prefill_bit_identical_to_contiguous_at_any_page_size() {
+        let (w, be) = setup();
+        let t = Transformer::new(&w, &be);
+        let toks = tokens(10);
+        let mut contiguous = KvCache::new(t.config().layers);
+        let whole = t.prefill(&toks, &mut contiguous).unwrap();
+        let kv_dim = t.config().kv_dim();
+
+        for block_tokens in [1usize, 3, 4, 16] {
+            let pool = std::sync::Arc::new(
+                llmnpu_kv::BlockPool::new(llmnpu_kv::PoolConfig {
+                    layers: t.config().layers,
+                    kv_dim,
+                    block_tokens,
+                    blocks: toks.len().div_ceil(block_tokens) + 2,
+                })
+                .unwrap(),
+            );
+            let mut paged = PagedKvCache::reserve(&pool, toks.len()).unwrap();
+            let h = t.prefill_paged(&toks, 0, &mut paged).unwrap();
+            assert_eq!(
+                h.as_slice(),
+                whole.as_slice(),
+                "hidden states diverged at page size {block_tokens}"
+            );
+            // The cached rows themselves are identical, page layout aside.
+            for layer in 0..t.config().layers {
+                let keys = contiguous.layer(layer).unwrap().keys_tensor().unwrap();
+                paged
+                    .view(layer, toks.len(), |pages_k, _| {
+                        let flat: Vec<f32> =
+                            pages_k.iter().flat_map(|p| p.iter().copied()).collect();
+                        assert_eq!(flat.as_slice(), keys.as_slice());
+                    })
+                    .unwrap();
+            }
+            paged.release().unwrap();
+            assert_eq!(pool.used_blocks(), 0, "pages leaked");
+        }
+    }
+
+    #[test]
+    fn paged_chunked_prefill_matches_contiguous_chunked() {
+        // Chunk-at-a-time paged prefill (what the serving executor runs)
+        // against the contiguous chunked reference.
+        let (w, be) = setup();
+        let t = Transformer::new(&w, &be);
+        let toks = tokens(11);
+        let mut contiguous = KvCache::new(t.config().layers);
+        let reference = t.prefill_chunked(&toks, 4, &mut contiguous).unwrap();
+
+        let pool = std::sync::Arc::new(
+            llmnpu_kv::BlockPool::new(llmnpu_kv::PoolConfig {
+                layers: t.config().layers,
+                kv_dim: t.config().kv_dim(),
+                block_tokens: 3,
+                blocks: 8,
+            })
+            .unwrap(),
+        );
+        let mut paged = PagedKvCache::reserve(&pool, toks.len()).unwrap();
+        let mut hidden = Vec::new();
+        let mut pos = 0;
+        for chunk in toks.chunks(4) {
+            let h = t.prefill_paged(chunk, pos, &mut paged).unwrap();
+            hidden.extend_from_slice(h.as_slice());
+            pos += chunk.len();
+        }
+        assert_eq!(hidden.as_slice(), reference.as_slice());
+        paged.release().unwrap();
+    }
+
+    #[test]
+    fn batched_decode_rows_match_solo_generate_streams() {
+        // Two concurrent greedy streams decoded through one m=B forward
+        // per step must emit exactly their solo `generate` tokens.
+        let (w, be) = setup();
+        let t = Transformer::new(&w, &be);
+        let prompts = [tokens(6), tokens(4)];
+        let max_new = 5usize;
+        let solo: Vec<Vec<u32>> = prompts
+            .iter()
+            .map(|p| {
+                t.generate(p, None, max_new, &SamplerConfig::greedy())
+                    .unwrap()
+            })
+            .collect();
+
+        let pool = std::sync::Arc::new(
+            llmnpu_kv::BlockPool::new(llmnpu_kv::PoolConfig {
+                layers: t.config().layers,
+                kv_dim: t.config().kv_dim(),
+                block_tokens: 4,
+                blocks: 16,
+            })
+            .unwrap(),
+        );
+        let mut caches: Vec<PagedKvCache> = prompts
+            .iter()
+            .map(|p| PagedKvCache::reserve(&pool, p.len() + max_new).unwrap())
+            .collect();
+        let mut last: Vec<Tensor<f32>> = Vec::new();
+        for (p, kv) in prompts.iter().zip(&mut caches) {
+            let h = t.prefill_paged(p, 0, kv).unwrap();
+            let (rows, hd) = h.matrix_dims();
+            last.push(Tensor::from_vec(h.row(rows - 1).to_vec(), [1, hd]).unwrap());
+        }
+        let mut streams: Vec<Vec<u32>> = vec![Vec::new(); prompts.len()];
+        for step in 0..max_new {
+            // Sample each stream from its current last-hidden row.
+            for i in 0..prompts.len() {
+                let logits = t.logits(&last[i]).unwrap();
+                let row = logits.row(0);
+                let mut best = 0usize;
+                for (j, &v) in row.iter().enumerate() {
+                    if v > row[best] {
+                        best = j;
+                    }
+                }
+                streams[i].push(best as u32);
+            }
+            if step + 1 == max_new {
+                break;
+            }
+            // One batched forward advances both caches.
+            let mut iter = caches.iter_mut();
+            let mut entries: Vec<PagedDecodeEntry<'_>> = Vec::new();
+            for (i, kv) in iter.by_ref().enumerate() {
+                entries.push(PagedDecodeEntry {
+                    token: *streams[i].last().unwrap(),
+                    pos: prompts[i].len() + step,
+                    kv,
+                });
+            }
+            let h = t.decode_forward_batch(&mut entries).unwrap();
+            let (_, hd) = h.matrix_dims();
+            for (i, l) in last.iter_mut().enumerate() {
+                *l = Tensor::from_vec(h.row(i).to_vec(), [1, hd]).unwrap();
+            }
+        }
+        assert_eq!(streams, solo, "batched decode diverged from solo streams");
+        for kv in &mut caches {
+            kv.release().unwrap();
+        }
+        assert_eq!(pool.used_blocks(), 0);
     }
 
     #[test]

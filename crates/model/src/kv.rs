@@ -6,6 +6,9 @@
 //! appended by chunks `0..i`, which is exactly the cross-chunk dependency
 //! the scheduler must respect (Equation 2).
 
+use std::sync::Arc;
+
+use llmnpu_kv::{BlockPool, BlockTable};
 use llmnpu_tensor::Tensor;
 
 use crate::{Error, Result};
@@ -174,6 +177,171 @@ impl KvCache {
     pub fn bytes(&self, dtype_bytes: usize) -> u64 {
         let elems: usize = self.layers.iter().map(LayerKv::elements).sum();
         (elems * dtype_bytes) as u64
+    }
+}
+
+/// A request's KV cache backed by the shared paged [`BlockPool`]
+/// (`llmnpu-kv`): block-table addressing instead of private contiguous
+/// growth.
+///
+/// This is the serving-side sibling of [`KvCache`]: same per-layer
+/// `[len, kv_dim]` semantics, but rows live in fixed pool pages named by
+/// a per-request [`BlockTable`], so
+///
+/// * capacity is **reserved** against the pool (admission by free
+///   pages),
+/// * a common prompt prefix can be **shared** with another request's
+///   cache (ref-counted blocks, copy-on-write on divergence), and
+/// * eviction is `release()` — pages go back to the pool and the
+///   request can be recomputed later.
+///
+/// Positions are absolute and writes are position-addressed, matching
+/// the out-of-order prefill executor's invariant. Attention reads go
+/// through [`PagedKvCache::view`] as whole-page slices — the gather-free
+/// loop `forward::attention_over_pages` consumes, bit-identical to the
+/// contiguous path.
+#[derive(Debug)]
+pub struct PagedKvCache {
+    pool: Arc<BlockPool>,
+    table: BlockTable,
+}
+
+impl PagedKvCache {
+    /// Reserves pool capacity for `tokens` positions (every block
+    /// fresh).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Kv`] if the pool cannot supply the pages.
+    pub fn reserve(pool: &Arc<BlockPool>, tokens: usize) -> Result<Self> {
+        Ok(PagedKvCache {
+            pool: Arc::clone(pool),
+            table: BlockTable::reserve(pool, tokens)?,
+        })
+    }
+
+    /// Reserves capacity for `total_tokens`, sharing the first
+    /// `shared_tokens` (block-aligned) with `donor`'s table — the
+    /// shared system-prompt blocks are retained, not re-allocated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Kv`] on misalignment or pool exhaustion.
+    pub fn reserve_shared(
+        pool: &Arc<BlockPool>,
+        donor: &PagedKvCache,
+        shared_tokens: usize,
+        total_tokens: usize,
+    ) -> Result<Self> {
+        Ok(PagedKvCache {
+            pool: Arc::clone(pool),
+            table: BlockTable::reserve_shared(pool, &donor.table, shared_tokens, total_tokens)?,
+        })
+    }
+
+    /// The backing pool.
+    #[must_use]
+    pub fn pool(&self) -> &Arc<BlockPool> {
+        &self.pool
+    }
+
+    /// The request's block table.
+    #[must_use]
+    pub fn table(&self) -> &BlockTable {
+        &self.table
+    }
+
+    /// Reserved token capacity.
+    #[must_use]
+    pub fn capacity_tokens(&self) -> usize {
+        self.table.capacity_tokens()
+    }
+
+    /// Writes one position's K/V rows in one layer (copy-on-write if the
+    /// position's block is shared).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Kv`] on bad addressing or width.
+    pub fn write_position(
+        &mut self,
+        layer: usize,
+        pos: usize,
+        k_row: &[f32],
+        v_row: &[f32],
+    ) -> Result<()> {
+        self.table.write_row(&self.pool, layer, pos, k_row, v_row)?;
+        Ok(())
+    }
+
+    /// Runs `f` over the first `visible_rows` cached positions of one
+    /// layer as whole-page K/V slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Kv`] if `visible_rows` exceeds capacity.
+    pub fn view<R>(
+        &self,
+        layer: usize,
+        visible_rows: usize,
+        f: impl FnOnce(&[&[f32]], &[&[f32]]) -> R,
+    ) -> Result<R> {
+        Ok(self.table.with_pages(&self.pool, layer, visible_rows, f)?)
+    }
+
+    /// Returns every page to the pool (eviction / request completion).
+    /// Returns the number of blocks that became free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Kv`] on a double release.
+    pub fn release(&mut self) -> Result<usize> {
+        Ok(self.table.release(&self.pool)?)
+    }
+
+    /// A read-only snapshot of this cache (shared pool handle + a copy
+    /// of the block list, **no** refcount change), so a reader can drop
+    /// whatever lock owns the cache before the page walk — long
+    /// attention reads must not serialize against the owner's lock.
+    ///
+    /// Sound only while the owning cache is alive and not released:
+    /// the serving executor's dependency edges guarantee a request's
+    /// eviction/release never overlaps its own attention tasks, and
+    /// prefix-shared blocks are never rewritten (appends land in fresh
+    /// blocks, so the owner's concurrent copy-on-write can't swap a
+    /// snapshot block out from under a reader).
+    #[must_use]
+    pub fn reader(&self) -> PagedKvReader {
+        PagedKvReader {
+            pool: Arc::clone(&self.pool),
+            table: self.table.clone(),
+        }
+    }
+}
+
+/// A detached read-only view of a [`PagedKvCache`] — see
+/// [`PagedKvCache::reader`] for the validity contract.
+#[derive(Debug, Clone)]
+pub struct PagedKvReader {
+    pool: Arc<BlockPool>,
+    table: BlockTable,
+}
+
+impl PagedKvReader {
+    /// Runs `f` over the first `visible_rows` cached positions of one
+    /// layer as whole-page K/V slices (the same walk as
+    /// [`PagedKvCache::view`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Kv`] if `visible_rows` exceeds capacity.
+    pub fn view<R>(
+        &self,
+        layer: usize,
+        visible_rows: usize,
+        f: impl FnOnce(&[&[f32]], &[&[f32]]) -> R,
+    ) -> Result<R> {
+        Ok(self.table.with_pages(&self.pool, layer, visible_rows, f)?)
     }
 }
 

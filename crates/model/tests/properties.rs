@@ -115,3 +115,43 @@ proptest! {
         prop_assert!(cfg.param_count() > linear_params);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Paged attention over an arbitrary page size is bit-identical to
+    /// the contiguous path for every architecture, prompt, and seed —
+    /// the invariant the paged KV pool's gather-free read path stands
+    /// on, as a universal property.
+    #[test]
+    fn paged_prefill_equals_contiguous_universal(
+        (cfg, seed) in arbitrary_mini(),
+        block_tokens in 1usize..9,
+        prompt_len in 2usize..14,
+    ) {
+        use llmnpu_kv::{BlockPool, PoolConfig};
+        use llmnpu_model::kv::PagedKvCache;
+        use std::sync::Arc;
+
+        let w = synthesize(&cfg, seed, OutlierSpec::default()).unwrap();
+        let be = FloatBackend::new(w.clone());
+        let t = Transformer::new(&w, &be);
+        let toks: Vec<u32> = (0..prompt_len as u32).map(|i| (i * 11 + seed as u32) % 64).collect();
+
+        let mut contiguous = KvCache::new(cfg.layers);
+        let reference = t.prefill(&toks, &mut contiguous).unwrap();
+
+        let pool = Arc::new(BlockPool::new(PoolConfig {
+            layers: cfg.layers,
+            kv_dim: cfg.kv_dim(),
+            block_tokens,
+            blocks: prompt_len.div_ceil(block_tokens) + 1,
+        }).unwrap());
+        let mut paged = PagedKvCache::reserve(&pool, toks.len()).unwrap();
+        let h = t.prefill_paged(&toks, 0, &mut paged).unwrap();
+
+        prop_assert_eq!(h.as_slice(), reference.as_slice());
+        paged.release().unwrap();
+        prop_assert_eq!(pool.used_blocks(), 0);
+    }
+}

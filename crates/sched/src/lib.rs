@@ -56,7 +56,7 @@ pub use exec::{schedule, ScheduleOutcome};
 pub use optimal::{optimal_makespan, OPTIMAL_LIMIT};
 pub use pool::WorkerPool;
 pub use runner::{
-    execute_chunked_prefill, execute_lane_graph, ExecutedTask, ExecutedTimeline, LaneGraph,
+    execute_chunked_prefill, execute_lane_graph, ExecutedTask, ExecutedTimeline, KvSink, LaneGraph,
     LaneTask, NumericPrefill, PrefillProgram, TaskFn,
 };
 

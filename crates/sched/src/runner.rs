@@ -45,7 +45,7 @@ use llmnpu_graph::chunk::ChunkPlan;
 use llmnpu_graph::dag::{PrefillDag, Task, TaskRole};
 use llmnpu_graph::layer::Stage;
 use llmnpu_model::forward::{FfnMains, FfnShadows, QkvMains, QkvShadows, Transformer};
-use llmnpu_model::kv::KvCache;
+use llmnpu_model::kv::{KvCache, PagedKvCache};
 use llmnpu_soc::Processor;
 use llmnpu_tensor::kernel::parallel::Job;
 use llmnpu_tensor::Tensor;
@@ -349,39 +349,128 @@ struct LayerKvBuf {
     v: Mutex<Vec<f32>>,
 }
 
+/// Where a prefill program's K/V rows go (and attention reads from).
+///
+/// `Buffered` is the classic single-request path: private per-layer
+/// buffers, later assembled into a contiguous [`KvCache`]. `Paged`
+/// writes straight into a request's [`PagedKvCache`] — shared-pool
+/// pages behind a block table — which is how the serving scheduler
+/// runs prefill: the slot is `None` until the request's admission task
+/// reserves its pages, and the dependency edges guarantee admission
+/// precedes every write. Both paths address **absolute** positions, so
+/// out-of-order chunk completion cannot reorder either cache.
+pub enum KvSink<'t> {
+    /// Private per-layer buffers; `assemble_cache` is available.
+    Buffered,
+    /// A request's paged cache, reserved at admission time by the
+    /// serving scheduler.
+    Paged(&'t Mutex<Option<PagedKvCache>>),
+}
+
+enum KvStore<'t> {
+    Buffered(Vec<LayerKvBuf>),
+    Paged(&'t Mutex<Option<PagedKvCache>>),
+}
+
 struct ExecCtx<'t, 'w> {
     t: &'t Transformer<'w>,
     chunks: Vec<ChunkSlots>,
-    kv: Vec<LayerKvBuf>,
-    /// `(token_start, token_len)` per chunk (last chunk may be short).
+    store: KvStore<'t>,
+    /// `(token_start, token_len)` per chunk, **absolute** positions
+    /// (token_start includes `base_pos`; last chunk may be short).
     bounds: Vec<(usize, usize)>,
-    chunk_len: usize,
     kv_dim: usize,
+    /// Tokens this program computes (the suffix length when resuming
+    /// after a shared prefix; `bounds` already folds the base offset
+    /// into every start position).
     prompt_len: usize,
 }
 
 impl ExecCtx<'_, '_> {
-    fn write_kv(&self, layer: usize, chunk: usize, k: &Tensor<f32>, v: &Tensor<f32>) {
+    fn write_kv(
+        &self,
+        layer: usize,
+        chunk: usize,
+        k: &Tensor<f32>,
+        v: &Tensor<f32>,
+    ) -> std::result::Result<(), String> {
         let (start, len) = self.bounds[chunk];
-        let lo = start * self.kv_dim;
-        let hi = (start + len) * self.kv_dim;
-        self.kv[layer].k.lock().expect("kv mutex")[lo..hi].copy_from_slice(k.as_slice());
-        self.kv[layer].v.lock().expect("kv mutex")[lo..hi].copy_from_slice(v.as_slice());
+        match &self.store {
+            KvStore::Buffered(bufs) => {
+                let lo = start * self.kv_dim;
+                let hi = (start + len) * self.kv_dim;
+                bufs[layer].k.lock().expect("kv mutex")[lo..hi].copy_from_slice(k.as_slice());
+                bufs[layer].v.lock().expect("kv mutex")[lo..hi].copy_from_slice(v.as_slice());
+            }
+            KvStore::Paged(slot) => {
+                let mut guard = slot.lock().expect("paged kv slot");
+                let cache = guard.as_mut().ok_or("kv pages not reserved before write")?;
+                for r in 0..len {
+                    cache
+                        .write_position(layer, start + r, k.row(r), v.row(r))
+                        .map_err(|e| e.to_string())?;
+                }
+            }
+        }
+        Ok(())
     }
 
-    fn read_kv(&self, layer: usize, visible_rows: usize) -> (Tensor<f32>, Tensor<f32>) {
+    fn read_kv(
+        &self,
+        bufs: &[LayerKvBuf],
+        layer: usize,
+        visible_rows: usize,
+    ) -> (Tensor<f32>, Tensor<f32>) {
         let hi = visible_rows * self.kv_dim;
         let k = Tensor::from_vec(
-            self.kv[layer].k.lock().expect("kv mutex")[..hi].to_vec(),
+            bufs[layer].k.lock().expect("kv mutex")[..hi].to_vec(),
             [visible_rows, self.kv_dim],
         )
         .expect("kv shape");
         let v = Tensor::from_vec(
-            self.kv[layer].v.lock().expect("kv mutex")[..hi].to_vec(),
+            bufs[layer].v.lock().expect("kv mutex")[..hi].to_vec(),
             [visible_rows, self.kv_dim],
         )
         .expect("kv shape");
         (k, v)
+    }
+
+    /// Attention over everything visible to `chunk` (Equation 2: all
+    /// positions through the chunk's end), from whichever store holds
+    /// the rows.
+    fn attention(
+        &self,
+        layer: usize,
+        chunk: usize,
+        q: &Tensor<f32>,
+    ) -> std::result::Result<Tensor<f32>, String> {
+        let (start, len) = self.bounds[chunk];
+        let visible = start + len;
+        let start_pos = start;
+        match &self.store {
+            KvStore::Buffered(bufs) => {
+                let (keys, values) = self.read_kv(bufs, layer, visible);
+                self.t
+                    .stage_attention(q, &keys, &values, start_pos)
+                    .map_err(|e| e.to_string())
+            }
+            KvStore::Paged(slot) => {
+                // Snapshot the block table and drop the slot lock
+                // before the page walk: attention is the long pole, and
+                // holding the owner's mutex across it would serialize
+                // this request's independent stage tasks.
+                let reader = {
+                    let guard = slot.lock().expect("paged kv slot");
+                    guard
+                        .as_ref()
+                        .ok_or("kv pages not reserved before read")?
+                        .reader()
+                };
+                self.t
+                    .stage_attention_reader(layer, q, &reader, visible, start_pos)
+                    .map_err(|e| e.to_string())
+            }
+        }
     }
 }
 
@@ -430,7 +519,7 @@ fn task_closure<'run>(ctx: &'run ExecCtx<'_, '_>, task: &Task, split: bool) -> T
                 } else {
                     let (q, k, v) = t.stage_qkv(layer, &a_in, start_pos).map_err(err)?;
                     *slots.a_in.lock().expect("slot mutex") = None;
-                    ctx.write_kv(layer, chunk, &k, &v);
+                    ctx.write_kv(layer, chunk, &k, &v)?;
                     *slots.q.lock().expect("slot mutex") = Some(q);
                 }
             }
@@ -449,18 +538,15 @@ fn task_closure<'run>(ctx: &'run ExecCtx<'_, '_>, task: &Task, split: bool) -> T
                 let shadows = take(&slots.qkv_shadows, "qkv shadows")?;
                 let (q, k, v) = t.stage_qkv_finish(mains, shadows, start_pos).map_err(err)?;
                 *slots.a_in.lock().expect("slot mutex") = None;
-                ctx.write_kv(layer, chunk, &k, &v);
+                ctx.write_kv(layer, chunk, &k, &v)?;
                 *slots.q.lock().expect("slot mutex") = Some(q);
             }
             (TaskRole::Main, Stage::Attention) => {
                 let q = take(&slots.q, "q")?;
-                // Equation 2's visibility: all tokens of chunks 0..=c
-                // (the plan's kv_len, clamped to the unpadded prompt).
-                let visible = ((chunk + 1) * ctx.chunk_len).min(ctx.prompt_len);
-                let (keys, values) = ctx.read_kv(layer, visible);
-                let attn = t
-                    .stage_attention(&q, &keys, &values, start_pos)
-                    .map_err(err)?;
+                // Equation 2's visibility: all positions through this
+                // chunk's end (including any shared prefix before
+                // base_pos), from whichever store holds the rows.
+                let attn = ctx.attention(layer, chunk, &q)?;
                 *slots.attn.lock().expect("slot mutex") = Some(attn);
             }
             (TaskRole::Main, Stage::OProj) => {
@@ -535,7 +621,8 @@ pub struct PrefillProgram<'t, 'w> {
 
 impl<'t, 'w> PrefillProgram<'t, 'w> {
     /// Validates the DAG/plan/model agreement and seeds the per-chunk
-    /// slots with the embedded hidden states.
+    /// slots with the embedded hidden states. K/V rows go to private
+    /// buffers ([`PrefillProgram::assemble_cache`] is available).
     ///
     /// # Errors
     ///
@@ -546,6 +633,47 @@ impl<'t, 'w> PrefillProgram<'t, 'w> {
         dag: &PrefillDag,
         plan: &ChunkPlan,
     ) -> Result<Self> {
+        Self::with_sink(t, tokens, dag, plan, 0, KvSink::Buffered)
+    }
+
+    /// A prefill program writing K/V into a **paged** cache slot,
+    /// starting at absolute position `base_pos` (non-zero when `tokens`
+    /// is the suffix after a shared, already-cached prompt prefix). The
+    /// slot is filled by the serving scheduler's admission task; every
+    /// DAG task that touches K/V must depend (transitively) on it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Exec`] on a plan/DAG/model mismatch.
+    pub fn new_paged(
+        t: &'t Transformer<'w>,
+        tokens: &[u32],
+        dag: &PrefillDag,
+        plan: &ChunkPlan,
+        base_pos: usize,
+        slot: &'t Mutex<Option<PagedKvCache>>,
+    ) -> Result<Self> {
+        Self::with_sink(t, tokens, dag, plan, base_pos, KvSink::Paged(slot))
+    }
+
+    /// Shared constructor body behind the two public entry points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Exec`] on a plan/DAG/model mismatch.
+    pub fn with_sink(
+        t: &'t Transformer<'w>,
+        tokens: &[u32],
+        dag: &PrefillDag,
+        plan: &ChunkPlan,
+        base_pos: usize,
+        sink: KvSink<'t>,
+    ) -> Result<Self> {
+        if base_pos != 0 && matches!(sink, KvSink::Buffered) {
+            return Err(Error::Exec {
+                what: "buffered prefill cannot resume at a non-zero base position".to_owned(),
+            });
+        }
         if tokens.len() != plan.prompt_len {
             return Err(Error::Exec {
                 what: format!(
@@ -579,7 +707,7 @@ impl<'t, 'w> PrefillProgram<'t, 'w> {
         let mut bounds = Vec::with_capacity(plan.chunks);
         let mut chunks = Vec::with_capacity(plan.chunks);
         for (c, chunk_tokens) in tokens.chunks(chunk_len).enumerate() {
-            bounds.push((c * chunk_len, chunk_tokens.len()));
+            bounds.push((base_pos + c * chunk_len, chunk_tokens.len()));
             chunks.push(ChunkSlots {
                 h: Mutex::new(t.embed(chunk_tokens).map_err(exec_err)?),
                 a_in: Mutex::new(None),
@@ -602,19 +730,23 @@ impl<'t, 'w> PrefillProgram<'t, 'w> {
             });
         }
         let kv_dim = cfg.kv_dim();
-        let kv = (0..cfg.layers)
-            .map(|_| LayerKvBuf {
-                k: Mutex::new(vec![0.0; tokens.len() * kv_dim]),
-                v: Mutex::new(vec![0.0; tokens.len() * kv_dim]),
-            })
-            .collect();
+        let store = match sink {
+            KvSink::Buffered => KvStore::Buffered(
+                (0..cfg.layers)
+                    .map(|_| LayerKvBuf {
+                        k: Mutex::new(vec![0.0; tokens.len() * kv_dim]),
+                        v: Mutex::new(vec![0.0; tokens.len() * kv_dim]),
+                    })
+                    .collect(),
+            ),
+            KvSink::Paged(slot) => KvStore::Paged(slot),
+        };
         Ok(PrefillProgram {
             ctx: ExecCtx {
                 t,
                 chunks,
-                kv,
+                store,
                 bounds,
-                chunk_len,
                 kv_dim,
                 prompt_len: tokens.len(),
             },
@@ -680,8 +812,13 @@ impl<'t, 'w> PrefillProgram<'t, 'w> {
     /// Returns [`Error::Exec`] on a shape inconsistency.
     pub fn assemble_cache(&self) -> Result<KvCache> {
         let cfg = self.ctx.t.config();
+        let KvStore::Buffered(bufs) = &self.ctx.store else {
+            return Err(Error::Exec {
+                what: "paged prefill keeps its cache in the pool; nothing to assemble".to_owned(),
+            });
+        };
         let mut cache = KvCache::new(cfg.layers);
-        for (layer, buf) in self.ctx.kv.iter().enumerate() {
+        for (layer, buf) in bufs.iter().enumerate() {
             let k = Tensor::from_vec(
                 buf.k.lock().expect("kv mutex").clone(),
                 [self.ctx.prompt_len, self.ctx.kv_dim],

@@ -427,6 +427,66 @@ pub fn matmul_f32_prepacked(
     Ok(out)
 }
 
+/// The **batched-decode driver**: stacks B scattered activation rows
+/// (one per concurrently decoding request — they live in per-request
+/// state, not one contiguous tensor) into a single `[B, k]` operand and
+/// runs **one** `m = B` GEMM against the prepacked weights, instead of B
+/// separate `m = 1` GEMVs that each stream the whole weight matrix.
+///
+/// Row `i` of the result is bit-identical to
+/// `matmul_f32_prepacked(rows[i], b)` run alone: output rows of the
+/// blocked kernel are independent, and the accumulation order within a
+/// row is fixed by the K blocking, not by `m`. Decode throughput is
+/// where the win lives — the weights stream through memory once per
+/// *batch* rather than once per *request* (`BENCH_kernels.json`'s
+/// `batched_decode` section tracks the ratio).
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] if any row's length differs from the
+/// packed matrix's `k`, or [`Error::InvalidDimension`] on an empty
+/// batch.
+pub fn matmul_f32_rows_prepacked(
+    rows: &[&[f32]],
+    b: &PackedMatrixF32,
+    threads: usize,
+) -> Result<Tensor<f32>> {
+    if rows.is_empty() {
+        return Err(Error::InvalidDimension {
+            op: "matmul_f32_rows",
+            what: "empty decode batch".to_owned(),
+        });
+    }
+    if let Some(bad) = rows.iter().find(|r| r.len() != b.k()) {
+        return Err(Error::ShapeMismatch {
+            op: "matmul_f32_rows",
+            lhs: vec![1, bad.len()],
+            rhs: vec![b.k(), b.n()],
+        });
+    }
+    let mut stacked = Vec::with_capacity(rows.len() * b.k());
+    for r in rows {
+        stacked.extend_from_slice(r);
+    }
+    if rows.len() == 1 {
+        // A batch of one is just a decode GEMV — keep its latency path.
+        let a = Tensor::from_vec(stacked, [1, b.k()])?;
+        return matmul_f32_prepacked(&a, b, threads);
+    }
+    // Force the tiled path even at B = 2: the point of stacking is one
+    // weight stream per batch, which the m ≤ 2 GEMV fallback of
+    // `matmul_f32_prepacked` (row-at-a-time slab walk) would forfeit.
+    let mut out = Tensor::zeros([rows.len(), b.n()]);
+    kernel::gemm_f32_prepacked_batched(
+        rows.len(),
+        &stacked,
+        b,
+        out.as_mut_slice(),
+        kernel::parallel::effective_threads(threads),
+    );
+    Ok(out)
+}
+
 /// [`matmul_i8`] against a weight matrix packed **once** in a
 /// [`PackedMatrixI8`]; bit-exact vs [`matmul_i8_reference`], zero
 /// per-call weight packing.
@@ -752,6 +812,45 @@ mod tests {
         assert_eq!(c.shape().dims(), &[4, 2]);
         assert_eq!(c.row(0), &[0.0, 1.0]);
         assert_eq!(c.row(3), &[9.0, 10.0]);
+    }
+
+    #[test]
+    fn batched_decode_rows_match_solo_gemvs_bitwise() {
+        // The batched-decode driver: one m=B GEMM over scattered rows
+        // must reproduce each row's solo GEMV exactly.
+        let b = Tensor::from_vec(
+            (0..64 * 24)
+                .map(|x| ((x % 23) as f32 - 11.0) * 0.17)
+                .collect(),
+            [64, 24],
+        )
+        .unwrap();
+        let packed = PackedMatrixF32::from_tensor(&b);
+        let rows: Vec<Vec<f32>> = (0..5)
+            .map(|i| (0..64).map(|j| ((i * 64 + j) % 19) as f32 - 9.0).collect())
+            .collect();
+        // B = 2 matters: the driver forces the tiled path there, where
+        // the generic prepacked entry would fall back to the GEMV.
+        for width in [1usize, 2, 5] {
+            let row_refs: Vec<&[f32]> = rows[..width].iter().map(Vec::as_slice).collect();
+            for threads in [1usize, 4] {
+                let batched = matmul_f32_rows_prepacked(&row_refs, &packed, threads).unwrap();
+                assert_eq!(batched.shape().dims(), &[width, 24]);
+                for (i, row) in rows[..width].iter().enumerate() {
+                    let a = Tensor::from_vec(row.clone(), [1, 64]).unwrap();
+                    let solo = matmul_f32_prepacked(&a, &packed, threads).unwrap();
+                    assert_eq!(
+                        batched.row(i),
+                        solo.row(0),
+                        "row {i} of B={width} at {threads} threads"
+                    );
+                }
+            }
+        }
+        // Validation.
+        assert!(matmul_f32_rows_prepacked(&[], &packed, 1).is_err());
+        let short = vec![0.0f32; 63];
+        assert!(matmul_f32_rows_prepacked(&[short.as_slice()], &packed, 1).is_err());
     }
 
     #[test]

@@ -413,6 +413,33 @@ pub fn gemm_f32_prepacked(m: usize, a: &[f32], b: &PackedMatrixF32, c: &mut [f32
     gemm_f32_tiled(m, k, n, a, F32Slabs::Prepacked(b), c, threads);
 }
 
+/// [`gemm_f32_prepacked`] that **always** takes the tiled path, even
+/// for `m ≤ 2` — the batched-decode entry point. Stacked decode rows
+/// exist precisely to stream the weights once per *batch*; the GEMV's
+/// row-at-a-time slab walk would stream them once per *row*, wasting
+/// the stacking at `m = 2`. Per-row results are bit-identical to the
+/// GEMV path (each output element accumulates over K in the same slab
+/// order), which the batched-decode driver tests pin.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with the packed dimensions.
+pub fn gemm_f32_prepacked_batched(
+    m: usize,
+    a: &[f32],
+    b: &PackedMatrixF32,
+    c: &mut [f32],
+    threads: usize,
+) {
+    let (k, n) = (b.k(), b.n());
+    assert_eq!(a.len(), m * k, "lhs shape mismatch");
+    assert_eq!(c.len(), m * n, "output shape mismatch");
+    if m == 0 || n == 0 {
+        return;
+    }
+    gemm_f32_tiled(m, k, n, a, F32Slabs::Prepacked(b), c, threads);
+}
+
 /// The decode GEMV over a prepacked f32 matrix — walks the persistent
 /// panel slabs; usable for any `m`, but built for `m ≤ 2` (larger `m`
 /// should prefer the tiled [`gemm_f32_prepacked`], which reuses each B

@@ -2,13 +2,19 @@
 //!
 //! The latency suites in [`crate::suites`] describe *what* a request
 //! looks like (prompt/output lengths); a trace describes *when* requests
-//! show up. Three standard shapes cover the serving benchmarks: Poisson
+//! show up. Four standard shapes cover the serving benchmarks: Poisson
 //! arrivals (independent users at a mean rate), uniform pacing (load
-//! generators), and a burst (everyone at once — the admission-cap
-//! stress). All are seeded and reproducible, and arrival times are
-//! milliseconds from the start of the serving run — exactly the
-//! `GenerationRequest::arrival_ms` release times the continuous-batching
-//! scheduler in `llmnpu-core` honors.
+//! generators), a burst (everyone at once — the admission-cap stress),
+//! and heavy-tail arrivals (Pareto gaps: long quiet stretches broken by
+//! tight clusters — the shape that actually exercises memory-pressure
+//! eviction in the paged-KV serving layer). All are seeded and
+//! reproducible, and arrival times are milliseconds from the start of
+//! the serving run — exactly the `GenerationRequest::arrival_ms` release
+//! times the continuous-batching scheduler in `llmnpu-core` honors.
+//!
+//! [`LengthMix::heavy_tail`] is the companion *length* generator: mostly
+//! short chat-style prompts with an occasional document-length outlier,
+//! so a bounded KV pool sees both many-small and few-huge footprints.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -33,6 +39,33 @@ impl ArrivalTrace {
                 // Inverse-CDF exponential gap; u ∈ [0, 1) so 1 - u > 0.
                 let u: f64 = rng.gen();
                 t += -(1.0 - u).ln() / rate * 1e3;
+                t
+            })
+            .collect();
+        ArrivalTrace { arrivals_ms }
+    }
+
+    /// Heavy-tail arrivals: inter-arrival gaps drawn from a Pareto
+    /// distribution with shape `alpha` and scale `scale_ms` (gap =
+    /// `scale_ms · (1-u)^(-1/alpha)`). Small `alpha` (≤ 2) produces the
+    /// bursty long-tail pattern real user traffic shows — many requests
+    /// clustered within a few scale units, then occasional gaps an
+    /// order of magnitude longer. Clusters are what drive a bounded KV
+    /// pool into memory pressure, so this is the eviction-stress trace.
+    ///
+    /// Seeded and reproducible; `alpha` and `scale_ms` are clamped to
+    /// tiny positive floors to keep gaps finite.
+    #[must_use]
+    pub fn heavy_tail(seed: u64, scale_ms: f64, alpha: f64, n: usize) -> Self {
+        let scale = scale_ms.max(1e-9);
+        let alpha = alpha.max(1e-3);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = 0.0;
+        let arrivals_ms = (0..n)
+            .map(|_| {
+                // Inverse-CDF Pareto gap; u ∈ [0, 1) so 1 - u > 0.
+                let u: f64 = rng.gen();
+                t += scale * (1.0 - u).powf(-1.0 / alpha);
                 t
             })
             .collect();
@@ -92,6 +125,58 @@ impl ArrivalTrace {
     }
 }
 
+/// A seeded request-shape mix: `(prompt_len, max_new_tokens)` pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LengthMix {
+    /// One `(prompt_len, max_new_tokens)` pair per request.
+    pub shapes: Vec<(usize, usize)>,
+}
+
+impl LengthMix {
+    /// A heavy-tail long-prompt mix: most prompts are chat-sized (a few
+    /// × `base_prompt`), but a Pareto tail occasionally emits prompts
+    /// up to `max_prompt` — the document-summarization outliers whose
+    /// KV footprint dwarfs their neighbors'. Decode budgets stay modest
+    /// (chat replies), so the *prompt* KV dominates, which is exactly
+    /// the regime where paged admission and eviction earn their keep.
+    #[must_use]
+    pub fn heavy_tail(seed: u64, n: usize, base_prompt: usize, max_prompt: usize) -> Self {
+        let base = base_prompt.max(1);
+        let cap = max_prompt.max(base);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
+        let shapes = (0..n)
+            .map(|_| {
+                let u: f64 = rng.gen();
+                // Pareto(α = 1.1): ~70% land within 2× base.
+                let prompt = ((base as f64) * (1.0 - u).powf(-1.0 / 1.1)) as usize;
+                let prompt = prompt.clamp(base, cap);
+                let v: f64 = rng.gen();
+                let max_new = 2 + (v * 6.0) as usize;
+                (prompt, max_new)
+            })
+            .collect();
+        LengthMix { shapes }
+    }
+
+    /// Number of request shapes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shapes.len()
+    }
+
+    /// Whether the mix is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.shapes.is_empty()
+    }
+
+    /// Total worst-case token footprint (prompt + decode budget).
+    #[must_use]
+    pub fn total_tokens(&self) -> usize {
+        self.shapes.iter().map(|&(p, n)| p + n).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,6 +204,49 @@ mod tests {
         assert!((66.0..150.0).contains(&gap), "mean gap {gap:.1} ms");
         let rate = t.offered_rate_per_s();
         assert!((6.6..15.0).contains(&rate), "rate {rate:.2}/s");
+    }
+
+    #[test]
+    fn heavy_tail_is_seeded_bursty_and_monotone() {
+        let a = ArrivalTrace::heavy_tail(5, 10.0, 1.1, 256);
+        let b = ArrivalTrace::heavy_tail(5, 10.0, 1.1, 256);
+        assert_eq!(a, b, "seeded reproducibility");
+        assert_ne!(a, ArrivalTrace::heavy_tail(6, 10.0, 1.1, 256));
+        for w in a.arrivals_ms.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert!(a.arrivals_ms.iter().all(|&t| t.is_finite() && t >= 0.0));
+        // The tail: the largest gap dwarfs the median gap (burstiness a
+        // Poisson trace of the same mean would almost never show).
+        let mut gaps: Vec<f64> = a.arrivals_ms.windows(2).map(|w| w[1] - w[0]).collect();
+        gaps.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let median = gaps[gaps.len() / 2];
+        let max = gaps[gaps.len() - 1];
+        assert!(
+            max > 10.0 * median,
+            "max gap {max:.1} vs median {median:.1}: not heavy-tailed"
+        );
+        // Every gap respects the Pareto scale floor.
+        assert!(gaps[0] >= 10.0 - 1e-9);
+    }
+
+    #[test]
+    fn heavy_tail_length_mix_spans_the_range() {
+        let m = LengthMix::heavy_tail(9, 128, 8, 256);
+        assert_eq!(m, LengthMix::heavy_tail(9, 128, 8, 256));
+        assert_eq!(m.len(), 128);
+        assert!(!m.is_empty());
+        assert!(m
+            .shapes
+            .iter()
+            .all(|&(p, n)| (8..=256).contains(&p) && n >= 2));
+        // Mostly short...
+        let short = m.shapes.iter().filter(|&&(p, _)| p <= 16).count();
+        assert!(short * 2 > m.len(), "{short}/128 short prompts");
+        // ...with a real long tail.
+        let long = m.shapes.iter().filter(|&&(p, _)| p >= 64).count();
+        assert!(long >= 3, "only {long} long-prompt outliers");
+        assert!(m.total_tokens() > 0);
     }
 
     #[test]

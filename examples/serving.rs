@@ -90,7 +90,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         requests.len(),
         engine.pool().workers()
     );
-    let batched = engine.serve(&t, &requests, &ServeOptions { max_active: 3 })?;
+    let batched = engine.serve(
+        &t,
+        &requests,
+        &ServeOptions {
+            max_active: 3,
+            ..ServeOptions::default()
+        },
+    )?;
     print_report(&batched);
 
     // The unified timeline: digits are the request of a prefill task,
@@ -120,7 +127,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("\n=== same queue, single-stream (max_active 1) ===");
-    let single = engine.serve(&t, &requests, &ServeOptions { max_active: 1 })?;
+    let single = engine.serve(
+        &t,
+        &requests,
+        &ServeOptions {
+            max_active: 1,
+            ..ServeOptions::default()
+        },
+    )?;
     print_report(&single);
 
     for (a, b) in batched.requests.iter().zip(&single.requests) {

@@ -220,3 +220,85 @@ fn decode_after_chunked_prefill_matches_whole_prefill() {
     let mse = logits_a.mse(&logits_b).unwrap();
     assert!(mse < 1e-9, "decode diverged after chunked prefill: {mse}");
 }
+
+/// Paged K/V reads are bit-transparent for **every** backend and worker
+/// count: a prefill that writes through a block table and attends over
+/// whole pages produces exactly the floats of the contiguous cache —
+/// the invariant the paged serving layer stands on. Chunk boundaries
+/// are held fixed, so even batch-dynamic quantizers must agree to the
+/// bit.
+#[test]
+fn paged_prefill_bit_identical_for_every_backend_and_worker_count() {
+    use llmnpu::kv::{BlockPool, PoolConfig};
+    use llmnpu::model::kv::PagedKvCache;
+    use llmnpu::sched::WorkerPool;
+    use std::sync::Arc;
+
+    let (w, float) = mini_model();
+    let t_float = Transformer::new(&w, &float);
+    let cal = t_float.calibrate(&prompts(&w, 2, 8)).unwrap();
+    let backends: Vec<Box<dyn LinearBackend>> = vec![
+        Box::new(float.clone()),
+        Box::new(PerTensorBackend::new(&w, &cal).unwrap()),
+        Box::new(PerGroupBackend::new(&w, 16).unwrap()),
+        Box::new(SmoothQuantBackend::new(&w, &cal, 0.5).unwrap()),
+        Box::new(LlmInt8Backend::new(&w, 6.0).unwrap()),
+        Box::new(ShadowBackend::new(&w, &cal, 0.997, 0.85).unwrap()),
+    ];
+    let toks: Vec<u32> = (0..10u32).map(|i| (i * 5 + 1) % 96).collect();
+    let chunk = 4usize;
+
+    for be in &backends {
+        let t = Transformer::new(&w, be.as_ref());
+        for workers in [1usize, 4] {
+            let pool_threads = Arc::new(WorkerPool::new(workers));
+            let (contig_hidden, paged_hidden, identical_kv) = pool_threads.install_scope(|| {
+                let mut contig = llmnpu::model::kv::KvCache::new(t.config().layers);
+                let contig_hidden = t.prefill_chunked(&toks, chunk, &mut contig).unwrap();
+
+                let pool = Arc::new(
+                    BlockPool::new(PoolConfig {
+                        layers: t.config().layers,
+                        kv_dim: t.config().kv_dim(),
+                        block_tokens: 3,
+                        blocks: 8,
+                    })
+                    .unwrap(),
+                );
+                let mut paged = PagedKvCache::reserve(&pool, toks.len()).unwrap();
+                let mut paged_hidden = Vec::new();
+                let mut pos = 0;
+                for c in toks.chunks(chunk) {
+                    let h = t.prefill_paged(c, pos, &mut paged).unwrap();
+                    paged_hidden.extend_from_slice(h.as_slice());
+                    pos += c.len();
+                }
+                let mut identical_kv = true;
+                for layer in 0..t.config().layers {
+                    let keys = contig.layer(layer).unwrap().keys_tensor().unwrap();
+                    paged
+                        .view(layer, toks.len(), |pk, _| {
+                            let flat: Vec<f32> =
+                                pk.iter().flat_map(|p| p.iter().copied()).collect();
+                            identical_kv &= flat.as_slice() == keys.as_slice();
+                        })
+                        .unwrap();
+                }
+                paged.release().unwrap();
+                assert_eq!(pool.used_blocks(), 0);
+                (contig_hidden, paged_hidden, identical_kv)
+            });
+            assert_eq!(
+                contig_hidden.as_slice(),
+                paged_hidden.as_slice(),
+                "{} at {workers} workers: paged hidden states diverged",
+                be.name()
+            );
+            assert!(
+                identical_kv,
+                "{} at {workers} workers: paged K rows diverged",
+                be.name()
+            );
+        }
+    }
+}
