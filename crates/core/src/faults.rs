@@ -1,0 +1,316 @@
+//! Seeded, deterministic fault injection for the serving layer.
+//!
+//! A [`FaultPlan`] is a *script* of failures threaded through
+//! `ServeOptions::faults`: panic (or error) request `r` at a chosen
+//! prefill stage or decode step on attempt `a`, transiently (the retry
+//! succeeds) or permanently (every attempt fails); inflate a request's
+//! *modeled* task durations (a scheduling-priority spike — the numeric
+//! outputs never change); squeeze the KV pool below the configured size.
+//! The plan is pure data, built either explicitly (for pinning tests) or
+//! from a seed via [`FaultPlan::seeded`] (for the chaos soak), and the
+//! injection sites are keyed on `(request, attempt, site)` — so the same
+//! plan against the same trace produces the same failures, the same
+//! retries, and the same terminal outcomes on every run at every worker
+//! count. That determinism is what lets the chaos harness assert
+//! *bit-identical surviving streams* instead of merely "it didn't
+//! crash".
+//!
+//! The generator deliberately uses an inline SplitMix64 rather than a
+//! `rand` dependency: the plan must stay reproducible from the seed
+//! alone, forever, independent of any external crate's stream format.
+
+/// How an injected fault manifests inside the task closure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// The closure panics (`panic!`) — exercising the unwind-containment
+    /// path in the executor.
+    Panic,
+    /// The closure returns an error — the graceful failure path.
+    Error,
+}
+
+/// Where in a request's task chain the fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// The admission task (page reservation).
+    Admit,
+    /// The main-path FFN stage of prefill chunk `chunk`, layer `layer`
+    /// (one unique task per `(chunk, layer)` in the prefill DAG).
+    Prefill {
+        /// Prefill chunk index.
+        chunk: usize,
+        /// Decoder layer index.
+        layer: usize,
+    },
+    /// Decode step `step` (0-based over the request's new tokens).
+    Decode {
+        /// Decode step index.
+        step: usize,
+    },
+}
+
+/// One scripted fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Request index the fault targets.
+    pub request: usize,
+    /// Attempt number the fault first fires on (1-based, matching
+    /// `RequestOutcome::attempts`).
+    pub attempt: usize,
+    /// Where in the chain it fires.
+    pub site: FaultSite,
+    /// Panic or error.
+    pub mode: FaultMode,
+    /// Permanent faults fire on `attempt` **and every later attempt**
+    /// (the retry ladder exhausts); transient faults fire on exactly
+    /// `attempt` (the next retry succeeds).
+    pub permanent: bool,
+}
+
+impl FaultSpec {
+    /// Whether this spec fires on the given `(request, attempt)`.
+    #[must_use]
+    pub fn fires(&self, request: usize, attempt: usize) -> bool {
+        self.request == request
+            && if self.permanent {
+                attempt >= self.attempt
+            } else {
+                attempt == self.attempt
+            }
+    }
+}
+
+/// A modeled-duration inflation spike: multiplies every task duration of
+/// one request's attempt by `factor`. Durations are scheduling-priority
+/// inputs (the C-value), so a spike perturbs *dispatch order pressure*
+/// without touching a single float of output — the chaos soak uses it to
+/// shake the interleaving while still asserting bit-identical streams.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DurationSpike {
+    /// Request index the spike targets.
+    pub request: usize,
+    /// Attempt it applies to (1-based), or 0 for every attempt.
+    pub attempt: usize,
+    /// Multiplier applied to the modeled `duration_ms` of the request's
+    /// tasks (clamped to a small positive floor).
+    pub factor: f64,
+}
+
+/// A deterministic fault-injection script for one serving run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Scripted panics/errors.
+    pub faults: Vec<FaultSpec>,
+    /// Modeled-duration inflation spikes.
+    pub spikes: Vec<DurationSpike>,
+    /// When set, caps the KV pool at this many blocks regardless of
+    /// `ServeOptions::kv_pool_blocks` — the pool-pressure squeeze.
+    /// Serving clamps the cap so the pool still holds the largest single
+    /// request (a pool nothing fits in could never serve anything).
+    pub pool_blocks_cap: Option<usize>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    #[must_use]
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds one scripted fault.
+    #[must_use]
+    pub fn with_fault(mut self, fault: FaultSpec) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Adds a modeled-duration spike.
+    #[must_use]
+    pub fn with_spike(mut self, spike: DurationSpike) -> Self {
+        self.spikes.push(spike);
+        self
+    }
+
+    /// Caps the KV pool (pool-pressure squeeze).
+    #[must_use]
+    pub fn with_pool_cap(mut self, blocks: usize) -> Self {
+        self.pool_blocks_cap = Some(blocks);
+        self
+    }
+
+    /// Generates a seeded plan over `n_requests` requests. `intensity`
+    /// in `[0, 1]` scales how many requests get a fault (roughly
+    /// `intensity / 4` of them panic or error somewhere) and how many
+    /// get a duration spike. Transient faults dominate (~3 of 4) so the
+    /// retry ladder is exercised without exhausting most victims.
+    /// Deterministic: same `(seed, n_requests, intensity)` ⇒ same plan.
+    #[must_use]
+    pub fn seeded(seed: u64, n_requests: usize, intensity: f64) -> Self {
+        let intensity = intensity.clamp(0.0, 1.0);
+        let mut rng = SplitMix64::new(seed);
+        let mut plan = FaultPlan::new();
+        for r in 0..n_requests {
+            if rng.next_f64() < intensity / 4.0 {
+                let permanent = rng.next_f64() < 0.25;
+                let mode = if rng.next_f64() < 0.5 {
+                    FaultMode::Panic
+                } else {
+                    FaultMode::Error
+                };
+                // Low chunk/layer/step indices so the site exists for
+                // almost any request shape; a site past the request's
+                // actual chain simply never fires (still deterministic).
+                let site = match rng.next_u64() % 3 {
+                    0 => FaultSite::Admit,
+                    1 => FaultSite::Prefill {
+                        chunk: 0,
+                        layer: (rng.next_u64() % 2) as usize,
+                    },
+                    _ => FaultSite::Decode {
+                        step: (rng.next_u64() % 2) as usize,
+                    },
+                };
+                plan.faults.push(FaultSpec {
+                    request: r,
+                    attempt: 1,
+                    site,
+                    mode,
+                    permanent,
+                });
+            }
+            if rng.next_f64() < intensity / 4.0 {
+                plan.spikes.push(DurationSpike {
+                    request: r,
+                    attempt: 0,
+                    factor: 1.0 + rng.next_f64() * 9.0,
+                });
+            }
+        }
+        plan
+    }
+
+    /// The fault firing at `(request, attempt, site)`, if any.
+    #[must_use]
+    pub fn fault_at(&self, request: usize, attempt: usize, site: FaultSite) -> Option<&FaultSpec> {
+        self.faults
+            .iter()
+            .find(|f| f.site == site && f.fires(request, attempt))
+    }
+
+    /// The duration multiplier for `(request, attempt)` (1.0 when no
+    /// spike applies).
+    #[must_use]
+    pub fn duration_factor(&self, request: usize, attempt: usize) -> f64 {
+        self.spikes
+            .iter()
+            .filter(|s| s.request == request && (s.attempt == 0 || s.attempt == attempt))
+            .map(|s| s.factor.max(1e-3))
+            .product()
+    }
+
+    /// Whether the plan injects nothing at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty() && self.spikes.is_empty() && self.pool_blocks_cap.is_none()
+    }
+}
+
+/// SplitMix64: the standard 64-bit mixer (public-domain constants), kept
+/// inline so plan generation never depends on an external RNG's stream.
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_scale_with_intensity() {
+        let a = FaultPlan::seeded(42, 100, 0.8);
+        let b = FaultPlan::seeded(42, 100, 0.8);
+        assert_eq!(a, b, "same seed must reproduce the plan");
+        assert_ne!(a, FaultPlan::seeded(43, 100, 0.8), "seeds must differ");
+        assert!(
+            !a.is_empty(),
+            "intensity 0.8 over 100 requests is not empty"
+        );
+        let quiet = FaultPlan::seeded(42, 100, 0.0);
+        assert!(quiet.is_empty(), "zero intensity injects nothing");
+        // All sites within range, all attempts 1-based.
+        assert!(a.faults.iter().all(|f| f.request < 100 && f.attempt >= 1));
+        // Transient faults dominate.
+        let permanent = a.faults.iter().filter(|f| f.permanent).count();
+        assert!(permanent * 2 < a.faults.len(), "{permanent} permanent");
+    }
+
+    #[test]
+    fn fires_honors_transient_vs_permanent() {
+        let transient = FaultSpec {
+            request: 3,
+            attempt: 2,
+            site: FaultSite::Admit,
+            mode: FaultMode::Error,
+            permanent: false,
+        };
+        assert!(!transient.fires(3, 1));
+        assert!(transient.fires(3, 2));
+        assert!(!transient.fires(3, 3), "transient fires exactly once");
+        assert!(!transient.fires(4, 2), "wrong request");
+        let permanent = FaultSpec {
+            permanent: true,
+            ..transient
+        };
+        assert!(!permanent.fires(3, 1));
+        assert!(permanent.fires(3, 2));
+        assert!(permanent.fires(3, 9), "permanent fires on every retry");
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let plan = FaultPlan::new()
+            .with_fault(FaultSpec {
+                request: 1,
+                attempt: 1,
+                site: FaultSite::Prefill { chunk: 0, layer: 1 },
+                mode: FaultMode::Panic,
+                permanent: false,
+            })
+            .with_spike(DurationSpike {
+                request: 2,
+                attempt: 0,
+                factor: 3.0,
+            })
+            .with_pool_cap(8);
+        assert!(plan
+            .fault_at(1, 1, FaultSite::Prefill { chunk: 0, layer: 1 })
+            .is_some());
+        assert!(plan
+            .fault_at(1, 2, FaultSite::Prefill { chunk: 0, layer: 1 })
+            .is_none());
+        assert!(plan.fault_at(1, 1, FaultSite::Admit).is_none());
+        assert_eq!(plan.duration_factor(2, 5), 3.0);
+        assert_eq!(plan.duration_factor(1, 1), 1.0);
+        assert_eq!(plan.pool_blocks_cap, Some(8));
+        assert!(!plan.is_empty());
+    }
+}

@@ -22,7 +22,16 @@
 //!   same-position decode steps into `m = B` batched GEMMs, streams
 //!   tokens through [`serve::ServeOptions::on_token`], and pins zero
 //!   leaked pages after every run — with every stream bit-identical to
-//!   its solo generation.
+//!   its solo generation. Serving is *fault-contained*: a panic in one
+//!   request's stage fails only that request ([`serve::RequestStatus`]),
+//!   transient failures retry with exponential backoff, cancellation
+//!   ([`serve::CancelToken`]) and per-request deadlines are honored at
+//!   dispatch, and pages are released on every terminal path,
+//! * [`faults`] — seeded deterministic fault injection
+//!   ([`faults::FaultPlan`]): panics/errors at chosen prefill or decode
+//!   sites, transient vs permanent, modeled-duration spikes, and
+//!   pool-pressure squeezes — the chaos harness behind
+//!   `examples/chaos.rs` and the chaos soak test.
 //!
 //! Latency/energy numbers come from the calibrated SoC simulator
 //! (`llmnpu-soc`); accuracy numbers come from the numeric plane
@@ -38,6 +47,7 @@ pub mod ablation;
 pub mod baselines;
 pub mod decode;
 pub mod engine;
+pub mod faults;
 pub mod memory;
 pub mod report;
 pub mod serve;

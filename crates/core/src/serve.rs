@@ -54,13 +54,32 @@
 //! non-row-wise backends (dynamic whole-batch quantization), where
 //! batch composition would legitimately perturb last bits.
 //!
+//! # Failure containment
+//!
+//! Serving is a *service*, so one request's failure is never the run's
+//! failure. The combined graph executes in the fault-contained mode of
+//! `llmnpu-sched` (`execute_lane_graph_isolated`): a panic or error in
+//! one request's stage closure fails only that request's chain, a
+//! dispatch gate skips tasks whose request was cancelled
+//! ([`CancelToken`]) or is past its [`GenerationRequest::deadline_ms`],
+//! and the Admit / Evicted / Release tasks are containment *barriers*
+//! that run on every path — which is how the zero-leak page invariant
+//! holds under failure, not just success. Every request ends in exactly
+//! one [`RequestStatus`]; transient failures are retried with bounded
+//! exponential backoff (a fresh round reusing the eviction-requeue
+//! machinery — the retry re-streams from step 0 with the same seeded
+//! sampler, so a surviving retry is still bit-identical to the solo
+//! run). Deterministic fault injection for all of this lives in
+//! [`crate::faults`].
+//!
 //! [`LaneGraph`]: llmnpu_sched::LaneGraph
 //! [`Sampler`]: llmnpu_model::sample::Sampler
 //! [`Transformer::generate`]: llmnpu_model::forward::Transformer::generate
 
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use llmnpu_graph::chunk::ChunkPlan;
 use llmnpu_graph::dag::{build_prefill_dag, PrefillDag, TaskRole};
@@ -69,18 +88,113 @@ use llmnpu_kv::{BlockPool, PoolConfig};
 use llmnpu_model::forward::{PagedDecodeEntry, Transformer};
 use llmnpu_model::kv::PagedKvCache;
 use llmnpu_model::sample::{Sampler, SamplerConfig};
-use llmnpu_sched::{execute_lane_graph, LaneGraph, LaneTask, PrefillProgram, TaskFn};
+use llmnpu_sched::{
+    execute_lane_graph_isolated, GateFn, LaneGraph, LaneTask, PrefillProgram, TaskFn, TaskOutcome,
+};
 use llmnpu_soc::memory::MemoryModel;
 use llmnpu_soc::{Millis, Processor};
 use llmnpu_tensor::Tensor;
 
 use crate::decode::DecodeSim;
 use crate::engine::LlmNpuEngine;
+use crate::faults::{FaultMode, FaultPlan, FaultSite};
 use crate::{Error, Result};
 
 /// Modeled duration of bookkeeping tasks (admission, cache assembly,
 /// eviction, release — not GEMMs; only used for scheduling priority).
 const FINISH_TASK_MS: f64 = 0.05;
+
+/// Slack for dispatch-time deadline comparisons (mirrors the executor's
+/// release-time epsilon).
+const DEADLINE_EPS: f64 = 1e-9;
+
+/// Locks a serving-plane mutex, recovering from poisoning: every guarded
+/// value here (generation state, KV-cache slots, terminal-status cells)
+/// is plain per-request data whose chain is already poisoned at the task
+/// level when its holder panics — recovery contains the failure to that
+/// request instead of spreading it to every neighbor sharing the run.
+fn plain_lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A shared cancellation handle for one request's stream.
+///
+/// Cloning shares the flag: keep a clone (via
+/// [`GenerationRequest::cancel_handle`]) and flip it from anywhere — an
+/// `on_token` sink after enough tokens, a timeout thread, a caller-side
+/// disconnect. The serving gate observes it at every dispatch decision:
+/// the request's remaining tasks are skipped (never run), its pages are
+/// released by the barrier Release task, and its outcome reports
+/// [`RequestStatus::Cancelled`]. Cancelling after the stream already
+/// finished is a no-op (the request stays `Completed`).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation (idempotent, takes effect at the next
+    /// dispatch decision touching the request).
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// Terminal outcome of one served request — every request ends in
+/// exactly one of these, and KV pages are released on *all* of them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestStatus {
+    /// The full stream was generated (bit-identical to the solo run).
+    Completed,
+    /// A task of the request panicked or errored and no retry budget was
+    /// configured (`max_retries == 0`).
+    Failed {
+        /// The failing task's error (panic payloads are stringified).
+        error: String,
+    },
+    /// The request's [`CancelToken`] fired before the stream finished.
+    Cancelled,
+    /// The request blew its [`GenerationRequest::deadline_ms`] (or its
+    /// TTFT deadline before producing a first token).
+    DeadlineExceeded,
+    /// The request failed, was retried `max_retries` times with backoff,
+    /// and every attempt failed.
+    RetriesExhausted {
+        /// The last attempt's error.
+        error: String,
+    },
+}
+
+impl RequestStatus {
+    /// Whether the stream completed fully.
+    #[must_use]
+    pub fn is_completed(&self) -> bool {
+        matches!(self, RequestStatus::Completed)
+    }
+
+    /// The failure message, if this is a failing status.
+    #[must_use]
+    pub fn error(&self) -> Option<&str> {
+        match self {
+            RequestStatus::Failed { error } | RequestStatus::RetriesExhausted { error } => {
+                Some(error)
+            }
+            _ => None,
+        }
+    }
+}
 
 /// One queued generation request.
 #[derive(Debug, Clone)]
@@ -94,6 +208,17 @@ pub struct GenerationRequest {
     /// Arrival time, ms from the start of the serving run. Tasks of this
     /// request are not dispatched earlier.
     pub arrival_ms: Millis,
+    /// Completion deadline, ms *from the request's arrival* (re-armed on
+    /// retry attempts). Once the modeled clock passes it, remaining tasks
+    /// are skipped and the request reports
+    /// [`RequestStatus::DeadlineExceeded`]. `None` = no deadline.
+    pub deadline_ms: Option<Millis>,
+    /// Time-to-first-token deadline, ms from arrival: enforced only
+    /// until the first token is out (a request that already streamed a
+    /// token cannot TTFT-expire). `None` = no TTFT deadline.
+    pub ttft_deadline_ms: Option<Millis>,
+    /// The request's cancellation flag (shared with every clone).
+    pub cancel: CancelToken,
 }
 
 impl GenerationRequest {
@@ -105,6 +230,9 @@ impl GenerationRequest {
             max_new_tokens,
             sampler: SamplerConfig::greedy(),
             arrival_ms: 0.0,
+            deadline_ms: None,
+            ttft_deadline_ms: None,
+            cancel: CancelToken::new(),
         }
     }
 
@@ -137,6 +265,27 @@ impl GenerationRequest {
     pub fn with_arrival_ms(mut self, arrival_ms: Millis) -> Self {
         self.arrival_ms = arrival_ms;
         self
+    }
+
+    /// Sets the completion deadline (ms from arrival).
+    #[must_use]
+    pub fn with_deadline_ms(mut self, deadline_ms: Millis) -> Self {
+        self.deadline_ms = Some(deadline_ms);
+        self
+    }
+
+    /// Sets the time-to-first-token deadline (ms from arrival).
+    #[must_use]
+    pub fn with_ttft_deadline_ms(mut self, ttft_deadline_ms: Millis) -> Self {
+        self.ttft_deadline_ms = Some(ttft_deadline_ms);
+        self
+    }
+
+    /// A handle that cancels this request when fired (usable from an
+    /// `on_token` sink, another thread, or after `serve` was entered).
+    #[must_use]
+    pub fn cancel_handle(&self) -> CancelToken {
+        self.cancel.clone()
     }
 
     /// Worst-case token footprint: prompt plus full decode budget.
@@ -204,6 +353,20 @@ pub struct ServeOptions {
     pub share_prefixes: bool,
     /// Streaming token callback, if any.
     pub on_token: Option<TokenSink>,
+    /// How many times a *failed* request (panic or task error) is
+    /// requeued into a fresh round before giving up with
+    /// [`RequestStatus::RetriesExhausted`]. Cancelled and
+    /// deadline-expired requests never retry. Each retry re-streams from
+    /// step 0 with the request's seeded sampler, so a surviving retry is
+    /// still bit-identical to the solo run (the sink sees the stream
+    /// restart).
+    pub max_retries: usize,
+    /// Base backoff before a retry round, ms: attempt `k`'s round admits
+    /// the request at `retry_backoff_ms · 2^(k-1)` on the round's clock.
+    pub retry_backoff_ms: Millis,
+    /// Deterministic fault-injection script ([`crate::faults`]); `None`
+    /// injects nothing.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for ServeOptions {
@@ -216,6 +379,9 @@ impl Default for ServeOptions {
             decode_batch: 1,
             share_prefixes: true,
             on_token: None,
+            max_retries: 2,
+            retry_backoff_ms: 4.0,
+            faults: None,
         }
     }
 }
@@ -230,6 +396,9 @@ impl fmt::Debug for ServeOptions {
             .field("decode_batch", &self.decode_batch)
             .field("share_prefixes", &self.share_prefixes)
             .field("on_token", &self.on_token.as_ref().map(|_| "Fn"))
+            .field("max_retries", &self.max_retries)
+            .field("retry_backoff_ms", &self.retry_backoff_ms)
+            .field("faults", &self.faults)
             .finish()
     }
 }
@@ -404,22 +573,28 @@ impl ServeTimeline {
 pub struct RequestOutcome {
     /// Request index (admission order).
     pub request: usize,
-    /// The generated token stream.
+    /// The generated token stream. Complete only for
+    /// [`RequestStatus::Completed`]; other statuses keep whatever prefix
+    /// of the stream was emitted before the request terminated.
     pub tokens: Vec<u32>,
     /// Wall-clock completion time of each generated token (ms from run
     /// start, one entry per token — the "stream").
     pub token_times_ms: Vec<f64>,
     /// The request's arrival time.
     pub arrival_ms: f64,
-    /// First dispatch of any of the request's tasks (any incarnation).
+    /// First dispatch of any of the request's tasks (any incarnation;
+    /// the arrival time if nothing ever dispatched).
     pub first_dispatch_ms: f64,
     /// Completion of the request's (final) prefill — KV pages ready.
+    /// `0.0` if the request terminated before finishing prefill.
     pub prefill_done_ms: f64,
-    /// Completion of the request's last decode step.
+    /// Completion of the request's last decode step (`0.0` if none ran).
     pub finish_ms: f64,
-    /// Incarnations this request ran (1 = never evicted; each eviction
-    /// adds a full recompute).
+    /// Incarnations this request ran, counting both memory-pressure
+    /// evictions and failure retries (1 = one clean pass).
     pub attempts: usize,
+    /// How the request terminated.
+    pub status: RequestStatus,
 }
 
 impl RequestOutcome {
@@ -860,6 +1035,102 @@ struct SegBuild {
     release: Option<usize>,
 }
 
+/// Live, per-round, per-member fault-containment state: the terminal
+/// status cell (first writer wins), the emitted-token counter (TTFT
+/// deadline gating), and the request's shared cancel flag.
+struct ReqRuntime {
+    term: Mutex<Option<RequestStatus>>,
+    tokens_out: AtomicUsize,
+    cancel: CancelToken,
+}
+
+/// Per-graph-task metadata for one round: the owning member (first
+/// cohort member for batched decode), the *global* attempt number the
+/// task belongs to, the span kind, and every member the task touches
+/// (drives the dispatch gate and failure attribution).
+struct TaskMeta {
+    member: usize,
+    attempt: usize,
+    kind: ServeTaskKind,
+    members: Vec<usize>,
+}
+
+/// One cohort member's identity inside a (possibly batched) decode task.
+struct DecodeMember {
+    /// Round-member index.
+    member: usize,
+    /// Prompt length (decode position offset).
+    prompt_len: usize,
+    /// Original request id (sink events, fault keying).
+    orig: usize,
+    /// Global attempt, 1-based (fault keying).
+    attempt: usize,
+}
+
+/// One member's result for one retry round (round-local clock).
+struct MemberRound {
+    status: RequestStatus,
+    tokens: Vec<u32>,
+    token_times_ms: Vec<f64>,
+    first_dispatch_ms: f64,
+    prefill_done_ms: f64,
+    finish_ms: f64,
+    incarnations: usize,
+}
+
+/// One retry round's result: per-member outcomes plus the round's spans
+/// (already carrying original request ids and global attempt numbers,
+/// still on the round-local clock).
+struct RoundOutput {
+    members: Vec<MemberRound>,
+    spans: Vec<ServeSpan>,
+    makespan_ms: f64,
+    evictions: usize,
+    shared_blocks: usize,
+}
+
+/// One retry round's members: arrival-adjusted request clones plus the
+/// mapping back to original ids and already-consumed attempt counts.
+struct RoundInput {
+    requests: Vec<GenerationRequest>,
+    orig_ids: Vec<usize>,
+    attempt_base: Vec<usize>,
+}
+
+/// Wraps a single-member task closure so that any failure — error return
+/// or panic — records the member's terminal status *before* the
+/// executor sees it. The recorded status is what lets the dispatch gate
+/// stop feeding a failed request's downstream chain and what the
+/// per-member liveness filter inside batched decode keys on. Panics are
+/// re-raised so the executor's unwind containment (the actual isolation
+/// boundary) is exercised, not bypassed.
+fn contain<'run>(rt: &'run ReqRuntime, f: TaskFn<'run>) -> TaskFn<'run> {
+    Box::new(move || {
+        let record = |error: String| {
+            let mut term = plain_lock(&rt.term);
+            if term.is_none() {
+                *term = Some(RequestStatus::Failed { error });
+            }
+        };
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+            Ok(Ok(())) => Ok(()),
+            Ok(Err(e)) => {
+                record(e.clone());
+                Err(e)
+            }
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "task panicked".to_string());
+                record(msg);
+                std::panic::resume_unwind(payload)
+            }
+        }
+    })
+}
+
 impl LlmNpuEngine {
     /// Serves a queue of generation requests with continuous batching on
     /// this engine's pool: per-request chunked-prefill DAGs and decode
@@ -876,14 +1147,24 @@ impl LlmNpuEngine {
     /// with `chunk_len = self.config().chunk_len` — plus serving
     /// metrics, the unified timeline, and the pool accounting.
     ///
+    /// Serving is **fault-contained** (see the module docs): a panic or
+    /// error in one request's chain, a fired [`CancelToken`], or a blown
+    /// deadline terminates *that request only* — every other stream
+    /// completes bit-identical to its solo run. Failed requests are
+    /// retried up to [`ServeOptions::max_retries`] times in follow-up
+    /// rounds with exponential backoff; every request ends in exactly
+    /// one [`RequestStatus`] in its [`RequestOutcome::status`], and the
+    /// pool is page-leak-free afterwards no matter which paths failed.
+    ///
     /// # Errors
     ///
     /// Returns an error for an empty/invalid request (empty prompt, zero
     /// `max_new_tokens`, bad sampler config, non-finite or negative
-    /// arrival), invalid options (zero caps or page sizes, a pool too
-    /// small for some request, a pool exceeding the SoC's NPU-window
-    /// budget), or any execution failure. On success the pool is
-    /// verified page-leak-free.
+    /// arrival or deadline), invalid options (zero caps or page sizes, a
+    /// pool too small for some request, a pool exceeding the SoC's
+    /// NPU-window budget), or a *structural* execution failure (lane
+    /// setup, graph wiring, page leaks). Per-request failures do **not**
+    /// surface here — they are reported per request.
     pub fn serve(
         &self,
         t: &Transformer<'_>,
@@ -894,6 +1175,7 @@ impl LlmNpuEngine {
         let row_wise = t.backend_row_wise();
         let share = opts.share_prefixes && row_wise;
         let decode_batch = if row_wise { opts.decode_batch } else { 1 };
+        let faults = opts.faults.clone().unwrap_or_default();
 
         // The paged pool: sized to the batch (no pressure) by default,
         // or to the caller's explicit page budget.
@@ -901,11 +1183,22 @@ impl LlmNpuEngine {
             .iter()
             .map(|r| r.total_tokens().div_ceil(opts.block_tokens))
             .sum();
+        let max_need: usize = requests
+            .iter()
+            .map(|r| r.total_tokens().div_ceil(opts.block_tokens))
+            .max()
+            .unwrap_or(0);
+        let mut blocks = opts.kv_pool_blocks.unwrap_or(auto_blocks.max(1));
+        if let Some(cap) = faults.pool_blocks_cap {
+            // Pool-pressure squeeze: clamp the pool, but never below the
+            // largest single request (nothing could ever be admitted).
+            blocks = blocks.min(cap).max(max_need.max(1));
+        }
         let pool_cfg = PoolConfig {
             layers: t.config().layers,
             kv_dim: t.config().kv_dim(),
             block_tokens: opts.block_tokens,
-            blocks: opts.kv_pool_blocks.unwrap_or(auto_blocks.max(1)),
+            blocks,
         };
         for (r, req) in requests.iter().enumerate() {
             let need = pool_cfg.blocks_for(req.total_tokens());
@@ -932,9 +1225,163 @@ impl LlmNpuEngine {
             });
         }
 
+        // ---- Retry rounds -------------------------------------------------
+        // Round 1 serves everyone; each later round re-serves only the
+        // requests that *failed* (never the cancelled or expired ones),
+        // re-admitted with exponential backoff on the new round's clock.
+        // Each round drains the pool completely, so rounds compose on
+        // one timeline by offsetting with the previous makespan.
+        let n = requests.len();
+        let mut outcomes: Vec<Option<RequestOutcome>> = (0..n).map(|_| None).collect();
+        let mut timeline = ServeTimeline::default();
+        let mut evictions = 0usize;
+        let mut shared_blocks = 0usize;
+        let mut time_offset = 0.0f64;
+        let mut retries_used = vec![0usize; n];
+        let mut attempt_base = vec![0usize; n];
+        let mut first_dispatch = vec![f64::INFINITY; n];
+        let mut members: Vec<usize> = (0..n).collect();
+        let mut arrivals: Vec<f64> = requests.iter().map(|r| r.arrival_ms).collect();
+        loop {
+            let round_requests: Vec<GenerationRequest> = members
+                .iter()
+                .zip(&arrivals)
+                .map(|(&r, &a)| {
+                    let mut req = requests[r].clone();
+                    req.arrival_ms = a;
+                    req
+                })
+                .collect();
+            let input = RoundInput {
+                requests: round_requests,
+                orig_ids: members.clone(),
+                attempt_base: members.iter().map(|&r| attempt_base[r]).collect(),
+            };
+            let out = self.serve_round(
+                t,
+                &input,
+                opts,
+                &pool,
+                &pool_cfg,
+                &faults,
+                share,
+                decode_batch,
+            )?;
+            evictions += out.evictions;
+            shared_blocks += out.shared_blocks;
+            for mut span in out.spans {
+                span.start_ms += time_offset;
+                span.end_ms += time_offset;
+                timeline.spans.push(span);
+            }
+            let mut next_members = Vec::new();
+            let mut next_arrivals = Vec::new();
+            for (i, m) in out.members.into_iter().enumerate() {
+                let r = members[i];
+                attempt_base[r] += m.incarnations;
+                if m.first_dispatch_ms.is_finite() {
+                    first_dispatch[r] = first_dispatch[r].min(m.first_dispatch_ms + time_offset);
+                }
+                if matches!(m.status, RequestStatus::Failed { .. })
+                    && retries_used[r] < opts.max_retries
+                {
+                    retries_used[r] += 1;
+                    next_members.push(r);
+                    let exp = (retries_used[r] - 1).min(30) as u32;
+                    next_arrivals.push(opts.retry_backoff_ms * f64::from(1u32 << exp));
+                    continue;
+                }
+                let status = match m.status {
+                    RequestStatus::Failed { error } if retries_used[r] > 0 => {
+                        RequestStatus::RetriesExhausted { error }
+                    }
+                    other => other,
+                };
+                outcomes[r] = Some(RequestOutcome {
+                    request: r,
+                    tokens: m.tokens,
+                    token_times_ms: m
+                        .token_times_ms
+                        .iter()
+                        .map(|&tt| tt + time_offset)
+                        .collect(),
+                    arrival_ms: requests[r].arrival_ms,
+                    first_dispatch_ms: f64::INFINITY, // patched below
+                    prefill_done_ms: if m.prefill_done_ms > 0.0 {
+                        m.prefill_done_ms + time_offset
+                    } else {
+                        0.0
+                    },
+                    finish_ms: if m.finish_ms > 0.0 {
+                        m.finish_ms + time_offset
+                    } else {
+                        0.0
+                    },
+                    attempts: 0, // patched below
+                    status,
+                });
+            }
+            time_offset += out.makespan_ms;
+            if next_members.is_empty() {
+                break;
+            }
+            members = next_members;
+            arrivals = next_arrivals;
+        }
+        timeline
+            .spans
+            .sort_by(|a, b| a.end_ms.partial_cmp(&b.end_ms).expect("finite timestamps"));
+        let outcomes: Vec<RequestOutcome> = outcomes
+            .into_iter()
+            .enumerate()
+            .map(|(r, o)| {
+                let mut o = o.expect("every request resolves to a terminal status");
+                o.first_dispatch_ms = if first_dispatch[r].is_finite() {
+                    first_dispatch[r]
+                } else {
+                    o.arrival_ms
+                };
+                o.attempts = attempt_base[r];
+                o
+            })
+            .collect();
+
+        let kv = kv_report(&pool, opts, evictions, shared_blocks);
+        if kv.leaked_blocks != 0 {
+            return Err(Error::InvalidConfig {
+                what: format!("{} KV pages leaked after serve", kv.leaked_blocks),
+            });
+        }
+        mem.free(Processor::Npu, "paged-kv-pool");
+        Ok(ServeReport {
+            requests: outcomes,
+            timeline,
+            kv,
+        })
+    }
+
+    /// Plans, builds, and executes one retry round's combined lane graph
+    /// (everything the pre-retry `serve` did for the whole batch), with
+    /// fault containment: per-task isolation, the cancellation/deadline
+    /// dispatch gate, fault injection, and per-member outcome
+    /// resolution. The pool must be fully free on entry and is drained
+    /// again before returning.
+    #[allow(clippy::too_many_arguments)] // internal plumbing of `serve`
+    fn serve_round(
+        &self,
+        t: &Transformer<'_>,
+        input: &RoundInput,
+        opts: &ServeOptions,
+        pool: &Arc<BlockPool>,
+        pool_cfg: &PoolConfig,
+        faults: &FaultPlan,
+        share: bool,
+        decode_batch: usize,
+    ) -> Result<RoundOutput> {
+        let requests: &[GenerationRequest] = &input.requests;
         let (segments, cohort_count, shared_blocks) = plan_batch(
             requests,
-            &pool_cfg,
+            pool_cfg,
             self.config().chunk_len,
             opts.max_active,
             opts.pressure,
@@ -948,7 +1395,8 @@ impl LlmNpuEngine {
         let decode_proc = self.config().decode_processor;
         let dsim = DecodeSim::new(t.config().clone(), self.config().soc.clone(), decode_proc);
 
-        // Per-request paged-cache slots and generation state.
+        // Per-request paged-cache slots, generation state, and
+        // fault-containment runtime.
         let slots: Vec<Mutex<Option<PagedKvCache>>> =
             requests.iter().map(|_| Mutex::new(None)).collect();
         let states: Vec<Mutex<ReqState>> = requests
@@ -961,6 +1409,20 @@ impl LlmNpuEngine {
                 }))
             })
             .collect::<Result<_>>()?;
+        let runtime: Vec<ReqRuntime> = requests
+            .iter()
+            .map(|req| ReqRuntime {
+                term: Mutex::new(None),
+                tokens_out: AtomicUsize::new(0),
+                cancel: req.cancel.clone(),
+            })
+            .collect();
+        // Per-segment prefill-completion flags: a prefix sharer's Admit
+        // refuses to fork from a donor whose prefill never completed
+        // (failed or skipped) — the sharer fails cleanly (and retries
+        // unshared) instead of forking a half-written cache.
+        let seg_prefill_ok: Vec<AtomicBool> =
+            segments.iter().map(|_| AtomicBool::new(false)).collect();
 
         // Per-segment prefill machinery over the unshared suffix.
         let mut dags: Vec<PrefillDag> = Vec::with_capacity(segments.len());
@@ -993,7 +1455,7 @@ impl LlmNpuEngine {
         // ---- Build the combined lane graph --------------------------------
         let mut graph = LaneGraph::new();
         let mut closures: Vec<TaskFn<'_>> = Vec::new();
-        let mut meta: Vec<(usize, usize, ServeTaskKind)> = Vec::new();
+        let mut meta: Vec<TaskMeta> = Vec::new();
         let mut builds: Vec<SegBuild> = Vec::new();
         // Decode task id per (request, step) — the token stream spans.
         let mut token_tasks: Vec<Vec<usize>> =
@@ -1011,13 +1473,17 @@ impl LlmNpuEngine {
             cohort_members: &[Vec<usize>],
             segments: &[SegmentPlan],
             requests: &'run [GenerationRequest],
+            orig_ids: &[usize],
+            attempt_base: &[usize],
             builds: &mut [SegBuild],
             graph: &mut LaneGraph,
             closures: &mut Vec<TaskFn<'run>>,
-            meta: &mut Vec<(usize, usize, ServeTaskKind)>,
+            meta: &mut Vec<TaskMeta>,
             token_tasks: &mut [Vec<usize>],
             states: &'run [Mutex<ReqState>],
             slots: &'run [Mutex<Option<PagedKvCache>>],
+            runtime: &'run [ReqRuntime],
+            faults: &'run FaultPlan,
             t: &'run Transformer<'run>,
             dsim: &DecodeSim,
             decode_proc: Processor,
@@ -1046,7 +1512,11 @@ impl LlmNpuEngine {
                     .iter()
                     .map(|&i| {
                         let req = segments[members[i]].req;
-                        dsim.token_ms(requests[req].prompt.len() + step)
+                        let factor = faults.duration_factor(
+                            orig_ids[req],
+                            attempt_base[req] + segments[members[i]].attempt + 1,
+                        );
+                        dsim.token_ms(requests[req].prompt.len() + step) * factor
                     })
                     .fold(0.0, f64::max);
                 let release = active
@@ -1056,7 +1526,7 @@ impl LlmNpuEngine {
                 let first_req = segments[members[active[0]]].req;
                 let (label, kind) = if width == 1 {
                     (
-                        format!("R{first_req}-D{step}"),
+                        format!("R{}-D{step}", orig_ids[first_req]),
                         ServeTaskKind::Decode { step },
                     )
                 } else {
@@ -1065,25 +1535,49 @@ impl LlmNpuEngine {
                         ServeTaskKind::DecodeBatch { step, width },
                     )
                 };
+                // Decode tasks are containment barriers: a failed (or
+                // skipped) member's chain must not poison the cohort —
+                // the task runs for whoever is still live and the
+                // per-member filter inside the body excludes the rest.
                 let id = graph.push(
                     LaneTask {
                         label,
                         processor: decode_proc,
                         duration_ms: duration,
                         release_ms: release,
+                        barrier: true,
                     },
                     deps,
                 )?;
-                meta.push((first_req, segments[members[active[0]]].attempt, kind));
-                let member_reqs: Vec<(usize, usize)> = active
+                meta.push(TaskMeta {
+                    member: first_req,
+                    attempt: attempt_base[first_req] + segments[members[active[0]]].attempt,
+                    kind,
+                    members: active.iter().map(|&i| segments[members[i]].req).collect(),
+                });
+                let member_info: Vec<DecodeMember> = active
                     .iter()
                     .map(|&i| {
                         let req = segments[members[i]].req;
-                        (req, requests[req].prompt.len())
+                        DecodeMember {
+                            member: req,
+                            prompt_len: requests[req].prompt.len(),
+                            orig: orig_ids[req],
+                            attempt: attempt_base[req] + segments[members[i]].attempt + 1,
+                        }
                     })
                     .collect();
                 closures.push(Box::new(move || {
-                    decode_step_body(&member_reqs, step, states, slots, t, on_token)
+                    decode_step_body(
+                        &member_info,
+                        step,
+                        states,
+                        slots,
+                        runtime,
+                        faults,
+                        t,
+                        on_token,
+                    )
                 }));
                 for &i in &active {
                     chain_prev[i] = id;
@@ -1113,10 +1607,12 @@ impl LlmNpuEngine {
             s: usize,
             segments: &[SegmentPlan],
             requests: &'run [GenerationRequest],
+            orig_ids: &[usize],
+            attempt_base: &[usize],
             builds: &mut [SegBuild],
             graph: &mut LaneGraph,
             closures: &mut Vec<TaskFn<'run>>,
-            meta: &mut Vec<(usize, usize, ServeTaskKind)>,
+            meta: &mut Vec<TaskMeta>,
             slots: &'run [Mutex<Option<PagedKvCache>>],
             decode_proc: Processor,
         ) -> Result<()> {
@@ -1129,22 +1625,40 @@ impl LlmNpuEngine {
             }
             deps.sort_unstable();
             deps.dedup();
+            // Release is a containment barrier and is never gate-skipped:
+            // pages must return to the pool on every terminal path.
             let id = graph.push(
                 LaneTask {
-                    label: format!("R{req}-Release"),
+                    label: format!("R{}-Release", orig_ids[req]),
                     processor: decode_proc,
                     duration_ms: FINISH_TASK_MS,
                     release_ms: requests[req].arrival_ms,
+                    barrier: true,
                 },
                 deps,
             )?;
-            meta.push((req, segments[s].attempt, ServeTaskKind::Release));
+            meta.push(TaskMeta {
+                member: req,
+                attempt: attempt_base[req] + segments[s].attempt,
+                kind: ServeTaskKind::Release,
+                members: vec![req],
+            });
             let slot = &slots[req];
             closures.push(Box::new(move || release_slot(slot)));
             builds[s].release = Some(id);
             Ok(())
         }
 
+        // Admissions are chained in planned order: the planner's page
+        // accounting for segment `s` assumes every earlier-planned
+        // segment already reserved (or skipped) its pages, but a fault-
+        // poisoned chain can collapse early and let a later-planned
+        // Admit's gates resolve first — letting it steal pages the plan
+        // earmarked for an earlier one and fail its physical reserve.
+        // The chain pins physical reservation order to planned order
+        // (Admit is a barrier, so a failed predecessor doesn't poison
+        // it; the page-accounting inequality then holds by induction).
+        let mut prev_admit: Option<usize> = None;
         for (s, seg) in segments.iter().enumerate() {
             // Any Done gate on a normal segment needs that segment's
             // Release task — flush its cohort's decode chain, then emit
@@ -1160,6 +1674,8 @@ impl LlmNpuEngine {
                             &cohort_members,
                             &segments,
                             requests,
+                            &input.orig_ids,
+                            &input.attempt_base,
                             &mut builds,
                             &mut graph,
                             &mut closures,
@@ -1167,6 +1683,8 @@ impl LlmNpuEngine {
                             &mut token_tasks,
                             &states,
                             &slots,
+                            &runtime,
+                            faults,
                             t,
                             &dsim,
                             decode_proc,
@@ -1179,6 +1697,8 @@ impl LlmNpuEngine {
                             g,
                             &segments,
                             requests,
+                            &input.orig_ids,
+                            &input.attempt_base,
                             &mut builds,
                             &mut graph,
                             &mut closures,
@@ -1191,15 +1711,21 @@ impl LlmNpuEngine {
             }
             let req = seg.req;
             let request = &requests[req];
-            let attempt = seg.attempt;
+            let orig = input.orig_ids[req];
+            // Attempt numbering is global across rounds: memory-pressure
+            // evictions and failure retries share one ladder, so the
+            // attempt-numbered spans witness both preemption *and* retry.
+            let attempt = input.attempt_base[req] + seg.attempt;
+            let fault_attempt = attempt + 1; // 1-based, FaultSpec keying
+            let dur_factor = faults.duration_factor(orig, fault_attempt);
             let rlabel = if attempt == 0 {
-                format!("R{req}")
+                format!("R{orig}")
             } else {
-                format!("R{req}.{attempt}")
+                format!("R{orig}.{attempt}")
             };
 
             // Admission: reserve pages (forking the donor's prefix).
-            let gate_deps: Vec<usize> = seg
+            let mut gate_deps: Vec<usize> = seg
                 .gates
                 .iter()
                 .map(|&(g, kind)| match kind {
@@ -1213,35 +1739,70 @@ impl LlmNpuEngine {
                     }
                 })
                 .collect();
+            if let Some(prev) = prev_admit {
+                gate_deps.push(prev);
+            }
+            // Admit is a barrier (it must *run* after failed gates so the
+            // donor check below can fail the sharer cleanly), but it is
+            // gate-skippable: a request already cancelled or expired
+            // reserves nothing.
             let admit = graph.push(
                 LaneTask {
                     label: format!("{rlabel}-Admit"),
                     processor: decode_proc,
                     duration_ms: FINISH_TASK_MS,
                     release_ms: request.arrival_ms,
+                    barrier: true,
                 },
                 gate_deps,
             )?;
-            meta.push((req, attempt, ServeTaskKind::Admit));
+            meta.push(TaskMeta {
+                member: req,
+                attempt,
+                kind: ServeTaskKind::Admit,
+                members: vec![req],
+            });
+            prev_admit = Some(admit);
             {
-                let pool = Arc::clone(&pool);
+                let pool = Arc::clone(pool);
                 let slot = &slots[req];
-                let donor_slot = seg.shared.map(|sh| &slots[segments[sh.donor_seg].req]);
+                let donor = seg
+                    .shared
+                    .map(|sh| (sh.donor_seg, &slots[segments[sh.donor_seg].req]));
                 let shared_tokens = seg.shared.map_or(0, |sh| sh.tokens);
                 let total = request.total_tokens();
-                closures.push(Box::new(move || {
-                    let cache = match donor_slot {
-                        None => PagedKvCache::reserve(&pool, total).map_err(|e| e.to_string())?,
-                        Some(d) => {
-                            let guard = d.lock().expect("donor slot");
-                            let donor = guard.as_ref().ok_or("prefix donor cache missing")?;
-                            PagedKvCache::reserve_shared(&pool, donor, shared_tokens, total)
-                                .map_err(|e| e.to_string())?
+                let admit_fault = faults
+                    .fault_at(orig, fault_attempt, FaultSite::Admit)
+                    .copied();
+                let prefill_ok = &seg_prefill_ok;
+                closures.push(contain(
+                    &runtime[req],
+                    Box::new(move || {
+                        if let Some(f) = admit_fault {
+                            let msg = format!("injected admit fault: request {orig}");
+                            match f.mode {
+                                FaultMode::Panic => panic!("{msg}"),
+                                FaultMode::Error => return Err(msg),
+                            }
                         }
-                    };
-                    *slot.lock().expect("kv slot") = Some(cache);
-                    Ok(())
-                }));
+                        let cache = match donor {
+                            None => {
+                                PagedKvCache::reserve(&pool, total).map_err(|e| e.to_string())?
+                            }
+                            Some((dseg, dslot)) => {
+                                if !prefill_ok[dseg].load(Ordering::Acquire) {
+                                    return Err("prefix donor prefill incomplete".to_string());
+                                }
+                                let guard = plain_lock(dslot);
+                                let donor = guard.as_ref().ok_or("prefix donor cache missing")?;
+                                PagedKvCache::reserve_shared(&pool, donor, shared_tokens, total)
+                                    .map_err(|e| e.to_string())?
+                            }
+                        };
+                        *plain_lock(slot) = Some(cache);
+                        Ok(())
+                    }),
+                ));
             }
 
             // The suffix prefill DAG; roots wait on admission.
@@ -1255,23 +1816,55 @@ impl LlmNpuEngine {
                     LaneTask {
                         label: format!("{rlabel}-{}", task.label),
                         processor: task.processor,
-                        duration_ms: task.duration_ms,
+                        duration_ms: task.duration_ms * dur_factor,
                         release_ms: request.arrival_ms,
+                        barrier: false,
                     },
                     deps,
                 )?;
-                meta.push((
-                    req,
+                meta.push(TaskMeta {
+                    member: req,
                     attempt,
-                    ServeTaskKind::PrefillStage {
+                    kind: ServeTaskKind::PrefillStage {
                         chunk: task.chunk,
                         layer: task.layer,
                         stage: task.stage,
                         role: task.role,
                     },
-                ));
+                    members: vec![req],
+                });
             }
-            closures.extend(programs[s].closures(&dags[s]));
+            closures.extend(
+                programs[s]
+                    .closures(&dags[s])
+                    .into_iter()
+                    .map(|f| contain(&runtime[req], f)),
+            );
+            // Scripted prefill faults replace the matching stage closure
+            // (the Main-path FFN of the targeted chunk/layer — a unique
+            // task per site) outright.
+            if !faults.faults.is_empty() {
+                for (i, task) in dags[s].tasks().iter().enumerate() {
+                    if task.role != TaskRole::Main || task.stage != Stage::Ffn {
+                        continue;
+                    }
+                    let site = FaultSite::Prefill {
+                        chunk: task.chunk,
+                        layer: task.layer,
+                    };
+                    if let Some(f) = faults.fault_at(orig, fault_attempt, site) {
+                        let msg = format!(
+                            "injected prefill fault: request {orig} chunk {} layer {}",
+                            task.chunk, task.layer
+                        );
+                        let inner: TaskFn<'_> = match f.mode {
+                            FaultMode::Panic => Box::new(move || panic!("{msg}")),
+                            FaultMode::Error => Box::new(move || Err(msg)),
+                        };
+                        closures[offset + i] = contain(&runtime[req], inner);
+                    }
+                }
+            }
 
             // Prefill terminal: last-hidden assembly — or, for a
             // preempted incarnation, the eviction (pages freed, work
@@ -1289,27 +1882,41 @@ impl LlmNpuEngine {
                     ServeTaskKind::PrefillFinish,
                 )
             };
+            // An eviction is a containment barrier (its page release must
+            // run even when the incarnation's prefill failed); a real
+            // PrefillFinish is not — a failed prefill poisons it.
             let finish = graph.push(
                 LaneTask {
                     label: flabel,
                     processor: decode_proc,
                     duration_ms: FINISH_TASK_MS,
                     release_ms: request.arrival_ms,
+                    barrier: seg.evicted,
                 },
                 finish_deps,
             )?;
-            meta.push((req, attempt, fkind));
+            meta.push(TaskMeta {
+                member: req,
+                attempt,
+                kind: fkind,
+                members: vec![req],
+            });
             if seg.evicted {
                 let slot = &slots[req];
                 closures.push(Box::new(move || release_slot(slot)));
             } else {
                 let program = &programs[s];
                 let state = &states[req];
-                closures.push(Box::new(move || {
-                    let last = program.last_hidden_row().map_err(|e| e.to_string())?;
-                    state.lock().expect("request state").last_hidden = Some(last);
-                    Ok(())
-                }));
+                let ok_flag = &seg_prefill_ok[s];
+                closures.push(contain(
+                    &runtime[req],
+                    Box::new(move || {
+                        let last = program.last_hidden_row().map_err(|e| e.to_string())?;
+                        plain_lock(state).last_hidden = Some(last);
+                        ok_flag.store(true, Ordering::Release);
+                        Ok(())
+                    }),
+                ));
                 cohort_members[seg.cohort].push(s);
             }
             builds.push(SegBuild {
@@ -1326,6 +1933,8 @@ impl LlmNpuEngine {
                     &cohort_members,
                     &segments,
                     requests,
+                    &input.orig_ids,
+                    &input.attempt_base,
                     &mut builds,
                     &mut graph,
                     &mut closures,
@@ -1333,6 +1942,8 @@ impl LlmNpuEngine {
                     &mut token_tasks,
                     &states,
                     &slots,
+                    &runtime,
+                    faults,
                     t,
                     &dsim,
                     decode_proc,
@@ -1349,6 +1960,8 @@ impl LlmNpuEngine {
                     s,
                     &segments,
                     requests,
+                    &input.orig_ids,
+                    &input.attempt_base,
                     &mut builds,
                     &mut graph,
                     &mut closures,
@@ -1362,105 +1975,208 @@ impl LlmNpuEngine {
         debug_assert_eq!(graph.len(), meta.len());
 
         // ---- Run the combined graph on the engine's lanes -----------------
-        let spans = self.pool().install_scope(|| {
-            execute_lane_graph(&graph, closures, self.config().policy, self.pool())
+        // Isolated mode: a task failure poisons only its request's chain;
+        // the gate skips tasks of cancelled/expired/failed requests at
+        // dispatch time. Only *structural* errors surface as Err here.
+        let gate: GateFn<'_> = Box::new(|task: usize, now: f64| -> bool {
+            let m = &meta[task];
+            let skippable = !matches!(m.kind, ServeTaskKind::Release | ServeTaskKind::Evicted);
+            let mut all_terminal = !m.members.is_empty();
+            for &mem in &m.members {
+                let rt = &runtime[mem];
+                let mut term = plain_lock(&rt.term);
+                if term.is_none() {
+                    let req = &requests[mem];
+                    if rt.cancel.is_cancelled() {
+                        *term = Some(RequestStatus::Cancelled);
+                    } else if req
+                        .deadline_ms
+                        .is_some_and(|d| now >= req.arrival_ms + d - DEADLINE_EPS)
+                        || (rt.tokens_out.load(Ordering::Acquire) == 0
+                            && req
+                                .ttft_deadline_ms
+                                .is_some_and(|d| now >= req.arrival_ms + d - DEADLINE_EPS))
+                    {
+                        *term = Some(RequestStatus::DeadlineExceeded);
+                    }
+                }
+                if term.is_none() {
+                    all_terminal = false;
+                }
+            }
+            skippable && all_terminal
+        });
+        let task_outcomes = self.pool().install_scope(|| {
+            execute_lane_graph_isolated(
+                &graph,
+                closures,
+                self.config().policy,
+                self.pool(),
+                Some(gate),
+            )
         })?;
 
         // Belt and braces: whatever a failed path left behind, drain it
-        // before accounting (normal runs already released everything).
+        // before accounting (barrier Release tasks already released the
+        // normal and most failed paths).
         for slot in &slots {
             let _ = release_slot(slot);
         }
 
-        // Unified timeline, completion order.
-        let mut order: Vec<usize> = (0..graph.len()).collect();
-        order.sort_by(|&a, &b| {
-            spans[a]
-                .1
-                .partial_cmp(&spans[b].1)
-                .expect("finite timestamps")
-        });
-        let mut timeline = ServeTimeline::default();
-        for i in order {
-            let (request, attempt, kind) = meta[i];
-            timeline.spans.push(ServeSpan {
-                request,
-                attempt,
+        // Round timeline, completion order (skipped tasks have no span).
+        let mut order: Vec<(f64, usize)> = (0..graph.len())
+            .filter_map(|i| task_outcomes[i].span().map(|(_, end)| (end, i)))
+            .collect();
+        order.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite timestamps"));
+        let mut spans_out: Vec<ServeSpan> = Vec::with_capacity(order.len());
+        for (_, i) in order {
+            let (start_ms, end_ms) = task_outcomes[i].span().expect("filtered to executed");
+            let m = &meta[i];
+            spans_out.push(ServeSpan {
+                request: input.orig_ids[m.member],
+                attempt: m.attempt,
                 label: graph.tasks()[i].label.clone(),
-                kind,
+                kind: m.kind,
                 processor: graph.tasks()[i].processor,
-                start_ms: spans[i].0,
-                end_ms: spans[i].1,
+                start_ms,
+                end_ms,
             });
         }
+        let makespan_ms = spans_out.iter().map(|s| s.end_ms).fold(0.0, f64::max);
 
-        // Per-request metrics + token streams.
-        let mut outcomes = Vec::with_capacity(requests.len());
-        for (r, req) in requests.iter().enumerate() {
-            let st = states[r].lock().expect("request state");
-            if st.tokens.len() != req.max_new_tokens {
-                return Err(Error::InvalidConfig {
-                    what: format!(
-                        "request {r} produced {} of {} tokens",
-                        st.tokens.len(),
-                        req.max_new_tokens
-                    ),
-                });
-            }
-            let attempts = segments.iter().filter(|s| s.req == r).count();
-            let final_seg = segments
-                .iter()
-                .position(|s| s.req == r && !s.evicted)
-                .expect("every request has a surviving incarnation");
-            let first_dispatch_ms = meta
-                .iter()
-                .enumerate()
-                .filter(|(_, &(mr, _, _))| mr == r)
-                .map(|(i, _)| spans[i].0)
+        // Per-member resolution: status, stream, metrics.
+        let mut members_out = Vec::with_capacity(requests.len());
+        for (m, req) in requests.iter().enumerate() {
+            let st = plain_lock(&states[m]);
+            let term = plain_lock(&runtime[m].term).take();
+            let status = if st.tokens.len() == req.max_new_tokens {
+                // A complete stream wins even over a recorded terminal: a
+                // cancel/deadline that landed after the last token, or a
+                // failure confined to a doomed evicted incarnation, did
+                // not cost the caller anything.
+                RequestStatus::Completed
+            } else {
+                match term {
+                    Some(s) => s,
+                    None => {
+                        let attributed = (0..graph.len()).find_map(|i| {
+                            if meta[i].members.contains(&m) {
+                                task_outcomes[i].error().map(str::to_owned)
+                            } else {
+                                None
+                            }
+                        });
+                        RequestStatus::Failed {
+                            error: attributed.unwrap_or_else(|| {
+                                format!(
+                                    "produced {} of {} tokens",
+                                    st.tokens.len(),
+                                    req.max_new_tokens
+                                )
+                            }),
+                        }
+                    }
+                }
+            };
+            let first_dispatch_ms = (0..graph.len())
+                .filter(|&i| meta[i].members.contains(&m))
+                .filter_map(|i| task_outcomes[i].span().map(|(start, _)| start))
                 .fold(f64::INFINITY, f64::min);
-            let token_times_ms: Vec<f64> = token_tasks[r].iter().map(|&i| spans[i].1).collect();
-            outcomes.push(RequestOutcome {
-                request: r,
+            let prefill_done_ms = segments
+                .iter()
+                .position(|s| s.req == m && !s.evicted)
+                .map(|fs| builds[fs].prefill_finish)
+                .and_then(|tid| match &task_outcomes[tid] {
+                    TaskOutcome::Completed { end_ms, .. } => Some(*end_ms),
+                    _ => None,
+                })
+                .unwrap_or(0.0);
+            let token_times_ms: Vec<f64> = token_tasks[m][..st.tokens.len()]
+                .iter()
+                .map(|&i| task_outcomes[i].span().map_or(0.0, |(_, end)| end))
+                .collect();
+            let incarnations = segments.iter().filter(|s| s.req == m).count();
+            members_out.push(MemberRound {
+                status,
                 tokens: st.tokens.clone(),
                 finish_ms: token_times_ms.last().copied().unwrap_or(0.0),
                 token_times_ms,
-                arrival_ms: req.arrival_ms,
                 first_dispatch_ms,
-                prefill_done_ms: spans[builds[final_seg].prefill_finish].1,
-                attempts,
+                prefill_done_ms,
+                incarnations,
             });
         }
 
-        let kv = kv_report(&pool, opts, evictions, shared_blocks);
-        if kv.leaked_blocks != 0 {
-            return Err(Error::InvalidConfig {
-                what: format!("{} KV pages leaked after serve", kv.leaked_blocks),
-            });
-        }
-        mem.free(Processor::Npu, "paged-kv-pool");
-        Ok(ServeReport {
-            requests: outcomes,
-            timeline,
-            kv,
+        Ok(RoundOutput {
+            members: members_out,
+            spans: spans_out,
+            makespan_ms,
+            evictions,
+            shared_blocks,
         })
     }
 }
 
-/// The numeric body of one (possibly batched) decode step: forward every
-/// member's previous token through one `m = B` stacked forward, then
-/// project + sample each member's next token, emitting it to the sink.
+/// The numeric body of one (possibly batched) decode step: filter the
+/// cohort down to its *live* members, forward every live member's
+/// previous token through one `m = B` stacked forward, then project +
+/// sample each member's next token, emitting it to the sink.
+///
+/// Liveness is per member — a cancelled, expired, or failed member is
+/// excluded from the stacked GEMM without touching its neighbors (row
+/// exclusion is bit-safe for row-wise backends, the only ones that
+/// batch), which is what keeps a cohort-mate's failure out of every
+/// other stream.
+#[allow(clippy::too_many_arguments)] // mirrors the serving plumbing
 fn decode_step_body(
-    member_reqs: &[(usize, usize)],
+    members: &[DecodeMember],
     step: usize,
     states: &[Mutex<ReqState>],
     slots: &[Mutex<Option<PagedKvCache>>],
+    runtime: &[ReqRuntime],
+    faults: &FaultPlan,
     t: &Transformer<'_>,
     on_token: Option<&TokenSink>,
 ) -> std::result::Result<(), String> {
-    // Lock members in fixed (request) order.
-    let mut state_guards: Vec<_> = member_reqs
+    let mut live: Vec<&DecodeMember> = Vec::with_capacity(members.len());
+    for dm in members {
+        {
+            let mut term = plain_lock(&runtime[dm.member].term);
+            if term.is_none() && runtime[dm.member].cancel.is_cancelled() {
+                *term = Some(RequestStatus::Cancelled);
+            }
+            if term.is_some() {
+                continue;
+            }
+            let g = plain_lock(&states[dm.member]);
+            if g.tokens.len() != step || g.last_hidden.is_none() {
+                // The member's chain never reached this step (upstream
+                // failure or skip) — not live here.
+                continue;
+            }
+            if let Some(f) = faults.fault_at(dm.orig, dm.attempt, FaultSite::Decode { step }) {
+                let msg = format!("injected decode fault: request {} step {step}", dm.orig);
+                if f.mode == FaultMode::Panic && members.len() == 1 {
+                    drop(g);
+                    drop(term);
+                    panic!("{msg}");
+                }
+                // Inside a cohort the blast radius must stay per-member:
+                // record the failure and exclude the member; neighbors in
+                // the same batched GEMM keep decoding.
+                *term = Some(RequestStatus::Failed { error: msg });
+                continue;
+            }
+        }
+        live.push(dm);
+    }
+    if live.is_empty() {
+        return Ok(());
+    }
+    // Lock live members in cohort order (this task is the only holder).
+    let mut state_guards: Vec<_> = live
         .iter()
-        .map(|&(r, _)| states[r].lock().expect("request state"))
+        .map(|dm| plain_lock(&states[dm.member]))
         .collect();
     if step > 0 {
         // Forward every member's token `step - 1`: one batched GEMM per
@@ -1474,17 +2190,15 @@ fn decode_step_body(
                     .ok_or("missing previous token")
             })
             .collect::<std::result::Result<_, _>>()?;
-        let mut slot_guards: Vec<_> = member_reqs
+        let mut slot_guards: Vec<_> = live
             .iter()
-            .map(|&(r, _)| slots[r].lock().expect("kv slot"))
+            .map(|dm| plain_lock(&slots[dm.member]))
             .collect();
-        let mut entries: Vec<PagedDecodeEntry<'_>> = Vec::with_capacity(member_reqs.len());
-        for ((guard, &(_, prompt_len)), &token) in
-            slot_guards.iter_mut().zip(member_reqs).zip(&tokens)
-        {
+        let mut entries: Vec<PagedDecodeEntry<'_>> = Vec::with_capacity(live.len());
+        for ((guard, dm), &token) in slot_guards.iter_mut().zip(&live).zip(&tokens) {
             entries.push(PagedDecodeEntry {
                 token,
-                pos: prompt_len + step - 1,
+                pos: dm.prompt_len + step - 1,
                 kv: guard.as_mut().ok_or("missing kv cache")?,
             });
         }
@@ -1500,19 +2214,21 @@ fn decode_step_body(
     // LM head over the stacked last-hidden rows (one m = B GEMM), then
     // per-member seeded sampling.
     let hidden = t.config().hidden;
-    let mut stacked = Vec::with_capacity(member_reqs.len() * hidden);
+    let mut stacked = Vec::with_capacity(live.len() * hidden);
     for g in &state_guards {
         stacked.extend_from_slice(g.last_hidden.as_ref().ok_or("missing hidden state")?.row(0));
     }
-    let stacked =
-        Tensor::from_vec(stacked, [member_reqs.len(), hidden]).map_err(|e| e.to_string())?;
+    let stacked = Tensor::from_vec(stacked, [live.len(), hidden]).map_err(|e| e.to_string())?;
     let logits = t.logits(&stacked).map_err(|e| e.to_string())?;
     for (i, g) in state_guards.iter_mut().enumerate() {
         let token = g.sampler.sample(logits.row(i)).map_err(|e| e.to_string())?;
         g.tokens.push(token);
+        runtime[live[i].member]
+            .tokens_out
+            .fetch_add(1, Ordering::AcqRel);
         if let Some(sink) = on_token {
             sink(&TokenEvent {
-                request: member_reqs[i].0,
+                request: live[i].orig,
                 step,
                 token,
             });
@@ -1521,9 +2237,10 @@ fn decode_step_body(
     Ok(())
 }
 
-/// Returns a request's pages to the pool (eviction or completion).
+/// Returns a request's pages to the pool (eviction, completion, or any
+/// failed terminal path — the zero-leak invariant's workhorse).
 fn release_slot(slot: &Mutex<Option<PagedKvCache>>) -> std::result::Result<(), String> {
-    if let Some(mut cache) = slot.lock().expect("kv slot").take() {
+    if let Some(mut cache) = plain_lock(slot).take() {
         cache.release().map_err(|e| e.to_string())?;
     }
     Ok(())
@@ -1585,6 +2302,23 @@ fn validate_inputs(requests: &[GenerationRequest], opts: &ServeOptions) -> Resul
                 what: format!("request {r} has invalid arrival {}", req.arrival_ms),
             });
         }
+        for (name, d) in [
+            ("deadline_ms", req.deadline_ms),
+            ("ttft_deadline_ms", req.ttft_deadline_ms),
+        ] {
+            if let Some(d) = d {
+                if !d.is_finite() || d < 0.0 {
+                    return Err(Error::InvalidConfig {
+                        what: format!("request {r} has invalid {name} {d}"),
+                    });
+                }
+            }
+        }
+    }
+    if !opts.retry_backoff_ms.is_finite() || opts.retry_backoff_ms < 0.0 {
+        return Err(Error::InvalidConfig {
+            what: format!("invalid retry_backoff_ms {}", opts.retry_backoff_ms),
+        });
     }
     Ok(())
 }
@@ -1633,6 +2367,7 @@ mod tests {
             prefill_done_ms: 20.0,
             finish_ms: 40.0,
             attempts: 1,
+            status: RequestStatus::Completed,
         };
         assert!((o.queue_wait_ms() - 5.0).abs() < 1e-12);
         assert!((o.ttft_ms() - 25.0).abs() < 1e-12);

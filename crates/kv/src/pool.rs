@@ -8,7 +8,7 @@
 //! forked to share a common prefix, and a write into a shared block
 //! copies it first (copy-on-write).
 
-use std::sync::{Mutex, RwLock};
+use std::sync::{Mutex, PoisonError, RwLock};
 
 use crate::{Error, Result};
 
@@ -66,7 +66,12 @@ impl PoolConfig {
 }
 
 /// One layer's page storage: keys and values behind read-write locks
-/// (many concurrent attention readers, brief row writers).
+/// (many concurrent attention readers, brief row writers). The slabs
+/// are plain `f32` data — a panicking holder cannot corrupt them
+/// (readers don't mutate; the row writer's `copy_from_slice` validates
+/// its bounds before moving any element) — so acquisitions below
+/// recover from lock poisoning via [`PoisonError::into_inner`] instead
+/// of turning one request's panic into a pool-wide denial of service.
 #[derive(Debug)]
 struct LayerStore {
     k: RwLock<Vec<f32>>,
@@ -101,6 +106,16 @@ pub struct PoolStats {
     pub cow_copies: u64,
     /// Total pool bytes (all layers, keys + values, f32).
     pub bytes: u64,
+}
+
+/// Locks the ownership metadata, recovering from poisoning: every
+/// mutation under this lock is validate-then-apply (bounds and refcounts
+/// are checked before the first write, and the apply loops are
+/// infallible), so a panicking holder cannot leave `Meta` torn — and a
+/// permanently poisoned pool would turn one request's panic into a
+/// pool-wide denial of service.
+fn lock_meta(m: &Mutex<Meta>) -> std::sync::MutexGuard<'_, Meta> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// The fixed-page KV block pool.
@@ -156,20 +171,20 @@ impl BlockPool {
     /// Currently free blocks.
     #[must_use]
     pub fn free_blocks(&self) -> usize {
-        self.meta.lock().expect("pool meta").free.len()
+        lock_meta(&self.meta).free.len()
     }
 
     /// Currently referenced blocks — the leak counter: must be zero
     /// after every table has been released.
     #[must_use]
     pub fn used_blocks(&self) -> usize {
-        self.meta.lock().expect("pool meta").used
+        lock_meta(&self.meta).used
     }
 
     /// Accounting snapshot.
     #[must_use]
     pub fn stats(&self) -> PoolStats {
-        let m = self.meta.lock().expect("pool meta");
+        let m = lock_meta(&self.meta);
         PoolStats {
             total_blocks: self.cfg.blocks,
             free_blocks: m.free.len(),
@@ -192,7 +207,7 @@ impl BlockPool {
     ///
     /// Returns [`Error::OutOfRange`] for a bad block id.
     pub fn ref_count(&self, block: BlockId) -> Result<u32> {
-        let m = self.meta.lock().expect("pool meta");
+        let m = lock_meta(&self.meta);
         m.refs.get(block).copied().ok_or(Error::OutOfRange {
             what: "block",
             index: block,
@@ -206,7 +221,7 @@ impl BlockPool {
     ///
     /// Returns [`Error::OutOfPages`] if fewer than `n` blocks are free.
     pub fn alloc_blocks(&self, n: usize) -> Result<Vec<BlockId>> {
-        let mut m = self.meta.lock().expect("pool meta");
+        let mut m = lock_meta(&self.meta);
         if m.free.len() < n {
             return Err(Error::OutOfPages {
                 requested: n,
@@ -231,7 +246,7 @@ impl BlockPool {
     /// Returns [`Error::OutOfRange`] for a bad id or a free block (a
     /// free block cannot be retained — that would resurrect it).
     pub fn retain_blocks(&self, blocks: &[BlockId]) -> Result<()> {
-        let mut m = self.meta.lock().expect("pool meta");
+        let mut m = lock_meta(&self.meta);
         for &b in blocks {
             if b >= self.cfg.blocks || m.refs[b] == 0 {
                 return Err(Error::OutOfRange {
@@ -255,7 +270,7 @@ impl BlockPool {
     /// Returns [`Error::OutOfRange`] for a bad id or an already-free
     /// block (a double release).
     pub fn release_blocks(&self, blocks: &[BlockId]) -> Result<usize> {
-        let mut m = self.meta.lock().expect("pool meta");
+        let mut m = lock_meta(&self.meta);
         for &b in blocks {
             if b >= self.cfg.blocks || m.refs[b] == 0 {
                 return Err(Error::OutOfRange {
@@ -328,8 +343,10 @@ impl BlockPool {
         }
         let off = (block * self.cfg.block_tokens + slot) * self.cfg.kv_dim;
         let store = &self.layers[layer];
-        store.k.write().expect("layer k")[off..off + self.cfg.kv_dim].copy_from_slice(k_row);
-        store.v.write().expect("layer v")[off..off + self.cfg.kv_dim].copy_from_slice(v_row);
+        store.k.write().unwrap_or_else(PoisonError::into_inner)[off..off + self.cfg.kv_dim]
+            .copy_from_slice(k_row);
+        store.v.write().unwrap_or_else(PoisonError::into_inner)[off..off + self.cfg.kv_dim]
+            .copy_from_slice(v_row);
         Ok(())
     }
 
@@ -342,12 +359,12 @@ impl BlockPool {
             store
                 .k
                 .write()
-                .expect("layer k")
+                .unwrap_or_else(PoisonError::into_inner)
                 .copy_within(s..s + elems, d);
             store
                 .v
                 .write()
-                .expect("layer v")
+                .unwrap_or_else(PoisonError::into_inner)
                 .copy_within(s..s + elems, d);
         }
     }
@@ -368,8 +385,8 @@ impl BlockPool {
             });
         }
         let store = &self.layers[layer];
-        let k = store.k.read().expect("layer k");
-        let v = store.v.read().expect("layer v");
+        let k = store.k.read().unwrap_or_else(PoisonError::into_inner);
+        let v = store.v.read().unwrap_or_else(PoisonError::into_inner);
         Ok(f(&k, &v))
     }
 }
@@ -514,7 +531,7 @@ impl BlockTable {
         pool.copy_block(old, fresh[0]);
         pool.release_blocks(&[old])?;
         self.blocks[idx] = fresh[0];
-        pool.meta.lock().expect("pool meta").cow_copies += 1;
+        lock_meta(&pool.meta).cow_copies += 1;
         Ok(true)
     }
 

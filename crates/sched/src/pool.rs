@@ -50,7 +50,7 @@
 #![allow(unsafe_code)]
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex, TryLockError};
+use std::sync::{Arc, Condvar, Mutex, PoisonError, TryLockError};
 use std::thread::JoinHandle;
 
 use llmnpu_tensor::kernel::parallel::{self, InlineBackend, Job, ParallelBackend};
@@ -78,12 +78,25 @@ struct JobsPtr {
 
 unsafe impl Send for JobsPtr {}
 
+/// Per-batch broadcast state. Guarded by `Shared::batch`; every field is
+/// plain slab state that `broadcast` fully resets when it publishes a new
+/// epoch, so a poisoned guard is always recovered via
+/// [`PoisonError::into_inner`] — there is no cross-batch invariant a
+/// panicking holder could have torn.
 struct Batch {
     /// Monotonically increasing batch id; workers run each id once.
     epoch: u64,
     jobs: Option<JobsPtr>,
     /// Spawned workers that have finished their lane for this epoch.
     done_workers: usize,
+    /// Set (under the batch lock, at check-in) when a job panicked on a
+    /// worker during *this* epoch; the submitting thread re-raises after
+    /// the batch completes (a silently swallowed panic would hide kernel
+    /// assertion failures). Living inside `Batch` — reset when each
+    /// epoch is published, written in the same critical section as the
+    /// worker's check-in — makes it per-batch by construction: a late
+    /// store from batch N can never leak into batch N + 1.
+    worker_panicked: bool,
 }
 
 struct Shared {
@@ -91,10 +104,6 @@ struct Shared {
     work: Condvar,
     done: Condvar,
     shutdown: AtomicBool,
-    /// Set when a job panicked on a worker; the submitting thread
-    /// re-raises after the batch completes (a silently swallowed panic
-    /// would hide kernel assertion failures).
-    worker_panicked: AtomicBool,
 }
 
 /// A persistent, deterministically-partitioned worker pool.
@@ -129,11 +138,11 @@ impl WorkerPool {
                 epoch: 0,
                 jobs: None,
                 done_workers: 0,
+                worker_panicked: false,
             }),
             work: Condvar::new(),
             done: Condvar::new(),
             shutdown: AtomicBool::new(false),
-            worker_panicked: AtomicBool::new(false),
         });
         let handles = (0..workers - 1)
             .map(|lane| {
@@ -224,10 +233,11 @@ impl WorkerPool {
         let ptr = jobs.as_mut_ptr().cast::<Job<'static>>();
         let len = jobs.len();
         {
-            let mut batch = self.shared.batch.lock().expect("pool mutex");
+            let mut batch = lock_batch(&self.shared.batch);
             batch.epoch += 1;
             batch.jobs = Some(JobsPtr { ptr, len });
             batch.done_workers = 0;
+            batch.worker_panicked = false;
             self.shared.work.notify_all();
         }
         // The caller is lane `lanes - 1`. Its panic (like a worker's) is
@@ -236,17 +246,21 @@ impl WorkerPool {
         // a use-after-free, and it is exactly what the SAFETY argument
         // forbids.
         let caller_panic = run_lane(ptr, len, lanes - 1, lanes);
-        {
-            let mut batch = self.shared.batch.lock().expect("pool mutex");
+        // The panic flag is read in the same critical section that saw
+        // the final check-in, so it is exactly this batch's verdict —
+        // every epoch publishes a fresh `false` above.
+        let worker_panicked = {
+            let mut batch = lock_batch(&self.shared.batch);
             while batch.done_workers != lanes - 1 {
-                batch = self.shared.done.wait(batch).expect("pool mutex");
+                batch = self
+                    .shared
+                    .done
+                    .wait(batch)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
             batch.jobs = None;
-        }
-        // Clear the worker flag *before* any re-raise: if both the
-        // caller's lane and a worker panicked in this batch, a stale
-        // flag would otherwise fail the next (clean) batch.
-        let worker_panicked = self.shared.worker_panicked.swap(false, Ordering::AcqRel);
+            batch.worker_panicked
+        };
         if let Some(payload) = caller_panic {
             std::panic::resume_unwind(payload);
         }
@@ -254,6 +268,13 @@ impl WorkerPool {
             panic!("a pool worker panicked while running a batch");
         }
     }
+}
+
+/// Locks the batch mutex, recovering from poisoning: `Batch` is plain
+/// per-epoch slab state (see its doc), fully reset at every broadcast,
+/// so there is nothing a panicking holder could have left torn.
+fn lock_batch(m: &Mutex<Batch>) -> std::sync::MutexGuard<'_, Batch> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Runs the jobs of one lane: indices `lane, lane + lanes, …`.
@@ -287,7 +308,7 @@ fn worker_loop(shared: &Shared, lane: usize, lanes: usize) {
     let mut seen_epoch = 0u64;
     loop {
         let (ptr, len) = {
-            let mut batch = shared.batch.lock().expect("pool mutex");
+            let mut batch = lock_batch(&shared.batch);
             loop {
                 if shared.shutdown.load(Ordering::Acquire) {
                     return;
@@ -298,13 +319,20 @@ fn worker_loop(shared: &Shared, lane: usize, lanes: usize) {
                         break (jobs.ptr, jobs.len);
                     }
                 }
-                batch = shared.work.wait(batch).expect("pool mutex");
+                batch = shared
+                    .work
+                    .wait(batch)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
-        if run_lane(ptr, len, lane, lanes).is_some() {
-            shared.worker_panicked.store(true, Ordering::Release);
+        let panicked = run_lane(ptr, len, lane, lanes).is_some();
+        // Flag and check-in are one critical section: the submitter is
+        // still blocked waiting for this check-in, so the flag provably
+        // lands in the epoch this lane just ran.
+        let mut batch = lock_batch(&shared.batch);
+        if panicked {
+            batch.worker_panicked = true;
         }
-        let mut batch = shared.batch.lock().expect("pool mutex");
         batch.done_workers += 1;
         if batch.done_workers == lanes - 1 {
             shared.done.notify_all();
@@ -542,6 +570,32 @@ mod tests {
             ids.iter().any(|id| *id != Some(caller)),
             "post-panic batches must still reach the workers"
         );
+    }
+
+    #[test]
+    fn panic_flag_is_per_batch() {
+        // Both the caller's lane AND a worker lane panic in batch N;
+        // batch N + 1 is clean and must not inherit the verdict. With 2
+        // lanes and 2 jobs, job 1 runs on the caller and job 0 on the
+        // worker.
+        let pool = WorkerPool::new(2);
+        for _ in 0..8 {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut jobs: Vec<Job<'_>> =
+                    (0..2).map(|_| Job::new(move || panic!("boom"))).collect();
+                pool.run_jobs(&mut jobs);
+            }));
+            assert!(result.is_err(), "panic must surface");
+            // The very next batch is clean: a stale flag from the
+            // previous epoch would make this panic.
+            let mut hits = [0u32; 2];
+            {
+                let mut jobs: Vec<Job<'_>> =
+                    hits.iter_mut().map(|h| Job::new(move || *h += 1)).collect();
+                pool.run_jobs(&mut jobs);
+            }
+            assert_eq!(hits, [1, 1]);
+        }
     }
 
     #[test]

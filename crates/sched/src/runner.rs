@@ -37,8 +37,38 @@
 //! edges, and the kernel layer is thread-count-invariant. Scheduling
 //! order changes only the wall-clock interleaving recorded in the
 //! [`ExecutedTimeline`], never a float.
+//!
+//! # Failure containment
+//!
+//! Two execution modes share the dispatcher:
+//!
+//! * [`execute_lane_graph`] is **fail-fast**: the first task failure (or
+//!   panic) aborts the whole run and surfaces as [`Error::Exec`] — the
+//!   right contract for a single request's prefill, where partial
+//!   results are useless.
+//! * [`execute_lane_graph_isolated`] is **fault-contained**: a failing
+//!   or panicking task becomes a per-task [`TaskOutcome::Failed`] that
+//!   poisons only its *dependents* ([`TaskOutcome::Skipped`] with
+//!   [`SkipReason::PoisonedDep`]) — every task not downstream of the
+//!   failure keeps executing. Tasks flagged as containment *barriers*
+//!   ([`LaneTask::barrier`]) absorb the poison: they run even when a
+//!   dependency failed, which is how a request's page-release task is
+//!   guaranteed on every path. An optional dispatch [`GateFn`] is
+//!   consulted under the dispatch lock before each task is handed to a
+//!   lane, so work whose request was cancelled or is past deadline is
+//!   skipped ([`SkipReason::Gated`]), not run.
+//!
+//! Because a task may panic mid-stage in isolated mode, the data-plane
+//! locks here (stage hand-off slots, contiguous KV buffers, paged-KV
+//! write slots) recover from poisoning via
+//! [`PoisonError::into_inner`](std::sync::PoisonError::into_inner): each
+//! guards a plain value slab that a panicking *reader or whole-value
+//! writer* cannot leave half-mutated, and a truly torn write only
+//! poisons the chain the failed task already poisoned logically. The one
+//! lock where poisoning stays fatal is the dispatcher's own bookkeeping
+//! mutex — see the field doc on `Dispatcher::state`.
 
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use llmnpu_graph::chunk::ChunkPlan;
@@ -213,6 +243,14 @@ pub struct LaneTask {
     /// Earliest wall-clock start, ms from run start (a request's arrival
     /// time in the serving scheduler; 0 for always-available work).
     pub release_ms: f64,
+    /// Containment barrier (isolated mode only): the task still runs
+    /// when a dependency failed or was skipped, instead of being
+    /// poisoned along with the rest of the chain. Bookkeeping tasks that
+    /// must execute on every path — page releases, evictions, admission
+    /// gates of *other* requests — are barriers; numeric tasks, whose
+    /// inputs genuinely do not exist after an upstream failure, are not.
+    /// Ignored by the fail-fast [`execute_lane_graph`].
+    pub barrier: bool,
 }
 
 /// A dependency-structured batch of lane tasks — the generic input of
@@ -304,6 +342,7 @@ impl LaneGraph {
                     processor: task.processor,
                     duration_ms: task.duration_ms,
                     release_ms: 0.0,
+                    barrier: false,
                 },
                 dag.deps(i).to_vec(),
             )?;
@@ -399,11 +438,13 @@ impl ExecCtx<'_, '_> {
             KvStore::Buffered(bufs) => {
                 let lo = start * self.kv_dim;
                 let hi = (start + len) * self.kv_dim;
-                bufs[layer].k.lock().expect("kv mutex")[lo..hi].copy_from_slice(k.as_slice());
-                bufs[layer].v.lock().expect("kv mutex")[lo..hi].copy_from_slice(v.as_slice());
+                bufs[layer].k.lock().unwrap_or_else(PoisonError::into_inner)[lo..hi]
+                    .copy_from_slice(k.as_slice());
+                bufs[layer].v.lock().unwrap_or_else(PoisonError::into_inner)[lo..hi]
+                    .copy_from_slice(v.as_slice());
             }
             KvStore::Paged(slot) => {
-                let mut guard = slot.lock().expect("paged kv slot");
+                let mut guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
                 let cache = guard.as_mut().ok_or("kv pages not reserved before write")?;
                 for r in 0..len {
                     cache
@@ -423,12 +464,12 @@ impl ExecCtx<'_, '_> {
     ) -> (Tensor<f32>, Tensor<f32>) {
         let hi = visible_rows * self.kv_dim;
         let k = Tensor::from_vec(
-            bufs[layer].k.lock().expect("kv mutex")[..hi].to_vec(),
+            bufs[layer].k.lock().unwrap_or_else(PoisonError::into_inner)[..hi].to_vec(),
             [visible_rows, self.kv_dim],
         )
         .expect("kv shape");
         let v = Tensor::from_vec(
-            bufs[layer].v.lock().expect("kv mutex")[..hi].to_vec(),
+            bufs[layer].v.lock().unwrap_or_else(PoisonError::into_inner)[..hi].to_vec(),
             [visible_rows, self.kv_dim],
         )
         .expect("kv shape");
@@ -460,7 +501,7 @@ impl ExecCtx<'_, '_> {
                 // holding the owner's mutex across it would serialize
                 // this request's independent stage tasks.
                 let reader = {
-                    let guard = slot.lock().expect("paged kv slot");
+                    let guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
                     guard
                         .as_ref()
                         .ok_or("kv pages not reserved before read")?
@@ -480,7 +521,7 @@ pub type TaskFn<'run> = Box<dyn FnOnce() -> std::result::Result<(), String> + Se
 
 fn take<T>(slot: &Mutex<Option<T>>, what: &str) -> std::result::Result<T, String> {
     slot.lock()
-        .expect("slot mutex")
+        .unwrap_or_else(PoisonError::into_inner)
         .take()
         .ok_or_else(|| format!("missing {what} input"))
 }
@@ -499,47 +540,54 @@ fn task_closure<'run>(ctx: &'run ExecCtx<'_, '_>, task: &Task, split: bool) -> T
         match (role, stage) {
             (TaskRole::Main, Stage::AttnPre) => {
                 let a_in = {
-                    let h = slots.h.lock().expect("slot mutex");
+                    let h = slots.h.lock().unwrap_or_else(PoisonError::into_inner);
                     t.stage_attn_pre(layer, &h).map_err(err)?
                 };
-                *slots.a_in.lock().expect("slot mutex") = Some(std::sync::Arc::new(a_in));
+                *slots.a_in.lock().unwrap_or_else(PoisonError::into_inner) =
+                    Some(std::sync::Arc::new(a_in));
             }
             (TaskRole::Main, Stage::QkvLinear) => {
                 let a_in = slots
                     .a_in
                     .lock()
-                    .expect("slot mutex")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .clone()
                     .ok_or("missing a_in input")?;
                 if split {
                     // Shadow task attached: compute the quantized mains
                     // only; the merge task finishes the stage.
                     let mains = t.stage_qkv_main(layer, &a_in).map_err(err)?;
-                    *slots.qkv_mains.lock().expect("slot mutex") = Some(mains);
+                    *slots
+                        .qkv_mains
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner) = Some(mains);
                 } else {
                     let (q, k, v) = t.stage_qkv(layer, &a_in, start_pos).map_err(err)?;
-                    *slots.a_in.lock().expect("slot mutex") = None;
+                    *slots.a_in.lock().unwrap_or_else(PoisonError::into_inner) = None;
                     ctx.write_kv(layer, chunk, &k, &v)?;
-                    *slots.q.lock().expect("slot mutex") = Some(q);
+                    *slots.q.lock().unwrap_or_else(PoisonError::into_inner) = Some(q);
                 }
             }
             (TaskRole::Shadow, Stage::QkvLinear) => {
                 let a_in = slots
                     .a_in
                     .lock()
-                    .expect("slot mutex")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .clone()
                     .ok_or("missing a_in input")?;
                 let shadows = t.stage_qkv_shadow(layer, &a_in).map_err(err)?;
-                *slots.qkv_shadows.lock().expect("slot mutex") = Some(shadows);
+                *slots
+                    .qkv_shadows
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner) = Some(shadows);
             }
             (TaskRole::MergeSync, Stage::QkvLinear) => {
                 let mains = take(&slots.qkv_mains, "qkv mains")?;
                 let shadows = take(&slots.qkv_shadows, "qkv shadows")?;
                 let (q, k, v) = t.stage_qkv_finish(mains, shadows, start_pos).map_err(err)?;
-                *slots.a_in.lock().expect("slot mutex") = None;
+                *slots.a_in.lock().unwrap_or_else(PoisonError::into_inner) = None;
                 ctx.write_kv(layer, chunk, &k, &v)?;
-                *slots.q.lock().expect("slot mutex") = Some(q);
+                *slots.q.lock().unwrap_or_else(PoisonError::into_inner) = Some(q);
             }
             (TaskRole::Main, Stage::Attention) => {
                 let q = take(&slots.q, "q")?;
@@ -547,34 +595,38 @@ fn task_closure<'run>(ctx: &'run ExecCtx<'_, '_>, task: &Task, split: bool) -> T
                 // chunk's end (including any shared prefix before
                 // base_pos), from whichever store holds the rows.
                 let attn = ctx.attention(layer, chunk, &q)?;
-                *slots.attn.lock().expect("slot mutex") = Some(attn);
+                *slots.attn.lock().unwrap_or_else(PoisonError::into_inner) = Some(attn);
             }
             (TaskRole::Main, Stage::OProj) => {
                 let attn = take(&slots.attn, "attention output")?;
-                let mut h = slots.h.lock().expect("slot mutex");
+                let mut h = slots.h.lock().unwrap_or_else(PoisonError::into_inner);
                 *h = t.stage_attn_out(layer, &h, &attn).map_err(err)?;
             }
             (TaskRole::Main, Stage::FfnPre) => {
                 let f_in = {
-                    let h = slots.h.lock().expect("slot mutex");
+                    let h = slots.h.lock().unwrap_or_else(PoisonError::into_inner);
                     t.stage_ffn_pre(layer, &h).map_err(err)?
                 };
-                *slots.f_in.lock().expect("slot mutex") = Some(std::sync::Arc::new(f_in));
+                *slots.f_in.lock().unwrap_or_else(PoisonError::into_inner) =
+                    Some(std::sync::Arc::new(f_in));
             }
             (TaskRole::Main, Stage::Ffn) => {
                 let f_in = slots
                     .f_in
                     .lock()
-                    .expect("slot mutex")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .clone()
                     .ok_or("missing f_in input")?;
                 if split {
                     let mains = t.stage_ffn_mid_main(layer, &f_in).map_err(err)?;
-                    *slots.ffn_mains.lock().expect("slot mutex") = Some(mains);
+                    *slots
+                        .ffn_mains
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner) = Some(mains);
                 } else {
                     let mid = t.stage_ffn_mid(layer, &f_in).map_err(err)?;
-                    *slots.f_in.lock().expect("slot mutex") = None;
-                    let mut h = slots.h.lock().expect("slot mutex");
+                    *slots.f_in.lock().unwrap_or_else(PoisonError::into_inner) = None;
+                    let mut h = slots.h.lock().unwrap_or_else(PoisonError::into_inner);
                     *h = t.stage_ffn_down(layer, &h, &mid).map_err(err)?;
                 }
             }
@@ -582,18 +634,21 @@ fn task_closure<'run>(ctx: &'run ExecCtx<'_, '_>, task: &Task, split: bool) -> T
                 let f_in = slots
                     .f_in
                     .lock()
-                    .expect("slot mutex")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .clone()
                     .ok_or("missing f_in input")?;
                 let shadows = t.stage_ffn_mid_shadow(layer, &f_in).map_err(err)?;
-                *slots.ffn_shadows.lock().expect("slot mutex") = Some(shadows);
+                *slots
+                    .ffn_shadows
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner) = Some(shadows);
             }
             (TaskRole::MergeSync, Stage::Ffn) => {
                 let mains = take(&slots.ffn_mains, "ffn mains")?;
                 let shadows = take(&slots.ffn_shadows, "ffn shadows")?;
                 let mid = t.stage_ffn_mid_finish(mains, shadows).map_err(err)?;
-                *slots.f_in.lock().expect("slot mutex") = None;
-                let mut h = slots.h.lock().expect("slot mutex");
+                *slots.f_in.lock().unwrap_or_else(PoisonError::into_inner) = None;
+                let mut h = slots.h.lock().unwrap_or_else(PoisonError::into_inner);
                 *h = t.stage_ffn_down(layer, &h, &mid).map_err(err)?;
             }
             (role, stage) => {
@@ -778,7 +833,13 @@ impl<'t, 'w> PrefillProgram<'t, 'w> {
         let hidden_w = self.ctx.t.config().hidden;
         let mut out = Vec::with_capacity(self.ctx.prompt_len * hidden_w);
         for slots in &self.ctx.chunks {
-            out.extend_from_slice(slots.h.lock().expect("slot mutex").as_slice());
+            out.extend_from_slice(
+                slots
+                    .h
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .as_slice(),
+            );
         }
         Tensor::from_vec(out, [self.ctx.prompt_len, hidden_w]).map_err(|e| Error::Exec {
             what: format!("hidden assembly: {e}"),
@@ -796,7 +857,7 @@ impl<'t, 'w> PrefillProgram<'t, 'w> {
         let last = self.ctx.chunks.last().ok_or(Error::Exec {
             what: "empty prefill program".to_owned(),
         })?;
-        let h = last.h.lock().expect("slot mutex");
+        let h = last.h.lock().unwrap_or_else(PoisonError::into_inner);
         let (rows, _) = h.matrix_dims();
         Tensor::from_vec(h.row(rows - 1).to_vec(), [1, hidden_w]).map_err(|e| Error::Exec {
             what: format!("last hidden row: {e}"),
@@ -820,14 +881,14 @@ impl<'t, 'w> PrefillProgram<'t, 'w> {
         let mut cache = KvCache::new(cfg.layers);
         for (layer, buf) in bufs.iter().enumerate() {
             let k = Tensor::from_vec(
-                buf.k.lock().expect("kv mutex").clone(),
+                buf.k.lock().unwrap_or_else(PoisonError::into_inner).clone(),
                 [self.ctx.prompt_len, self.ctx.kv_dim],
             )
             .map_err(|e| Error::Exec {
                 what: format!("kv assembly: {e}"),
             })?;
             let v = Tensor::from_vec(
-                buf.v.lock().expect("kv mutex").clone(),
+                buf.v.lock().unwrap_or_else(PoisonError::into_inner).clone(),
                 [self.ctx.prompt_len, self.ctx.kv_dim],
             )
             .map_err(|e| Error::Exec {
@@ -843,6 +904,85 @@ impl<'t, 'w> PrefillProgram<'t, 'w> {
     }
 }
 
+/// Why an isolated run skipped a task without executing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkipReason {
+    /// A (transitive) dependency failed or was itself skipped, so the
+    /// task's inputs will never exist.
+    PoisonedDep,
+    /// The dispatch gate refused the task — its request was cancelled or
+    /// past its deadline at dispatch time.
+    Gated,
+}
+
+/// Terminal state of one task after [`execute_lane_graph_isolated`].
+#[derive(Debug, Clone)]
+pub enum TaskOutcome {
+    /// Ran to completion; timestamps are ms from run start.
+    Completed {
+        /// Wall-clock start.
+        start_ms: f64,
+        /// Wall-clock end.
+        end_ms: f64,
+    },
+    /// Ran and failed — the closure returned an error or panicked. Only
+    /// the task's non-barrier dependents were poisoned; everything else
+    /// kept executing.
+    Failed {
+        /// Wall-clock start.
+        start_ms: f64,
+        /// Wall-clock end (when the failure was recorded).
+        end_ms: f64,
+        /// The closure's error string (or a panic notice).
+        error: String,
+    },
+    /// Never ran.
+    Skipped {
+        /// When the skip was decided, ms from run start.
+        at_ms: f64,
+        /// Why the dispatcher refused it.
+        reason: SkipReason,
+    },
+}
+
+impl TaskOutcome {
+    /// The executed wall-clock span, if the task actually ran.
+    #[must_use]
+    pub fn span(&self) -> Option<(f64, f64)> {
+        match *self {
+            TaskOutcome::Completed { start_ms, end_ms }
+            | TaskOutcome::Failed {
+                start_ms, end_ms, ..
+            } => Some((start_ms, end_ms)),
+            TaskOutcome::Skipped { .. } => None,
+        }
+    }
+
+    /// Whether the task ran to completion.
+    #[must_use]
+    pub fn is_completed(&self) -> bool {
+        matches!(self, TaskOutcome::Completed { .. })
+    }
+
+    /// The failure message, if the task failed.
+    #[must_use]
+    pub fn error(&self) -> Option<&str> {
+        match self {
+            TaskOutcome::Failed { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+/// A dispatch-time gate for isolated runs, consulted under the dispatch
+/// lock for every dependency-ready task before it can be handed to a
+/// lane: `gate(task_id, now_ms)` returning `true` skips the task
+/// ([`SkipReason::Gated`]) and poisons its non-barrier dependents. The
+/// serving layer uses this for release-aware cancellation and deadline
+/// checks — a task whose request is already terminal is never run. Must
+/// be cheap: it runs with the dispatch lock held.
+pub type GateFn<'run> = Box<dyn Fn(usize, f64) -> bool + Send + Sync + 'run>;
+
 /// Shared dispatch state for the lane loops.
 struct DispatchState {
     scheduled: Vec<bool>,
@@ -851,20 +991,30 @@ struct DispatchState {
     in_flight: usize,
     aborted: bool,
     error: Option<String>,
-    trace: Vec<Option<(f64, f64)>>,
+    outcomes: Vec<Option<TaskOutcome>>,
 }
 
 struct Dispatcher<'d> {
     graph: &'d LaneGraph,
     successors: Vec<Vec<usize>>,
     policy: Policy,
+    /// Fault-contained mode: task failures poison dependents instead of
+    /// aborting the run.
+    isolate: bool,
+    gate: Option<GateFn<'d>>,
+    /// The dispatcher's own bookkeeping mutex (`state`) is the one lock
+    /// in this module where poisoning IS fatal: closures run *outside*
+    /// it, so it can only be poisoned by a panic inside the dispatcher's
+    /// own accounting — and `scheduled`/`remaining`/`in_flight`
+    /// invariants cannot be re-validated after a partial update. Every
+    /// `.expect("dispatch mutex")` below is deliberate.
     state: Mutex<DispatchState>,
     cv: Condvar,
     started: Instant,
 }
 
 impl<'d> Dispatcher<'d> {
-    fn new(graph: &'d LaneGraph, policy: Policy) -> Self {
+    fn new(graph: &'d LaneGraph, policy: Policy, isolate: bool, gate: Option<GateFn<'d>>) -> Self {
         let n = graph.len();
         let mut successors: Vec<Vec<usize>> = vec![Vec::new(); n];
         for t in 0..n {
@@ -876,6 +1026,8 @@ impl<'d> Dispatcher<'d> {
             graph,
             successors,
             policy,
+            isolate,
+            gate,
             state: Mutex::new(DispatchState {
                 scheduled: vec![false; n],
                 done: vec![false; n],
@@ -883,7 +1035,7 @@ impl<'d> Dispatcher<'d> {
                 in_flight: 0,
                 aborted: false,
                 error: None,
-                trace: vec![None; n],
+                outcomes: vec![None; n],
             }),
             cv: Condvar::new(),
             started: Instant::now(),
@@ -976,28 +1128,113 @@ impl<'d> Dispatcher<'d> {
         self.started.elapsed().as_secs_f64() * 1e3
     }
 
+    /// Marks every not-yet-scheduled, non-barrier transitive dependent
+    /// of `t` as skipped ([`SkipReason::PoisonedDep`]). Barrier tasks
+    /// stop the cascade: they still run (cleanup paths must execute even
+    /// when the work they clean up after failed), and their own
+    /// dependents are reached through them only if they fail too.
+    fn poison_dependents(&self, st: &mut DispatchState, t: usize, at_ms: f64) {
+        let tasks = self.graph.tasks();
+        let mut stack: Vec<usize> = self.successors[t].clone();
+        while let Some(s) = stack.pop() {
+            if st.scheduled[s] || tasks[s].barrier {
+                continue;
+            }
+            st.scheduled[s] = true;
+            st.done[s] = true;
+            st.remaining -= 1;
+            st.outcomes[s] = Some(TaskOutcome::Skipped {
+                at_ms,
+                reason: SkipReason::PoisonedDep,
+            });
+            stack.extend(self.successors[s].iter().copied());
+        }
+    }
+
+    /// Applies the dispatch gate (isolated mode only): every unscheduled
+    /// task whose dependencies are settled is offered to the gate; a
+    /// `true` verdict skips it ([`SkipReason::Gated`]) — regardless of
+    /// its release time, so cancelled queued work is retired immediately
+    /// — and poisons its non-barrier dependents. Returns whether
+    /// anything changed, in which case the caller must wake the other
+    /// lanes (a barrier may have become ready elsewhere).
+    fn apply_gate(&self, st: &mut DispatchState, now: f64) -> bool {
+        let Some(gate) = self.gate.as_deref() else {
+            return false;
+        };
+        let mut changed = false;
+        let mut t = 0;
+        while t < self.graph.len() {
+            if !st.scheduled[t] && self.deps_done(st, t) && gate(t, now) {
+                st.scheduled[t] = true;
+                st.done[t] = true;
+                st.remaining -= 1;
+                st.outcomes[t] = Some(TaskOutcome::Skipped {
+                    at_ms: now,
+                    reason: SkipReason::Gated,
+                });
+                self.poison_dependents(st, t, now);
+                changed = true;
+                // A skip settles deps, which can expose earlier-indexed
+                // tasks to the gate: rescan from the top.
+                t = 0;
+            } else {
+                t += 1;
+            }
+        }
+        changed
+    }
+
     /// Runs one task inline, recording timestamps and completion. A
-    /// panicking closure is converted into an executor error so the
-    /// other lane loops drain instead of waiting forever on a task that
-    /// will never complete.
+    /// panicking closure is converted into a task failure; in fail-fast
+    /// mode that aborts the whole run (the other lane loops drain
+    /// instead of waiting forever), in isolated mode it poisons only the
+    /// task's non-barrier dependency chain and everything else keeps
+    /// executing.
     fn run_task(&self, closures: &[Mutex<Option<TaskFn<'_>>>], t: usize) {
         let closure = closures[t]
             .lock()
-            .expect("closure mutex")
+            .unwrap_or_else(PoisonError::into_inner)
             .take()
             .expect("task dispatched twice");
         let t0 = self.now_ms();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(closure))
-            .unwrap_or_else(|_| Err(format!("task {t} panicked")));
+            .unwrap_or_else(|payload| {
+                // Preserve the payload text (fault injection and asserts
+                // carry their diagnosis there) — `task N panicked` alone
+                // is useless to the caller attributing the failure.
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque payload".to_string());
+                Err(format!("task {t} panicked: {msg}"))
+            });
         let t1 = self.now_ms();
         let mut st = self.state.lock().expect("dispatch mutex");
-        st.trace[t] = Some((t0, t1));
         st.done[t] = true;
         st.remaining -= 1;
         st.in_flight -= 1;
-        if let Err(e) = result {
-            st.aborted = true;
-            st.error.get_or_insert(e);
+        match result {
+            Ok(()) => {
+                st.outcomes[t] = Some(TaskOutcome::Completed {
+                    start_ms: t0,
+                    end_ms: t1,
+                });
+            }
+            Err(e) => {
+                st.outcomes[t] = Some(TaskOutcome::Failed {
+                    start_ms: t0,
+                    end_ms: t1,
+                    error: e.clone(),
+                });
+                if self.isolate {
+                    self.poison_dependents(&mut st, t, t1);
+                } else {
+                    st.aborted = true;
+                    st.error.get_or_insert(e);
+                }
+            }
         }
         drop(st);
         self.cv.notify_all();
@@ -1013,6 +1250,10 @@ impl<'d> Dispatcher<'d> {
                         return;
                     }
                     let now = self.now_ms();
+                    if self.apply_gate(&mut st, now) {
+                        self.cv.notify_all();
+                        continue;
+                    }
                     if let Some(t) = self.pick(&st, p, now) {
                         st.scheduled[t] = true;
                         st.in_flight += 1;
@@ -1053,6 +1294,9 @@ impl<'d> Dispatcher<'d> {
                     return true;
                 }
                 let now = self.now_ms();
+                if self.apply_gate(&mut st, now) {
+                    continue;
+                }
                 let mut found = None;
                 for &p in lanes {
                     if let Some(t) = self.pick(&st, p, now) {
@@ -1085,24 +1329,17 @@ impl<'d> Dispatcher<'d> {
     }
 }
 
-/// Executes a [`LaneGraph`] — one closure per task — out-of-order across
-/// per-processor serial lanes on the persistent pool, honoring release
-/// times and the scheduling policy. Returns each task's measured
-/// `(start_ms, end_ms)` wall-clock span, indexed like the graph.
-///
-/// This is the generic engine under both [`execute_chunked_prefill`]
-/// and the continuous-batching serving scheduler in `llmnpu-core`.
-///
-/// # Errors
-///
-/// Returns [`Error::Exec`] when closure and task counts disagree, when a
-/// task body fails or panics, or when dispatch cannot make progress.
-pub fn execute_lane_graph(
+/// The shared dispatch core under both execution modes: builds the
+/// dispatcher, drives the lane loops on the pool (or the sequential
+/// fallback), and returns every task's outcome.
+fn run_lane_graph<'run>(
     graph: &LaneGraph,
-    closures: Vec<TaskFn<'_>>,
+    closures: Vec<TaskFn<'run>>,
     policy: Policy,
     pool: &WorkerPool,
-) -> Result<Vec<(f64, f64)>> {
+    isolate: bool,
+    gate: Option<GateFn<'run>>,
+) -> Result<Vec<TaskOutcome>> {
     if closures.len() != graph.len() {
         return Err(Error::Exec {
             what: format!(
@@ -1112,13 +1349,13 @@ pub fn execute_lane_graph(
             ),
         });
     }
-    let closures: Vec<Mutex<Option<TaskFn<'_>>>> =
-        closures.into_iter().map(|c| Mutex::new(Some(c))).collect();
-    let lanes = graph.lanes();
-    let dispatcher = Dispatcher::new(graph, policy);
     if graph.is_empty() {
         return Ok(Vec::new());
     }
+    let closures: Vec<Mutex<Option<TaskFn<'_>>>> =
+        closures.into_iter().map(|c| Mutex::new(Some(c))).collect();
+    let lanes = graph.lanes();
+    let dispatcher = Dispatcher::new(graph, policy, isolate, gate);
     let concurrent = {
         let mut jobs: Vec<Job<'_>> = lanes
             .iter()
@@ -1139,10 +1376,67 @@ pub fn execute_lane_graph(
         return Err(Error::Exec { what: e });
     }
     Ok(st
-        .trace
+        .outcomes
         .into_iter()
-        .map(|span| span.expect("all tasks traced"))
+        .map(|o| o.expect("all tasks accounted for"))
         .collect())
+}
+
+/// Executes a [`LaneGraph`] — one closure per task — out-of-order across
+/// per-processor serial lanes on the persistent pool, honoring release
+/// times and the scheduling policy. Returns each task's measured
+/// `(start_ms, end_ms)` wall-clock span, indexed like the graph.
+///
+/// This is the fail-fast mode: the first task failure (or panic) aborts
+/// the whole run. It is the generic engine under
+/// [`execute_chunked_prefill`]; the continuous-batching serving
+/// scheduler in `llmnpu-core` uses the fault-contained
+/// [`execute_lane_graph_isolated`] instead.
+///
+/// # Errors
+///
+/// Returns [`Error::Exec`] when closure and task counts disagree, when a
+/// task body fails or panics, or when dispatch cannot make progress.
+pub fn execute_lane_graph(
+    graph: &LaneGraph,
+    closures: Vec<TaskFn<'_>>,
+    policy: Policy,
+    pool: &WorkerPool,
+) -> Result<Vec<(f64, f64)>> {
+    let outcomes = run_lane_graph(graph, closures, policy, pool, false, None)?;
+    // Fail-fast: an error would have surfaced above, so every task ran.
+    Ok(outcomes
+        .into_iter()
+        .map(|o| o.span().expect("all tasks traced"))
+        .collect())
+}
+
+/// Executes a [`LaneGraph`] with request-level fault containment: a task
+/// body that fails or panics produces [`TaskOutcome::Failed`] and
+/// poisons only its own non-barrier dependency chain
+/// ([`TaskOutcome::Skipped`]) — every other task keeps executing. Tasks
+/// with [`LaneTask::barrier`] set still run after a failed dependency
+/// (cleanup must happen on all paths). The optional `gate` is consulted
+/// under the dispatch lock before any dependency-ready task is handed to
+/// a lane; returning `true` skips the task ([`SkipReason::Gated`]) —
+/// this is how the serving layer retires cancelled and past-deadline
+/// requests without running them.
+///
+/// Returns one [`TaskOutcome`] per task, indexed like the graph.
+///
+/// # Errors
+///
+/// Returns [`Error::Exec`] only for structural problems: closure and
+/// task counts disagreeing, or dispatch unable to make progress. Task
+/// failures are reported in the outcomes, not as errors.
+pub fn execute_lane_graph_isolated<'run>(
+    graph: &LaneGraph,
+    closures: Vec<TaskFn<'run>>,
+    policy: Policy,
+    pool: &WorkerPool,
+    gate: Option<GateFn<'run>>,
+) -> Result<Vec<TaskOutcome>> {
+    run_lane_graph(graph, closures, policy, pool, true, gate)
 }
 
 /// Executes a chunked prefill by running the DAG's tasks out-of-order

@@ -1,0 +1,203 @@
+//! Chaos-harness demo: a heavy-tail queue served against an undersized
+//! paged KV pool while a seeded [`FaultPlan`] injects panics, errors,
+//! and duration spikes — alongside live cancellations and per-request
+//! deadlines. The point of the exercise: every failure is contained to
+//! its own request, every page returns to the pool, and every stream
+//! that survives is bit-identical to its solo run. All of it asserted,
+//! so CI fails loudly if fault containment regresses.
+//!
+//! ```sh
+//! cargo run --example chaos
+//! ```
+
+use std::sync::Arc;
+
+use llmnpu::core::engine::{EngineConfig, LlmNpuEngine};
+use llmnpu::core::faults::{FaultMode, FaultPlan, FaultSite, FaultSpec};
+use llmnpu::core::serve::{
+    GenerationRequest, PressurePolicy, RequestStatus, ServeOptions, TokenEvent,
+};
+use llmnpu::model::backend::FloatBackend;
+use llmnpu::model::config::ModelConfig;
+use llmnpu::model::forward::Transformer;
+use llmnpu::model::weights::{synthesize, OutlierSpec};
+use llmnpu::soc::spec::SocSpec;
+use llmnpu::workloads::traces::{ArrivalTrace, LengthMix};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Injected panics are part of the script — don't let them spray
+    // backtraces over the demo output. Anything else prints as usual.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let scripted = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|m| m.contains("injected"));
+        if !scripted {
+            default_hook(info);
+        }
+    }));
+
+    // A scaled-down numeric model (the real GEMMs) under the full
+    // engine's scheduling machinery.
+    let numeric_cfg = ModelConfig::qwen15_18b().scaled_down(48, 2, 96)?;
+    let weights = synthesize(&numeric_cfg, 7, OutlierSpec::default())?;
+    let float = FloatBackend::new(weights.clone());
+    let t = Transformer::new(&weights, &float);
+
+    let chunk_len = 6usize;
+    let mut cfg = EngineConfig::llmnpu(ModelConfig::qwen15_18b(), SocSpec::snapdragon_8gen3());
+    cfg.chunk_len = chunk_len;
+    let engine = LlmNpuEngine::new(cfg)?;
+
+    // Heavy-tail workload plus adversarial sprinkles: one request is
+    // pre-cancelled, one gets an impossible deadline, one is cancelled
+    // live from the token sink after its second token.
+    let mix = LengthMix::heavy_tail(11, 24, 5, 24);
+    let trace = ArrivalTrace::heavy_tail(11, 1.5, 1.1, mix.len());
+    let (cancelled_up_front, dead_on_arrival, cancelled_mid_stream) = (3usize, 7usize, 5usize);
+    let requests: Vec<GenerationRequest> = mix
+        .shapes
+        .iter()
+        .zip(&trace.arrivals_ms)
+        .enumerate()
+        .map(|(i, (&(prompt_len, max_new), &arrival))| {
+            let mut r = GenerationRequest::synthetic(i, prompt_len, max_new, numeric_cfg.vocab)
+                .with_arrival_ms(arrival);
+            if i == cancelled_up_front {
+                r.cancel.cancel();
+            }
+            if i == dead_on_arrival {
+                // Arrival pinned to zero so the zero deadline is decided
+                // by a constant comparison, not a wall-clock race.
+                r = r.with_arrival_ms(0.0).with_deadline_ms(0.0);
+            }
+            r
+        })
+        .collect();
+    let mid_handle = requests[cancelled_mid_stream].cancel_handle();
+    let sink: Arc<dyn Fn(&TokenEvent) + Send + Sync> = Arc::new(move |ev: &TokenEvent| {
+        if ev.request == cancelled_mid_stream && ev.step == 1 {
+            mid_handle.cancel();
+        }
+    });
+
+    // The seeded chaos script, plus one scripted transient panic and one
+    // scripted permanent error so both retry outcomes always appear.
+    let plan = FaultPlan::seeded(2025, requests.len(), 0.7)
+        .with_fault(FaultSpec {
+            request: 0,
+            attempt: 1,
+            site: FaultSite::Prefill { chunk: 0, layer: 0 },
+            mode: FaultMode::Panic,
+            permanent: false,
+        })
+        .with_fault(FaultSpec {
+            request: 1,
+            attempt: 1,
+            site: FaultSite::Decode { step: 0 },
+            mode: FaultMode::Error,
+            permanent: true,
+        });
+
+    // Size the pool well below the batch's aggregate worst case, so the
+    // chaos also rides on real memory pressure.
+    let block_tokens = 4usize;
+    let needs: Vec<usize> = requests
+        .iter()
+        .map(|r| r.total_tokens().div_ceil(block_tokens))
+        .collect();
+    let total_need: usize = needs.iter().sum();
+    let pool_blocks = (total_need / 5).max(*needs.iter().max().unwrap());
+    println!(
+        "=== chaos | {} requests, {} scripted faults, pool {} of {} worst-case pages ===",
+        requests.len(),
+        plan.faults.len(),
+        pool_blocks,
+        total_need
+    );
+
+    let opts = ServeOptions {
+        max_active: 6,
+        block_tokens,
+        kv_pool_blocks: Some(pool_blocks),
+        pressure: PressurePolicy::EvictYoungest,
+        decode_batch: 2,
+        share_prefixes: true,
+        on_token: Some(sink),
+        max_retries: 2,
+        retry_backoff_ms: 1.0,
+        faults: Some(plan),
+    };
+    let report = engine.serve(&t, &requests, &opts)?;
+
+    println!(
+        "{:>3}  {:>7}  {:>8}  {:>6}  status",
+        "req", "arrive", "attempts", "tokens"
+    );
+    for outcome in &report.requests {
+        println!(
+            "{:>3}  {:>7.1}  {:>8}  {:>6}  {:?}",
+            outcome.request,
+            outcome.arrival_ms,
+            outcome.attempts,
+            outcome.tokens.len(),
+            outcome.status
+        );
+    }
+    let kv = &report.kv;
+    println!(
+        "\npool: {} pages | peak {} | evictions {} | leaked {}",
+        kv.pool_blocks, kv.peak_used_blocks, kv.evictions, kv.leaked_blocks
+    );
+
+    // The hard guarantees, asserted so CI fails loudly if they slip.
+    assert_eq!(kv.leaked_blocks, 0, "pages leaked under chaos");
+    assert!(kv.evictions >= 1, "undersized pool never hit pressure");
+    let completed = report
+        .requests
+        .iter()
+        .filter(|o| o.status.is_completed())
+        .count();
+    let exhausted = report
+        .requests
+        .iter()
+        .filter(|o| matches!(o.status, RequestStatus::RetriesExhausted { .. }))
+        .count();
+    assert!(completed >= requests.len() / 2, "chaos sank most requests");
+    assert!(exhausted >= 1, "the scripted permanent fault vanished");
+    assert_eq!(
+        report.requests[cancelled_up_front].status,
+        RequestStatus::Cancelled
+    );
+    assert_eq!(
+        report.requests[dead_on_arrival].status,
+        RequestStatus::DeadlineExceeded
+    );
+    assert_eq!(
+        report.requests[cancelled_mid_stream].status,
+        RequestStatus::Cancelled,
+        "sink cancellation lost"
+    );
+    assert_eq!(report.requests[cancelled_mid_stream].tokens.len(), 2);
+    assert_eq!(
+        report.requests[0].status,
+        RequestStatus::Completed,
+        "transient panic did not recover through a retry"
+    );
+    assert!(report.requests[0].attempts > 1, "retry witness missing");
+    // Every survivor is bit-identical to its solo run.
+    let mut verified = 0usize;
+    for outcome in &report.requests {
+        if outcome.status.is_completed() {
+            let r = &requests[outcome.request];
+            let solo = t.generate(&r.prompt, Some(chunk_len), r.max_new_tokens, &r.sampler)?;
+            assert_eq!(outcome.tokens, solo, "request {} diverged", outcome.request);
+            verified += 1;
+        }
+    }
+    println!(
+        "contained: {completed} completed ({verified} verified against solo), {exhausted} exhausted retries, zero leaks"
+    );
+    Ok(())
+}
