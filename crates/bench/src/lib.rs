@@ -5,6 +5,8 @@
 //! where the paper states a number, and writes a JSON record to
 //! `target/experiments/<id>.json` for downstream analysis.
 
+#![forbid(unsafe_code)]
+
 use std::fs;
 use std::path::PathBuf;
 

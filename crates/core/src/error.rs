@@ -24,6 +24,19 @@ pub enum Error {
         /// Description of the constraint that failed.
         what: String,
     },
+    /// The static plan verifier rejected a spliced serving plan before
+    /// execution: one line per finding, in check order.
+    PlanRejected {
+        /// Rendered findings from `llmnpu-verify`.
+        findings: Vec<String>,
+    },
+    /// An internal planner/graph-splicing invariant failed to hold.
+    /// Surfaced as a typed error (not a panic) so serving stays
+    /// fault-contained even against engine bugs.
+    Internal {
+        /// Description of the broken invariant.
+        what: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -37,6 +50,18 @@ impl fmt::Display for Error {
                 write!(f, "{engine} does not support {model}")
             }
             Error::InvalidConfig { what } => write!(f, "invalid engine config: {what}"),
+            Error::PlanRejected { findings } => {
+                write!(
+                    f,
+                    "plan verification failed ({} finding(s))",
+                    findings.len()
+                )?;
+                for finding in findings {
+                    write!(f, "\n  {finding}")?;
+                }
+                Ok(())
+            }
+            Error::Internal { what } => write!(f, "internal invariant violated: {what}"),
         }
     }
 }

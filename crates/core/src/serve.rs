@@ -76,7 +76,7 @@
 //! [`Sampler`]: llmnpu_model::sample::Sampler
 //! [`Transformer::generate`]: llmnpu_model::forward::Transformer::generate
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
@@ -654,6 +654,11 @@ pub struct ServeReport {
     pub timeline: ServeTimeline,
     /// Paged-KV pool accounting.
     pub kv: KvPoolReport,
+    /// Static-verification proof sizes, one entry per retry round: every
+    /// round's spliced plan was proven clean by `llmnpu-verify` before a
+    /// single task ran (a finding aborts the run with
+    /// [`Error::PlanRejected`] instead).
+    pub verification: Vec<llmnpu_verify::PlanStats>,
 }
 
 impl ServeReport {
@@ -1087,6 +1092,20 @@ struct RoundOutput {
     makespan_ms: f64,
     evictions: usize,
     shared_blocks: usize,
+    /// The static verifier's (clean) report for the round's spliced
+    /// graph — findings would have aborted the round instead.
+    verified: llmnpu_verify::Report,
+}
+
+/// Whether a round executes its graph or stops after static
+/// verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RoundMode {
+    /// Verify, then execute (the serving path).
+    Execute,
+    /// Build and verify the spliced plan, then return without running a
+    /// single task (the [`LlmNpuEngine::verify_serve`] path).
+    DryRun,
 }
 
 /// One retry round's members: arrival-adjusted request clones plus the
@@ -1176,41 +1195,7 @@ impl LlmNpuEngine {
         let share = opts.share_prefixes && row_wise;
         let decode_batch = if row_wise { opts.decode_batch } else { 1 };
         let faults = opts.faults.clone().unwrap_or_default();
-
-        // The paged pool: sized to the batch (no pressure) by default,
-        // or to the caller's explicit page budget.
-        let auto_blocks: usize = requests
-            .iter()
-            .map(|r| r.total_tokens().div_ceil(opts.block_tokens))
-            .sum();
-        let max_need: usize = requests
-            .iter()
-            .map(|r| r.total_tokens().div_ceil(opts.block_tokens))
-            .max()
-            .unwrap_or(0);
-        let mut blocks = opts.kv_pool_blocks.unwrap_or(auto_blocks.max(1));
-        if let Some(cap) = faults.pool_blocks_cap {
-            // Pool-pressure squeeze: clamp the pool, but never below the
-            // largest single request (nothing could ever be admitted).
-            blocks = blocks.min(cap).max(max_need.max(1));
-        }
-        let pool_cfg = PoolConfig {
-            layers: t.config().layers,
-            kv_dim: t.config().kv_dim(),
-            block_tokens: opts.block_tokens,
-            blocks,
-        };
-        for (r, req) in requests.iter().enumerate() {
-            let need = pool_cfg.blocks_for(req.total_tokens());
-            if need > pool_cfg.blocks {
-                return Err(Error::InvalidConfig {
-                    what: format!(
-                        "request {r} needs {need} KV pages, pool holds {}",
-                        pool_cfg.blocks
-                    ),
-                });
-            }
-        }
+        let pool_cfg = serve_pool_config(t, requests, opts, &faults)?;
         let pool = Arc::new(BlockPool::new(pool_cfg.clone()).map_err(kv_err)?);
         // The pool is one slab in the SoC's NPU-addressable space: the
         // window (and DRAM budget) bound how much KV a device can serve.
@@ -1222,6 +1207,7 @@ impl LlmNpuEngine {
                 requests: Vec::new(),
                 timeline: ServeTimeline::default(),
                 kv: kv_report(&pool, opts, 0, 0),
+                verification: Vec::new(),
             });
         }
 
@@ -1236,6 +1222,7 @@ impl LlmNpuEngine {
         let mut timeline = ServeTimeline::default();
         let mut evictions = 0usize;
         let mut shared_blocks = 0usize;
+        let mut verification: Vec<llmnpu_verify::PlanStats> = Vec::new();
         let mut time_offset = 0.0f64;
         let mut retries_used = vec![0usize; n];
         let mut attempt_base = vec![0usize; n];
@@ -1266,9 +1253,11 @@ impl LlmNpuEngine {
                 &faults,
                 share,
                 decode_batch,
+                RoundMode::Execute,
             )?;
             evictions += out.evictions;
             shared_blocks += out.shared_blocks;
+            verification.push(out.verified.stats);
             for mut span in out.spans {
                 span.start_ms += time_offset;
                 span.end_ms += time_offset;
@@ -1330,11 +1319,13 @@ impl LlmNpuEngine {
         }
         timeline
             .spans
+            // lint: allow(panic) — span timestamps come from executed-outcome filtering below, never NaN
             .sort_by(|a, b| a.end_ms.partial_cmp(&b.end_ms).expect("finite timestamps"));
         let outcomes: Vec<RequestOutcome> = outcomes
             .into_iter()
             .enumerate()
             .map(|(r, o)| {
+                // lint: allow(panic) — the round loop only exits once every member reached a terminal status
                 let mut o = o.expect("every request resolves to a terminal status");
                 o.first_dispatch_ms = if first_dispatch[r].is_finite() {
                     first_dispatch[r]
@@ -1357,7 +1348,61 @@ impl LlmNpuEngine {
             requests: outcomes,
             timeline,
             kv,
+            verification,
         })
+    }
+
+    /// Statically verifies the serving plan for `requests` without
+    /// executing a single task: plans the batch, builds and splices the
+    /// full first-round lane graph exactly as [`LlmNpuEngine::serve`]
+    /// would, runs the `llmnpu-verify` checks against it, and returns
+    /// the proof. No pool pages are reserved, no model math runs, and no
+    /// time passes on any lane.
+    ///
+    /// A clean [`llmnpu_verify::Report`] means the plan is deadlock-free,
+    /// its admissions fit the page budget, every admitted segment's
+    /// pages provably return on all outcome paths, and no two tasks race
+    /// on KV state — the same gate `serve` itself applies before each
+    /// round.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same input/option validation errors as
+    /// [`LlmNpuEngine::serve`], or [`Error::PlanRejected`] listing the
+    /// findings when verification fails.
+    pub fn verify_serve(
+        &self,
+        t: &Transformer<'_>,
+        requests: &[GenerationRequest],
+        opts: &ServeOptions,
+    ) -> Result<llmnpu_verify::Report> {
+        validate_inputs(requests, opts)?;
+        let row_wise = t.backend_row_wise();
+        let share = opts.share_prefixes && row_wise;
+        let decode_batch = if row_wise { opts.decode_batch } else { 1 };
+        let faults = opts.faults.clone().unwrap_or_default();
+        let pool_cfg = serve_pool_config(t, requests, opts, &faults)?;
+        if requests.is_empty() {
+            return Ok(llmnpu_verify::Report::default());
+        }
+        let pool = Arc::new(BlockPool::new(pool_cfg.clone()).map_err(kv_err)?);
+        let input = RoundInput {
+            requests: requests.to_vec(),
+            orig_ids: (0..requests.len()).collect(),
+            attempt_base: vec![0; requests.len()],
+        };
+        let out = self.serve_round(
+            t,
+            &input,
+            opts,
+            &pool,
+            &pool_cfg,
+            &faults,
+            share,
+            decode_batch,
+            RoundMode::DryRun,
+        )?;
+        Ok(out.verified)
     }
 
     /// Plans, builds, and executes one retry round's combined lane graph
@@ -1377,6 +1422,7 @@ impl LlmNpuEngine {
         faults: &FaultPlan,
         share: bool,
         decode_batch: usize,
+        mode: RoundMode,
     ) -> Result<RoundOutput> {
         let requests: &[GenerationRequest] = &input.requests;
         let (segments, cohort_count, shared_blocks) = plan_batch(
@@ -1617,9 +1663,10 @@ impl LlmNpuEngine {
             decode_proc: Processor,
         ) -> Result<()> {
             let req = segments[s].req;
-            let mut deps = vec![builds[s]
-                .last_decode
-                .expect("cohort flushed before release")];
+            let last_decode = builds[s].last_decode.ok_or_else(|| Error::Internal {
+                what: format!("release for segment {s} emitted before its cohort was flushed"),
+            })?;
+            let mut deps = vec![last_decode];
             for &sharer in &segments[s].sharer_segs {
                 deps.push(builds[sharer].admit);
             }
@@ -1725,20 +1772,24 @@ impl LlmNpuEngine {
             };
 
             // Admission: reserve pages (forking the donor's prefix).
-            let mut gate_deps: Vec<usize> = seg
-                .gates
-                .iter()
-                .map(|&(g, kind)| match kind {
+            let mut gate_deps: Vec<usize> = Vec::with_capacity(seg.gates.len() + 1);
+            for &(g, kind) in &seg.gates {
+                gate_deps.push(match kind {
                     GateKind::PrefillDone => builds[g].prefill_finish,
                     GateKind::Done => {
                         if segments[g].evicted {
                             builds[g].prefill_finish
                         } else {
-                            builds[g].release.expect("cohort flushed before gate")
+                            builds[g].release.ok_or_else(|| Error::Internal {
+                                what: format!(
+                                    "segment {s} gates on segment {g}'s release, \
+                                     which was never emitted"
+                                ),
+                            })?
                         }
                     }
-                })
-                .collect();
+                });
+            }
             if let Some(prev) = prev_admit {
                 gate_deps.push(prev);
             }
@@ -1974,6 +2025,30 @@ impl LlmNpuEngine {
         debug_assert_eq!(graph.len(), closures.len());
         debug_assert_eq!(graph.len(), meta.len());
 
+        // ---- Static plan verification -------------------------------------
+        // The spliced graph carries every invariant the round relies on:
+        // acyclicity, the pinned admission order, race-free KV writes,
+        // the page budget, and poison-proof cleanup. Prove all of them
+        // before a single closure runs; a finding aborts the round.
+        let vplan = build_verify_plan(&graph, &meta, &segments, &builds, &plans, input, pool_cfg);
+        let verified = llmnpu_verify::verify(&vplan);
+        if !verified.is_clean() {
+            return Err(Error::PlanRejected {
+                findings: verified.findings.iter().map(ToString::to_string).collect(),
+            });
+        }
+        if mode == RoundMode::DryRun {
+            // Nothing executed: no spans, no outcomes, pool untouched.
+            return Ok(RoundOutput {
+                members: Vec::new(),
+                spans: Vec::new(),
+                makespan_ms: 0.0,
+                evictions,
+                shared_blocks,
+                verified,
+            });
+        }
+
         // ---- Run the combined graph on the engine's lanes -----------------
         // Isolated mode: a task failure poisons only its request's chain;
         // the gate skips tasks of cancelled/expired/failed requests at
@@ -2027,9 +2102,11 @@ impl LlmNpuEngine {
         let mut order: Vec<(f64, usize)> = (0..graph.len())
             .filter_map(|i| task_outcomes[i].span().map(|(_, end)| (end, i)))
             .collect();
+        // lint: allow(panic) — spans are measured monotonic-clock readings, never NaN
         order.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite timestamps"));
         let mut spans_out: Vec<ServeSpan> = Vec::with_capacity(order.len());
         for (_, i) in order {
+            // lint: allow(panic) — `order` was built from exactly the outcomes that carry a span
             let (start_ms, end_ms) = task_outcomes[i].span().expect("filtered to executed");
             let m = &meta[i];
             spans_out.push(ServeSpan {
@@ -2113,8 +2190,231 @@ impl LlmNpuEngine {
             makespan_ms,
             evictions,
             shared_blocks,
+            verified,
         })
     }
+}
+
+/// Translates one round's spliced lane graph plus the planner's segment
+/// metadata into an [`llmnpu_verify::Plan`] for static verification.
+///
+/// The structural half (tasks, lanes, edges, barriers, times) comes from
+/// [`LaneGraph::verify_plan`]; this function enriches it with what only
+/// serve knows:
+///
+/// - **Gate/fault flags** mirroring the dispatch gate's closure (every
+///   kind is gate-skippable except `Release` and `Evicted`) and the
+///   `contain` wrapping (admission, prefill, and decode bodies can
+///   fail; the slot-draining cleanup tasks cannot).
+/// - **KV address spaces**: space `seg * layers + layer` holds segment
+///   `seg`'s absolute token positions at one decoder layer; prefix
+///   sharing maps a sharer's shared positions into its donor's spaces
+///   (transitively), exactly like the pool's block tables — a sharer
+///   never writes a donor space (copy-on-write gives it fresh pages).
+///   Writers are the KV-appending `QkvLinear` stages (the `Main` role
+///   when no shadow split took the stage, the `MergeSync` role when one
+///   did) and decode steps ≥ 1 (position `prompt + step − 1`); readers
+///   are `Attention` stages (Equation 2's visibility: everything
+///   through the chunk's end) and decode steps (everything before the
+///   new position).
+/// - **The cache-slot space** (one cell per round member, after the KV
+///   spaces): admission installs a cache, release/eviction drains it,
+///   a prefix fork reads the donor's cell.
+/// - **The segment table** for the page-budget and leak proofs: fresh
+///   blocks per admission (the planner's own formula), the donor link,
+///   and each incarnation's terminal (Release, or Evicted for a
+///   preempted one).
+#[allow(clippy::too_many_arguments)] // mirrors the serving plumbing
+fn build_verify_plan(
+    graph: &LaneGraph,
+    meta: &[TaskMeta],
+    segments: &[SegmentPlan],
+    builds: &[SegBuild],
+    plans: &[ChunkPlan],
+    input: &RoundInput,
+    pool_cfg: &PoolConfig,
+) -> llmnpu_verify::Plan {
+    use llmnpu_verify::{Access, Segment, TaskClass};
+
+    let requests: &[GenerationRequest] = &input.requests;
+    let mut plan = graph.verify_plan();
+    let layers = pool_cfg.layers.max(1);
+    let kv_space = |seg: usize, layer: usize| (seg * layers + layer) as u64;
+    let slot_space = (segments.len() * layers) as u64;
+
+    // Which (segment, absolute-position range) backs each segment's KV:
+    // its own space beyond any shared prefix, its donor's coverage
+    // (clipped, transitively) before it. Built in segment order — a
+    // donor is always an earlier segment.
+    let mut coverage: Vec<Vec<(usize, u64, u64)>> = Vec::with_capacity(segments.len());
+    for (s, seg) in segments.iter().enumerate() {
+        let total = requests[seg.req].total_tokens() as u64;
+        let mut cov: Vec<(usize, u64, u64)> = Vec::new();
+        if let Some(sh) = seg.shared {
+            let cut = sh.tokens as u64;
+            for &(cs, lo, hi) in &coverage[sh.donor_seg] {
+                if lo < cut {
+                    cov.push((cs, lo, hi.min(cut)));
+                }
+            }
+            cov.push((s, cut, total));
+        } else {
+            cov.push((s, 0, total));
+        }
+        coverage.push(cov);
+    }
+
+    // Segment of each (member, global attempt); the surviving (non-
+    // evicted) segment per member, which decode tasks belong to.
+    let mut seg_of: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut surviving: Vec<Option<usize>> = vec![None; requests.len()];
+    for (s, seg) in segments.iter().enumerate() {
+        seg_of.insert((seg.req, input.attempt_base[seg.req] + seg.attempt), s);
+        if !seg.evicted {
+            surviving[seg.req] = Some(s);
+        }
+    }
+
+    // Shadow-split sites per segment: their Main QkvLinear computes
+    // pre-merge halves only — the MergeSync task is the KV writer.
+    let mut split_sets: Vec<HashSet<(usize, Stage)>> = vec![HashSet::new(); segments.len()];
+    for m in meta {
+        if let ServeTaskKind::PrefillStage {
+            layer, stage, role, ..
+        } = m.kind
+        {
+            if role == TaskRole::Shadow {
+                if let Some(&s) = seg_of.get(&(m.member, m.attempt)) {
+                    split_sets[s].insert((layer, stage));
+                }
+            }
+        }
+    }
+
+    for (t, m) in meta.iter().enumerate() {
+        let task = &mut plan.tasks[t];
+        // The dispatch gate's skippability closure, verbatim.
+        task.gated = !matches!(m.kind, ServeTaskKind::Release | ServeTaskKind::Evicted);
+        match m.kind {
+            ServeTaskKind::Admit => {
+                let Some(&s) = seg_of.get(&(m.member, m.attempt)) else {
+                    continue;
+                };
+                task.class = TaskClass::Admit;
+                task.serialized = true;
+                task.fallible = true;
+                task.owner = Some(s);
+                task.writes.push(Access::cell(slot_space, m.member as u64));
+                if let Some(sh) = segments[s].shared {
+                    let donor_req = segments[sh.donor_seg].req;
+                    task.reads.push(Access::cell(slot_space, donor_req as u64));
+                }
+            }
+            ServeTaskKind::PrefillStage {
+                chunk,
+                layer,
+                stage,
+                role,
+            } => {
+                let Some(&s) = seg_of.get(&(m.member, m.attempt)) else {
+                    continue;
+                };
+                task.fallible = true;
+                task.owner = Some(s);
+                task.reads.push(Access::cell(slot_space, m.member as u64));
+                let shared = segments[s].shared.map_or(0, |sh| sh.tokens);
+                let suffix = requests[segments[s].req].prompt.len() - shared;
+                let clen = plans[s].chunk_len;
+                let lo = (shared + chunk * clen) as u64;
+                let hi = (shared + chunk * clen + clen.min(suffix - chunk * clen)) as u64;
+                let writes_kv = match (role, stage) {
+                    (TaskRole::Main, Stage::QkvLinear) => {
+                        !split_sets[s].contains(&(layer, Stage::QkvLinear))
+                    }
+                    (TaskRole::MergeSync, Stage::QkvLinear) => true,
+                    _ => false,
+                };
+                if writes_kv {
+                    task.writes.push(Access::range(kv_space(s, layer), lo, hi));
+                }
+                if role == TaskRole::Main && stage == Stage::Attention {
+                    for &(cs, clo, chi) in &coverage[s] {
+                        let rhi = chi.min(hi);
+                        if clo < rhi {
+                            task.reads
+                                .push(Access::range(kv_space(cs, layer), clo, rhi));
+                        }
+                    }
+                }
+            }
+            ServeTaskKind::PrefillFinish => {
+                let Some(&s) = seg_of.get(&(m.member, m.attempt)) else {
+                    continue;
+                };
+                task.fallible = true;
+                task.owner = Some(s);
+                task.reads.push(Access::cell(slot_space, m.member as u64));
+            }
+            ServeTaskKind::Evicted => {
+                let Some(&s) = seg_of.get(&(m.member, m.attempt)) else {
+                    continue;
+                };
+                task.class = TaskClass::Evict;
+                task.owner = Some(s);
+                task.writes.push(Access::cell(slot_space, m.member as u64));
+            }
+            ServeTaskKind::Decode { step } | ServeTaskKind::DecodeBatch { step, .. } => {
+                task.fallible = true;
+                task.owner = surviving[m.member];
+                for &mem in &m.members {
+                    let Some(s) = surviving[mem] else { continue };
+                    task.reads.push(Access::cell(slot_space, mem as u64));
+                    if step == 0 {
+                        // Step 0 samples from the prefill's last hidden
+                        // row: no forward pass, no KV traffic.
+                        continue;
+                    }
+                    let prompt = requests[mem].prompt.len();
+                    let pos = (prompt + step - 1) as u64;
+                    let hi = (prompt + step) as u64;
+                    for layer in 0..layers {
+                        task.writes.push(Access::cell(kv_space(s, layer), pos));
+                        for &(cs, clo, chi) in &coverage[s] {
+                            let rhi = chi.min(hi);
+                            if clo < rhi {
+                                task.reads
+                                    .push(Access::range(kv_space(cs, layer), clo, rhi));
+                            }
+                        }
+                    }
+                }
+            }
+            ServeTaskKind::Release => {
+                let Some(&s) = seg_of.get(&(m.member, m.attempt)) else {
+                    continue;
+                };
+                task.class = TaskClass::Release;
+                task.owner = Some(s);
+                task.writes.push(Access::cell(slot_space, m.member as u64));
+            }
+        }
+    }
+
+    plan.page_capacity = Some(pool_cfg.blocks);
+    for (s, seg) in segments.iter().enumerate() {
+        let shared = seg.shared.map_or(0, |sh| sh.tokens);
+        plan.segments.push(Segment {
+            admit: Some(builds[s].admit),
+            terminal: if seg.evicted {
+                Some(builds[s].prefill_finish)
+            } else {
+                builds[s].release
+            },
+            fresh_blocks: pool_cfg.blocks_for(requests[seg.req].total_tokens() - shared),
+            donor: seg.shared.map(|sh| sh.donor_seg),
+        });
+    }
+    plan
 }
 
 /// The numeric body of one (possibly batched) decode step: filter the
@@ -2327,6 +2627,50 @@ fn kv_err(e: llmnpu_kv::Error) -> Error {
     Error::InvalidConfig {
         what: format!("kv pool: {e}"),
     }
+}
+
+/// Sizes the shared paged pool for a serving run: auto-sized to the
+/// batch (no pressure) unless the caller pinned a page budget, squeezed
+/// by a fault-plan pool cap (but never below the largest single request
+/// — nothing could ever be admitted), and checked so every request fits
+/// the pool on its own.
+fn serve_pool_config(
+    t: &Transformer<'_>,
+    requests: &[GenerationRequest],
+    opts: &ServeOptions,
+    faults: &FaultPlan,
+) -> Result<PoolConfig> {
+    let auto_blocks: usize = requests
+        .iter()
+        .map(|r| r.total_tokens().div_ceil(opts.block_tokens))
+        .sum();
+    let max_need: usize = requests
+        .iter()
+        .map(|r| r.total_tokens().div_ceil(opts.block_tokens))
+        .max()
+        .unwrap_or(0);
+    let mut blocks = opts.kv_pool_blocks.unwrap_or(auto_blocks.max(1));
+    if let Some(cap) = faults.pool_blocks_cap {
+        blocks = blocks.min(cap).max(max_need.max(1));
+    }
+    let pool_cfg = PoolConfig {
+        layers: t.config().layers,
+        kv_dim: t.config().kv_dim(),
+        block_tokens: opts.block_tokens,
+        blocks,
+    };
+    for (r, req) in requests.iter().enumerate() {
+        let need = pool_cfg.blocks_for(req.total_tokens());
+        if need > pool_cfg.blocks {
+            return Err(Error::InvalidConfig {
+                what: format!(
+                    "request {r} needs {need} KV pages, pool holds {}",
+                    pool_cfg.blocks
+                ),
+            });
+        }
+    }
+    Ok(pool_cfg)
 }
 
 /// Tasks of a DAG with no in-DAG successors (everything a prefill-finish

@@ -32,6 +32,13 @@ pub enum Error {
         /// Elements actually supplied.
         got: usize,
     },
+    /// An internal pool invariant failed to hold — bookkeeping the pool
+    /// itself maintains went out of sync. Surfaced as a typed error so
+    /// serving paths stay panic-free.
+    Inconsistent {
+        /// Description of the broken invariant.
+        what: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -50,6 +57,9 @@ impl fmt::Display for Error {
             }
             Error::WidthMismatch { expected, got } => {
                 write!(f, "kv row width {got}, pool expects {expected}")
+            }
+            Error::Inconsistent { what } => {
+                write!(f, "kv pool invariant violated: {what}")
             }
         }
     }

@@ -461,7 +461,16 @@ impl BlockTable {
             Ok(f) => f,
             Err(e) => {
                 // Undo the retain so a failed reservation leaks nothing.
-                pool.release_blocks(shared).expect("undo retain");
+                // The rollback can only fail if the pool lost track of
+                // blocks it handed out two calls ago — surface that as
+                // its own error rather than masking it with the
+                // allocation failure (or a panic).
+                pool.release_blocks(shared)
+                    .map_err(|undo| Error::Inconsistent {
+                        what: format!(
+                            "rollback of shared-prefix retain failed: {undo} (after {e})"
+                        ),
+                    })?;
                 return Err(e);
             }
         };

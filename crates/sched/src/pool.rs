@@ -76,6 +76,23 @@ struct JobsPtr {
     len: usize,
 }
 
+// SAFETY: `JobsPtr` erases the borrow of the `&mut [Job<'run>]` slice a
+// `broadcast` call publishes, so sending it to worker threads is sound
+// only under the module's two invariants:
+//
+//   1. Jobs outlive the batch — the submitting thread blocks in
+//      `broadcast` until `done_workers` reports every spawned worker
+//      checked in for this epoch, so the pointed-to slice (borrowed from
+//      the submitter's stack) is live for every dereference. The pointer
+//      is additionally cleared (`jobs: None`) before `broadcast`
+//      returns, so no worker can observe it after the borrow ends.
+//   2. Accesses are disjoint — lane `l` touches only indices
+//      `i ≡ l (mod workers)`, so no two threads alias a `Job`, and the
+//      submitting thread only touches its own lane while the batch runs.
+//
+// The regression test `jobs_outlive_the_batch` pins invariant 1: every
+// borrowed slot is observably written the moment `run_concurrent`
+// returns.
 unsafe impl Send for JobsPtr {}
 
 /// Per-batch broadcast state. Guarded by `Shared::batch`; every field is
@@ -153,6 +170,7 @@ impl WorkerPool {
                 std::thread::Builder::new()
                     .name(format!("llmnpu-pool-{lane}"))
                     .spawn(move || worker_loop(&shared, lane, workers))
+                    // lint: allow(panic) — construction-time only; a host that cannot spawn threads cannot serve
                     .expect("spawn pool worker")
             })
             .collect();
@@ -473,6 +491,38 @@ mod tests {
             }),
         ];
         assert!(pool.run_concurrent(&mut jobs));
+    }
+
+    #[test]
+    fn jobs_outlive_the_batch() {
+        // Pins the lifetime-erasure contract behind `unsafe impl Send
+        // for JobsPtr` (invariant 1 of its SAFETY block): the submitter
+        // does not return from a batch until every worker finished, so
+        // slots borrowed from the caller's stack are observably written
+        // the instant `run_jobs`/`run_concurrent` returns, and the
+        // erased pointer is cleared before the borrow ends.
+        let pool = WorkerPool::new(4);
+        for round in 0..200 {
+            let mut slots = [0u64; 8];
+            {
+                let mut jobs: Vec<Job<'_>> = slots
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, s)| Job::new(move || *s = (round * 100 + i) as u64 + 1))
+                    .collect();
+                pool.run_jobs(&mut jobs);
+            }
+            // The borrow of `slots` has ended; every write must already
+            // be visible (a worker still running here would be a
+            // use-after-free of the caller's stack).
+            for (i, &s) in slots.iter().enumerate() {
+                assert_eq!(s, (round * 100 + i) as u64 + 1, "round {round} slot {i}");
+            }
+            // The pool has dropped the erased pointer: no worker can
+            // reach the dead borrow between batches.
+            let batch = pool.shared.batch.lock().unwrap();
+            assert!(batch.jobs.is_none(), "JobsPtr must not outlive its batch");
+        }
     }
 
     #[test]

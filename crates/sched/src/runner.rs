@@ -211,6 +211,7 @@ impl ExecutedTimeline {
                 .filter(|t| t.processor == p)
                 .map(|t| (t.start_ms, t.end_ms))
                 .collect();
+            // lint: allow(panic) — timestamps come from the validated timeline; NaN is a checker bug
             spans.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite timestamps"));
             for w in spans.windows(2) {
                 if w[0].1 > w[1].0 + EPS {
@@ -325,6 +326,37 @@ impl LaneGraph {
             }
         }
         lanes
+    }
+
+    /// Translates the graph into the static verifier's structural IR:
+    /// same task ids, lanes numbered in the fixed NPU/CPU/GPU order,
+    /// every task classified neutrally (no serve-level metadata — the
+    /// serving layer enriches its own translation with task classes,
+    /// page segments, and KV write sets).
+    ///
+    /// Structural verification of the result catches dependency damage,
+    /// cycles, and infeasible timings; it cannot (by construction)
+    /// produce barrier/gate or page findings.
+    #[must_use]
+    pub fn verify_plan(&self) -> llmnpu_verify::Plan {
+        const LANE_ORDER: [Processor; 3] = [Processor::Npu, Processor::Cpu, Processor::Gpu];
+        let mut plan = llmnpu_verify::Plan {
+            lane_names: LANE_ORDER.iter().map(ToString::to_string).collect(),
+            ..llmnpu_verify::Plan::default()
+        };
+        for (i, task) in self.tasks.iter().enumerate() {
+            let lane = LANE_ORDER
+                .iter()
+                .position(|&p| p == task.processor)
+                .unwrap_or(LANE_ORDER.len());
+            let mut vt =
+                llmnpu_verify::PlanTask::new(task.label.clone(), lane, self.deps[i].clone());
+            vt.release_ms = task.release_ms;
+            vt.duration_ms = task.duration_ms;
+            vt.barrier = task.barrier;
+            plan.tasks.push(vt);
+        }
+        plan
     }
 
     /// Mirrors a [`PrefillDag`]'s structure (same task ids) with zero
@@ -461,19 +493,19 @@ impl ExecCtx<'_, '_> {
         bufs: &[LayerKvBuf],
         layer: usize,
         visible_rows: usize,
-    ) -> (Tensor<f32>, Tensor<f32>) {
+    ) -> std::result::Result<(Tensor<f32>, Tensor<f32>), String> {
         let hi = visible_rows * self.kv_dim;
         let k = Tensor::from_vec(
             bufs[layer].k.lock().unwrap_or_else(PoisonError::into_inner)[..hi].to_vec(),
             [visible_rows, self.kv_dim],
         )
-        .expect("kv shape");
+        .map_err(|e| format!("kv key shape: {e}"))?;
         let v = Tensor::from_vec(
             bufs[layer].v.lock().unwrap_or_else(PoisonError::into_inner)[..hi].to_vec(),
             [visible_rows, self.kv_dim],
         )
-        .expect("kv shape");
-        (k, v)
+        .map_err(|e| format!("kv value shape: {e}"))?;
+        Ok((k, v))
     }
 
     /// Attention over everything visible to `chunk` (Equation 2: all
@@ -490,7 +522,7 @@ impl ExecCtx<'_, '_> {
         let start_pos = start;
         match &self.store {
             KvStore::Buffered(bufs) => {
-                let (keys, values) = self.read_kv(bufs, layer, visible);
+                let (keys, values) = self.read_kv(bufs, layer, visible)?;
                 self.t
                     .stage_attention(q, &keys, &values, start_pos)
                     .map_err(|e| e.to_string())
@@ -1196,6 +1228,7 @@ impl<'d> Dispatcher<'d> {
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .take()
+            // lint: allow(panic) — `scheduled[t]` under the dispatch lock makes double dispatch unreachable
             .expect("task dispatched twice");
         let t0 = self.now_ms();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(closure))
@@ -1211,6 +1244,7 @@ impl<'d> Dispatcher<'d> {
                 Err(format!("task {t} panicked: {msg}"))
             });
         let t1 = self.now_ms();
+        // lint: allow(panic) — task panics are caught before this lock, so poisoning is unreachable
         let mut st = self.state.lock().expect("dispatch mutex");
         st.done[t] = true;
         st.remaining -= 1;
@@ -1244,6 +1278,7 @@ impl<'d> Dispatcher<'d> {
     fn lane_loop(&self, closures: &[Mutex<Option<TaskFn<'_>>>], p: Processor) {
         loop {
             let picked = {
+                // lint: allow(panic) — task panics are caught before this lock, so poisoning is unreachable
                 let mut st = self.state.lock().expect("dispatch mutex");
                 loop {
                     if st.aborted || st.remaining == 0 {
@@ -1273,8 +1308,10 @@ impl<'d> Dispatcher<'d> {
                     st = match pending_release {
                         Some(wait_ms) => {
                             let timeout = Duration::from_secs_f64((wait_ms / 1e3).max(1e-5));
+                            // lint: allow(panic) — condvar wait only errs on a poisoned lock, unreachable here
                             self.cv.wait_timeout(st, timeout).expect("dispatch mutex").0
                         }
+                        // lint: allow(panic) — condvar wait only errs on a poisoned lock, unreachable here
                         None => self.cv.wait(st).expect("dispatch mutex"),
                     };
                 }
@@ -1289,6 +1326,7 @@ impl<'d> Dispatcher<'d> {
     fn sequential(&self, closures: &[Mutex<Option<TaskFn<'_>>>], lanes: &[Processor]) -> bool {
         loop {
             let picked = {
+                // lint: allow(panic) — task panics are caught before this lock, so poisoning is unreachable
                 let mut st = self.state.lock().expect("dispatch mutex");
                 if st.aborted || st.remaining == 0 {
                     return true;
@@ -1352,6 +1390,24 @@ fn run_lane_graph<'run>(
     if graph.is_empty() {
         return Ok(Vec::new());
     }
+    // Debug builds statically verify every graph they execute: the
+    // structural half of the plan checks (dependency sanity, cycles,
+    // timing feasibility) runs before a single task is dispatched, so
+    // every integration test doubles as a verifier fixture.
+    #[cfg(debug_assertions)]
+    {
+        let report = llmnpu_verify::verify(&graph.verify_plan());
+        debug_assert!(
+            report.is_clean(),
+            "lane graph failed static verification:\n{}",
+            report
+                .findings
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
     let closures: Vec<Mutex<Option<TaskFn<'_>>>> =
         closures.into_iter().map(|c| Mutex::new(Some(c))).collect();
     let lanes = graph.lanes();
@@ -1371,6 +1427,7 @@ fn run_lane_graph<'run>(
         dispatcher.sequential(&closures, &lanes);
     }
 
+    // lint: allow(panic) — all lane threads have joined; nothing can hold or poison the lock
     let st = dispatcher.state.into_inner().expect("dispatch mutex");
     if let Some(e) = st.error {
         return Err(Error::Exec { what: e });
@@ -1378,6 +1435,7 @@ fn run_lane_graph<'run>(
     Ok(st
         .outcomes
         .into_iter()
+        // lint: allow(panic) — `remaining == 0` implies every outcome slot was filled
         .map(|o| o.expect("all tasks accounted for"))
         .collect())
 }
@@ -1407,6 +1465,7 @@ pub fn execute_lane_graph(
     // Fail-fast: an error would have surfaced above, so every task ran.
     Ok(outcomes
         .into_iter()
+        // lint: allow(panic) — fail-fast mode errored above unless every task completed with a span
         .map(|o| o.span().expect("all tasks traced"))
         .collect())
 }
@@ -1472,6 +1531,7 @@ pub fn execute_chunked_prefill(
         spans[a]
             .1
             .partial_cmp(&spans[b].1)
+            // lint: allow(panic) — spans are measured monotonic-clock readings, never NaN
             .expect("finite timestamps")
     });
     for i in order {

@@ -1,0 +1,349 @@
+//! Workspace lint pass: line/token-level repo-rule enforcement with no
+//! dependencies beyond std. Run as `cargo run -p llmnpu-verify --bin
+//! lint`; exits non-zero with one line per violation.
+//!
+//! Rules:
+//!
+//! - `panic` — no `.unwrap()` / `.expect(` in the non-test code of the
+//!   serving hot paths (`core::serve`, `sched::runner`, `sched::pool`,
+//!   `kv::pool`). These paths process user input; a panic there is a
+//!   containment bug, not a shortcut.
+//! - `wall-clock` — no `Instant::now` / `SystemTime::now` in the
+//!   numeric plane (`tensor`, `quant`, `kv`, `model`, `graph`): results
+//!   must be bit-identical across runs, and wall-clock reads are how
+//!   nondeterminism sneaks in.
+//! - `unsafe-attr` — every crate root carries
+//!   `#![forbid(unsafe_code)]` or `#![deny(unsafe_code)]`, and the only
+//!   `#![allow(unsafe_code)]` in the tree is the documented scoped one
+//!   in `sched::pool`.
+//! - `safety-comment` — every `unsafe` item or block is preceded by a
+//!   `// SAFETY:` comment within a few lines stating the invariant that
+//!   makes it sound.
+//!
+//! Escape hatch: a site may carry `// lint: allow(<rule>) — <reason>`
+//! on the same line or the line above. The reason is mandatory; an
+//! empty justification is itself a violation.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Files whose non-test code must stay panic-free (rule `panic`).
+const PANIC_FREE: &[&str] = &[
+    "crates/core/src/serve.rs",
+    "crates/sched/src/runner.rs",
+    "crates/sched/src/pool.rs",
+    "crates/kv/src/pool.rs",
+];
+
+/// Crates forming the numeric plane (rule `wall-clock`).
+const NUMERIC_PLANE: &[&str] = &[
+    "crates/tensor/src",
+    "crates/quant/src",
+    "crates/kv/src",
+    "crates/model/src",
+    "crates/graph/src",
+];
+
+/// The one sanctioned scoped `#![allow(unsafe_code)]`.
+const UNSAFE_ALLOW_EXCEPTION: &str = "crates/sched/src/pool.rs";
+
+struct Violation {
+    file: String,
+    line: usize,
+    rule: &'static str,
+    what: String,
+}
+
+fn main() -> ExitCode {
+    let root = workspace_root();
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut files_scanned = 0usize;
+
+    for rel in crate_sources(&root) {
+        let path = root.join(&rel);
+        let Ok(text) = fs::read_to_string(&path) else {
+            continue;
+        };
+        files_scanned += 1;
+        let lines: Vec<&str> = text.lines().collect();
+        let test_mask = test_code_mask(&lines);
+
+        if PANIC_FREE.contains(&rel.as_str()) {
+            check_panic(&rel, &lines, &test_mask, &mut violations);
+        }
+        if NUMERIC_PLANE.iter().any(|p| rel.starts_with(p)) {
+            check_wall_clock(&rel, &lines, &test_mask, &mut violations);
+        }
+        check_unsafe_attr(&rel, &lines, &mut violations);
+        check_safety_comments(&rel, &lines, &mut violations);
+    }
+
+    if violations.is_empty() {
+        println!("lint: clean ({files_scanned} files scanned)");
+        return ExitCode::SUCCESS;
+    }
+    let mut out = String::new();
+    for v in &violations {
+        let _ = writeln!(out, "{}:{}: [{}] {}", v.file, v.line, v.rule, v.what);
+    }
+    eprint!("{out}");
+    eprintln!(
+        "lint: {} violation(s) in {files_scanned} files",
+        violations.len()
+    );
+    ExitCode::FAILURE
+}
+
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest)
+}
+
+/// Every `.rs` file under `crates/*/src` and the root `src/`, as paths
+/// relative to the workspace root with `/` separators. Vendored
+/// stand-ins are deliberately out of scope.
+fn crate_sources(root: &Path) -> Vec<String> {
+    let mut files = Vec::new();
+    let mut dirs = vec![root.join("src")];
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            dirs.push(entry.path().join("src"));
+        }
+    }
+    while let Some(dir) = dirs.pop() {
+        let Ok(entries) = fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                dirs.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                if let Ok(rel) = path.strip_prefix(root) {
+                    files.push(rel.to_string_lossy().replace('\\', "/"));
+                }
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+/// Marks the lines inside `#[cfg(test)]`-attributed items by brace
+/// tracking: from the attribute, skip to the item's opening brace, then
+/// mask until the braces balance.
+fn test_code_mask(lines: &[&str]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        if !lines[i].trim_start().starts_with("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        let mut depth: i64 = 0;
+        let mut opened = false;
+        let mut j = i;
+        while j < lines.len() {
+            mask[j] = true;
+            for c in lines[j].chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            j += 1;
+            if opened && depth <= 0 {
+                break;
+            }
+        }
+        i = j;
+    }
+    mask
+}
+
+/// Whether line `i` (or the line above it) carries a
+/// `// lint: allow(<rule>)` escape with a non-empty justification.
+/// Returns `Some(true)` for a valid escape, `Some(false)` for an escape
+/// missing its justification, `None` for no escape at all.
+fn escape_for(lines: &[&str], i: usize, rule: &str) -> Option<bool> {
+    let needle = format!("lint: allow({rule})");
+    for probe in [Some(i), i.checked_sub(1)].into_iter().flatten() {
+        let line = lines[probe];
+        if let Some(pos) = line.find(&needle) {
+            let rest = &line[pos + needle.len()..];
+            let justified = rest.chars().filter(|c| c.is_alphanumeric()).take(3).count() >= 3;
+            return Some(justified);
+        }
+    }
+    None
+}
+
+fn flag(
+    violations: &mut Vec<Violation>,
+    lines: &[&str],
+    file: &str,
+    i: usize,
+    rule: &'static str,
+    what: String,
+) {
+    match escape_for(lines, i, rule) {
+        Some(true) => {}
+        Some(false) => violations.push(Violation {
+            file: file.to_string(),
+            line: i + 1,
+            rule,
+            what: format!("escape `lint: allow({rule})` has no justification"),
+        }),
+        None => violations.push(Violation {
+            file: file.to_string(),
+            line: i + 1,
+            rule,
+            what,
+        }),
+    }
+}
+
+/// Strips `//` comments (not inside string literals we care about —
+/// line-level heuristics are fine for this codebase's style).
+fn code_part(line: &str) -> &str {
+    match line.find("//") {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+fn check_panic(file: &str, lines: &[&str], test_mask: &[bool], violations: &mut Vec<Violation>) {
+    for (i, raw) in lines.iter().enumerate() {
+        if test_mask[i] {
+            continue;
+        }
+        let code = code_part(raw);
+        for pat in [".unwrap()", ".expect("] {
+            if code.contains(pat) {
+                flag(
+                    violations,
+                    lines,
+                    file,
+                    i,
+                    "panic",
+                    format!("`{pat}` in panic-free serving path"),
+                );
+            }
+        }
+    }
+}
+
+fn check_wall_clock(
+    file: &str,
+    lines: &[&str],
+    test_mask: &[bool],
+    violations: &mut Vec<Violation>,
+) {
+    for (i, raw) in lines.iter().enumerate() {
+        if test_mask[i] {
+            continue;
+        }
+        let code = code_part(raw);
+        for pat in ["Instant::now", "SystemTime::now"] {
+            if code.contains(pat) {
+                flag(
+                    violations,
+                    lines,
+                    file,
+                    i,
+                    "wall-clock",
+                    format!("`{pat}` in the numeric plane breaks determinism"),
+                );
+            }
+        }
+    }
+}
+
+fn check_unsafe_attr(file: &str, lines: &[&str], violations: &mut Vec<Violation>) {
+    let is_crate_root =
+        file == "src/lib.rs" || (file.starts_with("crates/") && file.ends_with("/src/lib.rs"));
+    if is_crate_root {
+        let has = lines.iter().any(|l| {
+            let t = l.trim();
+            t.starts_with("#![forbid(unsafe_code)]") || t.starts_with("#![deny(unsafe_code)]")
+        });
+        if !has {
+            violations.push(Violation {
+                file: file.to_string(),
+                line: 1,
+                rule: "unsafe-attr",
+                what: "crate root lacks #![forbid(unsafe_code)] / #![deny(unsafe_code)]".into(),
+            });
+        }
+    }
+    if file != UNSAFE_ALLOW_EXCEPTION {
+        for (i, l) in lines.iter().enumerate() {
+            if l.trim().starts_with("#![allow(unsafe_code)]") {
+                violations.push(Violation {
+                    file: file.to_string(),
+                    line: i + 1,
+                    rule: "unsafe-attr",
+                    what: format!(
+                        "scoped #![allow(unsafe_code)] is only sanctioned in {UNSAFE_ALLOW_EXCEPTION}"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// How far above an `unsafe` site the SAFETY comment may sit.
+const SAFETY_WINDOW: usize = 8;
+
+fn check_safety_comments(file: &str, lines: &[&str], violations: &mut Vec<Violation>) {
+    for (i, raw) in lines.iter().enumerate() {
+        let trimmed = raw.trim_start();
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        let code = code_part(raw);
+        // Token-level: `unsafe` followed by whitespace or `{`, skipping
+        // lint-attribute mentions of `unsafe_code`.
+        let is_unsafe_site = code
+            .split_whitespace()
+            .any(|tok| tok == "unsafe" || tok.starts_with("unsafe{") || tok.starts_with("unsafe("))
+            && !code.contains("unsafe_code");
+        if !is_unsafe_site {
+            continue;
+        }
+        let lo = i.saturating_sub(SAFETY_WINDOW);
+        let mut documented = lines[lo..=i].iter().any(|l| l.contains("SAFETY"));
+        // A long invariant comment block directly above the site also
+        // counts: walk the contiguous run of comment/attribute lines.
+        let mut j = i;
+        while !documented && j > 0 {
+            j -= 1;
+            let t = lines[j].trim_start();
+            if t.starts_with("//") || t.starts_with("#[") || t.is_empty() {
+                documented = t.contains("SAFETY");
+            } else {
+                break;
+            }
+        }
+        if !documented {
+            flag(
+                violations,
+                lines,
+                file,
+                i,
+                "safety-comment",
+                "`unsafe` without a SAFETY invariant comment nearby".to_string(),
+            );
+        }
+    }
+}

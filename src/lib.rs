@@ -48,4 +48,5 @@ pub use llmnpu_quant as quant;
 pub use llmnpu_sched as sched;
 pub use llmnpu_soc as soc;
 pub use llmnpu_tensor as tensor;
+pub use llmnpu_verify as verify;
 pub use llmnpu_workloads as workloads;
