@@ -17,7 +17,9 @@ use std::time::Instant;
 use llmnpu_quant::outlier::{extract_outliers, ShadowLinear};
 use llmnpu_quant::per_group::GroupedLinear;
 use llmnpu_quant::per_tensor::{max_min_scale, QuantizedLinear, QuantizedMatrix};
-use llmnpu_tensor::{gemm, PackedMatrixF32, PackedMatrixI8, Tensor};
+use llmnpu_tensor::{
+    gemm, PackedMatrixF32, PackedMatrixI2, PackedMatrixI4, PackedMatrixI8, Tensor,
+};
 use serde::Serialize;
 
 fn ramp(rows: usize, cols: usize, amp: f32) -> Tensor<f32> {
@@ -231,6 +233,75 @@ struct BatchedDecodeRow {
     meets_1_3x: bool,
 }
 
+/// Sub-8-bit LUT decode comparison: the same decode-shaped product run
+/// against f32, i8, int4, and int2 prepacked weights. Decode is
+/// memory-bandwidth-bound, so the column to watch is bytes moved per
+/// token — the packed int4/int2 streams are 1/8 and 1/16 of the f32
+/// panels — and tok/s should track it. The acceptance bar for the LUT
+/// PR: int4 decode GEMV ≥ 1.5× i8 tok/s on the same host. Bit-exactness
+/// columns pin the optimized in-register drivers to the scalar LUT
+/// reference, and `zero_warm_table_builds` pins the table-free hot path
+/// (the LUT twin of the zero-repack invariant).
+#[derive(Debug, Serialize)]
+struct LutDecodeRow {
+    shape: String,
+    m: usize,
+    k: usize,
+    n: usize,
+    /// Quantization group width of the int4/int2 formats.
+    group_size: usize,
+    /// Weight bytes streamed per decode step by each dtype's path
+    /// (f32 panel slabs; i8 transposed copy; int4/int2 packed codes +
+    /// group scales). At m > 1 the stream is shared by the whole
+    /// cohort, so bytes per *token* are these divided by m.
+    f32_bytes_per_token: usize,
+    i8_bytes_per_token: usize,
+    i4_bytes_per_token: usize,
+    i2_bytes_per_token: usize,
+    /// Warm timings: weights LLC-resident across reps. On a
+    /// large-cache host this regime is compute-bound on the shared
+    /// MAC count, so every format reads ≈ the same — it says nothing
+    /// about the bytes-moved advantage and is reported only for
+    /// transparency.
+    f32_warm_ms: f64,
+    i8_warm_ms: f64,
+    i4_warm_ms: f64,
+    i2_warm_ms: f64,
+    /// Cold timings: the LLC is evicted before every rep so weights
+    /// stream from DRAM. This is the regime a real decode step lives
+    /// in — the model's full weight set is walked once per token and
+    /// does not fit any cache, so each layer's matrix is gone again by
+    /// the time the next token needs it. The tok/s and speedup columns
+    /// below are computed from these.
+    f32_cold_ms: f64,
+    i8_cold_ms: f64,
+    i4_cold_ms: f64,
+    i2_cold_ms: f64,
+    f32_tokens_per_s: f64,
+    i8_tokens_per_s: f64,
+    i4_tokens_per_s: f64,
+    i2_tokens_per_s: f64,
+    /// Cold int4-vs-i8 ratio. At m = 1 the weight stream dominates and
+    /// the halved bytes show up directly; as m grows the stream is
+    /// amortized over the cohort and the ratio converges back to the
+    /// compute-bound warm parity.
+    i4_vs_i8_speedup: f64,
+    i2_vs_i8_speedup: f64,
+    /// Optimized int4 driver bit-exact vs the scalar LUT reference.
+    i4_bit_exact: bool,
+    /// Optimized int2 driver bit-exact vs the scalar LUT reference.
+    i2_bit_exact: bool,
+    /// True for the solo decode GEMV row the ≥1.5× acceptance is
+    /// evaluated on. Cohort rows (m > 1) share one weight stream
+    /// across m tokens, so the per-token bytes advantage — and with it
+    /// the expected ratio — shrinks by design.
+    gate_row: bool,
+    /// Acceptance: cold int4 ≥ 1.5× cold i8 tok/s at this shape.
+    meets_1_5x_vs_i8: bool,
+    /// Warm int4/int2 calls materialized zero partial-sum tables.
+    zero_warm_table_builds: bool,
+}
+
 /// Paged-KV attention comparison: the same multi-head attention read
 /// from one contiguous K/V slab vs walked page-by-page through a block
 /// table (`attention_over_pages`). Measures the page-gather overhead —
@@ -308,6 +379,7 @@ struct KernelRecord {
     fma: bool,
     rows: Vec<KernelRow>,
     decode: Vec<DecodeRow>,
+    lut_decode: Vec<LutDecodeRow>,
     batched_decode: Vec<BatchedDecodeRow>,
     paged_kv: Vec<PagedKvRow>,
     pool_vs_scope: Vec<PoolRow>,
@@ -467,6 +539,133 @@ fn compare_batched_decode(batch: usize, k: usize, n: usize, reps: usize) -> Batc
         speedup,
         bit_identical,
         meets_1_3x: speedup >= 1.3,
+    }
+}
+
+/// Bytes walked to displace every line of the last-level cache. Sized
+/// well past this class of host (the largest LLC we run on is 260 MB);
+/// on smaller machines the walk simply over-evicts, which is harmless.
+const LLC_EVICT_BYTES: usize = 320 << 20;
+
+/// Best-of timing with the LLC displaced before every rep, so the
+/// measured kernel streams its weights from DRAM.
+///
+/// Why cold is the honest decode regime: a decode step runs one GEMV
+/// against every layer's weights, and a model worth serving is far
+/// larger than any cache — by the time token t+1 revisits a layer, its
+/// matrix has been evicted by the layers after it. Plain `best_of`
+/// re-runs one matrix back-to-back, which leaves it LLC-resident on a
+/// big-cache host and turns the measurement compute-bound; that regime
+/// hides exactly the weight-bytes advantage sub-8-bit formats exist
+/// for. Evicting between reps restores the DRAM-streaming steady
+/// state the decode loop actually runs in.
+fn best_of_cold<R>(reps: usize, evict: &mut [u8], mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..reps {
+        let mut displaced = 0u64;
+        for line in evict.chunks(64) {
+            displaced = displaced.wrapping_add(u64::from(line[0]));
+        }
+        black_box(displaced);
+        let t = Instant::now();
+        black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn compare_lut_decode(
+    m: usize,
+    k: usize,
+    n: usize,
+    group_size: usize,
+    reps: usize,
+    gate_row: bool,
+) -> LutDecodeRow {
+    use llmnpu_tensor::kernel::lut;
+
+    let a = ramp(m, k, 1.0);
+    let b = ramp(k, n, 0.5);
+    let mut evict = vec![1u8; LLC_EVICT_BYTES];
+
+    let packed_f = PackedMatrixF32::from_tensor(&b);
+    let f32_warm = best_of(reps, || {
+        gemm::matmul_f32_prepacked(&a, &packed_f, THREADS).unwrap()
+    });
+    let f32_cold = best_of_cold(reps, &mut evict, || {
+        gemm::matmul_f32_prepacked(&a, &packed_f, THREADS).unwrap()
+    });
+
+    let ai = a.map(|x| (x * 120.0) as i8);
+    let bi = b.map(|x| (x * 120.0) as i8);
+    let packed_i8 = PackedMatrixI8::from_tensor(&bi);
+    let i8_warm = best_of(reps, || {
+        gemm::matmul_i8_prepacked(&ai, &packed_i8, THREADS).unwrap()
+    });
+    let i8_cold = best_of_cold(reps, &mut evict, || {
+        gemm::matmul_i8_prepacked(&ai, &packed_i8, THREADS).unwrap()
+    });
+
+    let packed_i4 = PackedMatrixI4::from_tensor(&b, group_size);
+    let packed_i2 = PackedMatrixI2::from_tensor(&b, group_size);
+    let builds0 = lut::lut_tables_built_global();
+    let i4_warm = best_of(reps, || {
+        gemm::matmul_i4_prepacked(&a, &packed_i4, THREADS).unwrap()
+    });
+    let i4_cold = best_of_cold(reps, &mut evict, || {
+        gemm::matmul_i4_prepacked(&a, &packed_i4, THREADS).unwrap()
+    });
+    let i2_warm = best_of(reps, || {
+        gemm::matmul_i2_prepacked(&a, &packed_i2, THREADS).unwrap()
+    });
+    let i2_cold = best_of_cold(reps, &mut evict, || {
+        gemm::matmul_i2_prepacked(&a, &packed_i2, THREADS).unwrap()
+    });
+    let zero_warm_table_builds = lut::lut_tables_built_global() == builds0;
+
+    let i4_bit_exact = gemm::matmul_i4_prepacked(&a, &packed_i4, THREADS)
+        .unwrap()
+        .as_slice()
+        == gemm::matmul_i4_reference(&a, &packed_i4)
+            .unwrap()
+            .as_slice();
+    let i2_bit_exact = gemm::matmul_i2_prepacked(&a, &packed_i2, THREADS)
+        .unwrap()
+        .as_slice()
+        == gemm::matmul_i2_reference(&a, &packed_i2)
+            .unwrap()
+            .as_slice();
+
+    let i4_vs_i8 = i8_cold / i4_cold;
+    LutDecodeRow {
+        shape: format!("{m}x{k}x{n}"),
+        m,
+        k,
+        n,
+        group_size,
+        f32_bytes_per_token: k * n * std::mem::size_of::<f32>(),
+        i8_bytes_per_token: k * n,
+        i4_bytes_per_token: packed_i4.packed_bytes(),
+        i2_bytes_per_token: packed_i2.packed_bytes(),
+        f32_warm_ms: f32_warm * 1e3,
+        i8_warm_ms: i8_warm * 1e3,
+        i4_warm_ms: i4_warm * 1e3,
+        i2_warm_ms: i2_warm * 1e3,
+        f32_cold_ms: f32_cold * 1e3,
+        i8_cold_ms: i8_cold * 1e3,
+        i4_cold_ms: i4_cold * 1e3,
+        i2_cold_ms: i2_cold * 1e3,
+        f32_tokens_per_s: m as f64 / f32_cold,
+        i8_tokens_per_s: m as f64 / i8_cold,
+        i4_tokens_per_s: m as f64 / i4_cold,
+        i2_tokens_per_s: m as f64 / i2_cold,
+        i4_vs_i8_speedup: i4_vs_i8,
+        i2_vs_i8_speedup: i8_cold / i2_cold,
+        i4_bit_exact,
+        i2_bit_exact,
+        gate_row,
+        meets_1_5x_vs_i8: i4_vs_i8 >= 1.5,
+        zero_warm_table_builds,
     }
 }
 
@@ -705,6 +904,46 @@ fn kernel_comparison() {
         })
         .collect();
 
+    println!(
+        "--- lut decode: f32 vs i8 vs int4 vs int2 prepacked, cold-stream (bytes/token, tok/s) ---"
+    );
+    let lut_shapes: [(usize, usize, usize, usize, usize, bool); 4] = [
+        (1, 4096, 4096, 256, 12, true), // solo decode GEMV — the 1.5x gate row
+        (1, 4096, 4096, 128, 9, false), // solo decode, narrower groups
+        (2, 4096, 4096, 128, 7, false), // widest GEMV cohort
+        (8, 4096, 4096, 128, 5, false), // batched-decode cohort (m = B)
+    ];
+    let lut_decode: Vec<LutDecodeRow> = lut_shapes
+        .iter()
+        .map(|&(m, k, n, gs, reps, gate)| {
+            let row = compare_lut_decode(m, k, n, gs, reps, gate);
+            println!(
+                "{:<14} gs={:<3} cold: f32 {:>6.2} ms ({:>5.1} MB) | i8 {:>6.2} ms ({:>5.1} MB) | i4 {:>6.2} ms ({:>5.1} MB, {:>4.2}x vs i8) | i2 {:>6.2} ms ({:>5.1} MB, {:>4.2}x) | warm: i8 {:>5.2} i4 {:>5.2} i2 {:>5.2} ms | exact i4={} i2={} | gate={} 1.5x={} zero-builds={}",
+                row.shape,
+                row.group_size,
+                row.f32_cold_ms,
+                row.f32_bytes_per_token as f64 / 1e6,
+                row.i8_cold_ms,
+                row.i8_bytes_per_token as f64 / 1e6,
+                row.i4_cold_ms,
+                row.i4_bytes_per_token as f64 / 1e6,
+                row.i4_vs_i8_speedup,
+                row.i2_cold_ms,
+                row.i2_bytes_per_token as f64 / 1e6,
+                row.i2_vs_i8_speedup,
+                row.i8_warm_ms,
+                row.i4_warm_ms,
+                row.i2_warm_ms,
+                row.i4_bit_exact,
+                row.i2_bit_exact,
+                row.gate_row,
+                row.meets_1_5x_vs_i8,
+                row.zero_warm_table_builds,
+            );
+            row
+        })
+        .collect();
+
     println!("--- batched decode: B separate m=1 GEMVs vs one m=B GEMM ---");
     let batched_shapes: [(usize, usize, usize, usize); 3] =
         [(2, 4096, 4096, 7), (4, 4096, 4096, 5), (8, 4096, 4096, 5)];
@@ -801,7 +1040,16 @@ fn kernel_comparison() {
         id: "kernels",
         description: "Blocked+packed+threaded GEMM vs scalar reference; \
                       decode section compares streaming GEMV, repack-per-call, \
-                      and pack-once PackedMatrix paths; batched_decode compares \
+                      and pack-once PackedMatrix paths; lut_decode compares the \
+                      decode GEMV across f32/i8/int4/int2 prepacked weights with \
+                      bytes moved per token, timed cold (LLC evicted before each \
+                      rep so weights stream from DRAM, the steady state of a \
+                      real decode loop whose model exceeds any cache; warm \
+                      rows are LLC-resident and compute-bound, reported for \
+                      transparency) — acceptance: cold int4 >= 1.5x cold i8 \
+                      tok/s on the gate row, optimized LUT drivers bit-exact vs \
+                      the scalar LUT reference, zero warm table builds; \
+                      batched_decode compares \
                       B separate m=1 decode GEMVs against one m=B GEMM through \
                       the batched-decode driver (acceptance: >=1.3x aggregate \
                       tokens/s); paged_kv compares contiguous attention against \
@@ -821,6 +1069,7 @@ fn kernel_comparison() {
         fma: cfg!(target_feature = "fma"),
         rows,
         decode,
+        lut_decode,
         batched_decode,
         paged_kv,
         pool_vs_scope,

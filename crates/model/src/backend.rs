@@ -8,6 +8,7 @@
 
 use std::collections::HashMap;
 
+use llmnpu_quant::lut::LutLinear;
 use llmnpu_quant::mixed::MixedLinear;
 use llmnpu_quant::outlier::{calibrate_scale, prune_layers, ShadowLinear};
 use llmnpu_quant::per_group::GroupedLinear;
@@ -534,6 +535,83 @@ impl LinearBackend for ShadowBackend {
     }
 }
 
+/// Sub-8-bit backend: every projection's weights live in a packed
+/// table-lookup format ([`LutLinear`]), quantized and packed **once**
+/// at construction. `linear` calls stream one-half (int4) or
+/// one-quarter (int2) of the i8 weight bytes through the in-register
+/// LUT drivers — the whole point of the format for bandwidth-bound
+/// decode.
+pub struct LutBackend {
+    layers: HashMap<LinearSite, LutLinear>,
+    name: &'static str,
+}
+
+impl LutBackend {
+    /// Quantizes every projection to int4 codes with `group_size`-wide
+    /// per-group scales.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `group_size` is rejected by the LUT format.
+    pub fn int4(weights: &ModelWeights, group_size: usize) -> Result<Self> {
+        Self::build(weights, group_size, LutLinear::int4, "W4-LUT")
+    }
+
+    /// Quantizes every projection to int2 (ternary) codes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `group_size` is rejected by the LUT format.
+    pub fn int2(weights: &ModelWeights, group_size: usize) -> Result<Self> {
+        Self::build(weights, group_size, LutLinear::int2, "W2-LUT")
+    }
+
+    fn build(
+        weights: &ModelWeights,
+        group_size: usize,
+        quantize: impl Fn(&Tensor<f32>, usize) -> llmnpu_quant::Result<LutLinear>,
+        name: &'static str,
+    ) -> Result<Self> {
+        let mut layers = HashMap::new();
+        for site in model_sites(weights) {
+            let w = site_weight(weights, site.0, site.1)?;
+            layers.insert(site, quantize(w, group_size)?);
+        }
+        Ok(LutBackend { layers, name })
+    }
+
+    /// Total packed weight bytes a decode step streams (codes plus
+    /// group scales across every site).
+    #[must_use]
+    pub fn weight_bytes(&self) -> usize {
+        self.layers.values().map(LutLinear::weight_bytes).sum()
+    }
+}
+
+impl LinearBackend for LutBackend {
+    fn linear(&self, layer: usize, kind: LinearKind, x: &Tensor<f32>) -> Result<Tensor<f32>> {
+        let lin = self
+            .layers
+            .get(&(layer, kind))
+            .ok_or(Error::InvalidConfig {
+                what: format!("no LUT site ({layer}, {kind:?})"),
+            })?;
+        Ok(lin.forward(x, host_threads())?)
+    }
+
+    fn row_wise(&self) -> bool {
+        // The LUT drivers quantize each activation row with its own
+        // max-min scale and accumulate per row in a fixed order, so a
+        // stacked [B, hidden] call reproduces B solo calls bit-for-bit
+        // — batched decode and prefix sharing stay stream-transparent.
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
 fn concat_rows(tensors: &[Tensor<f32>]) -> Result<Tensor<f32>> {
     let mut width = 0usize;
     let mut rows = 0usize;
@@ -610,15 +688,19 @@ mod tests {
         let sq = SmoothQuantBackend::new(&w, &cal, 0.5).unwrap();
         let mx = LlmInt8Backend::new(&w, 6.0).unwrap();
         let sh = ShadowBackend::new(&w, &cal, 0.999, 0.0).unwrap();
+        let l4 = LutBackend::int4(&w, 8).unwrap();
+        let l2 = LutBackend::int2(&w, 8).unwrap();
 
         let reference = FloatBackend::new(w.clone())
             .linear(0, LinearKind::Q, &x)
             .unwrap();
-        for be in [&pt as &dyn LinearBackend, &pg, &sq, &mx, &sh] {
+        for be in [&pt as &dyn LinearBackend, &pg, &sq, &mx, &sh, &l4, &l2] {
             let y = be.linear(0, LinearKind::Q, &x).unwrap();
             let mse = y.mse(&reference).unwrap();
             assert!(mse < 0.5, "{}: mse {mse}", be.name());
         }
+        assert!(l4.weight_bytes() > l2.weight_bytes());
+        assert!(l4.row_wise() && l2.row_wise());
     }
 
     #[test]

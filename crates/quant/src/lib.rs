@@ -18,7 +18,10 @@
 //! * [`outlier`] — llm.npu's **shadow outlier execution** (§3.3,
 //!   Equation 1): per-tensor NPU MatMul within scale, plus a compact float
 //!   MatMul over extracted outlier channels on the CPU, plus the
-//!   hot-channel and importance-pruning analyses of Figures 10–12.
+//!   hot-channel and importance-pruning analyses of Figures 10–12,
+//! * [`lut`] — sub-8-bit (int4/int2) grouped weights through the tensor
+//!   plane's table-lookup kernels: pack once at construction, stream
+//!   half/quarter the weight bytes per decode step.
 //!
 //! # Example
 //!
@@ -40,6 +43,7 @@
 
 mod error;
 
+pub mod lut;
 pub mod mixed;
 pub mod outlier;
 pub mod per_group;
@@ -70,6 +74,17 @@ pub enum Scheme {
     LlmInt8,
     /// llm.npu: per-tensor with shadow outlier execution (§3.3).
     ShadowOutlier,
+    /// 4-bit grouped weights through the table-lookup kernels
+    /// ([`lut::LutLinear`]): half the i8 weight bytes, CPU LUT MatMul.
+    Int4Lut {
+        /// Number of reduction elements per quantization group.
+        group_size: usize,
+    },
+    /// 2-bit (ternary) grouped weights through the table-lookup kernels.
+    Int2Lut {
+        /// Number of reduction elements per quantization group.
+        group_size: usize,
+    },
 }
 
 impl Scheme {
@@ -83,11 +98,15 @@ impl Scheme {
             Scheme::SmoothQuant => "SmoothQuant",
             Scheme::LlmInt8 => "LLM.int8()",
             Scheme::ShadowOutlier => "Ours",
+            Scheme::Int4Lut { .. } => "W4-LUT",
+            Scheme::Int2Lut { .. } => "W2-LUT",
         }
     }
 
     /// Whether a mobile NPU can execute this scheme's MatMul as a single
-    /// per-tensor INT8 operation (Table 2 / §2.3).
+    /// per-tensor INT8 operation (Table 2 / §2.3). The LUT schemes are
+    /// deliberately **not** NPU-native: their win is weight bandwidth on
+    /// the CPU lane, not integer MatMul shape.
     #[must_use]
     pub fn npu_native(&self) -> bool {
         matches!(
@@ -110,6 +129,8 @@ mod tests {
             Scheme::SmoothQuant,
             Scheme::LlmInt8,
             Scheme::ShadowOutlier,
+            Scheme::Int4Lut { group_size: 128 },
+            Scheme::Int2Lut { group_size: 128 },
         ];
         let mut labels: Vec<_> = schemes.iter().map(Scheme::label).collect();
         labels.sort_unstable();
@@ -125,5 +146,7 @@ mod tests {
         assert!(!Scheme::PerGroup { group_size: 32 }.npu_native());
         assert!(!Scheme::LlmInt8.npu_native());
         assert!(!Scheme::Float.npu_native());
+        assert!(!Scheme::Int4Lut { group_size: 128 }.npu_native());
+        assert!(!Scheme::Int2Lut { group_size: 128 }.npu_native());
     }
 }

@@ -23,6 +23,7 @@
 //! folded into rows), matching how linear layers consume `[batch, seq,
 //! hid]` activations.
 
+use crate::kernel::lut::{PackedMatrixI2, PackedMatrixI4};
 use crate::kernel::pack::{PackedMatrixF32, PackedMatrixI8};
 use crate::kernel::{self, Epilogue};
 use crate::{Error, Result, Tensor};
@@ -655,6 +656,128 @@ pub fn matmul_i8_per_row_prepacked(
     );
     Ok(out)
 }
+
+#[rustfmt::skip] // rustfmt oscillates on doc attributes inside macro bodies
+macro_rules! lut_matmul_api {
+    ($packed:ident, $bits:literal, $prepacked:ident, $rows:ident, $reference:ident,
+     $k_prepacked:path, $k_reference:path) => {
+        #[doc = concat!(
+            "`C = dequant(A × B)` against a weight matrix quantized and packed ",
+            "**once** in a [`",
+            stringify!($packed),
+            "`] (",
+            $bits,
+            "-bit table-lookup codes). `a` is f32; the driver quantizes each ",
+            "activation row with one dynamic max-min scale, runs the in-register ",
+            "LUT kernels, and dequantizes through the fused per-group epilogue. ",
+            "Bit-exact vs [`",
+            stringify!($reference),
+            "`] for any thread count.\n\n# Errors\n\nReturns ",
+            "[`Error::ShapeMismatch`] if `a`'s inner dimension differs from the ",
+            "packed matrix's `k`."
+        )]
+        pub fn $prepacked(a: &Tensor<f32>, b: &$packed, threads: usize) -> Result<Tensor<f32>> {
+            let (m, k) = a.matrix_dims();
+            check_matmul(
+                concat!("matmul_", stringify!($prepacked)),
+                (m, k),
+                (b.k(), b.n()),
+            )?;
+            let mut out = Tensor::zeros([m, b.n()]);
+            $k_prepacked(
+                m,
+                a.as_slice(),
+                b,
+                out.as_mut_slice(),
+                kernel::parallel::effective_threads(threads),
+            );
+            Ok(out)
+        }
+
+        #[doc = concat!(
+            "The **batched-decode driver** over ",
+            $bits,
+            "-bit LUT weights: stacks B scattered activation rows into one ",
+            "`[B, k]` operand and runs a single cohort GEMM, so the packed ",
+            "codes stream through memory once per *batch*. Row `i` is ",
+            "bit-identical to [`",
+            stringify!($prepacked),
+            "`] on that row alone (the LUT driver's accumulation order per ",
+            "row is independent of the cohort size).\n\n# Errors\n\nReturns ",
+            "[`Error::ShapeMismatch`] if any row's length differs from the ",
+            "packed matrix's `k`, or [`Error::InvalidDimension`] on an empty ",
+            "batch."
+        )]
+        pub fn $rows(rows: &[&[f32]], b: &$packed, threads: usize) -> Result<Tensor<f32>> {
+            if rows.is_empty() {
+                return Err(Error::InvalidDimension {
+                    op: concat!("matmul_", stringify!($rows)),
+                    what: "empty decode batch".to_owned(),
+                });
+            }
+            if let Some(bad) = rows.iter().find(|r| r.len() != b.k()) {
+                return Err(Error::ShapeMismatch {
+                    op: concat!("matmul_", stringify!($rows)),
+                    lhs: vec![1, bad.len()],
+                    rhs: vec![b.k(), b.n()],
+                });
+            }
+            let mut stacked = Vec::with_capacity(rows.len() * b.k());
+            for r in rows {
+                stacked.extend_from_slice(r);
+            }
+            let mut out = Tensor::zeros([rows.len(), b.n()]);
+            $k_prepacked(
+                rows.len(),
+                &stacked,
+                b,
+                out.as_mut_slice(),
+                kernel::parallel::effective_threads(threads),
+            );
+            Ok(out)
+        }
+
+        #[doc = concat!(
+            "The scalar LUT **reference** for ",
+            $bits,
+            "-bit weights: materializes every partial-sum table and resolves ",
+            "codes by actual lookup. Ground truth for [`",
+            stringify!($prepacked),
+            "`].\n\n# Errors\n\nReturns [`Error::ShapeMismatch`] if `a`'s ",
+            "inner dimension differs from the packed matrix's `k`."
+        )]
+        pub fn $reference(a: &Tensor<f32>, b: &$packed) -> Result<Tensor<f32>> {
+            let (m, k) = a.matrix_dims();
+            check_matmul(
+                concat!("matmul_", stringify!($reference)),
+                (m, k),
+                (b.k(), b.n()),
+            )?;
+            let mut out = Tensor::zeros([m, b.n()]);
+            $k_reference(m, a.as_slice(), b, out.as_mut_slice());
+            Ok(out)
+        }
+    };
+}
+
+lut_matmul_api!(
+    PackedMatrixI4,
+    "4",
+    matmul_i4_prepacked,
+    matmul_i4_rows_prepacked,
+    matmul_i4_reference,
+    kernel::lut::gemm_i4_prepacked,
+    kernel::lut::gemm_i4_reference
+);
+lut_matmul_api!(
+    PackedMatrixI2,
+    "2",
+    matmul_i2_prepacked,
+    matmul_i2_rows_prepacked,
+    matmul_i2_reference,
+    kernel::lut::gemm_i2_prepacked,
+    kernel::lut::gemm_i2_reference
+);
 
 /// Adds `delta` into `acc` elementwise (the merge step of shadow outlier
 /// execution, Equation 1: NPU partial result + CPU outlier partial

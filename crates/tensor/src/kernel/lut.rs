@@ -1,0 +1,812 @@
+//! Sub-8-bit weights via table-lookup (LUT) kernels: int4/int2 packed
+//! group-quantized storage and the GEMV/GEMM drivers that consume it.
+//!
+//! Decode is memory-bandwidth-bound, so weight bytes are the single
+//! biggest lever on tokens/s: the i8 transposed decode layout streams
+//! `k · n` bytes per token, the [`PackedMatrixI4`] stream is half that
+//! and [`PackedMatrixI2`] a quarter. The arithmetic follows the unified
+//! table-lookup formulation of T-MAN-style low-bit inference:
+//!
+//! ```text
+//! dot(a, w_col) = Σ_g  s_g · Σ_{p ∈ group g}  T_p[ code(p) ]
+//! where        T_p[v] = aq[p] · (v − bias)        (the partial-sum table)
+//! ```
+//!
+//! with `aq` the activation row quantized to i8 (one dynamic per-row
+//! scale, exactly like the per-tensor path) and `code(p)` the stored
+//! 4-/2-bit weight code. Each reduction position owns a 16-entry (int4)
+//! or 4-entry (int2) partial-sum table; a group's i32 table sums are
+//! dequantized by one fused `a_scale · w_scale[g]` multiply and
+//! accumulated in f32 — the same fused-epilogue discipline as the i8
+//! drivers.
+//!
+//! Two kernel families implement the same formulation:
+//!
+//! * the **scalar LUT reference** ([`gemm_i4_reference`] /
+//!   [`gemm_i2_reference`]) materializes every `T_p` and resolves each
+//!   code with an actual table lookup — the semantic ground truth, and
+//!   the thing the property suite pins the optimized drivers against;
+//! * the **optimized drivers** ([`gemm_i4_prepacked`] /
+//!   [`gemm_i2_prepacked`]) evaluate the same table entries in
+//!   registers as each code selects them (`aq[p] · (v − bias)` is exact
+//!   in i32, so distributed evaluation is bit-identical to the lookup —
+//!   and, unlike a gather, it auto-vectorizes). The hot path therefore
+//!   materializes **zero** tables: [`lut_tables_built`] counts
+//!   materializations, and the steady-state invariant mirrors the
+//!   zero-repack one — a warm decode step builds no tables at all.
+//!
+//! # Packed layout
+//!
+//! Weights are stored transposed (each output column's reduction run is
+//! contiguous, like the i8 decode copy) and nibble-/crumb-packed. The
+//! reduction dimension is covered by `group_size`-wide quantization
+//! groups, each with an independent f32 scale **per output column**
+//! (`scales[j · groups + g]`); the last group may be ragged when
+//! `group_size` does not divide `k`. Within one group of `L` positions,
+//! codes are **plane-split** so the dot kernels unpack with unit-stride
+//! activation access: for int4, byte `i` of the group's run holds
+//! position `i` in its low nibble and position `L/2 + i` in its high
+//! nibble; for int2, byte `i` holds positions `i`, `L/4 + i`,
+//! `2·L/4 + i`, `3·L/4 + i` in its four bit-pairs. `k` is padded up to
+//! a whole byte with codes that decode to exactly 0 (and the activation
+//! buffer is zero-padded to match), so ragged shapes need no edge
+//! branches in the kernels.
+//!
+//! # Bit-exactness and threading
+//!
+//! All integer arithmetic is exact, so the optimized drivers match the
+//! scalar LUT reference bit-for-bit regardless of lane partitioning or
+//! evaluation order. The f32 group accumulation is a fixed ascending-
+//! group sequence of `acc · (a_scale · w_scale)` terms, identical in
+//! both families and independent of the cohort size — so row `r` of an
+//! `m = B` batched call is bit-identical to a solo `m = 1` call on the
+//! same row, which is what lets batched decode and chunked prefill ride
+//! this path without perturbing streams. Threading N-partitions output
+//! columns ([`parallel::run_col_partitioned_rows`]): each worker
+//! finishes all `B` rows of a column while its bytes are hot, so the
+//! weights stream through memory once per *batch*, and partitioning
+//! never touches any element's accumulation order.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use super::microkernel::{lut_dot_i2, lut_dot_i4, I2_BIAS, I4_BIAS};
+use super::{pack, parallel};
+
+thread_local! {
+    /// Materialized partial-sum table builds on this thread.
+    static LUT_TABLES_BUILT: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Materialized partial-sum table builds across **all** threads (the
+/// cross-thread counterpart of [`lut_tables_built`], for observing
+/// forwards that run on pool workers).
+static LUT_TABLES_BUILT_GLOBAL: AtomicU64 = AtomicU64::new(0);
+
+/// Number of partial-sum tables this thread has materialized so far.
+///
+/// Only the scalar LUT reference ever materializes tables; the
+/// optimized drivers keep them distributed in registers. A warm decode
+/// step therefore holds this counter constant — the LUT twin of the
+/// zero-repack invariant that [`pack::pack_b_calls`] pins.
+#[must_use]
+pub fn lut_tables_built() -> u64 {
+    LUT_TABLES_BUILT.with(Cell::get)
+}
+
+/// Materialized table builds across all threads so far.
+#[must_use]
+pub fn lut_tables_built_global() -> u64 {
+    LUT_TABLES_BUILT_GLOBAL.load(Ordering::Relaxed)
+}
+
+fn note_table_build() {
+    LUT_TABLES_BUILT.with(|c| c.set(c.get() + 1));
+    LUT_TABLES_BUILT_GLOBAL.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Symmetric i8 range used for activation rows (matches the per-tensor
+/// quantization plane).
+const A_QMAX: f32 = 127.0;
+
+/// The two sub-8-bit code widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    /// 4-bit codes, 2 per byte, 16-entry tables, values in `[-7, 7]`.
+    I4,
+    /// 2-bit codes, 4 per byte, 4-entry tables, values in `[-1, 1]`
+    /// (ternary, BitNet/T-MAN style — code 0 is unused headroom).
+    I2,
+}
+
+impl Format {
+    /// Codes per packed byte; also the number of split planes per group.
+    fn codes_per_byte(self) -> usize {
+        match self {
+            Format::I4 => 2,
+            Format::I2 => 4,
+        }
+    }
+
+    /// Symmetric quantization bound on decoded values.
+    fn qmax(self) -> i32 {
+        match self {
+            Format::I4 => 7,
+            Format::I2 => 1,
+        }
+    }
+
+    /// Stored-code bias: code `v` decodes to `v - bias`.
+    fn bias(self) -> i32 {
+        match self {
+            Format::I4 => I4_BIAS,
+            Format::I2 => I2_BIAS,
+        }
+    }
+
+    /// Entries in one position's partial-sum table.
+    fn table_len(self) -> usize {
+        match self {
+            Format::I4 => 16,
+            Format::I2 => 4,
+        }
+    }
+
+    /// Bits per stored code.
+    fn bits(self) -> usize {
+        match self {
+            Format::I4 => 4,
+            Format::I2 => 2,
+        }
+    }
+}
+
+/// Validates a LUT group size: byte alignment of every group boundary
+/// (for both code widths) requires a positive multiple of 4.
+fn check_group_size(group_size: usize) {
+    assert!(
+        group_size >= 4 && group_size.is_multiple_of(4),
+        "LUT group size must be a positive multiple of 4, got {group_size}"
+    );
+}
+
+/// The shared packed core behind [`PackedMatrixI4`] / [`PackedMatrixI2`].
+#[derive(Debug, Clone, PartialEq)]
+struct PackedLut {
+    fmt: Format,
+    k: usize,
+    n: usize,
+    group_size: usize,
+    /// `k` rounded up to a whole packed byte.
+    k_pad: usize,
+    /// Packed bytes per output column (`k_pad / codes_per_byte`).
+    row_bytes: usize,
+    /// Transposed, plane-split codes: column `j`'s run is
+    /// `codes[j * row_bytes .. (j + 1) * row_bytes]`.
+    codes: Vec<u8>,
+    /// Per-(column, group) scales, `scales[j * groups + g]`.
+    scales: Vec<f32>,
+}
+
+impl PackedLut {
+    /// Quantizes and packs a row-major `k × n` f32 matrix.
+    fn quantize_pack(fmt: Format, b: &[f32], k: usize, n: usize, group_size: usize) -> Self {
+        assert_eq!(b.len(), k * n, "rhs shape mismatch");
+        check_group_size(group_size);
+        pack::note_pack_b();
+        let cpb = fmt.codes_per_byte();
+        let qmax = fmt.qmax();
+        let bias = fmt.bias();
+        let k_pad = k.div_ceil(cpb) * cpb;
+        let row_bytes = k_pad / cpb;
+        let groups = k.div_ceil(group_size);
+        let mut codes = Vec::with_capacity(n * row_bytes);
+        let mut scales = Vec::with_capacity(n * groups);
+        for j in 0..n {
+            for g in 0..groups {
+                let g0 = g * group_size;
+                let len = group_len(g, groups, group_size, k_pad);
+                let real_end = (g0 + group_size).min(k);
+                let mut amax = 0.0f32;
+                for p in g0..real_end {
+                    amax = amax.max(b[p * n + j].abs());
+                }
+                let scale = if amax > 0.0 { amax / qmax as f32 } else { 0.0 };
+                scales.push(scale);
+                let stride = len / cpb;
+                for i in 0..stride {
+                    let mut byte = 0u8;
+                    for t in 0..cpb {
+                        let p = g0 + t * stride + i;
+                        let code = if p < k {
+                            quantize_code(b[p * n + j], scale, qmax, bias)
+                        } else {
+                            bias as u8
+                        };
+                        byte |= code << (fmt.bits() * t);
+                    }
+                    codes.push(byte);
+                }
+            }
+        }
+        PackedLut {
+            fmt,
+            k,
+            n,
+            group_size,
+            k_pad,
+            row_bytes,
+            codes,
+            scales,
+        }
+    }
+
+    fn groups(&self) -> usize {
+        self.k.div_ceil(self.group_size)
+    }
+
+    /// Total bytes a decode GEMV streams per token: packed codes plus
+    /// the per-(column, group) scales.
+    fn packed_bytes(&self) -> usize {
+        self.codes.len() + self.scales.len() * std::mem::size_of::<f32>()
+    }
+
+    /// The stored code of reduction position `p` (may be a padded
+    /// position, `k ≤ p < k_pad`) in column `j` — the inverse of the
+    /// plane-split pack, used by the reference kernel and tests.
+    fn code_at(&self, p: usize, j: usize) -> u8 {
+        debug_assert!(p < self.k_pad && j < self.n);
+        let groups = self.groups();
+        let g = (p / self.group_size).min(groups - 1);
+        let g0 = g * self.group_size;
+        let len = group_len(g, groups, self.group_size, self.k_pad);
+        let cpb = self.fmt.codes_per_byte();
+        let stride = len / cpb;
+        let o = p - g0;
+        let (t, i) = (o / stride, o % stride);
+        let byte = self.codes[j * self.row_bytes + g0 / cpb + i];
+        let mask = (1u8 << self.fmt.bits()) - 1;
+        (byte >> (self.fmt.bits() * t)) & mask
+    }
+
+    /// Reconstructs the row-major `k × n` float matrix.
+    fn dequantize(&self) -> Vec<f32> {
+        let groups = self.groups();
+        let mut out = vec![0.0f32; self.k * self.n];
+        for p in 0..self.k {
+            let g = p / self.group_size;
+            for j in 0..self.n {
+                let code = i32::from(self.code_at(p, j));
+                let scale = self.scales[j * groups + g];
+                out[p * self.n + j] = (code - self.fmt.bias()) as f32 * scale;
+            }
+        }
+        out
+    }
+}
+
+/// Positions covered by group `g`: `group_size` for every group but the
+/// last, which absorbs the byte-padded tail.
+fn group_len(g: usize, groups: usize, group_size: usize, k_pad: usize) -> usize {
+    if g + 1 == groups {
+        k_pad - g * group_size
+    } else {
+        group_size
+    }
+}
+
+/// Symmetric round-and-clamp to `[-qmax, qmax]`, biased into a stored
+/// code. A zero scale (all-zero group) maps everything to the bias code,
+/// which decodes to exactly 0.
+fn quantize_code(x: f32, scale: f32, qmax: i32, bias: i32) -> u8 {
+    if scale <= 0.0 {
+        return bias as u8;
+    }
+    let q = (x / scale).round() as i32;
+    (q.clamp(-qmax, qmax) + bias) as u8
+}
+
+/// Quantizes `m` activation rows (row-major, stride `k`) to i16-widened
+/// i8 with one dynamic max-min scale per row, zero-padding each row to
+/// `k_pad`. Shared verbatim by the reference and optimized drivers so
+/// the two can never quantize differently.
+fn quantize_rows(a: &[f32], m: usize, k: usize, k_pad: usize) -> (Vec<i16>, Vec<f32>) {
+    let mut aq = vec![0i16; m * k_pad];
+    let mut row_scales = Vec::with_capacity(m);
+    for r in 0..m {
+        let row = &a[r * k..(r + 1) * k];
+        let mut amax = 0.0f32;
+        for &v in row {
+            amax = amax.max(v.abs());
+        }
+        let scale = if amax > 0.0 { amax / A_QMAX } else { 0.0 };
+        row_scales.push(scale);
+        if scale > 0.0 {
+            let dst = &mut aq[r * k_pad..r * k_pad + k];
+            for (d, &v) in dst.iter_mut().zip(row) {
+                *d = (v / scale).round().clamp(-A_QMAX, A_QMAX) as i16;
+            }
+        }
+    }
+    (aq, row_scales)
+}
+
+/// A `k × n` weight matrix packed **once** into the int4 LUT format:
+/// 4-bit plane-split codes (half the bytes of the i8 decode copy) with
+/// per-(column, group) f32 scales. Built at weight load/quantization
+/// time; the `*_prepacked` LUT drivers then never touch the float
+/// original again.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedMatrixI4(PackedLut);
+
+/// A `k × n` weight matrix packed **once** into the int2 (ternary) LUT
+/// format: 2-bit plane-split codes (a quarter of the i8 bytes) with
+/// per-(column, group) f32 scales.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedMatrixI2(PackedLut);
+
+#[rustfmt::skip] // rustfmt oscillates on doc attributes inside macro bodies
+macro_rules! lut_matrix_api {
+    ($ty:ident, $fmt:expr, $bits:literal) => {
+        impl $ty {
+            #[doc = concat!(
+                "Quantizes and packs a row-major `k × n` f32 matrix with ",
+                "`group_size`-wide per-column groups along the reduction ",
+                "dimension (",
+                $bits,
+                "-bit codes). `group_size` need not divide `k` — the last ",
+                "group is ragged.\n\n# Panics\n\nPanics if `b.len() != k * n` ",
+                "or `group_size` is not a positive multiple of 4."
+            )]
+            #[must_use]
+            pub fn quantize_pack(b: &[f32], k: usize, n: usize, group_size: usize) -> Self {
+                $ty(PackedLut::quantize_pack($fmt, b, k, n, group_size))
+            }
+
+            /// Quantizes and packs from a `[k, n]` tensor view.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `group_size` is not a positive multiple of 4.
+            #[must_use]
+            pub fn from_tensor(b: &crate::Tensor<f32>, group_size: usize) -> Self {
+                let (k, n) = b.matrix_dims();
+                Self::quantize_pack(b.as_slice(), k, n, group_size)
+            }
+
+            /// Reduction-dimension length.
+            #[must_use]
+            pub fn k(&self) -> usize {
+                self.0.k
+            }
+
+            /// Output-dimension length.
+            #[must_use]
+            pub fn n(&self) -> usize {
+                self.0.n
+            }
+
+            /// Quantization group width along the reduction dimension.
+            #[must_use]
+            pub fn group_size(&self) -> usize {
+                self.0.group_size
+            }
+
+            /// Number of groups (the last may be ragged).
+            #[must_use]
+            pub fn groups(&self) -> usize {
+                self.0.groups()
+            }
+
+            /// Per-(column, group) scales, `scales()[j * groups + g]`.
+            #[must_use]
+            pub fn scales(&self) -> &[f32] {
+                &self.0.scales
+            }
+
+            /// Bytes a decode GEMV streams per token (packed codes +
+            /// scales) — the memory-traffic number the bench reports.
+            #[must_use]
+            pub fn packed_bytes(&self) -> usize {
+                self.0.packed_bytes()
+            }
+
+            /// The stored code of position `p` in column `j` (tests and
+            /// reference kernels; `p` may index the byte-padded tail).
+            #[must_use]
+            pub fn code_at(&self, p: usize, j: usize) -> u8 {
+                self.0.code_at(p, j)
+            }
+
+            /// Reconstructs the row-major `k × n` float matrix.
+            #[must_use]
+            pub fn dequantize(&self) -> Vec<f32> {
+                self.0.dequantize()
+            }
+        }
+    };
+}
+
+lut_matrix_api!(PackedMatrixI4, Format::I4, "4");
+lut_matrix_api!(PackedMatrixI2, Format::I2, "2");
+
+/// `C = dequant(A · B)` against int4 LUT weights — the optimized
+/// driver. Activation rows are quantized with one dynamic per-row
+/// scale, every group's partial-sum table is evaluated in registers
+/// (zero materialized tables — see [`lut_tables_built`]), and group
+/// sums are dequantized by a fused `a_scale · w_scale` epilogue.
+///
+/// For `m ≤ 2` this is the N-partitioned decode GEMV; larger `m` (the
+/// batched-decode cohort and chunked prefill) runs the same
+/// column-partitioned walk with all rows finished per column, so the
+/// weights stream once per batch. Row `r` is bit-identical to a solo
+/// `m = 1` call on the same row, and results are bit-exact vs
+/// [`gemm_i4_reference`] for any thread count.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with the packed dimensions.
+pub fn gemm_i4_prepacked(m: usize, a: &[f32], b: &PackedMatrixI4, c: &mut [f32], threads: usize) {
+    gemm_lut(m, a, &b.0, c, threads);
+}
+
+/// The int4 decode GEMV (`m ≤ 2`), N-partitioned across `threads` — the
+/// shape-restricted alias of [`gemm_i4_prepacked`] the decode path and
+/// bench call by name.
+///
+/// # Panics
+///
+/// Panics if `m > 2` or a slice length disagrees with the packed
+/// dimensions.
+pub fn gemv_i4_prepacked(m: usize, a: &[f32], b: &PackedMatrixI4, c: &mut [f32], threads: usize) {
+    assert!(m <= super::GEMV_MAX_ROWS, "GEMV row bound exceeded: {m}");
+    gemm_lut(m, a, &b.0, c, threads);
+}
+
+/// `C = dequant(A · B)` against int2 LUT weights — the optimized
+/// driver; see [`gemm_i4_prepacked`].
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with the packed dimensions.
+pub fn gemm_i2_prepacked(m: usize, a: &[f32], b: &PackedMatrixI2, c: &mut [f32], threads: usize) {
+    gemm_lut(m, a, &b.0, c, threads);
+}
+
+/// The int2 decode GEMV (`m ≤ 2`), N-partitioned across `threads`.
+///
+/// # Panics
+///
+/// Panics if `m > 2` or a slice length disagrees with the packed
+/// dimensions.
+pub fn gemv_i2_prepacked(m: usize, a: &[f32], b: &PackedMatrixI2, c: &mut [f32], threads: usize) {
+    assert!(m <= super::GEMV_MAX_ROWS, "GEMV row bound exceeded: {m}");
+    gemm_lut(m, a, &b.0, c, threads);
+}
+
+/// The scalar LUT **reference** for int4: materializes every
+/// 16-entry partial-sum table (counted by [`lut_tables_built`]) and
+/// resolves each stored code with an actual lookup. Single-threaded,
+/// simple, and the ground truth the optimized drivers are pinned
+/// against bit-for-bit.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with the packed dimensions.
+pub fn gemm_i4_reference(m: usize, a: &[f32], b: &PackedMatrixI4, c: &mut [f32]) {
+    gemm_lut_reference(m, a, &b.0, c);
+}
+
+/// The scalar LUT reference for int2 (4-entry tables); see
+/// [`gemm_i4_reference`].
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with the packed dimensions.
+pub fn gemm_i2_reference(m: usize, a: &[f32], b: &PackedMatrixI2, c: &mut [f32]) {
+    gemm_lut_reference(m, a, &b.0, c);
+}
+
+/// One output element of the int4 driver: walks every group of one
+/// packed column against one quantized activation row and returns the
+/// dequantized dot.
+///
+/// Two codegen properties here are load-bearing, both checked by the
+/// `lut_decode` bench gate rather than by eye:
+///
+/// * `#[inline(never)]` — compiled standalone, the reduction in
+///   [`lut_dot_i4`] auto-vectorizes to paired widening multiply-
+///   accumulates; inlined into the threading closure it degrades to
+///   narrow shuffling.
+/// * `SPEC` — the group size as a compile-time constant (`0` = take the
+///   runtime `group_size`). A constant trip count lets the group body
+///   compile to one straight-line block; [`gemm_lut`] dispatches the
+///   common power-of-two sizes to specialized instances.
+#[inline(never)]
+fn lut_col_i4<const SPEC: usize>(
+    col_codes: &[u8],
+    aq_row: &[i16],
+    g_sums: &[i32],
+    w_scales: &[f32],
+    group_size: usize,
+    a_scale: f32,
+) -> f32 {
+    let gs = if SPEC > 0 { SPEC } else { group_size };
+    let groups = w_scales.len();
+    let k_pad = aq_row.len();
+    let mut out = 0.0f32;
+    // The ragged tail group is peeled off so every slice in the main
+    // loop has the (constant, when specialized) full-group length —
+    // which is what lets the group body compile to straight-line code.
+    let full = groups - 1;
+    for ((&aq_sum, &w_scale), (bytes, aq_g)) in g_sums[..full]
+        .iter()
+        .zip(&w_scales[..full])
+        .zip(col_codes.chunks_exact(gs / 2).zip(aq_row.chunks_exact(gs)))
+    {
+        let (lo, hi) = aq_g.split_at(gs / 2);
+        let acc = lut_dot_i4(bytes, lo, hi, aq_sum);
+        // Same expression, same group order as the reference: exactness
+        // of the i32 sum makes the kernels interchangeable, this line
+        // keeps the f32 tail interchangeable too.
+        out += acc as f32 * (a_scale * w_scale);
+    }
+    let g0 = full * gs;
+    let stride = (k_pad - g0) / 2;
+    let bytes = &col_codes[g0 / 2..g0 / 2 + stride];
+    let (lo, hi) = aq_row[g0..k_pad].split_at(stride);
+    let acc = lut_dot_i4(bytes, lo, hi, g_sums[full]);
+    out + acc as f32 * (a_scale * w_scales[full])
+}
+
+/// One output element of the int2 driver; see [`lut_col_i4`].
+#[inline(never)]
+fn lut_col_i2<const SPEC: usize>(
+    col_codes: &[u8],
+    aq_row: &[i16],
+    g_sums: &[i32],
+    w_scales: &[f32],
+    group_size: usize,
+    a_scale: f32,
+) -> f32 {
+    let gs = if SPEC > 0 { SPEC } else { group_size };
+    let groups = w_scales.len();
+    let k_pad = aq_row.len();
+    let mut out = 0.0f32;
+    let full = groups - 1;
+    for ((&aq_sum, &w_scale), (bytes, aq_g)) in g_sums[..full]
+        .iter()
+        .zip(&w_scales[..full])
+        .zip(col_codes.chunks_exact(gs / 4).zip(aq_row.chunks_exact(gs)))
+    {
+        let (q0, rest) = aq_g.split_at(gs / 4);
+        let (q1, rest) = rest.split_at(gs / 4);
+        let (q2, q3) = rest.split_at(gs / 4);
+        let acc = lut_dot_i2(bytes, [q0, q1, q2, q3], aq_sum);
+        out += acc as f32 * (a_scale * w_scale);
+    }
+    let g0 = full * gs;
+    let stride = (k_pad - g0) / 4;
+    let bytes = &col_codes[g0 / 4..g0 / 4 + stride];
+    let (q0, rest) = aq_row[g0..k_pad].split_at(stride);
+    let (q1, rest) = rest.split_at(stride);
+    let (q2, q3) = rest.split_at(stride);
+    let acc = lut_dot_i2(bytes, [q0, q1, q2, q3], g_sums[full]);
+    out + acc as f32 * (a_scale * w_scales[full])
+}
+
+/// The per-element column walker for this format/group-size pair, with
+/// the group size baked in as a constant for the sizes models actually
+/// use (any other size falls back to the runtime-`group_size` instance
+/// — same results, fewer specializations).
+type LutColFn = fn(&[u8], &[i16], &[i32], &[f32], usize, f32) -> f32;
+
+fn lut_col_fn(fmt: Format, group_size: usize) -> LutColFn {
+    match (fmt, group_size) {
+        (Format::I4, 32) => lut_col_i4::<32>,
+        (Format::I4, 64) => lut_col_i4::<64>,
+        (Format::I4, 128) => lut_col_i4::<128>,
+        (Format::I4, 256) => lut_col_i4::<256>,
+        (Format::I4, _) => lut_col_i4::<0>,
+        (Format::I2, 32) => lut_col_i2::<32>,
+        (Format::I2, 64) => lut_col_i2::<64>,
+        (Format::I2, 128) => lut_col_i2::<128>,
+        (Format::I2, 256) => lut_col_i2::<256>,
+        (Format::I2, _) => lut_col_i2::<0>,
+    }
+}
+
+fn gemm_lut(m: usize, a: &[f32], p: &PackedLut, c: &mut [f32], threads: usize) {
+    assert_eq!(a.len(), m * p.k, "lhs shape mismatch");
+    assert_eq!(c.len(), m * p.n, "output shape mismatch");
+    if m == 0 || p.n == 0 {
+        return;
+    }
+    let groups = p.groups();
+    if groups == 0 {
+        // k = 0: an empty reduction, exactly as the reference computes.
+        c.fill(0.0);
+        return;
+    }
+    let (aq, row_scales) = quantize_rows(a, m, p.k, p.k_pad);
+    // Per-(row, group) activation sums, computed once per cohort: the
+    // dot kernels hoist the code bias out of their loops via the exact
+    // identity `Σ (code − bias) · aq = Σ code · aq − bias · Σ aq`.
+    let mut group_sums = vec![0i32; m * groups];
+    for r in 0..m {
+        let aq_row = &aq[r * p.k_pad..(r + 1) * p.k_pad];
+        for g in 0..groups {
+            let g0 = g * p.group_size;
+            let len = group_len(g, groups, p.group_size, p.k_pad);
+            group_sums[r * groups + g] = aq_row[g0..g0 + len].iter().map(|&x| i32::from(x)).sum();
+        }
+    }
+    let col = lut_col_fn(p.fmt, p.group_size);
+    parallel::run_col_partitioned_rows(threads, m, p.n, 1, c, |col0, _, group| {
+        let cols = group.first().map_or(0, |(_, band)| band.len());
+        for jj in 0..cols {
+            let j = col0 + jj;
+            let col_codes = &p.codes[j * p.row_bytes..(j + 1) * p.row_bytes];
+            let w_scales = &p.scales[j * groups..(j + 1) * groups];
+            // All rows finish this column while its bytes are hot: the
+            // packed column streams from memory once per cohort.
+            for (row, band) in group.iter_mut() {
+                let aq_row = &aq[*row * p.k_pad..(*row + 1) * p.k_pad];
+                let g_sums = &group_sums[*row * groups..(*row + 1) * groups];
+                band[jj] = col(
+                    col_codes,
+                    aq_row,
+                    g_sums,
+                    w_scales,
+                    p.group_size,
+                    row_scales[*row],
+                );
+            }
+        }
+    });
+}
+
+fn gemm_lut_reference(m: usize, a: &[f32], p: &PackedLut, c: &mut [f32]) {
+    assert_eq!(a.len(), m * p.k, "lhs shape mismatch");
+    assert_eq!(c.len(), m * p.n, "output shape mismatch");
+    let (aq, row_scales) = quantize_rows(a, m, p.k, p.k_pad);
+    let groups = p.groups();
+    let tl = p.fmt.table_len();
+    let bias = p.fmt.bias();
+    for r in 0..m {
+        let aq_row = &aq[r * p.k_pad..(r + 1) * p.k_pad];
+        // Materialize the per-position partial-sum tables for this
+        // activation row: table[p][v] = aq[p] · (v − bias).
+        let mut table = vec![0i32; p.k_pad * tl];
+        for (pos, &av) in aq_row.iter().enumerate() {
+            for v in 0..tl {
+                table[pos * tl + v] = i32::from(av) * (v as i32 - bias);
+            }
+        }
+        note_table_build();
+        for j in 0..p.n {
+            let mut out = 0.0f32;
+            for g in 0..groups {
+                let g0 = g * p.group_size;
+                let len = group_len(g, groups, p.group_size, p.k_pad);
+                let mut acc = 0i32;
+                for pos in g0..g0 + len {
+                    acc += table[pos * tl + usize::from(p.code_at(pos, j))];
+                }
+                out += acc as f32 * (row_scales[r] * p.scales[j * groups + g]);
+            }
+            c[r * p.n + j] = out;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(len: usize, mul: usize, add: usize) -> Vec<f32> {
+        (0..len)
+            .map(|i| ((i * mul + add) % 173) as f32 / 173.0 - 0.5)
+            .collect()
+    }
+
+    #[test]
+    fn pack_round_trips_codes_within_half_a_scale() {
+        for (k, n, gs) in [(16usize, 8usize, 4usize), (30, 5, 8), (7, 3, 12)] {
+            let b = ramp(k * n, 31, 7);
+            let p4 = PackedMatrixI4::quantize_pack(&b, k, n, gs);
+            let back = p4.dequantize();
+            for pos in 0..k {
+                for j in 0..n {
+                    let scale = p4.scales()[j * p4.groups() + pos / gs];
+                    let err = (back[pos * n + j] - b[pos * n + j]).abs();
+                    assert!(
+                        err <= scale * 0.5 + 1e-6,
+                        "({pos},{j}): err {err} vs scale {scale}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn padded_positions_decode_to_zero() {
+        // k = 7 pads to 8 (int4) / 8 (int2): every padded code must be
+        // the bias, i.e. decode to exactly zero.
+        let (k, n, gs) = (7usize, 4usize, 4usize);
+        let b = ramp(k * n, 13, 5);
+        let p4 = PackedMatrixI4::quantize_pack(&b, k, n, gs);
+        let p2 = PackedMatrixI2::quantize_pack(&b, k, n, gs);
+        for j in 0..n {
+            assert_eq!(i32::from(p4.code_at(7, j)), I4_BIAS);
+            assert_eq!(i32::from(p2.code_at(7, j)), I2_BIAS);
+        }
+    }
+
+    #[test]
+    fn optimized_matches_reference_on_ragged_shapes() {
+        for (m, k, n, gs) in [
+            (1usize, 12usize, 5usize, 4usize),
+            (2, 30, 17, 8),
+            (5, 26, 9, 12),
+        ] {
+            let a = ramp(m * k, 17, 3);
+            let b = ramp(k * n, 29, 11);
+            let p4 = PackedMatrixI4::quantize_pack(&b, k, n, gs);
+            let mut got = vec![0.0f32; m * n];
+            let mut want = vec![0.0f32; m * n];
+            gemm_i4_prepacked(m, &a, &p4, &mut got, 3);
+            gemm_i4_reference(m, &a, &p4, &mut want);
+            assert_eq!(got, want, "i4 m={m} k={k} n={n} gs={gs}");
+
+            let p2 = PackedMatrixI2::quantize_pack(&b, k, n, gs);
+            gemm_i2_prepacked(m, &a, &p2, &mut got, 3);
+            gemm_i2_reference(m, &a, &p2, &mut want);
+            assert_eq!(got, want, "i2 m={m} k={k} n={n} gs={gs}");
+        }
+    }
+
+    #[test]
+    fn optimized_driver_materializes_no_tables() {
+        let (m, k, n, gs) = (2usize, 32usize, 8usize, 8usize);
+        let a = ramp(m * k, 7, 1);
+        let b = ramp(k * n, 19, 2);
+        let p4 = PackedMatrixI4::quantize_pack(&b, k, n, gs);
+        let mut c = vec![0.0f32; m * n];
+        let before = lut_tables_built();
+        gemm_i4_prepacked(m, &a, &p4, &mut c, 1);
+        assert_eq!(lut_tables_built(), before, "hot path must not build tables");
+        gemm_i4_reference(m, &a, &p4, &mut c);
+        assert_eq!(
+            lut_tables_built(),
+            before + m as u64,
+            "reference builds one table set per row"
+        );
+    }
+
+    #[test]
+    fn int4_beats_int2_on_accuracy_and_int2_on_bytes() {
+        let (k, n, gs) = (64usize, 32usize, 16usize);
+        let b = ramp(k * n, 23, 9);
+        let p4 = PackedMatrixI4::quantize_pack(&b, k, n, gs);
+        let p2 = PackedMatrixI2::quantize_pack(&b, k, n, gs);
+        let mse = |back: &[f32]| -> f32 {
+            back.iter()
+                .zip(&b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f32>()
+                / b.len() as f32
+        };
+        assert!(mse(&p4.dequantize()) < mse(&p2.dequantize()));
+        assert!(p2.packed_bytes() < p4.packed_bytes());
+        // And both are far below the 1-byte-per-element i8 stream.
+        assert!(p4.packed_bytes() < k * n);
+    }
+
+    #[test]
+    #[should_panic(expected = "group size")]
+    fn rejects_unaligned_group_size() {
+        let b = ramp(8 * 4, 3, 1);
+        let _ = PackedMatrixI4::quantize_pack(&b, 8, 4, 6);
+    }
+}

@@ -24,6 +24,13 @@ pub const MR: usize = 8;
 /// Columns per microkernel tile.
 pub const NR: usize = 16;
 
+/// Stored-code bias of the int4 LUT format: code `v` decodes to `v - 8`.
+/// Shared between the packers and the dot kernels so the two can never
+/// disagree (see [`super::lut`]).
+pub(super) const I4_BIAS: i32 = 8;
+/// Stored-code bias of the int2 LUT format: code `v` decodes to `v - 2`.
+pub(super) const I2_BIAS: i32 = 2;
+
 /// Fused (or contracted) multiply-add; see the module docs. Shared with
 /// the driver's GEMV path so both always use the same contraction rule.
 #[inline(always)]
@@ -117,6 +124,65 @@ pub fn microkernel_i8(kc: usize, a_panel: &[i16], b_panel: &[i16], acc: &mut [[i
     }
 }
 
+/// One group-sized LUT dot product, int4 codes.
+///
+/// `codes` holds one packed byte per **pair** of reduction positions of
+/// a single output column, in the split-plane group layout of
+/// [`super::lut`]: byte `i` carries the code of position `i` in its low
+/// nibble and the code of position `len/2 + i` in its high nibble (both
+/// offsets relative to the group). `aq_lo` / `aq_hi` are the matching
+/// halves of the quantized activation group, and `aq_sum` is the i32
+/// sum of the whole activation group (both halves).
+///
+/// The partial-sum table `T[p][v] = aq[p] · (v − 8)` is evaluated in
+/// registers — entry by entry, as each nibble selects it — rather than
+/// materialized; because every entry is an exact small integer, the
+/// result is bit-identical to a lookup in the materialized table
+/// regardless of evaluation order. Two further exact rewrites keep the
+/// loops in the shape LLVM turns into widening multiply-accumulates:
+/// the bias is hoisted out entirely
+/// (`Σ (code − 8) · aq  =  Σ code · aq  −  8 · Σ aq`, which is why the
+/// caller passes `aq_sum`), and the reduction runs through one plain
+/// scalar accumulator — an integer sum is freely reassociable, and that
+/// freedom is exactly what lets the vectorizer pick paired widening
+/// multiply-accumulates (`vpmaddwd`-class codegen on x86) instead of
+/// full-width multiplies.
+#[inline(always)]
+pub(super) fn lut_dot_i4(codes: &[u8], aq_lo: &[i16], aq_hi: &[i16], aq_sum: i32) -> i32 {
+    debug_assert_eq!(codes.len(), aq_lo.len());
+    debug_assert_eq!(codes.len(), aq_hi.len());
+    let mut s = 0i32;
+    for ((&b, &l), &h) in codes.iter().zip(aq_lo).zip(aq_hi) {
+        s += i32::from(b & 0x0f) * i32::from(l) + i32::from(b >> 4) * i32::from(h);
+    }
+    s - I4_BIAS * aq_sum
+}
+
+/// One group-sized LUT dot product, int2 codes.
+///
+/// `codes` holds one packed byte per **four** reduction positions: byte
+/// `i` carries, in its four bit-pairs from least significant up, the
+/// codes of positions `i`, `len/4 + i`, `2·len/4 + i`, and
+/// `3·len/4 + i` of the group. `aq` are the four matching quarters of
+/// the quantized activation group and `aq_sum` the i32 sum of the whole
+/// group. Like [`lut_dot_i4`], the 4-entry partial-sum table
+/// `T[p][v] = aq[p] · (v − 2)` is evaluated in registers with exact
+/// integer arithmetic, the bias hoisted into one `aq_sum` term, and the
+/// whole reduction run through one reassociable scalar accumulator for
+/// the same codegen reason as [`lut_dot_i4`].
+#[inline(always)]
+pub(super) fn lut_dot_i2(codes: &[u8], aq: [&[i16]; 4], aq_sum: i32) -> i32 {
+    let [q0, q1, q2, q3] = aq;
+    let mut s = 0i32;
+    for ((((&b, &x0), &x1), &x2), &x3) in codes.iter().zip(q0).zip(q1).zip(q2).zip(q3) {
+        s += i32::from(b & 0x03) * i32::from(x0)
+            + i32::from((b >> 2) & 0x03) * i32::from(x1)
+            + i32::from((b >> 4) & 0x03) * i32::from(x2)
+            + i32::from(b >> 6) * i32::from(x3);
+    }
+    s - I2_BIAS * aq_sum
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,5 +228,68 @@ mod tests {
         let mut acc = [[1.0f32; NR]; MR];
         microkernel_f32(1, &[1.0; MR], &[2.0; NR], &mut acc);
         assert!(acc.iter().flatten().all(|&x| (x - 3.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn lut_dot_i4_matches_materialized_table() {
+        // Ragged length (not a multiple of the lane width) to cover the
+        // remainder path.
+        let half = 37usize;
+        let codes: Vec<u8> = (0..half)
+            .map(|i| {
+                let lo = (i * 7 + 3) % 16;
+                let hi = (i * 11 + 5) % 16;
+                (lo | (hi << 4)) as u8
+            })
+            .collect();
+        let aq: Vec<i16> = (0..2 * half)
+            .map(|i| ((i * 31 + 9) % 255) as i16 - 127)
+            .collect();
+        let (aq_lo, aq_hi) = aq.split_at(half);
+        // The semantic ground truth: a materialized 16-entry table per
+        // position, indexed by the stored code.
+        let mut want = 0i32;
+        for i in 0..half {
+            let table_lo: Vec<i32> = (0..16)
+                .map(|v| i32::from(aq_lo[i]) * (v - I4_BIAS))
+                .collect();
+            let table_hi: Vec<i32> = (0..16)
+                .map(|v| i32::from(aq_hi[i]) * (v - I4_BIAS))
+                .collect();
+            want += table_lo[usize::from(codes[i] & 0x0f)];
+            want += table_hi[usize::from(codes[i] >> 4)];
+        }
+        let aq_sum: i32 = aq.iter().map(|&x| i32::from(x)).sum();
+        assert_eq!(lut_dot_i4(&codes, aq_lo, aq_hi, aq_sum), want);
+    }
+
+    #[test]
+    fn lut_dot_i2_matches_materialized_table() {
+        let quarter = 21usize;
+        let codes: Vec<u8> = (0..quarter)
+            .map(|i| {
+                let mut b = 0u8;
+                for t in 0..4 {
+                    b |= (((i * 5 + t * 3 + 1) % 4) as u8) << (2 * t);
+                }
+                b
+            })
+            .collect();
+        let aq: Vec<i16> = (0..4 * quarter)
+            .map(|i| ((i * 13 + 2) % 255) as i16 - 127)
+            .collect();
+        let q: Vec<&[i16]> = aq.chunks_exact(quarter).collect();
+        let mut want = 0i32;
+        for i in 0..quarter {
+            for (t, plane) in q.iter().enumerate() {
+                let code = usize::from((codes[i] >> (2 * t)) & 0x03);
+                let table: Vec<i32> = (0..4)
+                    .map(|v| i32::from(plane[i]) * (v - I2_BIAS))
+                    .collect();
+                want += table[code];
+            }
+        }
+        let aq_sum: i32 = aq.iter().map(|&x| i32::from(x)).sum();
+        assert_eq!(lut_dot_i2(&codes, [q[0], q[1], q[2], q[3]], aq_sum), want);
     }
 }

@@ -68,6 +68,20 @@
 //! structure, same `fmadd` contraction rule as the microkernel), so
 //! `C[i][j]` matches bit-for-bit in both f32 and fused-dequant outputs.
 //!
+//! # Sub-8-bit weights: the LUT family
+//!
+//! Below i8 the kernel plane switches arithmetic styles: the [`lut`]
+//! module stores weights as 4-bit ([`lut::PackedMatrixI4`]) or 2-bit
+//! ([`lut::PackedMatrixI2`]) group-quantized codes — half / a quarter
+//! of the i8 decode bytes — and computes with T-MAN-style partial-sum
+//! tables (16-entry for int4, 4-entry for int2) instead of widening
+//! multiplies. A scalar reference materializes the tables; the
+//! optimized drivers evaluate the same entries in registers, which is
+//! bit-identical (exact i32 arithmetic) and counted by
+//! [`lut::lut_tables_built`] staying flat. The same `m ≤ 2` GEMV /
+//! `m = B` cohort split applies, over the row-cohort column
+//! partitioner [`parallel::run_col_partitioned_rows`].
+//!
 //! # Determinism
 //!
 //! For a fixed build, every driver is deterministic and
@@ -88,6 +102,7 @@
 //! keeps the full K per tile (exactness makes partial-K accumulation
 //! unnecessary, and fused epilogues require complete `i32` sums).
 
+pub mod lut;
 pub mod microkernel;
 pub mod pack;
 pub mod parallel;

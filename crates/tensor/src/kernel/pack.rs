@@ -225,6 +225,14 @@ fn pack_a_with<TI: Copy, TO: Copy + Default>(
     }
 }
 
+/// Records one B-side (weights) pack in the thread-local and global
+/// counters. Shared by the f32/i8 packers here and the LUT quantize-pack
+/// in [`super::lut`], so `pack_b_calls` covers every weight layout.
+pub(super) fn note_pack_b() {
+    PACK_B_CALLS.with(|c| c.set(c.get() + 1));
+    PACK_B_CALLS_GLOBAL.fetch_add(1, Ordering::Relaxed);
+}
+
 #[allow(clippy::too_many_arguments)] // BLAS-style packing signature
 fn pack_b_with<TI: Copy, TO: Copy + Default>(
     b: &[TI],
@@ -236,8 +244,7 @@ fn pack_b_with<TI: Copy, TO: Copy + Default>(
     widen: impl Fn(TI) -> TO,
     out: &mut Vec<TO>,
 ) {
-    PACK_B_CALLS.with(|c| c.set(c.get() + 1));
-    PACK_B_CALLS_GLOBAL.fetch_add(1, Ordering::Relaxed);
+    note_pack_b();
     out.clear();
     let panels = nc.div_ceil(NR);
     out.reserve(panels * kc * NR);

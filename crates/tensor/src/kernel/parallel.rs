@@ -294,6 +294,41 @@ pub fn run_col_partitioned<T, F>(
     T: Send,
     F: Fn(usize, usize, usize, &mut [T]) + Sync,
 {
+    run_col_partitioned_rows(threads, rows, cols, align, c, |col0, _, group| {
+        for (row, band) in group.iter_mut() {
+            let band_cols = band.len();
+            work(*row, col0, band_cols, &mut band[..]);
+        }
+    });
+}
+
+/// Like [`run_col_partitioned`], but hands each worker its column band
+/// of **every row at once**: `work(col0, band_cols, group)` receives the
+/// full cohort of `(row, band)` slices for its band in one call.
+///
+/// This is what the batched-rows LUT driver needs — with the per-(row,
+/// band) callback of [`run_col_partitioned`] a worker would walk its
+/// share of the weight bytes once *per row*; with the cohort callback it
+/// can keep a weight column hot in cache while finishing all `B` rows
+/// against it, so the weights stream through memory once per batch.
+/// Partitioning is identical to [`run_col_partitioned`] (which is
+/// implemented on top of this), so the two dispatch the same bands and
+/// stay bit-identical for any thread count.
+///
+/// # Panics
+///
+/// Panics if `c.len() != rows * cols` or if a worker panics.
+pub fn run_col_partitioned_rows<T, F>(
+    threads: usize,
+    rows: usize,
+    cols: usize,
+    align: usize,
+    c: &mut [T],
+    work: F,
+) where
+    T: Send,
+    F: Fn(usize, usize, &mut [(usize, &mut [T])]) + Sync,
+{
     assert_eq!(c.len(), rows * cols, "output buffer shape mismatch");
     if rows == 0 || cols == 0 {
         return;
@@ -307,9 +342,8 @@ pub fn run_col_partitioned<T, F>(
         })
         .collect();
     if bands.len() <= 1 || threads <= 1 {
-        for (row, row_slice) in c.chunks_exact_mut(cols).enumerate() {
-            work(row, 0, cols, row_slice);
-        }
+        let mut group: Vec<(usize, &mut [T])> = c.chunks_exact_mut(cols).enumerate().collect();
+        work(0, cols, &mut group);
         return;
     }
     // Hand worker i its column band of *every* row: the per-(row, band)
@@ -329,14 +363,7 @@ pub fn run_col_partitioned<T, F>(
     let mut jobs: Vec<Job<'_>> = groups
         .into_iter()
         .zip(&bands)
-        .map(|(group, &(col0, _))| {
-            Job::new(move || {
-                for (row, band) in group {
-                    let band_cols = band.len();
-                    work(row, col0, band_cols, band);
-                }
-            })
-        })
+        .map(|(mut group, &(col0, band_cols))| Job::new(move || work(col0, band_cols, &mut group)))
         .collect();
     dispatch(&mut jobs);
 }

@@ -9,8 +9,9 @@
 //!   including fused `MatMul → Dequantize` variants,
 //! * [`kernel`] — the blocked, packed, register-tiled, multi-threaded GEMM
 //!   subsystem the `gemm` wrappers execute on, including persistent
-//!   [`PackedMatrixF32`]/[`PackedMatrixI8`] weight layouts and
-//!   `*_prepacked` drivers that never repack weights per call,
+//!   [`PackedMatrixF32`]/[`PackedMatrixI8`] weight layouts, sub-8-bit
+//!   [`PackedMatrixI4`]/[`PackedMatrixI2`] table-lookup (LUT) formats,
+//!   and `*_prepacked` drivers that never repack weights per call,
 //! * [`norm`] — LayerNorm and RMSNorm,
 //! * [`ops`] — softmax, SiLU/GELU, elementwise arithmetic, causal masking,
 //! * [`rope`] — rotary position embeddings.
@@ -56,6 +57,7 @@ pub mod ops;
 pub mod rope;
 
 pub use error::Error;
+pub use kernel::lut::{PackedMatrixI2, PackedMatrixI4};
 pub use kernel::pack::{PackedMatrixF32, PackedMatrixI8};
 pub use shape::Shape;
 pub use tensor::Tensor;

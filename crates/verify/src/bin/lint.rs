@@ -35,6 +35,8 @@ const PANIC_FREE: &[&str] = &[
     "crates/sched/src/runner.rs",
     "crates/sched/src/pool.rs",
     "crates/kv/src/pool.rs",
+    "crates/tensor/src/kernel/lut.rs",
+    "crates/quant/src/lut.rs",
 ];
 
 /// Crates forming the numeric plane (rule `wall-clock`).

@@ -11,13 +11,14 @@ use llmnpu::core::engine::{EngineConfig, LlmNpuEngine};
 use llmnpu::core::serve::{
     GenerationRequest, PressurePolicy, ServeOptions, ServeTaskKind, TokenEvent,
 };
-use llmnpu::model::backend::{FloatBackend, PerTensorBackend};
+use llmnpu::model::backend::{FloatBackend, LutBackend, PerTensorBackend};
 use llmnpu::model::config::ModelConfig;
 use llmnpu::model::forward::Transformer;
 use llmnpu::model::sample::SamplerConfig;
 use llmnpu::model::weights::{synthesize, ModelWeights, OutlierSpec};
 use llmnpu::sched::Policy;
 use llmnpu::soc::spec::SocSpec;
+use llmnpu::tensor::kernel::lut::lut_tables_built_global;
 
 fn mini_model() -> ModelWeights {
     let cfg = ModelConfig::qwen15_18b().scaled_down(48, 3, 96).unwrap();
@@ -90,6 +91,76 @@ fn batched_streams_bit_identical_to_solo_runs() {
         assert_eq!(report.total_tokens(), solo.iter().map(Vec::len).sum());
         assert!(report.tokens_per_s() > 0.0);
     }
+}
+
+/// The full serving stack on 4-bit weights: a `LutBackend` model must
+/// serve end-to-end with every request's stream bit-identical to its
+/// solo `Transformer::generate` run at every worker count (the LUT
+/// drivers are row-wise, so cohort batching is stream-transparent),
+/// and the decode loop must never materialize a lookup table.
+#[test]
+fn int4_backend_serves_with_stream_identity() {
+    let w = mini_model();
+    let be = LutBackend::int4(&w, 16).unwrap();
+    let t = Transformer::new(&w, &be);
+    let chunk_len = 3;
+
+    let requests = vec![
+        GenerationRequest::new(tokens(10, 7), 4),
+        GenerationRequest::new(tokens(4, 5), 6).with_sampler(SamplerConfig::top_k(8, 0.9, 42)),
+        GenerationRequest::new(tokens(7, 11), 5).with_sampler(SamplerConfig::temperature(1.1, 9)),
+        GenerationRequest::new(tokens(12, 3), 3).with_sampler(SamplerConfig::top_p(0.8, 0.7, 77)),
+    ];
+    let solo: Vec<Vec<u32>> = requests
+        .iter()
+        .map(|r| {
+            t.generate(&r.prompt, Some(chunk_len), r.max_new_tokens, &r.sampler)
+                .unwrap()
+        })
+        .collect();
+
+    let builds0 = lut_tables_built_global();
+    for workers in [1usize, 2, 4] {
+        let e = engine(chunk_len, workers);
+        let report = e
+            .serve(
+                &t,
+                &requests,
+                &ServeOptions {
+                    max_active: 3,
+                    ..ServeOptions::default()
+                },
+            )
+            .unwrap();
+        for (r, outcome) in report.requests.iter().enumerate() {
+            assert_eq!(
+                outcome.tokens, solo[r],
+                "int4 request {r} diverged from its solo run at {workers} workers"
+            );
+        }
+        assert_eq!(report.total_tokens(), solo.iter().map(Vec::len).sum());
+    }
+    assert_eq!(
+        lut_tables_built_global(),
+        builds0,
+        "serving on packed int4 weights materialized a lookup table"
+    );
+    // The packed model streams less than the i8 byte count (= element
+    // count) of the same projections: the memory claim, end to end.
+    let elems: usize = w
+        .layers
+        .iter()
+        .map(|l| {
+            l.wq.len()
+                + l.wk.len()
+                + l.wv.len()
+                + l.wo.len()
+                + l.w_gate.as_ref().map_or(0, |g| g.len())
+                + l.w_up.len()
+                + l.w_down.len()
+        })
+        .sum();
+    assert!(be.weight_bytes() < elems, "int4 must beat i8 bytes");
 }
 
 /// Repeat batched runs are identical: scheduling noise must never leak
