@@ -48,6 +48,7 @@ pub mod baselines;
 pub mod decode;
 pub mod engine;
 pub mod faults;
+pub mod frontend;
 pub mod memory;
 pub mod report;
 pub mod serve;

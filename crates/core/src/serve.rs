@@ -11,9 +11,14 @@
 //! combined [`LaneGraph`] holding, per admitted request *incarnation*:
 //!
 //! * an **admission task** that reserves the request's worst-case page
-//!   budget (forking another request's ref-counted blocks when their
-//!   prompts share a block-aligned prefix — the shared system prompt is
-//!   allocated and prefilled **once**),
+//!   budget — forking a live neighbor's ref-counted blocks when their
+//!   prompts share a prefix (any length: full pages are ref-shared, the
+//!   sub-page remainder is recovered by a leading-row copy), or reusing
+//!   pages from the **global radix prefix cache**
+//!   ([`llmnpu_kv::PrefixCache`]): prompt prefixes computed by *any*
+//!   earlier request, live or long gone, are reused with no donor
+//!   declaration — the shared system prompt is allocated and prefilled
+//!   **once per session**, not once per batch,
 //! * the request's **chunked-prefill DAG** over its *unshared suffix*,
 //!   writing K/V straight into the pool through the request's block
 //!   table (position-addressed, so out-of-order chunks can't reorder
@@ -40,6 +45,23 @@
 //! Admission decisions are made by a deterministic planner over request
 //! order and page arithmetic, so the *structure* of a serving run never
 //! depends on wall-clock noise.
+//!
+//! # Sessions and the global prefix cache
+//!
+//! [`LlmNpuEngine::serve`] is the transient entry point: it builds a
+//! pool and a fresh [`llmnpu_kv::PrefixCache`] for one batch and drains
+//! both before returning. A long-running front-end (see
+//! [`crate::frontend`]) instead opens a [`ServeSession`] once and calls
+//! [`LlmNpuEngine::serve_with_session`] per batch: cached prompt
+//! prefixes (every completed prefill inserts its full prompt pages)
+//! survive *across* batches, so a later request sharing a system prompt
+//! with any earlier one reuses those pages even though the producer is
+//! long released. Cached pages are ref-counted residents of the pool;
+//! under admission pressure the planner evicts cold cached prefixes
+//! (LRU, refusing pages mid-reuse or claimed by the current round)
+//! before it resorts to preempting live requests. The zero-leak
+//! invariant becomes: used pages minus cache-resident pages is zero
+//! after every batch, and exactly zero after a session flush.
 //!
 //! # Determinism
 //!
@@ -84,7 +106,7 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use llmnpu_graph::chunk::ChunkPlan;
 use llmnpu_graph::dag::{build_prefill_dag, PrefillDag, TaskRole};
 use llmnpu_graph::layer::Stage;
-use llmnpu_kv::{BlockPool, PoolConfig};
+use llmnpu_kv::{BlockPool, CachedPrefix, PoolConfig, PrefixCache, PrefixCacheMetrics};
 use llmnpu_model::forward::{PagedDecodeEntry, Transformer};
 use llmnpu_model::kv::PagedKvCache;
 use llmnpu_model::sample::{Sampler, SamplerConfig};
@@ -347,9 +369,13 @@ pub struct ServeOptions {
     /// GEMM per linear site. `1` keeps each request's steps separate
     /// GEMVs. Ignored (treated as 1) for non-row-wise backends.
     pub decode_batch: usize,
-    /// Share block-aligned common prompt prefixes between concurrently
-    /// active requests (allocate + prefill once, ref-count the pages).
-    /// Ignored for non-row-wise backends.
+    /// Share common prompt prefixes: between concurrently active
+    /// requests (allocate + prefill once, ref-count the pages — any
+    /// prefix length, full pages ref-shared and the sub-page tail
+    /// row-copied), and across time through the global prefix cache
+    /// (completed prefills cache their full prompt pages; later
+    /// requests reuse them with no donor declaration). Ignored for
+    /// non-row-wise backends.
     pub share_prefixes: bool,
     /// Streaming token callback, if any.
     pub on_token: Option<TokenSink>,
@@ -639,10 +665,29 @@ pub struct KvPoolReport {
     /// Memory-pressure evictions (preempted incarnations).
     pub evictions: usize,
     /// Pages that were *shared* instead of re-allocated thanks to
-    /// prefix sharing (sum over admissions).
+    /// live-donor prefix sharing (sum over admissions).
     pub shared_prefix_blocks: usize,
     /// Copy-on-write page copies the pool performed.
     pub cow_copies: u64,
+    /// Global prefix-cache lookups that matched at least one token
+    /// (this run's share of the session cache's counters).
+    pub prefix_cache_hits: u64,
+    /// Prefix-cache lookups that matched nothing.
+    pub prefix_cache_misses: u64,
+    /// Prompt tokens served from the prefix cache (full pages plus
+    /// row-copied tails) instead of being re-prefilled.
+    pub prefix_cache_hit_tokens: u64,
+    /// Pool pages reused from the prefix cache instead of re-allocated.
+    pub prefix_cache_hit_blocks: u64,
+    /// Pages newly retained by prefix-cache inserts at prefill
+    /// completion.
+    pub prefix_cache_inserted_blocks: u64,
+    /// Cached-prefix pages evicted by the planner under pool pressure.
+    pub prefix_cache_evictions: u64,
+    /// Pages still resident in the prefix cache when this report was
+    /// taken (zero for transient [`LlmNpuEngine::serve`] runs, which
+    /// flush; a live [`ServeSession`] keeps them for the next batch).
+    pub prefix_cache_resident_blocks: usize,
 }
 
 /// Aggregate outcome of one batched serving run.
@@ -659,6 +704,11 @@ pub struct ServeReport {
     /// single task ran (a finding aborts the run with
     /// [`Error::PlanRejected`] instead).
     pub verification: Vec<llmnpu_verify::PlanStats>,
+    /// Queue depth over time: `(time_ms, depth)` step points, where
+    /// depth counts requests that have arrived but not yet reached a
+    /// terminal status. Derived from the outcomes and the timeline, so
+    /// it is exactly reproducible run to run.
+    pub queue_depth: Vec<(f64, usize)>,
 }
 
 impl ServeReport {
@@ -711,6 +761,101 @@ impl ServeReport {
             .sum::<f64>()
             / self.requests.len() as f64
     }
+
+    /// Maximum simultaneous in-flight requests over the run (the peak
+    /// of [`ServeReport::queue_depth`]).
+    #[must_use]
+    pub fn peak_queue_depth(&self) -> usize {
+        self.queue_depth.iter().map(|&(_, d)| d).max().unwrap_or(0)
+    }
+}
+
+/// The queue-depth-over-time series for a set of resolved requests: +1
+/// at each arrival, −1 when the request reaches its terminal (its last
+/// executed span, or its finish time if later; its arrival if nothing
+/// ever ran). Simultaneous events coalesce into one step point, with
+/// departures applied before arrivals at equal timestamps.
+fn queue_depth_series(outcomes: &[RequestOutcome], timeline: &ServeTimeline) -> Vec<(f64, usize)> {
+    let mut last_span: HashMap<usize, f64> = HashMap::new();
+    for s in timeline.entries() {
+        let e = last_span.entry(s.request).or_insert(f64::NEG_INFINITY);
+        *e = e.max(s.end_ms);
+    }
+    let mut events: Vec<(f64, i64)> = Vec::with_capacity(outcomes.len() * 2);
+    for o in outcomes {
+        let done = last_span
+            .get(&o.request)
+            .copied()
+            .unwrap_or(f64::NEG_INFINITY)
+            .max(o.finish_ms)
+            .max(o.arrival_ms);
+        events.push((o.arrival_ms, 1));
+        events.push((done, -1));
+    }
+    events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let mut series: Vec<(f64, usize)> = Vec::new();
+    let mut depth: i64 = 0;
+    for (t, delta) in events {
+        depth += delta;
+        let d = depth.max(0) as usize;
+        match series.last_mut() {
+            Some(last) if last.0 == t => last.1 = d,
+            _ => series.push((t, d)),
+        }
+    }
+    series
+}
+
+/// A persistent serving context: one paged KV pool plus one global
+/// radix prefix cache, shared by every batch served through
+/// [`LlmNpuEngine::serve_with_session`]. Prompt prefixes prefilled by an
+/// earlier batch stay resident (ref-held by the cache) and are adopted
+/// by later requests with matching prompts — no donor in the same
+/// batch, no submit-time declaration. Dropping the session drops the
+/// pool slab; call [`ServeSession::flush`] first to assert emptiness.
+#[derive(Debug)]
+pub struct ServeSession {
+    pool: Arc<BlockPool>,
+    cache: PrefixCache,
+}
+
+impl ServeSession {
+    /// Pages currently held by the global prefix cache.
+    #[must_use]
+    pub fn cached_blocks(&self) -> usize {
+        self.cache.held_blocks()
+    }
+
+    /// Cumulative prefix-cache counters over the session's lifetime.
+    #[must_use]
+    pub fn cache_metrics(&self) -> PrefixCacheMetrics {
+        self.cache.metrics()
+    }
+
+    /// The session pool's page statistics (size, usage, watermarks).
+    #[must_use]
+    pub fn pool_stats(&self) -> llmnpu_kv::PoolStats {
+        self.pool.stats()
+    }
+
+    /// Drops every cached prefix and returns its pages to the pool,
+    /// then proves the pool is completely empty — the session-wide
+    /// zero-leak check.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if releasing cached pages fails or if pages
+    /// remain in use after the flush (a leak).
+    pub fn flush(&self) -> Result<usize> {
+        let freed = self.cache.flush(&self.pool).map_err(kv_err)?;
+        let used = self.pool.used_blocks();
+        if used != 0 {
+            return Err(Error::InvalidConfig {
+                what: format!("{used} KV pages leaked after session flush"),
+            });
+        }
+        Ok(freed)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -729,12 +874,14 @@ enum GateKind {
     PrefillDone,
 }
 
-/// A shared prompt prefix chosen by the planner.
+/// A shared prompt prefix chosen by the planner (live donor).
 #[derive(Debug, Clone, Copy)]
 struct SharedPrefix {
     /// Segment whose table donates the blocks.
     donor_seg: usize,
-    /// Shared tokens (a multiple of both the block and chunk sizes).
+    /// Shared tokens — any length: the full pages below it are
+    /// ref-shared from the donor, the sub-page remainder is recovered
+    /// by a leading-row copy at admission.
     tokens: usize,
 }
 
@@ -747,12 +894,46 @@ struct SegmentPlan {
     evicted: bool,
     /// Admission gates on earlier segments.
     gates: Vec<(usize, GateKind)>,
+    /// Live-donor prefix share (mutually exclusive with `cached`).
     shared: Option<SharedPrefix>,
+    /// Global prefix-cache hit reused at admission: the cached full
+    /// pages are retained into the request's table, the partial tail
+    /// (if any) row-copied. No donor gate — the producer may be long
+    /// gone.
+    cached: Option<CachedPrefix>,
     /// Decode cohort id (`usize::MAX` for evicted segments).
     cohort: usize,
     /// Segments that fork this segment's blocks: their Admit must
     /// precede this segment's Release.
     sharer_segs: Vec<usize>,
+    /// Full prompt pages this segment's prefill leaves resident in the
+    /// global prefix cache past its release — the planner's *final*
+    /// figure after pressure reclaims (zero for evicted incarnations or
+    /// pages a later admission already took back).
+    retained: usize,
+}
+
+impl SegmentPlan {
+    /// Prompt tokens covered by any prefix reuse (donor or cache),
+    /// including a row-copied partial tail — where this segment's own
+    /// prefill starts.
+    fn prefix_tokens(&self) -> usize {
+        match (&self.shared, &self.cached) {
+            (Some(sh), _) => sh.tokens,
+            (None, Some(hit)) => hit.matched_tokens(),
+            (None, None) => 0,
+        }
+    }
+
+    /// Prefix tokens covered by *whole* reused pages (the part that
+    /// costs no fresh blocks; the tail rows live in a fresh page).
+    fn prefix_full_tokens(&self, block_tokens: usize) -> usize {
+        match (&self.shared, &self.cached) {
+            (Some(sh), _) => sh.tokens - sh.tokens % block_tokens,
+            (None, Some(hit)) => hit.tokens,
+            (None, None) => 0,
+        }
+    }
 }
 
 /// Plan-time page bookkeeping: groups of physically co-released blocks.
@@ -760,15 +941,27 @@ struct SegmentPlan {
 struct PlanGroup {
     blocks: usize,
     holders: usize,
+    /// Blocks of this group that stay resident past its release —
+    /// the full prompt pages the owning segment's prefill-finish task
+    /// inserts into the global prefix cache. Zeroed if the owner is
+    /// evicted (a preempted incarnation never reaches its insert).
+    retained: usize,
 }
 
 struct Planner<'r> {
     requests: &'r [GenerationRequest],
     pool_cfg: PoolConfig,
+    /// The live pool: cached-prefix evictions under planning pressure
+    /// release pages physically, before any task executes.
+    pool: &'r BlockPool,
+    /// The session's global prefix cache. Lookups happen lazily inside
+    /// [`Planner::admit`], in admission order, so claim stamps accrue
+    /// exactly as the plan consumes hits and unclaimed entries stay
+    /// evictable for later admissions.
+    cache: &'r PrefixCache,
     max_active: usize,
     pressure: PressurePolicy,
     share: bool,
-    align: usize,
     segments: Vec<SegmentPlan>,
     groups: Vec<PlanGroup>,
     /// Groups each segment holds (its own + every group its shared
@@ -784,28 +977,18 @@ struct Planner<'r> {
     free: usize,
 }
 
-fn gcd(a: usize, b: usize) -> usize {
-    if b == 0 {
-        a
-    } else {
-        gcd(b, a % b)
-    }
-}
-
-fn lcm(a: usize, b: usize) -> usize {
-    a / gcd(a, b) * b
-}
-
 fn common_prefix_len(a: &[u32], b: &[u32]) -> usize {
     a.iter().zip(b).take_while(|(x, y)| x == y).count()
 }
 
 impl<'r> Planner<'r> {
     /// The longest usable shared prefix between request `req` and any
-    /// active segment: block- and chunk-aligned (so the sharer's suffix
-    /// chunks line up with absolute positions), fully inside the donor's
-    /// *prompt* (only prefilled pages are shareable), and leaving the
-    /// sharer at least one suffix token to prefill.
+    /// active segment: fully inside the donor's *prompt* (only
+    /// prefilled pages are shareable), leaving the sharer at least one
+    /// suffix token to prefill, and spanning at least one whole page
+    /// (a sub-page overlap is not worth a PrefillDone gate on the
+    /// donor). No block or chunk alignment beyond that — full pages
+    /// are ref-shared, the remainder rows are copied.
     fn best_share(&self, req: usize) -> Option<SharedPrefix> {
         if !self.share {
             return None;
@@ -816,34 +999,48 @@ impl<'r> Planner<'r> {
             let donor_req = self.segments[seg].req;
             let lcp = common_prefix_len(prompt, &self.requests[donor_req].prompt);
             let cap = lcp.min(prompt.len() - 1);
-            let aligned = cap - cap % self.align;
-            if aligned == 0 {
+            if cap < self.pool_cfg.block_tokens {
                 continue;
             }
-            if best.is_none_or(|b| aligned > b.tokens) {
+            if best.is_none_or(|b| cap > b.tokens) {
                 best = Some(SharedPrefix {
                     donor_seg: seg,
-                    tokens: aligned,
+                    tokens: cap,
                 });
             }
         }
         best
     }
 
-    /// Fresh blocks segment needs beyond a shared prefix.
-    fn fresh_blocks(&self, req: usize, shared_tokens: usize) -> usize {
+    /// Fresh blocks a segment needs beyond whole reused prefix pages.
+    fn fresh_blocks(&self, req: usize, prefix_full_tokens: usize) -> usize {
         self.pool_cfg
-            .blocks_for(self.requests[req].total_tokens() - shared_tokens)
+            .blocks_for(self.requests[req].total_tokens() - prefix_full_tokens)
+    }
+
+    /// Full prompt pages request `req` retains in the prefix cache at
+    /// prefill completion, beyond pages already reused from a prefix
+    /// (those were cached or donor-held before — re-inserting them adds
+    /// no residency). Conservative under insert collisions: first-wins
+    /// means a colliding insert retains nothing, so the plan may
+    /// over-charge (never under-charge) residency.
+    fn retained_blocks(&self, req: usize, prefix_full_tokens: usize) -> usize {
+        if !self.share {
+            return 0;
+        }
+        let bt = self.pool_cfg.block_tokens;
+        self.requests[req].prompt.len() / bt - prefix_full_tokens / bt
     }
 
     /// Releases an active segment's planned pages (group holders
-    /// decrement; fully released groups return to `free`).
+    /// decrement; fully released groups return to `free`, minus what
+    /// the group's owner retains in the prefix cache).
     fn release_plan(&mut self, seg: usize) {
         let held = std::mem::take(&mut self.held[seg]);
         for g in held {
             self.groups[g].holders -= 1;
             if self.groups[g].holders == 0 {
-                self.free += self.groups[g].blocks;
+                self.free += self.groups[g].blocks - self.groups[g].retained;
             }
         }
     }
@@ -856,12 +1053,43 @@ impl<'r> Planner<'r> {
         pending: &mut VecDeque<(usize, usize)>,
     ) -> Result<usize> {
         let mut shared = self.best_share(req);
+        // Global prefix-cache probe, capped so at least one suffix
+        // token remains to prefill. The lookup stamps the matched nodes
+        // with the current round — an eviction claim that keeps the hit
+        // resident until this admission physically retains it. A live
+        // donor wins only when it covers strictly more tokens (a cache
+        // hit costs no gate and holds no donor pages).
+        let mut probe: Option<CachedPrefix> = None;
+        let prompt = &self.requests[req].prompt;
+        if self.share && prompt.len() > 1 {
+            let hit = self.cache.lookup(&prompt[..prompt.len() - 1]);
+            if hit.matched_tokens() > 0 {
+                probe = Some(hit);
+            }
+        }
+        let mut cached: Option<CachedPrefix> = None;
+        if let Some(hit) = &probe {
+            if shared.is_none_or(|sh| sh.tokens <= hit.matched_tokens()) {
+                shared = None;
+                cached = probe.clone();
+            }
+        }
         let mut gates: Vec<(usize, GateKind)> = Vec::new();
         if let Some(prev) = self.last_seg_of_req[req] {
             gates.push((prev, GateKind::Done));
         }
         loop {
-            let need = self.fresh_blocks(req, shared.map_or(0, |s| s.tokens));
+            // A donor forgotten under pressure hands back to the cache
+            // hit (still claim-protected this round).
+            if shared.is_none() && cached.is_none() {
+                cached = probe.clone();
+            }
+            let prefix_full = match (&shared, &cached) {
+                (Some(sh), _) => sh.tokens - sh.tokens % self.pool_cfg.block_tokens,
+                (None, Some(hit)) => hit.tokens,
+                (None, None) => 0,
+            };
+            let need = self.fresh_blocks(req, prefix_full);
             if self.active.len() < self.max_active && need <= self.free {
                 break;
             }
@@ -874,7 +1102,47 @@ impl<'r> Planner<'r> {
                 gates.push((seg, GateKind::Done));
                 continue;
             }
-            // Memory pressure.
+            // Memory pressure, stage 1: evict cold cached prefixes —
+            // they are reuse opportunities, not admitted work, so they
+            // always go before a live request is preempted. The pages
+            // free physically right now (planning precedes execution),
+            // so the round's budget proof sees them. Claimed (this
+            // round) and mid-reuse entries are refused, so a hit relied
+            // on above cannot be pulled out from under its admission.
+            if need > self.free {
+                let evicted = self
+                    .cache
+                    .evict_lru(self.pool, need - self.free)
+                    .map_err(kv_err)?;
+                if evicted > 0 {
+                    self.free += evicted;
+                    continue;
+                }
+            }
+            // Memory pressure, stage 2: take back full prompt pages that
+            // earlier admissions of *this* round plan to leave in the
+            // cache, where the owning group is already fully released.
+            // The runtime admission valve re-evicts them from the cache
+            // once the owner's release has actually run (the Done gate
+            // below orders that), so the budget may count them free.
+            if need > self.free {
+                let mut reclaimed = 0usize;
+                for g in 0..self.groups.len() {
+                    if self.free + reclaimed >= need {
+                        break;
+                    }
+                    if self.groups[g].holders == 0 && self.groups[g].retained > 0 {
+                        reclaimed += self.groups[g].retained;
+                        self.groups[g].retained = 0;
+                        gates.push((g, GateKind::Done));
+                    }
+                }
+                if reclaimed > 0 {
+                    self.free += reclaimed;
+                    continue;
+                }
+            }
+            // Memory pressure, stage 3: preempt live work.
             if self.pressure == PressurePolicy::EvictYoungest && attempt == 0 {
                 // Youngest active that nobody shares pages from (a
                 // donor's pages must outlive its sharers' admissions).
@@ -887,6 +1155,12 @@ impl<'r> Planner<'r> {
                     let seg = self.active.remove(i);
                     self.segments[seg].evicted = true;
                     self.segments[seg].cohort = usize::MAX;
+                    // A preempted incarnation never reaches its
+                    // prefill-finish insert: nothing stays resident.
+                    let own = self.held[seg].first().copied();
+                    if let Some(g) = own {
+                        self.groups[g].retained = 0;
+                    }
                     self.release_plan(seg);
                     gates.push((seg, GateKind::Done));
                     let (vr, va) = (self.segments[seg].req, self.segments[seg].attempt);
@@ -910,11 +1184,17 @@ impl<'r> Planner<'r> {
         }
 
         let seg = self.segments.len();
-        let fresh = self.fresh_blocks(req, shared.map_or(0, |s| s.tokens));
+        let prefix_full = match (&shared, &cached) {
+            (Some(sh), _) => sh.tokens - sh.tokens % self.pool_cfg.block_tokens,
+            (None, Some(hit)) => hit.tokens,
+            (None, None) => 0,
+        };
+        let fresh = self.fresh_blocks(req, prefix_full);
         let own_group = self.groups.len();
         self.groups.push(PlanGroup {
             blocks: fresh,
             holders: 1,
+            retained: self.retained_blocks(req, prefix_full),
         });
         self.free -= fresh;
         let mut held = vec![own_group];
@@ -938,8 +1218,10 @@ impl<'r> Planner<'r> {
             evicted: false,
             gates,
             shared,
+            cached,
             cohort: usize::MAX,
             sharer_segs: Vec::new(),
+            retained: 0, // finalized from the group table after planning
         });
         self.last_seg_of_req[req] = Some(seg);
         self.active.push(seg);
@@ -956,28 +1238,33 @@ impl<'r> Planner<'r> {
 }
 
 /// Plans every admission, eviction, and decode cohort for a batch.
+/// Lookups against (and pressure evictions from) the global prefix
+/// cache happen here, at plan time — `pool` must be the live pool so
+/// evicted cached pages free physically before any task executes.
 fn plan_batch(
     requests: &[GenerationRequest],
-    pool_cfg: &PoolConfig,
-    chunk_len: usize,
+    pool: &BlockPool,
+    cache: &PrefixCache,
     max_active: usize,
     pressure: PressurePolicy,
     share: bool,
     decode_batch: usize,
 ) -> Result<(Vec<SegmentPlan>, usize, usize)> {
+    let pool_cfg = pool.config().clone();
     let mut planner = Planner {
         requests,
-        pool_cfg: pool_cfg.clone(),
+        free: pool.free_blocks(),
+        pool_cfg,
+        pool,
+        cache,
         max_active,
         pressure,
         share,
-        align: lcm(pool_cfg.block_tokens, chunk_len),
         segments: Vec::new(),
         groups: Vec::new(),
         held: Vec::new(),
         active: Vec::new(),
         last_seg_of_req: vec![None; requests.len()],
-        free: pool_cfg.blocks,
     };
     let mut pending: VecDeque<(usize, usize)> = (0..requests.len()).map(|r| (r, 0)).collect();
     while let Some((req, attempt)) = pending.pop_front() {
@@ -1009,10 +1296,20 @@ fn plan_batch(
     if !current.is_empty() {
         cohorts += 1;
     }
+    // Finalize per-segment cache residency from the group table (one
+    // group per segment, same index): pressure stages may have zeroed a
+    // group's retained count after its segment was pushed.
+    for s in 0..planner.groups.len() {
+        planner.segments[s].retained = planner.groups[s].retained;
+    }
+
     let shared_blocks: usize = planner
         .segments
         .iter()
-        .map(|s| s.shared.map_or(0, |sh| sh.tokens / pool_cfg.block_tokens))
+        .map(|s| {
+            s.shared
+                .map_or(0, |sh| sh.tokens / pool.config().block_tokens)
+        })
         .sum();
     Ok((planner.segments, cohorts, shared_blocks))
 }
@@ -1191,23 +1488,136 @@ impl LlmNpuEngine {
         opts: &ServeOptions,
     ) -> Result<ServeReport> {
         validate_inputs(requests, opts)?;
-        let row_wise = t.backend_row_wise();
-        let share = opts.share_prefixes && row_wise;
-        let decode_batch = if row_wise { opts.decode_batch } else { 1 };
         let faults = opts.faults.clone().unwrap_or_default();
         let pool_cfg = serve_pool_config(t, requests, opts, &faults)?;
-        let pool = Arc::new(BlockPool::new(pool_cfg.clone()).map_err(kv_err)?);
+        let pool = Arc::new(BlockPool::new(pool_cfg).map_err(kv_err)?);
         // The pool is one slab in the SoC's NPU-addressable space: the
         // window (and DRAM budget) bound how much KV a device can serve.
         let mut mem = MemoryModel::new(&self.config().soc);
         mem.alloc(Processor::Npu, "paged-kv-pool", pool.bytes())?;
+        // Transient run: a fresh cache, flushed (and leak-proven empty)
+        // before returning.
+        let cache = PrefixCache::new(opts.block_tokens);
+        let report = self.serve_rounds(t, requests, opts, &pool, &cache, true)?;
+        mem.free(Processor::Npu, "paged-kv-pool");
+        Ok(report)
+    }
+
+    /// Opens a persistent serving session: one paged pool plus one
+    /// global prefix cache that batches served through
+    /// [`LlmNpuEngine::serve_with_session`] share. The pool holds
+    /// [`ServeOptions::kv_pool_blocks`] pages (required — a
+    /// long-running session cannot autosize to a batch it has not seen
+    /// yet) and is checked against the SoC's NPU-window budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid options, a missing page budget, or
+    /// a pool exceeding the NPU-addressable space.
+    pub fn open_serve_session(
+        &self,
+        t: &Transformer<'_>,
+        opts: &ServeOptions,
+    ) -> Result<ServeSession> {
+        validate_inputs(&[], opts)?;
+        let Some(blocks) = opts.kv_pool_blocks else {
+            return Err(Error::InvalidConfig {
+                what: "a serve session needs an explicit kv_pool_blocks page budget".to_owned(),
+            });
+        };
+        let pool_cfg = PoolConfig {
+            layers: t.config().layers,
+            kv_dim: t.config().kv_dim(),
+            block_tokens: opts.block_tokens,
+            blocks,
+        };
+        let pool = Arc::new(BlockPool::new(pool_cfg).map_err(kv_err)?);
+        // Model the allocation so an oversized pool is rejected at open
+        // time, exactly as the transient path would reject it.
+        let mut mem = MemoryModel::new(&self.config().soc);
+        mem.alloc(Processor::Npu, "paged-kv-pool", pool.bytes())?;
+        mem.free(Processor::Npu, "paged-kv-pool");
+        let cache = PrefixCache::new(opts.block_tokens);
+        Ok(ServeSession { pool, cache })
+    }
+
+    /// Serves one batch on a persistent [`ServeSession`]: exactly
+    /// [`LlmNpuEngine::serve`], except the pool and the global prefix
+    /// cache outlive the call — prompt prefixes prefilled by *earlier
+    /// batches* are reused from cache (no donor declaration, no shared
+    /// round), and the pages this batch's prefills cache stay resident
+    /// for later ones. The zero-leak proof nets out cache residents:
+    /// used pages beyond the cache's holdings must be zero on return.
+    ///
+    /// # Errors
+    ///
+    /// As [`LlmNpuEngine::serve`], plus a mismatch between the session
+    /// pool and this call (`block_tokens`, model geometry, or a request
+    /// that cannot fit the session pool even alone).
+    pub fn serve_with_session(
+        &self,
+        t: &Transformer<'_>,
+        requests: &[GenerationRequest],
+        opts: &ServeOptions,
+        session: &ServeSession,
+    ) -> Result<ServeReport> {
+        validate_inputs(requests, opts)?;
+        let cfg = session.pool.config();
+        if cfg.block_tokens != opts.block_tokens {
+            return Err(Error::InvalidConfig {
+                what: format!(
+                    "session pool uses {}-token pages, options ask for {}",
+                    cfg.block_tokens, opts.block_tokens
+                ),
+            });
+        }
+        if cfg.layers != t.config().layers || cfg.kv_dim != t.config().kv_dim() {
+            return Err(Error::InvalidConfig {
+                what: "session pool geometry does not match the model".to_owned(),
+            });
+        }
+        for (r, req) in requests.iter().enumerate() {
+            let need = cfg.blocks_for(req.total_tokens());
+            if need > cfg.blocks {
+                return Err(Error::InvalidConfig {
+                    what: format!(
+                        "request {r} needs {need} KV pages, session pool holds {}",
+                        cfg.blocks
+                    ),
+                });
+            }
+        }
+        self.serve_rounds(t, requests, opts, &session.pool, &session.cache, false)
+    }
+
+    /// The shared serving loop behind [`LlmNpuEngine::serve`] and
+    /// [`LlmNpuEngine::serve_with_session`]: retry rounds over one pool
+    /// and one prefix cache. `transient` flushes the cache before the
+    /// leak proof (the one-shot contract); a session run instead proves
+    /// that nothing beyond the cache's residents stayed allocated.
+    fn serve_rounds(
+        &self,
+        t: &Transformer<'_>,
+        requests: &[GenerationRequest],
+        opts: &ServeOptions,
+        pool: &Arc<BlockPool>,
+        cache: &PrefixCache,
+        transient: bool,
+    ) -> Result<ServeReport> {
+        let row_wise = t.backend_row_wise();
+        let share = opts.share_prefixes && row_wise;
+        let decode_batch = if row_wise { opts.decode_batch } else { 1 };
+        let faults = opts.faults.clone().unwrap_or_default();
+        let metrics_base = cache.metrics();
+        let pool_cfg = pool.config().clone();
 
         if requests.is_empty() {
             return Ok(ServeReport {
                 requests: Vec::new(),
                 timeline: ServeTimeline::default(),
-                kv: kv_report(&pool, opts, 0, 0),
+                kv: kv_report(pool, opts, 0, 0, cache, &metrics_base),
                 verification: Vec::new(),
+                queue_depth: Vec::new(),
             });
         }
 
@@ -1248,8 +1658,9 @@ impl LlmNpuEngine {
                 t,
                 &input,
                 opts,
-                &pool,
+                pool,
                 &pool_cfg,
+                cache,
                 &faults,
                 share,
                 decode_batch,
@@ -1337,18 +1748,24 @@ impl LlmNpuEngine {
             })
             .collect();
 
-        let kv = kv_report(&pool, opts, evictions, shared_blocks);
+        if transient {
+            // One-shot contract: nothing survives the call, including
+            // cached prefixes. Sessions keep theirs resident instead.
+            cache.flush(pool).map_err(kv_err)?;
+        }
+        let kv = kv_report(pool, opts, evictions, shared_blocks, cache, &metrics_base);
         if kv.leaked_blocks != 0 {
             return Err(Error::InvalidConfig {
                 what: format!("{} KV pages leaked after serve", kv.leaked_blocks),
             });
         }
-        mem.free(Processor::Npu, "paged-kv-pool");
+        let queue_depth = queue_depth_series(&outcomes, &timeline);
         Ok(ServeReport {
             requests: outcomes,
             timeline,
             kv,
             verification,
+            queue_depth,
         })
     }
 
@@ -1386,6 +1803,7 @@ impl LlmNpuEngine {
             return Ok(llmnpu_verify::Report::default());
         }
         let pool = Arc::new(BlockPool::new(pool_cfg.clone()).map_err(kv_err)?);
+        let cache = PrefixCache::new(opts.block_tokens);
         let input = RoundInput {
             requests: requests.to_vec(),
             orig_ids: (0..requests.len()).collect(),
@@ -1397,6 +1815,7 @@ impl LlmNpuEngine {
             opts,
             &pool,
             &pool_cfg,
+            &cache,
             &faults,
             share,
             decode_batch,
@@ -1419,22 +1838,30 @@ impl LlmNpuEngine {
         opts: &ServeOptions,
         pool: &Arc<BlockPool>,
         pool_cfg: &PoolConfig,
+        cache: &PrefixCache,
         faults: &FaultPlan,
         share: bool,
         decode_batch: usize,
         mode: RoundMode,
     ) -> Result<RoundOutput> {
         let requests: &[GenerationRequest] = &input.requests;
+        // New planning round: cached prefixes touched from here on are
+        // pinned against eviction until the next round begins.
+        cache.begin_round();
         let (segments, cohort_count, shared_blocks) = plan_batch(
             requests,
-            pool_cfg,
-            self.config().chunk_len,
+            pool,
+            cache,
             opts.max_active,
             opts.pressure,
             share,
             decode_batch,
         )?;
         let evictions = segments.iter().filter(|s| s.evicted).count();
+        // Any cache eviction the planner needed has already happened, so
+        // the page budget the verifier proves against is the pool's free
+        // count *now* — capacity is constant for the rest of the round.
+        let free_blocks = pool.free_blocks();
 
         // Decode-task durations come from the shared context-aware decode
         // model, priced for the numeric model actually being served.
@@ -1474,7 +1901,7 @@ impl LlmNpuEngine {
         let mut dags: Vec<PrefillDag> = Vec::with_capacity(segments.len());
         let mut plans: Vec<ChunkPlan> = Vec::with_capacity(segments.len());
         for seg in &segments {
-            let shared_tokens = seg.shared.map_or(0, |s| s.tokens);
+            let shared_tokens = seg.prefix_tokens();
             let suffix_len = requests[seg.req].prompt.len() - shared_tokens;
             let dag_cfg = self.dag_config(suffix_len)?;
             plans.push(dag_cfg.plan.clone());
@@ -1486,7 +1913,7 @@ impl LlmNpuEngine {
         }
         let mut programs: Vec<PrefillProgram<'_, '_>> = Vec::with_capacity(segments.len());
         for (s, seg) in segments.iter().enumerate() {
-            let shared_tokens = seg.shared.map_or(0, |sh| sh.tokens);
+            let shared_tokens = seg.prefix_tokens();
             let suffix = &requests[seg.req].prompt[shared_tokens..];
             programs.push(PrefillProgram::new_paged(
                 t,
@@ -1820,12 +2247,15 @@ impl LlmNpuEngine {
                 let donor = seg
                     .shared
                     .map(|sh| (sh.donor_seg, &slots[segments[sh.donor_seg].req]));
+                let cached = seg.cached.clone();
                 let shared_tokens = seg.shared.map_or(0, |sh| sh.tokens);
+                let block_tokens = pool_cfg.block_tokens;
                 let total = request.total_tokens();
                 let admit_fault = faults
                     .fault_at(orig, fault_attempt, FaultSite::Admit)
                     .copied();
                 let prefill_ok = &seg_prefill_ok;
+                let prefix_cache = cache;
                 closures.push(contain(
                     &runtime[req],
                     Box::new(move || {
@@ -1836,18 +2266,73 @@ impl LlmNpuEngine {
                                 FaultMode::Error => return Err(msg),
                             }
                         }
-                        let cache = match donor {
-                            None => {
-                                PagedKvCache::reserve(&pool, total).map_err(|e| e.to_string())?
+                        // Admission valve: when the planner balanced its
+                        // budget by reclaiming cache-resident pages (or a
+                        // prior failure left stale residents), evict them
+                        // physically now, best effort — the reserve below
+                        // is the arbiter. Claimed hits and mid-use pages
+                        // are refused by the cache itself.
+                        let need = match (cached.as_ref(), donor) {
+                            (Some(hit), _) => pool
+                                .config()
+                                .blocks_for(total)
+                                .saturating_sub(hit.blocks.len()),
+                            (None, Some(_)) => {
+                                let full = shared_tokens - shared_tokens % block_tokens;
+                                pool.config().blocks_for(total - full)
                             }
-                            Some((dseg, dslot)) => {
+                            (None, None) => pool.config().blocks_for(total),
+                        };
+                        let short = need.saturating_sub(pool.free_blocks());
+                        if short > 0 {
+                            let _ = prefix_cache.evict_lru(&pool, short);
+                        }
+                        let cache = match (cached.as_ref(), donor) {
+                            (Some(hit), _) => {
+                                // Global-cache hit: adopt the cached full
+                                // pages (no donor, no liveness gate), then
+                                // row-copy the cached partial tail into the
+                                // first fresh page.
+                                let c =
+                                    PagedKvCache::reserve_with_prefix(&pool, &hit.blocks, total)
+                                        .map_err(|e| e.to_string())?;
+                                if let Some((src, rows)) = hit.tail {
+                                    let dst = c.table().blocks()[hit.blocks.len()];
+                                    if let Err(e) = pool.copy_rows(src, dst, rows) {
+                                        let mut c = c;
+                                        let _ = c.release();
+                                        return Err(e.to_string());
+                                    }
+                                }
+                                c
+                            }
+                            (None, Some((dseg, dslot))) => {
                                 if !prefill_ok[dseg].load(Ordering::Acquire) {
                                     return Err("prefix donor prefill incomplete".to_string());
                                 }
+                                // Ref-share the donor's full pages; the
+                                // unaligned tail rows are row-copied into
+                                // the sharer's first private page (per-row
+                                // causal masking keeps the math identical).
+                                let full = shared_tokens - shared_tokens % block_tokens;
                                 let guard = plain_lock(dslot);
                                 let donor = guard.as_ref().ok_or("prefix donor cache missing")?;
-                                PagedKvCache::reserve_shared(&pool, donor, shared_tokens, total)
-                                    .map_err(|e| e.to_string())?
+                                let c = PagedKvCache::reserve_shared(&pool, donor, full, total)
+                                    .map_err(|e| e.to_string())?;
+                                let tail_rows = shared_tokens - full;
+                                if tail_rows > 0 {
+                                    let src = donor.table().blocks()[full / block_tokens];
+                                    let dst = c.table().blocks()[full / block_tokens];
+                                    if let Err(e) = pool.copy_rows(src, dst, tail_rows) {
+                                        let mut c = c;
+                                        let _ = c.release();
+                                        return Err(e.to_string());
+                                    }
+                                }
+                                c
+                            }
+                            (None, None) => {
+                                PagedKvCache::reserve(&pool, total).map_err(|e| e.to_string())?
                             }
                         };
                         *plain_lock(slot) = Some(cache);
@@ -1959,11 +2444,30 @@ impl LlmNpuEngine {
                 let program = &programs[s];
                 let state = &states[req];
                 let ok_flag = &seg_prefill_ok[s];
+                let pool = Arc::clone(pool);
+                let slot = &slots[req];
+                let prompt = &requests[req].prompt;
+                let insert_prefix = share;
                 closures.push(contain(
                     &runtime[req],
                     Box::new(move || {
                         let last = program.last_hidden_row().map_err(|e| e.to_string())?;
                         plain_lock(state).last_hidden = Some(last);
+                        if insert_prefix {
+                            // Publish the now-complete prompt pages to the
+                            // global cache (full blocks only, first writer
+                            // wins) so later batches reuse them without a
+                            // live donor. Failure here is a contained
+                            // request failure, like any prefill fault.
+                            let blocks = {
+                                let guard = plain_lock(slot);
+                                let c = guard.as_ref().ok_or("prefill cache slot empty")?;
+                                c.table().blocks().to_vec()
+                            };
+                            cache
+                                .insert(&pool, prompt, &blocks)
+                                .map_err(|e| e.to_string())?;
+                        }
                         ok_flag.store(true, Ordering::Release);
                         Ok(())
                     }),
@@ -2030,7 +2534,16 @@ impl LlmNpuEngine {
         // acyclicity, the pinned admission order, race-free KV writes,
         // the page budget, and poison-proof cleanup. Prove all of them
         // before a single closure runs; a finding aborts the round.
-        let vplan = build_verify_plan(&graph, &meta, &segments, &builds, &plans, input, pool_cfg);
+        let vplan = build_verify_plan(
+            &graph,
+            &meta,
+            &segments,
+            &builds,
+            &plans,
+            input,
+            pool_cfg,
+            free_blocks,
+        );
         let verified = llmnpu_verify::verify(&vplan);
         if !verified.is_clean() {
             return Err(Error::PlanRejected {
@@ -2221,9 +2734,17 @@ impl LlmNpuEngine {
 ///   spaces): admission installs a cache, release/eviction drains it,
 ///   a prefix fork reads the donor's cell.
 /// - **The segment table** for the page-budget and leak proofs: fresh
-///   blocks per admission (the planner's own formula), the donor link,
-///   and each incarnation's terminal (Release, or Evicted for a
-///   preempted one).
+///   blocks per admission (the planner's own formula), blocks the global
+///   prefix cache retains past the terminal, the donor link, and each
+///   incarnation's terminal (Release, or Evicted for a preempted one).
+///
+/// Prefix-cache interplay: pages adopted from the global cache carry no
+/// in-plan writer, so their positions (`[0, full)` of a cached hit) are
+/// deliberately invisible to the race checker — only the row-copied
+/// partial tail (written by Admit into the sharer's own space) and the
+/// suffix are declared. `free_blocks` is the pool's free count *after*
+/// planning: every cache eviction the planner needed has already
+/// happened, so it is the round's true page budget.
 #[allow(clippy::too_many_arguments)] // mirrors the serving plumbing
 fn build_verify_plan(
     graph: &LaneGraph,
@@ -2233,6 +2754,7 @@ fn build_verify_plan(
     plans: &[ChunkPlan],
     input: &RoundInput,
     pool_cfg: &PoolConfig,
+    free_blocks: usize,
 ) -> llmnpu_verify::Plan {
     use llmnpu_verify::{Access, Segment, TaskClass};
 
@@ -2246,18 +2768,27 @@ fn build_verify_plan(
     // its own space beyond any shared prefix, its donor's coverage
     // (clipped, transitively) before it. Built in segment order — a
     // donor is always an earlier segment.
+    let bt = pool_cfg.block_tokens.max(1);
     let mut coverage: Vec<Vec<(usize, u64, u64)>> = Vec::with_capacity(segments.len());
     for (s, seg) in segments.iter().enumerate() {
         let total = requests[seg.req].total_tokens() as u64;
         let mut cov: Vec<(usize, u64, u64)> = Vec::new();
         if let Some(sh) = seg.shared {
-            let cut = sh.tokens as u64;
+            // Only the donor's *full* pages are ref-shared; the partial
+            // tail is row-copied into the sharer's own space by Admit,
+            // so the sharer's coverage starts at the page boundary.
+            let full = (sh.tokens - sh.tokens % bt) as u64;
             for &(cs, lo, hi) in &coverage[sh.donor_seg] {
-                if lo < cut {
-                    cov.push((cs, lo, hi.min(cut)));
+                if lo < full {
+                    cov.push((cs, lo, hi.min(full)));
                 }
             }
-            cov.push((s, cut, total));
+            cov.push((s, full, total));
+        } else if let Some(hit) = &seg.cached {
+            // Cache-adopted pages have no in-plan writer: positions
+            // below the hit's full-page length stay undeclared, and the
+            // copied tail lands in the sharer's own space.
+            cov.push((s, hit.tokens as u64, total));
         } else {
             cov.push((s, 0, total));
         }
@@ -2308,6 +2839,33 @@ fn build_verify_plan(
                 if let Some(sh) = segments[s].shared {
                     let donor_req = segments[sh.donor_seg].req;
                     task.reads.push(Access::cell(slot_space, donor_req as u64));
+                    // Unaligned tail: Admit row-copies the donor's tail
+                    // rows into the sharer's first private page — a read
+                    // of the donor's coverage and a write to own space.
+                    let full = sh.tokens - sh.tokens % bt;
+                    if sh.tokens > full {
+                        let (lo, hi) = (full as u64, sh.tokens as u64);
+                        for layer in 0..layers {
+                            for &(cs, clo, chi) in &coverage[sh.donor_seg] {
+                                let (rlo, rhi) = (clo.max(lo), chi.min(hi));
+                                if rlo < rhi {
+                                    task.reads
+                                        .push(Access::range(kv_space(cs, layer), rlo, rhi));
+                                }
+                            }
+                            task.writes.push(Access::range(kv_space(s, layer), lo, hi));
+                        }
+                    }
+                } else if let Some(hit) = &segments[s].cached {
+                    // Cached-tail copy: the source page belongs to the
+                    // cache (no in-plan writer to read from); only the
+                    // write into the sharer's own space is declared.
+                    if let Some((_, rows)) = hit.tail {
+                        let (lo, hi) = (hit.tokens as u64, (hit.tokens + rows) as u64);
+                        for layer in 0..layers {
+                            task.writes.push(Access::range(kv_space(s, layer), lo, hi));
+                        }
+                    }
                 }
             }
             ServeTaskKind::PrefillStage {
@@ -2322,7 +2880,7 @@ fn build_verify_plan(
                 task.fallible = true;
                 task.owner = Some(s);
                 task.reads.push(Access::cell(slot_space, m.member as u64));
-                let shared = segments[s].shared.map_or(0, |sh| sh.tokens);
+                let shared = segments[s].prefix_tokens();
                 let suffix = requests[segments[s].req].prompt.len() - shared;
                 let clen = plans[s].chunk_len;
                 let lo = (shared + chunk * clen) as u64;
@@ -2400,9 +2958,9 @@ fn build_verify_plan(
         }
     }
 
-    plan.page_capacity = Some(pool_cfg.blocks);
+    plan.page_capacity = Some(free_blocks);
     for (s, seg) in segments.iter().enumerate() {
-        let shared = seg.shared.map_or(0, |sh| sh.tokens);
+        let prefix_full = seg.prefix_full_tokens(pool_cfg.block_tokens);
         plan.segments.push(Segment {
             admit: Some(builds[s].admit),
             terminal: if seg.evicted {
@@ -2410,7 +2968,12 @@ fn build_verify_plan(
             } else {
                 builds[s].release
             },
-            fresh_blocks: pool_cfg.blocks_for(requests[seg.req].total_tokens() - shared),
+            fresh_blocks: pool_cfg.blocks_for(requests[seg.req].total_tokens() - prefix_full),
+            // A surviving prefill publishes its full prompt pages to the
+            // global cache: those stay resident past Release (the cache
+            // holds a reference) and only return via eviction/flush —
+            // the planner's final figure, net of pressure reclaims.
+            retained_blocks: seg.retained,
             donor: seg.shared.map(|sh| sh.donor_seg),
         });
     }
@@ -2551,17 +3114,29 @@ fn kv_report(
     opts: &ServeOptions,
     evictions: usize,
     shared_blocks: usize,
+    cache: &PrefixCache,
+    base: &PrefixCacheMetrics,
 ) -> KvPoolReport {
     let stats = pool.stats();
+    let m = cache.metrics();
     KvPoolReport {
         block_tokens: opts.block_tokens,
         pool_blocks: stats.total_blocks,
         pool_bytes: stats.bytes,
         peak_used_blocks: stats.peak_used_blocks,
-        leaked_blocks: stats.used_blocks,
+        // Pages the global cache deliberately keeps resident are not
+        // leaks: a leak is anything used beyond the cache's holdings.
+        leaked_blocks: stats.used_blocks.saturating_sub(cache.held_blocks()),
         evictions,
         shared_prefix_blocks: shared_blocks,
         cow_copies: stats.cow_copies,
+        prefix_cache_hits: m.hits - base.hits,
+        prefix_cache_misses: m.misses - base.misses,
+        prefix_cache_hit_tokens: m.hit_tokens - base.hit_tokens,
+        prefix_cache_hit_blocks: m.hit_blocks - base.hit_blocks,
+        prefix_cache_inserted_blocks: m.inserted_blocks - base.inserted_blocks,
+        prefix_cache_evictions: m.evicted_blocks - base.evicted_blocks,
+        prefix_cache_resident_blocks: cache.held_blocks(),
     }
 }
 
@@ -2803,6 +3378,10 @@ mod tests {
         }
     }
 
+    fn pool(block_tokens: usize, blocks: usize) -> BlockPool {
+        BlockPool::new(cfg(block_tokens, blocks)).unwrap()
+    }
+
     #[test]
     fn planner_matches_count_gating_when_pages_ample() {
         // Ample pages: the plan degenerates to the classic
@@ -2810,8 +3389,8 @@ mod tests {
         let requests = reqs(&[(8, 4), (8, 4), (8, 4), (8, 4)]);
         let (segs, _, _) = plan_batch(
             &requests,
-            &cfg(4, 100),
-            4,
+            &pool(4, 100),
+            &PrefixCache::new(4),
             2,
             PressurePolicy::EvictYoungest,
             false,
@@ -2835,8 +3414,8 @@ mod tests {
         let requests = reqs(&[(8, 4), (8, 4), (8, 4)]);
         let (segs, _, _) = plan_batch(
             &requests,
-            &cfg(4, 6),
-            4,
+            &pool(4, 6),
+            &PrefixCache::new(4),
             8,
             PressurePolicy::EvictYoungest,
             false,
@@ -2858,8 +3437,16 @@ mod tests {
     #[test]
     fn planner_waits_under_wait_policy() {
         let requests = reqs(&[(8, 4), (8, 4), (8, 4)]);
-        let (segs, _, _) =
-            plan_batch(&requests, &cfg(4, 6), 4, 8, PressurePolicy::Wait, false, 1).unwrap();
+        let (segs, _, _) = plan_batch(
+            &requests,
+            &pool(4, 6),
+            &PrefixCache::new(4),
+            8,
+            PressurePolicy::Wait,
+            false,
+            1,
+        )
+        .unwrap();
         assert_eq!(segs.len(), 3, "no evictions under Wait");
         assert!(segs.iter().all(|s| !s.evicted));
         assert_eq!(segs[2].gates, vec![(0, GateKind::Done)]);
@@ -2870,8 +3457,8 @@ mod tests {
         let requests = reqs(&[(40, 8)]);
         let err = plan_batch(
             &requests,
-            &cfg(4, 4),
-            4,
+            &pool(4, 4),
+            &PrefixCache::new(4),
             2,
             PressurePolicy::EvictYoungest,
             false,
@@ -2882,16 +3469,16 @@ mod tests {
     }
 
     #[test]
-    fn planner_shares_aligned_prefixes() {
-        // Identical 16-token prompts, 4-token pages, chunk 4 → the
-        // first 12 tokens (leaving ≥1 suffix token, aligned down to 12)
-        // are shareable.
+    fn planner_shares_unaligned_prefixes() {
+        // Identical 16-token prompts, 4-token pages → the first 15
+        // tokens (leaving ≥1 suffix token, no page alignment required)
+        // are shareable: 3 full pages ref-shared + a 3-row tail copy.
         let mut requests = reqs(&[(16, 4), (16, 4)]);
         requests[1].prompt = requests[0].prompt.clone();
         let (segs, _, shared_blocks) = plan_batch(
             &requests,
-            &cfg(4, 100),
-            4,
+            &pool(4, 100),
+            &PrefixCache::new(4),
             4,
             PressurePolicy::EvictYoungest,
             true,
@@ -2900,8 +3487,8 @@ mod tests {
         .unwrap();
         let sh = segs[1].shared.expect("request 1 shares request 0's prefix");
         assert_eq!(sh.donor_seg, 0);
-        assert_eq!(sh.tokens, 12);
-        assert_eq!(shared_blocks, 3);
+        assert_eq!(sh.tokens, 15);
+        assert_eq!(shared_blocks, 3, "only full pages are ref-shared");
         assert!(segs[1].gates.contains(&(0, GateKind::PrefillDone)));
         assert_eq!(segs[0].sharer_segs, vec![1]);
     }
@@ -2912,8 +3499,8 @@ mod tests {
         // max_active 2 → segment 2 gates Done on 0, breaking its cohort.
         let (segs, cohorts, _) = plan_batch(
             &requests,
-            &cfg(4, 100),
-            4,
+            &pool(4, 100),
+            &PrefixCache::new(4),
             2,
             PressurePolicy::EvictYoungest,
             false,

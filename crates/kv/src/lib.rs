@@ -20,6 +20,13 @@
 //!   and diverge with **copy-on-write**: writing into a block whose
 //!   refcount exceeds one first copies it (all layers) into a fresh
 //!   block owned solely by the writer.
+//! * [`PrefixCache`] — a **global radix/trie prefix cache** over the
+//!   pool, keyed on token-id prefixes at block granularity: any request
+//!   whose prompt starts with an already-computed prefix reuses those
+//!   pages with no donor declaration and no donor liveness requirement.
+//!   The cache holds its own reference on every cached block and evicts
+//!   cold prefixes leaf-first under pressure, refusing blocks that are
+//!   mid-reuse (refcount) or claimed by the current planning round.
 //! * Accounting — the pool tracks free/used/peak block counts and total
 //!   bytes, so a serving scheduler can admit by *free pages* instead of
 //!   request count, evict under pressure, and pin "zero pages leaked"
@@ -50,9 +57,11 @@
 
 mod error;
 pub mod pool;
+pub mod prefix;
 
 pub use error::Error;
 pub use pool::{BlockId, BlockPool, BlockTable, PoolConfig, PoolStats};
+pub use prefix::{CachedPrefix, PrefixCache, PrefixCacheMetrics};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, Error>;

@@ -369,6 +369,57 @@ impl BlockPool {
         }
     }
 
+    /// Copies the first `rows` token slots of block `src` into block
+    /// `dst`, keys and values, in **every** layer — the partial-tail
+    /// copy behind sub-block prefix sharing: a sharer whose common
+    /// prefix ends mid-block copies the donor's (or cached prefix's)
+    /// leading rows into its own first private page instead of rounding
+    /// the share down to a block boundary.
+    ///
+    /// Both blocks must be live (refcount ≥ 1); `dst` is the copier's
+    /// private page, so no copy-on-write is involved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OutOfRange`] for a bad block id, a free block,
+    /// or `rows > block_tokens`.
+    pub fn copy_rows(&self, src: BlockId, dst: BlockId, rows: usize) -> Result<()> {
+        if rows > self.cfg.block_tokens {
+            return Err(Error::OutOfRange {
+                what: "copied rows",
+                index: rows,
+                bound: self.cfg.block_tokens,
+            });
+        }
+        {
+            let m = lock_meta(&self.meta);
+            for b in [src, dst] {
+                if b >= self.cfg.blocks || m.refs[b] == 0 {
+                    return Err(Error::OutOfRange {
+                        what: "copied block",
+                        index: b,
+                        bound: self.cfg.blocks,
+                    });
+                }
+            }
+        }
+        let elems = rows * self.cfg.kv_dim;
+        let (s, d) = (src * self.cfg.block_elems(), dst * self.cfg.block_elems());
+        for store in &self.layers {
+            store
+                .k
+                .write()
+                .unwrap_or_else(PoisonError::into_inner)
+                .copy_within(s..s + elems, d);
+            store
+                .v
+                .write()
+                .unwrap_or_else(PoisonError::into_inner)
+                .copy_within(s..s + elems, d);
+        }
+        Ok(())
+    }
+
     /// Runs `f` over one layer's full K and V slabs under the read lock
     /// — the gather-free read path: callers slice whole pages out of the
     /// slabs via a table's block ids.
@@ -475,6 +526,56 @@ impl BlockTable {
             }
         };
         let mut blocks = shared.to_vec();
+        blocks.extend(fresh);
+        Ok(BlockTable {
+            blocks,
+            block_tokens: bt,
+        })
+    }
+
+    /// Reserves capacity for `total_tokens` positions on top of an
+    /// already-resident block-aligned prefix — the cache-hit admission
+    /// path: `prefix` names live pool blocks (e.g. from the global
+    /// radix prefix cache) rather than a live donor's [`BlockTable`].
+    /// The prefix blocks are retained (refcount +1); the remainder is
+    /// allocated fresh.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if the prefix covers more than
+    /// `total_tokens`, [`Error::OutOfRange`] if any prefix block is
+    /// free or invalid, otherwise allocation errors as
+    /// [`BlockTable::reserve`] (with the retain rolled back, so a
+    /// failed reservation leaks nothing).
+    pub fn reserve_with_prefix(
+        pool: &BlockPool,
+        prefix: &[BlockId],
+        total_tokens: usize,
+    ) -> Result<Self> {
+        let bt = pool.config().block_tokens;
+        let shared_tokens = prefix.len() * bt;
+        if shared_tokens > total_tokens {
+            return Err(Error::InvalidConfig {
+                what: format!(
+                    "cached prefix of {shared_tokens} tokens exceeds total {total_tokens}"
+                ),
+            });
+        }
+        pool.retain_blocks(prefix)?;
+        let fresh_count = pool.config().blocks_for(total_tokens) - prefix.len();
+        let fresh = match pool.alloc_blocks(fresh_count) {
+            Ok(f) => f,
+            Err(e) => {
+                pool.release_blocks(prefix)
+                    .map_err(|undo| Error::Inconsistent {
+                        what: format!(
+                            "rollback of cached-prefix retain failed: {undo} (after {e})"
+                        ),
+                    })?;
+                return Err(e);
+            }
+        };
+        let mut blocks = prefix.to_vec();
         blocks.extend(fresh);
         Ok(BlockTable {
             blocks,

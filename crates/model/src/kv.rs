@@ -239,6 +239,26 @@ impl PagedKvCache {
         })
     }
 
+    /// Reserves capacity for `total_tokens` on top of already-resident
+    /// **cached** prefix blocks (a hit in the global radix prefix cache,
+    /// `llmnpu_kv::prefix`): the cached blocks are retained by id — no
+    /// live donor cache required — and the remainder allocated fresh.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Kv`] if any prefix block is invalid or free, or
+    /// on pool exhaustion (the retain is rolled back).
+    pub fn reserve_with_prefix(
+        pool: &Arc<BlockPool>,
+        prefix_blocks: &[llmnpu_kv::BlockId],
+        total_tokens: usize,
+    ) -> Result<Self> {
+        Ok(PagedKvCache {
+            pool: Arc::clone(pool),
+            table: BlockTable::reserve_with_prefix(pool, prefix_blocks, total_tokens)?,
+        })
+    }
+
     /// The backing pool.
     #[must_use]
     pub fn pool(&self) -> &Arc<BlockPool> {

@@ -35,6 +35,7 @@ const PANIC_FREE: &[&str] = &[
     "crates/sched/src/runner.rs",
     "crates/sched/src/pool.rs",
     "crates/kv/src/pool.rs",
+    "crates/kv/src/prefix.rs",
     "crates/tensor/src/kernel/lut.rs",
     "crates/quant/src/lut.rs",
 ];

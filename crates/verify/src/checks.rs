@@ -543,7 +543,10 @@ fn page_checks(
                     .is_some_and(|term| term < n && anc[term])
             });
             if all_returned {
-                free += plan.segments[g].fresh_blocks as i64;
+                // Retained pages (cached prefixes) do not come back at
+                // the terminal; they leave the pool's planning budget.
+                let seg = &plan.segments[g];
+                free += seg.fresh_blocks.saturating_sub(seg.retained_blocks) as i64;
                 credited[g] = true;
             }
         }

@@ -183,6 +183,13 @@ pub struct Segment {
     /// Fresh blocks drawn from the pool at admission (beyond any shared
     /// prefix).
     pub fresh_blocks: usize,
+    /// Blocks of the fresh allocation that stay resident past the
+    /// terminal (e.g. full prompt blocks retained by a global prefix
+    /// cache at prefill completion). The budget walk credits only
+    /// `fresh_blocks - retained_blocks` back when the terminal is
+    /// proven done; retained pages return through a separate channel
+    /// (cache eviction/flush) the plan does not model.
+    pub retained_blocks: usize,
     /// Segment whose blocks this one forks (prefix sharing); must be an
     /// earlier segment.
     pub donor: Option<usize>,

@@ -66,12 +66,14 @@ fn clean_plan() -> Plan {
                 admit: Some(0),
                 terminal: Some(5),
                 fresh_blocks: 2,
+                retained_blocks: 0,
                 donor: None,
             },
             Segment {
                 admit: Some(3),
                 terminal: Some(6),
                 fresh_blocks: 2,
+                retained_blocks: 0,
                 donor: None,
             },
         ],
@@ -407,6 +409,7 @@ fn shared_prefix_co_release_holds_pages() {
         admit: Some(7),
         terminal: Some(8),
         fresh_blocks: 2,
+        retained_blocks: 0,
         donor: None,
     });
     // Walk: admit0 holds 2, admit1 holds 4; at admit2 only release r0 is

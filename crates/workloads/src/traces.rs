@@ -177,6 +177,136 @@ impl LengthMix {
     }
 }
 
+/// One request in a [`ChatTrace`]: a full token-id prompt (shared
+/// system prefix + private suffix) plus its decode budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChatPrompt {
+    /// The complete prompt: `system_prompts[system]` followed by a
+    /// request-private suffix.
+    pub tokens: Vec<u32>,
+    /// Index of the shared system prompt this request opens with.
+    pub system: usize,
+    /// Decode budget (chat-reply sized).
+    pub max_new_tokens: usize,
+}
+
+/// A seeded multi-tenant chat workload: every request opens with one
+/// of a small pool of **shared system prompts** and continues with a
+/// private heavy-tail suffix, arriving in bursty clusters.
+///
+/// This is the trace shape that exercises a *global* prefix cache: the
+/// system prompts repeat across thousands of requests whose producers
+/// are long finished, so reuse cannot come from live-donor sharing —
+/// only from cached pages surviving in the pool. Popularity is
+/// Zipf-like (system 0 is the assistant default almost everyone uses;
+/// later ones are niche personas), matching how real deployments skew.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChatTrace {
+    /// The shared system prompts, as token ids.
+    pub system_prompts: Vec<Vec<u32>>,
+    /// One prompt per request.
+    pub prompts: Vec<ChatPrompt>,
+    /// Arrival time of each request (ms from run start, non-decreasing;
+    /// heavy-tail gaps, so requests cluster into bursts).
+    pub arrivals_ms: Vec<f64>,
+}
+
+impl ChatTrace {
+    /// Generates `n` requests over `systems` shared system prompts of
+    /// `system_tokens` tokens each, with private suffix lengths drawn
+    /// heavy-tail in `[base_suffix, max_suffix]`, token ids in
+    /// `[0, vocab)`, and heavy-tail (bursty) arrivals at `scale_ms`
+    /// mean-gap scale. Fully seeded and reproducible.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)] // a trace recipe, not an API to thread through
+    pub fn shared_system_prompts(
+        seed: u64,
+        n: usize,
+        systems: usize,
+        system_tokens: usize,
+        base_suffix: usize,
+        max_suffix: usize,
+        vocab: u32,
+        scale_ms: f64,
+    ) -> Self {
+        let systems = systems.max(1);
+        let vocab = vocab.max(2);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5bd1_e995);
+        let system_prompts: Vec<Vec<u32>> = (0..systems)
+            .map(|_| {
+                (0..system_tokens)
+                    .map(|_| rng.gen_range(0..vocab))
+                    .collect()
+            })
+            .collect();
+        // Zipf-like popularity: weight 1/(i+1) for system i.
+        let weights: Vec<f64> = (0..systems).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let total_w: f64 = weights.iter().sum();
+        let mix = LengthMix::heavy_tail(seed ^ 0x27d4_eb2f, n, base_suffix.max(1), max_suffix);
+        let prompts = mix
+            .shapes
+            .iter()
+            .map(|&(suffix_len, max_new)| {
+                let mut pick: f64 = rng.gen_range(0.0..total_w);
+                let mut system = systems - 1;
+                for (i, w) in weights.iter().enumerate() {
+                    if pick < *w {
+                        system = i;
+                        break;
+                    }
+                    pick -= w;
+                }
+                let mut tokens = system_prompts[system].clone();
+                tokens.extend((0..suffix_len).map(|_| rng.gen_range(0..vocab)));
+                ChatPrompt {
+                    tokens,
+                    system,
+                    max_new_tokens: max_new,
+                }
+            })
+            .collect();
+        let arrivals_ms =
+            ArrivalTrace::heavy_tail(seed ^ 0x85eb_ca6b, scale_ms, 1.1, n).arrivals_ms;
+        ChatTrace {
+            system_prompts,
+            prompts,
+            arrivals_ms,
+        }
+    }
+
+    /// Number of requests.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.prompts.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.prompts.is_empty()
+    }
+
+    /// Total worst-case token footprint (prompts + decode budgets).
+    #[must_use]
+    pub fn total_tokens(&self) -> usize {
+        self.prompts
+            .iter()
+            .map(|p| p.tokens.len() + p.max_new_tokens)
+            .sum()
+    }
+
+    /// Prompt tokens covered by shared system prefixes — the tokens a
+    /// perfect global prefix cache would prefill exactly once per
+    /// system prompt instead of once per request.
+    #[must_use]
+    pub fn shared_prefix_tokens(&self) -> usize {
+        self.prompts
+            .iter()
+            .map(|p| self.system_prompts[p.system].len())
+            .sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,6 +377,44 @@ mod tests {
         let long = m.shapes.iter().filter(|&&(p, _)| p >= 64).count();
         assert!(long >= 3, "only {long} long-prompt outliers");
         assert!(m.total_tokens() > 0);
+    }
+
+    #[test]
+    fn chat_trace_shares_system_prompts_reproducibly() {
+        let t = ChatTrace::shared_system_prompts(11, 200, 3, 12, 4, 64, 96, 10.0);
+        assert_eq!(
+            t,
+            ChatTrace::shared_system_prompts(11, 200, 3, 12, 4, 64, 96, 10.0),
+            "seeded reproducibility"
+        );
+        assert_ne!(
+            t,
+            ChatTrace::shared_system_prompts(12, 200, 3, 12, 4, 64, 96, 10.0)
+        );
+        assert_eq!(t.len(), 200);
+        assert_eq!(t.arrivals_ms.len(), 200);
+        assert_eq!(t.system_prompts.len(), 3);
+        for p in &t.prompts {
+            // Every prompt literally opens with its system prompt.
+            let sys = &t.system_prompts[p.system];
+            assert_eq!(&p.tokens[..sys.len()], &sys[..]);
+            assert!(p.tokens.len() > sys.len(), "suffix must be non-empty");
+            assert!(p.tokens.iter().all(|&tok| tok < 96));
+            assert!(p.max_new_tokens >= 2);
+        }
+        // Zipf skew: the default persona dominates, but every system
+        // prompt gets some traffic.
+        let counts: Vec<usize> = (0..3)
+            .map(|s| t.prompts.iter().filter(|p| p.system == s).count())
+            .collect();
+        assert!(counts[0] > counts[2], "popularity skew: {counts:?}");
+        assert!(counts.iter().all(|&c| c > 0), "dead persona: {counts:?}");
+        // The shared fraction is what a global cache can save.
+        assert_eq!(t.shared_prefix_tokens(), 200 * 12);
+        assert!(t.total_tokens() > t.shared_prefix_tokens());
+        for w in t.arrivals_ms.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
     }
 
     #[test]

@@ -57,6 +57,43 @@ fn print_report(report: &ServeReport) {
         report.mean_ttft_ms(),
         report.mean_queue_wait_ms()
     );
+    println!(
+        "kv: peak {}/{} pages | leaked {} | prefix cache: {} hits / {} misses, \
+         {} tokens + {} pages reused, {} pages evicted",
+        report.kv.peak_used_blocks,
+        report.kv.pool_blocks,
+        report.kv.leaked_blocks,
+        report.kv.prefix_cache_hits,
+        report.kv.prefix_cache_misses,
+        report.kv.prefix_cache_hit_tokens,
+        report.kv.prefix_cache_hit_blocks,
+        report.kv.prefix_cache_evictions,
+    );
+    // Queue depth over time: requests arrived but not yet terminal,
+    // rendered as a one-line depth profile over the run's makespan.
+    let span = report.makespan_ms();
+    if span > 0.0 && !report.queue_depth.is_empty() {
+        let mut lane = vec!['0'; LANE_WIDTH];
+        let mut points = report.queue_depth.iter().peekable();
+        let mut depth = 0usize;
+        for (slot, glyph) in lane.iter_mut().enumerate() {
+            let t = (slot as f64 + 1.0) / LANE_WIDTH as f64 * span;
+            while let Some(&&(at, d)) = points.peek() {
+                if at <= t {
+                    depth = d;
+                    points.next();
+                } else {
+                    break;
+                }
+            }
+            *glyph = char::from_digit(depth.min(9) as u32, 10).unwrap_or('#');
+        }
+        println!(
+            "queue depth (peak {}): {}",
+            report.peak_queue_depth(),
+            lane.iter().collect::<String>()
+        );
+    }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

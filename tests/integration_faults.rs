@@ -466,6 +466,11 @@ fn pool_squeeze_evicts_but_streams_hold() {
                 block_tokens,
                 pressure: PressurePolicy::EvictYoungest,
                 faults: Some(FaultPlan::new().with_pool_cap(max_need)),
+                // Sharing off: these prompts are prefixes of each other,
+                // and a live donor (or reclaimable cached prefix) would
+                // let the planner wait its way out of the squeeze. This
+                // test is about the preemption/recompute path.
+                share_prefixes: false,
                 ..ServeOptions::default()
             },
         )
