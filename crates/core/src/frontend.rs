@@ -43,6 +43,7 @@ use std::sync::{mpsc, Arc, Mutex};
 
 use llmnpu_kv::PrefixCacheMetrics;
 use llmnpu_model::forward::Transformer;
+use llmnpu_obs::{EventKind, MetricsSnapshot, Plane};
 
 use crate::engine::LlmNpuEngine;
 use crate::serve::{
@@ -198,6 +199,12 @@ pub struct FrontendReport {
     /// Sum of per-batch makespans: the engine time the front-end spent
     /// actually serving (its serial simulated clock).
     pub serve_ms: f64,
+    /// Queue depth over the whole run: each batch's series shifted onto
+    /// the front-end's serial serving clock and concatenated.
+    pub queue_depth: Vec<(f64, usize)>,
+    /// Final snapshot of the session's metrics registry, cumulative
+    /// over every batch (empty when [`ServeOptions::obs`] was `None`).
+    pub metrics: MetricsSnapshot,
 }
 
 /// The engine side of a front-end; see [`Frontend::run`].
@@ -272,6 +279,26 @@ impl Frontend {
             report.batches += 1;
             let requests: Vec<GenerationRequest> =
                 batch.iter().map(|s| s.request.clone()).collect();
+            if let Some(obs) = session.observability() {
+                // Batch composition depends on caller timing, so these
+                // are Exec-plane events (excluded from the canonical
+                // modeled export).
+                let batches = report.batches;
+                let width = requests.len();
+                obs.sink.event(Plane::Exec, EventKind::Batch, None, || {
+                    format!("batch {batches}: {width} request(s)")
+                });
+                for (idx, req) in requests.iter().enumerate() {
+                    obs.sink
+                        .event(Plane::Exec, EventKind::Submit, Some(idx), || {
+                            format!(
+                                "prompt {} token(s), max_new {}",
+                                req.prompt.len(),
+                                req.max_new_tokens
+                            )
+                        });
+                }
+            }
 
             // Per-batch streaming sink: TokenEvent.request indexes the
             // batch, which is submission order here. Senders are
@@ -299,6 +326,12 @@ impl Frontend {
             }));
 
             let served = engine.serve_with_session(t, &requests, &opts, &session)?;
+            // Each batch runs on its own round clock; shift onto the
+            // front-end's serial clock before concatenating.
+            let base = report.serve_ms;
+            report
+                .queue_depth
+                .extend(served.queue_depth.iter().map(|&(ts, d)| (ts + base, d)));
             report.serve_ms += served.makespan_ms();
             for outcome in served.requests {
                 let idx = outcome.request;
@@ -320,6 +353,7 @@ impl Frontend {
         report.cache = session.cache_metrics();
         report.peak_used_blocks = session.pool_stats().peak_used_blocks;
         report.flushed_blocks = session.flush()?;
+        report.metrics = session.metrics();
         Ok(report)
     }
 }

@@ -110,8 +110,11 @@ use llmnpu_kv::{BlockPool, CachedPrefix, PoolConfig, PrefixCache, PrefixCacheMet
 use llmnpu_model::forward::{PagedDecodeEntry, Transformer};
 use llmnpu_model::kv::PagedKvCache;
 use llmnpu_model::sample::{Sampler, SamplerConfig};
+use llmnpu_obs::metrics::LATENCY_BUCKETS_MS;
+use llmnpu_obs::{EventKind, MetricsSnapshot, Observability, Plane, TraceSink, TraceSpan};
 use llmnpu_sched::{
-    execute_lane_graph_isolated, GateFn, LaneGraph, LaneTask, PrefillProgram, TaskFn, TaskOutcome,
+    execute_lane_graph_isolated_traced, GateFn, LaneGraph, LaneTask, PrefillProgram, TaskFn,
+    TaskOutcome,
 };
 use llmnpu_soc::memory::MemoryModel;
 use llmnpu_soc::{Millis, Processor};
@@ -125,6 +128,21 @@ use crate::{Error, Result};
 /// Modeled duration of bookkeeping tasks (admission, cache assembly,
 /// eviction, release — not GEMMs; only used for scheduling priority).
 const FINISH_TASK_MS: f64 = 0.05;
+
+/// Fixed buckets for ratio-valued histograms (prefix-cache hit ratio).
+const RATIO_BUCKETS: [f64; 5] = [0.2, 0.4, 0.6, 0.8, 1.0];
+
+/// Short span-class tag used by the trace exports.
+fn kind_class(kind: &ServeTaskKind) -> &'static str {
+    match kind {
+        ServeTaskKind::Admit => "admit",
+        ServeTaskKind::PrefillStage { .. } => "prefill",
+        ServeTaskKind::PrefillFinish => "prefill-finish",
+        ServeTaskKind::Evicted => "evict",
+        ServeTaskKind::Decode { .. } | ServeTaskKind::DecodeBatch { .. } => "decode",
+        ServeTaskKind::Release => "release",
+    }
+}
 
 /// Slack for dispatch-time deadline comparisons (mirrors the executor's
 /// release-time epsilon).
@@ -393,6 +411,11 @@ pub struct ServeOptions {
     /// Deterministic fault-injection script ([`crate::faults`]); `None`
     /// injects nothing.
     pub faults: Option<FaultPlan>,
+    /// Observability stack ([`llmnpu_obs`]): the trace sink, metrics
+    /// registry, and kernel-calibration table serving should report
+    /// into, shared with the caller by `Arc`. `None` skips all
+    /// instrumentation (the near-zero-cost default).
+    pub obs: Option<Observability>,
 }
 
 impl Default for ServeOptions {
@@ -408,6 +431,7 @@ impl Default for ServeOptions {
             max_retries: 2,
             retry_backoff_ms: 4.0,
             faults: None,
+            obs: None,
         }
     }
 }
@@ -425,6 +449,7 @@ impl fmt::Debug for ServeOptions {
             .field("max_retries", &self.max_retries)
             .field("retry_backoff_ms", &self.retry_backoff_ms)
             .field("faults", &self.faults)
+            .field("obs", &self.obs.as_ref().map(|_| "Observability"))
             .finish()
     }
 }
@@ -509,6 +534,9 @@ pub struct ServeSpan {
     pub start_ms: f64,
     /// Wall-clock end, ms from run start.
     pub end_ms: f64,
+    /// The task's plan-time modeled duration (the latency model's
+    /// figure, before any scheduling), ms.
+    pub modeled_ms: f64,
 }
 
 /// The unified executed timeline of a batched serving run: every
@@ -709,6 +737,11 @@ pub struct ServeReport {
     /// terminal status. Derived from the outcomes and the timeline, so
     /// it is exactly reproducible run to run.
     pub queue_depth: Vec<(f64, usize)>,
+    /// Snapshot of the attached metrics registry taken as the report
+    /// was assembled (empty when [`ServeOptions::obs`] was `None`).
+    /// With a session registry this is cumulative across batches — the
+    /// single source report renderers should read counters from.
+    pub metrics: MetricsSnapshot,
 }
 
 impl ServeReport {
@@ -817,6 +850,7 @@ fn queue_depth_series(outcomes: &[RequestOutcome], timeline: &ServeTimeline) -> 
 pub struct ServeSession {
     pool: Arc<BlockPool>,
     cache: PrefixCache,
+    obs: Option<Observability>,
 }
 
 impl ServeSession {
@@ -824,6 +858,24 @@ impl ServeSession {
     #[must_use]
     pub fn cached_blocks(&self) -> usize {
         self.cache.held_blocks()
+    }
+
+    /// The observability stack attached when the session was opened
+    /// ([`ServeOptions::obs`]), if any.
+    #[must_use]
+    pub fn observability(&self) -> Option<&Observability> {
+        self.obs.as_ref()
+    }
+
+    /// Point-in-time snapshot of the session's metrics registry,
+    /// cumulative over every batch served so far (empty when no
+    /// observability is attached).
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.obs
+            .as_ref()
+            .map(|o| o.registry.snapshot())
+            .unwrap_or_default()
     }
 
     /// Cumulative prefix-cache counters over the session's lifetime.
@@ -962,6 +1014,10 @@ struct Planner<'r> {
     max_active: usize,
     pressure: PressurePolicy,
     share: bool,
+    /// Original request ids of the round's members (event attribution).
+    orig_ids: &'r [usize],
+    /// Plan-plane event sink, when observability is attached.
+    sink: Option<&'r TraceSink>,
     segments: Vec<SegmentPlan>,
     groups: Vec<PlanGroup>,
     /// Groups each segment holds (its own + every group its shared
@@ -1045,6 +1101,20 @@ impl<'r> Planner<'r> {
         }
     }
 
+    /// Emits a Plan-plane pressure-ladder event for request `req`.
+    /// Planning is single-threaded, so these events are recorded in a
+    /// deterministic order and belong to the canonical modeled export.
+    fn trace_pressure(&self, req: usize, f: impl FnOnce() -> String) {
+        if let Some(sink) = self.sink {
+            sink.event(
+                Plane::Plan,
+                EventKind::Pressure,
+                Some(self.orig_ids[req]),
+                f,
+            );
+        }
+    }
+
     /// Plans the admission of one incarnation, returning its segment id.
     fn admit(
         &mut self,
@@ -1115,6 +1185,9 @@ impl<'r> Planner<'r> {
                     .evict_lru(self.pool, need - self.free)
                     .map_err(kv_err)?;
                 if evicted > 0 {
+                    self.trace_pressure(req, || {
+                        format!("stage 1: {evicted} cached page(s) evicted")
+                    });
                     self.free += evicted;
                     continue;
                 }
@@ -1138,6 +1211,9 @@ impl<'r> Planner<'r> {
                     }
                 }
                 if reclaimed > 0 {
+                    self.trace_pressure(req, || {
+                        format!("stage 2: {reclaimed} retained page(s) reclaimed")
+                    });
                     self.free += reclaimed;
                     continue;
                 }
@@ -1164,6 +1240,9 @@ impl<'r> Planner<'r> {
                     self.release_plan(seg);
                     gates.push((seg, GateKind::Done));
                     let (vr, va) = (self.segments[seg].req, self.segments[seg].attempt);
+                    self.trace_pressure(req, || {
+                        format!("stage 3: R{} attempt {va} preempted", self.orig_ids[vr])
+                    });
                     pending.push_front((vr, va + 1));
                     continue;
                 }
@@ -1225,6 +1304,15 @@ impl<'r> Planner<'r> {
         });
         self.last_seg_of_req[req] = Some(seg);
         self.active.push(seg);
+        if let Some(sink) = self.sink {
+            let gates = self.segments[seg].gates.len();
+            sink.event(
+                Plane::Plan,
+                EventKind::Admission,
+                Some(self.orig_ids[req]),
+                || format!("attempt {attempt}: {fresh} fresh page(s), {gates} gate(s)"),
+            );
+        }
         Ok(seg)
     }
 
@@ -1241,6 +1329,7 @@ impl<'r> Planner<'r> {
 /// Lookups against (and pressure evictions from) the global prefix
 /// cache happen here, at plan time — `pool` must be the live pool so
 /// evicted cached pages free physically before any task executes.
+#[allow(clippy::too_many_arguments)] // internal plumbing of `serve`
 fn plan_batch(
     requests: &[GenerationRequest],
     pool: &BlockPool,
@@ -1249,6 +1338,8 @@ fn plan_batch(
     pressure: PressurePolicy,
     share: bool,
     decode_batch: usize,
+    orig_ids: &[usize],
+    sink: Option<&TraceSink>,
 ) -> Result<(Vec<SegmentPlan>, usize, usize)> {
     let pool_cfg = pool.config().clone();
     let mut planner = Planner {
@@ -1260,6 +1351,8 @@ fn plan_batch(
         max_active,
         pressure,
         share,
+        orig_ids,
+        sink,
         segments: Vec::new(),
         groups: Vec::new(),
         held: Vec::new(),
@@ -1498,7 +1591,8 @@ impl LlmNpuEngine {
         // Transient run: a fresh cache, flushed (and leak-proven empty)
         // before returning.
         let cache = PrefixCache::new(opts.block_tokens);
-        let report = self.serve_rounds(t, requests, opts, &pool, &cache, true)?;
+        let report =
+            self.serve_rounds(t, requests, opts, &pool, &cache, true, opts.obs.as_ref())?;
         mem.free(Processor::Npu, "paged-kv-pool");
         Ok(report)
     }
@@ -1538,7 +1632,13 @@ impl LlmNpuEngine {
         mem.alloc(Processor::Npu, "paged-kv-pool", pool.bytes())?;
         mem.free(Processor::Npu, "paged-kv-pool");
         let cache = PrefixCache::new(opts.block_tokens);
-        Ok(ServeSession { pool, cache })
+        let obs = opts.obs.clone();
+        if let Some(o) = &obs {
+            pool.install_trace(Arc::clone(&o.sink));
+            cache.install_trace(Arc::clone(&o.sink));
+            self.pool().install_metrics(&o.registry);
+        }
+        Ok(ServeSession { pool, cache, obs })
     }
 
     /// Serves one batch on a persistent [`ServeSession`]: exactly
@@ -1587,7 +1687,15 @@ impl LlmNpuEngine {
                 });
             }
         }
-        self.serve_rounds(t, requests, opts, &session.pool, &session.cache, false)
+        self.serve_rounds(
+            t,
+            requests,
+            opts,
+            &session.pool,
+            &session.cache,
+            false,
+            opts.obs.as_ref().or(session.obs.as_ref()),
+        )
     }
 
     /// The shared serving loop behind [`LlmNpuEngine::serve`] and
@@ -1595,6 +1703,7 @@ impl LlmNpuEngine {
     /// and one prefix cache. `transient` flushes the cache before the
     /// leak proof (the one-shot contract); a session run instead proves
     /// that nothing beyond the cache's residents stayed allocated.
+    #[allow(clippy::too_many_arguments)] // internal plumbing of `serve`
     fn serve_rounds(
         &self,
         t: &Transformer<'_>,
@@ -1603,6 +1712,7 @@ impl LlmNpuEngine {
         pool: &Arc<BlockPool>,
         cache: &PrefixCache,
         transient: bool,
+        obs: Option<&Observability>,
     ) -> Result<ServeReport> {
         let row_wise = t.backend_row_wise();
         let share = opts.share_prefixes && row_wise;
@@ -1610,6 +1720,13 @@ impl LlmNpuEngine {
         let faults = opts.faults.clone().unwrap_or_default();
         let metrics_base = cache.metrics();
         let pool_cfg = pool.config().clone();
+        if let Some(o) = obs {
+            // First install wins; session paths already installed at
+            // open time with (normally) the same sink.
+            pool.install_trace(Arc::clone(&o.sink));
+            cache.install_trace(Arc::clone(&o.sink));
+            self.pool().install_metrics(&o.registry);
+        }
 
         if requests.is_empty() {
             return Ok(ServeReport {
@@ -1618,6 +1735,7 @@ impl LlmNpuEngine {
                 kv: kv_report(pool, opts, 0, 0, cache, &metrics_base),
                 verification: Vec::new(),
                 queue_depth: Vec::new(),
+                metrics: obs.map(|o| o.registry.snapshot()).unwrap_or_default(),
             });
         }
 
@@ -1665,6 +1783,7 @@ impl LlmNpuEngine {
                 share,
                 decode_batch,
                 RoundMode::Execute,
+                obs,
             )?;
             evictions += out.evictions;
             shared_blocks += out.shared_blocks;
@@ -1672,6 +1791,21 @@ impl LlmNpuEngine {
             for mut span in out.spans {
                 span.start_ms += time_offset;
                 span.end_ms += time_offset;
+                if let Some(o) = obs {
+                    let s = &span;
+                    o.sink.span(|| TraceSpan {
+                        request: Some(s.request),
+                        attempt: s.attempt,
+                        lane: format!("{:?}", s.processor),
+                        name: s.label.clone(),
+                        class: kind_class(&s.kind).to_owned(),
+                        start_ms: s.start_ms,
+                        end_ms: s.end_ms,
+                        modeled_ms: s.modeled_ms,
+                        wall_start_ms: Some(s.start_ms),
+                        wall_end_ms: Some(s.end_ms),
+                    });
+                }
                 timeline.spans.push(span);
             }
             let mut next_members = Vec::new();
@@ -1688,7 +1822,14 @@ impl LlmNpuEngine {
                     retries_used[r] += 1;
                     next_members.push(r);
                     let exp = (retries_used[r] - 1).min(30) as u32;
-                    next_arrivals.push(opts.retry_backoff_ms * f64::from(1u32 << exp));
+                    let backoff = opts.retry_backoff_ms * f64::from(1u32 << exp);
+                    if let Some(o) = obs {
+                        let used = retries_used[r];
+                        o.sink.event(Plane::Plan, EventKind::Retry, Some(r), || {
+                            format!("retry {used} admitted with {backoff:.3} ms backoff")
+                        });
+                    }
+                    next_arrivals.push(backoff);
                     continue;
                 }
                 let status = match m.status {
@@ -1759,6 +1900,51 @@ impl LlmNpuEngine {
                 what: format!("{} KV pages leaked after serve", kv.leaked_blocks),
             });
         }
+        if let Some(o) = obs {
+            let reg = &o.registry;
+            reg.counter("serve.batches").inc();
+            reg.counter("serve.requests").add(outcomes.len() as u64);
+            reg.counter("serve.retries")
+                .add(retries_used.iter().sum::<usize>() as u64);
+            reg.counter("serve.evictions").add(evictions as u64);
+            let ttft = reg.histogram("serve.ttft_ms", &LATENCY_BUCKETS_MS);
+            let wait = reg.histogram("serve.queue_wait_ms", &LATENCY_BUCKETS_MS);
+            let per_token = reg.histogram("serve.decode_ms_per_token", &LATENCY_BUCKETS_MS);
+            for oc in &outcomes {
+                let status = match &oc.status {
+                    RequestStatus::Completed => "serve.completed",
+                    RequestStatus::Cancelled => "serve.cancelled",
+                    RequestStatus::DeadlineExceeded => "serve.deadline_exceeded",
+                    RequestStatus::Failed { .. } | RequestStatus::RetriesExhausted { .. } => {
+                        "serve.failed"
+                    }
+                };
+                reg.counter(status).inc();
+                reg.counter("serve.tokens").add(oc.tokens.len() as u64);
+                wait.observe(oc.queue_wait_ms());
+                if oc.status.is_completed() {
+                    ttft.observe(oc.ttft_ms());
+                    let window = oc.finish_ms - oc.prefill_done_ms;
+                    if !oc.tokens.is_empty() && window > 0.0 {
+                        per_token.observe(window / oc.tokens.len() as f64);
+                    }
+                }
+            }
+            // Cumulative pool-lifetime figures report as gauges; the
+            // prefix-cache numbers below are per-run deltas.
+            reg.gauge("kv.cow_copies").set(kv.cow_copies as i64);
+            reg.counter("kv.prefix_cache.hits")
+                .add(kv.prefix_cache_hits);
+            reg.counter("kv.prefix_cache.misses")
+                .add(kv.prefix_cache_misses);
+            reg.gauge("kv.peak_used_blocks")
+                .set(kv.peak_used_blocks as i64);
+            let lookups = kv.prefix_cache_hits + kv.prefix_cache_misses;
+            if lookups > 0 {
+                reg.histogram("serve.prefix_cache_hit_ratio", &RATIO_BUCKETS)
+                    .observe(kv.prefix_cache_hits as f64 / lookups as f64);
+            }
+        }
         let queue_depth = queue_depth_series(&outcomes, &timeline);
         Ok(ServeReport {
             requests: outcomes,
@@ -1766,6 +1952,7 @@ impl LlmNpuEngine {
             kv,
             verification,
             queue_depth,
+            metrics: obs.map(|o| o.registry.snapshot()).unwrap_or_default(),
         })
     }
 
@@ -1820,6 +2007,7 @@ impl LlmNpuEngine {
             share,
             decode_batch,
             RoundMode::DryRun,
+            opts.obs.as_ref(),
         )?;
         Ok(out.verified)
     }
@@ -1843,6 +2031,7 @@ impl LlmNpuEngine {
         share: bool,
         decode_batch: usize,
         mode: RoundMode,
+        obs: Option<&Observability>,
     ) -> Result<RoundOutput> {
         let requests: &[GenerationRequest] = &input.requests;
         // New planning round: cached prefixes touched from here on are
@@ -1856,6 +2045,8 @@ impl LlmNpuEngine {
             opts.pressure,
             share,
             decode_batch,
+            &input.orig_ids,
+            obs.map(|o| o.sink.as_ref()),
         )?;
         let evictions = segments.iter().filter(|s| s.evicted).count();
         // Any cache eviction the planner needed has already happened, so
@@ -2550,6 +2741,16 @@ impl LlmNpuEngine {
                 findings: verified.findings.iter().map(ToString::to_string).collect(),
             });
         }
+        if let Some(o) = obs {
+            let st = &verified.stats;
+            o.sink
+                .event(Plane::Plan, EventKind::PlanVerified, None, || {
+                    format!(
+                        "{} task(s), {} edge(s), {} segment(s), peak {} page(s)",
+                        st.tasks, st.edges, st.segments, st.peak_pages
+                    )
+                });
+        }
         if mode == RoundMode::DryRun {
             // Nothing executed: no spans, no outcomes, pool untouched.
             return Ok(RoundOutput {
@@ -2566,6 +2767,7 @@ impl LlmNpuEngine {
         // Isolated mode: a task failure poisons only its request's chain;
         // the gate skips tasks of cancelled/expired/failed requests at
         // dispatch time. Only *structural* errors surface as Err here.
+        let gate_sink: Option<&TraceSink> = obs.map(|o| o.sink.as_ref());
         let gate: GateFn<'_> = Box::new(|task: usize, now: f64| -> bool {
             let m = &meta[task];
             let skippable = !matches!(m.kind, ServeTaskKind::Release | ServeTaskKind::Evicted);
@@ -2577,6 +2779,20 @@ impl LlmNpuEngine {
                     let req = &requests[mem];
                     if rt.cancel.is_cancelled() {
                         *term = Some(RequestStatus::Cancelled);
+                        if let Some(sink) = gate_sink {
+                            sink.event_at(
+                                Plane::Exec,
+                                EventKind::Cancel,
+                                Some(input.orig_ids[mem]),
+                                now,
+                                || {
+                                    format!(
+                                        "cancelled at dispatch of {}",
+                                        graph.tasks()[task].label
+                                    )
+                                },
+                            );
+                        }
                     } else if req
                         .deadline_ms
                         .is_some_and(|d| now >= req.arrival_ms + d - DEADLINE_EPS)
@@ -2586,6 +2802,20 @@ impl LlmNpuEngine {
                                 .is_some_and(|d| now >= req.arrival_ms + d - DEADLINE_EPS))
                     {
                         *term = Some(RequestStatus::DeadlineExceeded);
+                        if let Some(sink) = gate_sink {
+                            sink.event_at(
+                                Plane::Exec,
+                                EventKind::Deadline,
+                                Some(input.orig_ids[mem]),
+                                now,
+                                || {
+                                    format!(
+                                        "deadline blown at dispatch of {}",
+                                        graph.tasks()[task].label
+                                    )
+                                },
+                            );
+                        }
                     }
                 }
                 if term.is_none() {
@@ -2595,12 +2825,13 @@ impl LlmNpuEngine {
             skippable && all_terminal
         });
         let task_outcomes = self.pool().install_scope(|| {
-            execute_lane_graph_isolated(
+            execute_lane_graph_isolated_traced(
                 &graph,
                 closures,
                 self.config().policy,
                 self.pool(),
                 Some(gate),
+                gate_sink,
             )
         })?;
 
@@ -2622,6 +2853,29 @@ impl LlmNpuEngine {
             // lint: allow(panic) — `order` was built from exactly the outcomes that carry a span
             let (start_ms, end_ms) = task_outcomes[i].span().expect("filtered to executed");
             let m = &meta[i];
+            if let Some(o) = obs {
+                // Stage-level calibration samples: executed duration per
+                // span class, decode keyed by cohort width.
+                let ms = end_ms - start_ms;
+                match m.kind {
+                    ServeTaskKind::PrefillStage { stage, role, .. } => {
+                        o.calibration.record(
+                            &format!("serve.stage.{stage:?}.{role:?}"),
+                            0,
+                            0,
+                            0,
+                            ms,
+                        );
+                    }
+                    ServeTaskKind::Decode { .. } => {
+                        o.calibration.record("serve.decode.token", 1, 0, 0, ms);
+                    }
+                    ServeTaskKind::DecodeBatch { width, .. } => {
+                        o.calibration.record("serve.decode.token", width, 0, 0, ms);
+                    }
+                    _ => {}
+                }
+            }
             spans_out.push(ServeSpan {
                 request: input.orig_ids[m.member],
                 attempt: m.attempt,
@@ -2630,6 +2884,7 @@ impl LlmNpuEngine {
                 processor: graph.tasks()[i].processor,
                 start_ms,
                 end_ms,
+                modeled_ms: graph.tasks()[i].duration_ms,
             });
         }
         let makespan_ms = spans_out.iter().map(|s| s.end_ms).fold(0.0, f64::max);
@@ -3302,6 +3557,7 @@ mod tests {
             processor: Processor::Cpu,
             start_ms: lo,
             end_ms: hi,
+            modeled_ms: hi - lo,
         }
     }
 
@@ -3321,6 +3577,7 @@ mod tests {
             processor: Processor::Npu,
             start_ms: 0.0,
             end_ms: 10.0,
+            modeled_ms: 10.0,
         });
         // Decode of request 0 strictly after request 1's prefill window:
         // not interleaved.
@@ -3357,6 +3614,7 @@ mod tests {
             processor: Processor::Npu,
             start_ms: 6.0,
             end_ms: 7.0,
+            modeled_ms: 1.0,
         });
         assert!(tl.evicted_and_recomputed(2));
         assert!(!tl.evicted_and_recomputed(0));
@@ -3395,6 +3653,8 @@ mod tests {
             PressurePolicy::EvictYoungest,
             false,
             1,
+            &[],
+            None,
         )
         .unwrap();
         assert_eq!(segs.len(), 4);
@@ -3420,6 +3680,8 @@ mod tests {
             PressurePolicy::EvictYoungest,
             false,
             1,
+            &[],
+            None,
         )
         .unwrap();
         assert_eq!(segs.len(), 4, "one extra incarnation for the victim");
@@ -3445,6 +3707,8 @@ mod tests {
             PressurePolicy::Wait,
             false,
             1,
+            &[],
+            None,
         )
         .unwrap();
         assert_eq!(segs.len(), 3, "no evictions under Wait");
@@ -3463,6 +3727,8 @@ mod tests {
             PressurePolicy::EvictYoungest,
             false,
             1,
+            &[],
+            None,
         )
         .unwrap_err();
         assert!(err.to_string().contains("KV pages"));
@@ -3483,6 +3749,8 @@ mod tests {
             PressurePolicy::EvictYoungest,
             true,
             1,
+            &[],
+            None,
         )
         .unwrap();
         let sh = segs[1].shared.expect("request 1 shares request 0's prefix");
@@ -3505,6 +3773,8 @@ mod tests {
             PressurePolicy::EvictYoungest,
             false,
             4,
+            &[],
+            None,
         )
         .unwrap();
         assert_eq!(cohorts, 2);

@@ -8,7 +8,9 @@
 //! forked to share a common prefix, and a write into a shared block
 //! copies it first (copy-on-write).
 
-use std::sync::{Mutex, PoisonError, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
+
+use llmnpu_obs::{EventKind, Plane, TraceSink};
 
 use crate::{Error, Result};
 
@@ -124,6 +126,10 @@ pub struct BlockPool {
     cfg: PoolConfig,
     layers: Vec<LayerStore>,
     meta: Mutex<Meta>,
+    /// Optional trace recorder for allocation-traffic events. The kv
+    /// crate is on the numeric plane, so events carry no wall
+    /// timestamps (Exec plane: emission order follows live traffic).
+    trace: OnceLock<Arc<TraceSink>>,
 }
 
 impl BlockPool {
@@ -153,7 +159,21 @@ impl BlockPool {
             cfg,
             layers,
             meta: Mutex::new(meta),
+            trace: OnceLock::new(),
         })
+    }
+
+    /// Installs a trace sink for pool events (reserve / release / COW).
+    /// First install wins; later calls on an already-traced pool are
+    /// ignored (the pool outlives individual serving sessions).
+    pub fn install_trace(&self, sink: Arc<TraceSink>) {
+        let _ = self.trace.set(sink);
+    }
+
+    fn trace_event(&self, kind: EventKind, detail: impl FnOnce() -> String) {
+        if let Some(sink) = self.trace.get() {
+            sink.event(Plane::Exec, kind, None, detail);
+        }
     }
 
     /// The pool's shape.
@@ -235,6 +255,11 @@ impl BlockPool {
         }
         m.used += n;
         m.peak_used = m.peak_used.max(m.used);
+        let free_now = m.free.len();
+        drop(m);
+        self.trace_event(EventKind::PoolReserve, || {
+            format!("{n} page(s), {free_now} free")
+        });
         Ok(blocks)
     }
 
@@ -288,6 +313,12 @@ impl BlockPool {
                 m.used -= 1;
                 freed += 1;
             }
+        }
+        drop(m);
+        if freed > 0 {
+            self.trace_event(EventKind::PoolRelease, || {
+                format!("{freed} of {} page(s) freed", blocks.len())
+            });
         }
         Ok(freed)
     }
@@ -642,6 +673,9 @@ impl BlockTable {
         pool.release_blocks(&[old])?;
         self.blocks[idx] = fresh[0];
         lock_meta(&pool.meta).cow_copies += 1;
+        pool.trace_event(EventKind::PoolCow, || {
+            format!("block {old} diverged at pos {pos}")
+        });
         Ok(true)
     }
 

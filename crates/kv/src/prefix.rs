@@ -44,7 +44,9 @@
 
 use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+use llmnpu_obs::{EventKind, Plane, TraceSink};
 
 use crate::pool::{BlockId, BlockPool};
 use crate::{Error, Result};
@@ -125,6 +127,9 @@ struct Inner {
 pub struct PrefixCache {
     inner: Mutex<Inner>,
     block_tokens: usize,
+    /// Optional trace recorder for cache traffic. Numeric plane: no
+    /// wall timestamps; Exec plane (lookups run from executor tasks).
+    trace: OnceLock<Arc<TraceSink>>,
 }
 
 fn lock(inner: &Mutex<Inner>) -> std::sync::MutexGuard<'_, Inner> {
@@ -143,6 +148,20 @@ impl PrefixCache {
         PrefixCache {
             inner: Mutex::new(Inner::default()),
             block_tokens,
+            trace: OnceLock::new(),
+        }
+    }
+
+    /// Installs a trace sink for cache events (hit / miss / insert /
+    /// evict). First install wins; later calls are ignored (the cache
+    /// outlives individual serving sessions).
+    pub fn install_trace(&self, sink: Arc<TraceSink>) {
+        let _ = self.trace.set(sink);
+    }
+
+    fn trace_event(&self, kind: EventKind, detail: impl FnOnce() -> String) {
+        if let Some(sink) = self.trace.get() {
+            sink.event(Plane::Exec, kind, None, detail);
         }
     }
 
@@ -193,6 +212,17 @@ impl PrefixCache {
         } else {
             g.metrics.misses += 1;
         }
+        drop(g);
+        if matched > 0 {
+            let blocks = hit.blocks.len();
+            self.trace_event(EventKind::CacheHit, || {
+                format!("{matched} token(s) over {blocks} cached block(s)")
+            });
+        } else {
+            self.trace_event(EventKind::CacheMiss, || {
+                format!("probe of {} token(s)", tokens.len())
+            });
+        }
         hit
     }
 
@@ -242,6 +272,11 @@ impl PrefixCache {
         if added > 0 {
             g.held += added;
             g.metrics.inserted_blocks += added as u64;
+            let held = g.held;
+            drop(g);
+            self.trace_event(EventKind::CacheInsert, || {
+                format!("{added} block(s) cached, {held} held")
+            });
         }
         Ok(added)
     }
@@ -275,6 +310,12 @@ impl PrefixCache {
             g.held -= 1;
             g.metrics.evicted_blocks += 1;
             freed += 1;
+        }
+        if freed > 0 {
+            drop(g);
+            self.trace_event(EventKind::CacheEvict, || {
+                format!("{freed} of {want_blocks} wanted block(s) evicted")
+            });
         }
         Ok(freed)
     }

@@ -1,0 +1,265 @@
+//! Kernel calibration: per-(site, shape) wall-time samples aggregated
+//! into percentile rows, serializable to JSON.
+//!
+//! This is the measurement half of the ROADMAP's SLO-aware-scheduling
+//! item: the analytical `DecodeSim`/latency-model C-values can only be
+//! *calibrated* against real per-host kernel timings, and those come
+//! from the opt-in probes this module defines. The tensor kernel plane
+//! never reads a clock itself (the workspace lint forbids it there);
+//! instead it calls through the [`KernelProbe`] trait with opaque
+//! tokens, and the only clock reads live in [`WallProbe`] below, on
+//! this side of the plane boundary, each justified under the lint's
+//! `wall-clock` rule.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Cap on retained samples per (site, shape): enough for stable p99s
+/// without unbounded growth on long soaks (later samples are dropped;
+/// counts keep accumulating).
+const MAX_SAMPLES: usize = 4096;
+
+#[derive(Debug, Default)]
+struct SiteSamples {
+    /// Shape key `(m, n, k)` → retained ms samples + total count.
+    shapes: BTreeMap<(usize, usize, usize), (Vec<f32>, u64)>,
+}
+
+/// Aggregated per-(site, shape) latency samples.
+#[derive(Debug, Default)]
+pub struct CalibrationTable {
+    sites: Mutex<BTreeMap<String, SiteSamples>>,
+}
+
+/// One aggregated row of the table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CalibrationRow {
+    /// Instrumented site (e.g. `"gemm.i8.prepacked"`, `"stage.Attn.Float"`).
+    pub site: String,
+    /// Shape key: rows (or batch width) of the operation.
+    pub m: usize,
+    /// Shape key: output columns (0 where not applicable).
+    pub n: usize,
+    /// Shape key: inner dimension (0 where not applicable).
+    pub k: usize,
+    /// Total observations (including ones past the retention cap).
+    pub count: u64,
+    /// Minimum retained sample, ms.
+    pub min_ms: f64,
+    /// 50th percentile, ms.
+    pub p50_ms: f64,
+    /// 90th percentile, ms.
+    pub p90_ms: f64,
+    /// 99th percentile, ms.
+    pub p99_ms: f64,
+    /// Maximum retained sample, ms.
+    pub max_ms: f64,
+}
+
+fn percentile(sorted: &[f32], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    f64::from(sorted[idx.min(sorted.len() - 1)])
+}
+
+impl CalibrationTable {
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, SiteSamples>> {
+        // Sample maps hold plain data; poison is safely ignored.
+        match self.sites.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Record one `ms` observation for `(site, m, n, k)`.
+    pub fn record(&self, site: &str, m: usize, n: usize, k: usize, ms: f64) {
+        let mut sites = self.lock();
+        let entry = sites
+            .entry(site.to_owned())
+            .or_default()
+            .shapes
+            .entry((m, n, k))
+            .or_insert_with(|| (Vec::new(), 0));
+        entry.1 += 1;
+        if entry.0.len() < MAX_SAMPLES {
+            entry.0.push(ms as f32);
+        }
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Number of (site, shape) rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().values().map(|s| s.shapes.len()).sum()
+    }
+
+    /// Aggregate every (site, shape) into percentile rows, sorted by
+    /// site then shape.
+    #[must_use]
+    pub fn rows(&self) -> Vec<CalibrationRow> {
+        let sites = self.lock();
+        let mut rows = Vec::new();
+        for (site, samples) in sites.iter() {
+            for (&(m, n, k), (values, count)) in &samples.shapes {
+                let mut sorted = values.clone();
+                sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                rows.push(CalibrationRow {
+                    site: site.clone(),
+                    m,
+                    n,
+                    k,
+                    count: *count,
+                    min_ms: sorted.first().copied().map_or(0.0, f64::from),
+                    p50_ms: percentile(&sorted, 0.50),
+                    p90_ms: percentile(&sorted, 0.90),
+                    p99_ms: percentile(&sorted, 0.99),
+                    max_ms: sorted.last().copied().map_or(0.0, f64::from),
+                });
+            }
+        }
+        rows
+    }
+
+    /// Serialize the aggregated table to JSON
+    /// (`llmnpu-calibration/v1`), ready to feed a future calibrated
+    /// latency model.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let rows = self.rows();
+        let mut out = String::new();
+        out.push_str("{\"schema\":\"llmnpu-calibration/v1\",\"entries\":[\n");
+        for (i, r) in rows.iter().enumerate() {
+            out.push_str("{\"site\":");
+            crate::json::write_str(&mut out, &r.site);
+            let _ = write!(
+                out,
+                ",\"m\":{},\"n\":{},\"k\":{},\"count\":{},\"min_ms\":{:.6},\"p50_ms\":{:.6},\"p90_ms\":{:.6},\"p99_ms\":{:.6},\"max_ms\":{:.6}}}",
+                r.m, r.n, r.k, r.count, r.min_ms, r.p50_ms, r.p90_ms, r.p99_ms, r.max_ms
+            );
+            if i + 1 != rows.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// The probe interface the tensor kernel plane calls through. `begin`
+/// returns an opaque token; `end` attributes the elapsed interval to
+/// `(site, m, n, k)`. Implementations own the clock so instrumented
+/// crates never read one.
+pub trait KernelProbe: Send + Sync {
+    /// Start a measurement; the returned token is passed to `end`.
+    fn begin(&self) -> u64;
+    /// Finish the measurement started at `token`, attributing it to
+    /// the given site and shape.
+    fn end(&self, token: u64, site: &str, m: usize, n: usize, k: usize);
+}
+
+/// The standard wall-clock probe: tokens are nanoseconds since the
+/// probe's construction, intervals land in a [`CalibrationTable`].
+#[derive(Debug)]
+pub struct WallProbe {
+    table: std::sync::Arc<CalibrationTable>,
+    origin: Instant,
+}
+
+impl WallProbe {
+    /// A probe feeding `table`.
+    #[must_use]
+    pub fn new(table: std::sync::Arc<CalibrationTable>) -> Self {
+        WallProbe {
+            table,
+            // The probe IS the timing side of the kernel-profiling
+            // boundary; this origin anchors its opaque tokens.
+            // lint: allow(wall-clock) — probe implementation owns the clock
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl KernelProbe for WallProbe {
+    fn begin(&self) -> u64 {
+        // lint: allow(wall-clock) — probe implementation; numeric-plane
+        // callers only handle the opaque token.
+        self.origin.elapsed().as_nanos() as u64
+    }
+
+    fn end(&self, token: u64, site: &str, m: usize, n: usize, k: usize) {
+        // lint: allow(wall-clock) — probe implementation, see `begin`.
+        let now = self.origin.elapsed().as_nanos() as u64;
+        let ms = now.saturating_sub(token) as f64 / 1.0e6;
+        self.table.record(site, m, n, k, ms);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn records_aggregate_into_sorted_rows() {
+        let t = CalibrationTable::default();
+        for i in 0..100 {
+            t.record("gemm.f32", 8, 64, 64, f64::from(i));
+        }
+        t.record("decode.token", 2, 0, 0, 1.0);
+        assert_eq!(t.len(), 2);
+        let rows = t.rows();
+        assert_eq!(rows[0].site, "decode.token");
+        let gemm = &rows[1];
+        assert_eq!(gemm.count, 100);
+        assert_eq!(gemm.min_ms, 0.0);
+        assert_eq!(gemm.max_ms, 99.0);
+        assert!((gemm.p50_ms - 50.0).abs() <= 1.0);
+        assert!((gemm.p99_ms - 98.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn json_parses_and_carries_schema() {
+        let t = CalibrationTable::default();
+        t.record("lut.i4.prepacked", 1, 96, 96, 0.25);
+        let text = t.to_json();
+        let doc = crate::json::Json::parse(&text).unwrap();
+        assert_eq!(
+            doc.get("schema").unwrap().as_str().unwrap(),
+            "llmnpu-calibration/v1"
+        );
+        let entries = doc.get("entries").unwrap().as_arr().unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].get("n").unwrap().as_f64().unwrap(), 96.0);
+    }
+
+    #[test]
+    fn wall_probe_feeds_the_table() {
+        let table = Arc::new(CalibrationTable::default());
+        let probe = WallProbe::new(Arc::clone(&table));
+        let token = probe.begin();
+        probe.end(token, "gemm.f32", 4, 8, 8);
+        assert!(!table.is_empty());
+        let rows = table.rows();
+        assert_eq!(rows[0].count, 1);
+        assert!(rows[0].p50_ms >= 0.0);
+    }
+
+    #[test]
+    fn retention_cap_keeps_counting() {
+        let t = CalibrationTable::default();
+        for _ in 0..(MAX_SAMPLES + 10) {
+            t.record("s", 1, 1, 1, 1.0);
+        }
+        assert_eq!(t.rows()[0].count, (MAX_SAMPLES + 10) as u64);
+    }
+}

@@ -1,0 +1,138 @@
+//! Plain-text flight recorder: a postmortem dump of the N most recent
+//! requests, readable without a trace viewer.
+//!
+//! "Recent" is by last appearance in the recorded stream, so the
+//! requests that were active when something went wrong sort last and
+//! survive truncation. Each request's spans and events are merged and
+//! printed in recording order with modeled and (when present) wall
+//! timings; records not tied to any request land in a shared
+//! `engine` section at the top.
+
+use std::fmt::Write as _;
+
+use crate::trace::TraceLog;
+
+enum Line<'a> {
+    Span(&'a crate::trace::TraceSpan),
+    Event(&'a crate::trace::TraceEvent),
+}
+
+fn format_line(out: &mut String, line: &Line<'_>) {
+    match line {
+        Line::Span(s) => {
+            let _ = write!(
+                out,
+                "  span  {:<24} {:<8} lane {:<4} attempt {}  run {:.3}..{:.3}ms (modeled {:.3}ms)",
+                s.name, s.class, s.lane, s.attempt, s.start_ms, s.end_ms, s.modeled_ms
+            );
+            if let (Some(w0), Some(w1)) = (s.wall_start_ms, s.wall_end_ms) {
+                let _ = write!(out, "  wall {w0:.3}..{w1:.3}ms");
+            }
+            out.push('\n');
+        }
+        Line::Event(e) => {
+            let _ = write!(out, "  event {:<24} {}", e.kind.name(), e.detail);
+            if let Some(w) = e.wall_ms {
+                let _ = write!(out, "  [wall {w:.3}ms]");
+            }
+            out.push('\n');
+        }
+    }
+}
+
+/// Render the flight-recorder dump for the `last_n` most recent
+/// requests in `log` (plus the request-less `engine` section).
+#[must_use]
+pub fn flight_recorder(log: &TraceLog, last_n: usize) -> String {
+    // Merge spans and events into one stream in recording order,
+    // tagging each with its request.
+    let mut stream: Vec<(Option<usize>, Line<'_>)> = Vec::new();
+    stream.extend(log.spans.iter().map(|s| (s.request, Line::Span(s))));
+    stream.extend(log.events.iter().map(|e| (e.request, Line::Event(e))));
+
+    // Requests ordered by last appearance; keep the trailing `last_n`.
+    let mut order: Vec<usize> = Vec::new();
+    for (req, _) in &stream {
+        if let Some(r) = *req {
+            order.retain(|&x| x != r);
+            order.push(r);
+        }
+    }
+    let kept: Vec<usize> = order
+        .iter()
+        .copied()
+        .skip(order.len().saturating_sub(last_n))
+        .collect();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "flight recorder: {} of {} request(s), {} span(s), {} event(s)",
+        kept.len(),
+        order.len(),
+        log.spans.len(),
+        log.events.len()
+    );
+
+    let engine_lines: Vec<&Line<'_>> = stream
+        .iter()
+        .filter(|(r, _)| r.is_none())
+        .map(|(_, l)| l)
+        .collect();
+    if !engine_lines.is_empty() {
+        let _ = writeln!(out, "\n== engine ==");
+        for line in engine_lines {
+            format_line(&mut out, line);
+        }
+    }
+
+    for r in kept {
+        let _ = writeln!(out, "\n== request R{r} ==");
+        for (req, line) in &stream {
+            if *req == Some(r) {
+                format_line(&mut out, line);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{EventKind, Plane, TraceSink, TraceSpan};
+
+    #[test]
+    fn keeps_most_recent_requests_and_engine_section() {
+        let sink = TraceSink::enabled();
+        for req in 0..4usize {
+            sink.span(|| TraceSpan {
+                request: Some(req),
+                attempt: 0,
+                lane: "Npu".to_owned(),
+                name: format!("R{req}-C0"),
+                class: "prefill".to_owned(),
+                start_ms: req as f64,
+                end_ms: req as f64 + 1.0,
+                modeled_ms: 1.0,
+                wall_start_ms: None,
+                wall_end_ms: None,
+            });
+        }
+        sink.event(Plane::Exec, EventKind::PoolReserve, None, || {
+            "3 pages".to_owned()
+        });
+        // Request 0 reappears last, so it must survive a keep-2 cut.
+        sink.event(Plane::Plan, EventKind::Retry, Some(0), || {
+            "attempt 1".to_owned()
+        });
+
+        let text = flight_recorder(&sink.snapshot(), 2);
+        assert!(text.contains("== engine =="));
+        assert!(text.contains("== request R0 =="));
+        assert!(text.contains("== request R3 =="));
+        assert!(!text.contains("== request R1 =="));
+        assert!(text.contains("pool-reserve"));
+        assert!(text.contains("2 of 4 request(s)"));
+    }
+}

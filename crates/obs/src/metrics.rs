@@ -1,0 +1,346 @@
+//! The metrics registry: named counters, gauges, and fixed-bucket
+//! histograms, snapshotable at any time.
+//!
+//! Instruments are interned once (`counter()` / `gauge()` /
+//! `histogram()` return `Arc` handles callers may cache) and updated
+//! lock-free; only interning and snapshotting take the registry lock.
+//! Snapshots iterate `BTreeMap`s, so rendering order — and therefore
+//! any text/JSON derived from a snapshot — is deterministic.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Monotonic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins signed gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Set the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjust by `delta`.
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Default latency bucket upper bounds, ms. Shared by the TTFT, queue
+/// wait, and per-token histograms so snapshots line up column-for-column.
+pub const LATENCY_BUCKETS_MS: [f64; 12] = [
+    0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 250.0, 1000.0, 5000.0,
+];
+
+/// Fixed-bucket histogram over `f64` observations (typically ms).
+///
+/// `counts` has one slot per bound plus a final overflow slot. The sum
+/// is kept in microsecond integer resolution so it can live in an
+/// atomic without a CAS loop; at ms-scale observations the rounding is
+/// far below measurement noise.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<AtomicU64>,
+    total: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            total: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        let us = (v.max(0.0) * 1000.0).round() as u64;
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Number of observations so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count(),
+            sum_ms: self.sum_us.load(Ordering::Relaxed) as f64 / 1000.0,
+        }
+    }
+}
+
+/// Frozen histogram state.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds (inclusive), ascending.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; the final slot is the overflow bucket.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations, ms.
+    pub sum_ms: f64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, or 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ms / self.count as f64
+        }
+    }
+
+    /// Bucket-upper-bound estimate of quantile `q` in `[0, 1]`.
+    /// Observations in the overflow bucket report the last bound.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return self
+                    .bounds
+                    .get(i)
+                    .copied()
+                    .unwrap_or_else(|| self.bounds.last().copied().unwrap_or(f64::INFINITY));
+            }
+        }
+        self.bounds.last().copied().unwrap_or(f64::INFINITY)
+    }
+}
+
+/// Frozen registry state: every instrument by name, in sorted order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// A counter's value, defaulting to 0 when absent.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Compact single-line-per-instrument text rendering (reports,
+    /// flight-recorder footers).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("counter   {name} = {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("gauge     {name} = {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "histogram {name}: n={} mean={:.3}ms p50={:.3}ms p90={:.3}ms p99={:.3}ms\n",
+                h.count,
+                h.mean(),
+                h.quantile(0.50),
+                h.quantile(0.90),
+                h.quantile(0.99),
+            ));
+        }
+        out
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// The instrument registry. Interning returns shared handles; updates
+/// through handles never touch the registry lock.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl MetricsRegistry {
+    fn lock(&self) -> std::sync::MutexGuard<'_, RegistryInner> {
+        // Registry maps hold plain handles; poison is safely ignored.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Get or create the counter `name`.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut inner = self.lock();
+        Arc::clone(
+            inner
+                .counters
+                .entry(name.to_owned())
+                .or_insert_with(|| Arc::new(Counter::default())),
+        )
+    }
+
+    /// Get or create the gauge `name`.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut inner = self.lock();
+        Arc::clone(
+            inner
+                .gauges
+                .entry(name.to_owned())
+                .or_insert_with(|| Arc::new(Gauge::default())),
+        )
+    }
+
+    /// Get or create the histogram `name`. The bounds of the first
+    /// interning win; later callers share the existing instrument.
+    #[must_use]
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        let mut inner = self.lock();
+        Arc::clone(
+            inner
+                .histograms
+                .entry(name.to_owned())
+                .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+        )
+    }
+
+    /// Freeze every instrument's current value.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.lock();
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_intern_and_accumulate() {
+        let reg = MetricsRegistry::default();
+        let a = reg.counter("serve.requests");
+        let b = reg.counter("serve.requests");
+        a.add(3);
+        b.inc();
+        assert_eq!(reg.snapshot().counter("serve.requests"), 4);
+    }
+
+    #[test]
+    fn gauge_set_and_add() {
+        let reg = MetricsRegistry::default();
+        let g = reg.gauge("pool.free_blocks");
+        g.set(10);
+        g.add(-3);
+        assert_eq!(reg.snapshot().gauges["pool.free_blocks"], 7);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::new(&[1.0, 10.0, 100.0]);
+        for v in [0.5, 0.7, 5.0, 50.0, 500.0] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![2, 1, 1, 1]);
+        assert_eq!(s.count, 5);
+        assert!((s.sum_ms - 556.2).abs() < 0.01);
+        assert_eq!(s.quantile(0.5), 10.0); // 3rd of 5 lands in the ≤10 bucket
+        assert_eq!(s.quantile(1.0), 100.0); // overflow reports the last bound
+        assert!(s.mean() > 100.0);
+    }
+
+    #[test]
+    fn snapshot_order_is_sorted_and_render_is_deterministic() {
+        let reg = MetricsRegistry::default();
+        reg.counter("zz").inc();
+        reg.counter("aa").inc();
+        reg.histogram("lat", &LATENCY_BUCKETS_MS).observe(3.0);
+        let s1 = reg.snapshot();
+        let s2 = reg.snapshot();
+        assert_eq!(s1, s2);
+        let names: Vec<_> = s1.counters.keys().cloned().collect();
+        assert_eq!(names, vec!["aa".to_owned(), "zz".to_owned()]);
+        assert!(s1.render().contains("histogram lat: n=1"));
+    }
+}

@@ -1,0 +1,90 @@
+//! Reusable text rendering for timelines and queue-depth series.
+//!
+//! The serving and front-end examples each grew their own ad-hoc lane
+//! renderer; this module is the single shared implementation. Inputs
+//! are plain `(start, end, glyph)` / `(time, depth)` tuples, so the
+//! renderer has no dependency on the serving report types — callers
+//! map their data in.
+
+/// Default character width of a rendered lane.
+pub const DEFAULT_WIDTH: usize = 100;
+
+/// Render a set of `(start_ms, end_ms, glyph)` spans into a
+/// fixed-width character lane covering `[0, span_ms]`. Empty slots are
+/// `'.'`; later spans overwrite earlier ones where they overlap.
+#[must_use]
+pub fn lane_row(spans: &[(f64, f64, char)], span_ms: f64, width: usize) -> String {
+    let mut lane = vec!['.'; width];
+    if span_ms <= 0.0 || width == 0 {
+        return lane.iter().collect();
+    }
+    for &(start, end, glyph) in spans {
+        let a = ((start / span_ms) * width as f64) as usize;
+        let b = (((end / span_ms) * width as f64).ceil() as usize).min(width);
+        for slot in lane.iter_mut().take(b).skip(a.min(width)) {
+            *slot = glyph;
+        }
+    }
+    lane.iter().collect()
+}
+
+/// Render a step series of `(time_ms, value)` points into a
+/// fixed-width digit lane covering `[0, span_ms]`: each column shows
+/// the last value at or before that column's time, clamped to 9.
+#[must_use]
+pub fn depth_row(series: &[(f64, usize)], span_ms: f64, width: usize) -> String {
+    let mut lane = vec!['0'; width];
+    if span_ms <= 0.0 || width == 0 {
+        return lane.iter().collect();
+    }
+    let mut points = series.iter().peekable();
+    let mut depth = 0usize;
+    for (slot, glyph) in lane.iter_mut().enumerate() {
+        let t = (slot as f64 + 1.0) / width as f64 * span_ms;
+        while let Some(&&(at, d)) = points.peek() {
+            if at <= t {
+                depth = d;
+                points.next();
+            } else {
+                break;
+            }
+        }
+        *glyph = char::from_digit(depth.min(9) as u32, 10).unwrap_or('#');
+    }
+    lane.iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_row_fills_buckets() {
+        let row = lane_row(&[(0.0, 5.0, 'a'), (5.0, 10.0, 'b')], 10.0, 10);
+        assert_eq!(row, "aaaaabbbbb");
+    }
+
+    #[test]
+    fn lane_row_overlap_last_wins_and_clamps() {
+        let row = lane_row(&[(0.0, 10.0, 'a'), (8.0, 20.0, 'b')], 10.0, 10);
+        assert_eq!(row, "aaaaaaaabb");
+    }
+
+    #[test]
+    fn lane_row_degenerate_inputs() {
+        assert_eq!(lane_row(&[], 10.0, 5), ".....");
+        assert_eq!(lane_row(&[(0.0, 1.0, 'x')], 0.0, 5), ".....");
+        assert_eq!(lane_row(&[(0.0, 1.0, 'x')], 1.0, 0), "");
+    }
+
+    #[test]
+    fn depth_row_steps_and_clamps() {
+        let row = depth_row(&[(0.0, 2), (5.0, 12), (8.0, 0)], 10.0, 10);
+        assert_eq!(row, "2222999000");
+    }
+
+    #[test]
+    fn depth_row_empty_series_is_flat_zero() {
+        assert_eq!(depth_row(&[], 10.0, 4), "0000");
+    }
+}

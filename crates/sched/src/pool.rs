@@ -53,6 +53,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError, TryLockError};
 use std::thread::JoinHandle;
 
+use llmnpu_obs::metrics::Counter;
+use llmnpu_obs::MetricsRegistry;
 use llmnpu_tensor::kernel::parallel::{self, InlineBackend, Job, ParallelBackend};
 
 thread_local! {
@@ -123,6 +125,20 @@ struct Shared {
     shutdown: AtomicBool,
 }
 
+/// Cached counter handles for the pool's dispatch metrics — interned
+/// once at [`WorkerPool::install_metrics`] so the hot submission paths
+/// never do a registry name lookup.
+struct PoolMeters {
+    /// Lane-mode batches accepted by [`WorkerPool::run_concurrent`].
+    lane_batches: Arc<Counter>,
+    /// Jobs carried by those batches.
+    lane_jobs: Arc<Counter>,
+    /// Fork-join kernel batches broadcast to the workers.
+    kernel_batches: Arc<Counter>,
+    /// Kernel jobs that ran inline (pool busy, nested, or single-job).
+    kernel_jobs_inline: Arc<Counter>,
+}
+
 /// A persistent, deterministically-partitioned worker pool.
 pub struct WorkerPool {
     shared: Arc<Shared>,
@@ -132,6 +148,10 @@ pub struct WorkerPool {
     /// Total lanes, spawned threads plus the submitting thread.
     workers: usize,
     handles: Vec<JoinHandle<()>>,
+    /// Fast flag for the metering slot below: the hot paths pay one
+    /// relaxed load when no registry is installed.
+    metered: AtomicBool,
+    meters: Mutex<Option<PoolMeters>>,
 }
 
 impl std::fmt::Debug for WorkerPool {
@@ -179,6 +199,39 @@ impl WorkerPool {
             submit: Mutex::new(()),
             workers,
             handles,
+            metered: AtomicBool::new(false),
+            meters: Mutex::new(None),
+        }
+    }
+
+    /// Wires the pool's dispatch counters (`pool.lane_batches`,
+    /// `pool.lane_jobs`, `pool.kernel_batches`,
+    /// `pool.kernel_jobs_inline`) into `registry`. Counter handles are
+    /// interned once here; until this is called the metering sites cost
+    /// one relaxed atomic load each.
+    pub fn install_metrics(&self, registry: &MetricsRegistry) {
+        let meters = PoolMeters {
+            lane_batches: registry.counter("pool.lane_batches"),
+            lane_jobs: registry.counter("pool.lane_jobs"),
+            kernel_batches: registry.counter("pool.kernel_batches"),
+            kernel_jobs_inline: registry.counter("pool.kernel_jobs_inline"),
+        };
+        *self.meters.lock().unwrap_or_else(PoisonError::into_inner) = Some(meters);
+        self.metered.store(true, Ordering::Release);
+    }
+
+    /// Runs `f` against the installed meters, if any.
+    fn meter(&self, f: impl FnOnce(&PoolMeters)) {
+        if !self.metered.load(Ordering::Acquire) {
+            return;
+        }
+        if let Some(m) = self
+            .meters
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+        {
+            f(m);
         }
     }
 
@@ -222,6 +275,10 @@ impl WorkerPool {
             for job in jobs.iter_mut() {
                 job.run();
             }
+            self.meter(|m| {
+                m.lane_batches.inc();
+                m.lane_jobs.add(jobs.len() as u64);
+            });
             return true;
         }
         let guard = match self.submit.try_lock() {
@@ -236,6 +293,10 @@ impl WorkerPool {
         };
         self.broadcast(jobs);
         drop(guard);
+        self.meter(|m| {
+            m.lane_batches.inc();
+            m.lane_jobs.add(jobs.len() as u64);
+        });
         true
     }
 
@@ -371,6 +432,7 @@ impl ParallelBackend for WorkerPool {
             for job in jobs.iter_mut() {
                 job.run();
             }
+            self.meter(|m| m.kernel_jobs_inline.add(jobs.len() as u64));
             return;
         }
         match self.submit.try_lock() {
@@ -380,17 +442,20 @@ impl ParallelBackend for WorkerPool {
             Ok(guard) => {
                 self.broadcast(jobs);
                 drop(guard);
+                self.meter(|m| m.kernel_batches.inc());
             }
             Err(TryLockError::Poisoned(p)) => {
                 let guard = p.into_inner();
                 self.broadcast(jobs);
                 drop(guard);
+                self.meter(|m| m.kernel_batches.inc());
             }
             // Busy (nested or concurrent submission): inline.
             Err(TryLockError::WouldBlock) => {
                 for job in jobs.iter_mut() {
                     job.run();
                 }
+                self.meter(|m| m.kernel_jobs_inline.add(jobs.len() as u64));
             }
         }
     }

@@ -76,6 +76,7 @@ use llmnpu_graph::dag::{PrefillDag, Task, TaskRole};
 use llmnpu_graph::layer::Stage;
 use llmnpu_model::forward::{FfnMains, FfnShadows, QkvMains, QkvShadows, Transformer};
 use llmnpu_model::kv::{KvCache, PagedKvCache};
+use llmnpu_obs::{EventKind, Plane, TraceSink};
 use llmnpu_soc::Processor;
 use llmnpu_tensor::kernel::parallel::Job;
 use llmnpu_tensor::Tensor;
@@ -1043,10 +1044,19 @@ struct Dispatcher<'d> {
     state: Mutex<DispatchState>,
     cv: Condvar,
     started: Instant,
+    /// Optional trace recorder for dispatch/completion/skip events
+    /// (Exec plane: emission order follows the live interleaving).
+    sink: Option<&'d TraceSink>,
 }
 
 impl<'d> Dispatcher<'d> {
-    fn new(graph: &'d LaneGraph, policy: Policy, isolate: bool, gate: Option<GateFn<'d>>) -> Self {
+    fn new(
+        graph: &'d LaneGraph,
+        policy: Policy,
+        isolate: bool,
+        gate: Option<GateFn<'d>>,
+        sink: Option<&'d TraceSink>,
+    ) -> Self {
         let n = graph.len();
         let mut successors: Vec<Vec<usize>> = vec![Vec::new(); n];
         for t in 0..n {
@@ -1071,6 +1081,21 @@ impl<'d> Dispatcher<'d> {
             }),
             cv: Condvar::new(),
             started: Instant::now(),
+            sink,
+        }
+    }
+
+    /// Emit an Exec-plane event for task `t` when tracing is on.
+    fn trace_task(&self, kind: EventKind, t: usize, wall_ms: f64, note: &str) {
+        if let Some(sink) = self.sink {
+            let task = &self.graph.tasks()[t];
+            sink.event_at(Plane::Exec, kind, None, wall_ms, || {
+                if note.is_empty() {
+                    format!("{} on {}", task.label, task.processor)
+                } else {
+                    format!("{} on {} ({note})", task.label, task.processor)
+                }
+            });
         }
     }
 
@@ -1179,6 +1204,7 @@ impl<'d> Dispatcher<'d> {
                 at_ms,
                 reason: SkipReason::PoisonedDep,
             });
+            self.trace_task(EventKind::TaskSkipped, s, at_ms, "poisoned dep");
             stack.extend(self.successors[s].iter().copied());
         }
     }
@@ -1205,6 +1231,7 @@ impl<'d> Dispatcher<'d> {
                     at_ms: now,
                     reason: SkipReason::Gated,
                 });
+                self.trace_task(EventKind::TaskSkipped, t, now, "gated");
                 self.poison_dependents(st, t, now);
                 changed = true;
                 // A skip settles deps, which can expose earlier-indexed
@@ -1231,6 +1258,7 @@ impl<'d> Dispatcher<'d> {
             // lint: allow(panic) — `scheduled[t]` under the dispatch lock makes double dispatch unreachable
             .expect("task dispatched twice");
         let t0 = self.now_ms();
+        self.trace_task(EventKind::Dispatch, t, t0, "");
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(closure))
             .unwrap_or_else(|payload| {
                 // Preserve the payload text (fault injection and asserts
@@ -1255,6 +1283,7 @@ impl<'d> Dispatcher<'d> {
                     start_ms: t0,
                     end_ms: t1,
                 });
+                self.trace_task(EventKind::TaskDone, t, t1, "");
             }
             Err(e) => {
                 st.outcomes[t] = Some(TaskOutcome::Failed {
@@ -1262,6 +1291,7 @@ impl<'d> Dispatcher<'d> {
                     end_ms: t1,
                     error: e.clone(),
                 });
+                self.trace_task(EventKind::TaskFailed, t, t1, &e);
                 if self.isolate {
                     self.poison_dependents(&mut st, t, t1);
                 } else {
@@ -1377,6 +1407,7 @@ fn run_lane_graph<'run>(
     pool: &WorkerPool,
     isolate: bool,
     gate: Option<GateFn<'run>>,
+    sink: Option<&TraceSink>,
 ) -> Result<Vec<TaskOutcome>> {
     if closures.len() != graph.len() {
         return Err(Error::Exec {
@@ -1411,7 +1442,7 @@ fn run_lane_graph<'run>(
     let closures: Vec<Mutex<Option<TaskFn<'_>>>> =
         closures.into_iter().map(|c| Mutex::new(Some(c))).collect();
     let lanes = graph.lanes();
-    let dispatcher = Dispatcher::new(graph, policy, isolate, gate);
+    let dispatcher = Dispatcher::new(graph, policy, isolate, gate, sink);
     let concurrent = {
         let mut jobs: Vec<Job<'_>> = lanes
             .iter()
@@ -1461,7 +1492,7 @@ pub fn execute_lane_graph(
     policy: Policy,
     pool: &WorkerPool,
 ) -> Result<Vec<(f64, f64)>> {
-    let outcomes = run_lane_graph(graph, closures, policy, pool, false, None)?;
+    let outcomes = run_lane_graph(graph, closures, policy, pool, false, None, None)?;
     // Fail-fast: an error would have surfaced above, so every task ran.
     Ok(outcomes
         .into_iter()
@@ -1495,7 +1526,28 @@ pub fn execute_lane_graph_isolated<'run>(
     pool: &WorkerPool,
     gate: Option<GateFn<'run>>,
 ) -> Result<Vec<TaskOutcome>> {
-    run_lane_graph(graph, closures, policy, pool, true, gate)
+    run_lane_graph(graph, closures, policy, pool, true, gate, None)
+}
+
+/// [`execute_lane_graph_isolated`] with an observability sink: the
+/// dispatcher emits Exec-plane dispatch / completion / failure / skip
+/// events (with wall timestamps) into `sink` as tasks move through the
+/// lanes. Numerically identical to the untraced run — emission happens
+/// strictly outside task bodies, and a disabled sink short-circuits to
+/// one atomic load per site.
+///
+/// # Errors
+///
+/// As [`execute_lane_graph_isolated`].
+pub fn execute_lane_graph_isolated_traced<'run>(
+    graph: &LaneGraph,
+    closures: Vec<TaskFn<'run>>,
+    policy: Policy,
+    pool: &WorkerPool,
+    gate: Option<GateFn<'run>>,
+    sink: Option<&TraceSink>,
+) -> Result<Vec<TaskOutcome>> {
+    run_lane_graph(graph, closures, policy, pool, true, gate, sink)
 }
 
 /// Executes a chunked prefill by running the DAG's tasks out-of-order

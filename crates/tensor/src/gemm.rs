@@ -82,15 +82,17 @@ pub fn matmul_f32_threaded(
     let (k2, n) = b.matrix_dims();
     check_matmul("matmul_f32", (m, k), (k2, n))?;
     let mut out = Tensor::zeros([m, n]);
-    kernel::gemm_f32(
-        m,
-        k,
-        n,
-        a.as_slice(),
-        b.as_slice(),
-        out.as_mut_slice(),
-        kernel::parallel::effective_threads(threads),
-    );
+    kernel::probe::profiled("gemm.f32", m, n, k, || {
+        kernel::gemm_f32(
+            m,
+            k,
+            n,
+            a.as_slice(),
+            b.as_slice(),
+            out.as_mut_slice(),
+            kernel::parallel::effective_threads(threads),
+        );
+    });
     Ok(out)
 }
 
@@ -151,15 +153,17 @@ pub fn matmul_i8_threaded(a: &Tensor<i8>, b: &Tensor<i8>, threads: usize) -> Res
     let (k2, n) = b.matrix_dims();
     check_matmul("matmul_i8", (m, k), (k2, n))?;
     let mut out = Tensor::zeros([m, n]);
-    kernel::gemm_i8(
-        m,
-        k,
-        n,
-        a.as_slice(),
-        b.as_slice(),
-        out.as_mut_slice(),
-        kernel::parallel::effective_threads(threads),
-    );
+    kernel::probe::profiled("gemm.i8", m, n, k, || {
+        kernel::gemm_i8(
+            m,
+            k,
+            n,
+            a.as_slice(),
+            b.as_slice(),
+            out.as_mut_slice(),
+            kernel::parallel::effective_threads(threads),
+        );
+    });
     Ok(out)
 }
 
@@ -418,13 +422,15 @@ pub fn matmul_f32_prepacked(
     let (m, k) = a.matrix_dims();
     check_matmul("matmul_f32", (m, k), (b.k(), b.n()))?;
     let mut out = Tensor::zeros([m, b.n()]);
-    kernel::gemm_f32_prepacked(
-        m,
-        a.as_slice(),
-        b,
-        out.as_mut_slice(),
-        kernel::parallel::effective_threads(threads),
-    );
+    kernel::probe::profiled("gemm.f32.prepacked", m, b.n(), k, || {
+        kernel::gemm_f32_prepacked(
+            m,
+            a.as_slice(),
+            b,
+            out.as_mut_slice(),
+            kernel::parallel::effective_threads(threads),
+        );
+    });
     Ok(out)
 }
 
@@ -478,13 +484,15 @@ pub fn matmul_f32_rows_prepacked(
     // weight stream per batch, which the m ≤ 2 GEMV fallback of
     // `matmul_f32_prepacked` (row-at-a-time slab walk) would forfeit.
     let mut out = Tensor::zeros([rows.len(), b.n()]);
-    kernel::gemm_f32_prepacked_batched(
-        rows.len(),
-        &stacked,
-        b,
-        out.as_mut_slice(),
-        kernel::parallel::effective_threads(threads),
-    );
+    kernel::probe::profiled("gemv.f32.rows", rows.len(), b.n(), b.k(), || {
+        kernel::gemm_f32_prepacked_batched(
+            rows.len(),
+            &stacked,
+            b,
+            out.as_mut_slice(),
+            kernel::parallel::effective_threads(threads),
+        );
+    });
     Ok(out)
 }
 
@@ -504,13 +512,15 @@ pub fn matmul_i8_prepacked(
     let (m, k) = a.matrix_dims();
     check_matmul("matmul_i8", (m, k), (b.k(), b.n()))?;
     let mut out = Tensor::zeros([m, b.n()]);
-    kernel::gemm_i8_prepacked(
-        m,
-        a.as_slice(),
-        b,
-        out.as_mut_slice(),
-        kernel::parallel::effective_threads(threads),
-    );
+    kernel::probe::profiled("gemm.i8.prepacked", m, b.n(), k, || {
+        kernel::gemm_i8_prepacked(
+            m,
+            a.as_slice(),
+            b,
+            out.as_mut_slice(),
+            kernel::parallel::effective_threads(threads),
+        );
+    });
     Ok(out)
 }
 
@@ -532,16 +542,18 @@ pub fn matmul_i8_scaled_prepacked(
     let (m, k) = a.matrix_dims();
     check_matmul("matmul_i8", (m, k), (b.k(), b.n()))?;
     let mut out = Tensor::zeros([m, b.n()]);
-    kernel::gemm_i8_fused_prepacked(
-        m,
-        a.as_slice(),
-        b,
-        out.as_mut_slice(),
-        Epilogue::PerTensor {
-            scale: a_scale * w_scale,
-        },
-        kernel::parallel::effective_threads(threads),
-    );
+    kernel::probe::profiled("gemm.i8.fused.prepacked", m, b.n(), k, || {
+        kernel::gemm_i8_fused_prepacked(
+            m,
+            a.as_slice(),
+            b,
+            out.as_mut_slice(),
+            Epilogue::PerTensor {
+                scale: a_scale * w_scale,
+            },
+            kernel::parallel::effective_threads(threads),
+        );
+    });
     Ok(out)
 }
 
@@ -660,7 +672,7 @@ pub fn matmul_i8_per_row_prepacked(
 #[rustfmt::skip] // rustfmt oscillates on doc attributes inside macro bodies
 macro_rules! lut_matmul_api {
     ($packed:ident, $bits:literal, $prepacked:ident, $rows:ident, $reference:ident,
-     $k_prepacked:path, $k_reference:path) => {
+     $k_prepacked:path, $k_reference:path, $site_prepacked:literal, $site_rows:literal) => {
         #[doc = concat!(
             "`C = dequant(A × B)` against a weight matrix quantized and packed ",
             "**once** in a [`",
@@ -684,13 +696,15 @@ macro_rules! lut_matmul_api {
                 (b.k(), b.n()),
             )?;
             let mut out = Tensor::zeros([m, b.n()]);
-            $k_prepacked(
-                m,
-                a.as_slice(),
-                b,
-                out.as_mut_slice(),
-                kernel::parallel::effective_threads(threads),
-            );
+            kernel::probe::profiled($site_prepacked, m, b.n(), k, || {
+                $k_prepacked(
+                    m,
+                    a.as_slice(),
+                    b,
+                    out.as_mut_slice(),
+                    kernel::parallel::effective_threads(threads),
+                );
+            });
             Ok(out)
         }
 
@@ -727,13 +741,15 @@ macro_rules! lut_matmul_api {
                 stacked.extend_from_slice(r);
             }
             let mut out = Tensor::zeros([rows.len(), b.n()]);
-            $k_prepacked(
-                rows.len(),
-                &stacked,
-                b,
-                out.as_mut_slice(),
-                kernel::parallel::effective_threads(threads),
-            );
+            kernel::probe::profiled($site_rows, rows.len(), b.n(), b.k(), || {
+                $k_prepacked(
+                    rows.len(),
+                    &stacked,
+                    b,
+                    out.as_mut_slice(),
+                    kernel::parallel::effective_threads(threads),
+                );
+            });
             Ok(out)
         }
 
@@ -767,7 +783,9 @@ lut_matmul_api!(
     matmul_i4_rows_prepacked,
     matmul_i4_reference,
     kernel::lut::gemm_i4_prepacked,
-    kernel::lut::gemm_i4_reference
+    kernel::lut::gemm_i4_reference,
+    "lut.i4.prepacked",
+    "lut.i4.rows"
 );
 lut_matmul_api!(
     PackedMatrixI2,
@@ -776,7 +794,9 @@ lut_matmul_api!(
     matmul_i2_rows_prepacked,
     matmul_i2_reference,
     kernel::lut::gemm_i2_prepacked,
-    kernel::lut::gemm_i2_reference
+    kernel::lut::gemm_i2_reference,
+    "lut.i2.prepacked",
+    "lut.i2.rows"
 );
 
 /// Adds `delta` into `acc` elementwise (the merge step of shadow outlier

@@ -106,6 +106,7 @@ pub mod lut;
 pub mod microkernel;
 pub mod pack;
 pub mod parallel;
+pub mod probe;
 
 use microkernel::{microkernel_f32, microkernel_i8, MR, NR};
 use pack::{PackedMatrixF32, PackedMatrixI8};

@@ -1,0 +1,88 @@
+//! Opt-in kernel profiling hooks.
+//!
+//! The tensor crate lives on the numeric plane: the workspace lint
+//! forbids it from reading wall clocks, yet the ROADMAP's calibrated
+//! latency model needs real per-(site, shape) kernel timings. The
+//! split: this module holds an installable [`KernelProbe`] — a trait
+//! whose implementation (and clock) live in `llmnpu-obs` — and the
+//! GEMM/GEMV/LUT drivers wrap their hot call in [`profiled`]. With no
+//! probe installed the wrapper costs one relaxed atomic load; with one
+//! installed, the driver passes opaque begin/end tokens through and
+//! never sees a timestamp itself.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+pub use llmnpu_obs::calib::KernelProbe;
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static PROBE: Mutex<Option<Arc<dyn KernelProbe>>> = Mutex::new(None);
+
+fn probe_slot() -> std::sync::MutexGuard<'static, Option<Arc<dyn KernelProbe>>> {
+    // The slot holds a plain handle; poison is safely ignored.
+    match PROBE.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+/// Install `probe` as the process-wide kernel probe. Replaces any
+/// previous probe; all instrumented drivers begin reporting to it.
+pub fn install(probe: Arc<dyn KernelProbe>) {
+    *probe_slot() = Some(probe);
+    ACTIVE.store(true, Ordering::Release);
+}
+
+/// Remove the installed probe; drivers return to the no-op fast path.
+pub fn uninstall() {
+    ACTIVE.store(false, Ordering::Release);
+    *probe_slot() = None;
+}
+
+/// Whether a probe is currently installed.
+#[must_use]
+pub fn is_active() -> bool {
+    ACTIVE.load(Ordering::Acquire)
+}
+
+/// Run `f`, attributing its duration to `(site, m, n, k)` when a probe
+/// is installed. The fast path (no probe) is a single atomic load.
+#[inline]
+pub fn profiled<R>(site: &'static str, m: usize, n: usize, k: usize, f: impl FnOnce() -> R) -> R {
+    if !is_active() {
+        return f();
+    }
+    let probe = probe_slot().clone();
+    match probe {
+        Some(p) => {
+            let token = p.begin();
+            let out = f();
+            p.end(token, site, m, n, k);
+            out
+        }
+        None => f(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmnpu_obs::CalibrationTable;
+
+    #[test]
+    fn profiled_records_only_while_installed() {
+        let table = Arc::new(CalibrationTable::default());
+        assert_eq!(profiled("t.site", 1, 2, 3, || 41 + 1), 42);
+
+        install(Arc::new(llmnpu_obs::WallProbe::new(Arc::clone(&table))));
+        assert!(is_active());
+        assert_eq!(profiled("t.site", 1, 2, 3, || 7), 7);
+        uninstall();
+
+        assert_eq!(profiled("t.site", 1, 2, 3, || 8), 8);
+        let rows = table.rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].count, 1, "only the installed-window call records");
+        assert_eq!((rows[0].m, rows[0].n, rows[0].k), (1, 2, 3));
+    }
+}

@@ -9,9 +9,10 @@
 //!   `kv::pool`). These paths process user input; a panic there is a
 //!   containment bug, not a shortcut.
 //! - `wall-clock` — no `Instant::now` / `SystemTime::now` in the
-//!   numeric plane (`tensor`, `quant`, `kv`, `model`, `graph`): results
-//!   must be bit-identical across runs, and wall-clock reads are how
-//!   nondeterminism sneaks in.
+//!   numeric plane (`tensor`, `quant`, `kv`, `model`, `graph`, `obs`):
+//!   results must be bit-identical across runs, and wall-clock reads
+//!   are how nondeterminism sneaks in. The obs crate's sanctioned
+//!   clock reads are the `WallProbe` sites, escaped inline.
 //! - `unsafe-attr` — every crate root carries
 //!   `#![forbid(unsafe_code)]` or `#![deny(unsafe_code)]`, and the only
 //!   `#![allow(unsafe_code)]` in the tree is the documented scoped one
@@ -40,13 +41,17 @@ const PANIC_FREE: &[&str] = &[
     "crates/quant/src/lut.rs",
 ];
 
-/// Crates forming the numeric plane (rule `wall-clock`).
+/// Crates forming the numeric plane (rule `wall-clock`). The obs crate
+/// is included deliberately: its exporters and registries must stay
+/// clock-free so traced runs mirror untraced ones — the only sanctioned
+/// reads are the `WallProbe` sites, justified inline.
 const NUMERIC_PLANE: &[&str] = &[
     "crates/tensor/src",
     "crates/quant/src",
     "crates/kv/src",
     "crates/model/src",
     "crates/graph/src",
+    "crates/obs/src",
 ];
 
 /// The one sanctioned scoped `#![allow(unsafe_code)]`.

@@ -128,6 +128,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         max_retries: 2,
         retry_backoff_ms: 1.0,
         faults: Some(plan),
+        obs: None,
     };
     let report = engine.serve(&t, &requests, &opts)?;
 

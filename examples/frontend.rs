@@ -24,6 +24,8 @@ use llmnpu::model::backend::FloatBackend;
 use llmnpu::model::config::ModelConfig;
 use llmnpu::model::forward::Transformer;
 use llmnpu::model::weights::{synthesize, OutlierSpec};
+use llmnpu::obs::render::{self, DEFAULT_WIDTH};
+use llmnpu::obs::Observability;
 use llmnpu::soc::spec::SocSpec;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -43,6 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         pressure: PressurePolicy::Wait,
         decode_batch: 4,
         share_prefixes: true,
+        obs: Some(Observability::default()),
         ..ServeOptions::default()
     };
     let block_tokens = opts.block_tokens;
@@ -119,6 +122,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "peak pool usage {} pages vs {} pages private worst case | flushed {} cached pages, zero leaks",
         report.peak_used_blocks, private_worst, report.flushed_blocks,
     );
+    // The session's metrics registry is the single source both the
+    // latency line and the depth lane below render from.
+    if let Some(ttft) = report.metrics.histograms.get("serve.ttft_ms") {
+        println!(
+            "metrics: {} completed | ttft mean {:.1} ms p90 <= {:.1} ms | queue wait mean {:.1} ms",
+            report.metrics.counter("serve.completed"),
+            ttft.mean(),
+            ttft.quantile(0.90),
+            report
+                .metrics
+                .histograms
+                .get("serve.queue_wait_ms")
+                .map_or(0.0, |h| h.mean()),
+        );
+    }
+    if report.serve_ms > 0.0 && !report.queue_depth.is_empty() {
+        println!(
+            "queue depth over serialized serve time: {}",
+            render::depth_row(&report.queue_depth, report.serve_ms, DEFAULT_WIDTH)
+        );
+    }
 
     assert!(
         report.cache.hits as usize >= report.requests - 1,

@@ -14,23 +14,10 @@ use llmnpu::model::backend::FloatBackend;
 use llmnpu::model::config::ModelConfig;
 use llmnpu::model::forward::Transformer;
 use llmnpu::model::weights::{synthesize, OutlierSpec};
+use llmnpu::obs::render::{self, DEFAULT_WIDTH};
 use llmnpu::soc::spec::SocSpec;
 use llmnpu::soc::Processor;
 use llmnpu::workloads::traces::ArrivalTrace;
-
-const LANE_WIDTH: usize = 100;
-
-fn lane_row(spans: &[(f64, f64, char)], span_ms: f64) -> String {
-    let mut lane = vec!['.'; LANE_WIDTH];
-    for &(start, end, glyph) in spans {
-        let a = ((start / span_ms) * LANE_WIDTH as f64) as usize;
-        let b = (((end / span_ms) * LANE_WIDTH as f64).ceil() as usize).min(LANE_WIDTH);
-        for slot in lane.iter_mut().take(b).skip(a.min(LANE_WIDTH)) {
-            *slot = glyph;
-        }
-    }
-    lane.iter().collect()
-}
 
 fn print_report(report: &ServeReport) {
     println!(
@@ -73,25 +60,10 @@ fn print_report(report: &ServeReport) {
     // rendered as a one-line depth profile over the run's makespan.
     let span = report.makespan_ms();
     if span > 0.0 && !report.queue_depth.is_empty() {
-        let mut lane = vec!['0'; LANE_WIDTH];
-        let mut points = report.queue_depth.iter().peekable();
-        let mut depth = 0usize;
-        for (slot, glyph) in lane.iter_mut().enumerate() {
-            let t = (slot as f64 + 1.0) / LANE_WIDTH as f64 * span;
-            while let Some(&&(at, d)) = points.peek() {
-                if at <= t {
-                    depth = d;
-                    points.next();
-                } else {
-                    break;
-                }
-            }
-            *glyph = char::from_digit(depth.min(9) as u32, 10).unwrap_or('#');
-        }
         println!(
             "queue depth (peak {}): {}",
             report.peak_queue_depth(),
-            lane.iter().collect::<String>()
+            render::depth_row(&report.queue_depth, span, DEFAULT_WIDTH)
         );
     }
 }
@@ -156,7 +128,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 (s.start_ms, s.end_ms, glyph)
             })
             .collect();
-        println!("{proc}: {}", lane_row(&spans, span));
+        println!("{proc}: {}", render::lane_row(&spans, span, DEFAULT_WIDTH));
     }
     println!(
         "decode interleaved with another request's prefill: {}",

@@ -44,6 +44,7 @@ pub use llmnpu_core as core;
 pub use llmnpu_graph as graph;
 pub use llmnpu_kv as kv;
 pub use llmnpu_model as model;
+pub use llmnpu_obs as obs;
 pub use llmnpu_quant as quant;
 pub use llmnpu_sched as sched;
 pub use llmnpu_soc as soc;

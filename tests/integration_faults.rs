@@ -646,6 +646,7 @@ fn soak_serve(
             max_retries: 2,
             retry_backoff_ms: 1.0,
             faults: Some(plan),
+            obs: None,
         },
     )
     .unwrap()

@@ -1,0 +1,113 @@
+//! Determinism properties of the observability plane: for any small
+//! serving workload, the canonical modeled trace export must be a
+//! byte-identical function of the workload — across repeated runs and
+//! across worker counts — and switching tracing on must leave every
+//! served token stream bit-identical to the untraced run.
+
+use proptest::prelude::*;
+
+use llmnpu::core::engine::{EngineConfig, LlmNpuEngine};
+use llmnpu::core::serve::{GenerationRequest, ServeOptions};
+use llmnpu::model::backend::FloatBackend;
+use llmnpu::model::config::ModelConfig;
+use llmnpu::model::forward::Transformer;
+use llmnpu::model::weights::{synthesize, ModelWeights, OutlierSpec};
+use llmnpu::obs::chrome::modeled_trace_json;
+use llmnpu::obs::Observability;
+use llmnpu::soc::spec::SocSpec;
+
+fn mini_model() -> ModelWeights {
+    let cfg = ModelConfig::qwen15_18b().scaled_down(48, 2, 96).unwrap();
+    synthesize(&cfg, 7, OutlierSpec::default()).unwrap()
+}
+
+fn engine(chunk_len: usize, pool_workers: usize) -> LlmNpuEngine {
+    let mut cfg = EngineConfig::llmnpu(ModelConfig::qwen15_18b(), SocSpec::snapdragon_8gen3());
+    cfg.chunk_len = chunk_len;
+    cfg.pool_workers = pool_workers;
+    LlmNpuEngine::new(cfg).unwrap()
+}
+
+#[derive(Clone, Debug)]
+struct Workload {
+    shapes: Vec<(usize, usize)>,
+    chunk_len: usize,
+    max_active: usize,
+    decode_batch: usize,
+}
+
+fn workloads() -> impl Strategy<Value = Workload> {
+    (
+        prop::collection::vec((2usize..12, 1usize..5), 1..5),
+        2usize..4,
+        1usize..4,
+        1usize..3,
+    )
+        .prop_map(|(shapes, chunk_len, max_active, decode_batch)| Workload {
+            shapes,
+            chunk_len,
+            max_active,
+            decode_batch,
+        })
+}
+
+fn requests(w: &Workload) -> Vec<GenerationRequest> {
+    w.shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &(prompt_len, max_new))| {
+            GenerationRequest::synthetic(i, prompt_len, max_new, 96)
+                .with_arrival_ms(i as f64 * 1.25)
+        })
+        .collect()
+}
+
+/// Serve `w` on a fresh engine; with `traced` return the modeled
+/// export bytes alongside the per-request streams.
+fn run(
+    t: &Transformer<'_>,
+    w: &Workload,
+    workers: usize,
+    traced: bool,
+) -> (Option<String>, Vec<Vec<u32>>) {
+    let obs = traced.then(Observability::enabled);
+    let report = engine(w.chunk_len, workers)
+        .serve(
+            t,
+            &requests(w),
+            &ServeOptions {
+                max_active: w.max_active,
+                decode_batch: w.decode_batch,
+                obs: obs.clone(),
+                ..ServeOptions::default()
+            },
+        )
+        .unwrap();
+    let streams = report.requests.iter().map(|r| r.tokens.clone()).collect();
+    (obs.map(|o| modeled_trace_json(&o.sink.snapshot())), streams)
+}
+
+proptest! {
+    // Each case synthesizes a model and serves it four times; a few
+    // cases already cover many workload shapes.
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    #[test]
+    fn modeled_export_is_a_pure_function_of_the_workload(w in workloads()) {
+        let weights = mini_model();
+        let be = FloatBackend::new(weights.clone());
+        let t = Transformer::new(&weights, &be);
+
+        let (trace_a, streams_a) = run(&t, &w, 1, true);
+        let (trace_b, streams_b) = run(&t, &w, 1, true);
+        let (trace_wide, streams_wide) = run(&t, &w, 4, true);
+        prop_assert_eq!(&trace_a, &trace_b, "repeat run diverged");
+        prop_assert_eq!(&trace_a, &trace_wide, "worker count leaked into export");
+        prop_assert_eq!(&streams_a, &streams_b);
+        prop_assert_eq!(&streams_a, &streams_wide);
+
+        let (_, untraced) = run(&t, &w, 4, false);
+        prop_assert_eq!(&streams_a, &untraced, "tracing perturbed the streams");
+        prop_assert!(trace_a.unwrap().contains("llmnpu-modeled-trace/v1"));
+    }
+}
